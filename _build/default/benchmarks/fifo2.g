@@ -1,0 +1,10 @@
+# producer/consumer through a capacity-2 FIFO (hand expansion of the
+# event-rule system; lambda = max(2, 2, (1 + 9) / 2) = 5)
+.model fifo2
+.graph
+p+ p+ 2 token
+c+ c+ 2 token
+p+ c+ 1
+c+ buf+ 9 token
+buf+ p+ 0 token
+.end

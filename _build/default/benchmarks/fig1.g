@@ -1,0 +1,23 @@
+.model fig1
+.events
+e- initial
+f- nonrep
+a+ rep
+a- rep
+b+ rep
+b- rep
+c+ rep
+c- rep
+.graph
+e- f- 3
+e- a+ 2 once
+f- b+ 1 once
+a+ c+ 3
+b+ c+ 2
+c+ a- 2
+c+ b- 1
+a- c- 3
+b- c- 2
+c- a+ 2 token
+c- b+ 1 token
+.end

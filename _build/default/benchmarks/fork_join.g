@@ -1,0 +1,29 @@
+# an unbalanced fork/join loop: lambda = longest branch + fork + join = 7
+.model fork_join
+.events
+fork+
+join+
+p0+
+p1+
+p2+
+q0+
+r0+
+r1+
+r2+
+r3+
+r4+
+.graph
+fork+ p0+ 1
+p0+ p1+ 1
+p1+ p2+ 1
+p2+ join+ 1
+fork+ q0+ 1
+q0+ join+ 1
+fork+ r0+ 1
+r0+ r1+ 1
+r1+ r2+ 1
+r2+ r3+ 1
+r3+ r4+ 1
+r4+ join+ 1
+join+ fork+ 1 token
+.end

@@ -1,0 +1,12 @@
+# a four-phase handshake in the petrify/astg dialect (auto-detected by
+# the .marking line); unit delays are assumed: lambda = 4
+.model petrify_ring
+.inputs req
+.outputs ack
+.graph
+req+ ack+
+ack+ req-
+req- ack-
+ack- req+
+.marking { <ack-,req+> }
+.end

@@ -1,0 +1,18 @@
+# an acyclic activity network for `tsa pert` (makespan 12 through the
+# order -> deliver branch)
+.model project
+.events
+start+ initial
+dig+ nonrep
+pour+ nonrep
+order+ nonrep
+deliver+ nonrep
+build+ nonrep
+.graph
+start+ dig+ 3
+dig+ pour+ 2
+start+ order+ 1
+order+ deliver+ 6
+pour+ build+ 5
+deliver+ build+ 5
+.end

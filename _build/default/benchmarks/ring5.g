@@ -1,0 +1,54 @@
+.model ring5
+.events
+a+ rep
+a- rep
+b+ rep
+b- rep
+c+ rep
+c- rep
+d+ rep
+d- rep
+e+ rep
+e- rep
+ia+ rep
+ia- rep
+ib+ rep
+ib- rep
+ic+ rep
+ic- rep
+id+ rep
+id- rep
+ie+ rep
+ie- rep
+.graph
+e+ a+ 1 token
+ib+ a+ 1 token
+e- a- 1
+ib- a- 1
+a+ ia- 1
+a- ia+ 1
+a+ b+ 1
+ic+ b+ 1 token
+a- b- 1
+ic- b- 1
+b+ ib- 1
+b- ib+ 1
+b+ c+ 1
+id+ c+ 1 token
+b- c- 1
+id- c- 1
+c+ ic- 1
+c- ic+ 1
+c+ d+ 1
+ie+ d+ 1
+c- d- 1
+ie- d- 1
+d+ id- 1
+d- id+ 1
+d+ e+ 1
+ia+ e+ 1
+d- e- 1 token
+ia- e- 1
+e+ ie- 1
+e- ie+ 1
+.end

@@ -1,0 +1,182 @@
+.model stack
+.events
+r0+ rep
+r0- rep
+a0+ rep
+a0- rep
+r1+ rep
+r1- rep
+a1+ rep
+a1- rep
+r2+ rep
+r2- rep
+a2+ rep
+a2- rep
+r3+ rep
+r3- rep
+a3+ rep
+a3- rep
+r4+ rep
+r4- rep
+a4+ rep
+a4- rep
+r5+ rep
+r5- rep
+a5+ rep
+a5- rep
+r6+ rep
+r6- rep
+a6+ rep
+a6- rep
+r7+ rep
+r7- rep
+a7+ rep
+a7- rep
+r8+ rep
+r8- rep
+a8+ rep
+a8- rep
+r9+ rep
+r9- rep
+a9+ rep
+a9- rep
+r10+ rep
+r10- rep
+a10+ rep
+a10- rep
+r11+ rep
+r11- rep
+a11+ rep
+a11- rep
+r12+ rep
+r12- rep
+a12+ rep
+a12- rep
+r13+ rep
+r13- rep
+a13+ rep
+a13- rep
+r14+ rep
+r14- rep
+a14+ rep
+a14- rep
+r15+ rep
+r15- rep
+a15+ rep
+a15- rep
+go+ rep
+go- rep
+.graph
+r0+ a0+ 1
+a0+ r0- 1
+r0- a0- 1
+a0- r0+ 1 token
+r1+ a1+ 1
+a1+ r1- 1
+r1- a1- 1
+a1- r1+ 1 token
+r2+ a2+ 1
+a2+ r2- 1
+r2- a2- 1
+a2- r2+ 1 token
+r3+ a3+ 1
+a3+ r3- 1
+r3- a3- 1
+a3- r3+ 1 token
+r4+ a4+ 1
+a4+ r4- 1
+r4- a4- 1
+a4- r4+ 1 token
+r5+ a5+ 1
+a5+ r5- 1
+r5- a5- 1
+a5- r5+ 1 token
+r6+ a6+ 1
+a6+ r6- 1
+r6- a6- 1
+a6- r6+ 1 token
+r7+ a7+ 1
+a7+ r7- 1
+r7- a7- 1
+a7- r7+ 1 token
+r8+ a8+ 1
+a8+ r8- 1
+r8- a8- 1
+a8- r8+ 1 token
+r9+ a9+ 1
+a9+ r9- 1
+r9- a9- 1
+a9- r9+ 1 token
+r10+ a10+ 1
+a10+ r10- 1
+r10- a10- 1
+a10- r10+ 1 token
+r11+ a11+ 1
+a11+ r11- 1
+r11- a11- 1
+a11- r11+ 1 token
+r12+ a12+ 1
+a12+ r12- 1
+r12- a12- 1
+a12- r12+ 1 token
+r13+ a13+ 1
+a13+ r13- 1
+r13- a13- 1
+a13- r13+ 1 token
+r14+ a14+ 1
+a14+ r14- 1
+r14- a14- 1
+a14- r14+ 1 token
+r15+ a15+ 1
+a15+ r15- 1
+r15- a15- 1
+a15- r15+ 1 token
+a0+ r1+ 1
+a1+ r0- 1
+a1+ r2+ 1
+a2+ r1- 1
+a2+ r3+ 1
+a3+ r2- 1
+a3+ r4+ 1
+a4+ r3- 1
+a4+ r5+ 1
+a5+ r4- 1
+a5+ r6+ 1
+a6+ r5- 1
+a6+ r7+ 1
+a7+ r6- 1
+a7+ r8+ 1
+a8+ r7- 1
+a8+ r9+ 1
+a9+ r8- 1
+a9+ r10+ 1
+a10+ r9- 1
+a10+ r11+ 1
+a11+ r10- 1
+a11+ r12+ 1
+a12+ r11- 1
+a12+ r13+ 1
+a13+ r12- 1
+a13+ r14+ 1
+a14+ r13- 1
+a14+ r15+ 1
+a15+ r14- 1
+a1- r0+ 1 token
+a2- r1+ 1 token
+a3- r2+ 1 token
+a4- r3+ 1 token
+a5- r4+ 1 token
+a6- r5+ 1 token
+a7- r6+ 1 token
+a8- r7+ 1 token
+a9- r8+ 1 token
+a10- r9+ 1 token
+a11- r10+ 1 token
+a12- r11+ 1 token
+a13- r12+ 1 token
+a14- r13+ 1 token
+a15+ go+ 1
+go+ r0+ 1 token
+a15- go- 1 token
+go- go+ 1
+.end

@@ -1,0 +1,9 @@
+# the Proposition 6 erratum witness: {e0+} is a minimum cut set, yet
+# the unique simple cycle carries two tokens (lambda = 4/2 = 2)
+.model two_token_ring
+.graph
+e0+ e1+ 1
+e1+ e2+ 1 token
+e2+ e3+ 1
+e3+ e0+ 1 token
+.end

@@ -1,0 +1,588 @@
+(* tsa — Timing-Simulation Analyzer.
+
+   Command-line front end for the timesim library: cycle-time analysis
+   (the DAC'94 algorithm), timing simulation tables, ASCII timing
+   diagrams, simple-cycle enumeration, baseline comparison, Graphviz
+   export, and built-in demo models. *)
+
+open Cmdliner
+open Tsg
+
+let builtin = function
+  | "fig1" -> Some (Tsg_circuit.Circuit_library.fig1_tsg ())
+  | "ring5" -> Some (Tsg_circuit.Circuit_library.muller_ring_tsg ~stages:5 ())
+  | "stack" -> Some (Tsg_circuit.Circuit_library.async_stack_tsg ())
+  | _ -> None
+
+(* a file containing ".marking" is in the astg/petrify dialect;
+   otherwise it is our native .g format *)
+let graph_of_input path =
+  match builtin path with
+  | Some g -> (path, g)
+  | None -> (
+    let text =
+      match In_channel.with_open_text path In_channel.input_all with
+      | text -> text
+      | exception Sys_error msg ->
+        Fmt.epr "tsa: cannot read %s: %s@." path msg;
+        exit 1
+    in
+    let is_astg =
+      let needle = ".marking" in
+      let n = String.length needle in
+      let rec go i =
+        i + n <= String.length text && (String.sub text i n = needle || go (i + 1))
+      in
+      go 0
+    in
+    if is_astg then
+      match Tsg_io.Astg_format.parse text with
+      | Ok doc -> (doc.Tsg_io.Astg_format.model, doc.Tsg_io.Astg_format.graph)
+      | Error msg ->
+        Fmt.epr "tsa: cannot load %s (astg dialect): %s@." path msg;
+        exit 1
+    else
+      match Tsg_io.Stg_format.parse text with
+      | Ok doc -> (doc.Tsg_io.Stg_format.model, doc.Tsg_io.Stg_format.graph)
+      | Error msg ->
+        Fmt.epr "tsa: cannot load %s: %s@." path msg;
+        exit 1)
+
+let input_arg =
+  let doc =
+    "Input model: a .g file, or one of the built-ins $(b,fig1) (the paper's \
+     C-element oscillator), $(b,ring5) (the 5-stage Muller ring), $(b,stack) \
+     (the 66-event stack controller)."
+  in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"MODEL" ~doc)
+
+let periods_arg =
+  let doc = "Number of unfolding periods to simulate (default: the border-set size)." in
+  Arg.(value & opt (some int) None & info [ "periods"; "p" ] ~docv:"N" ~doc)
+
+let event_conv =
+  let parse s =
+    match Event.of_string s with Ok e -> Ok e | Error msg -> Error (`Msg msg)
+  in
+  Arg.conv (parse, fun ppf e -> Event.pp ppf e)
+
+let initiate_arg =
+  let doc = "Run an event-initiated simulation from EVENT (e.g. a+, b-/2)." in
+  Arg.(value & opt (some event_conv) None & info [ "initiate"; "i" ] ~docv:"EVENT" ~doc)
+
+let resolve_event g ev =
+  match Signal_graph.id_opt g ev with
+  | Some id -> id
+  | None ->
+    Fmt.epr "tsa: event %a is not in the graph@." Event.pp ev;
+    exit 1
+
+(* ------------------------------------------------------------------ *)
+
+let jobs_arg =
+  let doc = "Run the per-border-event simulations on N domains." in
+  Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
+let json_arg =
+  let doc = "Emit machine-readable JSON instead of the textual report." in
+  Arg.(value & flag & info [ "json" ] ~doc)
+
+let analyze_cmd =
+  let run input periods jobs json =
+    let name, g = graph_of_input input in
+    match Cycle_time.analyze ?periods ~jobs g with
+    | report ->
+      if json then print_endline (Tsg_io.Json_report.analysis g report)
+      else begin
+        Fmt.pr "model: %s (%d events, %d arcs)@.@." name (Signal_graph.event_count g)
+          (Signal_graph.arc_count g);
+        Fmt.pr "%a@." (Tsg_io.Report.pp_report g) report
+      end
+    | exception Cycle_time.Not_analyzable msg ->
+      Fmt.epr "tsa: %s@." msg;
+      exit 1
+  in
+  let doc = "Compute the cycle time and a critical cycle (the DAC'94 algorithm)." in
+  Cmd.v
+    (Cmd.info "analyze" ~doc)
+    Term.(const run $ input_arg $ periods_arg $ jobs_arg $ json_arg)
+
+let all_instances u =
+  let g = Unfolding.signal_graph u in
+  let result = ref [] in
+  for p = 0 to Unfolding.periods u - 1 do
+    for e = 0 to Signal_graph.event_count g - 1 do
+      match Unfolding.instance_opt u ~event:e ~period:p with
+      | Some _ -> result := (e, p) :: !result
+      | None -> ()
+    done
+  done;
+  List.rev !result
+
+let sort_by_time u (sim : Timing_sim.result) instances =
+  List.sort
+    (fun (e1, p1) (e2, p2) ->
+      Float.compare
+        sim.Timing_sim.time.(Unfolding.instance u ~event:e1 ~period:p1)
+        sim.Timing_sim.time.(Unfolding.instance u ~event:e2 ~period:p2))
+    instances
+
+let simulate_cmd =
+  let run input periods initiate =
+    let _, g = graph_of_input input in
+    let periods = Option.value periods ~default:2 in
+    let u = Unfolding.make g ~periods in
+    let sim =
+      match initiate with
+      | None -> Timing_sim.simulate u
+      | Some ev ->
+        let id = resolve_event g ev in
+        Timing_sim.simulate_initiated u ~at:(Unfolding.instance u ~event:id ~period:0)
+    in
+    let instances =
+      List.filter
+        (fun (e, p) ->
+          sim.Timing_sim.reached.(Unfolding.instance u ~event:e ~period:p))
+        (all_instances u)
+      |> sort_by_time u sim
+    in
+    Fmt.pr "%t@." (Tsg_io.Report.pp_simulation_table u sim ~events:instances)
+  in
+  let doc = "Print the timing-simulation table (occurrence times per event instance)." in
+  Cmd.v (Cmd.info "simulate" ~doc) Term.(const run $ input_arg $ periods_arg $ initiate_arg)
+
+let diagram_cmd =
+  let horizon_arg =
+    let doc = "Rightmost time shown." in
+    Arg.(value & opt float 30. & info [ "horizon" ] ~docv:"T" ~doc)
+  in
+  let run input periods initiate horizon =
+    let _, g = graph_of_input input in
+    let periods = Option.value periods ~default:8 in
+    let u = Unfolding.make g ~periods in
+    let sim =
+      match initiate with
+      | None -> Timing_sim.simulate u
+      | Some ev ->
+        let id = resolve_event g ev in
+        Timing_sim.simulate_initiated u ~at:(Unfolding.instance u ~event:id ~period:0)
+    in
+    let options = { Tsg_io.Timing_diagram.default_options with horizon } in
+    print_string (Tsg_io.Timing_diagram.render ~options u sim)
+  in
+  let doc = "Render an ASCII timing diagram (Fig. 1c/1d of the paper)." in
+  Cmd.v
+    (Cmd.info "diagram" ~doc)
+    Term.(const run $ input_arg $ periods_arg $ initiate_arg $ horizon_arg)
+
+let cycles_cmd =
+  let limit_arg =
+    let doc = "Stop after N cycles." in
+    Arg.(value & opt (some int) None & info [ "limit" ] ~docv:"N" ~doc)
+  in
+  let run input limit =
+    let _, g = graph_of_input input in
+    let cycles = Cycles.simple_cycles ?limit g in
+    List.iter
+      (fun c ->
+        Fmt.pr "%a   length %g, eps %d, effective %g@." (Cycles.pp_cycle g) c
+          c.Cycles.length c.Cycles.occurrence_period (Cycles.effective_length c))
+      cycles;
+    Fmt.pr "%d simple cycle%s@." (List.length cycles)
+      (if List.length cycles = 1 then "" else "s")
+  in
+  let doc = "Enumerate the simple cycles and their effective lengths (Section V)." in
+  Cmd.v (Cmd.info "cycles" ~doc) Term.(const run $ input_arg $ limit_arg)
+
+let baselines_cmd =
+  let run input =
+    let _, g = graph_of_input input in
+    let report = Cycle_time.analyze g in
+    let exhaustive, _ = Tsg_baselines.Exhaustive.cycle_time g in
+    Fmt.pr "timing simulation (this paper): %a@." Tsg_io.Report.pp_rational
+      report.Cycle_time.cycle_time;
+    Fmt.pr "Karp maximum mean cycle:        %a@." Tsg_io.Report.pp_rational
+      (Tsg_baselines.Karp.cycle_time g);
+    Fmt.pr "Howard policy iteration:        %a@." Tsg_io.Report.pp_rational
+      (Tsg_baselines.Howard.cycle_time g);
+    Fmt.pr "Lawler binary search:           %a@." Tsg_io.Report.pp_rational
+      (Tsg_baselines.Lawler.cycle_time g);
+    Fmt.pr "max-plus spectral radius:       %a@." Tsg_io.Report.pp_rational
+      (Tsg_maxplus.Of_signal_graph.cycle_time g);
+    Fmt.pr "exhaustive cycle enumeration:   %a@." Tsg_io.Report.pp_rational exhaustive
+  in
+  let doc = "Compare the paper's algorithm against the classical baselines." in
+  Cmd.v (Cmd.info "baselines" ~doc) Term.(const run $ input_arg)
+
+let dot_cmd =
+  let run input =
+    let _, g = graph_of_input input in
+    let dg = Signal_graph.to_digraph g in
+    let arc_label aid =
+      let a = Signal_graph.arc g aid in
+      Printf.sprintf "%g%s%s" a.Signal_graph.delay
+        (if a.Signal_graph.marked then " *" else "")
+        (if a.Signal_graph.disengageable then " once" else "")
+    in
+    let arc_attrs aid =
+      let a = Signal_graph.arc g aid in
+      (if a.Signal_graph.marked then [ ("style", "bold") ] else [])
+      @ if a.Signal_graph.disengageable then [ ("style", "dashed") ] else []
+    in
+    print_string
+      (Tsg_graph.Dot.to_string
+         ~vertex_label:(fun v -> Event.to_string (Signal_graph.event g v))
+         ~arc_label ~arc_attrs dg)
+  in
+  let doc = "Export the graph in Graphviz dot format." in
+  Cmd.v (Cmd.info "dot" ~doc) Term.(const run $ input_arg)
+
+let export_cmd =
+  let run input =
+    let name, g = graph_of_input input in
+    print_string (Tsg_io.Stg_format.to_string ~model:name g)
+  in
+  let doc = "Print the model in the .g exchange format (useful for the built-ins)." in
+  Cmd.v (Cmd.info "export" ~doc) Term.(const run $ input_arg)
+
+let extract_cmd =
+  let run which =
+    let name, net =
+      match which with
+      | "fig1" -> ("fig1", Tsg_circuit.Circuit_library.fig1_netlist ())
+      | "ring5" -> ("ring5", Tsg_circuit.Circuit_library.muller_ring_netlist ())
+      | path -> (
+        match Tsg_io.Net_format.parse_file path with
+        | Ok doc -> (doc.Tsg_io.Net_format.netlist_name, doc.Tsg_io.Net_format.netlist)
+        | Error msg ->
+          Fmt.epr "tsa: cannot load net-list %s: %s@." path msg;
+          exit 1)
+    in
+    match Tsg_extract.Traspec.extract net with
+    | extraction ->
+      let g = extraction.Tsg_extract.Traspec.graph in
+      Fmt.pr "# extracted signal graph (distributivity verified)@.";
+      print_string (Tsg_io.Stg_format.to_string ~model:name g)
+    | exception Tsg_extract.Traspec.Extraction_error msg ->
+      Fmt.epr "tsa: extraction failed: %s@." msg;
+      exit 1
+  in
+  let which_arg =
+    let doc = "A .net file, or a built-in net-list ($(b,fig1), $(b,ring5))." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"NETLIST" ~doc)
+  in
+  let doc = "Extract a Signal Graph from a gate net-list (the TRASPEC flow)." in
+  Cmd.v (Cmd.info "extract" ~doc) Term.(const run $ which_arg)
+
+let slack_cmd =
+  let run input json =
+    let _, g = graph_of_input input in
+    match Slack.analyze g with
+    | report when json -> print_endline (Tsg_io.Json_report.slack g report)
+    | report -> Fmt.pr "%a@." (Tsg_io.Report.pp_slack_table g) report
+    | exception Cycle_time.Not_analyzable msg ->
+      Fmt.epr "tsa: %s@." msg;
+      exit 1
+  in
+  let doc =
+    "Per-arc slack: how much each delay can grow before the cycle time degrades."
+  in
+  Cmd.v (Cmd.info "slack" ~doc) Term.(const run $ input_arg $ json_arg)
+
+let steady_cmd =
+  let max_periods_arg =
+    let doc = "Simulation horizon in unfolding periods." in
+    Arg.(value & opt (some int) None & info [ "max-periods" ] ~docv:"N" ~doc)
+  in
+  let run input max_periods =
+    let _, g = graph_of_input input in
+    match Steady_state.detect ?max_periods g with
+    | Some s -> Fmt.pr "%a@." Tsg_io.Report.pp_steady s
+    | None ->
+      Fmt.epr "tsa: no periodic pattern found within the horizon (try --max-periods)@.";
+      exit 1
+    | exception Cycle_time.Not_analyzable msg ->
+      Fmt.epr "tsa: %s@." msg;
+      exit 1
+  in
+  let doc = "Detect the eventually-periodic regime of the timing simulation." in
+  Cmd.v (Cmd.info "steady" ~doc) Term.(const run $ input_arg $ max_periods_arg)
+
+let vcd_cmd =
+  let out_arg =
+    let doc = "Output path (default: MODEL.vcd)." in
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+  in
+  let scale_arg =
+    let doc = "Multiply times by this factor before rounding to VCD ticks." in
+    Arg.(value & opt float 1. & info [ "scale" ] ~docv:"F" ~doc)
+  in
+  let run input periods initiate out scale =
+    let name, g = graph_of_input input in
+    let periods = Option.value periods ~default:8 in
+    let u = Unfolding.make g ~periods in
+    let sim =
+      match initiate with
+      | None -> Timing_sim.simulate u
+      | Some ev ->
+        let id = resolve_event g ev in
+        Timing_sim.simulate_initiated u ~at:(Unfolding.instance u ~event:id ~period:0)
+    in
+    let path = Option.value out ~default:(Filename.basename name ^ ".vcd") in
+    Tsg_io.Vcd.write_file ~scale path u sim;
+    Fmt.pr "wrote %s@." path
+  in
+  let doc = "Export the timing simulation as a VCD waveform (viewable in GTKWave)." in
+  Cmd.v
+    (Cmd.info "vcd" ~doc)
+    Term.(const run $ input_arg $ periods_arg $ initiate_arg $ out_arg $ scale_arg)
+
+let bounds_cmd =
+  let percent_arg =
+    let doc = "Relative delay uncertainty in percent." in
+    Arg.(value & opt float 10. & info [ "percent" ] ~docv:"P" ~doc)
+  in
+  let runs_arg =
+    let doc = "Monte-Carlo runs (0 disables the simulation estimate)." in
+    Arg.(value & opt int 20 & info [ "runs" ] ~docv:"N" ~doc)
+  in
+  let run input percent runs =
+    let _, g = graph_of_input input in
+    let nominal = Cycle_time.cycle_time g in
+    let bracket = Interval.of_relative_tolerance g ~percent in
+    Fmt.pr "nominal cycle time:        %a@." Tsg_io.Report.pp_rational nominal;
+    Fmt.pr "interval bracket (+-%g%%):  [%g, %g]@." percent bracket.Interval.lower
+      bracket.Interval.upper;
+    if runs > 0 then begin
+      let s =
+        Monte_carlo.estimate ~runs g
+          ~sampler:(Monte_carlo.uniform_jitter g ~percent)
+      in
+      Fmt.pr
+        "Monte-Carlo (per-occurrence jitter): mean %.4f, std %.4f over %d runs [%.4f, %.4f]@."
+        s.Monte_carlo.mean s.Monte_carlo.std s.Monte_carlo.runs s.Monte_carlo.low
+        s.Monte_carlo.high
+    end
+  in
+  let doc = "Cycle-time bounds under delay uncertainty (interval corners + Monte Carlo)." in
+  Cmd.v (Cmd.info "bounds" ~doc) Term.(const run $ input_arg $ percent_arg $ runs_arg)
+
+let skew_cmd =
+  let run input from_ to_ =
+    let _, g = graph_of_input input in
+    match Separation.analyze g with
+    | None ->
+      Fmt.epr "tsa: no steady-state pattern found@.";
+      exit 1
+    | Some t -> (
+      let resolve = resolve_event g in
+      match (from_, to_) with
+      | Some f, Some tt ->
+        let skews = Separation.steady_skew t ~from_:(resolve f) ~to_:(resolve tt) in
+        Fmt.pr "steady-state separation t(%a) - t(%a): %a@." Event.pp tt Event.pp f
+          Fmt.(list ~sep:(any ", ") float)
+          skews;
+        let lo, hi = Separation.extremes t ~from_:(resolve f) ~to_:(resolve tt) in
+        Fmt.pr "extremes over the whole simulation (transient included): [%g, %g]@." lo hi
+      | _ ->
+        (* no pair given: print every event's phase in the pattern *)
+        Fmt.pr "%a@." (Tsg_io.Report.pp_phases g) t)
+  in
+  let from_arg =
+    let doc = "Reference event." in
+    Arg.(value & opt (some event_conv) None & info [ "from" ] ~docv:"EVENT" ~doc)
+  in
+  let to_arg =
+    let doc = "Target event." in
+    Arg.(value & opt (some event_conv) None & info [ "to" ] ~docv:"EVENT" ~doc)
+  in
+  let doc = "Steady-state time separations (skews) between events." in
+  Cmd.v (Cmd.info "skew" ~doc) Term.(const run $ input_arg $ from_arg $ to_arg)
+
+let pert_cmd =
+  let run input =
+    let _, g = graph_of_input input in
+    match Pert.analyze g with
+    | report -> Fmt.pr "%a@." (Pert.pp g) report
+    | exception Invalid_argument msg ->
+      Fmt.epr "tsa: %s@." msg;
+      exit 1
+  in
+  let doc = "PERT analysis of an acyclic model (makespan, critical path, floats)." in
+  Cmd.v (Cmd.info "pert" ~doc) Term.(const run $ input_arg)
+
+let critical_cmd =
+  let limit_arg =
+    let doc = "Stop after N critical cycles." in
+    Arg.(value & opt (some int) None & info [ "limit" ] ~docv:"N" ~doc)
+  in
+  let run input limit =
+    let _, g = graph_of_input input in
+    match Slack.all_critical_cycles ?limit g with
+    | cycles ->
+      List.iter
+        (fun c ->
+          Fmt.pr "%a   (length %g, eps %d)@." (Cycles.pp_cycle g) c c.Cycles.length
+            c.Cycles.occurrence_period)
+        cycles;
+      Fmt.pr "%d critical cycle%s at cycle time %a@." (List.length cycles)
+        (if List.length cycles = 1 then "" else "s")
+        Tsg_io.Report.pp_rational
+        (Cycle_time.cycle_time g)
+    | exception Cycle_time.Not_analyzable msg ->
+      Fmt.epr "tsa: %s@." msg;
+      exit 1
+  in
+  let doc = "Enumerate every critical cycle (via the zero-slack subgraph)." in
+  Cmd.v (Cmd.info "critical" ~doc) Term.(const run $ input_arg $ limit_arg)
+
+let parametric_cmd =
+  let from_arg =
+    let doc = "Source event of the arc whose delay varies." in
+    Arg.(required & opt (some event_conv) None & info [ "from" ] ~docv:"EVENT" ~doc)
+  in
+  let to_arg =
+    let doc = "Target event of the arc." in
+    Arg.(required & opt (some event_conv) None & info [ "to" ] ~docv:"EVENT" ~doc)
+  in
+  let run input from_ to_ =
+    let _, g = graph_of_input input in
+    let src = resolve_event g from_ and dst = resolve_event g to_ in
+    let arc =
+      match
+        List.find_opt
+          (fun aid -> (Signal_graph.arc g aid).Signal_graph.arc_dst = dst)
+          (Signal_graph.out_arc_ids g src)
+      with
+      | Some aid -> aid
+      | None ->
+        Fmt.epr "tsa: no arc %a -> %a in the graph@." Event.pp from_ Event.pp to_;
+        exit 1
+    in
+    match Parametric.analyze g ~arc with
+    | p ->
+      let nominal = (Signal_graph.arc g arc).Signal_graph.delay in
+      Fmt.pr "cycle time as a function of delay(%a -> %a):@.@." Event.pp from_ Event.pp to_;
+      List.iter
+        (fun (x_from, c, s) ->
+          if s = 0. then Fmt.pr "  x >= %-6g : lambda = %g@." x_from c
+          else Fmt.pr "  x >= %-6g : lambda = %g + %g x@." x_from c s)
+        (Parametric.pieces p);
+      Fmt.pr "@.nominal delay %g gives lambda = %a" nominal Tsg_io.Report.pp_rational
+        (Parametric.eval p nominal);
+      (match Parametric.breakpoints p with
+      | [] -> Fmt.pr "; no breakpoints (one line dominates)@."
+      | bps ->
+        Fmt.pr "; breakpoints at %a@." Fmt.(list ~sep:(any ", ") float) bps)
+    | exception Invalid_argument msg ->
+      Fmt.epr "tsa: %s@." msg;
+      exit 1
+    | exception Cycle_time.Not_analyzable msg ->
+      Fmt.epr "tsa: %s@." msg;
+      exit 1
+  in
+  let doc = "The cycle time as a piecewise-linear function of one arc's delay." in
+  Cmd.v (Cmd.info "parametric" ~doc) Term.(const run $ input_arg $ from_arg $ to_arg)
+
+let check_cmd =
+  let run input =
+    let name, g = graph_of_input input in
+    Fmt.pr "model %s: %d events (%d repetitive), %d arcs, %d signals@." name
+      (Signal_graph.event_count g)
+      (Signal_graph.repetitive_count g)
+      (Signal_graph.arc_count g)
+      (List.length (Signal_graph.signals g));
+    (* static validation already ran during loading; report dynamics *)
+    let d = Marking.check_dynamics ~rounds:100 g in
+    Fmt.pr "switch-over correctness: %s@."
+      (if d.Marking.switch_over_ok then "ok" else "VIOLATED");
+    Fmt.pr "auto-concurrency:        %s@."
+      (if d.Marking.auto_concurrency_free then "none" else "DETECTED");
+    Fmt.pr "largest token count:     %d%s@." d.Marking.bounded_by
+      (if d.Marking.bounded_by <= 1 then " (safe)" else "");
+    (if Signal_graph.repetitive_count g > 0 then begin
+       let border = Cut_set.border g in
+       Fmt.pr "border events:           %d@." (List.length border);
+       Fmt.pr "cycle time:              %a@." Tsg_io.Report.pp_rational
+         (Cycle_time.cycle_time g)
+     end
+     else Fmt.pr "acyclic model (use 'tsa pert')@.");
+    (match Simplify.redundant_arcs g with
+    | [] -> Fmt.pr "redundant arcs:          none@."
+    | arcs ->
+      Fmt.pr "redundant arcs:          %d (%s)@." (List.length arcs)
+        (String.concat "; " (List.map (Fmt.str "%a" (Tsg_io.Report.pp_arc g)) arcs)));
+    if not (d.Marking.switch_over_ok && d.Marking.auto_concurrency_free) then exit 2
+  in
+  let doc = "Health-check a model: dynamics, boundedness, redundant arcs." in
+  Cmd.v (Cmd.info "check" ~doc) Term.(const run $ input_arg)
+
+let optimize_cmd =
+  let budget_arg =
+    let doc = "Total delay reduction available." in
+    Arg.(value & opt float 1. & info [ "budget" ] ~docv:"B" ~doc)
+  in
+  let floor_arg =
+    let doc = "Smallest delay any arc may reach." in
+    Arg.(value & opt float 0. & info [ "floor" ] ~docv:"F" ~doc)
+  in
+  let pad_arg =
+    let doc = "Instead of speeding up, pad non-critical arcs by this fraction of the joint slack." in
+    Arg.(value & opt (some float) None & info [ "pad" ] ~docv:"FRACTION" ~doc)
+  in
+  let run input budget floor pad =
+    let _, g = graph_of_input input in
+    match pad with
+    | Some fraction ->
+      let o = Optimize.exploit_slack ~fraction g in
+      List.iter
+        (fun s ->
+          Fmt.pr "pad %a by %g@." (Tsg_io.Report.pp_arc g) s.Optimize.step_arc
+            s.Optimize.change)
+        o.Optimize.steps;
+      Fmt.pr "total padding %g; cycle time %a (unchanged)@.@." o.Optimize.spent
+        Tsg_io.Report.pp_rational o.Optimize.lambda;
+      print_string (Tsg_io.Stg_format.to_string ~model:"padded" o.Optimize.graph)
+    | None ->
+      let o = Optimize.speed_up ~budget ~floor g in
+      List.iteri
+        (fun i s ->
+          Fmt.pr "step %d: %a by %g => lambda %g@." (i + 1)
+            (Tsg_io.Report.pp_arc o.Optimize.graph)
+            s.Optimize.step_arc (-.s.Optimize.change) s.Optimize.lambda_after)
+        o.Optimize.steps;
+      Fmt.pr "final cycle time %a after spending %g@.@." Tsg_io.Report.pp_rational
+        o.Optimize.lambda o.Optimize.spent;
+      print_string (Tsg_io.Stg_format.to_string ~model:"optimized" o.Optimize.graph)
+  in
+  let doc = "Slack-driven optimisation: speed up critical arcs or pad non-critical ones." in
+  Cmd.v
+    (Cmd.info "optimize" ~doc)
+    Term.(const run $ input_arg $ budget_arg $ floor_arg $ pad_arg)
+
+let () =
+  let doc = "performance analysis of concurrent systems by timing simulation" in
+  let info = Cmd.info "tsa" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            analyze_cmd;
+            simulate_cmd;
+            diagram_cmd;
+            cycles_cmd;
+            baselines_cmd;
+            dot_cmd;
+            export_cmd;
+            extract_cmd;
+            slack_cmd;
+            steady_cmd;
+            vcd_cmd;
+            bounds_cmd;
+            skew_cmd;
+            pert_cmd;
+            critical_cmd;
+            parametric_cmd;
+            check_cmd;
+            optimize_cmd;
+          ]))

@@ -1,0 +1,139 @@
+(* tsg-gen — parametric Timed Signal Graph generator.
+
+   Emits models in the native .g format, ready for `tsa analyze`:
+
+     tsg-gen ring --events 100 --tokens 3
+     tsg-gen muller --stages 8
+     tsg-gen handshake --cells 16
+     tsg-gen forkjoin --branches 3,1,5
+     tsg-gen random --events 10 --extra 6 --seed 7
+     tsg-gen complete --events 6 *)
+
+open Cmdliner
+
+let emit ?output ~model g =
+  let text = Tsg_io.Stg_format.to_string ~model g in
+  match output with
+  | None -> print_string text
+  | Some path ->
+    Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc text);
+    Fmt.pr "wrote %s@." path
+
+let output_arg =
+  let doc = "Write to FILE instead of standard output." in
+  Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+
+let delay_arg =
+  let doc = "Uniform arc delay." in
+  Arg.(value & opt float 1. & info [ "delay" ] ~docv:"D" ~doc)
+
+let seed_arg =
+  let doc = "Random seed." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc)
+
+let wrap_errors f =
+  try f () with Invalid_argument msg ->
+    Fmt.epr "tsg-gen: %s@." msg;
+    exit 1
+
+let ring_cmd =
+  let events_arg =
+    Arg.(value & opt int 10 & info [ "events" ] ~docv:"N" ~doc:"Number of events.")
+  in
+  let tokens_arg =
+    Arg.(value & opt int 1 & info [ "tokens" ] ~docv:"K" ~doc:"Number of tokens.")
+  in
+  let run events tokens delay output =
+    wrap_errors (fun () ->
+        emit ?output
+          ~model:(Printf.sprintf "ring_%d_%d" events tokens)
+          (Tsg_circuit.Generators.ring_tsg ~delay ~events ~tokens ()))
+  in
+  let doc = "A plain ring: cycle time = delay * events / tokens." in
+  Cmd.v (Cmd.info "ring" ~doc)
+    Term.(const run $ events_arg $ tokens_arg $ delay_arg $ output_arg)
+
+let muller_cmd =
+  let stages_arg =
+    Arg.(value & opt int 5 & info [ "stages" ] ~docv:"N" ~doc:"Ring stages.")
+  in
+  let high_arg =
+    let doc = "Comma-separated stage indices that start high (data tokens)." in
+    Arg.(value & opt (some (list int)) None & info [ "high" ] ~docv:"K,K,..." ~doc)
+  in
+  let run stages high delay output =
+    wrap_errors (fun () ->
+        emit ?output
+          ~model:(Printf.sprintf "muller_%d" stages)
+          (Tsg_circuit.Circuit_library.muller_ring_tsg ~delay ?high_stages:high ~stages ()))
+  in
+  let doc = "A Muller C-element ring (Section VIII.D of the paper)." in
+  Cmd.v (Cmd.info "muller" ~doc)
+    Term.(const run $ stages_arg $ high_arg $ delay_arg $ output_arg)
+
+let handshake_cmd =
+  let cells_arg =
+    Arg.(value & opt int 8 & info [ "cells" ] ~docv:"N" ~doc:"Handshake cells.")
+  in
+  let run cells delay output =
+    wrap_errors (fun () ->
+        emit ?output
+          ~model:(Printf.sprintf "handshake_%d" cells)
+          (Tsg_circuit.Circuit_library.handshake_ring_tsg ~delay ~cells ()))
+  in
+  let doc = "A stack-controller handshake ring (the Section VIII.B family)." in
+  Cmd.v (Cmd.info "handshake" ~doc) Term.(const run $ cells_arg $ delay_arg $ output_arg)
+
+let forkjoin_cmd =
+  let branches_arg =
+    let doc = "Comma-separated branch lengths." in
+    Arg.(value & opt (list int) [ 3; 1; 5 ] & info [ "branches" ] ~docv:"L,L,..." ~doc)
+  in
+  let run branches delay output =
+    wrap_errors (fun () ->
+        emit ?output ~model:"forkjoin"
+          (Tsg_circuit.Generators.fork_join_tsg ~delay ~branches ()))
+  in
+  let doc = "A fork/join loop: cycle time = (longest branch + 2) * delay." in
+  Cmd.v (Cmd.info "forkjoin" ~doc) Term.(const run $ branches_arg $ delay_arg $ output_arg)
+
+let random_cmd =
+  let events_arg =
+    Arg.(value & opt int 8 & info [ "events" ] ~docv:"N" ~doc:"Number of events.")
+  in
+  let extra_arg =
+    Arg.(value & opt int 5 & info [ "extra" ] ~docv:"M" ~doc:"Number of random chords.")
+  in
+  let max_delay_arg =
+    Arg.(value & opt int 10 & info [ "max-delay" ] ~docv:"D" ~doc:"Maximum integer delay.")
+  in
+  let run events extra max_delay seed output =
+    wrap_errors (fun () ->
+        emit ?output
+          ~model:(Printf.sprintf "random_%d" seed)
+          (Tsg_circuit.Generators.random_live_tsg ~seed ~max_delay ~events ~extra_arcs:extra ()))
+  in
+  let doc = "A random live, strongly connected Timed Signal Graph." in
+  Cmd.v (Cmd.info "random" ~doc)
+    Term.(const run $ events_arg $ extra_arg $ max_delay_arg $ seed_arg $ output_arg)
+
+let complete_cmd =
+  let events_arg =
+    Arg.(value & opt int 5 & info [ "events" ] ~docv:"N" ~doc:"Number of events.")
+  in
+  let run events seed output =
+    wrap_errors (fun () ->
+        emit ?output
+          ~model:(Printf.sprintf "complete_%d" events)
+          (Tsg_circuit.Generators.complete_tsg ~seed ~events ()))
+  in
+  let doc = "The complete digraph (worst case for cycle enumeration)." in
+  Cmd.v (Cmd.info "complete" ~doc) Term.(const run $ events_arg $ seed_arg $ output_arg)
+
+let () =
+  let doc = "generate parametric Timed Signal Graph models" in
+  let info = Cmd.info "tsg-gen" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ ring_cmd; muller_cmd; handshake_cmd; forkjoin_cmd; random_cmd; complete_cmd ]))

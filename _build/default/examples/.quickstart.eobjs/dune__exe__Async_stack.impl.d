@@ -1,0 +1,1 @@
+examples/async_stack.ml: Cycle_time Fmt Signal_graph Sys Tsg Tsg_baselines Tsg_circuit Tsg_io

@@ -1,0 +1,1 @@
+examples/bottleneck_optimization.ml: Array Cycle_time Event Fmt List Optimize Signal_graph Slack Tsg Tsg_circuit Tsg_io

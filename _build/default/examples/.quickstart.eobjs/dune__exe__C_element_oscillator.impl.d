@@ -1,0 +1,1 @@
+examples/c_element_oscillator.ml: Array Cycle_time Cycles Event Fmt List Signal_graph Timing_sim Tsg Tsg_circuit Tsg_io Unfolding

@@ -1,0 +1,1 @@
+examples/c_element_oscillator.mli:

@@ -1,0 +1,1 @@
+examples/compositional_design.ml: Compose Cycle_time Event Fmt List Parametric Signal_graph Tsg Tsg_io

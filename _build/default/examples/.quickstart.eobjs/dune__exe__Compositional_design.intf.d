@@ -1,0 +1,1 @@
+examples/compositional_design.mli:

@@ -1,0 +1,1 @@
+examples/fifo_sizing.ml: Er_system Event Float Fmt List Signal_graph Tsg Tsg_io

@@ -1,0 +1,1 @@
+examples/jitter_analysis.ml: Array Cycle_time Fmt Interval List Monte_carlo Slack Tsg Tsg_circuit Tsg_io

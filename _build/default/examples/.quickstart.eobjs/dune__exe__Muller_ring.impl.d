@@ -1,0 +1,1 @@
+examples/muller_ring.ml: Array Cycle_time Event Fmt List Signal_graph Timing_sim Tsg Tsg_circuit Tsg_io Unfolding

@@ -1,0 +1,1 @@
+examples/muller_ring.mli:

@@ -1,0 +1,1 @@
+examples/netlist_extraction.ml: Cycle_time Fmt List Signal_graph Tsg Tsg_circuit Tsg_extract Tsg_io

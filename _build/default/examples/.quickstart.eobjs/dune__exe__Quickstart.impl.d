@@ -1,0 +1,1 @@
+examples/quickstart.ml: Cycle_time Cycles Event Fmt List Signal_graph String Tsg Tsg_io

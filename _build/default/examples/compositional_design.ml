@@ -1,0 +1,75 @@
+(* Designing a system from blocks and sizing its interconnect:
+
+     dune exec examples/compositional_design.exe
+
+   Three compute blocks, each a private handshake loop, are stitched
+   into a ring by glue arcs (Compose).  The analysis shows which block
+   bounds the throughput; the parametric view (Parametric) then tells
+   the designer exactly how slow the interconnect between two blocks
+   may become before it takes over as the bottleneck — the question
+   wire-delay budgeting asks. *)
+
+open Tsg
+
+(* a compute block: req/ack loop with a given processing delay *)
+let compute_block name processing =
+  Compose.block
+    ~events:
+      (List.map
+         (fun e -> (e, Signal_graph.Repetitive))
+         [ Event.rise (name ^ "_req"); Event.rise (name ^ "_ack") ])
+    ~arcs:
+      [
+        (Event.rise (name ^ "_req"), Event.rise (name ^ "_ack"), processing, false);
+        (Event.rise (name ^ "_ack"), Event.rise (name ^ "_req"), 1., true);
+      ]
+
+let wire = 1.
+
+let system () =
+  let blocks =
+    [ compute_block "dsp" 7.; compute_block "ctl" 2.; compute_block "mem" 3. ]
+  in
+  let glue =
+    [
+      (* each block hands its result to the next over a wire; two
+         transactions are in flight around the ring (two tokens) *)
+      (Event.rise "dsp_ack", Event.rise "ctl_req", wire, true);
+      (Event.rise "ctl_ack", Event.rise "mem_req", wire, false);
+      (Event.rise "mem_ack", Event.rise "dsp_req", wire, true);
+    ]
+  in
+  Compose.seal_exn (Compose.link (Compose.union blocks) ~arcs:glue)
+
+let () =
+  let g = system () in
+  let report = Cycle_time.analyze g in
+  Fmt.pr "composed system: %d events, %d arcs@.@." (Signal_graph.event_count g)
+    (Signal_graph.arc_count g);
+  Fmt.pr "%a@." (Tsg_io.Report.pp_report g) report;
+
+  (* which wire can we afford to stretch? *)
+  let wire_arc from_ to_ =
+    let src = Signal_graph.id g (Event.rise from_) in
+    List.find
+      (fun aid ->
+        Event.to_string (Signal_graph.event g (Signal_graph.arc g aid).Signal_graph.arc_dst)
+        = to_ ^ "+")
+      (Signal_graph.out_arc_ids g src)
+  in
+  List.iter
+    (fun (from_, to_) ->
+      let arc = wire_arc from_ to_ in
+      let p = Parametric.analyze g ~arc in
+      let nominal = (Signal_graph.arc g arc).Signal_graph.delay in
+      Fmt.pr "wire %s -> %s:@." from_ to_;
+      List.iter
+        (fun (x_from, c, s) ->
+          if s = 0. then Fmt.pr "   x >= %-4g: lambda = %g@." x_from c
+          else Fmt.pr "   x >= %-4g: lambda = %g + %g x@." x_from c s)
+        (Parametric.pieces p);
+      (match Parametric.breakpoints p with
+      | bp :: _ when bp > nominal ->
+        Fmt.pr "   may stretch from %g to %g before hurting throughput@.@." nominal bp
+      | _ -> Fmt.pr "   already on the critical loop: any stretch hurts@.@."))
+    [ ("dsp_ack", "ctl_req"); ("ctl_ack", "mem_req"); ("mem_ack", "dsp_req") ]

@@ -1,0 +1,61 @@
+(* FIFO sizing with event-rule systems:
+
+     dune exec examples/fifo_sizing.exe
+
+   A producer and a consumer communicate through a FIFO.  As an
+   event-rule system (Burns [2] — the paper notes its algorithm applies
+   to ER systems unchanged):
+
+     p -> p  (delay Tp, count 1)   the producer's local cycle
+     c -> c  (delay Tc, count 1)   the consumer's local cycle
+     p -> c  (delay Df, count 0)   data: item k must be produced first
+     c -> p  (delay Db, count K)   space: slot k is free once item k-K
+                                   has been consumed
+
+   The K-token backward rule is exactly what Signal Graphs' boolean
+   marking cannot express directly; the ER layer expands it to buffer
+   events automatically.  The throughput bound is
+
+     lambda(K) = max(Tp, Tc, (Df + Db) / K)
+
+   so the smallest FIFO that no longer limits the system is
+   K* = ceil((Df + Db) / max(Tp, Tc)). *)
+
+open Tsg
+
+let tp = 3.
+let tc = 4.
+let df = 2.
+let db = 9.
+
+let system k =
+  let p = Event.rise "p" and c = Event.rise "c" in
+  Er_system.make ~events:[ p; c ]
+    ~rules:
+      [
+        { Er_system.source = p; target = p; delay = tp; count = 1 };
+        { Er_system.source = c; target = c; delay = tc; count = 1 };
+        { Er_system.source = p; target = c; delay = df; count = 0 };
+        { Er_system.source = c; target = p; delay = db; count = k };
+      ]
+
+let () =
+  Fmt.pr "producer period %g, consumer period %g, FIFO loop latency %g@.@." tp tc (df +. db);
+  Fmt.pr "%10s %14s %20s %16s@." "capacity" "cycle time" "analytic bound" "fifo-limited?";
+  let analytic k = Float.max (Float.max tp tc) ((df +. db) /. float_of_int k) in
+  List.iter
+    (fun k ->
+      let lambda = Er_system.cycle_time (system k) in
+      let bound = analytic k in
+      assert (abs_float (lambda -. bound) < 1e-9);
+      Fmt.pr "%10d %14.4f %20.4f %16s@." k lambda bound
+        (if lambda > Float.max tp tc +. 1e-9 then "yes" else "no"))
+    [ 1; 2; 3; 4; 5; 8 ];
+  let k_star = int_of_float (Float.round (Float.ceil ((df +. db) /. Float.max tp tc))) in
+  Fmt.pr "@.smallest FIFO that stops limiting throughput: K* = %d@." k_star;
+
+  (* show the expanded Signal Graph for the interesting capacity *)
+  let report, g = Er_system.analyze (system 2) in
+  Fmt.pr "@.expanded Signal Graph for K = 2 (%d events, %d arcs):@.@."
+    (Signal_graph.event_count g) (Signal_graph.arc_count g);
+  Fmt.pr "%a@." (Tsg_io.Report.pp_report g) report

@@ -1,0 +1,52 @@
+(* Cycle time under delay uncertainty:
+
+     dune exec examples/jitter_analysis.exe
+
+   Three views of the same question — "how fast is the circuit when
+   the delays are not exactly nominal?":
+
+   1. the analytic cycle time at the nominal delays (the paper);
+   2. the interval bracket: corner analyses with every delay at its
+      minimum / maximum (sound bounds for any FIXED delays in range);
+   3. Monte-Carlo simulation with delays re-drawn per occurrence
+      (delay JITTER), whose average sits strictly inside the bracket
+      and at or above the nominal value: in a MAX-causality system,
+      variability can only slow the average iteration down. *)
+
+open Tsg
+
+let () =
+  let g = Tsg_circuit.Circuit_library.muller_ring_tsg ~stages:5 () in
+  let nominal = Cycle_time.cycle_time g in
+  Fmt.pr "five-stage Muller ring, nominal cycle time %a@.@." Tsg_io.Report.pp_rational
+    nominal;
+  Fmt.pr "%8s %10s %10s %14s %10s@." "jitter" "lower" "upper" "MC mean" "MC std";
+  List.iter
+    (fun percent ->
+      let bracket = Interval.of_relative_tolerance g ~percent in
+      let s =
+        Monte_carlo.estimate ~runs:25 ~periods:80 g
+          ~sampler:(Monte_carlo.uniform_jitter g ~percent)
+      in
+      Fmt.pr "%7g%% %10.4f %10.4f %14.4f %10.4f@." percent bracket.Interval.lower
+        bracket.Interval.upper s.Monte_carlo.mean s.Monte_carlo.std)
+    [ 0.; 5.; 10.; 20.; 40. ];
+  Fmt.pr
+    "@.reading the table: the corners scale linearly with the jitter@.\
+     (lambda is homogeneous in the delays), while the Monte-Carlo@.\
+     average grows slowly from the nominal value - regenerative@.\
+     structure absorbs most of the variation until the slack of the@.\
+     non-critical paths is exhausted.@.";
+
+  (* where does the slack run out? compare the jitter range with the
+     per-arc slacks *)
+  let slack_report = Slack.analyze g in
+  let min_positive_slack =
+    Array.fold_left
+      (fun acc s ->
+        if s.Slack.slack > 1e-9 && s.Slack.slack < acc then s.Slack.slack else acc)
+      infinity slack_report.Slack.arc_slacks
+  in
+  Fmt.pr "@.smallest non-zero arc slack: %g@." min_positive_slack;
+  Fmt.pr "once per-occurrence jitter exceeds it, secondary cycles start@.";
+  Fmt.pr "winning occasionally and the average departs from the nominal.@."

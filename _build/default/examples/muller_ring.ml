@@ -1,0 +1,67 @@
+(* Section VIII.D: performance analysis of a Muller ring of C-elements.
+
+     dune exec examples/muller_ring.exe
+
+   Reproduces the paper's five-stage ring (cycle time 20/3, Delta
+   pattern 6, 7, 7), then sweeps the ring size and the number of data
+   tokens — the occupancy ablation of DESIGN.md experiment E11: cycle
+   time is token-limited when the ring is nearly empty and hole-limited
+   when it is nearly full, so throughput peaks at an intermediate
+   occupancy. *)
+
+open Tsg
+
+let section title = Fmt.pr "@.=== %s ===@.@." title
+
+let () =
+  section "The five-stage ring of Fig. 5";
+  let g = Tsg_circuit.Circuit_library.muller_ring_tsg ~stages:5 () in
+  let report = Cycle_time.analyze g in
+  Fmt.pr "%a@." (Tsg_io.Report.pp_report g) report;
+
+  section "The paper's ten-period table for the a+-initiated simulation";
+  let u = Unfolding.make g ~periods:11 in
+  let a = Signal_graph.id g (Event.of_string_exn "a+") in
+  let sim = Timing_sim.simulate_initiated u ~at:(Unfolding.instance u ~event:a ~period:0) in
+  Fmt.pr "i          ";
+  for i = 1 to 10 do Fmt.pr "%7d" i done;
+  Fmt.pr "@.t_a+0(a+i) ";
+  for i = 1 to 10 do
+    Fmt.pr "%7g" sim.Timing_sim.time.(Unfolding.instance u ~event:a ~period:i)
+  done;
+  Fmt.pr "@.delta      ";
+  let prev = ref 0. in
+  for i = 1 to 10 do
+    let t = sim.Timing_sim.time.(Unfolding.instance u ~event:a ~period:i) in
+    Fmt.pr "%7g" (t -. !prev);
+    prev := t
+  done;
+  Fmt.pr "@.Delta      ";
+  for i = 1 to 10 do
+    Fmt.pr "%7.3g" (Timing_sim.initiated_average_distance u sim ~event:a ~period:i)
+  done;
+  Fmt.pr "@.";
+
+  section "Ring size sweep (one data token)";
+  Fmt.pr "stages   cycle time@.";
+  List.iter
+    (fun stages ->
+      let g = Tsg_circuit.Circuit_library.muller_ring_tsg ~stages () in
+      Fmt.pr "%6d   %a@." stages Tsg_io.Report.pp_rational (Cycle_time.cycle_time g))
+    [ 3; 4; 5; 6; 8; 10; 16; 32 ];
+
+  section "Occupancy sweep: ring of 12, k tokens (experiment E11)";
+  Fmt.pr "tokens   cycle time   cycle time per token (throughput bound)@.";
+  List.iter
+    (fun k ->
+      let high_stages = List.init k (fun j -> ((j * 12 / k) + 11) mod 12) in
+      match Tsg_circuit.Circuit_library.muller_ring_tsg ~stages:12 ~high_stages () with
+      | g ->
+        let lambda = Cycle_time.cycle_time g in
+        Fmt.pr "%6d   %10.4f   %10.4f@." k lambda (lambda /. float_of_int k)
+      | exception Invalid_argument _ ->
+        Fmt.pr "%6d   (deadlocked configuration: alternating tokens leave no room to move)@." k)
+    [ 1; 2; 3; 4; 6; 8; 10; 11 ];
+  Fmt.pr
+    "@.Few tokens: the cycle time is set by the token's round trip.@.\
+     Many tokens: the holes become the bottleneck and the cycle time rises.@."

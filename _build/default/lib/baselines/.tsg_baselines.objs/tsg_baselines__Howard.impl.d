@@ -1,0 +1,1 @@
+lib/baselines/howard.ml: Array List Token_graph Tsg_graph

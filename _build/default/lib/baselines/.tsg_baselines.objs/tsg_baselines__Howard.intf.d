@@ -1,0 +1,1 @@
+lib/baselines/howard.mli: Tsg Tsg_graph

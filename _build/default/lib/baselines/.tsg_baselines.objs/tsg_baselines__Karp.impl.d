@@ -1,0 +1,1 @@
+lib/baselines/karp.ml: Token_graph

@@ -1,0 +1,1 @@
+lib/baselines/karp.mli: Tsg

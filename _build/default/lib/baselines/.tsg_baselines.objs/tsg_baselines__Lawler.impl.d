@@ -1,0 +1,1 @@
+lib/baselines/lawler.ml: Array Fun Tsg Tsg_graph

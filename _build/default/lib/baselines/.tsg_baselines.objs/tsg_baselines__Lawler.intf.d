@@ -1,0 +1,1 @@
+lib/baselines/lawler.mli: Tsg

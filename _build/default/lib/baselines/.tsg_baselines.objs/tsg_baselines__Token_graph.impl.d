@@ -1,0 +1,1 @@
+lib/baselines/token_graph.ml: Array Fun List Tsg Tsg_graph

@@ -1,0 +1,1 @@
+lib/baselines/token_graph.mli: Tsg Tsg_graph

@@ -1,0 +1,15 @@
+let tolerance = 1e-9
+
+let cycle_time ?limit sg =
+  let cycles = Tsg.Cycles.simple_cycles ?limit sg in
+  if cycles = [] then invalid_arg "Exhaustive.cycle_time: the graph has no cycles";
+  let lambda =
+    List.fold_left (fun acc c -> max acc (Tsg.Cycles.effective_length c)) neg_infinity cycles
+  in
+  let tol = tolerance *. (1. +. abs_float lambda) in
+  let critical =
+    List.filter (fun c -> Tsg.Cycles.effective_length c >= lambda -. tol) cycles
+  in
+  (lambda, critical)
+
+let cycle_count ?limit sg = List.length (Tsg.Cycles.simple_cycles ?limit sg)

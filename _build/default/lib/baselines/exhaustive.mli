@@ -1,0 +1,15 @@
+(** The "straightforward approach" of Section II: enumerate every
+    simple cycle of the graph and take the largest effective length.
+    Exponential in the worst case — the strawman the paper's algorithm
+    replaces — but exact, and the ground truth for the property-based
+    cross-checks of the test suite. *)
+
+val cycle_time : ?limit:int -> Tsg.Signal_graph.t -> float * Tsg.Cycles.cycle list
+(** [(lambda, critical)] where [critical] are the simple cycles whose
+    effective length attains the maximum.  [limit] caps the number of
+    cycles examined (unsafe if it truncates the enumeration; intended
+    for benchmarks).
+    @raise Invalid_argument if the graph has no cycles. *)
+
+val cycle_count : ?limit:int -> Tsg.Signal_graph.t -> int
+(** Number of simple cycles of the repetitive part. *)

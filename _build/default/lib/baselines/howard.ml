@@ -1,0 +1,174 @@
+(* Howard's policy iteration for the maximum cycle mean.
+
+   A policy assigns to every vertex one out-arc; the policy graph is
+   functional, so every vertex's walk ends on a unique cycle.  Value
+   determination computes each vertex's gain (the mean of its cycle)
+   and bias; policy improvement first increases gains, then biases.
+   Terminates because the (gain, bias) vector strictly improves and
+   the policy space is finite. *)
+
+let epsilon = 1e-12
+
+type values = { eta : float array; bias : float array }
+
+let useful_vertices g =
+  (* greatest set W such that every vertex of W has a successor in W:
+     exactly the vertices from which an infinite walk (hence a cycle)
+     can be sustained *)
+  let n = Tsg_graph.Digraph.vertex_count g in
+  let in_w = Array.make n true in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for v = 0 to n - 1 do
+      if in_w.(v) then begin
+        let has_succ = List.exists (fun w -> in_w.(w)) (Tsg_graph.Digraph.succ g v) in
+        if not has_succ then begin
+          in_w.(v) <- false;
+          changed := true
+        end
+      end
+    done
+  done;
+  in_w
+
+let value_determination g in_w policy =
+  let n = Tsg_graph.Digraph.vertex_count g in
+  let eta = Array.make n neg_infinity in
+  let bias = Array.make n 0. in
+  let state = Array.make n 0 in
+  (* 0 = unseen, 1 = on current path, 2 = resolved *)
+  let weight u =
+    let v, w = policy.(u) in
+    ignore v;
+    w
+  in
+  let resolve_from root =
+    if in_w.(root) && state.(root) = 0 then begin
+      (* walk the policy until a seen vertex *)
+      let path = ref [] in
+      let v = ref root in
+      while state.(!v) = 0 do
+        state.(!v) <- 1;
+        path := !v :: !path;
+        v := fst policy.(!v)
+      done;
+      let stop = !v in
+      (if state.(stop) = 1 then begin
+         (* found a new cycle: the portion of the path from [stop] *)
+         let rec cycle_part acc = function
+           | [] -> acc
+           | u :: rest -> if u = stop then u :: acc else cycle_part (u :: acc) rest
+         in
+         let cycle = cycle_part [] !path in
+         let total = List.fold_left (fun acc u -> acc +. weight u) 0. cycle in
+         let mean = total /. float_of_int (List.length cycle) in
+         List.iter (fun u -> eta.(u) <- mean) cycle;
+         (* biases around the cycle: d[pi(u)] = d[u] - w(u) + mean *)
+         bias.(stop) <- 0.;
+         let u = ref stop in
+         let continue = ref true in
+         while !continue do
+           let next = fst policy.(!u) in
+           if next = stop then continue := false
+           else begin
+             bias.(next) <- bias.(!u) -. weight !u +. mean;
+             u := next
+           end
+         done;
+         List.iter (fun u -> state.(u) <- 2) cycle
+       end);
+      (* unwind the tree part of the path (resolved suffix-first) *)
+      List.iter
+        (fun u ->
+          if state.(u) <> 2 then begin
+            let next = fst policy.(u) in
+            eta.(u) <- eta.(next);
+            bias.(u) <- (weight u -. eta.(next)) +. bias.(next);
+            state.(u) <- 2
+          end)
+        !path
+    end
+  in
+  for v = 0 to n - 1 do
+    resolve_from v
+  done;
+  { eta; bias }
+
+let max_cycle_mean g =
+  let n = Tsg_graph.Digraph.vertex_count g in
+  if n = 0 then neg_infinity
+  else begin
+    let in_w = useful_vertices g in
+    let initial_policy v =
+      let best = ref None in
+      Tsg_graph.Digraph.iter_out g v (fun w weight ->
+          if in_w.(w) then
+            match !best with
+            | Some (_, bw) when bw >= weight -> ()
+            | _ -> best := Some (w, weight));
+      !best
+    in
+    let policy = Array.make n (-1, 0.) in
+    let any_useful = ref false in
+    for v = 0 to n - 1 do
+      if in_w.(v) then begin
+        match initial_policy v with
+        | Some p ->
+          policy.(v) <- p;
+          any_useful := true
+        | None -> assert false
+      end
+    done;
+    if not !any_useful then neg_infinity
+    else begin
+      let rec iterate guard =
+        let values = value_determination g in_w policy in
+        let changed = ref false in
+        (* gain improvement, then bias improvement *)
+        for v = 0 to n - 1 do
+          if in_w.(v) then
+            Tsg_graph.Digraph.iter_out g v (fun w weight ->
+                if in_w.(w) then begin
+                  let cur_eta = values.eta.(fst policy.(v)) in
+                  if values.eta.(w) > cur_eta +. epsilon then begin
+                    policy.(v) <- (w, weight);
+                    changed := true
+                  end
+                end)
+        done;
+        if not !changed then
+          for v = 0 to n - 1 do
+            if in_w.(v) then
+              Tsg_graph.Digraph.iter_out g v (fun w weight ->
+                  if in_w.(w) && abs_float (values.eta.(w) -. values.eta.(v)) <= epsilon
+                  then begin
+                    let cand = weight -. values.eta.(v) +. values.bias.(w) in
+                    let cur =
+                      let pv, pw = policy.(v) in
+                      pw -. values.eta.(v) +. values.bias.(pv)
+                    in
+                    if cand > cur +. epsilon then begin
+                      policy.(v) <- (w, weight);
+                      changed := true
+                    end
+                  end)
+          done;
+        if !changed && guard > 0 then iterate (guard - 1)
+        else begin
+          let best = ref neg_infinity in
+          for v = 0 to n - 1 do
+            if in_w.(v) && values.eta.(v) > !best then best := values.eta.(v)
+          done;
+          !best
+        end
+      in
+      (* policies are finite; the guard is a safety net against
+         floating-point livelock *)
+      iterate (10 * (n + 1) * (n + 1))
+    end
+  end
+
+let cycle_time sg =
+  let tg = Token_graph.make sg in
+  max_cycle_mean tg.Token_graph.graph

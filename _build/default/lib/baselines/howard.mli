@@ -1,0 +1,12 @@
+(** Maximum cycle-ratio baseline via Howard's policy iteration on the
+    {!Token_graph} (max-plus spectral theory, reference [1] of the
+    paper).  Experimentally near-linear per iteration with very few
+    iterations in practice. *)
+
+val max_cycle_mean : float Tsg_graph.Digraph.t -> float
+(** Maximum cycle mean of a weighted digraph by policy iteration
+    ([neg_infinity] on an acyclic graph). *)
+
+val cycle_time : Tsg.Signal_graph.t -> float
+(** The cycle time of the graph.
+    @raise Invalid_argument if the graph has no border events. *)

@@ -1,0 +1,3 @@
+let cycle_time sg =
+  let tg = Token_graph.make sg in
+  Token_graph.max_cycle_mean_karp tg.Token_graph.graph

@@ -1,0 +1,7 @@
+(** Maximum cycle-ratio baseline via Karp's maximum mean cycle
+    algorithm on the {!Token_graph} (related work [1, 8, 11] of the
+    paper).  O(b^2 m_H) after an O(b (n + m)) reduction. *)
+
+val cycle_time : Tsg.Signal_graph.t -> float
+(** The cycle time of the graph.
+    @raise Invalid_argument if the graph has no border events. *)

@@ -1,0 +1,49 @@
+let default_tolerance = 1e-9
+
+let repetitive_weighted sg ~lambda =
+  let n = Tsg.Signal_graph.event_count sg in
+  let dg = Tsg_graph.Digraph.create ~capacity:(max n 1) () in
+  Tsg_graph.Digraph.add_vertices dg n;
+  Array.iter
+    (fun (a : Tsg.Signal_graph.arc) ->
+      if
+        Tsg.Signal_graph.is_repetitive sg a.arc_src
+        && Tsg.Signal_graph.is_repetitive sg a.arc_dst
+      then
+        let tokens = if a.marked then 1. else 0. in
+        Tsg_graph.Digraph.add_arc dg ~src:a.arc_src ~dst:a.arc_dst
+          (a.delay -. (lambda *. tokens)))
+    (Tsg.Signal_graph.arcs sg);
+  dg
+
+let feasible sg ~lambda =
+  let dg = repetitive_weighted sg ~lambda in
+  let sources = Tsg.Signal_graph.repetitive_events sg in
+  match Tsg_graph.Paths.bellman_ford_longest dg ~weight:Fun.id ~sources with
+  | Tsg_graph.Paths.No_positive_cycle _ -> true
+  | Tsg_graph.Paths.Positive_cycle _ -> false
+
+let cycle_time ?(tolerance = default_tolerance) sg =
+  if Tsg.Signal_graph.repetitive_count sg = 0 then
+    invalid_arg "Lawler.cycle_time: no repetitive events";
+  (* upper bound: the total delay of the repetitive part dominates the
+     length of any simple cycle, and every cycle carries >= 1 token *)
+  let hi =
+    Array.fold_left
+      (fun acc (a : Tsg.Signal_graph.arc) ->
+        if
+          Tsg.Signal_graph.is_repetitive sg a.arc_src
+          && Tsg.Signal_graph.is_repetitive sg a.arc_dst
+        then acc +. a.delay
+        else acc)
+      0.
+      (Tsg.Signal_graph.arcs sg)
+  in
+  let rec search lo hi steps =
+    if hi -. lo <= tolerance || steps = 0 then (lo +. hi) /. 2.
+    else
+      let mid = (lo +. hi) /. 2. in
+      if feasible sg ~lambda:mid then search lo mid (steps - 1)
+      else search mid hi (steps - 1)
+  in
+  search 0. (hi +. 1.) 200

@@ -1,0 +1,19 @@
+(** Maximum cycle-ratio baseline by Lawler's binary search (reference
+    [11] of the paper).
+
+    A candidate ratio [lambda] is feasible iff no cycle of the
+    repetitive part has positive weight under the arc reweighting
+    [delay - lambda * tokens]; feasibility is decided by Bellman-Ford
+    positive-cycle detection.  The search interval is halved until it
+    is narrower than [tolerance]. *)
+
+val default_tolerance : float
+(** [1e-9]. *)
+
+val cycle_time : ?tolerance:float -> Tsg.Signal_graph.t -> float
+(** The cycle time, accurate to [tolerance] (absolute).
+    @raise Invalid_argument if the repetitive part is empty. *)
+
+val feasible : Tsg.Signal_graph.t -> lambda:float -> bool
+(** [feasible g ~lambda] is [true] iff every cycle [C] satisfies
+    [length C <= lambda * tokens C], i.e. iff [lambda >= cycle time]. *)

@@ -1,0 +1,98 @@
+type t = { graph : float Tsg_graph.Digraph.t; border : int array }
+
+let make sg =
+  let border = Array.of_list (Tsg.Cut_set.border sg) in
+  let b = Array.length border in
+  if b = 0 then invalid_arg "Token_graph.make: no border events";
+  let n = Tsg.Signal_graph.event_count sg in
+  let vertex_of_event = Array.make n (-1) in
+  Array.iteri (fun i e -> vertex_of_event.(e) <- i) border;
+  (* the unmarked repetitive subgraph, labelled with delays *)
+  let unmarked = Tsg_graph.Digraph.create ~capacity:(max n 1) () in
+  Tsg_graph.Digraph.add_vertices unmarked n;
+  let marked_arcs = ref [] in
+  Array.iter
+    (fun (a : Tsg.Signal_graph.arc) ->
+      if
+        Tsg.Signal_graph.is_repetitive sg a.arc_src
+        && Tsg.Signal_graph.is_repetitive sg a.arc_dst
+      then
+        if a.marked then marked_arcs := a :: !marked_arcs
+        else Tsg_graph.Digraph.add_arc unmarked ~src:a.arc_src ~dst:a.arc_dst a.delay)
+    (Tsg.Signal_graph.arcs sg);
+  let marked_arcs = List.rev !marked_arcs in
+  let h = Tsg_graph.Digraph.create ~capacity:b () in
+  Tsg_graph.Digraph.add_vertices h b;
+  Array.iteri
+    (fun gi g ->
+      let dist, _ = Tsg_graph.Paths.dag_longest unmarked ~weight:Fun.id ~sources:[ g ] in
+      (* best weight per destination border vertex *)
+      let best = Array.make b neg_infinity in
+      List.iter
+        (fun (a : Tsg.Signal_graph.arc) ->
+          if dist.(a.arc_src) > neg_infinity then begin
+            let hi = vertex_of_event.(a.arc_dst) in
+            let w = dist.(a.arc_src) +. a.delay in
+            if w > best.(hi) then best.(hi) <- w
+          end)
+        marked_arcs;
+      Array.iteri
+        (fun hi w ->
+          if w > neg_infinity then Tsg_graph.Digraph.add_arc h ~src:gi ~dst:hi w)
+        best)
+    border;
+  { graph = h; border }
+
+(* Karp (1978): in a strongly connected graph, the maximum cycle mean is
+     max_v  min_{0 <= k < n}  (D_n(v) - D_k(v)) / (n - k)
+   where D_k(v) is the maximum weight of a k-arc walk from a fixed
+   source to v (neg_infinity if none). *)
+let max_cycle_mean_component g vertices =
+  let n_total = Tsg_graph.Digraph.vertex_count g in
+  let in_comp = Array.make n_total false in
+  List.iter (fun v -> in_comp.(v) <- true) vertices;
+  match vertices with
+  | [] -> neg_infinity
+  | source :: _ ->
+    let n = List.length vertices in
+    let d = Array.make_matrix (n + 1) n_total neg_infinity in
+    d.(0).(source) <- 0.;
+    for k = 1 to n do
+      List.iter
+        (fun v ->
+          Tsg_graph.Digraph.iter_out g v (fun w weight ->
+              if in_comp.(w) && d.(k - 1).(v) > neg_infinity then begin
+                let cand = d.(k - 1).(v) +. weight in
+                if cand > d.(k).(w) then d.(k).(w) <- cand
+              end))
+        vertices
+    done;
+    let best = ref neg_infinity in
+    List.iter
+      (fun v ->
+        if d.(n).(v) > neg_infinity then begin
+          let worst = ref infinity in
+          for k = 0 to n - 1 do
+            let r =
+              if d.(k).(v) > neg_infinity then
+                (d.(n).(v) -. d.(k).(v)) /. float_of_int (n - k)
+              else infinity
+            in
+            if r < !worst then worst := r
+          done;
+          if !worst > !best then best := !worst
+        end)
+      vertices;
+    !best
+
+let max_cycle_mean_karp g =
+  let components = Tsg_graph.Scc.components g in
+  let nontrivial comp =
+    match comp with
+    | [ v ] -> List.exists (fun w -> w = v) (Tsg_graph.Digraph.succ g v)
+    | _ -> true
+  in
+  List.fold_left
+    (fun acc comp ->
+      if nontrivial comp then max acc (max_cycle_mean_component g comp) else acc)
+    neg_infinity components

@@ -1,0 +1,31 @@
+(** Reduction of the maximum cycle-ratio problem on a Timed Signal
+    Graph to a maximum {e mean} cycle problem on its border events.
+
+    Vertices of the token graph are the border events.  For every
+    marked arc [u -d-> h] and every border event [g] from which [u] is
+    reachable through unmarked arcs, the token graph has an arc
+    [g -> h] weighted by the longest unmarked-path distance from [g]
+    to [u] plus [d].  Every cycle of the Signal Graph with [eps] tokens
+    corresponds to a token-graph cycle of [eps] arcs whose weight is at
+    least the cycle's length, and every token-graph cycle expands to a
+    closed walk of the Signal Graph with one token per arc — hence the
+    maximum cycle mean of the token graph equals the maximum cycle
+    ratio (= the cycle time) of the Signal Graph.
+
+    The unmarked subgraph is acyclic for a live graph, so the longest
+    path computations are plain DAG sweeps; the reduction costs
+    O(b (n + m)).  This is the shared substrate of the {!Karp} and
+    {!Howard} baselines. *)
+
+type t = {
+  graph : float Tsg_graph.Digraph.t;  (** arcs weighted by delay *)
+  border : int array;  (** token-graph vertex -> Signal-Graph event id *)
+}
+
+val make : Tsg.Signal_graph.t -> t
+(** @raise Invalid_argument if the graph has no border events. *)
+
+val max_cycle_mean_karp : float Tsg_graph.Digraph.t -> float
+(** Karp's O(nm) maximum cycle mean of a weighted digraph (computed
+    per strongly connected component; [neg_infinity] on an acyclic
+    graph). *)

@@ -1,0 +1,1 @@
+lib/circuit/circuit_library.ml: Char Event Gate Hashtbl List Netlist Printf Signal_graph String Tsg

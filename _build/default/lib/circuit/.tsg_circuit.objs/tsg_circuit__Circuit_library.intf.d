@@ -1,0 +1,1 @@
+lib/circuit/circuit_library.mli: Netlist Tsg

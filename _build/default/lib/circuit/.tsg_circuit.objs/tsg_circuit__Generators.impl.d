@@ -1,0 +1,1 @@
+lib/circuit/generators.ml: Array Event List Printf Random Signal_graph Tsg

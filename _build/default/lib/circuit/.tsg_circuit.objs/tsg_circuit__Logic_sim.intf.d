@@ -1,0 +1,1 @@
+lib/circuit/logic_sim.mli: Netlist

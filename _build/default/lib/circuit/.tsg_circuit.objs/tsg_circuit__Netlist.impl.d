@@ -1,0 +1,1 @@
+lib/circuit/netlist.ml: Array Fmt Gate Hashtbl List Printf

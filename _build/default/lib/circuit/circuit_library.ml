@@ -1,0 +1,217 @@
+open Tsg
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 1                                                              *)
+
+let fig1_netlist () =
+  let pin driver pin_delay = { Netlist.driver; pin_delay } in
+  Netlist.make
+    ~stimuli:[ { Netlist.stim_signal = "e"; stim_value = false } ]
+    [
+      { Netlist.name = "e"; gate = Gate.Input; inputs = []; initial = true };
+      { Netlist.name = "f"; gate = Gate.Buf; inputs = [ pin "e" 3. ]; initial = true };
+      {
+        Netlist.name = "a";
+        gate = Gate.Nor;
+        inputs = [ pin "e" 2.; pin "c" 2. ];
+        initial = false;
+      };
+      {
+        Netlist.name = "b";
+        gate = Gate.Nor;
+        inputs = [ pin "f" 1.; pin "c" 1. ];
+        initial = false;
+      };
+      {
+        Netlist.name = "c";
+        gate = Gate.C;
+        inputs = [ pin "a" 3.; pin "b" 2. ];
+        initial = false;
+      };
+    ]
+
+let fig1_tsg () =
+  let e_minus = Event.fall "e"
+  and f_minus = Event.fall "f"
+  and a_plus = Event.rise "a"
+  and a_minus = Event.fall "a"
+  and b_plus = Event.rise "b"
+  and b_minus = Event.fall "b"
+  and c_plus = Event.rise "c"
+  and c_minus = Event.fall "c" in
+  Signal_graph.of_arcs
+    ~events:
+      [
+        (e_minus, Signal_graph.Initial);
+        (f_minus, Signal_graph.Non_repetitive);
+        (a_plus, Signal_graph.Repetitive);
+        (a_minus, Signal_graph.Repetitive);
+        (b_plus, Signal_graph.Repetitive);
+        (b_minus, Signal_graph.Repetitive);
+        (c_plus, Signal_graph.Repetitive);
+        (c_minus, Signal_graph.Repetitive);
+      ]
+    ~arcs:
+      [
+        (e_minus, f_minus, 3., false);
+        (e_minus, a_plus, 2., false);
+        (f_minus, b_plus, 1., false);
+        (a_plus, c_plus, 3., false);
+        (b_plus, c_plus, 2., false);
+        (c_plus, a_minus, 2., false);
+        (c_plus, b_minus, 1., false);
+        (a_minus, c_minus, 3., false);
+        (b_minus, c_minus, 2., false);
+        (c_minus, a_plus, 2., true);
+        (c_minus, b_plus, 1., true);
+      ]
+
+(* ------------------------------------------------------------------ *)
+(* Muller rings                                                        *)
+
+let stage_name stages k =
+  if stages <= 26 then String.make 1 (Char.chr (Char.code 'a' + k))
+  else Printf.sprintf "s%d" k
+
+(* marking rule for Signal Graphs extracted from a consistent initial
+   state: the arc u -> v is initially marked iff the condition that u
+   establishes already holds (u is "past": sigma(u) = 1) while v is the
+   next transition of its own signal (sigma(v) = 0) *)
+let sigma ~initial_value (dir : Event.dir) =
+  match dir with Event.Rise -> initial_value | Event.Fall -> not initial_value
+
+let consistent_marking ~value_of (u : Event.t) (v : Event.t) =
+  sigma ~initial_value:(value_of u.Event.signal) u.Event.dir
+  && not (sigma ~initial_value:(value_of v.Event.signal) v.Event.dir)
+
+let muller_ring_netlist ?(stages = 5) ?(delays = fun ~sink:_ ~driver:_ -> 1.) () =
+  if stages < 3 then invalid_arg "muller_ring_netlist: need at least 3 stages";
+  let s k = stage_name stages (k mod stages) in
+  let i k = "i" ^ s k in
+  let pin sink driver = { Netlist.driver; pin_delay = delays ~sink ~driver } in
+  let high k = k = stages - 1 in
+  let c_nodes =
+    List.init stages (fun k ->
+        {
+          Netlist.name = s k;
+          gate = Gate.C;
+          inputs = [ pin (s k) (s (k + stages - 1)); pin (s k) (i (k + 1)) ];
+          initial = high k;
+        })
+  in
+  let inv_nodes =
+    List.init stages (fun k ->
+        {
+          Netlist.name = i k;
+          gate = Gate.Not;
+          inputs = [ pin (i k) (s k) ];
+          initial = not (high k);
+        })
+  in
+  Netlist.make (c_nodes @ inv_nodes)
+
+let muller_ring_tsg ?(delay = 1.) ?delays ?high_stages ~stages () =
+  if stages < 3 then invalid_arg "muller_ring_tsg: need at least 3 stages";
+  let delays = match delays with Some f -> f | None -> fun ~sink:_ ~driver:_ -> delay in
+  let high_stages = match high_stages with Some l -> l | None -> [ stages - 1 ] in
+  if high_stages = [] then invalid_arg "muller_ring_tsg: no data token";
+  if List.length (List.sort_uniq compare high_stages) >= stages then
+    invalid_arg "muller_ring_tsg: a ring full of tokens deadlocks";
+  List.iter
+    (fun k ->
+      if k < 0 || k >= stages then invalid_arg "muller_ring_tsg: stage out of range")
+    high_stages;
+  let s k = stage_name stages (k mod stages) in
+  let i k = "i" ^ s (k mod stages) in
+  let s_high k = List.mem (k mod stages) high_stages in
+  let stage_of_name = Hashtbl.create (2 * stages) in
+  for k = 0 to stages - 1 do
+    Hashtbl.add stage_of_name (s k) (`Stage k);
+    Hashtbl.add stage_of_name (i k) (`Inverter k)
+  done;
+  let value_of name =
+    match Hashtbl.find stage_of_name name with
+    | `Stage k -> s_high k
+    | `Inverter k -> not (s_high k)
+  in
+  let b = Signal_graph.builder () in
+  let declare name =
+    Signal_graph.add_event b (Event.rise name) Signal_graph.Repetitive;
+    Signal_graph.add_event b (Event.fall name) Signal_graph.Repetitive
+  in
+  for k = 0 to stages - 1 do
+    declare (s k)
+  done;
+  for k = 0 to stages - 1 do
+    declare (i k)
+  done;
+  let arc (u : Event.t) (v : Event.t) =
+    (* the arc's delay is the pin of gate [v.signal] driven by [u.signal] *)
+    Signal_graph.add_arc b
+      ~marked:(consistent_marking ~value_of u v)
+      ~delay:(delays ~sink:v.Event.signal ~driver:u.Event.signal)
+      u v
+  in
+  for k = 0 to stages - 1 do
+    (* C-element s_k = C(s_(k-1), i_(k+1)) *)
+    arc (Event.rise (s (k + stages - 1))) (Event.rise (s k));
+    arc (Event.rise (i (k + 1))) (Event.rise (s k));
+    arc (Event.fall (s (k + stages - 1))) (Event.fall (s k));
+    arc (Event.fall (i (k + 1))) (Event.fall (s k));
+    (* inverter i_k = NOT s_k *)
+    arc (Event.rise (s k)) (Event.fall (i k));
+    arc (Event.fall (s k)) (Event.rise (i k))
+  done;
+  Signal_graph.build_exn b
+
+(* ------------------------------------------------------------------ *)
+(* Stack controller ring                                               *)
+
+(* A ring of 4-phase handshake cells (r_i, a_i) closed by a top-level
+   [go] sequencer.  Initially everything is low except [go]; the
+   consistent-marking rule places the tokens.  [skip] drops the
+   late-backward arc of the final cell pair, which is how a stack's
+   topmost cell talks to the environment directly; it also makes the
+   66-event instance match the paper's 112 arcs exactly. *)
+let handshake_ring ?(delay = 1.) ~cells ~skip_last_backward () =
+  if cells < 2 then invalid_arg "handshake_ring_tsg: need at least 2 cells";
+  let r k = Printf.sprintf "r%d" k and a k = Printf.sprintf "a%d" k in
+  let value_of name = name = "go" in
+  let b = Signal_graph.builder () in
+  let declare name =
+    Signal_graph.add_event b (Event.rise name) Signal_graph.Repetitive;
+    Signal_graph.add_event b (Event.fall name) Signal_graph.Repetitive
+  in
+  for k = 0 to cells - 1 do
+    declare (r k);
+    declare (a k)
+  done;
+  declare "go";
+  let arc u v =
+    Signal_graph.add_arc b ~marked:(consistent_marking ~value_of u v) ~delay u v
+  in
+  for k = 0 to cells - 1 do
+    (* the cell's own 4-phase cycle *)
+    arc (Event.rise (r k)) (Event.rise (a k));
+    arc (Event.rise (a k)) (Event.fall (r k));
+    arc (Event.fall (r k)) (Event.fall (a k));
+    arc (Event.fall (a k)) (Event.rise (r k))
+  done;
+  for k = 0 to cells - 2 do
+    (* forward propagation and backward flow control *)
+    arc (Event.rise (a k)) (Event.rise (r (k + 1)));
+    arc (Event.rise (a (k + 1))) (Event.fall (r k))
+  done;
+  for k = 0 to cells - 2 - if skip_last_backward then 1 else 0 do
+    (* a cell may issue a fresh request once the next one has reset *)
+    arc (Event.fall (a (k + 1))) (Event.rise (r k))
+  done;
+  (* the go sequencer closes the ring *)
+  arc (Event.rise (a (cells - 1))) (Event.rise "go");
+  arc (Event.rise "go") (Event.rise (r 0));
+  arc (Event.fall (a (cells - 1))) (Event.fall "go");
+  arc (Event.fall "go") (Event.rise "go");
+  Signal_graph.build_exn b
+
+let async_stack_tsg ?delay () = handshake_ring ?delay ~cells:16 ~skip_last_backward:true ()
+let handshake_ring_tsg ?delay ~cells () = handshake_ring ?delay ~cells ~skip_last_backward:false ()

@@ -1,0 +1,67 @@
+(** The circuits and Timed Signal Graphs used in the paper, plus
+    parametric generators for benchmarks.
+
+    Hand-built graphs follow Fig. 1b/2c and Fig. 5 of the paper
+    exactly; the net-lists reproduce the gate structures of Fig. 1a
+    and Fig. 5, so that extracting a Signal Graph from them
+    (see {!Tsg_extract.Traspec}) must reproduce the hand-built
+    graphs. *)
+
+(** {1 The Fig. 1 C-element oscillator (Sections II, VIII.C)} *)
+
+val fig1_netlist : unit -> Netlist.t
+(** The circuit of Fig. 1a: [a = NOR(e, c)], [b = NOR(f, c)],
+    [c = C(a, b)], [f = BUF(e)], input [e]; initial state
+    [{a, b, c, f, e} = {0, 0, 0, 1, 1}]; the environment lowers [e] at
+    time 0.  Pin delays as annotated in Fig. 1a. *)
+
+val fig1_tsg : unit -> Tsg.Signal_graph.t
+(** The Timed Signal Graph of Fig. 1b / 2c: events [e-] (initial),
+    [f-] (non-repetitive), and the repetitive [a+-, b+-, c+-]; the
+    arcs [c- -> a+] and [c- -> b+] are initially marked; cycle time
+    10, critical cycle [a+ -> c+ -> a- -> c- -> a+]. *)
+
+(** {1 Muller rings (Section VIII.D)} *)
+
+val muller_ring_netlist :
+  ?stages:int -> ?delays:(sink:string -> driver:string -> float) -> unit -> Netlist.t
+(** The Fig. 5 ring of C-elements with inverter feedback:
+    [s_k = C(s_(k-1), NOT s_(k+1))]; the last stage starts high (one
+    data token), the rest low.  With the default 5 stages the signals
+    are named [a..e] and [ia..ie] as in the paper.  [delays] assigns
+    each pin's propagation delay (default: 1 everywhere) — giving both
+    this netlist and {!muller_ring_tsg} the same [delays] function
+    must produce matching timing, which the test suite fuzzes.
+    @raise Invalid_argument if [stages < 3]. *)
+
+val muller_ring_tsg :
+  ?delay:float ->
+  ?delays:(sink:string -> driver:string -> float) ->
+  ?high_stages:int list ->
+  stages:int ->
+  unit ->
+  Tsg.Signal_graph.t
+(** The Signal Graph of a Muller ring.  [high_stages] selects which
+    C-element outputs start at 1 (default: the last stage only, as in
+    Fig. 5).  Arc delays come from [delays ~sink ~driver] (the pin of
+    gate [sink] driven by [driver]); the uniform [delay] (default 1)
+    is used when [delays] is absent.  The graph has [4*stages] events
+    and [6*stages] arcs.
+    @raise Invalid_argument if [stages < 3], if [high_stages] is empty
+    or covers all stages (the ring would deadlock), or the resulting
+    graph fails validation. *)
+
+(** {1 The asynchronous stack (Section VIII.B)} *)
+
+val async_stack_tsg : ?delay:float -> unit -> Tsg.Signal_graph.t
+(** A 66-event, 112-arc Signal Graph of a 16-cell stack controller
+    ring with a top-level [go] sequencer — the size the paper reports
+    for its "asynchronous stack with constant response time" runtime
+    measurement (74 CPU ms on a DEC 5000).  The paper gives only the
+    event/arc counts; this generator reproduces that size and the
+    pipelined-ring topology class of such controllers. *)
+
+val handshake_ring_tsg : ?delay:float -> cells:int -> unit -> Tsg.Signal_graph.t
+(** The same stack-controller structure with a configurable number of
+    cells ([4*cells + 2] events); used for scaling benchmarks.
+    @raise Invalid_argument if [cells < 2]. *)

@@ -1,0 +1,91 @@
+open Tsg
+
+let fresh_events n =
+  List.init n (fun k -> Event.rise (Printf.sprintf "e%d" k))
+
+let ring_tsg ?(delay = 1.) ~events ~tokens () =
+  if events < 1 then invalid_arg "ring_tsg: need at least one event";
+  if tokens < 1 || tokens > events then invalid_arg "ring_tsg: tokens out of range";
+  let evs = Array.of_list (fresh_events events) in
+  let b = Signal_graph.builder () in
+  Array.iter (fun ev -> Signal_graph.add_event b ev Signal_graph.Repetitive) evs;
+  (* spread the tokens evenly: arc k -> k+1 is marked iff the token
+     counter crosses an integer boundary *)
+  for k = 0 to events - 1 do
+    let marked = (k + 1) * tokens / events > k * tokens / events in
+    Signal_graph.add_arc b ~marked ~delay evs.(k) evs.((k + 1) mod events)
+  done;
+  Signal_graph.build_exn b
+
+let random_live_tsg ?(seed = 42) ?(max_delay = 10) ~events ~extra_arcs () =
+  if events < 2 then invalid_arg "random_live_tsg: need at least two events";
+  let rng = Random.State.make [| seed; events; extra_arcs |] in
+  let delay () = float_of_int (Random.State.int rng (max_delay + 1)) in
+  let evs = Array.of_list (fresh_events events) in
+  let b = Signal_graph.builder () in
+  Array.iter (fun ev -> Signal_graph.add_event b ev Signal_graph.Repetitive) evs;
+  for k = 0 to events - 1 do
+    Signal_graph.add_arc b
+      ~marked:(k = events - 1)
+      ~delay:(delay ()) evs.(k)
+      evs.((k + 1) mod events)
+  done;
+  for _ = 1 to extra_arcs do
+    let u = Random.State.int rng events in
+    let v =
+      let v = Random.State.int rng (events - 1) in
+      if v >= u then v + 1 else v
+    in
+    (* forward chords (u < v) may be unmarked: they cannot close a
+       token-free cycle because every backward arc carries a token *)
+    let marked = if u < v then Random.State.bool rng else true in
+    Signal_graph.add_arc b ~marked ~delay:(delay ()) evs.(u) evs.(v)
+  done;
+  Signal_graph.build_exn b
+
+let fork_join_tsg ?(delay = 1.) ~branches () =
+  if branches = [] then invalid_arg "fork_join_tsg: no branches";
+  List.iter
+    (fun len -> if len < 1 then invalid_arg "fork_join_tsg: branch length must be >= 1")
+    branches;
+  let b = Signal_graph.builder () in
+  let declare name =
+    let ev = Event.rise name in
+    Signal_graph.add_event b ev Signal_graph.Repetitive;
+    ev
+  in
+  let source = declare "fork" and sink = declare "join" in
+  List.iteri
+    (fun i len ->
+      let stage k = declare (Printf.sprintf "b%d_%d" i k) in
+      let first = stage 0 in
+      Signal_graph.add_arc b ~delay source first;
+      let last =
+        List.fold_left
+          (fun prev k ->
+            let next = stage k in
+            Signal_graph.add_arc b ~delay prev next;
+            next)
+          first
+          (List.init (len - 1) (fun k -> k + 1))
+      in
+      Signal_graph.add_arc b ~delay last sink)
+    branches;
+  Signal_graph.add_arc b ~marked:true ~delay sink source;
+  Signal_graph.build_exn b
+
+let complete_tsg ?(seed = 42) ?(max_delay = 10) ~events () =
+  if events < 2 then invalid_arg "complete_tsg: need at least two events";
+  let rng = Random.State.make [| seed; events |] in
+  let evs = Array.of_list (fresh_events events) in
+  let b = Signal_graph.builder () in
+  Array.iter (fun ev -> Signal_graph.add_event b ev Signal_graph.Repetitive) evs;
+  for u = 0 to events - 1 do
+    for v = 0 to events - 1 do
+      if u <> v then
+        Signal_graph.add_arc b ~marked:true
+          ~delay:(float_of_int (Random.State.int rng (max_delay + 1)))
+          evs.(u) evs.(v)
+    done
+  done;
+  Signal_graph.build_exn b

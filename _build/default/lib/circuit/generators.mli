@@ -1,0 +1,45 @@
+(** Parametric and random Timed Signal Graph generators, used by the
+    scaling benchmarks (experiment E10 of DESIGN.md) and by the
+    property-based test suite. *)
+
+val ring_tsg : ?delay:float -> events:int -> tokens:int -> unit -> Tsg.Signal_graph.t
+(** A single directed cycle of [events] repetitive events with
+    [tokens] marked arcs evenly spaced; every arc has the same
+    [delay] (default 1), so the cycle time is
+    [delay * events / tokens].
+    @raise Invalid_argument if [events < 1] or [tokens] is not in
+    [1 .. events]. *)
+
+val random_live_tsg :
+  ?seed:int ->
+  ?max_delay:int ->
+  events:int ->
+  extra_arcs:int ->
+  unit ->
+  Tsg.Signal_graph.t
+(** A random live, strongly connected Timed Signal Graph: a marked
+    ring backbone over [events] repetitive events plus [extra_arcs]
+    random chords.  Forward chords (in backbone order) are marked with
+    probability 1/2; backward chords are always marked, so no
+    token-free cycle can arise.  Delays are uniform integers in
+    [0 .. max_delay] (default 10), represented exactly as floats so
+    that different algorithms can be compared without rounding slack.
+    Deterministic for a given [seed]. *)
+
+val fork_join_tsg :
+  ?delay:float -> branches:int list -> unit -> Tsg.Signal_graph.t
+(** A fork/join loop: a source event fans out into one chain of
+    events per entry of [branches] (the entry is the chain length), a
+    join event waits for every chain, and a single marked arc closes
+    the loop back to the source.  With unit [delay] the cycle time is
+    [max branches + 2] — the longest branch plus the fork and join
+    hops — a closed form the tests exploit.
+    @raise Invalid_argument if [branches] is empty or contains a
+    non-positive length. *)
+
+val complete_tsg : ?seed:int -> ?max_delay:int -> events:int -> unit -> Tsg.Signal_graph.t
+(** The complete digraph on [events] repetitive events, every arc
+    marked, with random integer delays: the number of simple cycles
+    grows super-exponentially, which is the worst case for the
+    exhaustive baseline (the paper's Section II strawman).
+    @raise Invalid_argument if [events < 2]. *)

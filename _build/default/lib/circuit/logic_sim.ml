@@ -1,0 +1,159 @@
+type change = { at : float; node : string; value : bool }
+
+type outcome = { trace : change list; final_state : bool array; quiescent : bool }
+
+(* binary min-heap on (time, sequence number) *)
+module Heap = struct
+  type entry = { time : float; seq : int; apply : unit -> unit }
+
+  type t = { mutable data : entry array; mutable size : int }
+
+  let dummy = { time = 0.; seq = 0; apply = ignore }
+  let create () = { data = Array.make 64 dummy; size = 0 }
+
+  let less a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+  let push h e =
+    if h.size = Array.length h.data then begin
+      let data' = Array.make (2 * h.size) dummy in
+      Array.blit h.data 0 data' 0 h.size;
+      h.data <- data'
+    end;
+    h.data.(h.size) <- e;
+    let i = ref h.size in
+    h.size <- h.size + 1;
+    while !i > 0 && less h.data.(!i) h.data.((!i - 1) / 2) do
+      let p = (!i - 1) / 2 in
+      let tmp = h.data.(p) in
+      h.data.(p) <- h.data.(!i);
+      h.data.(!i) <- tmp;
+      i := p
+    done
+
+  let pop h =
+    assert (h.size > 0);
+    let top = h.data.(0) in
+    h.size <- h.size - 1;
+    h.data.(0) <- h.data.(h.size);
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      if l < h.size && less h.data.(l) h.data.(!smallest) then smallest := l;
+      if r < h.size && less h.data.(r) h.data.(!smallest) then smallest := r;
+      if !smallest = !i then continue := false
+      else begin
+        let tmp = h.data.(!smallest) in
+        h.data.(!smallest) <- h.data.(!i);
+        h.data.(!i) <- tmp;
+        i := !smallest
+      end
+    done;
+    top
+
+  let is_empty h = h.size = 0
+end
+
+(* Per-pin delay-line semantics: every input pin delays its driver's
+   waveform by the pin delay, and the gate function applies
+   instantaneously to the delayed values.  The output transition time
+   is therefore max over the contributing inputs of (input transition
+   time + pin delay) — exactly the Timed Signal Graph's MAX execution
+   model with per-arc delays, which is what keeps this simulator and
+   the timing simulation bit-identical (the test suite fuzzes this on
+   rings with random pin delays). *)
+let run ?(horizon = 1e6) ?(max_events = 100_000) net =
+  let n = Netlist.node_count net in
+  let state = Netlist.initial_state net in
+  (* delayed pin values, per node, per input position *)
+  let pins =
+    Array.init n (fun i ->
+        let node = Netlist.node_of_index net i in
+        Array.of_list
+          (List.map
+             (fun (p : Netlist.pin) -> state.(Netlist.index net p.driver))
+             node.Netlist.inputs))
+  in
+  let pin_delays =
+    Array.init n (fun i ->
+        let node = Netlist.node_of_index net i in
+        Array.of_list (List.map (fun (p : Netlist.pin) -> p.Netlist.pin_delay) node.Netlist.inputs))
+  in
+  let pin_positions =
+    (* for each driver: the (sink, position) pairs it feeds *)
+    let table = Array.make n [] in
+    Array.iteri
+      (fun sink node ->
+        List.iteri
+          (fun pos (p : Netlist.pin) ->
+            let d = Netlist.index net p.Netlist.driver in
+            table.(d) <- (sink, pos) :: table.(d))
+          node.Netlist.inputs)
+      (Netlist.nodes net);
+    Array.map List.rev table
+  in
+  let eval_on_pins i =
+    let node = Netlist.node_of_index net i in
+    Gate.eval node.Netlist.gate ~current:state.(i) ~inputs:(Array.to_list pins.(i))
+  in
+  let heap = Heap.create () in
+  let seq = ref 0 in
+  let schedule time apply =
+    incr seq;
+    Heap.push heap { Heap.time; seq = !seq; apply }
+  in
+  let trace = ref [] in
+  let events = ref 0 in
+  let rec output_change time node value =
+    if value <> state.(node) then begin
+      state.(node) <- value;
+      trace :=
+        { at = time; node = (Netlist.node_of_index net node).Netlist.name; value }
+        :: !trace;
+      incr events;
+      List.iter
+        (fun (sink, pos) ->
+          let arrival = time +. pin_delays.(sink).(pos) in
+          schedule arrival (fun () -> pin_update arrival sink pos value))
+        pin_positions.(node)
+    end
+  and pin_update time sink pos value =
+    if pins.(sink).(pos) <> value then begin
+      pins.(sink).(pos) <- value;
+      let next = eval_on_pins sink in
+      if next <> state.(sink) then output_change time sink next
+    end
+  in
+  (* stimuli switch the primary inputs at time 0 *)
+  List.iter
+    (fun (s : Netlist.stimulus) ->
+      let node = Netlist.index net s.stim_signal in
+      schedule 0. (fun () -> output_change 0. node s.stim_value))
+    (Netlist.stimuli net);
+  (* gates already excited on their (initial) delayed pins fire at 0:
+     their input conditions were established in the past *)
+  for node = 0 to n - 1 do
+    if (Netlist.node_of_index net node).Netlist.gate <> Gate.Input then begin
+      let next = eval_on_pins node in
+      if next <> state.(node) then schedule 0. (fun () -> output_change 0. node next)
+    end
+  done;
+  let quiescent = ref true in
+  let rec drain () =
+    if not (Heap.is_empty heap) then begin
+      let e = Heap.pop heap in
+      if e.Heap.time > horizon || !events >= max_events then quiescent := false
+      else begin
+        e.Heap.apply ();
+        drain ()
+      end
+    end
+  in
+  drain ();
+  { trace = List.rev !trace; final_state = state; quiescent = !quiescent }
+
+let transitions_of outcome name =
+  List.filter_map
+    (fun c -> if c.node = name then Some (c.at, c.value) else None)
+    outcome.trace

@@ -1,0 +1,33 @@
+(** Event-driven gate-level simulation with per-pin delay lines.
+
+    Every input pin delays its driver's waveform by the pin delay and
+    the gate function applies instantaneously to the delayed values,
+    so an output transition lands at [max_i (t_i + delay_i)] over the
+    inputs establishing the excitation.  This is exactly the Timed
+    Signal Graph's MAX execution model with per-arc delays (Section
+    III.C of the paper) — an inertial last-input-plus-delay model would
+    disagree as soon as an early input carries a larger pin delay than
+    the last one, a discrepancy the test suite's random-delay fuzz
+    would catch.  For the speed-independent circuits this library
+    targets the delayed waveforms are hazard-free, so the pure-delay
+    and inertial interpretations only differ on ill-formed circuits. *)
+
+type change = {
+  at : float;  (** when the output switches *)
+  node : string;
+  value : bool;  (** the new output value *)
+}
+
+type outcome = {
+  trace : change list;  (** all output changes, chronologically *)
+  final_state : bool array;  (** node values when the run stopped *)
+  quiescent : bool;  (** [true] if the circuit stabilised before the horizon *)
+}
+
+val run : ?horizon:float -> ?max_events:int -> Netlist.t -> outcome
+(** Simulates from the initial state, applying the stimuli at time 0.
+    Stops when no event is pending (quiescent), or at [horizon]
+    (default [1e6]) or after [max_events] changes (default 100000). *)
+
+val transitions_of : outcome -> string -> (float * bool) list
+(** The changes of one node, chronologically. *)

@@ -1,0 +1,101 @@
+type pin = { driver : string; pin_delay : float }
+type node = { name : string; gate : Gate.t; inputs : pin list; initial : bool }
+type stimulus = { stim_signal : string; stim_value : bool }
+
+type t = {
+  node_table : node array;
+  stim_list : stimulus list;
+  name_index : (string, int) Hashtbl.t;
+  fanout_table : int list array;
+}
+
+let make ?(stimuli = []) node_list =
+  let node_table = Array.of_list node_list in
+  let n = Array.length node_table in
+  let name_index = Hashtbl.create (max n 1) in
+  Array.iteri
+    (fun i node ->
+      if Hashtbl.mem name_index node.name then
+        invalid_arg (Printf.sprintf "Netlist.make: duplicate node %S" node.name);
+      Hashtbl.add name_index node.name i)
+    node_table;
+  Array.iter
+    (fun node ->
+      if not (Gate.arity_ok node.gate (List.length node.inputs)) then
+        invalid_arg
+          (Printf.sprintf "Netlist.make: node %S: %s gate with %d inputs" node.name
+             (Gate.to_string node.gate) (List.length node.inputs));
+      List.iter
+        (fun pin ->
+          if not (Hashtbl.mem name_index pin.driver) then
+            invalid_arg
+              (Printf.sprintf "Netlist.make: node %S reads undefined node %S" node.name
+                 pin.driver);
+          if pin.pin_delay < 0. then
+            invalid_arg
+              (Printf.sprintf "Netlist.make: node %S has a negative pin delay" node.name))
+        node.inputs)
+    node_table;
+  List.iter
+    (fun s ->
+      match Hashtbl.find_opt name_index s.stim_signal with
+      | None ->
+        invalid_arg (Printf.sprintf "Netlist.make: stimulus on undefined node %S" s.stim_signal)
+      | Some i ->
+        if node_table.(i).gate <> Gate.Input then
+          invalid_arg
+            (Printf.sprintf "Netlist.make: stimulus on non-input node %S" s.stim_signal);
+        if node_table.(i).initial = s.stim_value then
+          invalid_arg
+            (Printf.sprintf "Netlist.make: stimulus on %S does not change its value"
+               s.stim_signal))
+    stimuli;
+  let fanout_table = Array.make (max n 1) [] in
+  Array.iteri
+    (fun i node ->
+      List.iter
+        (fun pin ->
+          let d = Hashtbl.find name_index pin.driver in
+          fanout_table.(d) <- i :: fanout_table.(d))
+        node.inputs)
+    node_table;
+  Array.iteri (fun i l -> fanout_table.(i) <- List.rev l) fanout_table;
+  { node_table; stim_list = stimuli; name_index; fanout_table }
+
+let nodes t = t.node_table
+let stimuli t = t.stim_list
+let node_count t = Array.length t.node_table
+let index t name = Hashtbl.find t.name_index name
+let node_of_index t i = t.node_table.(i)
+let initial_state t = Array.map (fun node -> node.initial) t.node_table
+
+let eval_node t state i =
+  let node = t.node_table.(i) in
+  let inputs = List.map (fun pin -> state.(index t pin.driver)) node.inputs in
+  Gate.eval node.gate ~current:state.(i) ~inputs
+
+let is_stable t state name =
+  let i = index t name in
+  eval_node t state i = state.(i)
+
+let fanout t i = t.fanout_table.(i)
+
+let pin_delay t ~driver ~sink =
+  let node = t.node_table.(sink) in
+  let driver_name = t.node_table.(driver).name in
+  match List.find_opt (fun pin -> pin.driver = driver_name) node.inputs with
+  | Some pin -> pin.pin_delay
+  | None -> raise Not_found
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>netlist: %d nodes" (node_count t);
+  Array.iter
+    (fun node ->
+      Fmt.pf ppf "@,  %s = %a(%a) init=%b" node.name Gate.pp node.gate
+        Fmt.(list ~sep:(any ", ") (fun ppf pin -> Fmt.pf ppf "%s:%g" pin.driver pin.pin_delay))
+        node.inputs node.initial)
+    t.node_table;
+  List.iter
+    (fun s -> Fmt.pf ppf "@,  stimulus: %s := %b at t=0" s.stim_signal s.stim_value)
+    t.stim_list;
+  Fmt.pf ppf "@]"

@@ -1,0 +1,56 @@
+(** Gate-level net-lists with per-input-pin delays and an initial
+    state — the circuit representation the paper's flow starts from
+    (Fig. 1a). *)
+
+type pin = {
+  driver : string;  (** name of the node driving this input *)
+  pin_delay : float;  (** propagation delay from this input to the output *)
+}
+
+type node = {
+  name : string;
+  gate : Gate.t;
+  inputs : pin list;
+  initial : bool;  (** initial output value *)
+}
+
+type stimulus = {
+  stim_signal : string;  (** must name an [Input] node *)
+  stim_value : bool;  (** the value the environment drives at time 0 *)
+}
+
+type t
+
+val make : ?stimuli:stimulus list -> node list -> t
+(** Builds and validates a net-list: node names unique, every pin
+    driver defined, gate arities respected, stimuli name [Input]
+    nodes and actually change their value.
+    @raise Invalid_argument with a description otherwise. *)
+
+val nodes : t -> node array
+val stimuli : t -> stimulus list
+val node_count : t -> int
+
+val index : t -> string -> int
+(** @raise Not_found for an unknown node name. *)
+
+val node_of_index : t -> int -> node
+val initial_state : t -> bool array
+(** Initial value per node index. *)
+
+val is_stable : t -> bool array -> string -> bool
+(** Whether the named node's output agrees with its excitation in the
+    given state (an [Input] node is stable unless a pending stimulus
+    disagrees — pass the post-stimulus state to ignore that). *)
+
+val eval_node : t -> bool array -> int -> bool
+(** The excitation (next value) of node [i] in the given state. *)
+
+val fanout : t -> int -> int list
+(** Indices of the nodes that read node [i]'s output. *)
+
+val pin_delay : t -> driver:int -> sink:int -> float
+(** The delay of the pin of [sink] driven by [driver].
+    @raise Not_found if no such pin. *)
+
+val pp : t Fmt.t

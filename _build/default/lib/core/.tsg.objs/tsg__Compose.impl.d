@@ -1,0 +1,1 @@
+lib/core/compose.ml: Array Event Fmt Hashtbl List Signal_graph

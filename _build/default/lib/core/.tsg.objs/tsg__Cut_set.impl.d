@@ -1,0 +1,1 @@
+lib/core/cut_set.ml: Array List Signal_graph Tsg_graph

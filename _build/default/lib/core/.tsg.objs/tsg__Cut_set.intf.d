@@ -1,0 +1,1 @@
+lib/core/cut_set.mli: Signal_graph

@@ -1,0 +1,1 @@
+lib/core/cycle_time.ml: Array Cut_set Cycles List Parallel Signal_graph Timing_sim Unfolding

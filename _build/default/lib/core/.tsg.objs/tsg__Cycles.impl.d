@@ -1,0 +1,1 @@
+lib/core/cycles.ml: Array Event Fmt Hashtbl List Signal_graph Tsg_graph

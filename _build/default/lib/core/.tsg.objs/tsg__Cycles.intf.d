@@ -1,0 +1,1 @@
+lib/core/cycles.mli: Fmt Signal_graph

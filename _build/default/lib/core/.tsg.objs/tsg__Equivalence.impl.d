@@ -1,0 +1,1 @@
+lib/core/equivalence.ml: Array Cut_set Event Float Fmt List Signal_graph Steady_state Timing_sim Unfolding

@@ -1,0 +1,1 @@
+lib/core/er_system.ml: Cycle_time Event Hashtbl List Printf Signal_graph

@@ -1,0 +1,1 @@
+lib/core/er_system.mli: Cycle_time Event Signal_graph

@@ -1,0 +1,1 @@
+lib/core/event.ml: Fmt Hashtbl Int Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/core/interval.ml: Array Cycle_time Printf Signal_graph Timing_sim Transform Unfolding

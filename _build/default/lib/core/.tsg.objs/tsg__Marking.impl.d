@@ -1,0 +1,1 @@
+lib/core/marking.ml: Array Event Hashtbl List Printf Signal_graph

@@ -1,0 +1,1 @@
+lib/core/monte_carlo.ml: Array Cut_set Cycle_time Float Fun Parallel Random Signal_graph Unfolding

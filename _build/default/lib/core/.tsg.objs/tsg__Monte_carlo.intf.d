@@ -1,0 +1,1 @@
+lib/core/monte_carlo.mli: Random Signal_graph

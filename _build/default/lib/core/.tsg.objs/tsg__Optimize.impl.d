@@ -1,0 +1,1 @@
+lib/core/optimize.ml: Array Cycle_time Float Fun List Signal_graph Slack Transform Tsg_graph

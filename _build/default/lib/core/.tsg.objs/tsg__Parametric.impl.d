@@ -1,0 +1,1 @@
+lib/core/parametric.ml: Array Cut_set Cycle_time Float Hashtbl List Signal_graph Unfolding

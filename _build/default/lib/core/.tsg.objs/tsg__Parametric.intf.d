@@ -1,0 +1,1 @@
+lib/core/parametric.mli: Signal_graph

@@ -1,0 +1,1 @@
+lib/core/pert.ml: Array Event Float Fmt List Signal_graph Timing_sim Tsg_graph Unfolding

@@ -1,0 +1,1 @@
+lib/core/pert.mli: Fmt Signal_graph

@@ -1,0 +1,1 @@
+lib/core/separation.ml: Array Cut_set Event List Printf Signal_graph Steady_state Timing_sim Unfolding

@@ -1,0 +1,1 @@
+lib/core/signal_graph.ml: Array Event Fmt Hashtbl List Printf Tsg_graph

@@ -1,0 +1,1 @@
+lib/core/signal_graph.mli: Event Fmt Tsg_graph

@@ -1,0 +1,1 @@
+lib/core/simplify.ml: Array Equivalence Fun List Signal_graph

@@ -1,0 +1,1 @@
+lib/core/slack.ml: Array Cycle_time Cycles Float Fun Hashtbl Int List Signal_graph Tsg_graph

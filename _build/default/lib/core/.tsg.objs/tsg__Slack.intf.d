@@ -1,0 +1,1 @@
+lib/core/slack.mli: Cycles Signal_graph

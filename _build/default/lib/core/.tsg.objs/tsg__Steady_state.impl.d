@@ -1,0 +1,1 @@
+lib/core/steady_state.ml: Array Cut_set Cycle_time List Signal_graph Timing_sim Unfolding

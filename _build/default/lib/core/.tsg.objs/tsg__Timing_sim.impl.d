@@ -1,0 +1,1 @@
+lib/core/timing_sim.ml: Array List Signal_graph Unfolding

@@ -1,0 +1,1 @@
+lib/core/token_sim.ml: Array Float Int List Queue Signal_graph

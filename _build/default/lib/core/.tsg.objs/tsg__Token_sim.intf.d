@@ -1,0 +1,1 @@
+lib/core/token_sim.mli: Signal_graph

@@ -1,0 +1,1 @@
+lib/core/transform.ml: Array Event Signal_graph

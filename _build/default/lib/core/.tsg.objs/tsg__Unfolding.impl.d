@@ -1,0 +1,1 @@
+lib/core/unfolding.ml: Array Event Fmt List Printf Signal_graph Tsg_graph

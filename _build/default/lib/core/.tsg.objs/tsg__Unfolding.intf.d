@@ -1,0 +1,1 @@
+lib/core/unfolding.mli: Fmt Signal_graph Tsg_graph

@@ -1,0 +1,70 @@
+type pre = {
+  events : (Event.t * Signal_graph.event_class) list; (* declaration order *)
+  arcs : (Event.t * Event.t * float * bool) list;
+}
+
+let of_signal_graph g =
+  let events =
+    List.init (Signal_graph.event_count g) (fun i ->
+        (Signal_graph.event g i, Signal_graph.class_of g i))
+  in
+  let arcs =
+    Array.to_list
+      (Array.map
+         (fun (a : Signal_graph.arc) ->
+           (Signal_graph.event g a.arc_src, Signal_graph.event g a.arc_dst, a.delay, a.marked))
+         (Signal_graph.arcs g))
+  in
+  { events; arcs }
+
+let block ~events ~arcs = { events; arcs }
+
+let union pres =
+  let seen : (Event.t, Signal_graph.event_class) Hashtbl.t = Hashtbl.create 64 in
+  let events = ref [] in
+  List.iter
+    (fun pre ->
+      List.iter
+        (fun (ev, cls) ->
+          match Hashtbl.find_opt seen ev with
+          | None ->
+            Hashtbl.add seen ev cls;
+            events := (ev, cls) :: !events
+          | Some cls' ->
+            if cls <> cls' then
+              invalid_arg
+                (Fmt.str "Compose.union: event %a has conflicting classes" Event.pp ev))
+        pre.events)
+    pres;
+  { events = List.rev !events; arcs = List.concat_map (fun p -> p.arcs) pres }
+
+let link pre ~arcs =
+  let declared ev = List.exists (fun (e, _) -> Event.equal e ev) pre.events in
+  List.iter
+    (fun (u, v, _, _) ->
+      if not (declared u) then
+        invalid_arg (Fmt.str "Compose.link: event %a is not in the composition" Event.pp u);
+      if not (declared v) then
+        invalid_arg (Fmt.str "Compose.link: event %a is not in the composition" Event.pp v))
+    arcs;
+  { pre with arcs = pre.arcs @ arcs }
+
+let relabel pre ~f =
+  let rename (ev : Event.t) = Event.make (f ev.Event.signal) ev.Event.dir ev.Event.occurrence in
+  {
+    events = List.map (fun (ev, cls) -> (rename ev, cls)) pre.events;
+    arcs = List.map (fun (u, v, d, m) -> (rename u, rename v, d, m)) pre.arcs;
+  }
+
+let seal pre =
+  let b = Signal_graph.builder () in
+  List.iter (fun (ev, cls) -> Signal_graph.add_event b ev cls) pre.events;
+  List.iter (fun (u, v, delay, marked) -> Signal_graph.add_arc b ~marked ~delay u v) pre.arcs;
+  Signal_graph.build b
+
+let seal_exn pre =
+  match seal pre with
+  | Ok g -> g
+  | Error errs ->
+    invalid_arg
+      (Fmt.str "Compose.seal_exn:@ %a" Fmt.(list ~sep:(any ";@ ") Signal_graph.pp_error) errs)

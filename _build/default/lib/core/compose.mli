@@ -1,0 +1,55 @@
+(** Building Timed Signal Graphs from components.
+
+    Real systems are assembled from blocks — handshake cells, pipeline
+    stages, controllers.  This module provides the two primitives that
+    assembly needs:
+
+    - {!union} merges component graphs, identifying events by name
+      (signals shared between components synchronise — the Signal
+      Graph analogue of parallel composition with rendezvous);
+    - {!link} adds the glue arcs between already-present events.
+
+    Combined with {!Transform.relabel_signals} for instantiating a
+    template block several times, these compose arbitrary structures;
+    the test suite rebuilds the stack-controller ring of
+    {!Tsg_circuit.Circuit_library} out of individual cells and checks
+    the result is identical to the monolithic generator.
+
+    Validation runs on the final graph only: partial compositions may
+    freely be non-live or disconnected while under construction, so
+    {!union} and {!link} operate on {e pre-graphs} and {!seal}
+    produces the validated {!Signal_graph.t}. *)
+
+type pre
+(** An unvalidated graph under construction. *)
+
+val of_signal_graph : Signal_graph.t -> pre
+(** A component as a pre-graph. *)
+
+val block :
+  events:(Event.t * Signal_graph.event_class) list ->
+  arcs:(Event.t * Event.t * float * bool) list ->
+  pre
+(** A pre-graph literal (same shape as {!Signal_graph.of_arcs}, but
+    without validation). *)
+
+val union : pre list -> pre
+(** Merges components.  Events with the same name are identified and
+    must carry the same class; arcs are concatenated in component
+    order.
+    @raise Invalid_argument when a shared event's class differs
+    between components. *)
+
+val link : pre -> arcs:(Event.t * Event.t * float * bool) list -> pre
+(** Adds glue arcs; both endpoints must already be present.
+    @raise Invalid_argument otherwise. *)
+
+val relabel : pre -> f:(string -> string) -> pre
+(** Renames signals (e.g. to instantiate a template block under a
+    fresh prefix).  Must be injective on the block's signals. *)
+
+val seal : pre -> (Signal_graph.t, Signal_graph.error list) result
+(** Validates and freezes the composition. *)
+
+val seal_exn : pre -> Signal_graph.t
+(** @raise Invalid_argument listing the validation errors. *)

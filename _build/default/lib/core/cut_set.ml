@@ -1,0 +1,59 @@
+let border g =
+  let result = ref [] in
+  for v = Signal_graph.event_count g - 1 downto 0 do
+    if
+      Signal_graph.is_repetitive g v
+      && List.exists
+           (fun aid -> (Signal_graph.arc g aid).Signal_graph.marked)
+           (Signal_graph.in_arc_ids g v)
+    then result := v :: !result
+  done;
+  !result
+
+let without_events g removed =
+  let n = Signal_graph.event_count g in
+  let cut = Array.make n false in
+  List.iter (fun v -> cut.(v) <- true) removed;
+  let dg = Tsg_graph.Digraph.create ~capacity:(max n 1) () in
+  Tsg_graph.Digraph.add_vertices dg n;
+  (* cycles live in the repetitive part only (Section V defines cycles
+     over A_r), so other arcs are irrelevant here *)
+  Array.iter
+    (fun (a : Signal_graph.arc) ->
+      if
+        Signal_graph.is_repetitive g a.arc_src
+        && Signal_graph.is_repetitive g a.arc_dst
+        && not (cut.(a.arc_src) || cut.(a.arc_dst))
+      then Tsg_graph.Digraph.add_arc dg ~src:a.arc_src ~dst:a.arc_dst ())
+    (Signal_graph.arcs g);
+  dg
+
+let is_cut_set g s = Tsg_graph.Topo.is_dag (without_events g s)
+
+let greedy_small g =
+  let n = Signal_graph.event_count g in
+  let removed = ref [] in
+  let rec loop () =
+    let dg = without_events g !removed in
+    match Tsg_graph.Topo.sort dg with
+    | Ok _ -> List.rev !removed
+    | Error on_cycle ->
+      let score v =
+        Tsg_graph.Digraph.in_degree dg v * Tsg_graph.Digraph.out_degree dg v
+      in
+      let best =
+        List.fold_left
+          (fun acc v -> match acc with
+            | None -> Some v
+            | Some b -> if score v > score b then Some v else acc)
+          None on_cycle
+      in
+      (match best with
+      | None -> List.rev !removed
+      | Some v ->
+        removed := v :: !removed;
+        if List.length !removed > n then List.rev !removed else loop ())
+  in
+  loop ()
+
+let occurrence_period_bound g = List.length (border g)

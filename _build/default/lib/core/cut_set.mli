@@ -1,0 +1,35 @@
+(** Cut sets of a Signal Graph (Section VI.A).
+
+    A set of events is a cut set if every cycle of the graph contains
+    at least one of its members.  The {e border set} — the events with
+    an initially marked in-arc — is a cut set of every live Signal
+    Graph, because every cycle must carry a token; it is cheap to
+    obtain but not necessarily minimal. *)
+
+val border : Signal_graph.t -> int list
+(** The border events (repetitive events with a marked in-arc),
+    ascending event ids. *)
+
+val is_cut_set : Signal_graph.t -> int list -> bool
+(** [is_cut_set g s] checks that removing the events of [s] leaves the
+    graph acyclic, i.e. that every cycle meets [s]. *)
+
+val greedy_small : Signal_graph.t -> int list
+(** A small (not necessarily minimum) cut set, built greedily: while a
+    cycle remains, remove the event with the largest product of
+    residual in- and out-degrees. *)
+
+val occurrence_period_bound : Signal_graph.t -> int
+(** A sound upper bound on the maximum occurrence period of any simple
+    cycle: the border-set size.  Every marked arc of a simple cycle
+    ends in a distinct border event, so a cycle with [eps] tokens
+    passes through [eps] distinct border events.
+
+    {b Erratum note.}  Proposition 6 of the paper states the bound with
+    the size of a {e minimum} cut set, but that is too strong: in the
+    two-token ring [e0 ->* e1 -> e2 ->* e0] the singleton [{e0}] is a
+    minimum cut set while the unique simple cycle has occurrence
+    period 2 (our test suite carries this counterexample).  The bound
+    does hold for cut sets made of border events in which every cycle
+    meets the set once per token — in particular for the border set
+    itself, which is what the algorithm uses. *)

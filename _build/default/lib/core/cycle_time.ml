@@ -1,0 +1,123 @@
+type sample = { period : int; time : float; average : float }
+type border_trace = { border_event : int; samples : sample list }
+
+type report = {
+  cycle_time : float;
+  critical_event : int;
+  critical_period : int;
+  critical_walk : int list;
+  critical_cycles : Cycles.cycle list;
+  border : int list;
+  periods_simulated : int;
+  traces : border_trace list;
+}
+
+exception Not_analyzable of string
+
+let ratio_tolerance = 1e-9
+
+(* the per-border-event work item: one event-initiated simulation and
+   its Delta samples; pure and safe to run on any domain once the
+   unfolding's caches are warm *)
+let trace_of u periods g0 =
+  let sim =
+    Timing_sim.simulate_initiated u ~at:(Unfolding.instance u ~event:g0 ~period:0)
+  in
+  let samples =
+    List.init periods (fun k ->
+        let period = k + 1 in
+        let time = sim.Timing_sim.time.(Unfolding.instance u ~event:g0 ~period) in
+        { period; time; average = time /. float_of_int period })
+  in
+  ({ border_event = g0; samples }, sim)
+
+let analyze ?periods ?(jobs = 1) g =
+  if Signal_graph.repetitive_count g = 0 then
+    raise (Not_analyzable "the graph has no repetitive events");
+  let border = Cut_set.border g in
+  let b = List.length border in
+  if b = 0 then
+    raise (Not_analyzable "the graph has no border events (no initial activity)");
+  let periods = match periods with Some p -> max 1 p | None -> b in
+  (* instances g_0 .. g_periods are needed, hence periods+1 layers *)
+  let u = Unfolding.make g ~periods:(periods + 1) in
+  Unfolding.warm_caches u;
+  let traces_and_sims =
+    Array.to_list (Parallel.map ~jobs (trace_of u periods) (Array.of_list border))
+  in
+  let traces = List.map fst traces_and_sims in
+  let best =
+    List.fold_left
+      (fun acc trace ->
+        List.fold_left
+          (fun acc s ->
+            match acc with
+            | Some (_, _, best_avg) when best_avg >= s.average -> acc
+            | _ -> Some (trace.border_event, s.period, s.average))
+          acc trace.samples)
+      None traces
+  in
+  match best with
+  | None -> raise (Not_analyzable "no average occurrence distance was collected")
+  | Some (critical_event, critical_period, cycle_time) ->
+    (* backtrack the longest path that realised the maximum *)
+    let sim =
+      match
+        List.find_opt (fun (t, _) -> t.border_event = critical_event) traces_and_sims
+      with
+      | Some (_, sim) -> sim
+      | None -> assert false
+    in
+    let target = Unfolding.instance u ~event:critical_event ~period:critical_period in
+    let path = Timing_sim.critical_path u sim ~instance:target in
+    let critical_walk = List.filter_map snd path in
+    let decomposition = Cycles.decompose_closed_walk g critical_walk in
+    let best_ratio =
+      List.fold_left (fun acc c -> max acc (Cycles.effective_length c)) neg_infinity
+        decomposition
+    in
+    let critical_cycles =
+      List.filter
+        (fun c ->
+          Cycles.effective_length c
+          >= best_ratio -. (ratio_tolerance *. (1. +. abs_float best_ratio)))
+        decomposition
+    in
+    {
+      cycle_time;
+      critical_event;
+      critical_period;
+      critical_walk;
+      critical_cycles;
+      border;
+      periods_simulated = periods;
+      traces;
+    }
+
+let cycle_time ?periods ?jobs g = (analyze ?periods ?jobs g).cycle_time
+
+let check_walk g report =
+  let closed =
+    match report.critical_walk with
+    | [] -> false
+    | arc_ids -> (
+      try
+        let c = Cycles.of_arc_ids g arc_ids in
+        c.Cycles.occurrence_period > 0
+      with Invalid_argument _ -> false)
+  in
+  let tol = ratio_tolerance *. (1. +. abs_float report.cycle_time) in
+  let walk_ratio_ok =
+    closed
+    &&
+    let c = Cycles.of_arc_ids g report.critical_walk in
+    abs_float (Cycles.effective_length c -. report.cycle_time) <= tol
+  in
+  let cycles_ok =
+    report.critical_cycles <> []
+    && List.for_all
+         (fun c ->
+           abs_float (Cycles.effective_length c -. report.cycle_time) <= tol)
+         report.critical_cycles
+  in
+  walk_ratio_ok && cycles_ok

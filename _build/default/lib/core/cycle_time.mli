@@ -1,0 +1,65 @@
+(** The cycle-time algorithm of the paper (Sections VI and VII).
+
+    For each of the [b] border events [g], a [g]-initiated timing
+    simulation is run over [b] periods of the unfolding; after each
+    full period the average occurrence distance
+    [Delta_{g_0}(g_i) = t_{g_0}(g_i) / i] is collected.  The cycle time
+    is the maximum of the [b^2] collected values (Propositions 7 and
+    8), and a critical cycle is recovered by backtracking the longest
+    path that realised the maximum (Proposition 1).  Total cost
+    O(b^2 m). *)
+
+type sample = {
+  period : int;  (** the instance index [i >= 1] *)
+  time : float;  (** [t_{g_0}(g_i)] *)
+  average : float;  (** [Delta_{g_0}(g_i) = time / period] *)
+}
+
+type border_trace = {
+  border_event : int;
+  samples : sample list;  (** one per period [1 .. b] *)
+}
+
+type report = {
+  cycle_time : float;
+  critical_event : int;  (** the border event realising the maximum *)
+  critical_period : int;  (** the instance index realising it *)
+  critical_walk : int list;
+      (** the backtracked closed walk, as Signal-Graph arc ids; its
+          delay sum over token count equals [cycle_time] *)
+  critical_cycles : Cycles.cycle list;
+      (** the simple cycles of maximum effective length obtained by
+          decomposing the walk (Proposition 5); at least one *)
+  border : int list;  (** the border events used as the cut set *)
+  periods_simulated : int;
+  traces : border_trace list;  (** the full Delta tables, per border event *)
+}
+
+exception Not_analyzable of string
+(** Raised when the graph has no repetitive events (no cycles, hence
+    no cycle time). *)
+
+val analyze : ?periods:int -> ?jobs:int -> Signal_graph.t -> report
+(** Runs the algorithm.
+
+    [periods] overrides the number of simulated periods.  The default
+    is the border-set size [b], which is always sufficient; any value
+    at least the maximum occurrence period of a simple cycle is also
+    sufficient (e.g. the Fig. 1 oscillator needs one period).  Beware
+    the paper's Proposition 6: a {e minimum cut set's} size is NOT a
+    valid choice in general (see the erratum at
+    {!Cut_set.occurrence_period_bound}).
+
+    [jobs] (default 1) runs the [b] independent event-initiated
+    simulations on that many domains — the algorithm's outer loop is
+    embarrassingly parallel.
+
+    @raise Not_analyzable on a graph without repetitive events. *)
+
+val cycle_time : ?periods:int -> ?jobs:int -> Signal_graph.t -> float
+(** Just the cycle time. *)
+
+val check_walk : Signal_graph.t -> report -> bool
+(** Internal consistency check: the critical walk is closed, its
+    ratio equals [cycle_time], and every reported critical cycle has
+    effective length [cycle_time] (up to floating-point tolerance). *)

@@ -1,0 +1,145 @@
+type cycle = {
+  arc_ids : int list;
+  events : int list;
+  length : float;
+  occurrence_period : int;
+}
+
+let effective_length c =
+  if c.occurrence_period = 0 then
+    invalid_arg "Cycles.effective_length: cycle with zero occurrence period";
+  c.length /. float_of_int c.occurrence_period
+
+let of_arc_ids g arc_ids =
+  match arc_ids with
+  | [] -> invalid_arg "Cycles.of_arc_ids: empty cycle"
+  | first :: _ ->
+    let rec check prev = function
+      | [] ->
+        let a0 = Signal_graph.arc g first in
+        if prev <> a0.Signal_graph.arc_src then
+          invalid_arg "Cycles.of_arc_ids: arc sequence is not closed"
+      | aid :: rest ->
+        let a = Signal_graph.arc g aid in
+        if a.Signal_graph.arc_src <> prev then
+          invalid_arg "Cycles.of_arc_ids: arcs do not form a path";
+        check a.Signal_graph.arc_dst rest
+    in
+    let a0 = Signal_graph.arc g first in
+    check a0.Signal_graph.arc_src arc_ids;
+    let events = List.map (fun aid -> (Signal_graph.arc g aid).Signal_graph.arc_src) arc_ids in
+    let length =
+      List.fold_left (fun acc aid -> acc +. (Signal_graph.arc g aid).Signal_graph.delay) 0. arc_ids
+    in
+    let occurrence_period =
+      List.fold_left
+        (fun acc aid -> if (Signal_graph.arc g aid).Signal_graph.marked then acc + 1 else acc)
+        0 arc_ids
+    in
+    { arc_ids; events; length; occurrence_period }
+
+(* Parallel arcs would be conflated by a vertex-level cycle enumeration,
+   so we subdivide: every repetitive-part arc becomes an auxiliary
+   vertex.  Event ids stay below the auxiliary ids, hence Johnson's
+   smallest-vertex-first cycles always start at an event vertex. *)
+let simple_cycles ?limit ?arcs g =
+  let n = Signal_graph.event_count g in
+  let allowed =
+    match arcs with
+    | None -> fun _ -> true
+    | Some ids ->
+      let set = Hashtbl.create (List.length ids) in
+      List.iter (fun i -> Hashtbl.replace set i ()) ids;
+      Hashtbl.mem set
+  in
+  let rep_arcs =
+    let acc = ref [] in
+    Array.iteri
+      (fun i (a : Signal_graph.arc) ->
+        if
+          allowed i
+          && Signal_graph.is_repetitive g a.arc_src
+          && Signal_graph.is_repetitive g a.arc_dst
+        then acc := i :: !acc)
+      (Signal_graph.arcs g);
+    List.rev !acc
+  in
+  let dg = Tsg_graph.Digraph.create ~capacity:(n + List.length rep_arcs + 1) () in
+  Tsg_graph.Digraph.add_vertices dg n;
+  let arc_of_aux = Hashtbl.create 64 in
+  List.iter
+    (fun aid ->
+      let a = Signal_graph.arc g aid in
+      let w = Tsg_graph.Digraph.add_vertex dg in
+      Hashtbl.add arc_of_aux w aid;
+      Tsg_graph.Digraph.add_arc dg ~src:a.Signal_graph.arc_src ~dst:w ();
+      Tsg_graph.Digraph.add_arc dg ~src:w ~dst:a.Signal_graph.arc_dst ())
+    rep_arcs;
+  let extract vertices =
+    let arc_ids =
+      List.filter_map (fun v -> Hashtbl.find_opt arc_of_aux v) vertices
+    in
+    of_arc_ids g arc_ids
+  in
+  List.rev
+    (Tsg_graph.Simple_cycles.fold ?limit dg ~init:[] ~f:(fun acc vs -> extract vs :: acc))
+
+let max_occurrence_period ?limit g =
+  List.fold_left (fun acc c -> max acc c.occurrence_period) 0 (simple_cycles ?limit g)
+
+let decompose_closed_walk g arc_ids =
+  match arc_ids with
+  | [] -> []
+  | first :: _ ->
+    let start = (Signal_graph.arc g first).Signal_graph.arc_src in
+    let depth_of_event = Hashtbl.create 16 in
+    Hashtbl.add depth_of_event start 0;
+    (* stack of arcs walked so far (most recent first) *)
+    let stack = ref [] in
+    let depth = ref 0 in
+    let cycles = ref [] in
+    let pop_cycle upto_depth =
+      let count = !depth - upto_depth in
+      let rec take k acc rest =
+        if k = 0 then (acc, rest)
+        else
+          match rest with
+          | [] -> assert false
+          | aid :: tl ->
+            (* the popped arc's source leaves the walk *)
+            Hashtbl.remove depth_of_event (Signal_graph.arc g aid).Signal_graph.arc_src;
+            take (k - 1) (aid :: acc) tl
+      in
+      let cycle_arcs, rest = take count [] !stack in
+      stack := rest;
+      depth := upto_depth;
+      cycles := of_arc_ids g cycle_arcs :: !cycles
+    in
+    List.iter
+      (fun aid ->
+        let a = Signal_graph.arc g aid in
+        stack := aid :: !stack;
+        incr depth;
+        (match Hashtbl.find_opt depth_of_event a.Signal_graph.arc_dst with
+        | Some d ->
+          pop_cycle d;
+          (* the destination stays on the walk at its original depth *)
+          Hashtbl.replace depth_of_event a.Signal_graph.arc_dst d
+        | None -> Hashtbl.add depth_of_event a.Signal_graph.arc_dst !depth))
+      arc_ids;
+    List.rev !cycles
+
+let pp_cycle g ppf c =
+  match c.arc_ids with
+  | [] -> Fmt.string ppf "<empty cycle>"
+  | arc_ids ->
+    List.iter
+      (fun aid ->
+        let a = Signal_graph.arc g aid in
+        Fmt.pf ppf "%a -%g%s-> " Event.pp
+          (Signal_graph.event g a.Signal_graph.arc_src)
+          a.Signal_graph.delay
+          (if a.Signal_graph.marked then "*" else ""))
+      arc_ids;
+    let first = Signal_graph.arc g (List.hd arc_ids) in
+    Event.pp ppf (Signal_graph.event g first.Signal_graph.arc_src)

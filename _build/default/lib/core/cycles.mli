@@ -1,0 +1,45 @@
+(** Cycles of a Timed Signal Graph and their effective lengths
+    (Section V).
+
+    A cycle is a closed path through repetitive events.  Its {e length}
+    is the sum of its arc delays, its {e occurrence period} [eps] the
+    number of initially marked arcs it contains (= the number of
+    unfolding periods its unfolded counterpart spans), and its
+    {e effective length} the ratio [length / eps].  The cycle time of
+    the graph is the maximum effective length over all simple cycles
+    (Propositions 4 and 5). *)
+
+type cycle = {
+  arc_ids : int list;  (** the arcs of the cycle, in order *)
+  events : int list;  (** the event ids visited, in order (same length) *)
+  length : float;  (** sum of delays *)
+  occurrence_period : int;  (** eps: number of marked arcs *)
+}
+
+val effective_length : cycle -> float
+(** [length / occurrence_period].  @raise Invalid_argument when the
+    occurrence period is 0 (such a cycle makes the graph non-live and
+    is rejected by validation). *)
+
+val of_arc_ids : Signal_graph.t -> int list -> cycle
+(** Reconstitutes a cycle record from a closed arc sequence.
+    @raise Invalid_argument if the arcs do not form a closed path. *)
+
+val simple_cycles : ?limit:int -> ?arcs:int list -> Signal_graph.t -> cycle list
+(** All simple cycles of the repetitive part (Johnson's algorithm on
+    the arc-subdivided graph, so parallel arcs yield distinct cycles).
+    [limit] caps the number of cycles returned; [arcs] restricts the
+    enumeration to cycles using only the given arc ids (used for
+    critical-cycle enumeration on the zero-slack subgraph). *)
+
+val max_occurrence_period : ?limit:int -> Signal_graph.t -> int
+(** The largest occurrence period among the simple cycles — the
+    quantity bounded by the minimum cut set in Proposition 6. *)
+
+val decompose_closed_walk : Signal_graph.t -> int list -> cycle list
+(** Decomposes a closed walk (given as its arc-id sequence) into simple
+    cycles by repeatedly cutting out sub-cycles at repeated events
+    (used by Proposition 5 and by critical-cycle extraction). *)
+
+val pp_cycle : Signal_graph.t -> cycle Fmt.t
+(** Prints a cycle as [a+ -3-> c+ -2-> a- ... -> a+]. *)

@@ -1,0 +1,69 @@
+type rule = { source : Event.t; target : Event.t; delay : float; count : int }
+
+type t = { event_list : Event.t list; rule_list : rule list }
+
+let make ~events ~rules =
+  let seen = Hashtbl.create 32 in
+  List.iter
+    (fun ev ->
+      if Hashtbl.mem seen ev then
+        invalid_arg
+          (Printf.sprintf "Er_system.make: duplicate event %s" (Event.to_string ev));
+      Hashtbl.add seen ev ())
+    events;
+  List.iter
+    (fun r ->
+      if not (Hashtbl.mem seen r.source) then
+        invalid_arg
+          (Printf.sprintf "Er_system.make: undeclared event %s" (Event.to_string r.source));
+      if not (Hashtbl.mem seen r.target) then
+        invalid_arg
+          (Printf.sprintf "Er_system.make: undeclared event %s" (Event.to_string r.target));
+      if r.delay < 0. then invalid_arg "Er_system.make: negative delay";
+      if r.count < 0 then invalid_arg "Er_system.make: negative count")
+    rules;
+  { event_list = events; rule_list = rules }
+
+let events t = t.event_list
+let rules t = t.rule_list
+
+let to_signal_graph t =
+  let b = Signal_graph.builder () in
+  List.iter (fun ev -> Signal_graph.add_event b ev Signal_graph.Repetitive) t.event_list;
+  let fresh =
+    let counter = ref 0 in
+    fun () ->
+      incr counter;
+      let ev = Event.rise (Printf.sprintf "_buf%d" !counter) in
+      Signal_graph.add_event b ev Signal_graph.Repetitive;
+      ev
+  in
+  List.iter
+    (fun r ->
+      match r.count with
+      | 0 -> Signal_graph.add_arc b ~delay:r.delay r.source r.target
+      | 1 -> Signal_graph.add_arc b ~marked:true ~delay:r.delay r.source r.target
+      | count ->
+        (* a chain of count-1 buffers; every hop carries one token, so
+           the path from source to target spans [count] occurrences;
+           the rule's delay sits on the first hop, the rest are free *)
+        let rec chain prev remaining =
+          if remaining = 1 then
+            Signal_graph.add_arc b ~marked:true ~delay:0. prev r.target
+          else begin
+            let buffer = fresh () in
+            Signal_graph.add_arc b ~marked:true ~delay:0. prev buffer;
+            chain buffer (remaining - 1)
+          end
+        in
+        let buffer = fresh () in
+        Signal_graph.add_arc b ~marked:true ~delay:r.delay r.source buffer;
+        chain buffer (count - 1))
+    t.rule_list;
+  Signal_graph.build_exn b
+
+let analyze ?jobs t =
+  let g = to_signal_graph t in
+  (Cycle_time.analyze ?jobs g, g)
+
+let cycle_time ?jobs t = (fst (analyze ?jobs t)).Cycle_time.cycle_time

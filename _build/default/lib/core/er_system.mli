@@ -1,0 +1,50 @@
+(** Event-rule systems (Burns [2]) — the paper states its algorithm
+    "is just as applicable ... to event rules systems"; this module
+    makes that concrete.
+
+    An ER system is a set of repetitive events and rules
+    [(u, v, delay, count)] meaning occurrence [k] of [v] waits for
+    occurrence [k - count] of [u] plus [delay].  Unlike a Signal
+    Graph's boolean marking, [count] is an arbitrary natural number —
+    e.g. a FIFO of capacity 4 between two pipeline stages is a single
+    backward rule with [count = 4].
+
+    Analysis proceeds by expansion to an initially-safe Timed Signal
+    Graph: a rule with [count = e >= 2] becomes a chain of [e - 1]
+    auxiliary buffer events joined by marked arcs (the paper's own
+    remark that "any initially-non-safe graph can be transformed into
+    an equivalent initially-safe one").  Every cycle through the rule
+    picks up exactly [e] tokens and [delay] length, so cycle ratios —
+    hence the cycle time — are preserved. *)
+
+type rule = {
+  source : Event.t;
+  target : Event.t;
+  delay : float;
+  count : int;  (** occurrence offset; 0 = same occurrence *)
+}
+
+type t
+
+val make : events:Event.t list -> rules:rule list -> t
+(** Declares the system.  All events are repetitive.
+    @raise Invalid_argument on duplicate events, rules over undeclared
+    events, negative delays or negative counts. *)
+
+val events : t -> Event.t list
+val rules : t -> rule list
+
+val to_signal_graph : t -> Signal_graph.t
+(** The expanded Timed Signal Graph.  Original events keep their
+    names; auxiliary buffer events are named [_buf<k>+] and can be
+    recognised by their signal prefix ["_buf"].
+    @raise Invalid_argument if the expansion fails validation (e.g. a
+    rule cycle with zero total count — a deadlock). *)
+
+val cycle_time : ?jobs:int -> t -> float
+(** The cycle time of the system (via the expansion).
+    @raise Cycle_time.Not_analyzable / Invalid_argument as above. *)
+
+val analyze : ?jobs:int -> t -> Cycle_time.report * Signal_graph.t
+(** Full analysis; the report's event and arc ids refer to the
+    returned expanded graph. *)

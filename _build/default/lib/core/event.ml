@@ -1,0 +1,75 @@
+type dir = Rise | Fall
+
+type t = { signal : string; dir : dir; occurrence : int }
+
+let valid_signal_name s =
+  String.length s > 0
+  && String.for_all
+       (fun c ->
+         match c with
+         | '+' | '-' | '/' | ' ' | '\t' | '\n' | '\r' -> false
+         | _ -> true)
+       s
+
+let make signal dir occurrence =
+  if not (valid_signal_name signal) then
+    invalid_arg (Printf.sprintf "Event.make: invalid signal name %S" signal);
+  if occurrence < 1 then invalid_arg "Event.make: occurrence must be >= 1";
+  { signal; dir; occurrence }
+
+let rise ?(occurrence = 1) signal = make signal Rise occurrence
+let fall ?(occurrence = 1) signal = make signal Fall occurrence
+let opposite e = { e with dir = (match e.dir with Rise -> Fall | Fall -> Rise) }
+
+let equal a b = a.signal = b.signal && a.dir = b.dir && a.occurrence = b.occurrence
+
+let compare a b =
+  let c = String.compare a.signal b.signal in
+  if c <> 0 then c
+  else
+    let c = Stdlib.compare a.dir b.dir in
+    if c <> 0 then c else Int.compare a.occurrence b.occurrence
+
+let hash = Hashtbl.hash
+
+let to_string e =
+  let d = match e.dir with Rise -> "+" | Fall -> "-" in
+  if e.occurrence = 1 then e.signal ^ d
+  else Printf.sprintf "%s%s/%d" e.signal d e.occurrence
+
+let of_string s =
+  let parse_occurrence body suffix =
+    match int_of_string_opt suffix with
+    | Some k when k >= 1 -> Ok (body, k)
+    | _ -> Error (Printf.sprintf "invalid occurrence index in %S" s)
+  in
+  let split_occurrence () =
+    match String.index_opt s '/' with
+    | None -> Ok (s, 1)
+    | Some i -> parse_occurrence (String.sub s 0 i) (String.sub s (i + 1) (String.length s - i - 1))
+  in
+  match split_occurrence () with
+  | Error _ as e -> e
+  | Ok (body, occurrence) ->
+    let len = String.length body in
+    if len < 2 then Error (Printf.sprintf "event %S too short" s)
+    else
+      let signal = String.sub body 0 (len - 1) in
+      let dir =
+        match body.[len - 1] with
+        | '+' -> Some Rise
+        | '-' -> Some Fall
+        | _ -> None
+      in
+      (match dir with
+      | None -> Error (Printf.sprintf "event %S must end in + or -" s)
+      | Some dir ->
+        if valid_signal_name signal then Ok (make signal dir occurrence)
+        else Error (Printf.sprintf "invalid signal name in %S" s))
+
+let of_string_exn s =
+  match of_string s with
+  | Ok e -> e
+  | Error msg -> invalid_arg ("Event.of_string_exn: " ^ msg)
+
+let pp ppf e = Fmt.string ppf (to_string e)

@@ -1,0 +1,46 @@
+(** Events of a Signal Graph: transitions of named signals.
+
+    An event is a rising ([a+]) or falling ([a-]) transition of a
+    signal.  A Signal Graph may contain several events for the same
+    transition of the same signal ("multiple events", Section VIII.A of
+    the paper); these are distinguished by an {e occurrence} index and
+    written [a+/2], [a+/3], ... following the usual STG convention. *)
+
+type dir =
+  | Rise  (** up-going transition, written [+] *)
+  | Fall  (** down-going transition, written [-] *)
+
+type t = private {
+  signal : string;  (** name of the signal that switches *)
+  dir : dir;
+  occurrence : int;  (** 1-based index among same-direction events of this signal *)
+}
+
+val make : string -> dir -> int -> t
+(** [make signal dir occurrence] builds an event.
+    @raise Invalid_argument on an empty signal name, a name containing
+    [+], [-], [/] or whitespace, or [occurrence < 1]. *)
+
+val rise : ?occurrence:int -> string -> t
+(** [rise s] is the event [s+] (occurrence defaults to 1). *)
+
+val fall : ?occurrence:int -> string -> t
+(** [fall s] is the event [s-]. *)
+
+val opposite : t -> t
+(** The same signal and occurrence with the direction flipped. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val to_string : t -> string
+(** [a+], [b-], [a+/2], ... *)
+
+val of_string : string -> (t, string) result
+(** Parses the {!to_string} syntax. *)
+
+val of_string_exn : string -> t
+(** @raise Invalid_argument on a parse error. *)
+
+val pp : t Fmt.t

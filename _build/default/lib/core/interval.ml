@@ -1,0 +1,54 @@
+type t = { lower : float; upper : float }
+
+let cycle_time g ~delay_bounds =
+  Array.iteri
+    (fun i (_ : Signal_graph.arc) ->
+      let lo, hi = delay_bounds i in
+      if lo < 0. || lo > hi then
+        invalid_arg (Printf.sprintf "Interval.cycle_time: bad bounds [%g, %g] on arc %d" lo hi i))
+    (Signal_graph.arcs g);
+  let lower_graph = Transform.map_delays g ~f:(fun i _ -> fst (delay_bounds i)) in
+  let upper_graph = Transform.map_delays g ~f:(fun i _ -> snd (delay_bounds i)) in
+  {
+    lower = Cycle_time.cycle_time lower_graph;
+    upper = Cycle_time.cycle_time upper_graph;
+  }
+
+type simulation_bounds = {
+  unfolding : Unfolding.t;
+  earliest : float array;
+  latest : float array;
+}
+
+let simulate g ~delay_bounds ~periods =
+  Array.iteri
+    (fun i (_ : Signal_graph.arc) ->
+      let lo, hi = delay_bounds i in
+      if lo < 0. || lo > hi then
+        invalid_arg (Printf.sprintf "Interval.simulate: bad bounds [%g, %g] on arc %d" lo hi i))
+    (Signal_graph.arcs g);
+  let corner pick =
+    let g' = Transform.map_delays g ~f:(fun i _ -> pick (delay_bounds i)) in
+    let u = Unfolding.make g' ~periods in
+    (Timing_sim.simulate u).Timing_sim.time
+  in
+  {
+    unfolding = Unfolding.make g ~periods;
+    earliest = corner fst;
+    latest = corner snd;
+  }
+
+let separation_bounds bounds ~from_ ~to_ =
+  let instance (event, period) =
+    Unfolding.instance bounds.unfolding ~event ~period
+  in
+  let f = instance from_ and t = instance to_ in
+  (bounds.earliest.(t) -. bounds.latest.(f), bounds.latest.(t) -. bounds.earliest.(f))
+
+let of_relative_tolerance g ~percent =
+  if percent < 0. || percent > 100. then
+    invalid_arg "Interval.of_relative_tolerance: percent must be within [0, 100]";
+  let factor = percent /. 100. in
+  cycle_time g ~delay_bounds:(fun i ->
+      let d = (Signal_graph.arc g i).Signal_graph.delay in
+      (d *. (1. -. factor), d *. (1. +. factor)))

@@ -1,0 +1,61 @@
+(** Cycle-time bounds under interval (min/max) delays.
+
+    The paper analyses fixed delays; real gates have delay ranges.  In
+    the MAX execution model every occurrence time is monotone
+    non-decreasing in every arc delay (each [t(f)] is a maximum of
+    sums of delays), so the cycle time is monotone too: evaluating
+    once with every delay at its lower bound and once at its upper
+    bound brackets the cycle time of {e every} fixed delay assignment
+    within the intervals.
+
+    Note what this does and does not claim: the bracket is exact for
+    the extreme corner assignments; a circuit whose delays {e vary
+    over time} inside the intervals may exhibit average behaviour
+    strictly inside the bracket (see {!Monte_carlo}). *)
+
+type t = {
+  lower : float;  (** cycle time with every delay at its minimum *)
+  upper : float;  (** cycle time with every delay at its maximum *)
+}
+
+val cycle_time : Signal_graph.t -> delay_bounds:(int -> float * float) -> t
+(** [cycle_time g ~delay_bounds] evaluates the bracket;
+    [delay_bounds arc_id] returns [(min, max)] for each arc.
+    @raise Invalid_argument if some interval is empty ([min > max]) or
+    [min < 0]. *)
+
+val of_relative_tolerance : Signal_graph.t -> percent:float -> t
+(** Convenience: every delay may vary by ±[percent] of its nominal
+    value. *)
+
+(** {1 Occurrence-time and separation bounds}
+
+    The same monotonicity argument bounds every individual occurrence
+    time: evaluating the timing simulation with all-min delays gives
+    pointwise lower bounds and with all-max delays upper bounds —
+    both {e tight} (attained at the corner assignments). *)
+
+type simulation_bounds = {
+  unfolding : Unfolding.t;  (** built from the nominal graph *)
+  earliest : float array;  (** per instance id: lower bound *)
+  latest : float array;  (** per instance id: upper bound *)
+}
+
+val simulate :
+  Signal_graph.t ->
+  delay_bounds:(int -> float * float) ->
+  periods:int ->
+  simulation_bounds
+(** Bounds on every instance's occurrence time over [periods] periods
+    of the unfolding. *)
+
+val separation_bounds :
+  simulation_bounds ->
+  from_:int * int ->
+  to_:int * int ->
+  float * float
+(** [(lo, hi)] such that [lo <= t(to) - t(from) <= hi] for every fixed
+    delay assignment within the intervals, where the events are given
+    as [(event id, period)] instance coordinates.  The bound combines
+    the per-corner extremes and is sound but not always tight (the two
+    occurrence times are correlated through shared delays). *)

@@ -1,0 +1,114 @@
+type state = {
+  arc_tokens : int array; (* per arc id *)
+  fired : int array; (* per event id *)
+}
+
+let initial g =
+  let arc_tokens =
+    Array.map (fun (a : Signal_graph.arc) -> if a.marked then 1 else 0) (Signal_graph.arcs g)
+  in
+  { arc_tokens; fired = Array.make (Signal_graph.event_count g) 0 }
+
+let copy s = { arc_tokens = Array.copy s.arc_tokens; fired = Array.copy s.fired }
+let tokens s a = s.arc_tokens.(a)
+let fired_count s e = s.fired.(e)
+
+(* a disengageable arc constrains its destination's first firing only *)
+let arc_active s (a : Signal_graph.arc) =
+  (not a.disengageable) || s.fired.(a.arc_dst) = 0
+
+let is_enabled g s e =
+  let may_fire_again =
+    match Signal_graph.class_of g e with
+    | Signal_graph.Repetitive -> true
+    | Signal_graph.Initial | Signal_graph.Non_repetitive -> s.fired.(e) = 0
+  in
+  may_fire_again
+  && List.for_all
+       (fun aid ->
+         let a = Signal_graph.arc g aid in
+         (not (arc_active s a)) || s.arc_tokens.(aid) > 0)
+       (Signal_graph.in_arc_ids g e)
+
+let enabled g s =
+  let result = ref [] in
+  for e = Signal_graph.event_count g - 1 downto 0 do
+    if is_enabled g s e then result := e :: !result
+  done;
+  !result
+
+let fire g s e =
+  if not (is_enabled g s e) then
+    invalid_arg
+      (Printf.sprintf "Marking.fire: event %s is not enabled"
+         (Event.to_string (Signal_graph.event g e)));
+  let s' = copy s in
+  List.iter
+    (fun aid ->
+      let a = Signal_graph.arc g aid in
+      if arc_active s a then s'.arc_tokens.(aid) <- s'.arc_tokens.(aid) - 1)
+    (Signal_graph.in_arc_ids g e);
+  List.iter
+    (fun aid -> s'.arc_tokens.(aid) <- s'.arc_tokens.(aid) + 1)
+    (Signal_graph.out_arc_ids g e);
+  s'.fired.(e) <- s'.fired.(e) + 1;
+  s'
+
+let run_greedy g ~rounds =
+  let rec loop s k acc =
+    if k = 0 then (List.rev acc, s)
+    else
+      match enabled g s with
+      | [] -> (List.rev acc, s)
+      | step ->
+        let s' = List.fold_left (fun s e -> fire g s e) s step in
+        loop s' (k - 1) (step :: acc)
+  in
+  loop (initial g) rounds []
+
+type dynamic_check = {
+  switch_over_ok : bool;
+  auto_concurrency_free : bool;
+  bounded_by : int;
+}
+
+let check_dynamics ?(rounds = 64) g =
+  let switch_over_ok = ref true in
+  let auto_concurrency_free = ref true in
+  let bounded_by = ref 0 in
+  let last_dir : (string, Event.dir) Hashtbl.t = Hashtbl.create 16 in
+  let note_fired e =
+    let ev = Signal_graph.event g e in
+    (match Hashtbl.find_opt last_dir ev.Event.signal with
+    | Some d when d = ev.Event.dir -> switch_over_ok := false
+    | Some _ | None -> ());
+    Hashtbl.replace last_dir ev.Event.signal ev.Event.dir
+  in
+  let check_step s step =
+    (* two simultaneously enabled events of one signal = auto-concurrency *)
+    let seen = Hashtbl.create 8 in
+    List.iter
+      (fun e ->
+        let signal = (Signal_graph.event g e).Event.signal in
+        if Hashtbl.mem seen signal then auto_concurrency_free := false
+        else Hashtbl.add seen signal ())
+      step;
+    Array.iter (fun t -> if t > !bounded_by then bounded_by := t) s.arc_tokens
+  in
+  let rec loop s k =
+    if k > 0 then begin
+      let step = enabled g s in
+      if step <> [] then begin
+        check_step s step;
+        let s' = List.fold_left (fun s e -> fire g s e) s step in
+        List.iter note_fired step;
+        loop s' (k - 1)
+      end
+    end
+  in
+  loop (initial g) rounds;
+  {
+    switch_over_ok = !switch_over_ok;
+    auto_concurrency_free = !auto_concurrency_free;
+    bounded_by = !bounded_by;
+  }

@@ -1,0 +1,51 @@
+(** The token game of a Signal Graph (its untimed execution model).
+
+    An event is enabled when every active in-arc carries at least one
+    token; firing it removes one token from each active in-arc and adds
+    one token to each active out-arc.  Initial and non-repetitive
+    events fire at most once; a disengageable arc stops influencing the
+    execution after it has been consumed once (Section III.A). *)
+
+type state
+
+val initial : Signal_graph.t -> state
+(** The initial marking [M]. *)
+
+val copy : state -> state
+
+val tokens : state -> int -> int
+(** [tokens s a] is the number of tokens on arc id [a]. *)
+
+val fired_count : state -> int -> int
+(** How many times event id [e] has fired so far. *)
+
+val is_enabled : Signal_graph.t -> state -> int -> bool
+(** Whether event id [e] may fire in state [s]. *)
+
+val enabled : Signal_graph.t -> state -> int list
+(** All enabled event ids, ascending. *)
+
+val fire : Signal_graph.t -> state -> int -> state
+(** [fire g s e] is the state after firing [e].
+    @raise Invalid_argument if [e] is not enabled. *)
+
+val run_greedy : Signal_graph.t -> rounds:int -> int list list * state
+(** [run_greedy g ~rounds] fires, for up to [rounds] rounds, every
+    event enabled at the start of the round (a maximal step semantics).
+    Returns the fired events per round and the final state.  Stops
+    early if nothing is enabled. *)
+
+type dynamic_check = {
+  switch_over_ok : bool;
+      (** up- and down-going transitions of every signal alternated *)
+  auto_concurrency_free : bool;
+      (** no two events of the same signal were simultaneously enabled *)
+  bounded_by : int;  (** the largest token count observed on any arc *)
+}
+
+val check_dynamics : ?rounds:int -> Signal_graph.t -> dynamic_check
+(** Runs the greedy execution for [rounds] (default 64) rounds and
+    checks the implementability conditions of Section VIII.A
+    (switch-over correctness, absence of auto-concurrency) plus a
+    boundedness probe.  These are bounded dynamic checks, not proofs;
+    they catch modelling mistakes in practice. *)

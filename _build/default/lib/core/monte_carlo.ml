@@ -1,0 +1,71 @@
+type stats = {
+  mean : float;
+  std : float;
+  low : float;
+  high : float;
+  runs : int;
+  periods : int;
+}
+
+(* one longest-path sweep with delays drawn per unfolding arc *)
+let run_once u rng ~sampler =
+  let n = Unfolding.instance_count u in
+  let time = Array.make n 0. in
+  let has_pred = Array.make n false in
+  let topo = Unfolding.topological_order u in
+  let starts, srcs, arc_ids = Unfolding.in_adjacency u in
+  for k = 0 to Array.length topo - 1 do
+    let v = topo.(k) in
+    for j = starts.(v) to starts.(v + 1) - 1 do
+      let delay = sampler arc_ids.(j) rng in
+      if delay < 0. then invalid_arg "Monte_carlo: sampler returned a negative delay";
+      let d = time.(srcs.(j)) +. delay in
+      if (not has_pred.(v)) || d > time.(v) then begin
+        time.(v) <- d;
+        has_pred.(v) <- true
+      end
+    done
+  done;
+  time
+
+let estimate ?(seed = 42) ?(runs = 30) ?(periods = 60) ?(jobs = 1) g ~sampler =
+  if Signal_graph.repetitive_count g = 0 then
+    raise (Cycle_time.Not_analyzable "the graph has no repetitive events");
+  if runs < 1 then invalid_arg "Monte_carlo.estimate: runs must be >= 1";
+  if periods < 8 then invalid_arg "Monte_carlo.estimate: need at least 8 periods";
+  let reference =
+    match Cut_set.border g with
+    | e :: _ -> e
+    | [] -> raise (Cycle_time.Not_analyzable "the graph has no border events")
+  in
+  let u = Unfolding.make g ~periods in
+  Unfolding.warm_caches u;
+  let half = periods / 2 in
+  let one_run r =
+    let rng = Random.State.make [| seed; r |] in
+    let time = run_once u rng ~sampler in
+    (* rate of the reference event over the second half *)
+    let t_last = time.(Unfolding.instance u ~event:reference ~period:(periods - 1)) in
+    let t_half = time.(Unfolding.instance u ~event:reference ~period:half) in
+    (t_last -. t_half) /. float_of_int (periods - 1 - half)
+  in
+  let estimates = Parallel.map ~jobs one_run (Array.init runs Fun.id) in
+  let mean = Array.fold_left ( +. ) 0. estimates /. float_of_int runs in
+  let var =
+    if runs = 1 then 0.
+    else
+      Array.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.)) 0. estimates
+      /. float_of_int (runs - 1)
+  in
+  let low = Array.fold_left Float.min infinity estimates in
+  let high = Array.fold_left Float.max neg_infinity estimates in
+  { mean; std = sqrt var; low; high; runs; periods }
+
+let uniform_jitter g ~percent =
+  if percent < 0. || percent > 100. then
+    invalid_arg "Monte_carlo.uniform_jitter: percent must be within [0, 100]";
+  let factor = percent /. 100. in
+  fun arc_id rng ->
+    let d = (Signal_graph.arc g arc_id).Signal_graph.delay in
+    let width = 2. *. d *. factor in
+    if width <= 0. then d else (d *. (1. -. factor)) +. Random.State.float rng width

@@ -1,0 +1,46 @@
+(** Monte-Carlo estimation of the average cycle time under random
+    delay variation.
+
+    The analytic cycle time assumes every occurrence of an arc sees
+    the same delay.  When delays jitter from occurrence to occurrence,
+    the average iteration time of a MAX-timing system is generally
+    {e larger} than the cycle time of the mean delays (a maximum of
+    random sums exceeds the maximum of their means), and smaller than
+    the cycle time of the worst-case delays.  This module measures it:
+    delays are drawn independently {e per unfolding arc instance},
+    long timing simulations are run, and the asymptotic occurrence
+    rate of a border event is estimated with the transient discarded.
+
+    This is the simulation-side complement of the paper's analytic
+    algorithm — the kind of validation a designer would run against
+    extracted layout delays. *)
+
+type stats = {
+  mean : float;  (** estimated average cycle time *)
+  std : float;  (** sample standard deviation across runs *)
+  low : float;  (** smallest per-run estimate *)
+  high : float;  (** largest per-run estimate *)
+  runs : int;
+  periods : int;  (** unfolding periods simulated per run *)
+}
+
+val estimate :
+  ?seed:int ->
+  ?runs:int ->
+  ?periods:int ->
+  ?jobs:int ->
+  Signal_graph.t ->
+  sampler:(int -> Random.State.t -> float) ->
+  stats
+(** [estimate g ~sampler] runs [runs] (default 30) simulations over
+    [periods] (default 60) unfolding periods; [sampler arc_id rng]
+    draws one delay for one occurrence of the arc.  Deterministic for
+    a given [seed], including with [jobs > 1] (each run seeds its own
+    generator; [sampler] must then be safe to call concurrently).
+    @raise Cycle_time.Not_analyzable on a graph without repetitive
+    events.
+    @raise Invalid_argument if a sampled delay is negative. *)
+
+val uniform_jitter : Signal_graph.t -> percent:float -> int -> Random.State.t -> float
+(** A ready-made sampler: uniform in [d*(1-p), d*(1+p)] around each
+    arc's nominal delay. *)

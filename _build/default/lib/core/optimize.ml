@@ -1,0 +1,108 @@
+type step = { step_arc : int; change : float; lambda_after : float }
+
+type outcome = {
+  graph : Signal_graph.t;
+  steps : step list;
+  lambda : float;
+  spent : float;
+}
+
+let speed_up ?(step_size = 1.0) ?(floor = 0.0) ~budget g =
+  if budget < 0. then invalid_arg "Optimize.speed_up: negative budget";
+  if step_size <= 0. then invalid_arg "Optimize.speed_up: step size must be positive";
+  if floor < 0. then invalid_arg "Optimize.speed_up: negative floor";
+  let rec loop g budget steps spent =
+    if budget <= 1e-12 then (g, steps, spent)
+    else begin
+      let report = Slack.analyze g in
+      let candidate =
+        Slack.critical_arcs report
+        |> List.filter (fun aid -> (Signal_graph.arc g aid).Signal_graph.delay > floor +. 1e-12)
+        |> List.fold_left
+             (fun acc aid ->
+               match acc with
+               | None -> Some aid
+               | Some best ->
+                 if
+                   (Signal_graph.arc g aid).Signal_graph.delay
+                   > (Signal_graph.arc g best).Signal_graph.delay
+                 then Some aid
+                 else acc)
+             None
+      in
+      match candidate with
+      | None -> (g, steps, spent)
+      | Some aid ->
+        let a = Signal_graph.arc g aid in
+        let cut =
+          Float.min step_size (Float.min budget (a.Signal_graph.delay -. floor))
+        in
+        let g' = Transform.add_delay g ~arc:aid (-.cut) in
+        let lambda_after = Cycle_time.cycle_time g' in
+        loop g' (budget -. cut)
+          ({ step_arc = aid; change = -.cut; lambda_after } :: steps)
+          (spent +. cut)
+    end
+  in
+  let g', steps, spent = loop g budget [] 0. in
+  { graph = g'; steps = List.rev steps; lambda = Cycle_time.cycle_time g'; spent }
+
+(* Simultaneous-safe padding: with reduced costs
+     r(a) = w(a) + pi(src) - pi(dst) <= 0
+   over the lambda-reweighted repetitive part (pi = longest-walk
+   potentials), padding every arc by -fraction * r(a) adds
+   (1 - fraction) * weight(C) <= 0 slack-consumption to every cycle C
+   (the potentials telescope), so no cycle can cross lambda. *)
+let exploit_slack ?(fraction = 1.0) g =
+  if fraction < 0. || fraction > 1. then
+    invalid_arg "Optimize.exploit_slack: fraction must be within [0, 1]";
+  let lambda = Cycle_time.cycle_time g in
+  let relaxation_tol = 1e-9 *. (1. +. abs_float lambda) in
+  let n = Signal_graph.event_count g in
+  let in_rep (a : Signal_graph.arc) =
+    Signal_graph.is_repetitive g a.arc_src && Signal_graph.is_repetitive g a.arc_dst
+  in
+  let weight (a : Signal_graph.arc) =
+    a.delay -. (lambda *. if a.marked then 1. else 0.)
+  in
+  let dg = Tsg_graph.Digraph.create ~capacity:(max n 1) () in
+  Tsg_graph.Digraph.add_vertices dg n;
+  Array.iter
+    (fun a ->
+      if in_rep a then
+        Tsg_graph.Digraph.add_arc dg ~src:a.Signal_graph.arc_src
+          ~dst:a.Signal_graph.arc_dst (weight a))
+    (Signal_graph.arcs g);
+  let potentials =
+    match
+      Tsg_graph.Paths.bellman_ford_longest ~tolerance:relaxation_tol dg
+        ~weight:Fun.id ~sources:(Signal_graph.repetitive_events g)
+    with
+    | Tsg_graph.Paths.No_positive_cycle dist -> dist
+    | Tsg_graph.Paths.Positive_cycle _ ->
+      invalid_arg "Optimize.exploit_slack: internal: cycle above lambda"
+  in
+  let pad_of i =
+    let a = Signal_graph.arc g i in
+    if not (in_rep a) then 0.
+    else begin
+      let reduced = weight a +. potentials.(a.arc_src) -. potentials.(a.arc_dst) in
+      let pad = Float.max 0. (-.fraction *. reduced) in
+      (* snap the lambda-whisker residue on critical arcs to zero *)
+      if pad <= 1e-9 *. (1. +. abs_float lambda) then 0. else pad
+    end
+  in
+  let graph =
+    Transform.map_delays g ~f:(fun i a -> a.Signal_graph.delay +. pad_of i)
+  in
+  let steps = ref [] in
+  let spent = ref 0. in
+  let lambda_final = Cycle_time.cycle_time graph in
+  for i = Signal_graph.arc_count g - 1 downto 0 do
+    let pad = pad_of i in
+    if pad > 1e-12 then begin
+      steps := { step_arc = i; change = pad; lambda_after = lambda_final } :: !steps;
+      spent := !spent +. pad
+    end
+  done;
+  { graph; steps = !steps; lambda = lambda_final; spent = !spent }

@@ -1,0 +1,59 @@
+(** Slack-driven performance/robustness optimisation loops — the
+    design use cases behind the paper's citation of Burns [2],
+    packaged as reusable procedures on top of {!Slack} and
+    {!Transform}.
+
+    Two directions:
+    - {!speed_up}: spend a delay-reduction budget on critical arcs to
+      lower the cycle time (gate upsizing);
+    - {!exploit_slack}: {e add} delay to non-critical arcs without
+      touching the cycle time (gate downsizing for power, margin
+      insertion for robustness). *)
+
+type step = {
+  step_arc : int;  (** the arc whose delay was changed *)
+  change : float;  (** signed delay change applied *)
+  lambda_after : float;  (** cycle time after the change *)
+}
+
+type outcome = {
+  graph : Signal_graph.t;  (** the transformed graph *)
+  steps : step list;  (** changes in application order *)
+  lambda : float;  (** final cycle time *)
+  spent : float;  (** total |delay change| applied *)
+}
+
+val speed_up :
+  ?step_size:float ->
+  ?floor:float ->
+  budget:float ->
+  Signal_graph.t ->
+  outcome
+(** [speed_up ~budget g] repeatedly shaves up to [step_size] (default
+    1.0) off the slowest critical arc whose delay is above [floor]
+    (default 0.0, the technology limit), until the budget is spent or
+    every critical arc is at the floor.  The cycle time is
+    non-increasing along the way; each step is greedy on the current
+    critical set, so the bottleneck migrates as in the classical
+    critical-path method.
+    @raise Invalid_argument on a negative budget, step or floor.
+    @raise Cycle_time.Not_analyzable on graphs without cycles. *)
+
+val exploit_slack : ?fraction:float -> Signal_graph.t -> outcome
+(** [exploit_slack g] pads non-critical repetitive-part arcs in one
+    simultaneous move while provably preserving the cycle time (gate
+    downsizing for power, margin insertion for robustness).
+
+    Note the subtlety tested in the suite: per-arc slacks from
+    {!Slack} are each valid {e in isolation} — pushing several arcs of
+    one cycle to their individual limits simultaneously can overshoot
+    the cycle's joint budget.  [exploit_slack] therefore distributes
+    slack through reduced costs: with longest-walk potentials [pi] over
+    the lambda-reweighted graph, every arc receives
+    [-fraction * (w(a) + pi(src) - pi(dst))], a non-negative amount
+    whose sum around any cycle is [(1 - fraction) * |cycle slack|] —
+    simultaneous-safe by the telescoping of [pi].  Critical arcs
+    receive 0; at [fraction = 1] every repetitive cycle becomes
+    critical (the maximum-padding point) and the cycle time is still
+    unchanged.
+    @raise Invalid_argument if [fraction] is outside [0, 1]. *)

@@ -1,0 +1,14 @@
+(** Minimal deterministic fork-join parallelism over OCaml 5 domains.
+
+    Used for the embarrassingly parallel outer loops of the library:
+    the per-border-event simulations of {!Cycle_time} and the
+    independent runs of {!Monte_carlo}.  Work items are claimed from a
+    shared atomic counter, so results land at their input's index and
+    the output is identical to the sequential map regardless of
+    scheduling. *)
+
+val map : jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [map ~jobs f xs] is [Array.map f xs], computed on
+    [min jobs (Array.length xs)] domains ([jobs <= 1] runs inline).
+    [f] must be safe to run concurrently (pure, or touching disjoint
+    state); exceptions raised by [f] are re-raised in the caller. *)

@@ -1,0 +1,48 @@
+(** Cycle time as a function of one arc's delay — the {e parametric}
+    view the paper connects to Young, Tarjan and Orlin's parametric
+    shortest paths [13].
+
+    Fix an arc [a] and let its delay vary as [x >= 0] while every
+    other delay stays nominal.  Each simple cycle [C] contributes the
+    affine function [(const_C + uses_C * x) / eps_C], so
+
+    {v lambda(x) = max(lambda_rest, max_k (L_k + x) / (k + m_a)) v}
+
+    is the upper envelope of finitely many lines: piecewise linear,
+    convex, and non-decreasing.  [L_k] is the longest path from the
+    arc's target back to its source crossing [k] tokens (one
+    event-initiated simulation of the unfolding, with the arc itself
+    excluded), and [lambda_rest] is the best ratio among cycles
+    avoiding the arc.
+
+    Consequences checked by the test suite: evaluating at the nominal
+    delay recovers {!Cycle_time.cycle_time}; the first breakpoint
+    after the nominal delay sits exactly at [nominal + slack]
+    ({!Slack}); the slope at large [x] is [1 / eps] of the tightest
+    cycle through the arc. *)
+
+type t
+(** The piecewise-linear function [lambda(x)] for one arc. *)
+
+val analyze : Signal_graph.t -> arc:int -> t
+(** Builds the function.  Both the lines through the arc and
+    [lambda_rest] come from longest-path sweeps of the arc-excluded
+    unfolding, so with integer delays every piece is exact.
+    @raise Invalid_argument on an arc id out of range or an arc
+    outside the repetitive part.
+    @raise Cycle_time.Not_analyzable on graphs without cycles. *)
+
+val eval : t -> float -> float
+(** [lambda(x)].  @raise Invalid_argument for [x < 0]. *)
+
+val breakpoints : t -> float list
+(** The [x] values where the active line changes, increasing.  Empty
+    when a single line dominates everywhere. *)
+
+val slope_after : t -> float -> float
+(** The right-derivative of [lambda] at [x]: [0] while the arc is not
+    critical, [1/eps] of the binding cycle once it is. *)
+
+val pieces : t -> (float * float * float) list
+(** The envelope as [(x_from, intercept, slope)] triples: on
+    [x_from <= x < x_next], [lambda(x) = intercept + slope * x]. *)

@@ -1,0 +1,23 @@
+(** PERT analysis — the acyclic special case of timing simulation.
+
+    Section II of the paper: "For the acyclic graphs timing simulation
+    is analogous to the PERT-analysis [6]."  A Signal Graph whose
+    events are all initial or non-repetitive is exactly an activity
+    network: this module computes the completion times, the makespan,
+    the critical path, and the per-arc float (slack before the
+    activity delays the makespan). *)
+
+type report = {
+  finish_times : float array;  (** occurrence time per event id *)
+  makespan : float;  (** the latest finish time *)
+  critical_path : int list;  (** event ids, source first *)
+  arc_floats : float array;
+      (** per arc id: how much its delay may grow before the makespan
+          grows (0 on critical arcs) *)
+}
+
+val analyze : Signal_graph.t -> report
+(** @raise Invalid_argument if the graph has repetitive events (use
+    {!Cycle_time.analyze} for the cyclic part). *)
+
+val pp : Signal_graph.t -> report Fmt.t

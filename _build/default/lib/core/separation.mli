@@ -1,0 +1,41 @@
+(** Steady-state time separation (skew) between events.
+
+    The cycle time answers "how fast does the system iterate?"; this
+    module answers "how far apart do two events fire within an
+    iteration?" — latch-to-latch skews, handshake phase offsets,
+    settling margins.  Once the timing simulation reaches its
+    eventually-periodic regime (see {!Steady_state}), the separation
+
+    {v sep_i(e, f) = t(f_i) - t(e_i) v}
+
+    repeats with the pattern period K, so a finite simulation yields
+    the exact steady-state separations (K values per event pair) as
+    well as the extremes observed across the whole simulated horizon,
+    transient included. *)
+
+type t
+
+val analyze : ?max_periods:int -> Signal_graph.t -> t option
+(** Runs a timing simulation long enough to lock onto the periodic
+    pattern (same horizon default as {!Steady_state.detect}); [None]
+    if no pattern fits — increase [max_periods].
+    @raise Cycle_time.Not_analyzable on a graph without repetitive
+    events. *)
+
+val lambda : t -> float
+val pattern_period : t -> int
+val transient_periods : t -> int
+
+val steady_skew : t -> from_:int -> to_:int -> float list
+(** The K steady-state values of [t(to_i) - t(from_i)], for [i]
+    ranging over one pattern after the transient.
+    @raise Invalid_argument if either event is not repetitive. *)
+
+val extremes : t -> from_:int -> to_:int -> float * float
+(** Minimum and maximum of [t(to_i) - t(from_i)] over every simulated
+    period, transient included. *)
+
+val phase : t -> int -> float list
+(** The occurrence times of an event within one steady pattern,
+    shifted so the earliest event occurrence in that pattern window is
+    time 0 — the event's "phase" in the periodic schedule. *)

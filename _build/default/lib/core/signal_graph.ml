@@ -1,0 +1,313 @@
+type event_class = Initial | Non_repetitive | Repetitive
+
+type arc = {
+  arc_src : int;
+  arc_dst : int;
+  delay : float;
+  marked : bool;
+  disengageable : bool;
+}
+
+type t = {
+  events : Event.t array;
+  classes : event_class array;
+  arc_table : arc array;
+  out_ids : int list array;
+  in_ids : int list array;
+  index : (Event.t, int) Hashtbl.t;
+  repetitive : int list;
+  initial : int list;
+  signal_names : string list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Builder                                                             *)
+
+type builder = {
+  mutable b_events : (Event.t * event_class) list; (* reversed *)
+  mutable b_arcs : arc list; (* reversed *)
+  b_index : (Event.t, int) Hashtbl.t;
+  b_class : (int, event_class) Hashtbl.t;
+  mutable b_count : int;
+}
+
+let builder () =
+  {
+    b_events = [];
+    b_arcs = [];
+    b_index = Hashtbl.create 64;
+    b_class = Hashtbl.create 64;
+    b_count = 0;
+  }
+
+let add_event b ev cls =
+  if Hashtbl.mem b.b_index ev then
+    invalid_arg
+      (Printf.sprintf "Signal_graph.add_event: duplicate event %s" (Event.to_string ev));
+  Hashtbl.add b.b_index ev b.b_count;
+  Hashtbl.add b.b_class b.b_count cls;
+  b.b_events <- (ev, cls) :: b.b_events;
+  b.b_count <- b.b_count + 1
+
+let builder_id b ev =
+  match Hashtbl.find_opt b.b_index ev with
+  | Some i -> i
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Signal_graph.add_arc: undeclared event %s" (Event.to_string ev))
+
+let builder_class b i = Hashtbl.find b.b_class i
+
+let add_arc b ?(marked = false) ?(disengageable = false) ~delay u v =
+  let src = builder_id b u and dst = builder_id b v in
+  let src_cls = builder_class b src and dst_cls = builder_class b dst in
+  let disengageable =
+    disengageable || (src_cls <> Repetitive && dst_cls = Repetitive)
+  in
+  b.b_arcs <- { arc_src = src; arc_dst = dst; delay; marked; disengageable } :: b.b_arcs
+
+(* ------------------------------------------------------------------ *)
+(* Validation                                                          *)
+
+type error =
+  | Negative_delay of Event.t * Event.t * float
+  | Marked_disengageable of Event.t * Event.t
+  | Disengageable_from_repetitive of Event.t * Event.t
+  | Repetitive_to_non_repetitive of Event.t * Event.t
+  | Initial_event_with_in_arc of Event.t
+  | Repetitive_part_not_strongly_connected
+  | Unmarked_cycle of Event.t list
+  | No_repetitive_events
+
+let pp_error ppf = function
+  | Negative_delay (u, v, d) ->
+    Fmt.pf ppf "arc %a -> %a has negative delay %g" Event.pp u Event.pp v d
+  | Marked_disengageable (u, v) ->
+    Fmt.pf ppf "arc %a -> %a is both marked and disengageable (it constrains nothing)"
+      Event.pp u Event.pp v
+  | Disengageable_from_repetitive (u, v) ->
+    Fmt.pf ppf "disengageable arc %a -> %a leaves a repetitive event" Event.pp u Event.pp v
+  | Repetitive_to_non_repetitive (u, v) ->
+    Fmt.pf ppf
+      "arc %a -> %a from a repetitive to a non-repetitive event is unbounded" Event.pp u
+      Event.pp v
+  | Initial_event_with_in_arc e ->
+    Fmt.pf ppf "initial event %a has an in-arc" Event.pp e
+  | Repetitive_part_not_strongly_connected ->
+    Fmt.pf ppf "the repetitive part of the graph is not strongly connected"
+  | Unmarked_cycle evs ->
+    Fmt.pf ppf "token-free cycle (the graph is not live): %a"
+      Fmt.(list ~sep:(any " -> ") Event.pp)
+      evs
+  | No_repetitive_events -> Fmt.pf ppf "the graph has no repetitive events"
+
+let validate events classes arc_table =
+  let errors = ref [] in
+  let err e = errors := e :: !errors in
+  let n = Array.length events in
+  Array.iter
+    (fun a ->
+      let u = events.(a.arc_src) and v = events.(a.arc_dst) in
+      if a.delay < 0. then err (Negative_delay (u, v, a.delay));
+      if a.marked && a.disengageable then err (Marked_disengageable (u, v));
+      if a.disengageable && classes.(a.arc_src) = Repetitive then
+        err (Disengageable_from_repetitive (u, v));
+      if classes.(a.arc_src) = Repetitive && classes.(a.arc_dst) <> Repetitive then
+        err (Repetitive_to_non_repetitive (u, v));
+      if classes.(a.arc_dst) = Initial then err (Initial_event_with_in_arc v))
+    arc_table;
+  (* strong connectivity of the repetitive part *)
+  let rep = ref [] in
+  for v = n - 1 downto 0 do
+    if classes.(v) = Repetitive then rep := v :: !rep
+  done;
+  let rep_list = !rep in
+  let rep_count = List.length rep_list in
+  if rep_count > 0 then begin
+    let dense = Hashtbl.create rep_count in
+    List.iteri (fun i v -> Hashtbl.add dense v i) rep_list;
+    let sub = Tsg_graph.Digraph.create ~capacity:rep_count () in
+    Tsg_graph.Digraph.add_vertices sub rep_count;
+    Array.iter
+      (fun a ->
+        match (Hashtbl.find_opt dense a.arc_src, Hashtbl.find_opt dense a.arc_dst) with
+        | Some s, Some d -> Tsg_graph.Digraph.add_arc sub ~src:s ~dst:d ()
+        | _ -> ())
+      arc_table;
+    if not (Tsg_graph.Scc.is_strongly_connected sub) then
+      err Repetitive_part_not_strongly_connected
+  end;
+  (* liveness: the subgraph of unmarked arcs must be acyclic *)
+  let unmarked = Tsg_graph.Digraph.create ~capacity:(max n 1) () in
+  Tsg_graph.Digraph.add_vertices unmarked n;
+  Array.iter
+    (fun a ->
+      if not a.marked then
+        Tsg_graph.Digraph.add_arc unmarked ~src:a.arc_src ~dst:a.arc_dst ())
+    arc_table;
+  (match Tsg_graph.Topo.sort unmarked with
+  | Ok _ -> ()
+  | Error on_cycle ->
+    (* report one concrete cycle as a witness *)
+    let witness =
+      match on_cycle with
+      | [] -> []
+      | v :: _ ->
+        let rec chase u seen =
+          if List.exists (fun w -> w = u) seen then
+            (* cut the prefix before the first occurrence of u *)
+            let rec cut = function
+              | [] -> []
+              | w :: rest -> if w = u then w :: rest else cut rest
+            in
+            cut (List.rev seen)
+          else
+            let next =
+              List.find_opt
+                (fun w -> List.exists (fun x -> x = w) on_cycle)
+                (Tsg_graph.Digraph.succ unmarked u)
+            in
+            (match next with None -> List.rev seen | Some w -> chase w (u :: seen))
+        in
+        chase v []
+    in
+    err (Unmarked_cycle (List.map (fun v -> events.(v)) witness)));
+  List.rev !errors
+
+(* ------------------------------------------------------------------ *)
+(* Freezing                                                            *)
+
+let build b =
+  let events = Array.make (max b.b_count 1) (Event.rise "_") in
+  let classes = Array.make (max b.b_count 1) Repetitive in
+  List.iteri
+    (fun i (ev, cls) ->
+      let id = b.b_count - 1 - i in
+      events.(id) <- ev;
+      classes.(id) <- cls)
+    b.b_events;
+  let events = Array.sub events 0 b.b_count in
+  let classes = Array.sub classes 0 b.b_count in
+  let arc_table = Array.of_list (List.rev b.b_arcs) in
+  match validate events classes arc_table with
+  | _ :: _ as errs -> Error errs
+  | [] ->
+    let n = b.b_count in
+    let out_ids = Array.make (max n 1) [] and in_ids = Array.make (max n 1) [] in
+    Array.iteri
+      (fun i a ->
+        out_ids.(a.arc_src) <- i :: out_ids.(a.arc_src);
+        in_ids.(a.arc_dst) <- i :: in_ids.(a.arc_dst))
+      arc_table;
+    Array.iteri (fun v ids -> out_ids.(v) <- List.rev ids) out_ids;
+    Array.iteri (fun v ids -> in_ids.(v) <- List.rev ids) in_ids;
+    let repetitive = ref [] and initial = ref [] in
+    for v = n - 1 downto 0 do
+      match classes.(v) with
+      | Repetitive -> repetitive := v :: !repetitive
+      | Initial -> initial := v :: !initial
+      | Non_repetitive -> ()
+    done;
+    let signal_names =
+      let seen = Hashtbl.create 16 in
+      let names = ref [] in
+      Array.iter
+        (fun (ev : Event.t) ->
+          if not (Hashtbl.mem seen ev.Event.signal) then begin
+            Hashtbl.add seen ev.Event.signal ();
+            names := ev.Event.signal :: !names
+          end)
+        events;
+      List.rev !names
+    in
+    let index = Hashtbl.create (max n 1) in
+    Array.iteri (fun i ev -> Hashtbl.add index ev i) events;
+    Ok
+      {
+        events;
+        classes;
+        arc_table;
+        out_ids = Array.sub out_ids 0 (max n 1);
+        in_ids = Array.sub in_ids 0 (max n 1);
+        index;
+        repetitive = !repetitive;
+        initial = !initial;
+        signal_names;
+      }
+
+let build_exn b =
+  match build b with
+  | Ok g -> g
+  | Error errs ->
+    invalid_arg
+      (Fmt.str "Signal_graph.build_exn:@ %a" Fmt.(list ~sep:(any ";@ ") pp_error) errs)
+
+let of_arcs ~events ~arcs =
+  let b = builder () in
+  List.iter (fun (ev, cls) -> add_event b ev cls) events;
+  List.iter (fun (u, v, delay, marked) -> add_arc b ~marked ~delay u v) arcs;
+  build_exn b
+
+(* ------------------------------------------------------------------ *)
+(* Accessors                                                           *)
+
+let event_count g = Array.length g.events
+let arc_count g = Array.length g.arc_table
+
+let event g i =
+  if i < 0 || i >= Array.length g.events then
+    invalid_arg (Printf.sprintf "Signal_graph.event: id %d out of range" i);
+  g.events.(i)
+
+let id g ev = Hashtbl.find g.index ev
+let id_opt g ev = Hashtbl.find_opt g.index ev
+let class_of g i = g.classes.(i)
+let is_repetitive g i = g.classes.(i) = Repetitive
+let arc g i = g.arc_table.(i)
+let arcs g = g.arc_table
+let out_arc_ids g v = g.out_ids.(v)
+let in_arc_ids g v = g.in_ids.(v)
+let events_of g = g.events
+let repetitive_events g = g.repetitive
+let initial_events g = g.initial
+let signals g = g.signal_names
+let repetitive_count g = List.length g.repetitive
+
+let to_digraph g =
+  let n = event_count g in
+  let dg = Tsg_graph.Digraph.create ~capacity:(max n 1) () in
+  Tsg_graph.Digraph.add_vertices dg n;
+  Array.iteri
+    (fun i a -> Tsg_graph.Digraph.add_arc dg ~src:a.arc_src ~dst:a.arc_dst i)
+    g.arc_table;
+  dg
+
+let repetitive_digraph g =
+  let n = event_count g in
+  let dg = Tsg_graph.Digraph.create ~capacity:(max n 1) () in
+  Tsg_graph.Digraph.add_vertices dg n;
+  Array.iteri
+    (fun i a ->
+      if g.classes.(a.arc_src) = Repetitive && g.classes.(a.arc_dst) = Repetitive then
+        Tsg_graph.Digraph.add_arc dg ~src:a.arc_src ~dst:a.arc_dst i)
+    g.arc_table;
+  dg
+
+let pp ppf g =
+  let class_name = function
+    | Initial -> "initial"
+    | Non_repetitive -> "non-repetitive"
+    | Repetitive -> "repetitive"
+  in
+  Fmt.pf ppf "@[<v>signal graph: %d events, %d arcs" (event_count g) (arc_count g);
+  Array.iteri
+    (fun i ev -> Fmt.pf ppf "@,  %d: %a (%s)" i Event.pp ev (class_name g.classes.(i)))
+    g.events;
+  Array.iter
+    (fun a ->
+      Fmt.pf ppf "@,  %a -%g-> %a%s%s" Event.pp g.events.(a.arc_src) a.delay Event.pp
+        g.events.(a.arc_dst)
+        (if a.marked then " [*]" else "")
+        (if a.disengageable then " [once]" else ""))
+    g.arc_table;
+  Fmt.pf ppf "@]"

@@ -1,0 +1,132 @@
+(** Timed Signal Graphs (Section III of the paper).
+
+    A Signal Graph is a tuple [<A, I, ->, M, O>]: a set of events [A],
+    initial events [I], a precedence relation (the arcs), a boolean
+    initial marking [M], and a set of disengageable arcs [O] that
+    influence the execution once only.  Repetitive events ([A_r]) fire
+    infinitely often; the rest fire at most once.  A Timed Signal Graph
+    labels every arc with a delay [>= 0].
+
+    Events are addressed by dense integer ids assigned in declaration
+    order; arcs likewise carry dense ids used by the token game and by
+    critical-cycle backtracking. *)
+
+type event_class =
+  | Initial  (** in [I]: fires spontaneously at time 0; no in-arcs *)
+  | Non_repetitive  (** fires at most once (e.g. [f-] in Fig. 1) *)
+  | Repetitive  (** in [A_r]: oscillates forever *)
+
+type arc = {
+  arc_src : int;
+  arc_dst : int;
+  delay : float;
+  marked : bool;  (** initial activity (a token, drawn as a bullet) *)
+  disengageable : bool;
+      (** active once only (a crossed arrow); always true for arcs
+          whose source is non-repetitive and destination repetitive *)
+}
+
+type t
+
+(** {1 Construction} *)
+
+type builder
+
+val builder : unit -> builder
+
+val add_event : builder -> Event.t -> event_class -> unit
+(** Declares an event.  @raise Invalid_argument on a duplicate. *)
+
+val add_arc :
+  builder ->
+  ?marked:bool ->
+  ?disengageable:bool ->
+  delay:float ->
+  Event.t ->
+  Event.t ->
+  unit
+(** [add_arc b ~delay u v] adds the arc [u -> v].  Both events must
+    already be declared.  [marked] and [disengageable] default to
+    [false]; an arc from a non-repetitive event to a repetitive one is
+    made disengageable automatically (well-formedness, Section III.A). *)
+
+type error =
+  | Negative_delay of Event.t * Event.t * float
+  | Marked_disengageable of Event.t * Event.t
+      (** a marked disengageable arc never constrains anything *)
+  | Disengageable_from_repetitive of Event.t * Event.t
+      (** violates "no repetitive events before disengageable arcs" *)
+  | Repetitive_to_non_repetitive of Event.t * Event.t
+      (** would accumulate unboundedly many tokens *)
+  | Initial_event_with_in_arc of Event.t
+  | Repetitive_part_not_strongly_connected
+  | Unmarked_cycle of Event.t list
+      (** a token-free cycle: the graph is not live *)
+  | No_repetitive_events
+
+val pp_error : error Fmt.t
+
+val build : builder -> (t, error list) result
+(** Validates and freezes the graph. *)
+
+val build_exn : builder -> t
+(** @raise Invalid_argument listing the validation errors. *)
+
+val of_arcs :
+  events:(Event.t * event_class) list ->
+  arcs:(Event.t * Event.t * float * bool) list ->
+  t
+(** Convenience one-shot constructor; the [bool] is the marking.
+    @raise Invalid_argument on validation errors. *)
+
+(** {1 Accessors} *)
+
+val event_count : t -> int
+val arc_count : t -> int
+
+val event : t -> int -> Event.t
+(** The event with the given id.  @raise Invalid_argument if out of range. *)
+
+val id : t -> Event.t -> int
+(** @raise Not_found if the event is not in the graph. *)
+
+val id_opt : t -> Event.t -> int option
+val class_of : t -> int -> event_class
+val is_repetitive : t -> int -> bool
+
+val arc : t -> int -> arc
+(** The arc with the given id. *)
+
+val arcs : t -> arc array
+(** All arcs, indexed by arc id (do not mutate). *)
+
+val out_arc_ids : t -> int -> int list
+(** Ids of arcs leaving the event, in insertion order. *)
+
+val in_arc_ids : t -> int -> int list
+
+val events_of : t -> Event.t array
+(** All events indexed by id (do not mutate). *)
+
+val repetitive_events : t -> int list
+(** Ids of the events of [A_r], ascending. *)
+
+val initial_events : t -> int list
+(** Ids of the events of [I], ascending. *)
+
+val signals : t -> string list
+(** Distinct signal names, in first-appearance order. *)
+
+val repetitive_count : t -> int
+
+val to_digraph : t -> int Tsg_graph.Digraph.t
+(** The underlying digraph over event ids; each arc is labelled with
+    its arc id. *)
+
+val repetitive_digraph : t -> int Tsg_graph.Digraph.t
+(** The sub-digraph induced by the repetitive events (vertex ids are
+    the original event ids; non-repetitive vertices are present but
+    isolated).  Arc labels are TSG arc ids. *)
+
+val pp : t Fmt.t
+(** A readable multi-line dump of the graph. *)

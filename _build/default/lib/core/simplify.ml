@@ -1,0 +1,43 @@
+(* rebuild without one arc; None if the result no longer validates *)
+let without_arc g arc =
+  let b = Signal_graph.builder () in
+  Array.iteri
+    (fun i ev -> Signal_graph.add_event b ev (Signal_graph.class_of g i))
+    (Signal_graph.events_of g);
+  Array.iteri
+    (fun i (a : Signal_graph.arc) ->
+      if i <> arc then
+        Signal_graph.add_arc b ~marked:a.marked ~disengageable:a.disengageable
+          ~delay:a.delay
+          (Signal_graph.event g a.arc_src)
+          (Signal_graph.event g a.arc_dst))
+    (Signal_graph.arcs g);
+  match Signal_graph.build b with Ok g' -> Some g' | Error _ -> None
+
+let is_redundant ?periods g arc =
+  match without_arc g arc with
+  | None -> false
+  | Some g' -> Equivalence.timing_equal ?periods g g'
+
+let redundant_arcs ?periods g =
+  List.filter (is_redundant ?periods g) (List.init (Signal_graph.arc_count g) Fun.id)
+
+let prune ?periods g =
+  (* remove one redundant arc at a time, tracking original ids *)
+  let rec loop g original_ids removed =
+    let rec find i =
+      if i >= Signal_graph.arc_count g then None
+      else if is_redundant ?periods g i then Some i
+      else find (i + 1)
+    in
+    match find 0 with
+    | None -> (g, List.rev removed)
+    | Some i -> (
+      match without_arc g i with
+      | None -> (g, List.rev removed)
+      | Some g' ->
+        let original = List.nth original_ids i in
+        let original_ids' = List.filteri (fun j _ -> j <> i) original_ids in
+        loop g' original_ids' (original :: removed))
+  in
+  loop g (List.init (Signal_graph.arc_count g) Fun.id) []

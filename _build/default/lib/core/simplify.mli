@@ -1,0 +1,19 @@
+(** Redundant-arc detection and pruning.
+
+    Extracted or hand-written models often carry arcs that never
+    constrain anything — a dependency already implied by a longer
+    path.  An arc is {e redundant} when removing it leaves the graph
+    valid and timing-equal (every occurrence time unchanged, checked
+    via {!Equivalence}).  Pruning such arcs shrinks the model and
+    speeds every later analysis without changing any result. *)
+
+val redundant_arcs : ?periods:int -> Signal_graph.t -> int list
+(** Arc ids whose individual removal preserves validity and timing,
+    ascending.  (Arcs are tested one at a time; two arcs that are
+    redundant individually need not be jointly removable —
+    {!prune} handles that by re-checking after each removal.) *)
+
+val prune : ?periods:int -> Signal_graph.t -> Signal_graph.t * int list
+(** [(g', removed)] where [g'] has no redundant arcs left and
+    [removed] lists the pruned arcs as ids {e of the original graph},
+    in removal order.  [g'] is timing-equal to [g]. *)

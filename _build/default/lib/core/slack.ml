@@ -1,0 +1,79 @@
+type arc_slack = { arc_id : int; slack : float; on_critical_cycle : bool }
+type report = { lambda : float; arc_slacks : arc_slack array }
+
+let analyze ?lambda g =
+  let lambda = match lambda with Some l -> l | None -> Cycle_time.cycle_time g in
+  (* reweight with the exact lambda; the relaxation tolerance below
+     keeps floating-point noise on critical (zero-weight) cycles from
+     being mistaken for a positive cycle *)
+  let relaxation_tol = 1e-9 *. (1. +. abs_float lambda) in
+  let critical_tol = 1e-6 *. (1. +. abs_float lambda) in
+  let n = Signal_graph.event_count g in
+  let arcs = Signal_graph.arcs g in
+  let in_repetitive_part (a : Signal_graph.arc) =
+    Signal_graph.is_repetitive g a.arc_src && Signal_graph.is_repetitive g a.arc_dst
+  in
+  let weight_of (a : Signal_graph.arc) =
+    a.delay -. (lambda *. if a.marked then 1. else 0.)
+  in
+  let dg = Tsg_graph.Digraph.create ~capacity:(max n 1) () in
+  Tsg_graph.Digraph.add_vertices dg n;
+  Array.iter
+    (fun a ->
+      if in_repetitive_part a then
+        Tsg_graph.Digraph.add_arc dg ~src:a.Signal_graph.arc_src
+          ~dst:a.Signal_graph.arc_dst (weight_of a))
+    arcs;
+  let walk_memo : (int, float array) Hashtbl.t = Hashtbl.create 16 in
+  let longest_walks_from v =
+    match Hashtbl.find_opt walk_memo v with
+    | Some dist -> dist
+    | None ->
+      let dist =
+        match
+          Tsg_graph.Paths.bellman_ford_longest ~tolerance:relaxation_tol dg
+            ~weight:Fun.id ~sources:[ v ]
+        with
+        | Tsg_graph.Paths.No_positive_cycle dist -> dist
+        | Tsg_graph.Paths.Positive_cycle _ ->
+          invalid_arg
+            "Slack.analyze: a cycle exceeds the given lambda (wrong lambda supplied?)"
+      in
+      Hashtbl.add walk_memo v dist;
+      dist
+  in
+  let slack_of i (a : Signal_graph.arc) =
+    if not (in_repetitive_part a) then
+      { arc_id = i; slack = infinity; on_critical_cycle = false }
+    else begin
+      let back = (longest_walks_from a.arc_dst).(a.arc_src) in
+      if back = neg_infinity then
+        { arc_id = i; slack = infinity; on_critical_cycle = false }
+      else begin
+        let best_cycle_weight = weight_of a +. back in
+        let raw = Float.max 0. (-.best_cycle_weight) in
+        (* snap numerical residue on critical arcs to a clean zero *)
+        let slack = if raw <= critical_tol then 0. else raw in
+        { arc_id = i; slack; on_critical_cycle = raw <= critical_tol }
+      end
+    end
+  in
+  { lambda; arc_slacks = Array.mapi slack_of arcs }
+
+let critical_arcs r =
+  Array.to_list r.arc_slacks
+  |> List.filter_map (fun s -> if s.on_critical_cycle then Some s.arc_id else None)
+
+let all_critical_cycles ?limit g =
+  let report = analyze g in
+  let tol = 1e-9 *. (1. +. abs_float report.lambda) in
+  Cycles.simple_cycles ?limit ~arcs:(critical_arcs report) g
+  |> List.filter (fun c -> Cycles.effective_length c >= report.lambda -. tol)
+
+let bottleneck_ranking r =
+  Array.to_list r.arc_slacks
+  |> List.filter (fun s -> s.slack < infinity)
+  |> List.sort (fun s1 s2 ->
+         let c = Float.compare s1.slack s2.slack in
+         if c <> 0 then c else Int.compare s1.arc_id s2.arc_id)
+  |> List.map (fun s -> (s.arc_id, s.slack))

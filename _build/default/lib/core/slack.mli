@@ -1,0 +1,53 @@
+(** Arc criticality and slack — "how far is this gate from the
+    bottleneck?".
+
+    An application-side extension of the paper's critical-cycle output:
+    once the cycle time [lambda] is known, reweight every
+    repetitive-part arc to [delay - lambda * tokens].  Every cycle then
+    has non-positive weight, and the {e slack} of an arc is the amount
+    its delay can grow before some cycle through it becomes critical:
+
+    {v slack(a) = - max { weight(C) | C a cycle through a } v}
+
+    Arcs with zero slack lie on a critical cycle; arcs outside every
+    cycle (e.g. the initial, non-repetitive part) have infinite slack.
+    This is the timing-driven-optimisation view used by Burns [2],
+    computed here with longest-walk sweeps (Bellman-Ford on the
+    reweighted graph, which has no positive cycles). *)
+
+type arc_slack = {
+  arc_id : int;
+  slack : float;  (** additional delay tolerated; [infinity] if acyclic *)
+  on_critical_cycle : bool;  (** slack is (numerically) zero *)
+}
+
+type report = {
+  lambda : float;
+  arc_slacks : arc_slack array;  (** indexed by arc id *)
+}
+
+val analyze : ?lambda:float -> Signal_graph.t -> report
+(** [analyze g] computes per-arc slacks.  [lambda] may be supplied if
+    already known (it is validated against nothing — passing a wrong
+    value yields meaningless slacks); otherwise {!Cycle_time.cycle_time}
+    is called.  Cost: one longest-walk sweep per distinct arc target,
+    O(n m) each in the worst case.
+    @raise Cycle_time.Not_analyzable on a graph without repetitive events. *)
+
+val critical_arcs : report -> int list
+(** The arc ids with zero slack, ascending — together they cover all
+    critical cycles. *)
+
+val bottleneck_ranking : report -> (int * float) list
+(** All repetitive-part arcs as [(arc id, slack)], most critical
+    first (ties by arc id). *)
+
+val all_critical_cycles : ?limit:int -> Signal_graph.t -> Cycles.cycle list
+(** Every simple cycle whose effective length equals the cycle time —
+    the complete set of critical cycles, not just the one recovered by
+    backtracking.  Enumerates cycles inside the zero-slack subgraph
+    (every critical cycle consists of zero-slack arcs) and keeps those
+    whose ratio attains the cycle time; much cheaper than enumerating
+    all cycles of the graph when the critical region is small.
+    @raise Cycle_time.Not_analyzable on a graph without repetitive
+    events. *)

@@ -1,0 +1,92 @@
+type result = {
+  time : float array;
+  pred_instance : int array;
+  pred_arc : int array;
+  reached : bool array;
+}
+
+(* longest-path relaxation in topological order over a chosen set of
+   root instances; [restrict] masks which instances participate.  Runs
+   on the unfolding's compact adjacency: this loop is executed once per
+   border event and dominates the O(b^2 m) algorithm. *)
+let longest_paths u ~roots ~restrict =
+  let n = Unfolding.instance_count u in
+  let time = Array.make n 0. in
+  let pred_instance = Array.make n (-1) in
+  let pred_arc = Array.make n (-1) in
+  let is_root = Array.make n false in
+  List.iter (fun v -> is_root.(v) <- true) roots;
+  let topo = Unfolding.topological_order u in
+  let starts, srcs, arc_ids = Unfolding.in_adjacency u in
+  let delays = Unfolding.delays u in
+  for k = 0 to Array.length topo - 1 do
+    let v = topo.(k) in
+    if restrict.(v) && not is_root.(v) then
+      for j = starts.(v) to starts.(v + 1) - 1 do
+        let src = srcs.(j) in
+        if restrict.(src) then begin
+          let d = time.(src) +. delays.(arc_ids.(j)) in
+          if pred_instance.(v) < 0 || d > time.(v) then begin
+            time.(v) <- d;
+            pred_instance.(v) <- src;
+            pred_arc.(v) <- arc_ids.(j)
+          end
+        end
+      done
+  done;
+  { time; pred_instance; pred_arc; reached = restrict }
+
+(* forward reachability on the compact out-adjacency *)
+let reachable_from u at =
+  let n = Unfolding.instance_count u in
+  let starts, dsts, _ = Unfolding.out_adjacency u in
+  let seen = Array.make n false in
+  let stack = Array.make n 0 in
+  let top = ref 0 in
+  seen.(at) <- true;
+  stack.(!top) <- at;
+  incr top;
+  while !top > 0 do
+    decr top;
+    let v = stack.(!top) in
+    for j = starts.(v) to starts.(v + 1) - 1 do
+      let w = dsts.(j) in
+      if not seen.(w) then begin
+        seen.(w) <- true;
+        stack.(!top) <- w;
+        incr top
+      end
+    done
+  done;
+  seen
+
+let simulate u =
+  let n = Unfolding.instance_count u in
+  let restrict = Array.make n true in
+  longest_paths u ~roots:(Unfolding.initial_instances u) ~restrict
+
+let simulate_initiated u ~at =
+  longest_paths u ~roots:[ at ] ~restrict:(reachable_from u at)
+
+let occurrence_times u r ~event =
+  let sg = Unfolding.signal_graph u in
+  let k = if Signal_graph.is_repetitive sg event then Unfolding.periods u else 1 in
+  Array.init k (fun period -> r.time.(Unfolding.instance u ~event ~period))
+
+let average_occurrence_distance u r ~event ~period =
+  r.time.(Unfolding.instance u ~event ~period) /. float_of_int (period + 1)
+
+let initiated_average_distance u r ~event ~period =
+  if period = 0 then
+    invalid_arg "Timing_sim.initiated_average_distance: period must be > 0";
+  r.time.(Unfolding.instance u ~event ~period) /. float_of_int period
+
+let critical_path _u r ~instance =
+  let rec back v acc =
+    let entering =
+      if r.pred_instance.(v) < 0 then None else Some r.pred_arc.(v)
+    in
+    let acc = (v, entering) :: acc in
+    if r.pred_instance.(v) < 0 then acc else back r.pred_instance.(v) acc
+  in
+  back instance []

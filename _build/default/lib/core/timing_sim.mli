@@ -1,0 +1,56 @@
+(** Timing simulation of an unfolded Timed Signal Graph (Section IV).
+
+    The timing simulation assigns to every instance [f] of the
+    unfolding its occurrence time
+
+    {v t(f) = 0                          if f is in I_u
+t(f) = max { t(e) + d | e -d-> f }  otherwise v}
+
+    i.e. the longest-path distance from the initial instances
+    (Proposition 1).  The {e event-initiated} simulation [t_g] starts
+    the clock at a chosen instance [g]: everything concurrent with or
+    preceding [g] is assumed past (occurrence time 0, out-arcs
+    neglected), so [t_g(f)] is the longest-path distance from [g] for
+    instances reachable from [g] and [0] elsewhere. *)
+
+type result = {
+  time : float array;  (** occurrence time per instance id *)
+  pred_instance : int array;
+      (** argmax predecessor instance on a longest path, or [-1] *)
+  pred_arc : int array;
+      (** the Signal-Graph arc id realising the argmax, or [-1] *)
+  reached : bool array;
+      (** instances whose time is constrained (for an event-initiated
+          simulation: reachable from the initiating instance; for the
+          plain simulation: everything) *)
+}
+
+val simulate : Unfolding.t -> result
+(** The timing simulation [t] of the whole unfolding.  The topological
+    order and compact adjacency are cached inside the unfolding, so
+    repeated simulations of the same unfolding (as the cycle-time
+    algorithm performs, once per border event) pay the set-up cost
+    once. *)
+
+val simulate_initiated : Unfolding.t -> at:int -> result
+(** [simulate_initiated u ~at:g] is the [g]-initiated timing
+    simulation.  [time.(f) = 0.] and [reached.(f) = false] for every
+    [f] not reachable from [g]. *)
+
+val occurrence_times : Unfolding.t -> result -> event:int -> float array
+(** [occurrence_times u r ~event] is the array of [t(e_i)] for
+    [i = 0 .. periods-1] (length 1 for a non-repetitive event). *)
+
+val average_occurrence_distance : Unfolding.t -> result -> event:int -> period:int -> float
+(** [Delta(e_i) = t(e_i) / (i + 1)] — the average occurrence distance
+    after [i] periods of a plain simulation (Section IV.C). *)
+
+val initiated_average_distance :
+  Unfolding.t -> result -> event:int -> period:int -> float
+(** [Delta_{e_0}(e_i) = t_{e_0}(e_i) / i] for an [e_0]-initiated
+    simulation.  @raise Invalid_argument if [period = 0]. *)
+
+val critical_path : Unfolding.t -> result -> instance:int -> (int * int option) list
+(** The longest path leading to [instance], root-first, as
+    [(instance, arc entering it)] pairs; the root carries [None].
+    This is the "backtracking" step of Section VI.B. *)

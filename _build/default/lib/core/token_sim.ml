@@ -1,0 +1,77 @@
+type occurrence = { occ_event : int; occ_index : int; occ_time : float }
+
+type trace = { occurrences : occurrence list; times : float array array }
+
+let run ?(periods = 8) ?(horizon = infinity) g =
+  if periods < 1 then invalid_arg "Token_sim.run: periods must be >= 1";
+  let n = Signal_graph.event_count g in
+  let m = Signal_graph.arc_count g in
+  (* per arc: FIFO of ready-times for the consumer *)
+  let queues = Array.init m (fun _ -> Queue.create ()) in
+  Array.iteri
+    (fun i (a : Signal_graph.arc) ->
+      (* an initial token's cause lies in the past: it is ready at 0 *)
+      if a.marked then Queue.add 0. queues.(i))
+    (Signal_graph.arcs g);
+  let fired = Array.make n 0 in
+  let cap e = if Signal_graph.is_repetitive g e then periods else 1 in
+  let arc_active (a : Signal_graph.arc) =
+    (not a.disengageable) || fired.(a.arc_dst) = 0
+  in
+  let active_in_arcs e =
+    List.filter (fun aid -> arc_active (Signal_graph.arc g aid)) (Signal_graph.in_arc_ids g e)
+  in
+  let enabled_at e =
+    if fired.(e) >= cap e then None
+    else begin
+      let ins = active_in_arcs e in
+      if List.for_all (fun aid -> not (Queue.is_empty queues.(aid))) ins then
+        Some (List.fold_left (fun acc aid -> Float.max acc (Queue.peek queues.(aid))) 0. ins)
+      else None
+    end
+  in
+  let occurrences = ref [] in
+  let fire e t =
+    List.iter (fun aid -> ignore (Queue.pop queues.(aid))) (active_in_arcs e);
+    occurrences := { occ_event = e; occ_index = fired.(e); occ_time = t } :: !occurrences;
+    fired.(e) <- fired.(e) + 1;
+    List.iter
+      (fun aid ->
+        let a = Signal_graph.arc g aid in
+        Queue.add (t +. a.Signal_graph.delay) queues.(aid))
+      (Signal_graph.out_arc_ids g e)
+  in
+  (* marked graphs are confluent: the firing order cannot change any
+     timestamp, so a simple sweep loop suffices *)
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    for e = 0 to n - 1 do
+      match enabled_at e with
+      | Some t when t <= horizon ->
+        fire e t;
+        progress := true
+      | Some _ | None -> ()
+    done
+  done;
+  let times =
+    Array.init n (fun e ->
+        let ts =
+          List.filter_map
+            (fun o -> if o.occ_event = e then Some (o.occ_index, o.occ_time) else None)
+            !occurrences
+          |> List.sort compare
+        in
+        Array.of_list (List.map snd ts))
+  in
+  let occurrences =
+    List.sort
+      (fun o1 o2 ->
+        let c = Float.compare o1.occ_time o2.occ_time in
+        if c <> 0 then c
+        else
+          let c = Int.compare o1.occ_event o2.occ_event in
+          if c <> 0 then c else Int.compare o1.occ_index o2.occ_index)
+      !occurrences
+  in
+  { occurrences; times }

@@ -1,0 +1,30 @@
+(** A discrete-event simulator for the {e timed} token game — the
+    operational counterpart of the unfolding-based timing simulation.
+
+    Tokens carry the timestamp of the firing that produced them
+    (initial tokens carry 0: their conditions were established in the
+    past).  An event fires as soon as every active in-arc offers a
+    token; the firing time is the maximum over in-arcs of
+    [token timestamp + arc delay] — for initial tokens just the
+    timestamp 0, since their cause predates the simulation.
+
+    This computes exactly the same occurrence times as
+    {!Timing_sim.simulate} on the unfolding (longest paths), but by
+    running the system forward like an event-driven simulator would.
+    The equivalence of the two semantics — declarative longest-path vs
+    operational token game — is a cornerstone differential test of the
+    whole library. *)
+
+type occurrence = { occ_event : int; occ_index : int; occ_time : float }
+
+type trace = {
+  occurrences : occurrence list;  (** chronological; ties by event id *)
+  times : float array array;
+      (** [times.(e)] lists the firing times of event [e], in order *)
+}
+
+val run : ?periods:int -> ?horizon:float -> Signal_graph.t -> trace
+(** Simulates from the initial marking until every repetitive event
+    has fired [periods] times (default 8), an event's firing time
+    would exceed [horizon] (default [infinity]), or nothing is
+    enabled. *)

@@ -1,0 +1,34 @@
+let rebuild g ~delay_of ~event_of =
+  let b = Signal_graph.builder () in
+  Array.iteri
+    (fun i ev -> Signal_graph.add_event b (event_of i ev) (Signal_graph.class_of g i))
+    (Signal_graph.events_of g);
+  Array.iteri
+    (fun i (a : Signal_graph.arc) ->
+      Signal_graph.add_arc b ~marked:a.marked ~disengageable:a.disengageable
+        ~delay:(delay_of i a)
+        (event_of a.arc_src (Signal_graph.event g a.arc_src))
+        (event_of a.arc_dst (Signal_graph.event g a.arc_dst)))
+    (Signal_graph.arcs g);
+  Signal_graph.build_exn b
+
+let map_delays g ~f = rebuild g ~delay_of:f ~event_of:(fun _ ev -> ev)
+
+let set_delay g ~arc ~delay =
+  if arc < 0 || arc >= Signal_graph.arc_count g then
+    invalid_arg "Transform.set_delay: arc id out of range";
+  map_delays g ~f:(fun i a -> if i = arc then delay else a.Signal_graph.delay)
+
+let add_delay g ~arc extra =
+  if arc < 0 || arc >= Signal_graph.arc_count g then
+    invalid_arg "Transform.add_delay: arc id out of range";
+  map_delays g ~f:(fun i a ->
+      if i = arc then a.Signal_graph.delay +. extra else a.Signal_graph.delay)
+
+let scale_delays g factor =
+  if factor < 0. then invalid_arg "Transform.scale_delays: negative factor";
+  map_delays g ~f:(fun _ a -> a.Signal_graph.delay *. factor)
+
+let relabel_signals g ~f =
+  let event_of _ (ev : Event.t) = Event.make (f ev.Event.signal) ev.Event.dir ev.Event.occurrence in
+  rebuild g ~delay_of:(fun _ a -> a.Signal_graph.delay) ~event_of

@@ -1,0 +1,26 @@
+(** What-if transformations of Timed Signal Graphs.
+
+    All transformations rebuild the graph through the validating
+    constructor, preserving event ids and arc ids (arcs are re-inserted
+    in id order), so results of one analysis — e.g. the arc ids in a
+    {!Slack.report} — remain meaningful on the transformed graph. *)
+
+val map_delays : Signal_graph.t -> f:(int -> Signal_graph.arc -> float) -> Signal_graph.t
+(** [map_delays g ~f] rewrites every arc delay to [f arc_id arc].
+    @raise Invalid_argument if the rewritten graph fails validation
+    (e.g. a negative delay). *)
+
+val set_delay : Signal_graph.t -> arc:int -> delay:float -> Signal_graph.t
+(** Changes one arc's delay. *)
+
+val add_delay : Signal_graph.t -> arc:int -> float -> Signal_graph.t
+(** Adds to one arc's delay. *)
+
+val scale_delays : Signal_graph.t -> float -> Signal_graph.t
+(** Multiplies every delay by a non-negative factor; the cycle time
+    scales by the same factor. *)
+
+val relabel_signals : Signal_graph.t -> f:(string -> string) -> Signal_graph.t
+(** Renames every signal through [f] (which must be injective on the
+    graph's signals).
+    @raise Invalid_argument if two signals collide. *)

@@ -1,0 +1,180 @@
+type csr = { starts : int array; neighbors : int array; arc_ids : int array }
+
+type t = {
+  sg : Signal_graph.t;
+  k : int; (* number of periods *)
+  n_events : int;
+  rep_index : int array; (* event id -> dense repetitive index, or -1 *)
+  rep_ids : int array; (* dense repetitive index -> event id *)
+  dag : int Tsg_graph.Digraph.t;
+  (* compact adjacency and topological order for the hot loops of the
+     timing simulation: the digraph view allocates on every traversal,
+     which dominates the O(b^2 m) algorithm's constant factor *)
+  mutable in_csr : csr option;
+  mutable out_csr : csr option;
+  mutable topo : int array option;
+  mutable delay_cache : float array option;
+}
+
+let instance_id t ~event ~period =
+  if period = 0 then event
+  else t.n_events + ((period - 1) * Array.length t.rep_ids) + t.rep_index.(event)
+
+let make sg ~periods =
+  if periods < 1 then invalid_arg "Unfolding.make: periods must be >= 1";
+  let n_events = Signal_graph.event_count sg in
+  let rep_list = Signal_graph.repetitive_events sg in
+  let r = List.length rep_list in
+  let rep_index = Array.make (max n_events 1) (-1) in
+  let rep_ids = Array.make (max r 1) 0 in
+  List.iteri
+    (fun i e ->
+      rep_index.(e) <- i;
+      rep_ids.(i) <- e)
+    rep_list;
+  let rep_ids = Array.sub rep_ids 0 r in
+  let total = n_events + ((periods - 1) * r) in
+  let dag = Tsg_graph.Digraph.create ~capacity:(max total 1) () in
+  Tsg_graph.Digraph.add_vertices dag total;
+  let t =
+    {
+      sg;
+      k = periods;
+      n_events;
+      rep_index;
+      rep_ids;
+      dag;
+      in_csr = None;
+      out_csr = None;
+      topo = None;
+      delay_cache = None;
+    }
+  in
+  let add_arcs_for_instance aid (a : Signal_graph.arc) =
+    let once = a.disengageable || not (Signal_graph.is_repetitive sg a.arc_src) in
+    let m = if a.marked then 1 else 0 in
+    if once then begin
+      (* single constraint u_0 -> v_m, when the destination instance exists *)
+      let dst_exists =
+        m = 0 || (m < periods && Signal_graph.is_repetitive sg a.arc_dst)
+      in
+      if dst_exists then
+        Tsg_graph.Digraph.add_arc dag
+          ~src:(instance_id t ~event:a.arc_src ~period:0)
+          ~dst:(instance_id t ~event:a.arc_dst ~period:m)
+          aid
+    end
+    else begin
+      let dst_periods = if Signal_graph.is_repetitive sg a.arc_dst then periods else 1 in
+      for i = m to dst_periods - 1 do
+        Tsg_graph.Digraph.add_arc dag
+          ~src:(instance_id t ~event:a.arc_src ~period:(i - m))
+          ~dst:(instance_id t ~event:a.arc_dst ~period:i)
+          aid
+      done
+    end
+  in
+  Array.iteri add_arcs_for_instance (Signal_graph.arcs sg);
+  t
+
+let signal_graph t = t.sg
+let periods t = t.k
+let instance_count t = Tsg_graph.Digraph.vertex_count t.dag
+
+let instance_opt t ~event ~period =
+  if event < 0 || event >= t.n_events || period < 0 || period >= t.k then None
+  else if period > 0 && t.rep_index.(event) < 0 then None
+  else Some (instance_id t ~event ~period)
+
+let instance t ~event ~period =
+  match instance_opt t ~event ~period with
+  | Some i -> i
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Unfolding.instance: no instance of event %d in period %d" event
+         period)
+
+let event_of_instance t i =
+  if i < t.n_events then (i, 0)
+  else begin
+    let r = Array.length t.rep_ids in
+    let off = i - t.n_events in
+    (t.rep_ids.(off mod r), 1 + (off / r))
+  end
+
+let dag t = t.dag
+let delay_of_label t aid = (Signal_graph.arc t.sg aid).Signal_graph.delay
+
+let initial_instances t =
+  let result = ref [] in
+  for i = instance_count t - 1 downto 0 do
+    if Tsg_graph.Digraph.in_degree t.dag i = 0 then result := i :: !result
+  done;
+  !result
+
+(* ------------------------------------------------------------------ *)
+(* Compact views                                                       *)
+
+let build_csr t ~incoming =
+  let n = instance_count t in
+  let m = Tsg_graph.Digraph.arc_count t.dag in
+  let starts = Array.make (n + 1) 0 in
+  Tsg_graph.Digraph.iter_arcs t.dag (fun src dst _ ->
+      let v = if incoming then dst else src in
+      starts.(v + 1) <- starts.(v + 1) + 1);
+  for v = 1 to n do
+    starts.(v) <- starts.(v) + starts.(v - 1)
+  done;
+  let fill = Array.copy starts in
+  let neighbors = Array.make (max m 1) 0 in
+  let arc_ids = Array.make (max m 1) 0 in
+  Tsg_graph.Digraph.iter_arcs t.dag (fun src dst aid ->
+      let v, w = if incoming then (dst, src) else (src, dst) in
+      neighbors.(fill.(v)) <- w;
+      arc_ids.(fill.(v)) <- aid;
+      fill.(v) <- fill.(v) + 1);
+  { starts; neighbors; arc_ids }
+
+let in_adjacency t =
+  match t.in_csr with
+  | Some csr -> (csr.starts, csr.neighbors, csr.arc_ids)
+  | None ->
+    let csr = build_csr t ~incoming:true in
+    t.in_csr <- Some csr;
+    (csr.starts, csr.neighbors, csr.arc_ids)
+
+let out_adjacency t =
+  match t.out_csr with
+  | Some csr -> (csr.starts, csr.neighbors, csr.arc_ids)
+  | None ->
+    let csr = build_csr t ~incoming:false in
+    t.out_csr <- Some csr;
+    (csr.starts, csr.neighbors, csr.arc_ids)
+
+let topological_order t =
+  match t.topo with
+  | Some order -> order
+  | None ->
+    let order = Array.of_list (Tsg_graph.Topo.sort_exn t.dag) in
+    t.topo <- Some order;
+    order
+
+let delays t =
+  match t.delay_cache with
+  | Some d -> d
+  | None ->
+    let d =
+      Array.map (fun (a : Signal_graph.arc) -> a.Signal_graph.delay) (Signal_graph.arcs t.sg)
+    in
+    t.delay_cache <- Some d;
+    d
+
+let warm_caches t =
+  ignore (in_adjacency t);
+  ignore (out_adjacency t);
+  ignore (topological_order t);
+  ignore (delays t)
+
+let pp_instance t ppf i =
+  let e, p = event_of_instance t i in
+  Fmt.pf ppf "%a@@%d" Event.pp (Signal_graph.event t.sg e) p

@@ -1,0 +1,78 @@
+(** Unfolding of a Timed Signal Graph (Section III.B).
+
+    The unfolding is an acyclic process in which every node is a single
+    instantiation [e_i] of an event [e] of the Signal Graph.  Period 0
+    contains the first instantiation of every event; period [i > 0]
+    contains the [i+1]-th instantiations of the repetitive events only.
+
+    Arcs: a Signal-Graph arc [u -> v] with marking [m] induces the
+    unfolding arcs [u_(i-m) -> v_i] for all valid [i]; if the arc is
+    disengageable (or its source is non-repetitive) it induces only the
+    single arc [u_0 -> v_m].  Arcs with [i - m < 0] impose no
+    constraint: their token is part of the initial activity.
+
+    Instances are addressed by dense integer ids.  The set [I_u] of
+    initial events of the unfolding (the events from [I] plus the
+    events whose in-arcs are all initially active) coincides with the
+    set of instances that have no in-arc. *)
+
+type t
+
+val make : Signal_graph.t -> periods:int -> t
+(** [make g ~periods:k] materialises periods [0 .. k-1].
+    @raise Invalid_argument if [k < 1]. *)
+
+val signal_graph : t -> Signal_graph.t
+val periods : t -> int
+
+val instance_count : t -> int
+(** Total number of instances. *)
+
+val instance : t -> event:int -> period:int -> int
+(** The instance id of [event] in [period].
+    @raise Invalid_argument if the instance does not exist (period out
+    of range, or a non-repetitive event in a period [> 0]). *)
+
+val instance_opt : t -> event:int -> period:int -> int option
+
+val event_of_instance : t -> int -> int * int
+(** [(event id, period)] of an instance. *)
+
+val dag : t -> int Tsg_graph.Digraph.t
+(** The unfolding as a digraph over instance ids; each arc is labelled
+    with the id of the Signal-Graph arc it instantiates. *)
+
+val delay_of_label : t -> int -> float
+(** The delay of the Signal-Graph arc with the given id (convenience
+    for weighting {!dag} arcs). *)
+
+val initial_instances : t -> int list
+(** The instances of [I_u]: those with no in-arcs, ascending. *)
+
+(** {1 Compact views}
+
+    The digraph accessors allocate per call; the arrays below are
+    computed once per unfolding and shared (do not mutate them).  They
+    are what keeps the O(b^2 m) algorithm's constant factor small. *)
+
+val in_adjacency : t -> int array * int array * int array
+(** [(starts, srcs, arc_ids)] in CSR form: the in-arcs of instance [v]
+    are the entries [starts.(v) .. starts.(v+1) - 1]. *)
+
+val out_adjacency : t -> int array * int array * int array
+(** Same, for out-arcs: [(starts, dsts, arc_ids)]. *)
+
+val topological_order : t -> int array
+(** A topological order of the instances, computed once. *)
+
+val delays : t -> float array
+(** Delay per Signal-Graph arc id (computed once and shared; do not
+    mutate). *)
+
+val warm_caches : t -> unit
+(** Forces every lazy view above.  Call before sharing the unfolding
+    across domains: the views are then plain read-only arrays and the
+    unfolding is safe to read concurrently. *)
+
+val pp_instance : t -> int Fmt.t
+(** Prints an instance as [a+@2] (event [a+], period 2). *)

@@ -1,0 +1,1 @@
+lib/extract/distributive.ml: Array List State_graph Tsg_circuit

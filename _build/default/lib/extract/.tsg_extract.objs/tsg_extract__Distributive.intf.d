@@ -1,0 +1,1 @@
+lib/extract/distributive.mli: State_graph Tsg_circuit

@@ -1,0 +1,1 @@
+lib/extract/state_graph.ml: Array Bytes Hashtbl List Queue Tsg_circuit Tsg_graph

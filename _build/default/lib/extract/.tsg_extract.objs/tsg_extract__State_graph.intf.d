@@ -1,0 +1,1 @@
+lib/extract/state_graph.mli: Tsg_circuit Tsg_graph

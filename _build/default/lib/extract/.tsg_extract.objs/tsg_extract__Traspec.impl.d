@@ -1,0 +1,1 @@
+lib/extract/traspec.ml: Array Distributive Event Fmt Hashtbl List Signal_graph State_graph Tsg Tsg_circuit

@@ -1,0 +1,1 @@
+lib/extract/traspec.mli: Distributive Tsg Tsg_circuit

@@ -1,0 +1,89 @@
+type violation = { state : int; victim : int; fired : int }
+
+type verdict = {
+  semimodular : bool;
+  violations : violation list;
+  or_causal : (int * int) list;
+  distributive : bool;
+}
+
+let necessary_inputs net values node =
+  let current = values.(node) in
+  let target = Tsg_circuit.Netlist.eval_node net values node in
+  if target = current then None
+  else begin
+    let node_rec = Tsg_circuit.Netlist.node_of_index net node in
+    let drivers =
+      List.map
+        (fun pin -> Tsg_circuit.Netlist.index net pin.Tsg_circuit.Netlist.driver)
+        node_rec.Tsg_circuit.Netlist.inputs
+    in
+    let eval_with_flip d =
+      let saved = values.(d) in
+      values.(d) <- not saved;
+      let r = Tsg_circuit.Netlist.eval_node net values node in
+      values.(d) <- saved;
+      r
+    in
+    let necessary = List.filter (fun d -> eval_with_flip d <> target) drivers in
+    Some necessary
+  end
+
+(* the conjunction of the necessary inputs must by itself sustain the
+   excitation; otherwise the cause is disjunctive (OR-causality) *)
+let conjunctive net values node =
+  match necessary_inputs net values node with
+  | None -> true
+  | Some necessary ->
+    let node_rec = Tsg_circuit.Netlist.node_of_index net node in
+    let target = Tsg_circuit.Netlist.eval_node net values node in
+    let drivers =
+      List.map
+        (fun pin -> Tsg_circuit.Netlist.index net pin.Tsg_circuit.Netlist.driver)
+        node_rec.Tsg_circuit.Netlist.inputs
+    in
+    let scratch = Array.copy values in
+    List.iter
+      (fun d -> if not (List.mem d necessary) then scratch.(d) <- not scratch.(d))
+      drivers;
+    Tsg_circuit.Netlist.eval_node net scratch node = target
+
+let check (sg : State_graph.t) =
+  let net = sg.State_graph.netlist in
+  let violations = ref [] in
+  let or_causal = ref [] in
+  let is_input node =
+    (Tsg_circuit.Netlist.node_of_index net node).Tsg_circuit.Netlist.gate
+    = Tsg_circuit.Gate.Input
+  in
+  Array.iteri
+    (fun sid state ->
+      let excited = State_graph.excited net state in
+      let gate_excited = List.filter (fun n -> not (is_input n)) excited in
+      List.iter
+        (fun victim ->
+          if not (conjunctive net state.State_graph.values victim) then
+            or_causal := (sid, victim) :: !or_causal;
+          let target = Tsg_circuit.Netlist.eval_node net state.State_graph.values victim in
+          List.iter
+            (fun fired ->
+              if fired <> victim then begin
+                let s' = State_graph.fire net state fired in
+                let target' =
+                  Tsg_circuit.Netlist.eval_node net s'.State_graph.values victim
+                in
+                let still_excited = target' <> s'.State_graph.values.(victim) in
+                if (not still_excited) || target' <> target then
+                  violations := { state = sid; victim; fired } :: !violations
+              end)
+            excited)
+        gate_excited)
+    sg.State_graph.states;
+  let violations = List.rev !violations in
+  let or_causal = List.rev !or_causal in
+  {
+    semimodular = violations = [];
+    violations;
+    or_causal;
+    distributive = violations = [] && or_causal = [];
+  }

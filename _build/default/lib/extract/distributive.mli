@@ -1,0 +1,41 @@
+(** Distributivity / semimodularity analysis of a circuit's state graph
+    (Section VIII.A-B).
+
+    A circuit is {e semimodular} when an excited gate can never lose
+    its excitation except by firing — firing any other gate must leave
+    it excited toward the same value.  Semimodularity guarantees
+    speed-independence; the {e distributive} circuits the paper
+    targets additionally require every excitation to have a unique
+    conjunctive cause (AND-causality), which is what makes Signal-Graph
+    extraction possible.  Disjunctive (OR-causal) excitations are
+    detected per state by {!or_causal_violations}. *)
+
+type violation = {
+  state : int;  (** state id in the state graph *)
+  victim : int;  (** node whose excitation was lost or flipped *)
+  fired : int;  (** node whose firing disturbed the victim *)
+}
+
+type verdict = {
+  semimodular : bool;
+  violations : violation list;  (** empty iff [semimodular] *)
+  or_causal : (int * int) list;
+      (** (state, node) pairs where a gate is excited by a disjunction
+          of inputs (no single necessary input) *)
+  distributive : bool;  (** [semimodular && or_causal = []] *)
+}
+
+val check : State_graph.t -> verdict
+
+val conjunctive : Tsg_circuit.Netlist.t -> bool array -> int -> bool
+(** Whether an excited node's cause is a pure conjunction: the
+    necessary inputs alone sustain the excitation.  [true] for a
+    non-excited node. *)
+
+val necessary_inputs : Tsg_circuit.Netlist.t -> bool array -> int -> int list option
+(** For an excited node, the input nodes whose current values are all
+    individually necessary for the excitation ([None] if the node is
+    not excited).  When some excited gate has a non-necessary yet
+    relevant input (flipping it alone keeps the gate excited), the
+    excitation is disjunctive and the pair is reported in
+    [or_causal]. *)

@@ -1,0 +1,1 @@
+lib/graph/simple_cycles.ml: Array Digraph List Scc

@@ -1,0 +1,98 @@
+(** Mutable directed graphs with labelled arcs.
+
+    Vertices are dense integers [0 .. vertex_count - 1], allocated with
+    {!add_vertex}.  Arcs carry an arbitrary label (a delay, a marking, a
+    record of attributes, ...).  Parallel arcs and self-loops are allowed;
+    arc insertion order is preserved by all accessors, which makes every
+    algorithm built on top of this module deterministic. *)
+
+type 'a t
+(** A directed graph whose arcs are labelled with values of type ['a]. *)
+
+val create : ?capacity:int -> unit -> 'a t
+(** [create ()] is an empty graph.  [capacity] pre-sizes the internal
+    vertex tables (the graph still grows on demand). *)
+
+val copy : 'a t -> 'a t
+(** [copy g] is an independent copy of [g]; mutating one does not affect
+    the other. *)
+
+val add_vertex : 'a t -> int
+(** [add_vertex g] allocates a fresh vertex and returns its id.  Ids are
+    consecutive, starting at 0. *)
+
+val add_vertices : 'a t -> int -> unit
+(** [add_vertices g k] allocates [k] fresh vertices. *)
+
+val add_arc : 'a t -> src:int -> dst:int -> 'a -> unit
+(** [add_arc g ~src ~dst label] inserts the arc [src -> dst].
+    @raise Invalid_argument if either endpoint is not a vertex of [g]. *)
+
+val vertex_count : 'a t -> int
+(** Number of vertices. *)
+
+val arc_count : 'a t -> int
+(** Number of arcs. *)
+
+val mem_vertex : 'a t -> int -> bool
+(** [mem_vertex g v] is [true] iff [v] is a vertex of [g]. *)
+
+val mem_arc : 'a t -> src:int -> dst:int -> bool
+(** [mem_arc g ~src ~dst] is [true] iff at least one [src -> dst] arc
+    exists. *)
+
+val find_arc : 'a t -> src:int -> dst:int -> 'a option
+(** [find_arc g ~src ~dst] is the label of the first inserted
+    [src -> dst] arc, if any. *)
+
+val out_arcs : 'a t -> int -> (int * 'a) list
+(** [out_arcs g v] is the list of [(dst, label)] pairs of arcs leaving
+    [v], in insertion order. *)
+
+val in_arcs : 'a t -> int -> (int * 'a) list
+(** [in_arcs g v] is the list of [(src, label)] pairs of arcs entering
+    [v], in insertion order. *)
+
+val succ : 'a t -> int -> int list
+(** Successor vertices of [v] (with multiplicity, insertion order). *)
+
+val pred : 'a t -> int -> int list
+(** Predecessor vertices of [v] (with multiplicity, insertion order). *)
+
+val out_degree : 'a t -> int -> int
+val in_degree : 'a t -> int -> int
+
+val iter_out : 'a t -> int -> (int -> 'a -> unit) -> unit
+(** [iter_out g v f] applies [f dst label] to every arc leaving [v], in
+    insertion order. *)
+
+val iter_in : 'a t -> int -> (int -> 'a -> unit) -> unit
+(** [iter_in g v f] applies [f src label] to every arc entering [v], in
+    insertion order. *)
+
+val iter_vertices : 'a t -> (int -> unit) -> unit
+(** Applies the function to every vertex id in increasing order. *)
+
+val iter_arcs : 'a t -> (int -> int -> 'a -> unit) -> unit
+(** [iter_arcs g f] applies [f src dst label] to every arc, grouped by
+    source vertex in increasing order, arcs of one source in insertion
+    order. *)
+
+val fold_arcs : 'a t -> init:'b -> f:('b -> int -> int -> 'a -> 'b) -> 'b
+(** Folds over arcs in the same order as {!iter_arcs}. *)
+
+val arcs : 'a t -> (int * int * 'a) list
+(** All arcs as [(src, dst, label)] triples, in {!iter_arcs} order. *)
+
+val of_arcs : n:int -> (int * int * 'a) list -> 'a t
+(** [of_arcs ~n arcs] is the graph with vertices [0 .. n-1] and the given
+    arcs, inserted in list order. *)
+
+val map_labels : f:('a -> 'b) -> 'a t -> 'b t
+(** A copy of the graph with every arc label rewritten by [f]. *)
+
+val transpose : 'a t -> 'a t
+(** The graph with every arc reversed (labels preserved). *)
+
+val pp : 'a Fmt.t -> 'a t Fmt.t
+(** Debug printer: one [src -> dst [label]] line per arc. *)

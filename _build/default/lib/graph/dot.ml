@@ -1,0 +1,30 @@
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let pp_attrs ppf attrs =
+  List.iter (fun (k, v) -> Fmt.pf ppf ", %s=\"%s\"" k (escape v)) attrs
+
+let pp ?(name = "g") ~vertex_label ~arc_label ?(vertex_attrs = fun _ -> [])
+    ?(arc_attrs = fun _ -> []) () ppf g =
+  Fmt.pf ppf "digraph %s {@." name;
+  Digraph.iter_vertices g (fun v ->
+      Fmt.pf ppf "  n%d [label=\"%s\"%a];@." v
+        (escape (vertex_label v))
+        pp_attrs (vertex_attrs v));
+  Digraph.iter_arcs g (fun src dst label ->
+      Fmt.pf ppf "  n%d -> n%d [label=\"%s\"%a];@." src dst
+        (escape (arc_label label))
+        pp_attrs (arc_attrs label));
+  Fmt.pf ppf "}@."
+
+let to_string ?name ~vertex_label ~arc_label ?vertex_attrs ?arc_attrs g =
+  Fmt.str "%a" (pp ?name ~vertex_label ~arc_label ?vertex_attrs ?arc_attrs ()) g

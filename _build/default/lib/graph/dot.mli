@@ -1,0 +1,22 @@
+(** Graphviz (dot) rendering of labelled digraphs. *)
+
+val pp :
+  ?name:string ->
+  vertex_label:(int -> string) ->
+  arc_label:('a -> string) ->
+  ?vertex_attrs:(int -> (string * string) list) ->
+  ?arc_attrs:('a -> (string * string) list) ->
+  unit ->
+  'a Digraph.t Fmt.t
+(** [pp ~vertex_label ~arc_label ()] formats a digraph as a Graphviz
+    [digraph] document.  [vertex_attrs]/[arc_attrs] add extra node and
+    edge attributes (e.g. [("style", "dashed")]). *)
+
+val to_string :
+  ?name:string ->
+  vertex_label:(int -> string) ->
+  arc_label:('a -> string) ->
+  ?vertex_attrs:(int -> (string * string) list) ->
+  ?arc_attrs:('a -> (string * string) list) ->
+  'a Digraph.t ->
+  string

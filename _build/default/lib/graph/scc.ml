@@ -1,0 +1,92 @@
+(* Iterative Tarjan.  The classic recursive formulation overflows the
+   stack on the long chains that appear in unfoldings, so the DFS is
+   driven by an explicit frame stack holding the unexplored successor
+   list of each open vertex. *)
+
+let component_ids g =
+  let n = Digraph.vertex_count g in
+  let index = Array.make n (-1) in
+  let lowlink = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let comp = Array.make n (-1) in
+  let tarjan_stack = ref [] in
+  let next_index = ref 0 in
+  let next_comp = ref 0 in
+  let visit root =
+    if index.(root) >= 0 then ()
+    else begin
+      let open_vertex v =
+        index.(v) <- !next_index;
+        lowlink.(v) <- !next_index;
+        incr next_index;
+        tarjan_stack := v :: !tarjan_stack;
+        on_stack.(v) <- true
+      in
+      open_vertex root;
+      let frames = ref [ (root, ref (Digraph.succ g root)) ] in
+      let close v =
+        if lowlink.(v) = index.(v) then begin
+          let c = !next_comp in
+          incr next_comp;
+          let rec pop () =
+            match !tarjan_stack with
+            | [] -> assert false
+            | w :: rest ->
+              tarjan_stack := rest;
+              on_stack.(w) <- false;
+              comp.(w) <- c;
+              if w <> v then pop ()
+          in
+          pop ()
+        end
+      in
+      let rec step () =
+        match !frames with
+        | [] -> ()
+        | (v, pending) :: rest ->
+          (match !pending with
+          | [] ->
+            close v;
+            frames := rest;
+            (match rest with
+            | (u, _) :: _ -> lowlink.(u) <- min lowlink.(u) lowlink.(v)
+            | [] -> ());
+            step ()
+          | w :: ws ->
+            pending := ws;
+            if index.(w) < 0 then begin
+              open_vertex w;
+              frames := (w, ref (Digraph.succ g w)) :: !frames
+            end
+            else if on_stack.(w) then lowlink.(v) <- min lowlink.(v) index.(w);
+            step ())
+      in
+      step ()
+    end
+  in
+  Digraph.iter_vertices g visit;
+  (comp, !next_comp)
+
+let components g =
+  let comp, count = component_ids g in
+  let buckets = Array.make count [] in
+  for v = Digraph.vertex_count g - 1 downto 0 do
+    buckets.(comp.(v)) <- v :: buckets.(comp.(v))
+  done;
+  Array.to_list buckets
+
+let is_strongly_connected g =
+  Digraph.vertex_count g > 0 && snd (component_ids g) = 1
+
+let condensation g =
+  let comp, count = component_ids g in
+  let dag = Digraph.create ~capacity:(max count 1) () in
+  Digraph.add_vertices dag count;
+  let seen = Hashtbl.create 64 in
+  Digraph.iter_arcs g (fun src dst _ ->
+      let a = comp.(src) and b = comp.(dst) in
+      if a <> b && not (Hashtbl.mem seen (a, b)) then begin
+        Hashtbl.add seen (a, b) ();
+        Digraph.add_arc dag ~src:a ~dst:b ()
+      end);
+  (dag, comp)

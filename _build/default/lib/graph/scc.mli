@@ -1,0 +1,21 @@
+(** Strongly connected components (Tarjan's algorithm). *)
+
+val component_ids : 'a Digraph.t -> int array * int
+(** [component_ids g] is [(comp, count)] where [comp.(v)] is the id of
+    the strongly connected component of [v], [0 <= comp.(v) < count].
+    Component ids are assigned in reverse topological order of the
+    condensation: if there is an arc from component [a] to component
+    [b <> a] then [comp] id of [a] is greater than that of [b]. *)
+
+val components : 'a Digraph.t -> int list list
+(** The strongly connected components as vertex lists (each list sorted
+    increasingly), ordered by component id. *)
+
+val is_strongly_connected : 'a Digraph.t -> bool
+(** [true] iff the graph has exactly one SCC (the empty graph is not
+    strongly connected). *)
+
+val condensation : 'a Digraph.t -> unit Digraph.t * int array
+(** [condensation g] is the component DAG: one vertex per SCC, one arc
+    per inter-component arc of [g] (duplicates collapsed), together with
+    the [comp] array mapping vertices of [g] to condensation vertices. *)

@@ -1,0 +1,93 @@
+(* Johnson's algorithm (SIAM J. Comput. 4(1), 1975).  For each start
+   vertex s (ascending), cycles whose least vertex is s are enumerated
+   by a blocked DFS inside the strongly connected component of s in the
+   subgraph induced on vertices >= s. *)
+
+exception Limit_reached
+
+let fold ?limit g ~init ~f =
+  let n = Digraph.vertex_count g in
+  let acc = ref init in
+  let emitted = ref 0 in
+  let emit cycle =
+    acc := f !acc cycle;
+    incr emitted;
+    match limit with
+    | Some l when !emitted >= l -> raise Limit_reached
+    | _ -> ()
+  in
+  let blocked = Array.make n false in
+  let b_lists = Array.make n [] in
+  let rec unblock v =
+    blocked.(v) <- false;
+    let waiters = b_lists.(v) in
+    b_lists.(v) <- [];
+    List.iter (fun w -> if blocked.(w) then unblock w) waiters
+  in
+  (* component membership for the current start vertex *)
+  let in_comp = Array.make n false in
+  let scc_of_start s =
+    (* SCCs of the subgraph induced on vertices >= s *)
+    let sub = Digraph.create ~capacity:(max n 1) () in
+    Digraph.add_vertices sub n;
+    Digraph.iter_arcs g (fun src dst _ ->
+        if src >= s && dst >= s then Digraph.add_arc sub ~src ~dst ());
+    let comp, _ = Scc.component_ids sub in
+    Array.fill in_comp 0 n false;
+    for v = s to n - 1 do
+      if comp.(v) = comp.(s) then in_comp.(v) <- true
+    done
+  in
+  let process_start s =
+    scc_of_start s;
+    let has_self_loop = List.exists (fun w -> w = s) (Digraph.succ g s) in
+    let nontrivial =
+      has_self_loop
+      || List.exists (fun w -> w <> s && in_comp.(w)) (Digraph.succ g s)
+    in
+    if nontrivial then begin
+      for v = s to n - 1 do
+        if in_comp.(v) then begin
+          blocked.(v) <- false;
+          b_lists.(v) <- []
+        end
+      done;
+      let path = ref [] in
+      let rec circuit v =
+        path := v :: !path;
+        blocked.(v) <- true;
+        let found = ref false in
+        let try_succ w =
+          if w = s then begin
+            emit (List.rev !path);
+            found := true
+          end
+          else if in_comp.(w) && w > s && not blocked.(w) then
+            if circuit w then found := true
+        in
+        List.iter try_succ (Digraph.succ g v);
+        if !found then unblock v
+        else
+          List.iter
+            (fun w ->
+              if in_comp.(w) && w >= s
+                 && not (List.exists (fun x -> x = v) b_lists.(w))
+              then b_lists.(w) <- v :: b_lists.(w))
+            (Digraph.succ g v);
+        path := List.tl !path;
+        !found
+      in
+      ignore (circuit s)
+    end
+  in
+  (try
+     for s = 0 to n - 1 do
+       process_start s
+     done
+   with Limit_reached -> ());
+  !acc
+
+let enumerate ?limit g =
+  List.rev (fold ?limit g ~init:[] ~f:(fun acc cycle -> cycle :: acc))
+
+let count ?limit g = fold ?limit g ~init:0 ~f:(fun acc _ -> acc + 1)

@@ -1,0 +1,25 @@
+(** Enumeration of all simple (elementary) cycles of a directed graph,
+    using Johnson's algorithm (1975).
+
+    This is the "straightforward approach" of Section II of the paper:
+    the number of simple cycles can be exponential in the number of
+    arcs, which is precisely why the timing-simulation algorithm
+    exists.  We keep it as the ground-truth baseline for small graphs
+    and for the {!Tsg_baselines.Exhaustive} cycle-time computation. *)
+
+exception Limit_reached
+(** Raised internally when the cycle budget is exhausted. *)
+
+val fold :
+  ?limit:int -> 'a Digraph.t -> init:'b -> f:('b -> int list -> 'b) -> 'b
+(** [fold g ~init ~f] folds [f] over every simple cycle of [g].  A
+    cycle is presented as the list of its vertices in order, starting
+    from its smallest vertex id, without repeating the first vertex at
+    the end.  [limit] bounds the number of cycles visited; when
+    exceeded the fold stops and returns the accumulator so far. *)
+
+val enumerate : ?limit:int -> 'a Digraph.t -> int list list
+(** All simple cycles, in the order {!fold} discovers them. *)
+
+val count : ?limit:int -> 'a Digraph.t -> int
+(** Number of simple cycles (capped at [limit] if given). *)

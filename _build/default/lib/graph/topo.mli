@@ -1,0 +1,14 @@
+(** Topological ordering of directed acyclic graphs. *)
+
+val sort : 'a Digraph.t -> (int list, int list) result
+(** [sort g] is [Ok order] with the vertices in a topological order
+    (every arc goes from an earlier to a later list element) when [g]
+    is acyclic, or [Error cycle_vertices] listing the vertices that lie
+    on cycles (in increasing id order) otherwise.  Kahn's algorithm;
+    ties are broken by smallest vertex id, so the order is canonical. *)
+
+val is_dag : 'a Digraph.t -> bool
+(** [true] iff the graph has no directed cycle. *)
+
+val sort_exn : 'a Digraph.t -> int list
+(** Like {!sort} but raises [Invalid_argument] on a cyclic graph. *)

@@ -1,0 +1,102 @@
+let reachable_from_set g roots =
+  let n = Digraph.vertex_count g in
+  let seen = Array.make n false in
+  (* explicit stack: the unfoldings we traverse can be deep enough to
+     overflow the OCaml call stack *)
+  let stack = ref [] in
+  let push v =
+    if not seen.(v) then begin
+      seen.(v) <- true;
+      stack := v :: !stack
+    end
+  in
+  List.iter push roots;
+  let rec drain () =
+    match !stack with
+    | [] -> ()
+    | v :: rest ->
+      stack := rest;
+      Digraph.iter_out g v (fun dst _ -> push dst);
+      drain ()
+  in
+  drain ();
+  seen
+
+let reachable g v = reachable_from_set g [ v ]
+let co_reachable g v = reachable (Digraph.transpose g) v
+
+let dfs_postorder g =
+  let n = Digraph.vertex_count g in
+  let seen = Array.make n false in
+  let order = ref [] in
+  (* iterative DFS emitting vertices on frame exit *)
+  let visit root =
+    if not seen.(root) then begin
+      seen.(root) <- true;
+      let stack = ref [ (root, ref (Digraph.succ g root)) ] in
+      let rec step () =
+        match !stack with
+        | [] -> ()
+        | (v, pending) :: rest ->
+          (match !pending with
+          | [] ->
+            order := v :: !order;
+            stack := rest;
+            step ()
+          | w :: ws ->
+            pending := ws;
+            if not seen.(w) then begin
+              seen.(w) <- true;
+              stack := (w, ref (Digraph.succ g w)) :: !stack
+            end;
+            step ())
+      in
+      step ()
+    end
+  in
+  Digraph.iter_vertices g visit;
+  List.rev !order
+
+let bfs_layers g root =
+  let n = Digraph.vertex_count g in
+  let seen = Array.make n false in
+  seen.(root) <- true;
+  let rec expand layer acc =
+    if layer = [] then List.rev acc
+    else begin
+      let next = ref [] in
+      let extend v =
+        Digraph.iter_out g v (fun dst _ ->
+            if not seen.(dst) then begin
+              seen.(dst) <- true;
+              next := dst :: !next
+            end)
+      in
+      List.iter extend layer;
+      expand (List.rev !next) (layer :: acc)
+    end
+  in
+  expand [ root ] []
+
+let path g ~src ~dst =
+  let n = Digraph.vertex_count g in
+  let parent = Array.make n (-1) in
+  let seen = Array.make n false in
+  seen.(src) <- true;
+  let queue = Queue.create () in
+  Queue.add src queue;
+  let found = ref (src = dst) in
+  while (not !found) && not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    Digraph.iter_out g v (fun w _ ->
+        if not seen.(w) then begin
+          seen.(w) <- true;
+          parent.(w) <- v;
+          if w = dst then found := true else Queue.add w queue
+        end)
+  done;
+  if not !found then None
+  else begin
+    let rec build v acc = if v = src then src :: acc else build parent.(v) (v :: acc) in
+    Some (build dst [])
+  end

@@ -1,0 +1,25 @@
+(** Depth-first and breadth-first traversal, reachability. *)
+
+val reachable : 'a Digraph.t -> int -> bool array
+(** [reachable g v] is the characteristic array of the set of vertices
+    reachable from [v] (including [v] itself) along arcs of [g]. *)
+
+val reachable_from_set : 'a Digraph.t -> int list -> bool array
+(** Vertices reachable from any vertex of the given set. *)
+
+val co_reachable : 'a Digraph.t -> int -> bool array
+(** [co_reachable g v] is the set of vertices from which [v] is
+    reachable (including [v]). *)
+
+val dfs_postorder : 'a Digraph.t -> int list
+(** All vertices in depth-first postorder (roots scanned in increasing
+    id order; children in arc insertion order). *)
+
+val bfs_layers : 'a Digraph.t -> int -> int list list
+(** [bfs_layers g v] is the breadth-first layering from [v]: the first
+    layer is [[v]], the next holds the unvisited successors of the
+    first, and so on. *)
+
+val path : 'a Digraph.t -> src:int -> dst:int -> int list option
+(** [path g ~src ~dst] is some directed path [src; ...; dst] if one
+    exists (found by BFS, hence of minimum arc count), or [None]. *)

@@ -1,0 +1,1 @@
+lib/io/astg_format.ml: Array Buffer Event Fmt Fun Hashtbl In_channel List Printf Signal_graph String Tsg

@@ -1,0 +1,1 @@
+lib/io/astg_format.mli: Tsg

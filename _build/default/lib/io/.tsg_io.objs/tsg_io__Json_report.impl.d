@@ -1,0 +1,1 @@
+lib/io/json_report.ml: Array Buffer Char Cycle_time Cycles Event Float List Printf Signal_graph Slack String Tsg

@@ -1,0 +1,1 @@
+lib/io/net_format.ml: Array Bool Buffer In_channel List Out_channel Printf String Tsg_circuit

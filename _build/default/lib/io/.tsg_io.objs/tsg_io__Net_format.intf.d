@@ -1,0 +1,1 @@
+lib/io/net_format.mli: Tsg_circuit

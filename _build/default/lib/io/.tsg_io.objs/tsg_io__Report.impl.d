@@ -1,0 +1,1 @@
+lib/io/report.ml: Array Cycle_time Cycles Event Float Fmt List Printf Separation Signal_graph Slack Steady_state String Timing_sim Tsg Unfolding

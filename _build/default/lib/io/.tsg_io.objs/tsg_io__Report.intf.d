@@ -1,0 +1,1 @@
+lib/io/report.mli: Fmt Format Tsg

@@ -1,0 +1,1 @@
+lib/io/stg_format.ml: Array Buffer Event Fmt Hashtbl In_channel List Out_channel Printf Signal_graph String Tsg

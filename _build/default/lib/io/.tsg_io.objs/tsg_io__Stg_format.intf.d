@@ -1,0 +1,1 @@
+lib/io/stg_format.mli: Tsg

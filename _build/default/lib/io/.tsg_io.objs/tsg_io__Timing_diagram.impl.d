@@ -1,0 +1,1 @@
+lib/io/timing_diagram.ml: Array Buffer Bytes Event Float Fmt Hashtbl List Printf Signal_graph String Timing_sim Tsg Unfolding

@@ -1,0 +1,1 @@
+lib/io/timing_diagram.mli: Fmt Tsg

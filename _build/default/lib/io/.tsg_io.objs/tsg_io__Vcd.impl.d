@@ -1,0 +1,1 @@
+lib/io/vcd.ml: Array Bool Buffer Char Event Float Hashtbl Int64 List Out_channel Printf Signal_graph String Timing_sim Tsg Unfolding

@@ -1,0 +1,175 @@
+open Tsg
+
+type document = {
+  model : string;
+  graph : Signal_graph.t;
+  inputs : string list;
+  outputs : string list;
+}
+
+exception Stop of string
+
+let strip_comment line =
+  match String.index_opt line '#' with
+  | None -> line
+  | Some i -> String.sub line 0 i
+
+let split_words line =
+  String.split_on_char ' ' line
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun w -> w <> "")
+
+let parse ?(default_delay = 1.) text =
+  let model = ref "unnamed" in
+  let inputs = ref [] in
+  let outputs = ref [] in
+  let arcs = ref [] in
+  (* (src, dst) in order *)
+  let marking : (Event.t * Event.t) list ref = ref [] in
+  let in_graph = ref false in
+  let ended = ref false in
+  let event_of lineno s =
+    match Event.of_string s with
+    | Ok e -> e
+    | Error msg ->
+      raise
+        (Stop
+           (Printf.sprintf
+              "line %d: %s (explicit places and non-transition names are not supported)"
+              lineno msg))
+  in
+  let parse_marking lineno words =
+    (* words like "{" "<a+,c+>" "<c+,a->" "}" possibly glued *)
+    let text = String.concat " " words in
+    let text = String.map (fun c -> if c = '{' || c = '}' then ' ' else c) text in
+    List.iter
+      (fun token ->
+        let token = String.trim token in
+        if token <> "" then begin
+          let len = String.length token in
+          if len < 5 || token.[0] <> '<' || token.[len - 1] <> '>' then
+            raise
+              (Stop (Printf.sprintf "line %d: marking entries are <src,dst>, got %S" lineno token));
+          let inner = String.sub token 1 (len - 2) in
+          match String.split_on_char ',' inner with
+          | [ u; v ] -> marking := (event_of lineno u, event_of lineno v) :: !marking
+          | _ ->
+            raise (Stop (Printf.sprintf "line %d: marking entry %S is not a pair" lineno token))
+        end)
+      (split_words text)
+  in
+  let handle_line lineno raw =
+    let line = String.trim (strip_comment raw) in
+    if line <> "" && not !ended then
+      match split_words line with
+      | [ ".model"; name ] | [ ".name"; name ] -> model := name
+      | ".inputs" :: names -> inputs := !inputs @ names
+      | ".outputs" :: names | ".internal" :: names -> outputs := !outputs @ names
+      | ".dummy" :: _ ->
+        raise (Stop (Printf.sprintf "line %d: .dummy transitions are not supported" lineno))
+      | [ ".graph" ] -> in_graph := true
+      | ".marking" :: rest -> parse_marking lineno rest
+      | [ ".end" ] -> ended := true
+      | words when !in_graph && not (String.length (List.hd words) > 0 && (List.hd words).[0] = '.')
+        -> (
+        match words with
+        | src :: (_ :: _ as dsts) ->
+          let u = event_of lineno src in
+          List.iter (fun d -> arcs := (u, event_of lineno d) :: !arcs) dsts
+        | _ ->
+          raise
+            (Stop (Printf.sprintf "line %d: graph lines are: <src> <dst> [<dst> ...]" lineno)))
+      | directive :: _ ->
+        raise (Stop (Printf.sprintf "line %d: unsupported directive %S" lineno directive))
+      | [] -> ()
+  in
+  try
+    List.iteri (fun i raw -> handle_line (i + 1) raw) (String.split_on_char '\n' text);
+    let arcs = List.rev !arcs in
+    let marking = List.rev !marking in
+    (* every marking entry must name an existing arc *)
+    List.iter
+      (fun (u, v) ->
+        if not (List.exists (fun (a, b) -> Event.equal a u && Event.equal b v) arcs) then
+          raise
+            (Stop
+               (Fmt.str "marking <%a,%a> does not match any arc" Event.pp u Event.pp v)))
+      marking;
+    let b = Signal_graph.builder () in
+    let declared = Hashtbl.create 32 in
+    let declare ev =
+      if not (Hashtbl.mem declared ev) then begin
+        Hashtbl.add declared ev ();
+        Signal_graph.add_event b ev Signal_graph.Repetitive
+      end
+    in
+    List.iter
+      (fun (u, v) ->
+        declare u;
+        declare v)
+      arcs;
+    (* mark only the first arc of each <u,v> pair named in the marking *)
+    let pending = ref marking in
+    List.iter
+      (fun (u, v) ->
+        let marked =
+          match
+            List.partition (fun (a, c) -> Event.equal a u && Event.equal c v) !pending
+          with
+          | [], _ -> false
+          | _ :: dup, rest ->
+            pending := dup @ rest;
+            true
+        in
+        Signal_graph.add_arc b ~marked ~delay:default_delay u v)
+      arcs;
+    match Signal_graph.build b with
+    | Ok graph -> Ok { model = !model; graph; inputs = !inputs; outputs = !outputs }
+    | Error errs ->
+      Error
+        (Fmt.str "invalid graph: %a" Fmt.(list ~sep:(any "; ") Signal_graph.pp_error) errs)
+  with Stop msg -> Error msg
+
+let parse_file ?default_delay path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> parse ?default_delay text
+  | exception Sys_error msg -> Error msg
+
+let to_string ?(model = "unnamed") ?(inputs = []) g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "# written by timesim; delays and the initial part are not\n";
+  Buffer.add_string buf "# representable in the astg dialect and have been dropped\n";
+  Buffer.add_string buf (Printf.sprintf ".model %s\n" model);
+  let all_signals =
+    List.filter
+      (fun s ->
+        (* signals with at least one repetitive event *)
+        Array.exists
+          (fun (ev : Event.t) -> ev.Event.signal = s)
+          (Array.of_list
+             (List.filter_map
+                (fun e ->
+                  if Signal_graph.is_repetitive g e then Some (Signal_graph.event g e)
+                  else None)
+                (List.init (Signal_graph.event_count g) Fun.id))))
+      (Signal_graph.signals g)
+  in
+  let ins = List.filter (fun s -> List.mem s inputs) all_signals in
+  let outs = List.filter (fun s -> not (List.mem s inputs)) all_signals in
+  if ins <> [] then Buffer.add_string buf (".inputs " ^ String.concat " " ins ^ "\n");
+  if outs <> [] then Buffer.add_string buf (".outputs " ^ String.concat " " outs ^ "\n");
+  Buffer.add_string buf ".graph\n";
+  let marked = ref [] in
+  Array.iter
+    (fun (a : Signal_graph.arc) ->
+      if Signal_graph.is_repetitive g a.arc_src && Signal_graph.is_repetitive g a.arc_dst
+      then begin
+        let u = Event.to_string (Signal_graph.event g a.arc_src) in
+        let v = Event.to_string (Signal_graph.event g a.arc_dst) in
+        Buffer.add_string buf (Printf.sprintf "%s %s\n" u v);
+        if a.marked then marked := Printf.sprintf "<%s,%s>" u v :: !marked
+      end)
+    (Signal_graph.arcs g);
+  Buffer.add_string buf (".marking { " ^ String.concat " " (List.rev !marked) ^ " }\n");
+  Buffer.add_string buf ".end\n";
+  Buffer.contents buf

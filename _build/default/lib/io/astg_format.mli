@@ -1,0 +1,40 @@
+(** Reader and writer for the astg/petrify [.g] dialect used by the
+    asynchronous-synthesis community (SIS, petrify, mpsat, ...), so
+    existing STG benchmarks can be analysed directly:
+
+    {v .model xyz
+.inputs  a b
+.outputs c
+.graph
+a+ c+ b+        # two arcs: a+ -> c+ and a+ -> b+
+c+ a-
+...
+.marking { <a+,c+> <c+,a-> }
+.end v}
+
+    Supported subset: marked-graph STGs — every line of [.graph] is a
+    source transition followed by its successor transitions, and the
+    initial marking lists marked arcs as [<src,dst>] pairs.  Explicit
+    places, [.dummy] transitions and choice constructs are rejected
+    with a diagnostic (the paper's model has AND-causality only).
+
+    The dialect carries no timing, so every arc receives
+    [default_delay] (override per arc afterwards with
+    {!Tsg.Transform.map_delays}); every transition is repetitive, as
+    astg specifications describe the cyclic behaviour only. *)
+
+type document = {
+  model : string;
+  graph : Tsg.Signal_graph.t;
+  inputs : string list;  (** signals declared in [.inputs] *)
+  outputs : string list;  (** [.outputs] and [.internal] combined *)
+}
+
+val parse : ?default_delay:float -> string -> (document, string) result
+val parse_file : ?default_delay:float -> string -> (document, string) result
+
+val to_string : ?model:string -> ?inputs:string list -> Tsg.Signal_graph.t -> string
+(** Writes the repetitive part of a graph in the astg dialect (delays
+    and the initial part cannot be represented and are dropped; a
+    comment header records the loss).  Signals listed in [inputs] go
+    to [.inputs], the rest to [.outputs]. *)

@@ -1,0 +1,141 @@
+open Tsg
+
+(* ------------------------------------------------------------------ *)
+(* A minimal JSON writer                                               *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of json list
+  | Obj of (string * json) list
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let rec emit buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f ->
+    (* JSON has no infinities; callers encode them as null before here *)
+    if Float.is_integer f && abs_float f < 1e15 then
+      Buffer.add_string buf (Printf.sprintf "%.0f" f)
+    else Buffer.add_string buf (Printf.sprintf "%.17g" f)
+  | String s ->
+    Buffer.add_char buf '"';
+    Buffer.add_string buf (escape s);
+    Buffer.add_char buf '"'
+  | List items ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i item ->
+        if i > 0 then Buffer.add_char buf ',';
+        emit buf item)
+      items;
+    Buffer.add_char buf ']'
+  | Obj fields ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        emit buf (String k);
+        Buffer.add_char buf ':';
+        emit buf v)
+      fields;
+    Buffer.add_char buf '}'
+
+let to_string json =
+  let buf = Buffer.create 1024 in
+  emit buf json;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Encoders                                                            *)
+
+let event_name g e = String (Event.to_string (Signal_graph.event g e))
+
+let cycle g (c : Cycles.cycle) =
+  Obj
+    [
+      ("events", List (List.map (event_name g) c.Cycles.events));
+      ("arc_ids", List (List.map (fun i -> Int i) c.Cycles.arc_ids));
+      ("length", Float c.Cycles.length);
+      ("occurrence_period", Int c.Cycles.occurrence_period);
+      ("effective_length", Float (Cycles.effective_length c));
+    ]
+
+let analysis g (r : Cycle_time.report) =
+  to_string
+    (Obj
+       [
+         ("cycle_time", Float r.Cycle_time.cycle_time);
+         ("border", List (List.map (event_name g) r.Cycle_time.border));
+         ("periods", Int r.Cycle_time.periods_simulated);
+         ( "critical",
+           Obj
+             [
+               ("event", event_name g r.Cycle_time.critical_event);
+               ("period", Int r.Cycle_time.critical_period);
+               ("cycles", List (List.map (cycle g) r.Cycle_time.critical_cycles));
+             ] );
+         ( "traces",
+           List
+             (List.map
+                (fun (t : Cycle_time.border_trace) ->
+                  Obj
+                    [
+                      ("event", event_name g t.Cycle_time.border_event);
+                      ( "samples",
+                        List
+                          (List.map
+                             (fun (s : Cycle_time.sample) ->
+                               Obj
+                                 [
+                                   ("period", Int s.Cycle_time.period);
+                                   ("time", Float s.Cycle_time.time);
+                                   ("average", Float s.Cycle_time.average);
+                                 ])
+                             t.Cycle_time.samples) );
+                    ])
+                r.Cycle_time.traces) );
+       ])
+
+let slack g (r : Slack.report) =
+  to_string
+    (Obj
+       [
+         ("cycle_time", Float r.Slack.lambda);
+         ( "arcs",
+           List
+             (Array.to_list
+                (Array.map
+                   (fun (s : Slack.arc_slack) ->
+                     let a = Signal_graph.arc g s.Slack.arc_id in
+                     Obj
+                       [
+                         ("id", Int s.Slack.arc_id);
+                         ("src", event_name g a.Signal_graph.arc_src);
+                         ("dst", event_name g a.Signal_graph.arc_dst);
+                         ("delay", Float a.Signal_graph.delay);
+                         ("marked", Bool a.Signal_graph.marked);
+                         ( "slack",
+                           if s.Slack.slack = infinity then Null else Float s.Slack.slack );
+                         ("critical", Bool s.Slack.on_critical_cycle);
+                       ])
+                   r.Slack.arc_slacks)) );
+       ])

@@ -1,0 +1,20 @@
+(** JSON rendering of analysis results, for downstream tooling
+    (dashboards, regression trackers, CI gates).  The encoder is
+    self-contained — values are emitted with full float precision and
+    proper string escaping. *)
+
+val analysis : Tsg.Signal_graph.t -> Tsg.Cycle_time.report -> string
+(** The full cycle-time report:
+    {v { "cycle_time": ..., "border": [...], "periods": ...,
+  "critical": { "event": ..., "period": ...,
+                "cycles": [ { "events": [...], "length": ...,
+                              "occurrence_period": ... } ] },
+  "traces": [ { "event": ..., "samples": [ { "period": ...,
+                "time": ..., "average": ... } ] } ] } v} *)
+
+val slack : Tsg.Signal_graph.t -> Tsg.Slack.report -> string
+(** Per-arc slacks:
+    {v { "cycle_time": ..., "arcs": [ { "id": ..., "src": ...,
+  "dst": ..., "delay": ..., "marked": ..., "slack": ...|null,
+  "critical": ... } ] } v}
+    (infinite slack is encoded as [null]). *)

@@ -1,0 +1,124 @@
+type document = { netlist_name : string; netlist : Tsg_circuit.Netlist.t }
+
+let strip_comment line =
+  match String.index_opt line '#' with
+  | None -> line
+  | Some i -> String.sub line 0 i
+
+let split_words line =
+  String.split_on_char ' ' line
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun w -> w <> "")
+
+exception Stop of string
+
+let parse text =
+  let name = ref "unnamed" in
+  let nodes = ref [] in
+  let stimuli = ref [] in
+  let ended = ref false in
+  let parse_init lineno word =
+    match word with
+    | "init=0" -> false
+    | "init=1" -> true
+    | other -> raise (Stop (Printf.sprintf "line %d: expected init=0|1, got %S" lineno other))
+  in
+  let parse_bool lineno word =
+    match word with
+    | "0" | "false" -> false
+    | "1" | "true" -> true
+    | other -> raise (Stop (Printf.sprintf "line %d: expected 0 or 1, got %S" lineno other))
+  in
+  let parse_pin lineno word =
+    match String.index_opt word ':' with
+    | None ->
+      raise (Stop (Printf.sprintf "line %d: pins are driver:delay, got %S" lineno word))
+    | Some i -> (
+      let driver = String.sub word 0 i in
+      let delay = String.sub word (i + 1) (String.length word - i - 1) in
+      match float_of_string_opt delay with
+      | Some pin_delay when pin_delay >= 0. -> { Tsg_circuit.Netlist.driver; pin_delay }
+      | _ -> raise (Stop (Printf.sprintf "line %d: invalid delay in %S" lineno word)))
+  in
+  let handle_line lineno raw =
+    let line = String.trim (strip_comment raw) in
+    if line <> "" && not !ended then
+      match split_words line with
+      | [ ".netlist"; n ] -> name := n
+      | [ ".end" ] -> ended := true
+      | [ ".input"; n; init ] ->
+        nodes :=
+          {
+            Tsg_circuit.Netlist.name = n;
+            gate = Tsg_circuit.Gate.Input;
+            inputs = [];
+            initial = parse_init lineno init;
+          }
+          :: !nodes
+      | ".node" :: n :: gate :: (_ :: _ as rest) -> (
+        match Tsg_circuit.Gate.of_string gate with
+        | None -> raise (Stop (Printf.sprintf "line %d: unknown gate %S" lineno gate))
+        | Some g -> (
+          match List.rev rest with
+          | init :: rev_pins ->
+            nodes :=
+              {
+                Tsg_circuit.Netlist.name = n;
+                gate = g;
+                inputs = List.rev_map (parse_pin lineno) rev_pins;
+                initial = parse_init lineno init;
+              }
+              :: !nodes
+          | [] -> assert false))
+      | [ ".stimulus"; n; v ] ->
+        stimuli :=
+          { Tsg_circuit.Netlist.stim_signal = n; stim_value = parse_bool lineno v }
+          :: !stimuli
+      | _ ->
+        raise
+          (Stop
+             (Printf.sprintf "line %d: expected .netlist, .input, .node, .stimulus or .end"
+                lineno))
+  in
+  try
+    List.iteri (fun i raw -> handle_line (i + 1) raw) (String.split_on_char '\n' text);
+    let netlist =
+      Tsg_circuit.Netlist.make ~stimuli:(List.rev !stimuli) (List.rev !nodes)
+    in
+    Ok { netlist_name = !name; netlist }
+  with
+  | Stop msg -> Error msg
+  | Invalid_argument msg -> Error msg
+
+let parse_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> parse text
+  | exception Sys_error msg -> Error msg
+
+let to_string ?(name = "unnamed") net =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (Printf.sprintf ".netlist %s\n" name);
+  Array.iter
+    (fun (node : Tsg_circuit.Netlist.node) ->
+      if node.gate = Tsg_circuit.Gate.Input then
+        Buffer.add_string buf
+          (Printf.sprintf ".input %s init=%d\n" node.name (Bool.to_int node.initial))
+      else begin
+        Buffer.add_string buf (Printf.sprintf ".node %s %s" node.name (Tsg_circuit.Gate.to_string node.gate));
+        List.iter
+          (fun (pin : Tsg_circuit.Netlist.pin) ->
+            Buffer.add_string buf (Printf.sprintf " %s:%g" pin.driver pin.pin_delay))
+          node.inputs;
+        Buffer.add_string buf (Printf.sprintf " init=%d\n" (Bool.to_int node.initial))
+      end)
+    (Tsg_circuit.Netlist.nodes net);
+  List.iter
+    (fun (s : Tsg_circuit.Netlist.stimulus) ->
+      Buffer.add_string buf
+        (Printf.sprintf ".stimulus %s %d\n" s.stim_signal (Bool.to_int s.stim_value)))
+    (Tsg_circuit.Netlist.stimuli net);
+  Buffer.add_string buf ".end\n";
+  Buffer.contents buf
+
+let write_file ?name path net =
+  Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc (to_string ?name net))

@@ -1,0 +1,25 @@
+(** A plain-text format for gate-level net-lists, so the extraction
+    flow (net-list -> Signal Graph -> cycle time) can run end-to-end
+    from files:
+
+    {v # the Fig. 1 oscillator
+.netlist fig1
+.input e init=1
+.node f buf e:3 init=1
+.node a nor e:2 c:2 init=0
+.node b nor f:1 c:1 init=0
+.node c c a:3 b:2 init=0
+.stimulus e 0
+.end v}
+
+    [.input NAME init=V] declares a primary input; [.node NAME GATE
+    pin:delay ... init=V] declares a gate (gate names as accepted by
+    {!Tsg_circuit.Gate.of_string}); [.stimulus NAME V] makes the
+    environment drive input [NAME] to [V] at time 0. *)
+
+type document = { netlist_name : string; netlist : Tsg_circuit.Netlist.t }
+
+val parse : string -> (document, string) result
+val parse_file : string -> (document, string) result
+val to_string : ?name:string -> Tsg_circuit.Netlist.t -> string
+val write_file : ?name:string -> string -> Tsg_circuit.Netlist.t -> unit

@@ -1,0 +1,138 @@
+open Tsg
+
+let pp_rational ppf x =
+  let found = ref None in
+  let q = ref 1 in
+  while !found = None && !q <= 64 do
+    let p = Float.round (x *. float_of_int !q) in
+    if abs_float (x -. (p /. float_of_int !q)) < 1e-9 *. (1. +. abs_float x) then
+      found := Some (int_of_float p, !q);
+    incr q
+  done;
+  match !found with
+  | Some (p, 1) -> Fmt.pf ppf "%d" p
+  | Some (p, q) -> Fmt.pf ppf "%g (= %d/%d)" x p q
+  | None -> Fmt.pf ppf "%g" x
+
+(* a right-aligned textual table: rows of cells *)
+let pp_table ppf rows =
+  let widths =
+    List.fold_left
+      (fun acc row ->
+        List.mapi
+          (fun i cell ->
+            let prev = try List.nth acc i with Failure _ -> 0 in
+            max prev (String.length cell))
+          row
+        @
+        (* keep widths for columns beyond this row *)
+        let n = List.length row in
+        List.filteri (fun i _ -> i >= n) acc)
+      [] rows
+  in
+  List.iter
+    (fun row ->
+      List.iteri
+        (fun i cell -> Fmt.pf ppf "%*s  " (List.nth widths i) cell)
+        row;
+      Fmt.pf ppf "@,")
+    rows
+
+let pp_arc g ppf aid =
+  let a = Signal_graph.arc g aid in
+  Fmt.pf ppf "%a -%g%s-> %a" Event.pp
+    (Signal_graph.event g a.Signal_graph.arc_src)
+    a.Signal_graph.delay
+    (if a.Signal_graph.marked then "*" else "")
+    Event.pp
+    (Signal_graph.event g a.Signal_graph.arc_dst)
+
+let pp_slack_table g ppf (report : Slack.report) =
+  Fmt.pf ppf "@[<v>cycle time: %a@,@," pp_rational report.Slack.lambda;
+  Fmt.pf ppf "%-30s %10s  %s@," "arc" "slack" "critical";
+  Array.iter
+    (fun (s : Slack.arc_slack) ->
+      if s.Slack.slack < infinity then
+        Fmt.pf ppf "%-30s %10.4g  %s@."
+          (Fmt.str "%a" (pp_arc g) s.Slack.arc_id)
+          s.Slack.slack
+          (if s.Slack.on_critical_cycle then "<== critical" else ""))
+    report.Slack.arc_slacks;
+  Fmt.pf ppf "@]"
+
+let pp_steady ppf (s : Steady_state.t) =
+  Fmt.pf ppf "@[<v>pattern period:   %d unfolding period%s@," s.Steady_state.pattern_period
+    (if s.Steady_state.pattern_period = 1 then "" else "s");
+  Fmt.pf ppf "transient:        %d period%s@," s.Steady_state.transient_periods
+    (if s.Steady_state.transient_periods = 1 then "" else "s");
+  Fmt.pf ppf "time increment:   %g per pattern@," s.Steady_state.increment;
+  Fmt.pf ppf "cycle time:       %a@]" pp_rational s.Steady_state.lambda
+
+let pp_phases g ppf t =
+  Fmt.pf ppf "@[<v>pattern period %d, cycle time %a; phases:@," (Separation.pattern_period t)
+    pp_rational (Separation.lambda t);
+  List.iter
+    (fun e ->
+      Fmt.pf ppf "  %-8s %a@,"
+        (Event.to_string (Signal_graph.event g e))
+        Fmt.(list ~sep:(any ", ") float)
+        (Separation.phase t e))
+    (Signal_graph.repetitive_events g);
+  Fmt.pf ppf "@]"
+
+let pp_simulation_table u sim ~events ppf =
+  let g = Unfolding.signal_graph u in
+  let header =
+    "event"
+    :: List.map
+         (fun (e, p) ->
+           let ev = Signal_graph.event g e in
+           if p = 0 then Event.to_string ev else Printf.sprintf "%s(%d)" (Event.to_string ev) p)
+         events
+  in
+  let times =
+    "t"
+    :: List.map
+         (fun (e, p) ->
+           Printf.sprintf "%g" sim.Timing_sim.time.(Unfolding.instance u ~event:e ~period:p))
+         events
+  in
+  Fmt.pf ppf "@[<v>";
+  pp_table ppf [ header; times ];
+  Fmt.pf ppf "@]"
+
+let pp_delta_table g ppf (trace : Cycle_time.border_trace) =
+  let ev = Signal_graph.event g trace.Cycle_time.border_event in
+  let header =
+    "i" :: List.map (fun s -> string_of_int s.Cycle_time.period) trace.Cycle_time.samples
+  in
+  let times =
+    Printf.sprintf "t_{%s0}" (Event.to_string ev)
+    :: List.map (fun s -> Printf.sprintf "%g" s.Cycle_time.time) trace.Cycle_time.samples
+  in
+  let deltas =
+    "Delta"
+    :: List.map (fun s -> Printf.sprintf "%.4g" s.Cycle_time.average) trace.Cycle_time.samples
+  in
+  Fmt.pf ppf "@[<v>%s-initiated timing simulation:@," (Event.to_string ev);
+  pp_table ppf [ header; times; deltas ];
+  Fmt.pf ppf "@]"
+
+let pp_report g ppf (r : Cycle_time.report) =
+  let event_name e = Event.to_string (Signal_graph.event g e) in
+  Fmt.pf ppf "@[<v>";
+  Fmt.pf ppf "border events (cut set): {%s}@,"
+    (String.concat ", " (List.map event_name r.Cycle_time.border));
+  Fmt.pf ppf "periods simulated per border event: %d@,@," r.Cycle_time.periods_simulated;
+  List.iter (fun t -> Fmt.pf ppf "%a@,@," (pp_delta_table g) t) r.Cycle_time.traces;
+  Fmt.pf ppf "cycle time = %a  (realised by %s after %d period%s)@," pp_rational
+    r.Cycle_time.cycle_time
+    (event_name r.Cycle_time.critical_event)
+    r.Cycle_time.critical_period
+    (if r.Cycle_time.critical_period = 1 then "" else "s");
+  List.iter
+    (fun c ->
+      Fmt.pf ppf "critical cycle: %a  (length %g, occurrence period %d)@,"
+        (Cycles.pp_cycle g) c c.Cycles.length c.Cycles.occurrence_period)
+    r.Cycle_time.critical_cycles;
+  Fmt.pf ppf "@]"

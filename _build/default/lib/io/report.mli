@@ -1,0 +1,35 @@
+(** Human-readable analysis reports, mirroring the tables printed in
+    the paper (Example 3, Example 4, Sections VIII.C-D). *)
+
+val pp_simulation_table :
+  Tsg.Unfolding.t ->
+  Tsg.Timing_sim.result ->
+  events:(int * int) list ->
+  Format.formatter ->
+  unit
+(** A two-row table [event / t(event)] for the given (event, period)
+    instances — the layout of the Example 3 and Example 4 tables. *)
+
+val pp_delta_table : Tsg.Signal_graph.t -> Tsg.Cycle_time.border_trace Fmt.t
+(** The per-border-event table of Section VIII.C:
+    [i / t_{g0}(g_i) / Delta_{g0}(g_i)]. *)
+
+val pp_report : Tsg.Signal_graph.t -> Tsg.Cycle_time.report Fmt.t
+(** Full analysis report: cycle time, border set, Delta tables,
+    critical cycle(s). *)
+
+val pp_rational : float Fmt.t
+(** Prints a float, appending an exact fraction [p/q] when the value
+    is close to a small rational (e.g. [6.667 (= 20/3)]). *)
+
+val pp_arc : Tsg.Signal_graph.t -> int Fmt.t
+(** One arc as [a+ -3-> c+] (a star marks an initial token). *)
+
+val pp_slack_table : Tsg.Signal_graph.t -> Tsg.Slack.report Fmt.t
+(** The per-arc slack table: arc, slack, criticality marker. *)
+
+val pp_steady : Tsg.Steady_state.t Fmt.t
+(** Pattern period, transient, increment and cycle time. *)
+
+val pp_phases : Tsg.Signal_graph.t -> Tsg.Separation.t Fmt.t
+(** Every repetitive event's phase within one steady pattern. *)

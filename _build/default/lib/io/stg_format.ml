@@ -1,0 +1,139 @@
+open Tsg
+
+type document = { model : string; graph : Signal_graph.t }
+
+type section = Preamble | Events | Graph
+
+let split_words line =
+  String.split_on_char ' ' line
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun w -> w <> "")
+
+let strip_comment line =
+  match String.index_opt line '#' with
+  | None -> line
+  | Some i -> String.sub line 0 i
+
+let class_of_keyword = function
+  | "initial" -> Some Signal_graph.Initial
+  | "nonrep" -> Some Signal_graph.Non_repetitive
+  | "rep" -> Some Signal_graph.Repetitive
+  | _ -> None
+
+let keyword_of_class = function
+  | Signal_graph.Initial -> "initial"
+  | Signal_graph.Non_repetitive -> "nonrep"
+  | Signal_graph.Repetitive -> "rep"
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let model = ref "unnamed" in
+  let events : (Event.t * Signal_graph.event_class) list ref = ref [] in
+  let arcs : (Event.t * Event.t * float * bool * bool) list ref = ref [] in
+  let declared = Hashtbl.create 32 in
+  let section = ref Preamble in
+  let ended = ref false in
+  let declare ev cls =
+    if not (Hashtbl.mem declared ev) then begin
+      Hashtbl.add declared ev ();
+      events := (ev, cls) :: !events
+    end
+  in
+  let exception Stop of string in
+  (try
+     List.iteri
+       (fun i raw ->
+         let lineno = i + 1 in
+         let line = String.trim (strip_comment raw) in
+         if line <> "" && not !ended then begin
+           let fail fmt =
+             Fmt.kstr (fun m -> raise (Stop (Printf.sprintf "line %d: %s" lineno m))) fmt
+           in
+           let event_of s =
+             match Event.of_string s with Ok ev -> ev | Error msg -> fail "%s" msg
+           in
+           match split_words line with
+           | [ ".model"; name ] -> model := name
+           | ".model" :: _ -> fail ".model takes one name"
+           | [ ".events" ] -> section := Events
+           | [ ".graph" ] -> section := Graph
+           | [ ".end" ] -> ended := true
+           | words -> (
+             match !section with
+             | Preamble -> fail "expected .model, .events or .graph"
+             | Events -> (
+               match words with
+               | [ e ] -> declare (event_of e) Signal_graph.Repetitive
+               | [ e; cls ] -> (
+                 match class_of_keyword cls with
+                 | Some c -> declare (event_of e) c
+                 | None -> fail "unknown event class %S" cls)
+               | _ -> fail "event lines are: <event> [initial|nonrep|rep]")
+             | Graph -> (
+               match words with
+               | src :: dst :: delay :: flags ->
+                 let u = event_of src and v = event_of dst in
+                 let d =
+                   match float_of_string_opt delay with
+                   | Some d -> d
+                   | None -> fail "invalid delay %S" delay
+                 in
+                 let marked = ref false and once = ref false in
+                 List.iter
+                   (fun f ->
+                     match f with
+                     | "token" -> marked := true
+                     | "once" -> once := true
+                     | _ -> fail "unknown arc flag %S" f)
+                   flags;
+                 declare u Signal_graph.Repetitive;
+                 declare v Signal_graph.Repetitive;
+                 arcs := (u, v, d, !marked, !once) :: !arcs
+               | _ -> fail "arc lines are: <src> <dst> <delay> [token] [once]"))
+         end)
+       lines;
+     let b = Signal_graph.builder () in
+     List.iter (fun (ev, cls) -> Signal_graph.add_event b ev cls) (List.rev !events);
+     List.iter
+       (fun (u, v, delay, marked, disengageable) ->
+         Signal_graph.add_arc b ~marked ~disengageable ~delay u v)
+       (List.rev !arcs);
+     match Signal_graph.build b with
+     | Ok graph -> Ok { model = !model; graph }
+     | Error errs ->
+       Error (Fmt.str "invalid graph: %a" Fmt.(list ~sep:(any "; ") Signal_graph.pp_error) errs)
+   with
+  | Stop msg -> Error msg
+  | Invalid_argument msg -> Error msg)
+
+let parse_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> parse text
+  | exception Sys_error msg -> Error msg
+
+let to_string ?(model = "unnamed") g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf ".model %s\n.events\n" model);
+  Array.iteri
+    (fun i ev ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s %s\n" (Event.to_string ev)
+           (keyword_of_class (Signal_graph.class_of g i))))
+    (Signal_graph.events_of g);
+  Buffer.add_string buf ".graph\n";
+  Array.iter
+    (fun (a : Signal_graph.arc) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s %s %g%s%s\n"
+           (Event.to_string (Signal_graph.event g a.arc_src))
+           (Event.to_string (Signal_graph.event g a.arc_dst))
+           a.delay
+           (if a.marked then " token" else "")
+           (if a.disengageable then " once" else "")))
+    (Signal_graph.arcs g);
+  Buffer.add_string buf ".end\n";
+  Buffer.contents buf
+
+let write_file ?model path g =
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (to_string ?model g))

@@ -1,0 +1,90 @@
+open Tsg
+
+type options = { horizon : float; columns : int }
+
+let default_options = { horizon = 30.; columns = 60 }
+
+let signal_transitions u (sim : Timing_sim.result) ~horizon ~signals =
+  let g = Unfolding.signal_graph u in
+  let selection =
+    match signals with
+    | None -> Signal_graph.signals g
+    | Some wanted ->
+      List.filter (fun s -> List.mem s (Signal_graph.signals g)) wanted
+  in
+  let table : (string, (float * Event.dir) list ref) Hashtbl.t = Hashtbl.create 16 in
+  List.iter (fun s -> Hashtbl.add table s (ref [])) selection;
+  for inst = 0 to Unfolding.instance_count u - 1 do
+    if sim.Timing_sim.reached.(inst) then begin
+      let e, _ = Unfolding.event_of_instance u inst in
+      let ev = Signal_graph.event g e in
+      let t = sim.Timing_sim.time.(inst) in
+      if t <= horizon then begin
+        match Hashtbl.find_opt table ev.Event.signal with
+        | Some l -> l := (t, ev.Event.dir) :: !l
+        | None -> ()
+      end
+    end
+  done;
+  List.map
+    (fun s ->
+      let l = !(Hashtbl.find table s) in
+      (s, List.sort (fun (t1, _) (t2, _) -> Float.compare t1 t2) l))
+    selection
+
+let render ?(options = default_options) ?signals u sim =
+  let { horizon; columns } = options in
+  let buf = Buffer.create 1024 in
+  let col_of t = int_of_float (Float.round (t /. horizon *. float_of_int (columns - 1))) in
+  let selected = signal_transitions u sim ~horizon ~signals in
+  let name_width =
+    List.fold_left (fun acc (s, _) -> max acc (String.length s)) 1 selected
+  in
+  let draw (name, transitions) =
+    let line = Bytes.create columns in
+    let initial_high =
+      match transitions with
+      | (_, Event.Rise) :: _ -> false
+      | (_, Event.Fall) :: _ -> true
+      | [] -> false
+    in
+    let level = ref initial_high in
+    let pos = ref 0 in
+    let fill upto =
+      let upto = min upto columns in
+      while !pos < upto do
+        Bytes.set line !pos (if !level then '~' else '_');
+        incr pos
+      done
+    in
+    List.iter
+      (fun (t, dir) ->
+        fill (col_of t);
+        if !pos < columns then begin
+          Bytes.set line !pos '|';
+          incr pos
+        end;
+        level := (match dir with Event.Rise -> true | Event.Fall -> false))
+      transitions;
+    fill columns;
+    Buffer.add_string buf (Printf.sprintf "%*s " name_width name);
+    Buffer.add_bytes buf line;
+    Buffer.add_char buf '\n'
+  in
+  List.iter draw selected;
+  (* ruler: a tick every 5 time units *)
+  let ruler = Bytes.make columns ' ' in
+  let tick = ref 0. in
+  while !tick <= horizon do
+    let c = col_of !tick in
+    let label = Printf.sprintf "%g" !tick in
+    if c + String.length label <= columns then
+      String.iteri (fun i ch -> Bytes.set ruler (c + i) ch) label;
+    tick := !tick +. 5.
+  done;
+  Buffer.add_string buf (String.make (name_width + 1) ' ');
+  Buffer.add_bytes buf ruler;
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+let pp ?options ?signals u ppf sim = Fmt.string ppf (render ?options ?signals u sim)

@@ -1,0 +1,33 @@
+(** ASCII timing diagrams (Fig. 1c/1d of the paper) rendered from a
+    timing simulation of an unfolding.
+
+    Each signal gets one waveform line; [_] is low, [~] is high, [|]
+    marks a transition; a scale ruler is printed underneath.  The
+    initial level of a signal is inferred from the direction of its
+    first transition; signals that never switch within the horizon are
+    drawn flat at their inferred level. *)
+
+type options = {
+  horizon : float;  (** rightmost time shown *)
+  columns : int;  (** character columns used for the time axis *)
+}
+
+val default_options : options
+(** horizon 30, 60 columns (one column per half time unit, as in the
+    paper's figures). *)
+
+val render :
+  ?options:options ->
+  ?signals:string list ->
+  Tsg.Unfolding.t ->
+  Tsg.Timing_sim.result ->
+  string
+(** Renders the graph's signals ([signals] restricts and orders the
+    selection; unknown names are ignored).  For an event-initiated
+    simulation, unreached instances are not drawn. *)
+
+val pp :
+  ?options:options ->
+  ?signals:string list ->
+  Tsg.Unfolding.t ->
+  Tsg.Timing_sim.result Fmt.t

@@ -1,0 +1,69 @@
+open Tsg
+
+(* VCD identifiers: printable ASCII 33..126, shortest-first *)
+let identifier i =
+  let base = 94 in
+  let rec build i acc =
+    let c = Char.chr (33 + (i mod base)) in
+    let acc = String.make 1 c ^ acc in
+    if i < base then acc else build ((i / base) - 1) acc
+  in
+  build i ""
+
+let of_simulation ?(timescale = "1ns") ?(scale = 1.) u sim =
+  let g = Unfolding.signal_graph u in
+  let signals = Signal_graph.signals g in
+  let code_of =
+    let table = Hashtbl.create 16 in
+    List.iteri (fun i s -> Hashtbl.add table s (identifier i)) signals;
+    Hashtbl.find table
+  in
+  (* collect (tick, signal, value) changes *)
+  let changes = ref [] in
+  for inst = 0 to Unfolding.instance_count u - 1 do
+    if sim.Timing_sim.reached.(inst) then begin
+      let e, _ = Unfolding.event_of_instance u inst in
+      let ev = Signal_graph.event g e in
+      let tick =
+        Int64.of_float (Float.round (sim.Timing_sim.time.(inst) *. scale))
+      in
+      changes := (tick, ev.Event.signal, ev.Event.dir = Event.Rise) :: !changes
+    end
+  done;
+  let changes = List.sort compare (List.rev !changes) in
+  (* initial level: the opposite of the first transition *)
+  let initial : (string, bool) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (_, s, rising) ->
+      if not (Hashtbl.mem initial s) then Hashtbl.add initial s (not rising))
+    changes;
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "$version timesim $end\n";
+  Buffer.add_string buf (Printf.sprintf "$timescale %s $end\n" timescale);
+  Buffer.add_string buf "$scope module top $end\n";
+  List.iter
+    (fun s ->
+      Buffer.add_string buf (Printf.sprintf "$var wire 1 %s %s $end\n" (code_of s) s))
+    signals;
+  Buffer.add_string buf "$upscope $end\n$enddefinitions $end\n";
+  Buffer.add_string buf "$dumpvars\n";
+  List.iter
+    (fun s ->
+      let v = match Hashtbl.find_opt initial s with Some v -> v | None -> false in
+      Buffer.add_string buf (Printf.sprintf "%d%s\n" (Bool.to_int v) (code_of s)))
+    signals;
+  Buffer.add_string buf "$end\n";
+  let current_time = ref Int64.minus_one in
+  List.iter
+    (fun (tick, s, rising) ->
+      if tick <> !current_time then begin
+        Buffer.add_string buf (Printf.sprintf "#%Ld\n" tick);
+        current_time := tick
+      end;
+      Buffer.add_string buf (Printf.sprintf "%d%s\n" (Bool.to_int rising) (code_of s)))
+    changes;
+  Buffer.contents buf
+
+let write_file ?timescale ?scale path u sim =
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (of_simulation ?timescale ?scale u sim))

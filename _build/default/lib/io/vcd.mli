@@ -1,0 +1,27 @@
+(** Value Change Dump (IEEE 1364) export of timing simulations, so
+    waveforms can be inspected in standard viewers (GTKWave & co.).
+
+    Each signal of the Signal Graph becomes a 1-bit wire; the
+    occurrence times of the simulated instances become value changes.
+    Times are multiplied by [scale] and rounded to integer VCD ticks
+    (pick a scale that makes your delays integral — the default 1 is
+    right for integer delay models like the paper's examples). *)
+
+val of_simulation :
+  ?timescale:string ->
+  ?scale:float ->
+  Tsg.Unfolding.t ->
+  Tsg.Timing_sim.result ->
+  string
+(** [of_simulation u sim] renders the reached instances of [sim] as a
+    VCD document.  [timescale] defaults to ["1ns"].  Initial values
+    are inferred from each signal's first transition direction;
+    signals that never switch are dumped at a constant low. *)
+
+val write_file :
+  ?timescale:string ->
+  ?scale:float ->
+  string ->
+  Tsg.Unfolding.t ->
+  Tsg.Timing_sim.result ->
+  unit

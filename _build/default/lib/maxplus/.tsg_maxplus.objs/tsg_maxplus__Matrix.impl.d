@@ -1,0 +1,1 @@
+lib/maxplus/matrix.ml: Array Fmt Printf Semiring

@@ -1,0 +1,1 @@
+lib/maxplus/matrix.mli: Fmt

@@ -1,0 +1,1 @@
+lib/maxplus/of_signal_graph.ml: Array Matrix Semiring Spectral Tsg_baselines Tsg_graph

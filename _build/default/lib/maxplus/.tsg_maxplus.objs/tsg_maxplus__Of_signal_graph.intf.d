@@ -1,0 +1,1 @@
+lib/maxplus/of_signal_graph.mli: Matrix Spectral Tsg

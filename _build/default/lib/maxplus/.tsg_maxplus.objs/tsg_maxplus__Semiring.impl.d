@@ -1,0 +1,1 @@
+lib/maxplus/semiring.ml: Float Fmt

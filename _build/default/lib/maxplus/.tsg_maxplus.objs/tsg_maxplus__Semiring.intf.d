@@ -1,0 +1,1 @@
+lib/maxplus/semiring.mli: Fmt

@@ -1,0 +1,1 @@
+lib/maxplus/spectral.ml: Array Matrix Semiring Tsg_baselines Tsg_graph

@@ -1,0 +1,1 @@
+lib/maxplus/spectral.mli: Matrix Tsg_graph

@@ -1,0 +1,17 @@
+let matrix g =
+  let tg = Tsg_baselines.Token_graph.make g in
+  let border = tg.Tsg_baselines.Token_graph.border in
+  let b = Array.length border in
+  let a = Matrix.make ~rows:b ~cols:b in
+  Tsg_graph.Digraph.iter_arcs tg.Tsg_baselines.Token_graph.graph (fun src dst w ->
+      (* token-graph arc src -> dst: x_dst(k+1) >= w + x_src(k) *)
+      if w > Matrix.get a dst src then Matrix.set a dst src w);
+  (a, border)
+
+let cycle_time g =
+  let a, _ = matrix g in
+  Spectral.cycle_time a
+
+let regime ?max_iter g =
+  let a, _ = matrix g in
+  Spectral.power_regime ?max_iter a ~start:(Array.make (Matrix.rows a) Semiring.one)

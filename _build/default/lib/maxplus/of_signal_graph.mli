@@ -1,0 +1,25 @@
+(** The max-plus view of a Timed Signal Graph.
+
+    The occurrence times of the border events obey the linear
+    recurrence [x(k+1) = A (X) x(k)] over the (max, +) semiring, where
+    [A] is built from the token graph: entry [A_{hg}] is the longest
+    token-free path from border event [g] through one marked arc into
+    border event [h].  The max-plus spectral radius of [A] is the
+    cycle time, and the cyclicity of its power iteration is the
+    pattern period of the steady-state regime — both cross-checked in
+    the test suite against {!Tsg.Cycle_time} and
+    {!Tsg.Steady_state}. *)
+
+val matrix : Tsg.Signal_graph.t -> Matrix.t * int array
+(** [(a, border)] where [a] is the border-event recurrence matrix and
+    [border.(i)] the Signal-Graph event id of index [i].
+    @raise Invalid_argument if the graph has no border events. *)
+
+val cycle_time : Tsg.Signal_graph.t -> float
+(** The cycle time via the max-plus spectral radius — a further
+    independent baseline for the paper's algorithm. *)
+
+val regime : ?max_iter:int -> Tsg.Signal_graph.t -> Spectral.regime option
+(** The periodic regime of the border recurrence started from the
+    all-zeros vector (every border event nominally released at time
+    0). *)

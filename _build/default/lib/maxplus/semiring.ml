@@ -1,0 +1,15 @@
+type t = float
+
+let zero = neg_infinity
+let one = 0.
+let add = Float.max
+let mul a b = if a = neg_infinity || b = neg_infinity then neg_infinity else a +. b
+let is_zero x = x = neg_infinity
+
+let equal ?(tol = 0.) a b =
+  (is_zero a && is_zero b)
+  || ((not (is_zero a)) && (not (is_zero b))
+      && abs_float (a -. b) <= tol *. (1. +. Float.max (abs_float a) (abs_float b)))
+  || a = b
+
+let pp ppf x = if is_zero x then Fmt.string ppf "." else Fmt.float ppf x

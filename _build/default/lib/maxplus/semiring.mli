@@ -1,0 +1,32 @@
+(** The (max, +) semiring over the reals extended with minus infinity
+    (reference [1] of the paper: Baccelli, Cohen, Olsder, Quadrat,
+    "Synchronization and Linearity").
+
+    Addition is [max] with neutral element [zero = -inf]; multiplication
+    is [+] with neutral element [one = 0].  The timing behaviour of a
+    Marked Graph is linear over this semiring: occurrence-time vectors
+    evolve as [x(k+1) = A (X) x(k)], which is what makes the spectral
+    theory of {!Spectral} apply. *)
+
+type t = float
+(** Values; [neg_infinity] is the semiring zero ("no path"). *)
+
+val zero : t
+(** [-inf], neutral for {!add}, absorbing for {!mul}. *)
+
+val one : t
+(** [0.], neutral for {!mul}. *)
+
+val add : t -> t -> t
+(** [max]. *)
+
+val mul : t -> t -> t
+(** [+], with [zero] absorbing (so [mul zero infinity = zero]). *)
+
+val is_zero : t -> bool
+
+val equal : ?tol:float -> t -> t -> bool
+(** Equality with tolerance; two [zero]s are equal regardless of [tol]. *)
+
+val pp : t Fmt.t
+(** Prints [zero] as ["."] (the conventional matrix dot). *)

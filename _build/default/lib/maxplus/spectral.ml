@@ -1,0 +1,157 @@
+let precedence_graph a =
+  let n = Matrix.rows a in
+  let g = Tsg_graph.Digraph.create ~capacity:(max n 1) () in
+  Tsg_graph.Digraph.add_vertices g n;
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      let w = Matrix.get a i j in
+      (* x_i(k+1) depends on x_j(k): arc j -> i with weight A_ij *)
+      if not (Semiring.is_zero w) then Tsg_graph.Digraph.add_arc g ~src:j ~dst:i w
+    done
+  done;
+  g
+
+let cycle_time a =
+  if Matrix.rows a <> Matrix.cols a then invalid_arg "Spectral.cycle_time: non-square";
+  Tsg_baselines.Token_graph.max_cycle_mean_karp (precedence_graph a)
+
+type regime = { cyclicity : int; lambda : float; transient : int }
+
+(* normalised matrix, its star, and the critical vertex set *)
+let normalised_closure ?lambda a =
+  let n = Matrix.rows a in
+  if n <> Matrix.cols a then invalid_arg "Spectral: non-square matrix";
+  let lambda = match lambda with Some l -> l | None -> cycle_time a in
+  if lambda = neg_infinity then invalid_arg "Spectral: acyclic matrix";
+  let a_norm = Matrix.scale (-.lambda) a in
+  let closure = Matrix.star a_norm in
+  let non_empty = Matrix.plus a_norm in
+  let tol = 1e-9 *. (1. +. abs_float lambda) in
+  let critical = ref [] in
+  for i = n - 1 downto 0 do
+    let c = Matrix.get non_empty i i in
+    if (not (Semiring.is_zero c)) && abs_float c <= tol then critical := i :: !critical
+  done;
+  (lambda, a_norm, closure, !critical)
+
+let eigenvector ?lambda a =
+  let _, _, closure, critical = normalised_closure ?lambda a in
+  match critical with
+  | [] -> invalid_arg "Spectral.eigenvector: no critical vertex found"
+  | j :: _ ->
+    (Array.init (Matrix.rows a) (fun i -> Matrix.get closure i j), critical)
+
+let critical_graph ?lambda a =
+  let _, a_norm, closure, _ = normalised_closure ?lambda a in
+  let n = Matrix.rows a in
+  let g = Tsg_graph.Digraph.create ~capacity:(max n 1) () in
+  Tsg_graph.Digraph.add_vertices g n;
+  let tol = 1e-9 in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      let w = Matrix.get a_norm i j in
+      if not (Semiring.is_zero w) then begin
+        (* best cycle through the arc j -> i: the arc plus the best
+           path from i back to j *)
+        let back = Matrix.get closure j i in
+        if (not (Semiring.is_zero back)) && abs_float (w +. back) <= tol then
+          Tsg_graph.Digraph.add_arc g ~src:j ~dst:i ()
+      end
+    done
+  done;
+  g
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+
+let structural_cyclicity ?lambda a =
+  let g = critical_graph ?lambda a in
+  let comp, count = Tsg_graph.Scc.component_ids g in
+  (* per component: gcd of (level u + 1 - level v) over internal arcs,
+     with levels from any spanning traversal — the classic gcd-of-cycle
+     -lengths computation *)
+  let n = Tsg_graph.Digraph.vertex_count g in
+  let level = Array.make n 0 in
+  let seen = Array.make n false in
+  let component_gcd = Array.make count 0 in
+  for root = 0 to n - 1 do
+    if not seen.(root) then begin
+      seen.(root) <- true;
+      level.(root) <- 0;
+      let stack = ref [ root ] in
+      while !stack <> [] do
+        match !stack with
+        | [] -> ()
+        | v :: rest ->
+          stack := rest;
+          Tsg_graph.Digraph.iter_out g v (fun w () ->
+              if comp.(w) = comp.(v) then
+                if not seen.(w) then begin
+                  seen.(w) <- true;
+                  level.(w) <- level.(v) + 1;
+                  stack := w :: !stack
+                end
+                else begin
+                  let c = comp.(v) in
+                  component_gcd.(c) <- gcd component_gcd.(c) (abs (level.(v) + 1 - level.(w)))
+                end)
+      done
+    end
+  done;
+  let lcm x y = if x = 0 || y = 0 then max x y else x * y / gcd x y in
+  let result = Array.fold_left lcm 0 component_gcd in
+  max 1 result
+
+let power_regime ?(max_iter = 200) ?(tol = 1e-9) a ~start =
+  let n = Matrix.rows a in
+  if n <> Matrix.cols a then invalid_arg "Spectral.power_regime: non-square";
+  if Array.length start <> n then invalid_arg "Spectral.power_regime: start length";
+  (* history.(k) = x(k) *)
+  let history = Array.make (max_iter + 1) start in
+  for k = 1 to max_iter do
+    history.(k) <- Matrix.apply a history.(k - 1)
+  done;
+  (* drift between x(k) and x(k-c): the shared constant, if any *)
+  let drift_between xk xkc =
+    let delta = ref None in
+    let ok = ref true in
+    for i = 0 to n - 1 do
+      match (Semiring.is_zero xkc.(i), Semiring.is_zero xk.(i)) with
+      | true, true -> ()
+      | true, false | false, true -> ok := false
+      | false, false -> (
+        let d = xk.(i) -. xkc.(i) in
+        match !delta with
+        | None -> delta := Some d
+        | Some d0 -> if abs_float (d -. d0) > tol *. (1. +. abs_float d0) then ok := false)
+    done;
+    if !ok then !delta else None
+  in
+  (* smallest cyclicity first, then smallest transient; require the
+     relation to hold over a full verification window *)
+  let result = ref None in
+  let c = ref 1 in
+  while !result = None && !c <= max_iter / 2 do
+    let cc = !c in
+    let k0 = ref 0 in
+    while !result = None && !k0 <= max_iter - (2 * cc) do
+      let k = !k0 in
+      (match drift_between history.(k + cc) history.(k) with
+      | Some delta ->
+        (* verify across the rest of the horizon *)
+        let verified = ref true in
+        let j = ref (k + 1) in
+        while !verified && !j <= max_iter - cc do
+          (match drift_between history.(!j + cc) history.(!j) with
+          | Some d when abs_float (d -. delta) <= tol *. (1. +. abs_float delta) -> ()
+          | Some _ | None -> verified := false);
+          incr j
+        done;
+        if !verified then
+          result :=
+            Some { cyclicity = cc; lambda = delta /. float_of_int cc; transient = k }
+      | None -> ());
+      incr k0
+    done;
+    incr c
+  done;
+  !result

@@ -1,0 +1,61 @@
+(** Spectral theory of max-plus matrices.
+
+    For an irreducible max-plus matrix [A], the cycle-time theorem
+    states that the power iteration [x(k+1) = A (X) x(k)] is eventually
+    periodic up to a drift: there exist a {e cyclicity} [c], a
+    {e spectral radius} [lambda] and a transient [T] with
+
+    {v x(k + c) = c * lambda + x(k)     for all k >= T v}
+
+    [lambda] equals the maximum cycle mean of the precedence graph of
+    [A] — which, for the matrix of a Timed Signal Graph's border
+    events, is the cycle time of the graph (see {!Of_signal_graph}).
+    The cyclicity is the max-plus analogue of the paper's Section IV.D
+    quasi-periodicity; on the five-stage Muller ring it is 3, matching
+    the 6, 7, 7 delta pattern. *)
+
+val cycle_time : Matrix.t -> float
+(** The maximum cycle mean of the matrix's precedence graph — the
+    max-plus spectral radius ([neg_infinity] for a nilpotent matrix).
+    @raise Invalid_argument on a non-square matrix. *)
+
+type regime = {
+  cyclicity : int;  (** [c] above *)
+  lambda : float;  (** the per-step drift [lambda] *)
+  transient : int;  (** iterations before the regime locks in *)
+}
+
+val eigenvector : ?lambda:float -> Matrix.t -> float array * int list
+(** [(v, critical)] where [v] is a max-plus eigenvector
+    ([A (X) v = lambda (X) v] on irreducible matrices) and [critical]
+    lists the {e critical vertices} — those on a cycle of mean
+    [lambda].  Computed as a column of the Kleene star of the
+    normalised matrix [A_lambda = (-lambda) (X) A], taken at a
+    critical vertex.  On a reducible matrix the eigen-equation holds
+    on the part that reaches the chosen critical class.
+    @raise Invalid_argument on a non-square or acyclic matrix. *)
+
+val critical_graph : ?lambda:float -> Matrix.t -> unit Tsg_graph.Digraph.t
+(** The subgraph of precedence arcs that lie on some cycle of mean
+    [lambda] (arc [j -> i] present iff the best cycle through it has
+    mean [lambda]).  Vertices are the matrix indices. *)
+
+val structural_cyclicity : ?lambda:float -> Matrix.t -> int
+(** The cyclicity of the critical graph: the lcm over its non-trivial
+    strongly connected components of the gcd of their cycle lengths.
+    By the max-plus cycle-time theorem, the power iteration of an
+    irreducible matrix satisfies [x(k + c) = c * lambda + x(k)]
+    eventually, with [c] equal to this number; {!power_regime}'s
+    observed cyclicity always divides it.
+    @raise Invalid_argument on a non-square or acyclic matrix. *)
+
+val power_regime :
+  ?max_iter:int -> ?tol:float -> Matrix.t -> start:float array -> regime option
+(** Detects the periodic regime of the power iteration from the given
+    start vector: the smallest [(transient, cyclicity)] such that every
+    finite entry of [x(k + c)] exceeds [x(k)] by the same constant.
+    [None] if no regime appears within [max_iter] (default 200)
+    iterations — e.g. when some entry stays [-inf] forever on a
+    reducible matrix, or the transient is longer.
+    @raise Invalid_argument on a non-square matrix or a start vector of
+    the wrong length. *)

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Array Event Float Fmt Hashtbl List Printf QCheck2 QCheck_alcotest Random Signal_graph Timing_sim Tsg Tsg_circuit Tsg_io Unfolding

@@ -1,0 +1,1 @@
+test/test_astg_format.ml: Alcotest Array Astg_format Cycle_time Helpers Signal_graph Transform Tsg Tsg_circuit Tsg_io

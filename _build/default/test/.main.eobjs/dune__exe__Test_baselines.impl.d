@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Cycle_time Cycles Event Exhaustive Float Helpers Howard Karp Lawler List Signal_graph Token_graph Tsg Tsg_baselines Tsg_circuit Tsg_graph

@@ -1,0 +1,1 @@
+test/test_circuit_library.ml: Alcotest Array Circuit_library Cycle_time Event Helpers List Marking Printf Signal_graph Tsg Tsg_circuit Tsg_extract

@@ -1,0 +1,1 @@
+test/test_compose.ml: Alcotest Compose Cycle_time Event Fun Helpers List Printf Signal_graph Tsg Tsg_circuit

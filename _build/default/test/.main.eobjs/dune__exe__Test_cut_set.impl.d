@@ -1,0 +1,1 @@
+test/test_cut_set.ml: Alcotest Cut_set Cycle_time Cycles Event Helpers List Printf Signal_graph String Tsg Tsg_circuit

@@ -1,0 +1,1 @@
+test/test_cycle_time.ml: Alcotest Array Cycle_time Cycles Event Helpers List Marking Printf Signal_graph Steady_state Timing_sim Tsg Tsg_baselines Tsg_circuit Tsg_maxplus Unfolding

@@ -1,0 +1,1 @@
+test/test_cycles.ml: Alcotest Cycles Event Float Helpers List Signal_graph Tsg Tsg_circuit

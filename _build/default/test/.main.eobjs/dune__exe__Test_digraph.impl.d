@@ -1,0 +1,1 @@
+test/test_digraph.ml: Alcotest Digraph List String Tsg_graph

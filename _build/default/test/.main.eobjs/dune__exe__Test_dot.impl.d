@@ -1,0 +1,1 @@
+test/test_dot.ml: Alcotest Digraph Dot Event Fun Printf Signal_graph String Tsg Tsg_circuit Tsg_graph

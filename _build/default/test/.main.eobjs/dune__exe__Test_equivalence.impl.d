@@ -1,0 +1,1 @@
+test/test_equivalence.ml: Alcotest Compose Cycle_time Equivalence Event Helpers List Signal_graph Simplify Transform Tsg Tsg_circuit Tsg_extract

@@ -1,0 +1,1 @@
+test/test_er_system.ml: Alcotest Array Cycle_time Er_system Event Helpers List Signal_graph Tsg

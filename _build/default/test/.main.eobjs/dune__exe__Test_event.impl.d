@@ -1,0 +1,1 @@
+test/test_event.ml: Alcotest Event Helpers List Printf QCheck2 QCheck_alcotest Tsg

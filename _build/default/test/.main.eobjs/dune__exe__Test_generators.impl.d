@@ -1,0 +1,1 @@
+test/test_generators.ml: Alcotest Array Cycle_time Cycles Generators Helpers List Signal_graph Slack Tsg Tsg_baselines Tsg_circuit

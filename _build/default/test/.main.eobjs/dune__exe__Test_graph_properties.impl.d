@@ -1,0 +1,1 @@
+test/test_graph_properties.ml: Array Digraph Float Fun List Paths Printf QCheck2 QCheck_alcotest Scc Simple_cycles String Topo Traversal Tsg_graph

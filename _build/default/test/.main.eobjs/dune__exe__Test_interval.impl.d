@@ -1,0 +1,1 @@
+test/test_interval.ml: Alcotest Array Cycle_time Event Float Helpers Interval List Random Signal_graph Timing_sim Transform Tsg Tsg_circuit Unfolding

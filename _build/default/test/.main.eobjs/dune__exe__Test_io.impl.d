@@ -1,0 +1,1 @@
+test/test_io.ml: Alcotest Cycle_time Event Fmt List Report Signal_graph String Timing_diagram Timing_sim Tsg Tsg_circuit Tsg_io Unfolding

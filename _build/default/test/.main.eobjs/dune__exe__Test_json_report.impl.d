@@ -1,0 +1,1 @@
+test/test_json_report.ml: Alcotest Cycle_time Json_report List Slack String Transform Tsg Tsg_circuit Tsg_io

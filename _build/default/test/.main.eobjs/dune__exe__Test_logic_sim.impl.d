@@ -1,0 +1,1 @@
+test/test_logic_sim.ml: Alcotest Array Circuit_library Event Gate List Logic_sim Netlist Signal_graph Timing_sim Tsg Tsg_circuit Unfolding

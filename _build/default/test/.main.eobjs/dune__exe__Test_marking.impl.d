@@ -1,0 +1,1 @@
+test/test_marking.ml: Alcotest Cycles Event Helpers List Marking Signal_graph Tsg Tsg_circuit

@@ -1,0 +1,1 @@
+test/test_maxplus.ml: Alcotest Array Helpers List Matrix Of_signal_graph Printf Semiring Spectral Tsg Tsg_circuit Tsg_graph Tsg_maxplus

@@ -1,0 +1,1 @@
+test/test_monte_carlo.ml: Alcotest Cycle_time Helpers Interval Monte_carlo Signal_graph Tsg Tsg_circuit

@@ -1,0 +1,1 @@
+test/test_net_format.ml: Alcotest Array Filename Fun Helpers List Net_format Printf String Sys Tsg Tsg_circuit Tsg_extract Tsg_io

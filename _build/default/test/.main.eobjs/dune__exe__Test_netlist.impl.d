@@ -1,0 +1,1 @@
+test/test_netlist.ml: Alcotest Array Circuit_library Gate List Netlist Tsg_circuit

@@ -1,0 +1,1 @@
+test/test_optimize.ml: Alcotest Array Cycle_time Helpers List Optimize Signal_graph Slack Transform Tsg Tsg_circuit

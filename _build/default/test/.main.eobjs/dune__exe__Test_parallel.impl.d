@@ -1,0 +1,1 @@
+test/test_parallel.ml: Alcotest Array Cycle_time Fun Helpers List Monte_carlo Parallel Tsg Tsg_circuit

@@ -1,0 +1,1 @@
+test/test_parametric.ml: Alcotest Array Cycle_time Event Helpers List Parametric Signal_graph Slack Transform Tsg Tsg_circuit

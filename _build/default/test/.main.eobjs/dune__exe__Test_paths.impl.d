@@ -1,0 +1,1 @@
+test/test_paths.ml: Alcotest Array Digraph Fun List Paths Tsg_graph

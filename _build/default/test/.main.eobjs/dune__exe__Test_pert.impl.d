@@ -1,0 +1,1 @@
+test/test_pert.ml: Alcotest Array Event Helpers List Pert Signal_graph Transform Tsg Tsg_circuit

@@ -1,0 +1,1 @@
+test/test_scc.ml: Alcotest Array Digraph List Scc Topo Tsg_graph

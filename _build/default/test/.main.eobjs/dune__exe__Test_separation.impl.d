@@ -1,0 +1,1 @@
+test/test_separation.ml: Alcotest Event Helpers List Separation Signal_graph Tsg Tsg_circuit

@@ -1,0 +1,1 @@
+test/test_signal_graph.ml: Alcotest Event Fmt Helpers List Printf Signal_graph Tsg Tsg_circuit Tsg_graph

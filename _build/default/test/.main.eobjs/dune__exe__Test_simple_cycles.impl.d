@@ -1,0 +1,1 @@
+test/test_simple_cycles.ml: Alcotest Digraph List Simple_cycles Tsg_graph

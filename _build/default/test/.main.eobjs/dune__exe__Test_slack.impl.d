@@ -1,0 +1,1 @@
+test/test_slack.ml: Alcotest Array Cycle_time Cycles Event Helpers List Signal_graph Slack Transform Tsg Tsg_baselines Tsg_circuit

@@ -1,0 +1,1 @@
+test/test_steady_state.ml: Alcotest Cycle_time Event Helpers Signal_graph Steady_state Tsg Tsg_circuit

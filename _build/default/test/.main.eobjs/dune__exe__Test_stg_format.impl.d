@@ -1,0 +1,1 @@
+test/test_stg_format.ml: Alcotest Cycle_time Filename Fun Helpers Printf Signal_graph Stg_format String Sys Tsg Tsg_circuit Tsg_io

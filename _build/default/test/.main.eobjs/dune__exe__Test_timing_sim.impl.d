@@ -1,0 +1,1 @@
+test/test_timing_sim.ml: Alcotest Array Cut_set Event Helpers List Printf Signal_graph Timing_sim Tsg Tsg_circuit Tsg_graph Unfolding

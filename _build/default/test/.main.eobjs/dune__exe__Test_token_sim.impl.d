@@ -1,0 +1,1 @@
+test/test_token_sim.ml: Alcotest Array Event Helpers List Printf Signal_graph Timing_sim Token_sim Tsg Tsg_circuit Unfolding

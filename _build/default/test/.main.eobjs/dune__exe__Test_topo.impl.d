@@ -1,0 +1,1 @@
+test/test_topo.ml: Alcotest Digraph Topo Tsg_graph

@@ -1,0 +1,1 @@
+test/test_transform.ml: Alcotest Cycle_time Event Helpers List Signal_graph Transform Tsg Tsg_circuit

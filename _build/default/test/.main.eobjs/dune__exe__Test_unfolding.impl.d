@@ -1,0 +1,1 @@
+test/test_unfolding.ml: Alcotest Array Event List Printf Signal_graph Tsg Tsg_circuit Tsg_graph Unfolding

@@ -1,0 +1,1 @@
+test/test_vcd.ml: Alcotest Filename Fun In_channel Int64 List String Sys Timing_sim Tsg Tsg_circuit Tsg_io Unfolding Vcd

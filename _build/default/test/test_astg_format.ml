@@ -1,0 +1,119 @@
+open Tsg
+open Tsg_io
+
+let ring_text =
+  {|# a 4-phase handshake ring in the astg dialect
+.model tiny
+.inputs a
+.outputs b
+.graph
+a+ b+
+b+ a-
+a- b-
+b- a+
+.marking { <b-,a+> }
+.end
+|}
+
+let test_parse_basic () =
+  match Astg_format.parse ring_text with
+  | Error msg -> Alcotest.failf "parse failed: %s" msg
+  | Ok doc ->
+    Alcotest.(check string) "model" "tiny" doc.Astg_format.model;
+    Alcotest.(check (list string)) "inputs" [ "a" ] doc.Astg_format.inputs;
+    Alcotest.(check (list string)) "outputs" [ "b" ] doc.Astg_format.outputs;
+    let g = doc.Astg_format.graph in
+    Alcotest.(check int) "four events" 4 (Signal_graph.event_count g);
+    Alcotest.(check int) "four arcs" 4 (Signal_graph.arc_count g);
+    (* default delay 1 on every arc: lambda = 4 *)
+    Helpers.check_float "lambda with unit delays" 4. (Cycle_time.cycle_time g)
+
+let test_default_delay () =
+  match Astg_format.parse ~default_delay:2.5 ring_text with
+  | Error msg -> Alcotest.failf "parse failed: %s" msg
+  | Ok doc -> Helpers.check_float "lambda scales" 10. (Cycle_time.cycle_time doc.Astg_format.graph)
+
+let test_fanout_lines () =
+  (* one source with several destinations on a single line *)
+  let text = ".graph\na+ b+ c+\nb+ a-\nc+ a-\na- a+\n.marking { <a-,a+> }\n.end\n" in
+  match Astg_format.parse text with
+  | Error msg -> Alcotest.failf "parse failed: %s" msg
+  | Ok doc ->
+    Alcotest.(check int) "five arcs" 5 (Signal_graph.arc_count doc.Astg_format.graph);
+    Helpers.check_float "lambda" 3. (Cycle_time.cycle_time doc.Astg_format.graph)
+
+let test_multiple_markings () =
+  let text = ".graph\na+ b+\nb+ a+\n.marking { <a+,b+> <b+,a+> }\n.end\n" in
+  match Astg_format.parse text with
+  | Error msg -> Alcotest.failf "parse failed: %s" msg
+  | Ok doc ->
+    let tokens =
+      Array.fold_left
+        (fun acc (a : Signal_graph.arc) -> if a.marked then acc + 1 else acc)
+        0
+        (Signal_graph.arcs doc.Astg_format.graph)
+    in
+    Alcotest.(check int) "two tokens" 2 tokens;
+    Helpers.check_float "lambda = 2/2" 1. (Cycle_time.cycle_time doc.Astg_format.graph)
+
+let test_rejections () =
+  let rejects text =
+    match Astg_format.parse text with
+    | Ok _ -> Alcotest.failf "should not parse: %s" text
+    | Error _ -> ()
+  in
+  rejects ".dummy d1\n.graph\n.end\n";
+  rejects ".graph\np0 a+\n.end\n" (* explicit place name *);
+  rejects ".graph\na+ b+\nb+ a+\n.marking { <a+,z+> }\n.end\n" (* marking on missing arc *);
+  rejects ".graph\na+ b+\nb+ a+\n.marking { a+ }\n.end\n" (* malformed marking *);
+  rejects ".graph\na+ b+\nb+ a+\n.end\n" (* no marking: token-free cycle *);
+  rejects ".frobnicate\n.end\n"
+
+let test_roundtrip_through_astg () =
+  (* write the repetitive part of the ring and read it back: with unit
+     delays everywhere the cycle time must survive the round trip *)
+  let g = Tsg_circuit.Circuit_library.muller_ring_tsg ~stages:5 () in
+  let text = Astg_format.to_string ~model:"ring5" ~inputs:[ "a" ] g in
+  match Astg_format.parse text with
+  | Error msg -> Alcotest.failf "roundtrip failed: %s" msg
+  | Ok doc ->
+    Alcotest.(check int) "events preserved" (Signal_graph.event_count g)
+      (Signal_graph.event_count doc.Astg_format.graph);
+    Alcotest.(check int) "arcs preserved" (Signal_graph.arc_count g)
+      (Signal_graph.arc_count doc.Astg_format.graph);
+    Helpers.check_float "lambda preserved (unit delays)" (20. /. 3.)
+      (Cycle_time.cycle_time doc.Astg_format.graph)
+
+let test_occurrence_suffix () =
+  let text =
+    ".graph\na+/1 a-\na- a+/2\na+/2 a-/2\na-/2 a+/1\n.marking { <a-/2,a+> }\n.end\n"
+  in
+  match Astg_format.parse text with
+  | Error msg -> Alcotest.failf "parse failed: %s" msg
+  | Ok doc ->
+    Alcotest.(check int) "four multi-occurrence events" 4
+      (Signal_graph.event_count doc.Astg_format.graph);
+    Helpers.check_float "lambda" 4. (Cycle_time.cycle_time doc.Astg_format.graph)
+
+let prop_roundtrip_structure =
+  (* the dialect drops delays: writing then parsing must reproduce the
+     graph with every delay replaced by the default 1 *)
+  Helpers.qcheck_case ~count:60 ~name:"astg roundtrip preserves structure" (fun g ->
+      match Astg_format.parse (Astg_format.to_string g) with
+      | Error _ -> false
+      | Ok doc ->
+        let unit_delays = Transform.map_delays g ~f:(fun _ _ -> 1.) in
+        Helpers.graph_fingerprint unit_delays
+        = Helpers.graph_fingerprint doc.Astg_format.graph)
+
+let suite =
+  [
+    Alcotest.test_case "parse a handshake ring" `Quick test_parse_basic;
+    Alcotest.test_case "default delay" `Quick test_default_delay;
+    Alcotest.test_case "fan-out graph lines" `Quick test_fanout_lines;
+    Alcotest.test_case "multiple markings" `Quick test_multiple_markings;
+    Alcotest.test_case "unsupported constructs rejected" `Quick test_rejections;
+    Alcotest.test_case "roundtrip through the astg dialect" `Quick test_roundtrip_through_astg;
+    Alcotest.test_case "occurrence suffixes" `Quick test_occurrence_suffix;
+    prop_roundtrip_structure;
+  ]

@@ -1,0 +1,133 @@
+open Tsg
+open Tsg_baselines
+
+let fig1 () = Tsg_circuit.Circuit_library.fig1_tsg ()
+
+let test_karp_fig1 () = Helpers.check_float "karp" 10. (Karp.cycle_time (fig1 ()))
+let test_howard_fig1 () = Helpers.check_float "howard" 10. (Howard.cycle_time (fig1 ()))
+
+let test_lawler_fig1 () =
+  Helpers.check_float ~tol:1e-6 "lawler" 10. (Lawler.cycle_time (fig1 ()))
+
+let test_exhaustive_fig1 () =
+  let lambda, critical = Exhaustive.cycle_time (fig1 ()) in
+  Helpers.check_float "exhaustive" 10. lambda;
+  Alcotest.(check int) "single critical cycle" 1 (List.length critical)
+
+let test_ring_20_3 () =
+  let g = Tsg_circuit.Circuit_library.muller_ring_tsg ~stages:5 () in
+  Helpers.check_float "karp 20/3" (20. /. 3.) (Karp.cycle_time g);
+  Helpers.check_float "howard 20/3" (20. /. 3.) (Howard.cycle_time g);
+  Helpers.check_float ~tol:1e-6 "lawler 20/3" (20. /. 3.) (Lawler.cycle_time g);
+  Helpers.check_float "exhaustive 20/3" (20. /. 3.) (fst (Exhaustive.cycle_time g))
+
+let test_lawler_feasibility () =
+  let g = fig1 () in
+  Alcotest.(check bool) "10 feasible" true (Lawler.feasible g ~lambda:10.);
+  Alcotest.(check bool) "11 feasible" true (Lawler.feasible g ~lambda:11.);
+  Alcotest.(check bool) "9.9 infeasible" false (Lawler.feasible g ~lambda:9.9);
+  Alcotest.(check bool) "0 infeasible" false (Lawler.feasible g ~lambda:0.)
+
+let test_token_graph_structure () =
+  let g = fig1 () in
+  let tg = Token_graph.make g in
+  (* two border events; every vertex can reach every other *)
+  Alcotest.(check int) "two vertices" 2 (Tsg_graph.Digraph.vertex_count tg.Token_graph.graph);
+  Alcotest.(check bool) "strongly connected" true
+    (Tsg_graph.Scc.is_strongly_connected tg.Token_graph.graph);
+  (* the a+ self-arc must carry the critical cycle weight 10 *)
+  let names = Array.map (fun e -> Event.to_string (Signal_graph.event g e)) tg.Token_graph.border in
+  let a_index = ref (-1) in
+  Array.iteri (fun i n -> if n = "a+" then a_index := i) names;
+  Alcotest.(check bool) "a+ in border" true (!a_index >= 0);
+  match Tsg_graph.Digraph.find_arc tg.Token_graph.graph ~src:!a_index ~dst:!a_index with
+  | Some w -> Helpers.check_float "self-loop weight 10" 10. w
+  | None -> Alcotest.fail "missing a+ -> a+ token-graph arc"
+
+let test_karp_max_mean_direct () =
+  (* a 2-cycle of mean 3 and a self-loop of mean 5 *)
+  let g = Tsg_graph.Digraph.of_arcs ~n:3 [ (0, 1, 2.); (1, 0, 4.); (2, 2, 5.); (1, 2, 0.) ] in
+  Helpers.check_float "max mean" 5. (Token_graph.max_cycle_mean_karp g);
+  Helpers.check_float "howard agrees" 5. (Howard.max_cycle_mean g)
+
+let test_max_mean_acyclic () =
+  let g = Tsg_graph.Digraph.of_arcs ~n:3 [ (0, 1, 2.); (1, 2, 4.) ] in
+  Alcotest.(check bool) "karp -inf" true (Token_graph.max_cycle_mean_karp g = neg_infinity);
+  Alcotest.(check bool) "howard -inf" true (Howard.max_cycle_mean g = neg_infinity)
+
+let test_howard_multiple_components () =
+  (* two disjoint SCCs with different means plus a transient tail: the
+     maximum over components must win *)
+  let g =
+    Tsg_graph.Digraph.of_arcs ~n:5
+      [
+        (0, 1, 1.); (1, 0, 3.) (* mean 2 *);
+        (2, 3, 10.); (3, 2, 0.) (* mean 5 *);
+        (4, 0, 100.) (* a heavy arc on no cycle must not matter *);
+      ]
+  in
+  Helpers.check_float "howard takes the max component" 5. (Howard.max_cycle_mean g);
+  Helpers.check_float "karp agrees" 5. (Token_graph.max_cycle_mean_karp g)
+
+let test_howard_negative_weights () =
+  let g = Tsg_graph.Digraph.of_arcs ~n:2 [ (0, 1, -1.); (1, 0, -3.) ] in
+  Helpers.check_float "negative mean" (-2.) (Howard.max_cycle_mean g);
+  Helpers.check_float "karp agrees" (-2.) (Token_graph.max_cycle_mean_karp g)
+
+let test_exhaustive_critical_cycles () =
+  let g = Tsg_circuit.Generators.ring_tsg ~events:6 ~tokens:2 () in
+  let lambda, critical = Exhaustive.cycle_time g in
+  Helpers.check_float "ring lambda" 3. lambda;
+  Alcotest.(check int) "the ring itself is the only cycle" 1 (List.length critical);
+  Alcotest.(check int) "eps = 2" 2 (List.hd critical).Cycles.occurrence_period
+
+(* regression: this generated graph once crashed Lawler's feasibility
+   oracle — the Bellman-Ford positive-cycle witness extraction walked a
+   predecessor chain back to a source (pred = -1) instead of around the
+   cycle *)
+let test_witness_extraction_regression () =
+  let g =
+    Tsg_circuit.Generators.random_live_tsg ~seed:1155 ~max_delay:6 ~events:6
+      ~extra_arcs:3 ()
+  in
+  let reference = Cycle_time.cycle_time g in
+  Helpers.check_float ~tol:1e-6 "lawler survives" reference (Lawler.cycle_time g);
+  Helpers.check_float "karp agrees" reference (Karp.cycle_time g);
+  Helpers.check_float "exhaustive agrees" reference (fst (Exhaustive.cycle_time g))
+
+let prop_all_algorithms_agree =
+  Helpers.qcheck_case ~count:120 ~name:"all five algorithms agree" (fun g ->
+      let reference = Cycle_time.cycle_time g in
+      let close ?tol v = Helpers.float_close ?tol reference v in
+      close (Karp.cycle_time g)
+      && close (Howard.cycle_time g)
+      && close ~tol:1e-6 (Lawler.cycle_time g)
+      && close (fst (Exhaustive.cycle_time g)))
+
+let prop_lawler_monotone =
+  Helpers.qcheck_case ~count:60 ~name:"lawler feasibility is monotone in lambda" (fun g ->
+      let lambda = Cycle_time.cycle_time g in
+      Lawler.feasible g ~lambda:(lambda +. 0.5)
+      && ((not (Lawler.feasible g ~lambda:(Float.max 0. (lambda -. 0.5))))
+          || Helpers.float_close lambda 0.
+          || lambda < 0.5))
+
+let suite =
+  [
+    Alcotest.test_case "karp on fig1" `Quick test_karp_fig1;
+    Alcotest.test_case "howard on fig1" `Quick test_howard_fig1;
+    Alcotest.test_case "lawler on fig1" `Quick test_lawler_fig1;
+    Alcotest.test_case "exhaustive on fig1" `Quick test_exhaustive_fig1;
+    Alcotest.test_case "all baselines on the Muller ring" `Quick test_ring_20_3;
+    Alcotest.test_case "lawler feasibility threshold" `Quick test_lawler_feasibility;
+    Alcotest.test_case "token graph structure" `Quick test_token_graph_structure;
+    Alcotest.test_case "karp/howard max mean (direct)" `Quick test_karp_max_mean_direct;
+    Alcotest.test_case "max mean of an acyclic graph" `Quick test_max_mean_acyclic;
+    Alcotest.test_case "howard with negative weights" `Quick test_howard_negative_weights;
+    Alcotest.test_case "howard across components" `Quick test_howard_multiple_components;
+    Alcotest.test_case "exhaustive critical cycles" `Quick test_exhaustive_critical_cycles;
+    Alcotest.test_case "witness extraction regression (seed 1155)" `Quick
+      test_witness_extraction_regression;
+    prop_all_algorithms_agree;
+    prop_lawler_monotone;
+  ]

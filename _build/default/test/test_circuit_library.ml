@@ -1,0 +1,96 @@
+open Tsg
+open Tsg_circuit
+
+let test_fig1_tsg_matches_paper_marking () =
+  let g = Circuit_library.fig1_tsg () in
+  let marked =
+    Array.to_list (Signal_graph.arcs g)
+    |> List.filter_map (fun (a : Signal_graph.arc) ->
+           if a.marked then
+             Some
+               ( Event.to_string (Signal_graph.event g a.arc_src),
+                 Event.to_string (Signal_graph.event g a.arc_dst) )
+           else None)
+  in
+  Alcotest.(check (list (pair string string))) "the two bullets of Fig. 1b"
+    [ ("c-", "a+"); ("c-", "b+") ]
+    marked
+
+let test_muller_ring_marking () =
+  (* Fig. 5: the initial state {a..e} = {0,0,0,0,1} puts tokens so that
+     the border events are a+, b+, c+, e- *)
+  let g = Circuit_library.muller_ring_tsg ~stages:5 () in
+  Alcotest.(check int) "five marked arcs" 5
+    (Array.fold_left
+       (fun acc (a : Signal_graph.arc) -> if a.marked then acc + 1 else acc)
+       0 (Signal_graph.arcs g))
+
+let test_muller_ring_custom_tokens () =
+  (* two data tokens in a ring of 8: still live, faster than one token *)
+  let one = Circuit_library.muller_ring_tsg ~stages:8 () in
+  let two = Circuit_library.muller_ring_tsg ~stages:8 ~high_stages:[ 3; 7 ] () in
+  let l1 = Cycle_time.cycle_time one and l2 = Cycle_time.cycle_time two in
+  Alcotest.(check bool) "both positive" true (l1 > 0. && l2 > 0.);
+  Alcotest.(check bool) "two tokens no slower" true (l2 <= l1 +. 1e-9)
+
+let test_muller_ring_validation () =
+  Alcotest.check_raises "too few stages"
+    (Invalid_argument "muller_ring_tsg: need at least 3 stages") (fun () ->
+      ignore (Circuit_library.muller_ring_tsg ~stages:2 ()));
+  Alcotest.check_raises "no token" (Invalid_argument "muller_ring_tsg: no data token")
+    (fun () -> ignore (Circuit_library.muller_ring_tsg ~stages:4 ~high_stages:[] ()));
+  Alcotest.check_raises "full ring"
+    (Invalid_argument "muller_ring_tsg: a ring full of tokens deadlocks") (fun () ->
+      ignore (Circuit_library.muller_ring_tsg ~stages:3 ~high_stages:[ 0; 1; 2 ] ()))
+
+let test_muller_ring_delay_scaling () =
+  let g1 = Circuit_library.muller_ring_tsg ~stages:5 () in
+  let g2 = Circuit_library.muller_ring_tsg ~delay:2.5 ~stages:5 () in
+  Helpers.check_float "lambda scales with delay"
+    (2.5 *. Cycle_time.cycle_time g1)
+    (Cycle_time.cycle_time g2)
+
+let test_stack_dynamics () =
+  let g = Circuit_library.async_stack_tsg () in
+  let d = Marking.check_dynamics ~rounds:100 g in
+  Alcotest.(check bool) "switch-over" true d.Marking.switch_over_ok;
+  Alcotest.(check bool) "no auto-concurrency" true d.Marking.auto_concurrency_free;
+  Alcotest.(check int) "safe" 1 d.Marking.bounded_by
+
+let test_handshake_ring_scales () =
+  List.iter
+    (fun cells ->
+      let g = Circuit_library.handshake_ring_tsg ~cells () in
+      Alcotest.(check int) "events" ((4 * cells) + 2) (Signal_graph.event_count g);
+      Alcotest.(check bool) "analyzable" true (Cycle_time.cycle_time g > 0.))
+    [ 2; 3; 8; 24 ]
+
+let test_netlist_and_tsg_consistency () =
+  (* the hand-built ring TSG and the netlist extraction route must give
+     the same cycle time for several ring sizes *)
+  List.iter
+    (fun stages ->
+      let tsg = Circuit_library.muller_ring_tsg ~stages () in
+      let extracted =
+        (Tsg_extract.Traspec.extract ~check:false (Circuit_library.muller_ring_netlist ~stages ()))
+          .Tsg_extract.Traspec.graph
+      in
+      Helpers.check_float
+        (Printf.sprintf "ring %d" stages)
+        (Cycle_time.cycle_time tsg)
+        (Cycle_time.cycle_time extracted))
+    [ 3; 4; 5; 6 ]
+
+let suite =
+  [
+    Alcotest.test_case "fig1 marking matches the paper" `Quick
+      test_fig1_tsg_matches_paper_marking;
+    Alcotest.test_case "Muller ring marking" `Quick test_muller_ring_marking;
+    Alcotest.test_case "Muller ring with extra tokens" `Quick test_muller_ring_custom_tokens;
+    Alcotest.test_case "Muller ring validation" `Quick test_muller_ring_validation;
+    Alcotest.test_case "Muller ring delay scaling" `Quick test_muller_ring_delay_scaling;
+    Alcotest.test_case "stack token-game dynamics" `Quick test_stack_dynamics;
+    Alcotest.test_case "handshake ring scales" `Quick test_handshake_ring_scales;
+    Alcotest.test_case "hand-built vs extracted ring agree" `Quick
+      test_netlist_and_tsg_consistency;
+  ]

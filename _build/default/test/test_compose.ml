@@ -1,0 +1,137 @@
+open Tsg
+
+(* a 4-phase handshake cell template with signals r and a *)
+let cell_template =
+  Compose.block
+    ~events:
+      (List.map
+         (fun e -> (e, Signal_graph.Repetitive))
+         [ Event.rise "r"; Event.fall "r"; Event.rise "a"; Event.fall "a" ])
+    ~arcs:
+      [
+        (Event.rise "r", Event.rise "a", 1., false);
+        (Event.rise "a", Event.fall "r", 1., false);
+        (Event.fall "r", Event.fall "a", 1., false);
+        (Event.fall "a", Event.rise "r", 1., true);
+      ]
+
+let instantiate k =
+  Compose.relabel cell_template ~f:(fun s -> Printf.sprintf "%s%d" s k)
+
+let r k = Printf.sprintf "r%d" k
+let a k = Printf.sprintf "a%d" k
+
+(* rebuild Circuit_library.handshake_ring_tsg compositionally *)
+let composed_ring cells =
+  let go_block =
+    Compose.block
+      ~events:
+        [ (Event.rise "go", Signal_graph.Repetitive); (Event.fall "go", Signal_graph.Repetitive) ]
+      ~arcs:[ (Event.fall "go", Event.rise "go", 1., false) ]
+  in
+  let parts = List.init cells instantiate @ [ go_block ] in
+  let glue =
+    List.concat_map
+      (fun k ->
+        [
+          (Event.rise (a k), Event.rise (r (k + 1)), 1., false);
+          (Event.rise (a (k + 1)), Event.fall (r k), 1., false);
+          (Event.fall (a (k + 1)), Event.rise (r k), 1., true);
+        ])
+      (List.init (cells - 1) Fun.id)
+    @ [
+        (Event.rise (a (cells - 1)), Event.rise "go", 1., false);
+        (Event.rise "go", Event.rise (r 0), 1., true);
+        (Event.fall (a (cells - 1)), Event.fall "go", 1., true);
+      ]
+  in
+  Compose.seal_exn (Compose.link (Compose.union parts) ~arcs:glue)
+
+let test_rebuild_handshake_ring () =
+  List.iter
+    (fun cells ->
+      Helpers.same_graph
+        (Printf.sprintf "%d-cell composition equals the monolithic generator" cells)
+        (Tsg_circuit.Circuit_library.handshake_ring_tsg ~cells ())
+        (composed_ring cells))
+    [ 2; 4; 7 ]
+
+let test_union_synchronises_shared_events () =
+  (* two loops sharing the event hub+: composing them synchronises *)
+  let loop name delay =
+    Compose.block
+      ~events:
+        [
+          (Event.rise "hub", Signal_graph.Repetitive);
+          (Event.rise name, Signal_graph.Repetitive);
+        ]
+      ~arcs:
+        [
+          (Event.rise "hub", Event.rise name, delay, false);
+          (Event.rise name, Event.rise "hub", delay, true);
+        ]
+  in
+  let g = Compose.seal_exn (Compose.union [ loop "x" 2.; loop "y" 5. ]) in
+  Alcotest.(check int) "three events after merging" 3 (Signal_graph.event_count g);
+  (* hub waits for the slower loop *)
+  Helpers.check_float "lambda set by the slow loop" 10. (Cycle_time.cycle_time g)
+
+let test_union_class_conflict () =
+  let p1 =
+    Compose.block ~events:[ (Event.rise "x", Signal_graph.Repetitive) ] ~arcs:[]
+  in
+  let p2 =
+    Compose.block ~events:[ (Event.rise "x", Signal_graph.Non_repetitive) ] ~arcs:[]
+  in
+  let raised =
+    try
+      ignore (Compose.union [ p1; p2 ]);
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "conflicting classes rejected" true raised
+
+let test_link_validation () =
+  let raised =
+    try
+      ignore
+        (Compose.link cell_template
+           ~arcs:[ (Event.rise "ghost", Event.rise "r", 1., false) ]);
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "unknown endpoint rejected" true raised
+
+let test_seal_validates () =
+  (* a lone cell is strongly connected and live: it seals fine *)
+  (match Compose.seal cell_template with
+  | Ok g -> Helpers.check_float "single cell lambda" 4. (Cycle_time.cycle_time g)
+  | Error _ -> Alcotest.fail "cell should validate");
+  (* removing the marked arc leaves a token-free cycle *)
+  let broken =
+    Compose.block
+      ~events:[ (Event.rise "x", Signal_graph.Repetitive); (Event.rise "y", Signal_graph.Repetitive) ]
+      ~arcs:[ (Event.rise "x", Event.rise "y", 1., false); (Event.rise "y", Event.rise "x", 1., false) ]
+  in
+  match Compose.seal broken with
+  | Ok _ -> Alcotest.fail "token-free composition must not seal"
+  | Error errs ->
+    Alcotest.(check bool) "liveness error reported" true
+      (List.exists (function Signal_graph.Unmarked_cycle _ -> true | _ -> false) errs)
+
+let test_of_signal_graph_roundtrip () =
+  let g = Tsg_circuit.Circuit_library.fig1_tsg () in
+  Helpers.same_graph "of_signal_graph then seal is the identity" g
+    (Compose.seal_exn (Compose.of_signal_graph g))
+
+let suite =
+  [
+    Alcotest.test_case "rebuild the handshake ring from cells" `Quick
+      test_rebuild_handshake_ring;
+    Alcotest.test_case "union synchronises shared events" `Quick
+      test_union_synchronises_shared_events;
+    Alcotest.test_case "class conflicts rejected" `Quick test_union_class_conflict;
+    Alcotest.test_case "link endpoint validation" `Quick test_link_validation;
+    Alcotest.test_case "seal validates" `Quick test_seal_validates;
+    Alcotest.test_case "of_signal_graph roundtrip" `Quick test_of_signal_graph_roundtrip;
+  ]

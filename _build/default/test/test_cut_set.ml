@@ -1,0 +1,108 @@
+open Tsg
+
+let fig1 () = Tsg_circuit.Circuit_library.fig1_tsg ()
+
+let ids g names = List.map (fun n -> Signal_graph.id g (Event.of_string_exn n)) names
+
+(* Example 7 of the paper *)
+let test_border_set () =
+  let g = fig1 () in
+  Alcotest.(check (list string)) "border = {a+, b+}" [ "a+"; "b+" ]
+    (Helpers.event_names g (Cut_set.border g))
+
+let test_border_is_cut_set () =
+  let g = fig1 () in
+  Alcotest.(check bool) "border cuts all cycles" true (Cut_set.is_cut_set g (Cut_set.border g))
+
+let test_example7_cut_sets () =
+  let g = fig1 () in
+  List.iter
+    (fun names ->
+      Alcotest.(check bool)
+        (Printf.sprintf "{%s} is a cut set" (String.concat "," names))
+        true
+        (Cut_set.is_cut_set g (ids g names)))
+    [ [ "c+" ]; [ "c-" ]; [ "a-"; "b-" ]; [ "a+"; "b+" ] ]
+
+let test_non_cut_sets () =
+  let g = fig1 () in
+  List.iter
+    (fun names ->
+      Alcotest.(check bool)
+        (Printf.sprintf "{%s} is not a cut set" (String.concat "," names))
+        false
+        (Cut_set.is_cut_set g (ids g names)))
+    [ [ "a+" ]; [ "b+" ]; [ "a+"; "a-" ]; [] ]
+
+let test_greedy_small () =
+  let g = fig1 () in
+  let cut = Cut_set.greedy_small g in
+  Alcotest.(check bool) "greedy result is a cut set" true (Cut_set.is_cut_set g cut);
+  (* the fig1 oscillator has a singleton cut set and the greedy
+     heuristic finds one (c+ or c-) *)
+  Alcotest.(check int) "greedy finds a singleton" 1 (List.length cut)
+
+let test_occurrence_period_bound () =
+  let g = fig1 () in
+  Alcotest.(check int) "bound = border size for fig1" 2 (Cut_set.occurrence_period_bound g);
+  Alcotest.(check int) "actual maximum period is 1" 1 (Cycles.max_occurrence_period g)
+
+(* Erratum: Proposition 6 claims the maximum occurrence period is
+   bounded by the size of a *minimum* cut set.  This two-token ring
+   refutes the literal statement: {e0+} is a singleton cut set, yet the
+   unique simple cycle carries two tokens.  The bound does hold with
+   the border set, which is what the algorithm (and our
+   [occurrence_period_bound]) uses. *)
+let test_proposition6_erratum () =
+  let e i = Event.rise (Printf.sprintf "e%d" i) in
+  let b = Signal_graph.builder () in
+  List.iter (fun i -> Signal_graph.add_event b (e i) Signal_graph.Repetitive) [ 0; 1; 2; 3 ];
+  Signal_graph.add_arc b ~delay:1. (e 0) (e 1);
+  Signal_graph.add_arc b ~delay:1. ~marked:true (e 1) (e 2);
+  Signal_graph.add_arc b ~delay:1. (e 2) (e 3);
+  Signal_graph.add_arc b ~delay:1. ~marked:true (e 3) (e 0);
+  let g = Signal_graph.build_exn b in
+  (* {e0} really is a cut set in the paper's sense... *)
+  Alcotest.(check bool) "singleton cut set" true
+    (Cut_set.is_cut_set g [ Signal_graph.id g (e 0) ]);
+  (* ...but the cycle covers two periods *)
+  Alcotest.(check int) "occurrence period 2" 2 (Cycles.max_occurrence_period g);
+  Alcotest.(check int) "border bound is sound" 2 (Cut_set.occurrence_period_bound g);
+  (* and the algorithm still gets the cycle time right: 4 / 2 = 2 *)
+  Helpers.check_float "lambda" 2. (Cycle_time.cycle_time g)
+
+let test_ring_border () =
+  (* Section VIII.D: the ring's border events are a+, b+, c+ and e- *)
+  let ring = Tsg_circuit.Circuit_library.muller_ring_tsg ~stages:5 () in
+  Alcotest.(check (list string)) "paper's border set" [ "a+"; "b+"; "c+"; "e-" ]
+    (Helpers.event_names ring (Cut_set.border ring))
+
+let prop_border_is_cut_set =
+  Helpers.qcheck_case ~count:100 ~name:"the border set is always a cut set" (fun g ->
+      Cut_set.is_cut_set g (Cut_set.border g))
+
+let prop_greedy_is_cut_set =
+  Helpers.qcheck_case ~count:100 ~name:"the greedy set is always a cut set" (fun g ->
+      Cut_set.is_cut_set g (Cut_set.greedy_small g))
+
+let prop_epsilon_bounded =
+  (* Proposition 6 (border-set form): no simple cycle covers more
+     periods than there are border events *)
+  Helpers.qcheck_case ~count:60 ~name:"Proposition 6 (occurrence periods bounded)" (fun g ->
+      Cycles.max_occurrence_period ~limit:20_000 g <= Cut_set.occurrence_period_bound g)
+
+let suite =
+  [
+    Alcotest.test_case "border set of fig1 (Example 7)" `Quick test_border_set;
+    Alcotest.test_case "border is a cut set" `Quick test_border_is_cut_set;
+    Alcotest.test_case "Example 7 cut sets" `Quick test_example7_cut_sets;
+    Alcotest.test_case "non-cut sets rejected" `Quick test_non_cut_sets;
+    Alcotest.test_case "greedy small cut set" `Quick test_greedy_small;
+    Alcotest.test_case "occurrence period bound" `Quick test_occurrence_period_bound;
+    Alcotest.test_case "Proposition 6 erratum (two-token ring)" `Quick
+      test_proposition6_erratum;
+    Alcotest.test_case "Muller ring border (Section VIII.D)" `Quick test_ring_border;
+    prop_border_is_cut_set;
+    prop_greedy_is_cut_set;
+    prop_epsilon_bounded;
+  ]

@@ -1,0 +1,239 @@
+open Tsg
+
+let fig1 () = Tsg_circuit.Circuit_library.fig1_tsg ()
+
+(* Section VIII.C: the full analysis of the C-element oscillator *)
+let test_fig1_cycle_time () =
+  let g = fig1 () in
+  let r = Cycle_time.analyze g in
+  Helpers.check_float "lambda = 10" 10. r.Cycle_time.cycle_time;
+  Alcotest.(check (list string)) "border" [ "a+"; "b+" ]
+    (Helpers.event_names g r.Cycle_time.border);
+  Alcotest.(check int) "two periods simulated" 2 r.Cycle_time.periods_simulated;
+  Alcotest.(check string) "critical border event" "a+"
+    (Event.to_string (Signal_graph.event g r.Cycle_time.critical_event));
+  Alcotest.(check bool) "walk consistent" true (Cycle_time.check_walk g r)
+
+(* the Delta tables of Section VIII.C:
+   a+: 10/1 = 10, 20/2 = 10;  b+: 8/1 = 8, 18/2 = 9 *)
+let test_fig1_delta_tables () =
+  let g = fig1 () in
+  let r = Cycle_time.analyze g in
+  let trace name =
+    List.find
+      (fun t -> Event.to_string (Signal_graph.event g t.Cycle_time.border_event) = name)
+      r.Cycle_time.traces
+  in
+  let samples t = List.map (fun s -> (s.Cycle_time.time, s.Cycle_time.average)) t.Cycle_time.samples in
+  Alcotest.(check (list (pair (float 1e-9) (float 1e-9))))
+    "a+ samples" [ (10., 10.); (20., 10.) ]
+    (samples (trace "a+"));
+  Alcotest.(check (list (pair (float 1e-9) (float 1e-9))))
+    "b+ samples" [ (8., 8.); (18., 9.) ]
+    (samples (trace "b+"))
+
+(* the paper's Section VIII.C text names a+ -> c+ -> b- -> c- -> a+ as
+   the critical cycle, but that cycle has length 8; Example 6 and
+   Section II identify C1 = a+ -> c+ -> a- -> c- -> a+ (length 10) as
+   the critical cycle, which is what backtracking must produce *)
+let test_fig1_critical_cycle () =
+  let g = fig1 () in
+  let r = Cycle_time.analyze g in
+  match r.Cycle_time.critical_cycles with
+  | [ c ] ->
+    Helpers.check_float "length 10" 10. c.Cycles.length;
+    Alcotest.(check int) "one period" 1 c.Cycles.occurrence_period;
+    let names = List.sort compare (Helpers.event_names g c.Cycles.events) in
+    Alcotest.(check (list string)) "the events of C1" [ "a+"; "a-"; "c+"; "c-" ] names
+  | other -> Alcotest.failf "expected exactly one critical cycle, got %d" (List.length other)
+
+(* with the minimum cut set {c+} one period suffices (Section VIII.C) *)
+let test_fig1_one_period_suffices () =
+  let g = fig1 () in
+  let r = Cycle_time.analyze ~periods:1 g in
+  Helpers.check_float "lambda from one period" 10. r.Cycle_time.cycle_time
+
+(* Section VIII.D: the Muller ring *)
+let test_muller_ring () =
+  let g = Tsg_circuit.Circuit_library.muller_ring_tsg ~stages:5 () in
+  let r = Cycle_time.analyze g in
+  Helpers.check_float "lambda = 20/3" (20. /. 3.) r.Cycle_time.cycle_time;
+  Alcotest.(check int) "four border events, four periods" 4 r.Cycle_time.periods_simulated;
+  Alcotest.(check bool) "walk consistent" true (Cycle_time.check_walk g r);
+  (* the critical cycle covers three periods: eps = 3 with length 20 *)
+  List.iter
+    (fun c ->
+      Helpers.check_float "effective length 20/3" (20. /. 3.) (Cycles.effective_length c))
+    r.Cycle_time.critical_cycles
+
+(* the t and Delta rows of the Section VIII.D table *)
+let test_muller_ring_table () =
+  let g = Tsg_circuit.Circuit_library.muller_ring_tsg ~stages:5 () in
+  let u = Unfolding.make g ~periods:11 in
+  let a = Signal_graph.id g (Event.of_string_exn "a+") in
+  let sim = Timing_sim.simulate_initiated u ~at:(Unfolding.instance u ~event:a ~period:0) in
+  let expected_t = [ 6.; 13.; 20.; 26.; 33.; 40.; 46.; 53.; 60.; 66. ] in
+  List.iteri
+    (fun i expected ->
+      Helpers.check_float
+        (Printf.sprintf "t_a+0(a+%d)" (i + 1))
+        expected
+        sim.Timing_sim.time.(Unfolding.instance u ~event:a ~period:(i + 1)))
+    expected_t;
+  (* delta increments repeat with pattern 6, 7, 7 *)
+  let increments =
+    List.mapi
+      (fun i t -> if i = 0 then t else t -. List.nth expected_t (i - 1))
+      expected_t
+  in
+  Alcotest.(check (list (float 1e-9))) "delta pattern 6,7,7 repeating"
+    [ 6.; 7.; 7.; 6.; 7.; 7.; 6.; 7.; 7.; 6. ]
+    increments
+
+let test_muller_ring_sizes () =
+  List.iter
+    (fun stages ->
+      let g = Tsg_circuit.Circuit_library.muller_ring_tsg ~stages () in
+      Alcotest.(check int) "events" (4 * stages) (Signal_graph.event_count g);
+      Alcotest.(check int) "arcs" (6 * stages) (Signal_graph.arc_count g);
+      Alcotest.(check bool) "analyzable" true (Cycle_time.cycle_time g > 0.))
+    [ 3; 4; 5; 8; 12 ]
+
+let test_async_stack () =
+  let g = Tsg_circuit.Circuit_library.async_stack_tsg () in
+  Alcotest.(check int) "66 events (paper size)" 66 (Signal_graph.event_count g);
+  Alcotest.(check int) "112 arcs (paper size)" 112 (Signal_graph.arc_count g);
+  let r = Cycle_time.analyze g in
+  Alcotest.(check bool) "positive cycle time" true (r.Cycle_time.cycle_time > 0.);
+  Alcotest.(check bool) "walk consistent" true (Cycle_time.check_walk g r);
+  Helpers.check_float "agrees with exhaustive enumeration"
+    (fst (Tsg_baselines.Exhaustive.cycle_time g))
+    r.Cycle_time.cycle_time
+
+let test_simple_ring_formula () =
+  (* a plain ring: lambda = delay * n / tokens *)
+  List.iter
+    (fun (n, k) ->
+      let g = Tsg_circuit.Generators.ring_tsg ~events:n ~tokens:k () in
+      Helpers.check_float
+        (Printf.sprintf "ring(%d,%d)" n k)
+        (float_of_int n /. float_of_int k)
+        (Cycle_time.cycle_time g))
+    [ (3, 1); (6, 2); (10, 3); (12, 4); (7, 7) ]
+
+let test_not_analyzable () =
+  let b = Signal_graph.builder () in
+  Signal_graph.add_event b (Event.fall "e") Signal_graph.Initial;
+  Signal_graph.add_event b (Event.fall "f") Signal_graph.Non_repetitive;
+  Signal_graph.add_arc b ~delay:1. (Event.fall "e") (Event.fall "f");
+  let g = Signal_graph.build_exn b in
+  Alcotest.check_raises "acyclic graph"
+    (Cycle_time.Not_analyzable "the graph has no repetitive events") (fun () ->
+      ignore (Cycle_time.analyze g))
+
+(* Section VIII.A: multiple events of the same signal — a double-pulse
+   generator where p rises and falls twice per handshake with q *)
+let double_pulse () =
+  let p1p = Event.rise ~occurrence:1 "p"
+  and p1m = Event.fall ~occurrence:1 "p"
+  and p2p = Event.rise ~occurrence:2 "p"
+  and p2m = Event.fall ~occurrence:2 "p"
+  and qp = Event.rise "q"
+  and qm = Event.fall "q" in
+  Signal_graph.of_arcs
+    ~events:(List.map (fun e -> (e, Signal_graph.Repetitive)) [ p1p; p1m; p2p; p2m; qp; qm ])
+    ~arcs:
+      [
+        (p1p, p1m, 2., false);
+        (p1m, p2p, 1., false);
+        (p2p, p2m, 2., false);
+        (p2m, qp, 1., false);
+        (qp, qm, 3., false);
+        (qm, p1p, 1., true);
+      ]
+
+let test_multiple_events_per_signal () =
+  let g = double_pulse () in
+  (* one simple cycle of total delay 10, one token *)
+  Helpers.check_float "lambda" 10. (Cycle_time.cycle_time g);
+  (* the signal p genuinely owns four distinct events *)
+  Alcotest.(check int) "six events" 6 (Signal_graph.event_count g);
+  Alcotest.(check (list string)) "two signals" [ "p"; "q" ] (Signal_graph.signals g);
+  (* switch-over still holds: p alternates +,-,+,- per period *)
+  let d = Marking.check_dynamics ~rounds:40 g in
+  Alcotest.(check bool) "switch-over across occurrences" true d.Marking.switch_over_ok;
+  Alcotest.(check bool) "no auto-concurrency" true d.Marking.auto_concurrency_free
+
+let test_zero_delays () =
+  (* all delays zero: lambda = 0, still well-defined *)
+  let g = Tsg_circuit.Generators.ring_tsg ~delay:0. ~events:4 ~tokens:2 () in
+  Helpers.check_float "zero cycle time" 0. (Cycle_time.cycle_time g)
+
+let prop_structured_agreement =
+  (* structured circuit families (Muller rings with random pin delays,
+     handshake rings, fork/joins, plain rings): the algorithm, the
+     baselines, the max-plus spectral radius and the steady-state
+     detector must all see the same cycle time *)
+  Helpers.qcheck_structured_case ~count:60 ~name:"structured families: all views agree"
+    (fun g ->
+      let r = Cycle_time.analyze g in
+      let lambda = r.Cycle_time.cycle_time in
+      Cycle_time.check_walk g r
+      && Helpers.float_close lambda (Tsg_baselines.Karp.cycle_time g)
+      && Helpers.float_close lambda (Tsg_maxplus.Of_signal_graph.cycle_time g)
+      && (match Steady_state.detect g with
+         | Some s -> Helpers.float_close ~tol:1e-6 lambda s.Steady_state.lambda
+         | None -> false))
+
+let prop_agrees_with_exhaustive =
+  Helpers.qcheck_case ~count:100 ~name:"lambda agrees with exhaustive enumeration" (fun g ->
+      let r = Cycle_time.analyze g in
+      let expected, _ = Tsg_baselines.Exhaustive.cycle_time g in
+      Helpers.float_close ~tol:1e-9 expected r.Cycle_time.cycle_time)
+
+let prop_walk_always_consistent =
+  Helpers.qcheck_case ~count:100 ~name:"backtracked walk always realises lambda" (fun g ->
+      let r = Cycle_time.analyze g in
+      Cycle_time.check_walk g r)
+
+let prop_deltas_bounded_by_lambda =
+  (* Proposition 8: every collected average occurrence distance is at
+     most the cycle time, and the maximum is attained *)
+  Helpers.qcheck_case ~count:100 ~name:"Proposition 8 (Deltas bounded by lambda)" (fun g ->
+      let r = Cycle_time.analyze g in
+      let lambda = r.Cycle_time.cycle_time in
+      let all_samples =
+        List.concat_map (fun t -> t.Cycle_time.samples) r.Cycle_time.traces
+      in
+      List.for_all (fun s -> s.Cycle_time.average <= lambda +. 1e-9) all_samples
+      && List.exists (fun s -> Helpers.float_close s.Cycle_time.average lambda) all_samples)
+
+let prop_more_periods_stable =
+  (* simulating longer than b periods never changes the answer *)
+  Helpers.qcheck_case ~count:60 ~name:"extra periods do not change lambda" (fun g ->
+      let r = Cycle_time.analyze g in
+      let r' = Cycle_time.analyze ~periods:(r.Cycle_time.periods_simulated + 3) g in
+      Helpers.float_close r.Cycle_time.cycle_time r'.Cycle_time.cycle_time)
+
+let suite =
+  [
+    Alcotest.test_case "fig1 analysis (Section VIII.C)" `Quick test_fig1_cycle_time;
+    Alcotest.test_case "fig1 Delta tables" `Quick test_fig1_delta_tables;
+    Alcotest.test_case "fig1 critical cycle is C1" `Quick test_fig1_critical_cycle;
+    Alcotest.test_case "one period suffices with a minimum cut set" `Quick
+      test_fig1_one_period_suffices;
+    Alcotest.test_case "Muller ring analysis (Section VIII.D)" `Quick test_muller_ring;
+    Alcotest.test_case "Muller ring t/Delta table" `Quick test_muller_ring_table;
+    Alcotest.test_case "Muller ring sizes" `Quick test_muller_ring_sizes;
+    Alcotest.test_case "asynchronous stack (66 events, 112 arcs)" `Quick test_async_stack;
+    Alcotest.test_case "plain rings follow n/k" `Quick test_simple_ring_formula;
+    Alcotest.test_case "graphs without repetitive events rejected" `Quick test_not_analyzable;
+    Alcotest.test_case "multiple events per signal (Section VIII.A)" `Quick
+      test_multiple_events_per_signal;
+    Alcotest.test_case "zero delays" `Quick test_zero_delays;
+    prop_structured_agreement;
+    prop_agrees_with_exhaustive;
+    prop_walk_always_consistent;
+    prop_deltas_bounded_by_lambda;
+    prop_more_periods_stable;
+  ]

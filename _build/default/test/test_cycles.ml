@@ -1,0 +1,172 @@
+open Tsg
+
+let fig1 () = Tsg_circuit.Circuit_library.fig1_tsg ()
+
+let cycle_signature g (c : Cycles.cycle) =
+  let names = Helpers.event_names g c.Cycles.events in
+  (* rotate so the lexicographically smallest event comes first *)
+  let n = List.length names in
+  let rotations =
+    List.init n (fun k -> List.mapi (fun i _ -> List.nth names ((i + k) mod n)) names)
+  in
+  List.hd (List.sort compare rotations)
+
+(* Example 5 of the paper: the four simple cycles of fig1 *)
+let test_example5_cycles () =
+  let g = fig1 () in
+  let cycles = Cycles.simple_cycles g in
+  Alcotest.(check int) "four simple cycles" 4 (List.length cycles);
+  let sigs = List.sort compare (List.map (cycle_signature g) cycles) in
+  Alcotest.(check (list (list string)))
+    "the cycles of Example 5"
+    (List.sort compare
+       [
+         (* canonical rotations: each cycle starts at its lexicographically
+            smallest event *)
+         [ "a+"; "c+"; "a-"; "c-" ];
+         [ "a+"; "c+"; "b-"; "c-" ];
+         [ "a-"; "c-"; "b+"; "c+" ];
+         [ "b+"; "c+"; "b-"; "c-" ];
+       ])
+    sigs
+
+(* Example 5/6: lengths 10, 8, 8, 6; occurrence periods all 1 *)
+let test_example6_lengths () =
+  let g = fig1 () in
+  let cycles = Cycles.simple_cycles g in
+  Alcotest.(check (list (pair (float 1e-9) int)))
+    "lengths and occurrence periods"
+    [ (10., 1); (8., 1); (8., 1); (6., 1) ]
+    (List.sort
+       (fun (l1, _) (l2, _) -> Float.compare l2 l1)
+       (List.map (fun c -> (c.Cycles.length, c.Cycles.occurrence_period)) cycles))
+
+let test_effective_length () =
+  let g = fig1 () in
+  let best =
+    List.fold_left
+      (fun acc c -> Float.max acc (Cycles.effective_length c))
+      neg_infinity (Cycles.simple_cycles g)
+  in
+  Helpers.check_float "max effective length = cycle time" 10. best
+
+let test_effective_length_zero_period () =
+  Alcotest.check_raises "zero occurrence period"
+    (Invalid_argument "Cycles.effective_length: cycle with zero occurrence period")
+    (fun () ->
+      ignore
+        (Cycles.effective_length
+           { Cycles.arc_ids = []; events = []; length = 1.; occurrence_period = 0 }))
+
+let test_of_arc_ids_validates () =
+  let g = fig1 () in
+  (* a+ -> c+ followed by a- -> c- is not a path *)
+  let a_c = List.hd (Signal_graph.out_arc_ids g (Signal_graph.id g (Event.of_string_exn "a+"))) in
+  let am_cm =
+    List.hd (Signal_graph.out_arc_ids g (Signal_graph.id g (Event.of_string_exn "a-")))
+  in
+  Alcotest.check_raises "broken path" (Invalid_argument "Cycles.of_arc_ids: arcs do not form a path")
+    (fun () -> ignore (Cycles.of_arc_ids g [ a_c; am_cm ]));
+  Alcotest.check_raises "not closed" (Invalid_argument "Cycles.of_arc_ids: arc sequence is not closed")
+    (fun () -> ignore (Cycles.of_arc_ids g [ a_c ]))
+
+let test_parallel_arcs_distinguished () =
+  (* two parallel arcs with different delays are two distinct cycles *)
+  let b = Signal_graph.builder () in
+  Signal_graph.add_event b (Event.rise "a") Signal_graph.Repetitive;
+  Signal_graph.add_event b (Event.rise "b") Signal_graph.Repetitive;
+  Signal_graph.add_arc b ~marked:true ~delay:1. (Event.rise "a") (Event.rise "b");
+  Signal_graph.add_arc b ~marked:true ~delay:5. (Event.rise "a") (Event.rise "b");
+  Signal_graph.add_arc b ~delay:1. (Event.rise "b") (Event.rise "a");
+  let g = Signal_graph.build_exn b in
+  let cycles = Cycles.simple_cycles g in
+  Alcotest.(check int) "two cycles through parallel arcs" 2 (List.length cycles);
+  Alcotest.(check (list (float 1e-9))) "both delays seen" [ 2.; 6. ]
+    (List.sort Float.compare (List.map (fun c -> c.Cycles.length) cycles))
+
+let test_decompose_simple_walk () =
+  let g = fig1 () in
+  let cycles = Cycles.simple_cycles g in
+  (* decomposing a simple cycle returns the cycle itself *)
+  List.iter
+    (fun c ->
+      match Cycles.decompose_closed_walk g c.Cycles.arc_ids with
+      | [ c' ] ->
+        Helpers.check_float "same length" c.Cycles.length c'.Cycles.length;
+        Alcotest.(check int) "same period" c.Cycles.occurrence_period
+          c'.Cycles.occurrence_period
+      | other -> Alcotest.failf "expected one cycle, got %d" (List.length other))
+    cycles
+
+let test_decompose_figure_eight () =
+  let g = fig1 () in
+  let find_cycle pattern =
+    List.find
+      (fun c -> cycle_signature g c = pattern)
+      (Cycles.simple_cycles g)
+  in
+  let c1 = find_cycle [ "a+"; "c+"; "a-"; "c-" ] in
+  let c4 = find_cycle [ "b+"; "c+"; "b-"; "c-" ] in
+  (* stitch the two cycles into one closed walk through their shared
+     event c+ : rotate both to start at c+ and concatenate *)
+  let rotate_to_cplus c =
+    let cplus = Signal_graph.id g (Event.of_string_exn "c+") in
+    let rec rot k arcs =
+      let a = Signal_graph.arc g (List.hd arcs) in
+      if a.Signal_graph.arc_src = cplus || k > List.length arcs then arcs
+      else rot (k + 1) (List.tl arcs @ [ List.hd arcs ])
+    in
+    rot 0 c.Cycles.arc_ids
+  in
+  let walk = rotate_to_cplus c1 @ rotate_to_cplus c4 in
+  let parts = Cycles.decompose_closed_walk g walk in
+  Alcotest.(check int) "two simple cycles recovered" 2 (List.length parts);
+  Alcotest.(check (list (float 1e-9))) "lengths recovered" [ 6.; 10. ]
+    (List.sort Float.compare (List.map (fun c -> c.Cycles.length) parts))
+
+let prop_decomposition_dominates =
+  (* Proposition 5: a closed walk's ratio never exceeds the best ratio
+     among the simple cycles it decomposes into *)
+  Helpers.qcheck_case ~count:80 ~name:"Proposition 5 (non-simple cycles dominated)" (fun g ->
+      match Cycles.simple_cycles ~limit:200 g with
+      | [] -> true
+      | c1 :: rest ->
+        (* build a longer walk by repeating c1 twice (a non-simple walk) *)
+        let walk = c1.Cycles.arc_ids @ c1.Cycles.arc_ids in
+        let parts = Cycles.decompose_closed_walk g walk in
+        let walk_ratio =
+          (c1.Cycles.length *. 2.) /. float_of_int (max 1 (2 * c1.Cycles.occurrence_period))
+        in
+        let best_part =
+          List.fold_left
+            (fun acc c -> Float.max acc (Cycles.effective_length c))
+            neg_infinity parts
+        in
+        ignore rest;
+        best_part +. 1e-9 >= walk_ratio)
+
+let prop_cycle_records_consistent =
+  Helpers.qcheck_case ~count:80 ~name:"cycle records are internally consistent" (fun g ->
+      List.for_all
+        (fun (c : Cycles.cycle) ->
+          let recomputed = Cycles.of_arc_ids g c.Cycles.arc_ids in
+          Helpers.float_close recomputed.Cycles.length c.Cycles.length
+          && recomputed.Cycles.occurrence_period = c.Cycles.occurrence_period
+          && List.length c.Cycles.events = List.length c.Cycles.arc_ids)
+        (Cycles.simple_cycles ~limit:500 g))
+
+let suite =
+  [
+    Alcotest.test_case "Example 5 (the four simple cycles)" `Quick test_example5_cycles;
+    Alcotest.test_case "Example 6 (lengths 10, 8, 8, 6)" `Quick test_example6_lengths;
+    Alcotest.test_case "max effective length" `Quick test_effective_length;
+    Alcotest.test_case "zero occurrence period rejected" `Quick
+      test_effective_length_zero_period;
+    Alcotest.test_case "of_arc_ids validation" `Quick test_of_arc_ids_validates;
+    Alcotest.test_case "parallel arcs yield distinct cycles" `Quick
+      test_parallel_arcs_distinguished;
+    Alcotest.test_case "decomposing a simple cycle" `Quick test_decompose_simple_walk;
+    Alcotest.test_case "decomposing a figure-eight walk" `Quick test_decompose_figure_eight;
+    prop_decomposition_dominates;
+    prop_cycle_records_consistent;
+  ]

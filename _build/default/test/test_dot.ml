@@ -1,0 +1,57 @@
+open Tsg_graph
+
+let fixture () = Digraph.of_arcs ~n:3 [ (0, 1, "x"); (1, 2, "y"); (2, 0, "z") ]
+
+let contains text needle =
+  let n = String.length needle in
+  let rec go i = i + n <= String.length text && (String.sub text i n = needle || go (i + 1)) in
+  go 0
+
+let test_basic_structure () =
+  let text =
+    Dot.to_string ~vertex_label:(Printf.sprintf "v%d") ~arc_label:Fun.id (fixture ())
+  in
+  Alcotest.(check bool) "digraph header" true (contains text "digraph g {");
+  Alcotest.(check bool) "node line" true (contains text "n0 [label=\"v0\"];");
+  Alcotest.(check bool) "edge line" true (contains text "n0 -> n1 [label=\"x\"];");
+  Alcotest.(check bool) "closing brace" true (contains text "}")
+
+let test_custom_name_and_attrs () =
+  let text =
+    Dot.to_string ~name:"tsg" ~vertex_label:string_of_int ~arc_label:Fun.id
+      ~vertex_attrs:(fun v -> if v = 0 then [ ("shape", "box") ] else [])
+      ~arc_attrs:(fun l -> if l = "z" then [ ("style", "dashed") ] else [])
+      (fixture ())
+  in
+  Alcotest.(check bool) "custom name" true (contains text "digraph tsg {");
+  Alcotest.(check bool) "vertex attr" true (contains text "n0 [label=\"0\", shape=\"box\"];");
+  Alcotest.(check bool) "arc attr" true
+    (contains text "n2 -> n0 [label=\"z\", style=\"dashed\"];")
+
+let test_escaping () =
+  let g = Digraph.of_arcs ~n:1 [ (0, 0, "a\"b\\c\nd") ] in
+  let text = Dot.to_string ~vertex_label:(fun _ -> "quote\"me") ~arc_label:Fun.id g in
+  Alcotest.(check bool) "label quote escaped" true (contains text "quote\\\"me");
+  Alcotest.(check bool) "arc quote escaped" true (contains text "a\\\"b\\\\c\\nd")
+
+let test_signal_graph_export () =
+  (* the CLI's dot output path on the fig1 graph *)
+  let open Tsg in
+  let g = Tsg_circuit.Circuit_library.fig1_tsg () in
+  let dg = Signal_graph.to_digraph g in
+  let text =
+    Dot.to_string
+      ~vertex_label:(fun v -> Event.to_string (Signal_graph.event g v))
+      ~arc_label:(fun aid -> Printf.sprintf "%g" (Signal_graph.arc g aid).Signal_graph.delay)
+      dg
+  in
+  Alcotest.(check bool) "event label" true (contains text "label=\"c+\"");
+  Alcotest.(check bool) "delay label" true (contains text "label=\"3\"")
+
+let suite =
+  [
+    Alcotest.test_case "basic structure" `Quick test_basic_structure;
+    Alcotest.test_case "names and attributes" `Quick test_custom_name_and_attrs;
+    Alcotest.test_case "escaping" `Quick test_escaping;
+    Alcotest.test_case "signal-graph export" `Quick test_signal_graph_export;
+  ]

@@ -1,0 +1,132 @@
+open Tsg
+
+let fig1 () = Tsg_circuit.Circuit_library.fig1_tsg ()
+
+(* fig1 plus a redundant arc: a+ -> c- with delay 1 is dominated by the
+   existing path a+ -> c+ -> a- -> c- of length 8 *)
+let fig1_with_redundant_arc () =
+  let pre = Compose.of_signal_graph (fig1 ()) in
+  Compose.seal_exn
+    (Compose.link pre ~arcs:[ (Event.rise "a", Event.fall "c", 1., false) ])
+
+(* ------------------------------------------------------------------ *)
+(* Equivalence                                                         *)
+
+let test_reflexive () =
+  Alcotest.(check bool) "fig1 = fig1" true
+    (Equivalence.timing_equal (fig1 ()) (fig1 ()))
+
+let test_extraction_equivalence () =
+  (* the extracted graph is structurally identical here, but the check
+     is behavioural and passes regardless *)
+  let extracted =
+    (Tsg_extract.Traspec.extract ~check:false (Tsg_circuit.Circuit_library.fig1_netlist ()))
+      .Tsg_extract.Traspec.graph
+  in
+  Alcotest.(check bool) "extracted = hand-built" true
+    (Equivalence.timing_equal (fig1 ()) extracted)
+
+let test_redundant_arc_equivalence () =
+  (* structurally different, behaviourally identical *)
+  let augmented = fig1_with_redundant_arc () in
+  Alcotest.(check int) "one extra arc" 12 (Signal_graph.arc_count augmented);
+  Alcotest.(check bool) "still timing-equal" true
+    (Equivalence.timing_equal (fig1 ()) augmented)
+
+let test_delay_change_detected () =
+  let g = fig1 () in
+  let slower = Transform.add_delay g ~arc:3 0.5 in
+  match Equivalence.compare g slower with
+  | Equivalence.Different_time { left; right; _ } ->
+    Alcotest.(check bool) "times differ by the delta" true (abs_float (left -. right) > 0.1)
+  | _ -> Alcotest.fail "divergence not detected"
+
+let test_non_critical_delay_change_also_detected () =
+  (* timing equivalence is finer than cycle-time equality: slowing a
+     non-critical arc keeps lambda but changes some occurrence time *)
+  let g = fig1 () in
+  let aid =
+    let b = Signal_graph.id g (Event.of_string_exn "b+") in
+    List.hd (Signal_graph.out_arc_ids g b)
+  in
+  let padded = Transform.add_delay g ~arc:aid 1. in
+  Helpers.check_float "lambda unchanged" 10. (Cycle_time.cycle_time padded);
+  Alcotest.(check bool) "yet not timing-equal" false (Equivalence.timing_equal g padded)
+
+let test_different_events () =
+  let g1 = fig1 () in
+  let g2 = Transform.relabel_signals g1 ~f:(fun s -> s ^ "x") in
+  Alcotest.(check bool) "renamed events differ" false (Equivalence.timing_equal g1 g2);
+  Alcotest.(check bool) "verdict is Different_events" true
+    (Equivalence.compare g1 g2 = Equivalence.Different_events)
+
+let prop_equivalence_reflexive =
+  Helpers.qcheck_case ~count:50 ~name:"timing equivalence is reflexive" (fun g ->
+      Equivalence.timing_equal g g)
+
+let prop_detects_scaling =
+  Helpers.qcheck_case ~count:40 ~name:"scaling the delays breaks equivalence" (fun g ->
+      Cycle_time.cycle_time g = 0.
+      || not (Equivalence.timing_equal g (Transform.scale_delays g 2.)))
+
+(* ------------------------------------------------------------------ *)
+(* Simplification                                                      *)
+
+let test_fig1_is_minimal () =
+  Alcotest.(check (list int)) "no redundant arcs in fig1" []
+    (Simplify.redundant_arcs (fig1 ()))
+
+let test_redundant_arc_found_and_pruned () =
+  let augmented = fig1_with_redundant_arc () in
+  Alcotest.(check (list int)) "exactly the added arc" [ 11 ]
+    (Simplify.redundant_arcs augmented);
+  let pruned, removed = Simplify.prune augmented in
+  Alcotest.(check (list int)) "pruned it" [ 11 ] removed;
+  Helpers.same_graph "back to fig1" (fig1 ()) pruned
+
+let test_prune_preserves_timing () =
+  let augmented = fig1_with_redundant_arc () in
+  let pruned, _ = Simplify.prune augmented in
+  Alcotest.(check bool) "timing preserved" true (Equivalence.timing_equal augmented pruned)
+
+let test_parallel_dominated_arc () =
+  (* two parallel arcs: the slower one always wins, the faster one is
+     redundant *)
+  let b = Signal_graph.builder () in
+  Signal_graph.add_event b (Event.rise "x") Signal_graph.Repetitive;
+  Signal_graph.add_event b (Event.rise "y") Signal_graph.Repetitive;
+  Signal_graph.add_arc b ~delay:5. (Event.rise "x") (Event.rise "y");
+  Signal_graph.add_arc b ~delay:2. (Event.rise "x") (Event.rise "y");
+  Signal_graph.add_arc b ~marked:true ~delay:1. (Event.rise "y") (Event.rise "x");
+  let g = Signal_graph.build_exn b in
+  Alcotest.(check (list int)) "the 2-delay twin is redundant" [ 1 ]
+    (Simplify.redundant_arcs g);
+  let pruned, _ = Simplify.prune g in
+  Alcotest.(check int) "two arcs remain" 2 (Signal_graph.arc_count pruned);
+  Helpers.check_float "lambda intact" 6. (Cycle_time.cycle_time pruned)
+
+let prop_prune_sound =
+  Helpers.qcheck_case ~count:30 ~name:"pruning preserves timing on random graphs" (fun g ->
+      let pruned, removed = Simplify.prune g in
+      Signal_graph.arc_count pruned = Signal_graph.arc_count g - List.length removed
+      && Equivalence.timing_equal g pruned)
+
+let suite =
+  [
+    Alcotest.test_case "reflexive" `Quick test_reflexive;
+    Alcotest.test_case "extraction equivalence" `Quick test_extraction_equivalence;
+    Alcotest.test_case "redundant arcs preserve behaviour" `Quick
+      test_redundant_arc_equivalence;
+    Alcotest.test_case "critical delay change detected" `Quick test_delay_change_detected;
+    Alcotest.test_case "non-critical delay change detected" `Quick
+      test_non_critical_delay_change_also_detected;
+    Alcotest.test_case "different events" `Quick test_different_events;
+    prop_equivalence_reflexive;
+    prop_detects_scaling;
+    Alcotest.test_case "fig1 is minimal" `Quick test_fig1_is_minimal;
+    Alcotest.test_case "redundant arc found and pruned" `Quick
+      test_redundant_arc_found_and_pruned;
+    Alcotest.test_case "prune preserves timing" `Quick test_prune_preserves_timing;
+    Alcotest.test_case "parallel dominated arc" `Quick test_parallel_dominated_arc;
+    prop_prune_sound;
+  ]

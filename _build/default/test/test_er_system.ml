@@ -1,0 +1,150 @@
+open Tsg
+
+let ev = Event.rise
+
+let test_self_rule () =
+  (* one event, rule (e, e, 6, 2): every occurrence waits two back by 6
+     time units, so the rate is 6 / 2 = 3 per occurrence *)
+  let sys =
+    Er_system.make ~events:[ ev "e" ]
+      ~rules:[ { Er_system.source = ev "e"; target = ev "e"; delay = 6.; count = 2 } ]
+  in
+  Helpers.check_float "lambda 3" 3. (Er_system.cycle_time sys);
+  let g = Er_system.to_signal_graph sys in
+  (* one auxiliary buffer, two marked arcs *)
+  Alcotest.(check int) "two events after expansion" 2 (Signal_graph.event_count g);
+  Alcotest.(check int) "two arcs" 2 (Signal_graph.arc_count g)
+
+let test_safe_rules_equal_direct_graph () =
+  (* counts 0/1 expand to plain/marked arcs: same graph as hand-built *)
+  let rules =
+    [
+      { Er_system.source = ev "a"; target = ev "b"; delay = 2.; count = 0 };
+      { Er_system.source = ev "b"; target = ev "a"; delay = 3.; count = 1 };
+    ]
+  in
+  let sys = Er_system.make ~events:[ ev "a"; ev "b" ] ~rules in
+  let expanded = Er_system.to_signal_graph sys in
+  let direct =
+    Signal_graph.of_arcs
+      ~events:[ (ev "a", Signal_graph.Repetitive); (ev "b", Signal_graph.Repetitive) ]
+      ~arcs:[ (ev "a", ev "b", 2., false); (ev "b", ev "a", 3., true) ]
+  in
+  Helpers.same_graph "expansion is the identity on safe rules" direct expanded
+
+let test_fifo_capacity () =
+  (* a producer/consumer pair linked by a FIFO of capacity k:
+       forward rule (p, c, d_f, 0)  - data dependency
+       backward rule (c, p, d_b, k) - space dependency
+       self rules give each agent a local cycle time
+     throughput = max(local rates, (d_f + d_b) / k) *)
+  let fifo k =
+    Er_system.make
+      ~events:[ ev "p"; ev "c" ]
+      ~rules:
+        [
+          { Er_system.source = ev "p"; target = ev "p"; delay = 2.; count = 1 };
+          { Er_system.source = ev "c"; target = ev "c"; delay = 2.; count = 1 };
+          { Er_system.source = ev "p"; target = ev "c"; delay = 1.; count = 0 };
+          { Er_system.source = ev "c"; target = ev "p"; delay = 1.; count = k };
+        ]
+  in
+  (* k = 1: round trip (1 + 1) / 1 = 2 vs local 2: lambda = 2 *)
+  Helpers.check_float "capacity 1" 2. (Er_system.cycle_time (fifo 1));
+  (* the FIFO stops mattering once (2 / k) < 2 *)
+  Helpers.check_float "capacity 2" 2. (Er_system.cycle_time (fifo 2));
+  Helpers.check_float "capacity 8" 2. (Er_system.cycle_time (fifo 8));
+  (* slow down the consumer's ack: d_b = 9 makes the loop (1+9)/k *)
+  let slow k =
+    Er_system.make
+      ~events:[ ev "p"; ev "c" ]
+      ~rules:
+        [
+          { Er_system.source = ev "p"; target = ev "p"; delay = 2.; count = 1 };
+          { Er_system.source = ev "c"; target = ev "c"; delay = 2.; count = 1 };
+          { Er_system.source = ev "p"; target = ev "c"; delay = 1.; count = 0 };
+          { Er_system.source = ev "c"; target = ev "p"; delay = 9.; count = k };
+        ]
+  in
+  Helpers.check_float "slow ack, capacity 1" 10. (Er_system.cycle_time (slow 1));
+  Helpers.check_float "slow ack, capacity 2" 5. (Er_system.cycle_time (slow 2));
+  Helpers.check_float "slow ack, capacity 4" 2.5 (Er_system.cycle_time (slow 4));
+  Helpers.check_float "slow ack, capacity 8 (local rate limited)" 2.
+    (Er_system.cycle_time (slow 8))
+
+let test_expansion_size () =
+  let sys =
+    Er_system.make ~events:[ ev "x" ]
+      ~rules:[ { Er_system.source = ev "x"; target = ev "x"; delay = 1.; count = 5 } ]
+  in
+  let g = Er_system.to_signal_graph sys in
+  Alcotest.(check int) "4 buffers added" 5 (Signal_graph.event_count g);
+  Alcotest.(check int) "5 arcs" 5 (Signal_graph.arc_count g);
+  Helpers.check_float "lambda 1/5" 0.2 (Er_system.cycle_time sys)
+
+let test_analysis_report_on_expansion () =
+  let sys =
+    Er_system.make ~events:[ ev "x" ]
+      ~rules:[ { Er_system.source = ev "x"; target = ev "x"; delay = 4.; count = 2 } ]
+  in
+  let report, g = Er_system.analyze sys in
+  Helpers.check_float "lambda 2" 2. report.Cycle_time.cycle_time;
+  Alcotest.(check bool) "walk checks out" true (Cycle_time.check_walk g report)
+
+let test_validation () =
+  let raises f =
+    try
+      ignore (f ());
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "duplicate events" true
+    (raises (fun () -> Er_system.make ~events:[ ev "a"; ev "a" ] ~rules:[]));
+  Alcotest.(check bool) "undeclared event" true
+    (raises (fun () ->
+         Er_system.make ~events:[ ev "a" ]
+           ~rules:[ { Er_system.source = ev "a"; target = ev "z"; delay = 1.; count = 0 } ]));
+  Alcotest.(check bool) "negative count" true
+    (raises (fun () ->
+         Er_system.make ~events:[ ev "a" ]
+           ~rules:[ { Er_system.source = ev "a"; target = ev "a"; delay = 1.; count = -1 } ]));
+  (* a zero-count self rule deadlocks: caught by liveness validation *)
+  Alcotest.(check bool) "zero-count cycle rejected" true
+    (raises (fun () ->
+         Er_system.to_signal_graph
+           (Er_system.make ~events:[ ev "a" ]
+              ~rules:[ { Er_system.source = ev "a"; target = ev "a"; delay = 1.; count = 0 } ])))
+
+let prop_expansion_preserves_safe_systems =
+  Helpers.qcheck_case ~count:50 ~name:"ER expansion of a TSG is behaviour-preserving"
+    (fun g ->
+      (* read the repetitive part of a random TSG as an ER system *)
+      let events = List.map (Signal_graph.event g) (Signal_graph.repetitive_events g) in
+      let rules =
+        Array.to_list (Signal_graph.arcs g)
+        |> List.filter_map (fun (a : Signal_graph.arc) ->
+               if Signal_graph.is_repetitive g a.arc_src && Signal_graph.is_repetitive g a.arc_dst
+               then
+                 Some
+                   {
+                     Er_system.source = Signal_graph.event g a.arc_src;
+                     target = Signal_graph.event g a.arc_dst;
+                     delay = a.delay;
+                     count = (if a.marked then 1 else 0);
+                   }
+               else None)
+      in
+      let sys = Er_system.make ~events ~rules in
+      Helpers.float_close (Cycle_time.cycle_time g) (Er_system.cycle_time sys))
+
+let suite =
+  [
+    Alcotest.test_case "self rule with offset 2" `Quick test_self_rule;
+    Alcotest.test_case "safe rules expand to the direct graph" `Quick
+      test_safe_rules_equal_direct_graph;
+    Alcotest.test_case "FIFO capacity sweep" `Quick test_fifo_capacity;
+    Alcotest.test_case "expansion size" `Quick test_expansion_size;
+    Alcotest.test_case "analysis on the expansion" `Quick test_analysis_report_on_expansion;
+    Alcotest.test_case "validation" `Quick test_validation;
+    prop_expansion_preserves_safe_systems;
+  ]

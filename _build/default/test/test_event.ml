@@ -1,0 +1,74 @@
+open Tsg
+
+let test_constructors () =
+  let e = Event.rise "req" in
+  Alcotest.(check string) "rise" "req+" (Event.to_string e);
+  Alcotest.(check string) "fall" "ack-" (Event.to_string (Event.fall "ack"));
+  Alcotest.(check string) "occurrence suffix" "a+/2"
+    (Event.to_string (Event.rise ~occurrence:2 "a"))
+
+let test_opposite () =
+  let e = Event.rise ~occurrence:3 "x" in
+  let o = Event.opposite e in
+  Alcotest.(check string) "flipped" "x-/3" (Event.to_string o);
+  Alcotest.check Helpers.event "involution" e (Event.opposite o)
+
+let test_equal_compare () =
+  Alcotest.(check bool) "equal" true (Event.equal (Event.rise "a") (Event.rise "a"));
+  Alcotest.(check bool) "dir differs" false (Event.equal (Event.rise "a") (Event.fall "a"));
+  Alcotest.(check bool) "occurrence differs" false
+    (Event.equal (Event.rise "a") (Event.rise ~occurrence:2 "a"));
+  Alcotest.(check bool) "ordering by signal" true
+    (Event.compare (Event.rise "a") (Event.rise "b") < 0)
+
+let test_of_string () =
+  let roundtrip s =
+    match Event.of_string s with
+    | Ok e -> Alcotest.(check string) ("roundtrip " ^ s) s (Event.to_string e)
+    | Error msg -> Alcotest.failf "parse %s: %s" s msg
+  in
+  List.iter roundtrip [ "a+"; "a-"; "longname+"; "x1-/7"; "i_3+" ]
+
+let test_of_string_errors () =
+  let rejects s =
+    match Event.of_string s with
+    | Ok _ -> Alcotest.failf "%S should not parse" s
+    | Error _ -> ()
+  in
+  List.iter rejects [ ""; "a"; "+"; "a*"; "a+/0"; "a+/x"; "a b+"; "a+-" ]
+
+let test_make_validation () =
+  Alcotest.check_raises "bad name" (Invalid_argument "Event.make: invalid signal name \"a+b\"")
+    (fun () -> ignore (Event.make "a+b" Event.Rise 1));
+  Alcotest.check_raises "bad occurrence"
+    (Invalid_argument "Event.make: occurrence must be >= 1") (fun () ->
+      ignore (Event.make "a" Event.Rise 0))
+
+let prop_roundtrip =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"to_string/of_string roundtrip" ~count:300
+       ~print:(fun (name, rise, occ) -> Printf.sprintf "(%s, %b, %d)" name rise occ)
+       QCheck2.Gen.(
+         let* name =
+           string_size ~gen:(oneof [ char_range 'a' 'z'; return '_'; char_range '0' '9' ])
+             (int_range 1 8)
+         in
+         let* rise = bool in
+         let* occ = int_range 1 9 in
+         return (name, rise, occ))
+       (fun (name, rise, occ) ->
+         let e = Event.make name (if rise then Event.Rise else Event.Fall) occ in
+         match Event.of_string (Event.to_string e) with
+         | Ok e' -> Event.equal e e'
+         | Error _ -> false))
+
+let suite =
+  [
+    Alcotest.test_case "constructors and printing" `Quick test_constructors;
+    Alcotest.test_case "opposite" `Quick test_opposite;
+    Alcotest.test_case "equality and ordering" `Quick test_equal_compare;
+    Alcotest.test_case "of_string roundtrip" `Quick test_of_string;
+    Alcotest.test_case "of_string rejects garbage" `Quick test_of_string_errors;
+    Alcotest.test_case "make validation" `Quick test_make_validation;
+    prop_roundtrip;
+  ]

@@ -1,0 +1,196 @@
+open Tsg
+open Tsg_circuit
+open Tsg_extract
+
+(* ------------------------------------------------------------------ *)
+(* State graph                                                         *)
+
+let test_state_graph_fig1 () =
+  let sg = State_graph.explore (Circuit_library.fig1_netlist ()) in
+  Alcotest.(check bool) "a manageable state count" true (State_graph.state_count sg > 4);
+  (* the initial state is stable until the stimulus fires *)
+  let initial = sg.State_graph.states.(sg.State_graph.initial) in
+  Alcotest.(check (list int)) "only the input is excited initially"
+    [ Netlist.index sg.State_graph.netlist "e" ]
+    (State_graph.excited sg.State_graph.netlist initial)
+
+let test_state_graph_limit () =
+  Alcotest.check_raises "budget enforced" (State_graph.State_limit 3) (fun () ->
+      ignore (State_graph.explore ~max_states:3 (Circuit_library.muller_ring_netlist ())))
+
+let test_state_graph_deterministic_interleaving () =
+  (* firing different excited gates commutes to the same state set *)
+  let sg = State_graph.explore (Circuit_library.muller_ring_netlist ~stages:3 ()) in
+  Alcotest.(check bool) "ring state space explored" true (State_graph.state_count sg >= 6);
+  (* every state has at least one excited node: the ring never deadlocks *)
+  Array.iter
+    (fun st ->
+      Alcotest.(check bool) "no deadlock" true
+        (State_graph.excited sg.State_graph.netlist st <> []))
+    sg.State_graph.states
+
+(* ------------------------------------------------------------------ *)
+(* Distributivity                                                      *)
+
+let test_fig1_distributive () =
+  let v = Distributive.check (State_graph.explore (Circuit_library.fig1_netlist ())) in
+  Alcotest.(check bool) "semimodular" true v.Distributive.semimodular;
+  Alcotest.(check bool) "distributive" true v.Distributive.distributive;
+  Alcotest.(check int) "no violations" 0 (List.length v.Distributive.violations)
+
+let test_ring_distributive () =
+  let v =
+    Distributive.check (State_graph.explore (Circuit_library.muller_ring_netlist ~stages:4 ()))
+  in
+  Alcotest.(check bool) "ring distributive" true v.Distributive.distributive
+
+(* a NAND latch with both inputs released is the classic
+   non-semimodular (hazardous) circuit *)
+let hazard_netlist () =
+  let pin driver pin_delay = { Netlist.driver; pin_delay } in
+  Netlist.make
+    ~stimuli:[ { Netlist.stim_signal = "x"; stim_value = true } ]
+    [
+      { Netlist.name = "x"; gate = Gate.Input; inputs = []; initial = false };
+      (* two inverters racing to feed the same OR *)
+      { Netlist.name = "slow"; gate = Gate.Not; inputs = [ pin "x" 5. ]; initial = true };
+      { Netlist.name = "g"; gate = Gate.And; inputs = [ pin "x" 1.; pin "slow" 1. ]; initial = false };
+    ]
+
+let test_hazard_detected () =
+  let net = hazard_netlist () in
+  let v = Distributive.check (State_graph.explore net) in
+  (* after x rises, g is excited (x=1, slow=1) but firing slow- first
+     disables it: a semimodularity violation *)
+  Alcotest.(check bool) "not semimodular" false v.Distributive.semimodular;
+  Alcotest.(check bool) "not distributive" false v.Distributive.distributive
+
+let test_or_causality_detected () =
+  (* o = OR(x, w) with both inputs rising: once x and w are both high
+     while o is still low, o's excitation has no single necessary
+     input — a disjunctive cause *)
+  let pin driver pin_delay = { Netlist.driver; pin_delay } in
+  let net =
+    Netlist.make
+      ~stimuli:[ { Netlist.stim_signal = "x"; stim_value = true } ]
+      [
+        { Netlist.name = "x"; gate = Gate.Input; inputs = []; initial = false };
+        { Netlist.name = "w"; gate = Gate.Buf; inputs = [ pin "x" 1. ]; initial = false };
+        { Netlist.name = "o"; gate = Gate.Or; inputs = [ pin "x" 1.; pin "w" 1. ]; initial = false };
+      ]
+  in
+  let v = Distributive.check (State_graph.explore net) in
+  Alcotest.(check bool) "or-causal states found" true (v.Distributive.or_causal <> []);
+  Alcotest.(check bool) "hence not distributive" false v.Distributive.distributive
+
+(* ------------------------------------------------------------------ *)
+(* Extraction                                                          *)
+
+let test_extract_fig1_exact () =
+  let e = Traspec.extract (Circuit_library.fig1_netlist ()) in
+  Helpers.same_graph "extraction reproduces Fig. 1b" (Circuit_library.fig1_tsg ())
+    e.Traspec.graph;
+  Alcotest.(check bool) "verdict present" true (e.Traspec.verdict <> None);
+  Alcotest.(check bool) "not quiescent" false e.Traspec.quiescent
+
+let test_extract_ring_exact () =
+  List.iter
+    (fun stages ->
+      let e = Traspec.extract ~check:(stages <= 5) (Circuit_library.muller_ring_netlist ~stages ()) in
+      Helpers.same_graph
+        (Printf.sprintf "ring %d extraction" stages)
+        (Circuit_library.muller_ring_tsg ~stages ())
+        e.Traspec.graph)
+    [ 3; 4; 5; 7 ]
+
+let test_extract_lambda_matches () =
+  let e = Traspec.extract (Circuit_library.fig1_netlist ()) in
+  Helpers.check_float "lambda of extracted graph" 10. (Cycle_time.cycle_time e.Traspec.graph)
+
+let test_extract_rejects_hazards () =
+  let got_error =
+    try
+      ignore (Traspec.extract (hazard_netlist ()));
+      false
+    with Traspec.Extraction_error _ -> true
+  in
+  Alcotest.(check bool) "hazardous circuit rejected" true got_error
+
+(* differential fuzz of the whole front end: random per-pin delays on a
+   Muller ring; the extracted graph must equal the hand template with
+   the same delays, and the gate-level simulation must match too *)
+let test_extract_random_delays_fuzz () =
+  for seed = 0 to 11 do
+    let stages = 3 + (seed mod 4) in
+    let rng = Random.State.make [| seed; stages |] in
+    let memo = Hashtbl.create 32 in
+    let delays ~sink ~driver =
+      match Hashtbl.find_opt memo (sink, driver) with
+      | Some d -> d
+      | None ->
+        let d = float_of_int (1 + Random.State.int rng 5) in
+        Hashtbl.add memo (sink, driver) d;
+        d
+    in
+    let netlist = Circuit_library.muller_ring_netlist ~stages ~delays () in
+    let template = Circuit_library.muller_ring_tsg ~stages ~delays () in
+    let extraction = Traspec.extract ~check:false netlist in
+    Helpers.same_graph
+      (Printf.sprintf "seed %d: extraction equals the template" seed)
+      template extraction.Traspec.graph;
+    Helpers.check_float
+      (Printf.sprintf "seed %d: lambda agrees" seed)
+      (Cycle_time.cycle_time template)
+      (Cycle_time.cycle_time extraction.Traspec.graph);
+    (* the event-driven logic simulation tracks the template's timing *)
+    let outcome = Logic_sim.run ~horizon:60. netlist in
+    let u = Unfolding.make template ~periods:4 in
+    let sim = Timing_sim.simulate u in
+    List.iter
+      (fun e ->
+        let ev = Signal_graph.event template e in
+        if ev.Event.occurrence = 1 then begin
+          let expected =
+            Array.to_list (Timing_sim.occurrence_times u sim ~event:e)
+            |> List.filter (fun t -> t <= 60.)
+          in
+          let actual =
+            Logic_sim.transitions_of outcome ev.Event.signal
+            |> List.filter_map (fun (t, rising) ->
+                   if rising = (ev.Event.dir = Event.Rise) then Some t else None)
+          in
+          let k = min (List.length expected) (List.length actual) in
+          let take n l = List.filteri (fun i _ -> i < n) l in
+          Alcotest.(check (list (float 1e-9)))
+            (Printf.sprintf "seed %d: %s times" seed (Event.to_string ev))
+            (take k expected) (take k actual)
+        end)
+      (Signal_graph.repetitive_events template)
+  done
+
+let test_extract_needs_rounds () =
+  let got_error =
+    try
+      ignore (Traspec.extract ~rounds:3 (Circuit_library.fig1_netlist ()));
+      false
+    with Traspec.Extraction_error _ -> true
+  in
+  Alcotest.(check bool) "too few rounds reported" true got_error
+
+let suite =
+  [
+    Alcotest.test_case "state graph of fig1" `Quick test_state_graph_fig1;
+    Alcotest.test_case "state budget" `Quick test_state_graph_limit;
+    Alcotest.test_case "ring state space" `Quick test_state_graph_deterministic_interleaving;
+    Alcotest.test_case "fig1 is distributive" `Quick test_fig1_distributive;
+    Alcotest.test_case "the ring is distributive" `Quick test_ring_distributive;
+    Alcotest.test_case "semimodularity violation detected" `Quick test_hazard_detected;
+    Alcotest.test_case "OR-causality detected" `Quick test_or_causality_detected;
+    Alcotest.test_case "extraction reproduces Fig. 1b exactly" `Quick test_extract_fig1_exact;
+    Alcotest.test_case "extraction reproduces the ring graphs" `Quick test_extract_ring_exact;
+    Alcotest.test_case "extracted lambda" `Quick test_extract_lambda_matches;
+    Alcotest.test_case "random-delay differential fuzz" `Quick
+      test_extract_random_delays_fuzz;
+    Alcotest.test_case "hazardous circuits rejected" `Quick test_extract_rejects_hazards;
+    Alcotest.test_case "insufficient rounds reported" `Quick test_extract_needs_rounds;
+  ]

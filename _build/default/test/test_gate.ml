@@ -1,0 +1,62 @@
+open Tsg_circuit
+
+let ev gate current inputs = Gate.eval gate ~current ~inputs
+
+let test_combinational () =
+  Alcotest.(check bool) "buf" true (ev Gate.Buf false [ true ]);
+  Alcotest.(check bool) "not" false (ev Gate.Not false [ true ]);
+  Alcotest.(check bool) "and tt" true (ev Gate.And false [ true; true ]);
+  Alcotest.(check bool) "and tf" false (ev Gate.And true [ true; false ]);
+  Alcotest.(check bool) "or ff" false (ev Gate.Or true [ false; false ]);
+  Alcotest.(check bool) "or tf" true (ev Gate.Or false [ true; false ]);
+  Alcotest.(check bool) "nand tt" false (ev Gate.Nand true [ true; true ]);
+  Alcotest.(check bool) "nor ff" true (ev Gate.Nor false [ false; false ]);
+  Alcotest.(check bool) "nor tf" false (ev Gate.Nor true [ true; false ]);
+  Alcotest.(check bool) "xor" true (ev Gate.Xor false [ true; false; false ]);
+  Alcotest.(check bool) "xor even" false (ev Gate.Xor true [ true; true ]);
+  Alcotest.(check bool) "xnor" true (ev Gate.Xnor false [ true; true ])
+
+let test_c_element () =
+  Alcotest.(check bool) "all high sets" true (ev Gate.C false [ true; true ]);
+  Alcotest.(check bool) "all low resets" false (ev Gate.C true [ false; false ]);
+  Alcotest.(check bool) "mixed holds low" false (ev Gate.C false [ true; false ]);
+  Alcotest.(check bool) "mixed holds high" true (ev Gate.C true [ true; false ]);
+  Alcotest.(check bool) "three inputs" true (ev Gate.C false [ true; true; true ])
+
+let test_majority () =
+  Alcotest.(check bool) "two of three" true (ev Gate.Majority false [ true; true; false ]);
+  Alcotest.(check bool) "one of three" false (ev Gate.Majority true [ true; false; false ])
+
+let test_input_holds () =
+  Alcotest.(check bool) "input holds its value" true (ev Gate.Input true []);
+  Alcotest.(check bool) "input holds low" false (ev Gate.Input false [])
+
+let test_arities () =
+  Alcotest.(check bool) "input: none" true (Gate.arity_ok Gate.Input 0);
+  Alcotest.(check bool) "input: no inputs allowed" false (Gate.arity_ok Gate.Input 1);
+  Alcotest.(check bool) "buf unary" false (Gate.arity_ok Gate.Buf 2);
+  Alcotest.(check bool) "majority odd" true (Gate.arity_ok Gate.Majority 3);
+  Alcotest.(check bool) "majority even rejected" false (Gate.arity_ok Gate.Majority 4);
+  Alcotest.check_raises "eval checks arity" (Invalid_argument "Gate.eval: arity violation")
+    (fun () -> ignore (ev Gate.Buf false [ true; false ]))
+
+let test_string_roundtrip () =
+  List.iter
+    (fun g ->
+      Alcotest.(check (option string)) "roundtrip"
+        (Some (Gate.to_string g))
+        (Option.map Gate.to_string (Gate.of_string (Gate.to_string g))))
+    [ Gate.Input; Gate.Buf; Gate.Not; Gate.And; Gate.Or; Gate.Nand; Gate.Nor;
+      Gate.Xor; Gate.Xnor; Gate.C; Gate.Majority ];
+  Alcotest.(check bool) "inv alias" true (Gate.of_string "inv" = Some Gate.Not);
+  Alcotest.(check bool) "unknown" true (Gate.of_string "zzz" = None)
+
+let suite =
+  [
+    Alcotest.test_case "combinational gates" `Quick test_combinational;
+    Alcotest.test_case "C-element" `Quick test_c_element;
+    Alcotest.test_case "majority" `Quick test_majority;
+    Alcotest.test_case "input gate" `Quick test_input_holds;
+    Alcotest.test_case "arities" `Quick test_arities;
+    Alcotest.test_case "string roundtrip" `Quick test_string_roundtrip;
+  ]

@@ -1,0 +1,89 @@
+open Tsg
+open Tsg_circuit
+
+let test_ring_shape () =
+  let g = Generators.ring_tsg ~events:10 ~tokens:3 () in
+  Alcotest.(check int) "events" 10 (Signal_graph.event_count g);
+  Alcotest.(check int) "arcs" 10 (Signal_graph.arc_count g);
+  Alcotest.(check int) "tokens" 3
+    (Array.fold_left
+       (fun acc (a : Signal_graph.arc) -> if a.marked then acc + 1 else acc)
+       0 (Signal_graph.arcs g))
+
+let test_ring_validation () =
+  Alcotest.check_raises "tokens range" (Invalid_argument "ring_tsg: tokens out of range")
+    (fun () -> ignore (Generators.ring_tsg ~events:3 ~tokens:4 ()))
+
+let test_random_deterministic () =
+  let g1 = Generators.random_live_tsg ~seed:7 ~events:8 ~extra_arcs:5 () in
+  let g2 = Generators.random_live_tsg ~seed:7 ~events:8 ~extra_arcs:5 () in
+  Helpers.same_graph "same seed, same graph" g1 g2;
+  let g3 = Generators.random_live_tsg ~seed:8 ~events:8 ~extra_arcs:5 () in
+  let _, arcs1 = Helpers.graph_fingerprint g1 and _, arcs3 = Helpers.graph_fingerprint g3 in
+  Alcotest.(check bool) "different seed differs" true (arcs1 <> arcs3)
+
+let test_random_always_valid () =
+  (* the generator promises live, strongly connected graphs: build_exn
+     inside would have raised otherwise; also the analysis must run *)
+  for seed = 0 to 30 do
+    let g =
+      Generators.random_live_tsg ~seed ~events:(3 + (seed mod 7)) ~extra_arcs:(seed mod 9) ()
+    in
+    let lambda = Cycle_time.cycle_time g in
+    Alcotest.(check bool) "lambda finite and non-negative" true (lambda >= 0.)
+  done
+
+let test_random_arc_count () =
+  let g = Generators.random_live_tsg ~events:12 ~extra_arcs:10 () in
+  Alcotest.(check int) "backbone + chords" 22 (Signal_graph.arc_count g)
+
+let test_fork_join () =
+  let g = Generators.fork_join_tsg ~branches:[ 3; 1; 5 ] () in
+  (* events: fork + join + 3 + 1 + 5 = 11; arcs: per branch len+1, plus
+     the closing arc: (4 + 2 + 6) + 1 = 13 *)
+  Alcotest.(check int) "events" 11 (Signal_graph.event_count g);
+  Alcotest.(check int) "arcs" 13 (Signal_graph.arc_count g);
+  (* closed form: longest branch + 2 *)
+  Helpers.check_float "lambda = max branch + 2" 7. (Cycle_time.cycle_time g);
+  (* the critical cycle runs through the longest branch only *)
+  let report = Cycle_time.analyze g in
+  List.iter
+    (fun c -> Alcotest.(check int) "critical length" 7 (List.length c.Cycles.arc_ids))
+    report.Cycle_time.critical_cycles
+
+let test_fork_join_balanced () =
+  (* all branches equal: every branch is critical *)
+  let g = Generators.fork_join_tsg ~branches:[ 2; 2; 2 ] () in
+  Helpers.check_float "lambda" 4. (Cycle_time.cycle_time g);
+  Alcotest.(check int) "three critical cycles" 3
+    (List.length (Slack.all_critical_cycles g))
+
+let test_fork_join_validation () =
+  Alcotest.check_raises "empty" (Invalid_argument "fork_join_tsg: no branches") (fun () ->
+      ignore (Generators.fork_join_tsg ~branches:[] ()));
+  Alcotest.check_raises "bad length"
+    (Invalid_argument "fork_join_tsg: branch length must be >= 1") (fun () ->
+      ignore (Generators.fork_join_tsg ~branches:[ 2; 0 ] ()))
+
+let test_complete_generator () =
+  let g = Generators.complete_tsg ~events:5 () in
+  Alcotest.(check int) "all ordered pairs" 20 (Signal_graph.arc_count g);
+  Alcotest.(check bool) "every arc marked" true
+    (Array.for_all (fun (a : Signal_graph.arc) -> a.marked) (Signal_graph.arcs g));
+  (* K5 has 84 simple cycles: the exhaustive baseline is already busy *)
+  Alcotest.(check int) "84 simple cycles" 84 (Tsg_baselines.Exhaustive.cycle_count g);
+  let lambda = Cycle_time.cycle_time g in
+  Helpers.check_float "agrees with exhaustive" (fst (Tsg_baselines.Exhaustive.cycle_time g)) lambda
+
+let suite =
+  [
+    Alcotest.test_case "ring shape" `Quick test_ring_shape;
+    Alcotest.test_case "ring validation" `Quick test_ring_validation;
+    Alcotest.test_case "random generator is deterministic" `Quick test_random_deterministic;
+    Alcotest.test_case "random graphs are always analyzable" `Quick test_random_always_valid;
+    Alcotest.test_case "random arc budget" `Quick test_random_arc_count;
+    Alcotest.test_case "fork/join loop" `Quick test_fork_join;
+    Alcotest.test_case "balanced fork/join" `Quick test_fork_join_balanced;
+    Alcotest.test_case "fork/join validation" `Quick test_fork_join_validation;
+    Alcotest.test_case "complete graph generator" `Quick test_complete_generator;
+  ]

@@ -1,0 +1,167 @@
+open Tsg
+
+let fig1 () = Tsg_circuit.Circuit_library.fig1_tsg ()
+
+let test_degenerate_bounds () =
+  let g = fig1 () in
+  let b =
+    Interval.cycle_time g ~delay_bounds:(fun i ->
+        let d = (Signal_graph.arc g i).Signal_graph.delay in
+        (d, d))
+  in
+  Helpers.check_float "lower = nominal" 10. b.Interval.lower;
+  Helpers.check_float "upper = nominal" 10. b.Interval.upper
+
+let test_relative_tolerance () =
+  let g = fig1 () in
+  let b = Interval.of_relative_tolerance g ~percent:10. in
+  (* lambda is homogeneous in the delays: +-10 percent everywhere *)
+  Helpers.check_float "lower" 9. b.Interval.lower;
+  Helpers.check_float "upper" 11. b.Interval.upper
+
+let test_asymmetric_bounds () =
+  let g = fig1 () in
+  (* only the a+ -> c+ arc is uncertain: [3, 5]; the critical cycle
+     grows with it while the lower corner stays at the nominal 10 *)
+  let aid =
+    let a = Signal_graph.id g (Event.of_string_exn "a+") in
+    List.hd (Signal_graph.out_arc_ids g a)
+  in
+  let b =
+    Interval.cycle_time g ~delay_bounds:(fun i ->
+        let d = (Signal_graph.arc g i).Signal_graph.delay in
+        if i = aid then (3., 5.) else (d, d))
+  in
+  Helpers.check_float "lower corner" 10. b.Interval.lower;
+  Helpers.check_float "upper corner" 12. b.Interval.upper
+
+let test_invalid_bounds () =
+  let g = fig1 () in
+  let raises f =
+    try
+      ignore (f ());
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "empty interval" true
+    (raises (fun () -> Interval.cycle_time g ~delay_bounds:(fun _ -> (2., 1.))));
+  Alcotest.(check bool) "negative lower bound" true
+    (raises (fun () -> Interval.cycle_time g ~delay_bounds:(fun _ -> (-1., 1.))));
+  Alcotest.(check bool) "percent out of range" true
+    (raises (fun () -> Interval.of_relative_tolerance g ~percent:150.))
+
+let test_simulation_bounds_degenerate () =
+  let g = fig1 () in
+  let nominal i = (Signal_graph.arc g i).Signal_graph.delay in
+  let bounds =
+    Interval.simulate g ~delay_bounds:(fun i -> (nominal i, nominal i)) ~periods:2
+  in
+  (* with point intervals the bounds coincide with the Example 3 times *)
+  let at name period =
+    Unfolding.instance bounds.Interval.unfolding
+      ~event:(Signal_graph.id g (Event.of_string_exn name))
+      ~period
+  in
+  List.iter
+    (fun (name, period, expected) ->
+      Helpers.check_float (name ^ " lower") expected bounds.Interval.earliest.(at name period);
+      Helpers.check_float (name ^ " upper") expected bounds.Interval.latest.(at name period))
+    [ ("a+", 0, 2.); ("c-", 0, 11.); ("c+", 1, 16.) ]
+
+let test_simulation_bounds_widen () =
+  let g = fig1 () in
+  let bounds =
+    Interval.simulate g
+      ~delay_bounds:(fun i ->
+        let d = (Signal_graph.arc g i).Signal_graph.delay in
+        (d -. 0.5, d +. 0.5))
+      ~periods:2
+  in
+  let cminus =
+    Unfolding.instance bounds.Interval.unfolding
+      ~event:(Signal_graph.id g (Event.of_string_exn "c-"))
+      ~period:0
+  in
+  (* c- at 11 via the 5-arc path e- f- b+ c+ a- c-: +-2.5 total *)
+  Helpers.check_float "earliest c-" 8.5 bounds.Interval.earliest.(cminus);
+  Helpers.check_float "latest c-" 13.5 bounds.Interval.latest.(cminus)
+
+let test_separation_bounds () =
+  let g = fig1 () in
+  let bounds =
+    Interval.simulate g
+      ~delay_bounds:(fun i ->
+        let d = (Signal_graph.arc g i).Signal_graph.delay in
+        (d, d +. 1.))
+      ~periods:2
+  in
+  let id name = Signal_graph.id g (Event.of_string_exn name) in
+  let lo, hi = Interval.separation_bounds bounds ~from_:(id "c+", 0) ~to_:(id "c-", 0) in
+  (* nominal separation 5 over two arcs: within [5 - 2, 5 + 2] *)
+  Alcotest.(check bool) "lower bound sound" true (lo <= 5.);
+  Alcotest.(check bool) "upper bound sound" true (hi >= 5.);
+  Alcotest.(check bool) "bounds ordered" true (lo <= hi)
+
+let prop_simulation_bounds_sound =
+  Helpers.qcheck_case ~count:30 ~name:"interval simulation brackets random assignments"
+    (fun g ->
+      let rng = Random.State.make [| Signal_graph.arc_count g; 5 |] in
+      let spans =
+        Array.map
+          (fun (a : Signal_graph.arc) -> (a.delay *. 0.5, a.delay +. 1.))
+          (Signal_graph.arcs g)
+      in
+      let bounds = Interval.simulate g ~delay_bounds:(fun i -> spans.(i)) ~periods:3 in
+      (* a random interior assignment must stay inside the bounds *)
+      let g' =
+        Transform.map_delays g ~f:(fun i _ ->
+            let lo, hi = spans.(i) in
+            lo +. Random.State.float rng (Float.max 1e-9 (hi -. lo)))
+      in
+      let u' = Unfolding.make g' ~periods:3 in
+      let t' = (Timing_sim.simulate u').Timing_sim.time in
+      let ok = ref true in
+      for i = 0 to Unfolding.instance_count u' - 1 do
+        if
+          t'.(i) < bounds.Interval.earliest.(i) -. 1e-9
+          || t'.(i) > bounds.Interval.latest.(i) +. 1e-9
+        then ok := false
+      done;
+      !ok)
+
+let prop_bracket_contains_fixed_assignments =
+  (* monotonicity: any fixed assignment inside the intervals yields a
+     cycle time inside the bracket *)
+  Helpers.qcheck_case ~count:40 ~name:"interval bracket is sound" (fun g ->
+      let rng = Random.State.make [| Signal_graph.arc_count g |] in
+      let bounds =
+        Array.map
+          (fun (a : Signal_graph.arc) -> (a.delay *. 0.5, (a.delay *. 1.5) +. 1.))
+          (Signal_graph.arcs g)
+      in
+      let b = Interval.cycle_time g ~delay_bounds:(fun i -> bounds.(i)) in
+      (* three random interior assignments *)
+      List.for_all
+        (fun _ ->
+          let g' =
+            Transform.map_delays g ~f:(fun i _ ->
+                let lo, hi = bounds.(i) in
+                lo +. Random.State.float rng (hi -. lo))
+          in
+          let lambda = Cycle_time.cycle_time g' in
+          lambda >= b.Interval.lower -. 1e-9 && lambda <= b.Interval.upper +. 1e-9)
+        [ 1; 2; 3 ])
+
+let suite =
+  [
+    Alcotest.test_case "degenerate bounds" `Quick test_degenerate_bounds;
+    Alcotest.test_case "relative tolerance" `Quick test_relative_tolerance;
+    Alcotest.test_case "asymmetric single-arc bounds" `Quick test_asymmetric_bounds;
+    Alcotest.test_case "invalid bounds rejected" `Quick test_invalid_bounds;
+    Alcotest.test_case "simulation bounds (point intervals)" `Quick
+      test_simulation_bounds_degenerate;
+    Alcotest.test_case "simulation bounds widen" `Quick test_simulation_bounds_widen;
+    Alcotest.test_case "separation bounds" `Quick test_separation_bounds;
+    prop_simulation_bounds_sound;
+    prop_bracket_contains_fixed_assignments;
+  ]

@@ -1,0 +1,134 @@
+open Tsg
+open Tsg_io
+
+let fig1 () = Tsg_circuit.Circuit_library.fig1_tsg ()
+
+(* ------------------------------------------------------------------ *)
+(* Timing diagrams                                                     *)
+
+let test_diagram_renders_all_signals () =
+  let g = fig1 () in
+  let u = Unfolding.make g ~periods:4 in
+  let sim = Timing_sim.simulate u in
+  let text = Timing_diagram.render u sim in
+  List.iter
+    (fun signal ->
+      Alcotest.(check bool)
+        (signal ^ " present")
+        true
+        (List.exists
+           (fun line ->
+             String.length line > 2 && String.trim (String.sub line 0 2) = signal)
+           (String.split_on_char '\n' text)))
+    [ "a"; "b"; "c"; "e"; "f" ]
+
+let test_diagram_shape () =
+  let g = fig1 () in
+  let u = Unfolding.make g ~periods:4 in
+  let sim = Timing_sim.simulate u in
+  let text = Timing_diagram.render ~options:{ Timing_diagram.horizon = 30.; columns = 60 } u sim in
+  let lines = List.filter (fun l -> l <> "") (String.split_on_char '\n' text) in
+  (* 5 signals + ruler *)
+  Alcotest.(check int) "six lines" 6 (List.length lines);
+  (* e is high then falls at 0: the first waveform char is a transition *)
+  let e_line = List.find (fun l -> String.length l > 2 && l.[0] = 'e') lines in
+  Alcotest.(check char) "e falls at the origin" '|' e_line.[2]
+
+let test_diagram_event_initiated () =
+  (* Fig. 1d: the a+-initiated diagram has a, b flat-zero start *)
+  let g = fig1 () in
+  let u = Unfolding.make g ~periods:4 in
+  let a0 =
+    Unfolding.instance u ~event:(Signal_graph.id g (Event.of_string_exn "a+")) ~period:0
+  in
+  let sim = Timing_sim.simulate_initiated u ~at:a0 in
+  let text = Timing_diagram.render u sim in
+  Alcotest.(check bool) "renders" true (String.length text > 0);
+  (* e and f are unreached: flat lines with no transitions *)
+  let lines = String.split_on_char '\n' text in
+  let f_line = List.find (fun l -> String.length l > 2 && l.[0] = 'f') lines in
+  Alcotest.(check bool) "f has no transition mark" false (String.contains f_line '|')
+
+let test_diagram_signal_selection () =
+  let g = fig1 () in
+  let u = Unfolding.make g ~periods:4 in
+  let sim = Timing_sim.simulate u in
+  let text = Timing_diagram.render ~signals:[ "c"; "a" ] u sim in
+  let lines = List.filter (fun l -> String.trim l <> "") (String.split_on_char '\n' text) in
+  (* two selected signals in the requested order, plus the ruler *)
+  Alcotest.(check int) "three lines" 3 (List.length lines);
+  Alcotest.(check char) "c first" 'c' (List.nth lines 0).[0];
+  Alcotest.(check char) "a second" 'a' (List.nth lines 1).[0];
+  (* unknown names are ignored *)
+  let text = Timing_diagram.render ~signals:[ "zz"; "b" ] u sim in
+  let lines = List.filter (fun l -> String.trim l <> "") (String.split_on_char '\n' text) in
+  Alcotest.(check int) "only b and the ruler" 2 (List.length lines)
+
+let test_diagram_ruler () =
+  let g = fig1 () in
+  let u = Unfolding.make g ~periods:2 in
+  let sim = Timing_sim.simulate u in
+  let text = Timing_diagram.render u sim in
+  let lines = List.filter (fun l -> String.trim l <> "") (String.split_on_char '\n' text) in
+  let ruler = List.nth lines (List.length lines - 1) in
+  Alcotest.(check bool) "ruler has 0" true (String.contains ruler '0');
+  Alcotest.(check bool) "ruler has tick 25" true
+    (let rec find i =
+       i + 2 <= String.length ruler && (String.sub ruler i 2 = "25" || find (i + 1))
+     in
+     find 0)
+
+(* ------------------------------------------------------------------ *)
+(* Reports                                                             *)
+
+let test_pp_rational () =
+  Alcotest.(check string) "integer" "10" (Fmt.str "%a" Report.pp_rational 10.);
+  Alcotest.(check string) "small fraction" "6.66667 (= 20/3)"
+    (Fmt.str "%a" Report.pp_rational (20. /. 3.));
+  Alcotest.(check string) "non-rational left as float" "3.14159"
+    (Fmt.str "%a" Report.pp_rational 3.14159)
+
+let test_report_contains_tables () =
+  let g = fig1 () in
+  let r = Cycle_time.analyze g in
+  let text = Fmt.str "%a" (Report.pp_report g) r in
+  let contains needle =
+    let n = String.length needle in
+    let rec go i = i + n <= String.length text && (String.sub text i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "border set shown" true (contains "{a+, b+}");
+  Alcotest.(check bool) "cycle time shown" true (contains "cycle time = 10");
+  Alcotest.(check bool) "a+ trace" true (contains "a+-initiated");
+  Alcotest.(check bool) "b+ trace" true (contains "b+-initiated");
+  Alcotest.(check bool) "critical cycle printed" true (contains "critical cycle")
+
+let test_simulation_table () =
+  let g = fig1 () in
+  let u = Unfolding.make g ~periods:2 in
+  let sim = Timing_sim.simulate u in
+  let events =
+    List.map
+      (fun (n, p) -> (Signal_graph.id g (Event.of_string_exn n), p))
+      [ ("e-", 0); ("a+", 0); ("a+", 1) ]
+  in
+  let text = Fmt.str "%t" (Report.pp_simulation_table u sim ~events) in
+  let contains needle =
+    let n = String.length needle in
+    let rec go i = i + n <= String.length text && (String.sub text i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "has header" true (contains "a+(1)");
+  Alcotest.(check bool) "has time 13" true (contains "13")
+
+let suite =
+  [
+    Alcotest.test_case "diagram renders all signals" `Quick test_diagram_renders_all_signals;
+    Alcotest.test_case "diagram shape" `Quick test_diagram_shape;
+    Alcotest.test_case "event-initiated diagram (Fig. 1d)" `Quick test_diagram_event_initiated;
+    Alcotest.test_case "diagram signal selection" `Quick test_diagram_signal_selection;
+    Alcotest.test_case "diagram ruler" `Quick test_diagram_ruler;
+    Alcotest.test_case "rational pretty-printing" `Quick test_pp_rational;
+    Alcotest.test_case "analysis report contents" `Quick test_report_contains_tables;
+    Alcotest.test_case "simulation table" `Quick test_simulation_table;
+  ]

@@ -1,0 +1,70 @@
+open Tsg
+open Tsg_io
+
+let contains text needle =
+  let n = String.length needle in
+  let rec go i = i + n <= String.length text && (String.sub text i n = needle || go (i + 1)) in
+  go 0
+
+let test_analysis_structure () =
+  let g = Tsg_circuit.Circuit_library.fig1_tsg () in
+  let json = Json_report.analysis g (Cycle_time.analyze g) in
+  List.iter
+    (fun needle -> Alcotest.(check bool) ("contains " ^ needle) true (contains json needle))
+    [
+      {|"cycle_time":10|};
+      {|"border":["a+","b+"]|};
+      {|"periods":2|};
+      {|"event":"a+"|};
+      {|"cycles":[{"events":["a+","c+","a-","c-"]|};
+      {|"samples":[{"period":1,"time":10,"average":10}|};
+      {|{"period":2,"time":18,"average":9}|};
+    ]
+
+let test_slack_structure () =
+  let g = Tsg_circuit.Circuit_library.fig1_tsg () in
+  let json = Json_report.slack g (Slack.analyze g) in
+  List.iter
+    (fun needle -> Alcotest.(check bool) ("contains " ^ needle) true (contains json needle))
+    [
+      {|"cycle_time":10|};
+      {|"slack":null|} (* the initial-part arcs *);
+      {|"slack":2,"critical":false|};
+      {|"slack":0,"critical":true|};
+      {|"src":"c-","dst":"a+","delay":2,"marked":true|};
+    ]
+
+let test_float_rendering () =
+  (* non-integer cycle times keep full precision *)
+  let g = Tsg_circuit.Circuit_library.muller_ring_tsg ~stages:5 () in
+  let json = Json_report.analysis g (Cycle_time.analyze g) in
+  Alcotest.(check bool) "20/3 with full precision" true
+    (contains json {|"cycle_time":6.666666666666667|})
+
+let test_balanced_brackets () =
+  let g = Tsg_circuit.Circuit_library.async_stack_tsg () in
+  let json = Json_report.analysis g (Cycle_time.analyze g) in
+  let count c = String.fold_left (fun acc ch -> if ch = c then acc + 1 else acc) 0 json in
+  Alcotest.(check int) "braces balanced" (count '{') (count '}');
+  Alcotest.(check int) "brackets balanced" (count '[') (count ']');
+  Alcotest.(check bool) "no infinities leaked" false (contains json "inf");
+  Alcotest.(check bool) "no NaN leaked" false (contains json "nan")
+
+let test_string_escaping () =
+  (* signal names cannot contain quotes, but verify the escaper directly
+     through a relabelled graph exercising underscores and digits *)
+  let g =
+    Transform.relabel_signals (Tsg_circuit.Circuit_library.fig1_tsg ()) ~f:(fun s ->
+        "sig_" ^ s ^ "_1")
+  in
+  let json = Json_report.analysis g (Cycle_time.analyze g) in
+  Alcotest.(check bool) "renamed events present" true (contains json {|"sig_a_1+"|})
+
+let suite =
+  [
+    Alcotest.test_case "analysis structure" `Quick test_analysis_structure;
+    Alcotest.test_case "slack structure" `Quick test_slack_structure;
+    Alcotest.test_case "float rendering" `Quick test_float_rendering;
+    Alcotest.test_case "balanced output on a big report" `Quick test_balanced_brackets;
+    Alcotest.test_case "string handling" `Quick test_string_escaping;
+  ]

@@ -1,0 +1,148 @@
+open Tsg
+open Tsg_circuit
+
+(* The key cross-check of the whole model: the event-driven gate-level
+   simulation of the Fig. 1 circuit must produce exactly the transition
+   times that the timing simulation of the Fig. 1 Timed Signal Graph
+   predicts (Example 3's table). *)
+let test_fig1_against_tsg_times () =
+  let outcome = Logic_sim.run ~horizon:40. (Circuit_library.fig1_netlist ()) in
+  let g = Circuit_library.fig1_tsg () in
+  let u = Unfolding.make g ~periods:4 in
+  let sim = Timing_sim.simulate u in
+  let expect signal =
+    (* transitions of [signal] predicted by the TSG, sorted by time *)
+    let times = ref [] in
+    for inst = 0 to Unfolding.instance_count u - 1 do
+      let e, _ = Unfolding.event_of_instance u inst in
+      let ev = Signal_graph.event g e in
+      if ev.Event.signal = signal then
+        times :=
+          (sim.Timing_sim.time.(inst), ev.Event.dir = Event.Rise) :: !times
+    done;
+    List.sort compare !times
+  in
+  List.iter
+    (fun signal ->
+      let predicted = expect signal in
+      let simulated = Logic_sim.transitions_of outcome signal in
+      (* compare the common prefix: the logic sim stops at the horizon *)
+      let k = min (List.length predicted) (List.length simulated) in
+      let take n l = List.filteri (fun i _ -> i < n) l in
+      Alcotest.(check (list (pair (float 1e-9) bool)))
+        (signal ^ " transitions")
+        (take k predicted) (take k simulated);
+      Alcotest.(check bool) (signal ^ " has transitions") true (k > 0))
+    [ "e"; "f"; "a"; "b"; "c" ]
+
+let test_fig1_first_transitions () =
+  let outcome = Logic_sim.run ~horizon:20. (Circuit_library.fig1_netlist ()) in
+  Alcotest.(check (list (pair (float 1e-9) bool))) "e falls at 0" [ (0., false) ]
+    (Logic_sim.transitions_of outcome "e");
+  (match Logic_sim.transitions_of outcome "a" with
+  | (t, v) :: _ ->
+    Alcotest.(check (float 1e-9)) "a rises at 2" 2. t;
+    Alcotest.(check bool) "rise" true v
+  | [] -> Alcotest.fail "a never switched");
+  match Logic_sim.transitions_of outcome "c" with
+  | (t, _) :: _ -> Alcotest.(check (float 1e-9)) "c rises at 6" 6. t
+  | [] -> Alcotest.fail "c never switched"
+
+let test_oscillation_not_quiescent () =
+  let outcome = Logic_sim.run ~horizon:50. (Circuit_library.fig1_netlist ()) in
+  Alcotest.(check bool) "oscillator hits the horizon" false outcome.Logic_sim.quiescent
+
+let test_quiescent_circuit () =
+  let pin driver pin_delay = { Netlist.driver; pin_delay } in
+  let net =
+    Netlist.make
+      ~stimuli:[ { Netlist.stim_signal = "x"; stim_value = true } ]
+      [
+        { Netlist.name = "x"; gate = Gate.Input; inputs = []; initial = false };
+        { Netlist.name = "y"; gate = Gate.Buf; inputs = [ pin "x" 2. ]; initial = false };
+        { Netlist.name = "z"; gate = Gate.Not; inputs = [ pin "y" 3. ]; initial = true };
+      ]
+  in
+  let outcome = Logic_sim.run net in
+  Alcotest.(check bool) "stabilises" true outcome.Logic_sim.quiescent;
+  Alcotest.(check (list (pair (float 1e-9) bool))) "chain timing"
+    [ (2., true) ]
+    (Logic_sim.transitions_of outcome "y");
+  Alcotest.(check (list (pair (float 1e-9) bool))) "inverter timing"
+    [ (5., false) ]
+    (Logic_sim.transitions_of outcome "z");
+  Alcotest.(check bool) "final state" true outcome.Logic_sim.final_state.(Netlist.index net "y")
+
+let test_inertial_cancellation () =
+  (* a pulse shorter than the sink delay is swallowed: x buffers into y
+     with delay 5, but a fast feedback inverter z resets x's effect...
+     simplest check: glitch filtering on an AND of complementary delays *)
+  let pin driver pin_delay = { Netlist.driver; pin_delay } in
+  let net =
+    Netlist.make
+      ~stimuli:[ { Netlist.stim_signal = "x"; stim_value = true } ]
+      [
+        { Netlist.name = "x"; gate = Gate.Input; inputs = []; initial = false };
+        (* inv goes low at t=1 *)
+        { Netlist.name = "inv"; gate = Gate.Not; inputs = [ pin "x" 1. ]; initial = true };
+        (* the AND sees (x, inv): excited at t=0 (1,1 transiently), but
+           inv falls at t=1 before the AND's delay 4 elapses *)
+        {
+          Netlist.name = "g";
+          gate = Gate.And;
+          inputs = [ pin "x" 4.; pin "inv" 1. ];
+          initial = false;
+        };
+      ]
+  in
+  let outcome = Logic_sim.run net in
+  Alcotest.(check (list (pair (float 1e-9) bool))) "glitch swallowed" []
+    (Logic_sim.transitions_of outcome "g");
+  Alcotest.(check bool) "quiescent" true outcome.Logic_sim.quiescent
+
+let test_max_events_guard () =
+  let outcome = Logic_sim.run ~max_events:10 (Circuit_library.fig1_netlist ()) in
+  Alcotest.(check bool) "stops at the budget" true
+    (List.length outcome.Logic_sim.trace <= 10);
+  Alcotest.(check bool) "not quiescent" false outcome.Logic_sim.quiescent
+
+let test_muller_ring_logic_sim () =
+  (* the gate-level ring must track the timing simulation of its hand
+     built Signal Graph, signal by signal *)
+  let outcome = Logic_sim.run ~horizon:60. (Circuit_library.muller_ring_netlist ()) in
+  let g = Circuit_library.muller_ring_tsg ~stages:5 () in
+  let u = Unfolding.make g ~periods:6 in
+  let sim = Timing_sim.simulate u in
+  let predicted signal =
+    let times = ref [] in
+    for inst = 0 to Unfolding.instance_count u - 1 do
+      let e, _ = Unfolding.event_of_instance u inst in
+      let ev = Signal_graph.event g e in
+      if ev.Event.signal = signal then
+        times := (sim.Timing_sim.time.(inst), ev.Event.dir = Event.Rise) :: !times
+    done;
+    List.sort compare !times
+  in
+  List.iter
+    (fun signal ->
+      let expected = predicted signal in
+      let simulated = Logic_sim.transitions_of outcome signal in
+      let k = min (List.length expected) (List.length simulated) in
+      let take n l = List.filteri (fun i _ -> i < n) l in
+      Alcotest.(check bool) (signal ^ " oscillates") true (k >= 3);
+      Alcotest.(check (list (pair (float 1e-9) bool)))
+        (signal ^ " transitions")
+        (take k expected) (take k simulated))
+    [ "a"; "c"; "e"; "ia"; "ie" ]
+
+let suite =
+  [
+    Alcotest.test_case "fig1 circuit matches its TSG timing" `Quick
+      test_fig1_against_tsg_times;
+    Alcotest.test_case "fig1 first transition times" `Quick test_fig1_first_transitions;
+    Alcotest.test_case "oscillators hit the horizon" `Quick test_oscillation_not_quiescent;
+    Alcotest.test_case "quiescent chain" `Quick test_quiescent_circuit;
+    Alcotest.test_case "inertial glitch cancellation" `Quick test_inertial_cancellation;
+    Alcotest.test_case "max_events guard" `Quick test_max_events_guard;
+    Alcotest.test_case "Muller ring oscillation pattern" `Quick test_muller_ring_logic_sim;
+  ]

@@ -1,0 +1,152 @@
+open Tsg
+
+let fig1 () = Tsg_circuit.Circuit_library.fig1_tsg ()
+
+let names g ids = Helpers.event_names g ids
+
+let test_initial_enabled () =
+  let g = fig1 () in
+  let s = Marking.initial g in
+  Alcotest.(check (list string)) "only e- fires first" [ "e-" ]
+    (names g (Marking.enabled g s))
+
+let test_firing_sequence () =
+  let g = fig1 () in
+  let fire_by_name s name = Marking.fire g s (Signal_graph.id g (Event.of_string_exn name)) in
+  let s = Marking.initial g in
+  let s = fire_by_name s "e-" in
+  Alcotest.(check (list string)) "a+ and f- enabled after e-" [ "f-"; "a+" ]
+    (names g (Marking.enabled g s));
+  let s = fire_by_name s "f-" in
+  let s = fire_by_name s "a+" in
+  Alcotest.(check (list string)) "b+ next" [ "b+" ] (names g (Marking.enabled g s));
+  let s = fire_by_name s "b+" in
+  Alcotest.(check (list string)) "then c+" [ "c+" ] (names g (Marking.enabled g s))
+
+let test_fire_disabled_rejected () =
+  let g = fig1 () in
+  let s = Marking.initial g in
+  let cplus = Signal_graph.id g (Event.of_string_exn "c+") in
+  Alcotest.check_raises "disabled" (Invalid_argument "Marking.fire: event c+ is not enabled")
+    (fun () -> ignore (Marking.fire g s cplus))
+
+let test_initial_events_fire_once () =
+  let g = fig1 () in
+  let e = Signal_graph.id g (Event.of_string_exn "e-") in
+  let s = Marking.fire g (Marking.initial g) e in
+  Alcotest.(check int) "fired once" 1 (Marking.fired_count s e);
+  Alcotest.(check bool) "never again" false (Marking.is_enabled g s e)
+
+let test_disengagement () =
+  let g = fig1 () in
+  (* after one full cycle, a+ no longer waits for e-'s token *)
+  let rounds, _ = Marking.run_greedy g ~rounds:20 in
+  let fired = List.concat rounds in
+  let count name =
+    List.length
+      (List.filter (fun e -> e = Signal_graph.id g (Event.of_string_exn name)) fired)
+  in
+  Alcotest.(check int) "e- once" 1 (count "e-");
+  Alcotest.(check int) "f- once" 1 (count "f-");
+  Alcotest.(check bool) "a+ keeps firing" true (count "a+" >= 3)
+
+let test_tokens_move () =
+  let g = fig1 () in
+  let s0 = Marking.initial g in
+  let marked_total s =
+    let total = ref 0 in
+    for a = 0 to Signal_graph.arc_count g - 1 do
+      total := !total + Marking.tokens s a
+    done;
+    !total
+  in
+  Alcotest.(check int) "two initial tokens" 2 (marked_total s0)
+
+let test_run_greedy_rounds () =
+  let g = fig1 () in
+  let rounds, _ = Marking.run_greedy g ~rounds:3 in
+  Alcotest.(check int) "three rounds" 3 (List.length rounds);
+  Alcotest.(check (list string)) "round 1" [ "e-" ] (names g (List.nth rounds 0));
+  Alcotest.(check (list string)) "round 2" [ "f-"; "a+" ] (names g (List.nth rounds 1))
+
+let test_greedy_stops_when_dead () =
+  (* a non-repetitive chain quiesces *)
+  let b = Signal_graph.builder () in
+  Signal_graph.add_event b (Event.fall "e") Signal_graph.Initial;
+  Signal_graph.add_event b (Event.fall "f") Signal_graph.Non_repetitive;
+  Signal_graph.add_arc b ~delay:1. (Event.fall "e") (Event.fall "f");
+  let g = Signal_graph.build_exn b in
+  let rounds, _ = Marking.run_greedy g ~rounds:50 in
+  Alcotest.(check int) "stops after two rounds" 2 (List.length rounds)
+
+let test_check_dynamics_fig1 () =
+  let g = fig1 () in
+  let d = Marking.check_dynamics ~rounds:40 g in
+  Alcotest.(check bool) "switch-over" true d.Marking.switch_over_ok;
+  Alcotest.(check bool) "no auto-concurrency" true d.Marking.auto_concurrency_free;
+  Alcotest.(check int) "safe" 1 d.Marking.bounded_by
+
+let test_check_dynamics_ring () =
+  let g = Tsg_circuit.Circuit_library.muller_ring_tsg ~stages:5 () in
+  let d = Marking.check_dynamics ~rounds:60 g in
+  Alcotest.(check bool) "ring switch-over" true d.Marking.switch_over_ok;
+  Alcotest.(check bool) "ring auto-concurrency free" true d.Marking.auto_concurrency_free
+
+let test_check_dynamics_detects_switch_over_violation () =
+  (* two rises of the same signal alternating with nothing between *)
+  let b = Signal_graph.builder () in
+  Signal_graph.add_event b (Event.rise "a") Signal_graph.Repetitive;
+  Signal_graph.add_event b (Event.rise ~occurrence:2 "a") Signal_graph.Repetitive;
+  Signal_graph.add_arc b ~marked:true ~delay:1. (Event.rise "a") (Event.rise ~occurrence:2 "a");
+  Signal_graph.add_arc b ~marked:false ~delay:1. (Event.rise ~occurrence:2 "a") (Event.rise "a");
+  let g = Signal_graph.build_exn b in
+  let d = Marking.check_dynamics g in
+  Alcotest.(check bool) "violation caught" false d.Marking.switch_over_ok
+
+let prop_cycle_token_counts_invariant =
+  (* the fundamental marked-graph invariant: firing never changes the
+     number of tokens on any cycle *)
+  Helpers.qcheck_case ~count:60 ~name:"cycle token counts are invariant under firing"
+    (fun g ->
+      let cycles = Cycles.simple_cycles ~limit:50 g in
+      let tokens_on state c =
+        List.fold_left (fun acc aid -> acc + Marking.tokens state aid) 0 c.Cycles.arc_ids
+      in
+      let initial = Marking.initial g in
+      let before = List.map (tokens_on initial) cycles in
+      let rec run state k =
+        if k = 0 then state
+        else
+          match Marking.enabled g state with
+          | [] -> state
+          | e :: _ -> run (Marking.fire g state e) (k - 1)
+      in
+      let final = run initial 25 in
+      List.for_all2 (fun b c -> b = tokens_on final c) before cycles)
+
+let test_copy_isolation () =
+  let g = fig1 () in
+  let s = Marking.initial g in
+  let s' = Marking.copy s in
+  let e = Signal_graph.id g (Event.of_string_exn "e-") in
+  let _ = Marking.fire g s' e in
+  Alcotest.(check int) "fire returns new state" 0 (Marking.fired_count s' e);
+  Alcotest.(check int) "original untouched" 0 (Marking.fired_count s e)
+
+let suite =
+  [
+    Alcotest.test_case "initially enabled events" `Quick test_initial_enabled;
+    Alcotest.test_case "firing sequence" `Quick test_firing_sequence;
+    Alcotest.test_case "firing a disabled event is rejected" `Quick test_fire_disabled_rejected;
+    Alcotest.test_case "initial events fire once" `Quick test_initial_events_fire_once;
+    Alcotest.test_case "disengageable arcs release" `Quick test_disengagement;
+    Alcotest.test_case "initial token count" `Quick test_tokens_move;
+    Alcotest.test_case "greedy rounds" `Quick test_run_greedy_rounds;
+    Alcotest.test_case "greedy stops at quiescence" `Quick test_greedy_stops_when_dead;
+    Alcotest.test_case "dynamics of fig1" `Quick test_check_dynamics_fig1;
+    Alcotest.test_case "dynamics of the Muller ring" `Quick test_check_dynamics_ring;
+    Alcotest.test_case "switch-over violation detected" `Quick
+      test_check_dynamics_detects_switch_over_violation;
+    Alcotest.test_case "states are persistent" `Quick test_copy_isolation;
+    prop_cycle_token_counts_invariant;
+  ]

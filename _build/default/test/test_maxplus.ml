@@ -1,0 +1,291 @@
+open Tsg_maxplus
+
+(* ------------------------------------------------------------------ *)
+(* Semiring                                                            *)
+
+let test_semiring_laws () =
+  let s = Semiring.add in
+  let m = Semiring.mul in
+  Alcotest.(check (float 0.)) "add is max" 5. (s 3. 5.);
+  Alcotest.(check (float 0.)) "mul is plus" 8. (m 3. 5.);
+  Alcotest.(check (float 0.)) "zero neutral for add" 3. (s Semiring.zero 3.);
+  Alcotest.(check (float 0.)) "one neutral for mul" 3. (m Semiring.one 3.);
+  Alcotest.(check bool) "zero absorbs" true (Semiring.is_zero (m Semiring.zero 7.));
+  Alcotest.(check bool) "zero absorbs +inf" true (Semiring.is_zero (m Semiring.zero infinity));
+  (* distributivity: a(b+c) = ab + ac *)
+  let a = 2. and b = 3. and c = 7. in
+  Alcotest.(check (float 0.)) "distributes" (m a (s b c)) (s (m a b) (m a c))
+
+(* ------------------------------------------------------------------ *)
+(* Matrices                                                            *)
+
+let fixture () =
+  (* the classic 2x2 example: A = [[3, 7], [2, 4]] *)
+  Matrix.of_arrays [| [| 3.; 7. |]; [| 2.; 4. |] |]
+
+let test_matrix_identity () =
+  let a = fixture () in
+  let i = Matrix.identity 2 in
+  Alcotest.(check bool) "A * I = A" true (Matrix.equal (Matrix.mul a i) a);
+  Alcotest.(check bool) "I * A = A" true (Matrix.equal (Matrix.mul i a) a)
+
+let test_matrix_mul () =
+  let a = fixture () in
+  let a2 = Matrix.mul a a in
+  (* (A^2)_{00} = max(3+3, 7+2) = 9; _{01} = max(3+7, 7+4) = 11 *)
+  Alcotest.(check (float 0.)) "a2 00" 9. (Matrix.get a2 0 0);
+  Alcotest.(check (float 0.)) "a2 01" 11. (Matrix.get a2 0 1);
+  Alcotest.(check (float 0.)) "a2 10" 6. (Matrix.get a2 1 0);
+  Alcotest.(check (float 0.)) "a2 11" 9. (Matrix.get a2 1 1)
+
+let test_matrix_pow () =
+  let a = fixture () in
+  Alcotest.(check bool) "pow 0 = I" true (Matrix.equal (Matrix.pow a 0) (Matrix.identity 2));
+  Alcotest.(check bool) "pow 1 = A" true (Matrix.equal (Matrix.pow a 1) a);
+  Alcotest.(check bool) "pow 3 = A*A*A" true
+    (Matrix.equal (Matrix.pow a 3) (Matrix.mul a (Matrix.mul a a)));
+  Alcotest.(check bool) "pow 5 consistent" true
+    (Matrix.equal (Matrix.pow a 5) (Matrix.mul (Matrix.pow a 2) (Matrix.pow a 3)))
+
+let test_matrix_apply () =
+  let a = fixture () in
+  let y = Matrix.apply a [| 0.; 10. |] in
+  Alcotest.(check (float 0.)) "y0 = max(3, 17)" 17. y.(0);
+  Alcotest.(check (float 0.)) "y1 = max(2, 14)" 14. y.(1)
+
+let test_matrix_add_scale () =
+  let a = fixture () in
+  let s = Matrix.add a (Matrix.scale 10. (Matrix.identity 2)) in
+  Alcotest.(check (float 0.)) "diagonal maxed" 10. (Matrix.get s 0 0);
+  Alcotest.(check (float 0.)) "off-diagonal kept" 7. (Matrix.get s 0 1);
+  let sc = Matrix.scale 5. a in
+  Alcotest.(check (float 0.)) "scaled" 12. (Matrix.get sc 0 1);
+  Alcotest.(check bool) "scale keeps zero entries" true
+    (Semiring.is_zero (Matrix.get (Matrix.scale 5. (Matrix.make ~rows:1 ~cols:1)) 0 0))
+
+let test_matrix_validation () =
+  Alcotest.check_raises "ragged" (Invalid_argument "Matrix.of_arrays: ragged rows")
+    (fun () -> ignore (Matrix.of_arrays [| [| 1. |]; [| 1.; 2. |] |]));
+  let a = fixture () in
+  let b = Matrix.make ~rows:3 ~cols:2 in
+  Alcotest.check_raises "mul mismatch" (Invalid_argument "Matrix.mul: dimension mismatch")
+    (fun () -> ignore (Matrix.mul a b));
+  Alcotest.check_raises "pow non-square" (Invalid_argument "Matrix.pow: non-square matrix")
+    (fun () -> ignore (Matrix.pow b 2))
+
+let test_matrix_star () =
+  (* a 2-cycle of total weight <= 0: star is finite *)
+  let a = Matrix.make ~rows:2 ~cols:2 in
+  Matrix.set a 0 1 3.;
+  Matrix.set a 1 0 (-5.);
+  let s = Matrix.star a in
+  Alcotest.(check (float 0.)) "empty path on diagonal" 0. (Matrix.get s 0 0);
+  Alcotest.(check (float 0.)) "direct arc" 3. (Matrix.get s 0 1);
+  Alcotest.(check (float 0.)) "direct arc back" (-5.) (Matrix.get s 1 0);
+  (* A* is idempotent: A* (X) A* = A* *)
+  Alcotest.(check bool) "idempotent" true (Matrix.equal (Matrix.mul s s) s)
+
+let test_matrix_star_diverges () =
+  let a = Matrix.make ~rows:2 ~cols:2 in
+  Matrix.set a 0 1 3.;
+  Matrix.set a 1 0 (-1.);
+  Alcotest.check_raises "positive cycle"
+    (Invalid_argument "Matrix.star: positive cycle, the star diverges") (fun () ->
+      ignore (Matrix.star a))
+
+let test_matrix_plus () =
+  let a = Matrix.make ~rows:2 ~cols:2 in
+  Matrix.set a 0 1 3.;
+  Matrix.set a 1 0 (-3.);
+  let p = Matrix.plus a in
+  (* the best non-empty cycle through each vertex weighs 0 *)
+  Alcotest.(check (float 0.)) "cycle through 0" 0. (Matrix.get p 0 0);
+  Alcotest.(check (float 0.)) "cycle through 1" 0. (Matrix.get p 1 1)
+
+(* ------------------------------------------------------------------ *)
+(* Spectral theory                                                     *)
+
+let test_spectral_radius_2x2 () =
+  (* cycles: 0->0 (3), 1->1 (4), 0->1->0 (7+2)/2 = 4.5 *)
+  Helpers.check_float "radius 4.5" 4.5 (Spectral.cycle_time (fixture ()))
+
+let test_spectral_nilpotent () =
+  let a = Matrix.make ~rows:2 ~cols:2 in
+  Matrix.set a 0 1 5.;
+  Alcotest.(check bool) "nilpotent has -inf radius" true
+    (Spectral.cycle_time a = neg_infinity)
+
+let test_power_regime_simple () =
+  (* a single self-loop of weight 2: x advances by 2 every step *)
+  let a = Matrix.make ~rows:1 ~cols:1 in
+  Matrix.set a 0 0 2.;
+  match Spectral.power_regime a ~start:[| 0. |] with
+  | Some r ->
+    Alcotest.(check int) "cyclicity 1" 1 r.Spectral.cyclicity;
+    Helpers.check_float "lambda 2" 2. r.Spectral.lambda;
+    Alcotest.(check int) "no transient" 0 r.Spectral.transient
+  | None -> Alcotest.fail "no regime"
+
+let test_power_regime_cyclicity_two () =
+  (* a 2-cycle 0 <-> 1 with weights 1 and 3: lambda = 2, but the orbit
+     alternates (+1, +3): cyclicity 2 *)
+  let a = Matrix.make ~rows:2 ~cols:2 in
+  Matrix.set a 1 0 1.;
+  Matrix.set a 0 1 3.;
+  match Spectral.power_regime a ~start:[| 0.; 0. |] with
+  | Some r ->
+    Alcotest.(check int) "cyclicity 2" 2 r.Spectral.cyclicity;
+    Helpers.check_float "lambda 2" 2. r.Spectral.lambda
+  | None -> Alcotest.fail "no regime"
+
+let check_eigen_equation msg a =
+  let lambda = Spectral.cycle_time a in
+  let v, critical = Spectral.eigenvector a in
+  Alcotest.(check bool) (msg ^ ": critical vertices exist") true (critical <> []);
+  let av = Matrix.apply a v in
+  Array.iteri
+    (fun i avi ->
+      if not (Semiring.is_zero v.(i)) then
+        Helpers.check_float ~tol:1e-9 (Printf.sprintf "%s: (Av)_%d = lambda + v_%d" msg i i)
+          (lambda +. v.(i)) avi)
+    av
+
+let test_eigenvector_2x2 () = check_eigen_equation "2x2" (fixture ())
+
+let test_eigenvector_fig1_matrix () =
+  let a, _ = Of_signal_graph.matrix (Tsg_circuit.Circuit_library.fig1_tsg ()) in
+  check_eigen_equation "fig1" a
+
+let test_eigenvector_ring_matrix () =
+  let a, _ = Of_signal_graph.matrix (Tsg_circuit.Circuit_library.muller_ring_tsg ~stages:5 ()) in
+  check_eigen_equation "ring5" a
+
+let test_critical_graph_2x2 () =
+  (* cycles: self-loop at 0 (mean 3), self-loop at 1 (mean 4),
+     0 <-> 1 (mean 4.5 = the radius): only the 2-cycle is critical *)
+  let g = Spectral.critical_graph (fixture ()) in
+  Alcotest.(check int) "two critical arcs" 2 (Tsg_graph.Digraph.arc_count g);
+  Alcotest.(check bool) "0 -> 1" true (Tsg_graph.Digraph.mem_arc g ~src:0 ~dst:1);
+  Alcotest.(check bool) "1 -> 0" true (Tsg_graph.Digraph.mem_arc g ~src:1 ~dst:0)
+
+let test_structural_cyclicity_examples () =
+  Alcotest.(check int) "2-cycle has cyclicity 2" 2
+    (Spectral.structural_cyclicity (fixture ()));
+  let self = Matrix.make ~rows:1 ~cols:1 in
+  Matrix.set self 0 0 2.;
+  Alcotest.(check int) "self-loop has cyclicity 1" 1 (Spectral.structural_cyclicity self);
+  let fig1, _ = Of_signal_graph.matrix (Tsg_circuit.Circuit_library.fig1_tsg ()) in
+  Alcotest.(check int) "fig1 cyclicity 1" 1 (Spectral.structural_cyclicity fig1);
+  let ring, _ =
+    Of_signal_graph.matrix (Tsg_circuit.Circuit_library.muller_ring_tsg ~stages:5 ())
+  in
+  Alcotest.(check int) "ring5 cyclicity 3 (the 6,7,7 pattern)" 3
+    (Spectral.structural_cyclicity ring)
+
+let prop_power_cyclicity_divides_structural =
+  Helpers.qcheck_case ~count:40
+    ~name:"observed power cyclicity divides the structural cyclicity" (fun g ->
+      let a, _ = Of_signal_graph.matrix g in
+      let structural = Spectral.structural_cyclicity a in
+      match Spectral.power_regime ~max_iter:300 a ~start:(Array.make (Matrix.rows a) 0.) with
+      | None -> false
+      | Some r -> structural mod r.Spectral.cyclicity = 0)
+
+(* ------------------------------------------------------------------ *)
+(* The Signal-Graph connection                                         *)
+
+let test_fig1_matrix () =
+  let g = Tsg_circuit.Circuit_library.fig1_tsg () in
+  let a, border = Of_signal_graph.matrix g in
+  Alcotest.(check int) "2x2 (two border events)" 2 (Matrix.rows a);
+  Alcotest.(check int) "border size" 2 (Array.length border);
+  Helpers.check_float "spectral radius = cycle time" 10. (Spectral.cycle_time a)
+
+let test_fig1_regime () =
+  let g = Tsg_circuit.Circuit_library.fig1_tsg () in
+  match Of_signal_graph.regime g with
+  | Some r ->
+    Alcotest.(check int) "cyclicity 1" 1 r.Spectral.cyclicity;
+    Helpers.check_float "lambda 10" 10. r.Spectral.lambda
+  | None -> Alcotest.fail "no regime"
+
+let test_eigenvector_matches_steady_skew () =
+  (* for a cyclicity-1 system the max-plus eigenvector of the border
+     matrix carries the steady-state phases: v(b+) - v(a+) must equal
+     the skew measured by the timing simulation (-1 on fig1) *)
+  let g = Tsg_circuit.Circuit_library.fig1_tsg () in
+  let a, border = Of_signal_graph.matrix g in
+  let v, _ = Spectral.eigenvector a in
+  let index_of name =
+    let id = Tsg.Signal_graph.id g (Tsg.Event.of_string_exn name) in
+    let found = ref (-1) in
+    Array.iteri (fun i e -> if e = id then found := i) border;
+    !found
+  in
+  let diff = v.(index_of "b+") -. v.(index_of "a+") in
+  match Tsg.Separation.analyze g with
+  | None -> Alcotest.fail "no steady state"
+  | Some t ->
+    let skew =
+      List.hd
+        (Tsg.Separation.steady_skew t
+           ~from_:(Tsg.Signal_graph.id g (Tsg.Event.of_string_exn "a+"))
+           ~to_:(Tsg.Signal_graph.id g (Tsg.Event.of_string_exn "b+")))
+    in
+    Helpers.check_float "eigenvector difference = measured skew" skew diff
+
+let test_ring_cyclicity_matches_steady_state () =
+  (* the max-plus cyclicity and the unfolding's steady-state pattern
+     period are the same phenomenon: 3 on the five-stage ring *)
+  let g = Tsg_circuit.Circuit_library.muller_ring_tsg ~stages:5 () in
+  (match Of_signal_graph.regime g with
+  | Some r ->
+    Alcotest.(check int) "cyclicity 3" 3 r.Spectral.cyclicity;
+    Helpers.check_float "lambda 20/3" (20. /. 3.) r.Spectral.lambda
+  | None -> Alcotest.fail "no regime");
+  match Tsg.Steady_state.detect g with
+  | Some s -> Alcotest.(check int) "steady-state agrees" 3 s.Tsg.Steady_state.pattern_period
+  | None -> Alcotest.fail "no steady state"
+
+let prop_spectral_radius_is_cycle_time =
+  Helpers.qcheck_case ~count:80 ~name:"max-plus spectral radius equals the cycle time"
+    (fun g ->
+      Helpers.float_close (Tsg.Cycle_time.cycle_time g) (Of_signal_graph.cycle_time g))
+
+let prop_power_growth_rate =
+  Helpers.qcheck_case ~count:40 ~name:"power-iteration drift equals the cycle time" (fun g ->
+      match Of_signal_graph.regime ~max_iter:400 g with
+      | None -> false
+      | Some r -> Helpers.float_close ~tol:1e-6 (Tsg.Cycle_time.cycle_time g) r.Spectral.lambda)
+
+let suite =
+  [
+    Alcotest.test_case "semiring laws" `Quick test_semiring_laws;
+    Alcotest.test_case "matrix identity" `Quick test_matrix_identity;
+    Alcotest.test_case "matrix multiplication" `Quick test_matrix_mul;
+    Alcotest.test_case "matrix powers" `Quick test_matrix_pow;
+    Alcotest.test_case "matrix-vector product" `Quick test_matrix_apply;
+    Alcotest.test_case "add and scale" `Quick test_matrix_add_scale;
+    Alcotest.test_case "matrix validation" `Quick test_matrix_validation;
+    Alcotest.test_case "kleene star" `Quick test_matrix_star;
+    Alcotest.test_case "star divergence" `Quick test_matrix_star_diverges;
+    Alcotest.test_case "plus closure" `Quick test_matrix_plus;
+    Alcotest.test_case "eigenvector (2x2)" `Quick test_eigenvector_2x2;
+    Alcotest.test_case "eigenvector (fig1 matrix)" `Quick test_eigenvector_fig1_matrix;
+    Alcotest.test_case "eigenvector (ring matrix)" `Quick test_eigenvector_ring_matrix;
+    Alcotest.test_case "critical graph" `Quick test_critical_graph_2x2;
+    Alcotest.test_case "structural cyclicity" `Quick test_structural_cyclicity_examples;
+    prop_power_cyclicity_divides_structural;
+    Alcotest.test_case "spectral radius (2x2)" `Quick test_spectral_radius_2x2;
+    Alcotest.test_case "nilpotent matrix" `Quick test_spectral_nilpotent;
+    Alcotest.test_case "power regime: self loop" `Quick test_power_regime_simple;
+    Alcotest.test_case "power regime: cyclicity 2" `Quick test_power_regime_cyclicity_two;
+    Alcotest.test_case "fig1 border matrix" `Quick test_fig1_matrix;
+    Alcotest.test_case "fig1 power regime" `Quick test_fig1_regime;
+    Alcotest.test_case "eigenvector = steady-state skew (fig1)" `Quick
+      test_eigenvector_matches_steady_skew;
+    Alcotest.test_case "ring cyclicity = steady-state pattern" `Quick
+      test_ring_cyclicity_matches_steady_state;
+    prop_spectral_radius_is_cycle_time;
+    prop_power_growth_rate;
+  ]

@@ -1,0 +1,83 @@
+open Tsg
+
+let fig1 () = Tsg_circuit.Circuit_library.fig1_tsg ()
+
+let nominal g = fun arc_id _rng -> (Signal_graph.arc g arc_id).Signal_graph.delay
+
+let test_deterministic_sampler_recovers_lambda () =
+  let g = fig1 () in
+  let s = Monte_carlo.estimate ~runs:3 ~periods:40 g ~sampler:(nominal g) in
+  Helpers.check_float "mean = lambda" 10. s.Monte_carlo.mean;
+  Helpers.check_float "no variance" 0. s.Monte_carlo.std;
+  Helpers.check_float "low = high" s.Monte_carlo.low s.Monte_carlo.high
+
+let test_jitter_within_interval_bracket () =
+  let g = fig1 () in
+  let percent = 20. in
+  let s =
+    Monte_carlo.estimate ~runs:20 ~periods:60 g
+      ~sampler:(Monte_carlo.uniform_jitter g ~percent)
+  in
+  let bracket = Interval.of_relative_tolerance g ~percent in
+  Alcotest.(check bool) "mean within the interval bracket" true
+    (s.Monte_carlo.mean >= bracket.Interval.lower -. 1e-9
+     && s.Monte_carlo.mean <= bracket.Interval.upper +. 1e-9);
+  (* jitter on a MAX system can only slow the average down (Jensen);
+     allow a tiny sampling-noise margin *)
+  Alcotest.(check bool) "mean at or above the nominal lambda" true
+    (s.Monte_carlo.mean >= 10. -. 0.05);
+  Alcotest.(check bool) "jitter produces variance" true (s.Monte_carlo.std > 0.)
+
+let test_seed_determinism () =
+  let g = fig1 () in
+  let sampler = Monte_carlo.uniform_jitter g ~percent:15. in
+  let s1 = Monte_carlo.estimate ~seed:7 ~runs:5 ~periods:30 g ~sampler in
+  let s2 = Monte_carlo.estimate ~seed:7 ~runs:5 ~periods:30 g ~sampler in
+  Helpers.check_float "same mean" s1.Monte_carlo.mean s2.Monte_carlo.mean;
+  Helpers.check_float "same std" s1.Monte_carlo.std s2.Monte_carlo.std;
+  let s3 = Monte_carlo.estimate ~seed:8 ~runs:5 ~periods:30 g ~sampler in
+  Alcotest.(check bool) "different seed differs" true
+    (s3.Monte_carlo.mean <> s1.Monte_carlo.mean)
+
+let test_validation () =
+  let g = fig1 () in
+  let raises f =
+    try
+      ignore (f ());
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "negative delay rejected" true
+    (raises (fun () -> Monte_carlo.estimate g ~sampler:(fun _ _ -> -1.)));
+  Alcotest.(check bool) "too few periods" true
+    (raises (fun () -> Monte_carlo.estimate ~periods:2 g ~sampler:(nominal g)));
+  Alcotest.(check bool) "zero runs" true
+    (raises (fun () -> Monte_carlo.estimate ~runs:0 g ~sampler:(nominal g)))
+
+let test_ring_estimate () =
+  let g = Tsg_circuit.Circuit_library.muller_ring_tsg ~stages:5 () in
+  let s = Monte_carlo.estimate ~runs:3 ~periods:63 g ~sampler:(nominal g) in
+  (* with the 6,7,7 pattern the long-run rate converges to 20/3 *)
+  Helpers.check_float ~tol:0.02 "ring rate" (20. /. 3.) s.Monte_carlo.mean
+
+let prop_deterministic_sampler_matches_analysis =
+  Helpers.qcheck_case ~count:30 ~name:"constant sampler reproduces the cycle time" (fun g ->
+      let s =
+        Monte_carlo.estimate ~runs:1 ~periods:80 g
+          ~sampler:(fun arc_id _ -> (Signal_graph.arc g arc_id).Signal_graph.delay)
+      in
+      (* long-horizon rate estimates converge to lambda; allow the
+         finite-horizon wobble of one pattern *)
+      Helpers.float_close ~tol:0.15 s.Monte_carlo.mean (Cycle_time.cycle_time g))
+
+let suite =
+  [
+    Alcotest.test_case "deterministic sampler recovers lambda" `Quick
+      test_deterministic_sampler_recovers_lambda;
+    Alcotest.test_case "jitter stays within the interval bracket" `Quick
+      test_jitter_within_interval_bracket;
+    Alcotest.test_case "seed determinism" `Quick test_seed_determinism;
+    Alcotest.test_case "validation" `Quick test_validation;
+    Alcotest.test_case "ring estimate" `Quick test_ring_estimate;
+    prop_deterministic_sampler_matches_analysis;
+  ]

@@ -1,0 +1,115 @@
+open Tsg_io
+
+let fig1_text =
+  {|# the Fig. 1 oscillator
+.netlist fig1
+.input e init=1
+.node f buf e:3 init=1
+.node a nor e:2 c:2 init=0
+.node b nor f:1 c:1 init=0
+.node c c a:3 b:2 init=0
+.stimulus e 0
+.end
+|}
+
+let netlist_fingerprint net =
+  let nodes =
+    Array.to_list
+      (Array.map
+         (fun (n : Tsg_circuit.Netlist.node) ->
+           Printf.sprintf "%s=%s(%s)init%b" n.name
+             (Tsg_circuit.Gate.to_string n.gate)
+             (String.concat ","
+                (List.map
+                   (fun (p : Tsg_circuit.Netlist.pin) ->
+                     Printf.sprintf "%s:%g" p.driver p.pin_delay)
+                   n.inputs))
+             n.initial)
+         (Tsg_circuit.Netlist.nodes net))
+  in
+  let stims =
+    List.map
+      (fun (s : Tsg_circuit.Netlist.stimulus) ->
+        Printf.sprintf "%s:=%b" s.stim_signal s.stim_value)
+      (Tsg_circuit.Netlist.stimuli net)
+  in
+  (nodes, stims)
+
+let test_parse_fig1 () =
+  match Net_format.parse fig1_text with
+  | Error msg -> Alcotest.failf "parse failed: %s" msg
+  | Ok doc ->
+    Alcotest.(check string) "name" "fig1" doc.Net_format.netlist_name;
+    Alcotest.(check (pair (list string) (list string)))
+      "identical to the built-in netlist"
+      (netlist_fingerprint (Tsg_circuit.Circuit_library.fig1_netlist ()))
+      (netlist_fingerprint doc.Net_format.netlist)
+
+let test_end_to_end_extraction () =
+  match Net_format.parse fig1_text with
+  | Error msg -> Alcotest.failf "parse failed: %s" msg
+  | Ok doc ->
+    let e = Tsg_extract.Traspec.extract doc.Net_format.netlist in
+    Helpers.check_float "cycle time through the file route" 10.
+      (Tsg.Cycle_time.cycle_time e.Tsg_extract.Traspec.graph)
+
+let test_roundtrip () =
+  let net = Tsg_circuit.Circuit_library.muller_ring_netlist ~stages:4 () in
+  match Net_format.parse (Net_format.to_string ~name:"ring4" net) with
+  | Error msg -> Alcotest.failf "roundtrip failed: %s" msg
+  | Ok doc ->
+    Alcotest.(check string) "name kept" "ring4" doc.Net_format.netlist_name;
+    Alcotest.(check (pair (list string) (list string)))
+      "roundtrip"
+      (netlist_fingerprint net)
+      (netlist_fingerprint doc.Net_format.netlist)
+
+let test_parse_errors () =
+  let rejects text =
+    match Net_format.parse text with
+    | Ok _ -> Alcotest.failf "should not parse: %s" text
+    | Error msg ->
+      Alcotest.(check bool) "line number in error" true
+        (String.length msg >= 4 && String.sub msg 0 4 = "line")
+  in
+  rejects ".input x\n.end\n" (* missing init *);
+  rejects ".node y frobnicate x:1 init=0\n.end\n" (* unknown gate *);
+  rejects ".node y buf x init=0\n.end\n" (* pin without delay *);
+  rejects ".node y buf x:-2 init=0\n.end\n" (* negative delay *);
+  rejects ".stimulus x maybe\n.end\n" (* bad value *);
+  rejects "nonsense\n"
+
+let test_semantic_errors_reported () =
+  (* well-formed syntax, invalid netlist: undefined driver *)
+  match Net_format.parse ".node y buf ghost:1 init=0\n.end\n" with
+  | Ok _ -> Alcotest.fail "should fail"
+  | Error msg ->
+    Alcotest.(check bool) "mentions the ghost" true
+      (let needle = "ghost" in
+       let n = String.length needle in
+       let rec go i = i + n <= String.length msg && (String.sub msg i n = needle || go (i + 1)) in
+       go 0)
+
+let test_file_io () =
+  let net = Tsg_circuit.Circuit_library.fig1_netlist () in
+  let path = Filename.temp_file "net" ".net" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Net_format.write_file ~name:"fig1" path net;
+      match Net_format.parse_file path with
+      | Error msg -> Alcotest.failf "read back: %s" msg
+      | Ok doc ->
+        Alcotest.(check (pair (list string) (list string)))
+          "file roundtrip" (netlist_fingerprint net)
+          (netlist_fingerprint doc.Net_format.netlist))
+
+let suite =
+  [
+    Alcotest.test_case "parse fig1" `Quick test_parse_fig1;
+    Alcotest.test_case "file to cycle time end-to-end" `Quick test_end_to_end_extraction;
+    Alcotest.test_case "print/parse roundtrip" `Quick test_roundtrip;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "semantic errors reported" `Quick test_semantic_errors_reported;
+    Alcotest.test_case "file io" `Quick test_file_io;
+  ]

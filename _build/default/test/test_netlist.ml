@@ -1,0 +1,98 @@
+open Tsg_circuit
+
+let fig1 () = Circuit_library.fig1_netlist ()
+
+let test_fig1_structure () =
+  let net = fig1 () in
+  Alcotest.(check int) "five nodes" 5 (Netlist.node_count net);
+  let c = Netlist.node_of_index net (Netlist.index net "c") in
+  Alcotest.(check bool) "c is a C-element" true (c.Netlist.gate = Gate.C);
+  Alcotest.(check int) "c has two inputs" 2 (List.length c.Netlist.inputs)
+
+let test_initial_state () =
+  let net = fig1 () in
+  let s = Netlist.initial_state net in
+  let v name = s.(Netlist.index net name) in
+  Alcotest.(check bool) "e starts high" true (v "e");
+  Alcotest.(check bool) "f starts high" true (v "f");
+  Alcotest.(check bool) "a starts low" false (v "a");
+  Alcotest.(check bool) "b starts low" false (v "b");
+  Alcotest.(check bool) "c starts low" false (v "c")
+
+let test_initial_state_stable () =
+  (* before the stimulus, every gate agrees with its excitation *)
+  let net = fig1 () in
+  let s = Netlist.initial_state net in
+  List.iter
+    (fun name -> Alcotest.(check bool) (name ^ " stable") true (Netlist.is_stable net s name))
+    [ "a"; "b"; "c"; "f" ]
+
+let test_eval_node () =
+  let net = fig1 () in
+  let s = Netlist.initial_state net in
+  s.(Netlist.index net "e") <- false;
+  (* with e low and c low, NOR a is excited to rise *)
+  Alcotest.(check bool) "a excited" true (Netlist.eval_node net s (Netlist.index net "a"));
+  Alcotest.(check bool) "b still stable" true (Netlist.is_stable net s "b")
+
+let test_fanout () =
+  let net = fig1 () in
+  let fanout_names node =
+    List.map
+      (fun i -> (Netlist.node_of_index net i).Netlist.name)
+      (Netlist.fanout net (Netlist.index net node))
+  in
+  Alcotest.(check (list string)) "e feeds f and a" [ "f"; "a" ] (fanout_names "e");
+  Alcotest.(check (list string)) "c feeds a and b" [ "a"; "b" ] (fanout_names "c")
+
+let test_pin_delay () =
+  let net = fig1 () in
+  let d driver sink =
+    Netlist.pin_delay net ~driver:(Netlist.index net driver) ~sink:(Netlist.index net sink)
+  in
+  Alcotest.(check (float 0.)) "a->c is 3" 3. (d "a" "c");
+  Alcotest.(check (float 0.)) "b->c is 2" 2. (d "b" "c");
+  Alcotest.(check (float 0.)) "e->f is 3" 3. (d "e" "f");
+  Alcotest.check_raises "no pin" Not_found (fun () -> ignore (d "c" "f"))
+
+let test_validation () =
+  let pin driver pin_delay = { Netlist.driver; pin_delay } in
+  let node name gate inputs initial = { Netlist.name; gate; inputs; initial } in
+  Alcotest.check_raises "duplicate names"
+    (Invalid_argument "Netlist.make: duplicate node \"x\"") (fun () ->
+      ignore (Netlist.make [ node "x" Gate.Input [] false; node "x" Gate.Input [] false ]));
+  Alcotest.check_raises "undefined driver"
+    (Invalid_argument "Netlist.make: node \"y\" reads undefined node \"ghost\"") (fun () ->
+      ignore (Netlist.make [ node "y" Gate.Buf [ pin "ghost" 1. ] false ]));
+  Alcotest.check_raises "arity"
+    (Invalid_argument "Netlist.make: node \"y\": buf gate with 2 inputs") (fun () ->
+      ignore
+        (Netlist.make
+           [ node "x" Gate.Input [] false; node "y" Gate.Buf [ pin "x" 1.; pin "x" 1. ] false ]));
+  Alcotest.check_raises "negative delay"
+    (Invalid_argument "Netlist.make: node \"y\" has a negative pin delay") (fun () ->
+      ignore
+        (Netlist.make [ node "x" Gate.Input [] false; node "y" Gate.Buf [ pin "x" (-1.) ] false ]));
+  Alcotest.check_raises "stimulus on gate"
+    (Invalid_argument "Netlist.make: stimulus on non-input node \"y\"") (fun () ->
+      ignore
+        (Netlist.make
+           ~stimuli:[ { Netlist.stim_signal = "y"; stim_value = true } ]
+           [ node "x" Gate.Input [] false; node "y" Gate.Buf [ pin "x" 1. ] false ]));
+  Alcotest.check_raises "vacuous stimulus"
+    (Invalid_argument "Netlist.make: stimulus on \"x\" does not change its value") (fun () ->
+      ignore
+        (Netlist.make
+           ~stimuli:[ { Netlist.stim_signal = "x"; stim_value = false } ]
+           [ node "x" Gate.Input [] false ]))
+
+let suite =
+  [
+    Alcotest.test_case "fig1 structure" `Quick test_fig1_structure;
+    Alcotest.test_case "initial state" `Quick test_initial_state;
+    Alcotest.test_case "initial state is stable" `Quick test_initial_state_stable;
+    Alcotest.test_case "excitation" `Quick test_eval_node;
+    Alcotest.test_case "fanout" `Quick test_fanout;
+    Alcotest.test_case "pin delays" `Quick test_pin_delay;
+    Alcotest.test_case "validation" `Quick test_validation;
+  ]

@@ -1,0 +1,139 @@
+open Tsg
+
+let fig1 () = Tsg_circuit.Circuit_library.fig1_tsg ()
+
+(* ------------------------------------------------------------------ *)
+(* speed_up                                                            *)
+
+let test_speed_up_matches_example () =
+  (* six units of budget on fig1 reach cycle time 6 (the example run) *)
+  let o = Optimize.speed_up ~budget:6. ~floor:0.5 (fig1 ()) in
+  Helpers.check_float "final lambda" 6. o.Optimize.lambda;
+  Helpers.check_float "budget fully spent" 6. o.Optimize.spent;
+  Alcotest.(check int) "six unit steps" 6 (List.length o.Optimize.steps)
+
+let test_speed_up_monotone () =
+  let o = Optimize.speed_up ~budget:5. (fig1 ()) in
+  let lambdas = List.map (fun s -> s.Optimize.lambda_after) o.Optimize.steps in
+  let rec non_increasing = function
+    | a :: (b :: _ as rest) -> a >= b -. 1e-9 && non_increasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "lambda never rises" true (non_increasing lambdas)
+
+let test_speed_up_respects_floor () =
+  (* a huge budget: stops when every critical arc reaches the floor *)
+  let o = Optimize.speed_up ~budget:1000. ~floor:1. (fig1 ()) in
+  Alcotest.(check bool) "not all budget spent" true (o.Optimize.spent < 1000.);
+  let report = Slack.analyze o.Optimize.graph in
+  List.iter
+    (fun aid ->
+      Alcotest.(check bool) "critical arcs at the floor" true
+        ((Signal_graph.arc o.Optimize.graph aid).Signal_graph.delay <= 1. +. 1e-9))
+    (Slack.critical_arcs report)
+
+let test_speed_up_zero_budget () =
+  let o = Optimize.speed_up ~budget:0. (fig1 ()) in
+  Helpers.check_float "lambda unchanged" 10. o.Optimize.lambda;
+  Alcotest.(check int) "no steps" 0 (List.length o.Optimize.steps)
+
+let test_speed_up_validation () =
+  let raises f = try ignore (f ()); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "negative budget" true
+    (raises (fun () -> Optimize.speed_up ~budget:(-1.) (fig1 ())));
+  Alcotest.(check bool) "zero step" true
+    (raises (fun () -> Optimize.speed_up ~step_size:0. ~budget:1. (fig1 ())))
+
+(* ------------------------------------------------------------------ *)
+(* exploit_slack                                                       *)
+
+let test_exploit_preserves_lambda () =
+  let g = fig1 () in
+  let o = Optimize.exploit_slack g in
+  Helpers.check_float ~tol:1e-6 "lambda preserved at fraction 1" 10. o.Optimize.lambda;
+  Alcotest.(check bool) "padding happened" true (o.Optimize.spent > 0.)
+
+let test_exploit_fig1_amounts () =
+  (* fig1's b-side four-arc cycle C4 has joint slack 4 (length 6 vs 10):
+     total padding must equal the per-cycle budget, not 4 * per-arc 2 *)
+  let o = Optimize.exploit_slack (fig1 ()) in
+  Helpers.check_float ~tol:1e-6 "spent = joint slack" 4. o.Optimize.spent;
+  (* afterwards everything is critical: all slacks (numerically) zero *)
+  let report = Slack.analyze o.Optimize.graph in
+  Array.iter
+    (fun s ->
+      if s.Slack.slack < infinity then
+        Alcotest.(check bool) "all critical" true (s.Slack.slack < 1e-6))
+    report.Slack.arc_slacks
+
+let test_exploit_partial_fraction () =
+  let g = fig1 () in
+  let o = Optimize.exploit_slack ~fraction:0.5 g in
+  Helpers.check_float ~tol:1e-6 "lambda preserved at fraction 0.5" 10. o.Optimize.lambda;
+  Helpers.check_float ~tol:1e-6 "half the padding" 2. o.Optimize.spent
+
+let test_exploit_zero_fraction () =
+  let g = fig1 () in
+  let o = Optimize.exploit_slack ~fraction:0. g in
+  Helpers.check_float "nothing spent" 0. o.Optimize.spent;
+  Helpers.same_graph "graph unchanged" g o.Optimize.graph
+
+let test_exploit_validation () =
+  let raises f = try ignore (f ()); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "fraction above 1" true
+    (raises (fun () -> Optimize.exploit_slack ~fraction:1.5 (fig1 ())))
+
+(* the naive alternative — pad every arc by its own slack — would break
+   exactly where exploit_slack stays safe *)
+let test_naive_simultaneous_padding_overshoots () =
+  let g = fig1 () in
+  let report = Slack.analyze g in
+  let naive =
+    Transform.map_delays g ~f:(fun i a ->
+        let s = report.Slack.arc_slacks.(i).Slack.slack in
+        if s < infinity then a.Signal_graph.delay +. s else a.Signal_graph.delay)
+  in
+  Alcotest.(check bool) "naive padding raises lambda" true
+    (Cycle_time.cycle_time naive > 10. +. 1e-6)
+
+let prop_exploit_slack_sound =
+  Helpers.qcheck_case ~count:50 ~name:"exploit_slack preserves lambda on random graphs"
+    (fun g ->
+      let lambda = Cycle_time.cycle_time g in
+      let o = Optimize.exploit_slack g in
+      Helpers.float_close ~tol:1e-6 lambda o.Optimize.lambda
+      && o.Optimize.spent >= -1e-9)
+
+let prop_speed_up_improves =
+  Helpers.qcheck_case ~count:40 ~name:"speed_up never worsens lambda" (fun g ->
+      let lambda = Cycle_time.cycle_time g in
+      let o = Optimize.speed_up ~budget:2. g in
+      o.Optimize.lambda <= lambda +. 1e-9)
+
+let prop_structured_exploit_slack =
+  Helpers.qcheck_structured_case ~count:40
+    ~name:"exploit_slack preserves lambda on structured families" (fun g ->
+      let lambda = Cycle_time.cycle_time g in
+      let o = Optimize.exploit_slack g in
+      Helpers.float_close ~tol:1e-6 lambda o.Optimize.lambda)
+
+let suite =
+  [
+    Alcotest.test_case "speed_up reproduces the example run" `Quick
+      test_speed_up_matches_example;
+    Alcotest.test_case "speed_up is monotone" `Quick test_speed_up_monotone;
+    Alcotest.test_case "speed_up respects the floor" `Quick test_speed_up_respects_floor;
+    Alcotest.test_case "zero budget" `Quick test_speed_up_zero_budget;
+    Alcotest.test_case "speed_up validation" `Quick test_speed_up_validation;
+    Alcotest.test_case "exploit_slack preserves lambda" `Quick test_exploit_preserves_lambda;
+    Alcotest.test_case "exploit_slack pays the joint budget" `Quick
+      test_exploit_fig1_amounts;
+    Alcotest.test_case "partial fraction" `Quick test_exploit_partial_fraction;
+    Alcotest.test_case "zero fraction" `Quick test_exploit_zero_fraction;
+    Alcotest.test_case "exploit_slack validation" `Quick test_exploit_validation;
+    Alcotest.test_case "naive simultaneous padding overshoots" `Quick
+      test_naive_simultaneous_padding_overshoots;
+    prop_exploit_slack_sound;
+    prop_structured_exploit_slack;
+    prop_speed_up_improves;
+  ]

@@ -1,0 +1,97 @@
+open Tsg
+
+(* the parallel path must be an exact drop-in for the sequential one *)
+
+let same_report msg g jobs =
+  let seq = Cycle_time.analyze g in
+  let par = Cycle_time.analyze ~jobs g in
+  Helpers.check_float (msg ^ ": lambda") seq.Cycle_time.cycle_time par.Cycle_time.cycle_time;
+  Alcotest.(check int) (msg ^ ": critical event") seq.Cycle_time.critical_event
+    par.Cycle_time.critical_event;
+  Alcotest.(check int) (msg ^ ": critical period") seq.Cycle_time.critical_period
+    par.Cycle_time.critical_period;
+  Alcotest.(check (list int)) (msg ^ ": critical walk") seq.Cycle_time.critical_walk
+    par.Cycle_time.critical_walk;
+  Alcotest.(check int) (msg ^ ": trace count")
+    (List.length seq.Cycle_time.traces)
+    (List.length par.Cycle_time.traces);
+  List.iter2
+    (fun (t1 : Cycle_time.border_trace) t2 ->
+      Alcotest.(check int) (msg ^ ": trace event") t1.Cycle_time.border_event
+        t2.Cycle_time.border_event;
+      List.iter2
+        (fun (s1 : Cycle_time.sample) s2 ->
+          Helpers.check_float (msg ^ ": sample time") s1.Cycle_time.time s2.Cycle_time.time)
+        t1.Cycle_time.samples t2.Cycle_time.samples)
+    seq.Cycle_time.traces par.Cycle_time.traces
+
+let test_fig1_parallel () = same_report "fig1" (Tsg_circuit.Circuit_library.fig1_tsg ()) 4
+
+let test_ring_parallel () =
+  same_report "ring5" (Tsg_circuit.Circuit_library.muller_ring_tsg ~stages:5 ()) 3
+
+let test_stack_parallel () =
+  same_report "stack66" (Tsg_circuit.Circuit_library.async_stack_tsg ()) 8
+
+let test_more_jobs_than_border_events () =
+  (* jobs is clamped to the work available *)
+  same_report "tiny" (Tsg_circuit.Generators.ring_tsg ~events:4 ~tokens:1 ()) 16
+
+let test_speedup_smoke () =
+  (* not a performance assertion (CI machines vary), just that the
+     parallel path completes on a graph big enough to exercise it *)
+  let g = Tsg_circuit.Circuit_library.muller_ring_tsg ~stages:48 () in
+  let l1 = Cycle_time.cycle_time g in
+  let l4 = Cycle_time.cycle_time ~jobs:4 g in
+  Helpers.check_float "same lambda on 48-stage ring" l1 l4
+
+let test_parallel_map_basic () =
+  let xs = Array.init 100 Fun.id in
+  Alcotest.(check (array int)) "order preserved"
+    (Array.map (fun x -> x * x) xs)
+    (Parallel.map ~jobs:4 (fun x -> x * x) xs);
+  Alcotest.(check (array int)) "jobs=1 inline" (Array.map succ xs)
+    (Parallel.map ~jobs:1 succ xs);
+  Alcotest.(check (array int)) "empty input" [||] (Parallel.map ~jobs:4 succ [||])
+
+let test_parallel_map_exceptions () =
+  let raised =
+    try
+      ignore
+        (Parallel.map ~jobs:4
+           (fun x -> if x = 17 then invalid_arg "boom" else x)
+           (Array.init 64 Fun.id));
+      false
+    with Invalid_argument msg -> msg = "boom"
+  in
+  Alcotest.(check bool) "worker exception reraised" true raised
+
+let test_monte_carlo_parallel_deterministic () =
+  let g = Tsg_circuit.Circuit_library.fig1_tsg () in
+  let sampler = Monte_carlo.uniform_jitter g ~percent:15. in
+  let s1 = Monte_carlo.estimate ~seed:3 ~runs:12 ~periods:30 ~jobs:1 g ~sampler in
+  let s4 = Monte_carlo.estimate ~seed:3 ~runs:12 ~periods:30 ~jobs:4 g ~sampler in
+  Helpers.check_float "same mean across job counts" s1.Monte_carlo.mean s4.Monte_carlo.mean;
+  Helpers.check_float "same std across job counts" s1.Monte_carlo.std s4.Monte_carlo.std
+
+let prop_parallel_equals_sequential =
+  Helpers.qcheck_case ~count:40 ~name:"parallel analysis equals sequential" (fun g ->
+      let seq = Cycle_time.analyze g in
+      let par = Cycle_time.analyze ~jobs:4 g in
+      Helpers.float_close seq.Cycle_time.cycle_time par.Cycle_time.cycle_time
+      && seq.Cycle_time.critical_walk = par.Cycle_time.critical_walk)
+
+let suite =
+  [
+    Alcotest.test_case "fig1" `Quick test_fig1_parallel;
+    Alcotest.test_case "Muller ring" `Quick test_ring_parallel;
+    Alcotest.test_case "stack66" `Quick test_stack_parallel;
+    Alcotest.test_case "more jobs than border events" `Quick
+      test_more_jobs_than_border_events;
+    Alcotest.test_case "48-stage ring smoke" `Quick test_speedup_smoke;
+    Alcotest.test_case "Parallel.map basics" `Quick test_parallel_map_basic;
+    Alcotest.test_case "Parallel.map exceptions" `Quick test_parallel_map_exceptions;
+    Alcotest.test_case "parallel Monte Carlo is deterministic" `Quick
+      test_monte_carlo_parallel_deterministic;
+    prop_parallel_equals_sequential;
+  ]

@@ -1,0 +1,118 @@
+open Tsg
+
+let fig1 () = Tsg_circuit.Circuit_library.fig1_tsg ()
+
+let arc_id_between g u v =
+  let uid = Signal_graph.id g (Event.of_string_exn u) in
+  List.find
+    (fun aid ->
+      Event.to_string (Signal_graph.event g (Signal_graph.arc g aid).Signal_graph.arc_dst) = v)
+    (Signal_graph.out_arc_ids g uid)
+
+(* varying the critical arc a+ -> c+ (nominal 3):
+   lambda(x) = max(8, 7 + x): flat until x = 1, then slope 1 *)
+let test_critical_arc_function () =
+  let g = fig1 () in
+  let p = Parametric.analyze g ~arc:(arc_id_between g "a+" "c+") in
+  Helpers.check_float "at nominal" 10. (Parametric.eval p 3.);
+  Helpers.check_float "at zero" 8. (Parametric.eval p 0.);
+  Helpers.check_float "at the breakpoint" 8. (Parametric.eval p 1.);
+  Helpers.check_float "beyond" 15. (Parametric.eval p 8.);
+  Alcotest.(check (list (float 1e-6))) "single breakpoint at 1" [ 1. ]
+    (Parametric.breakpoints p);
+  Helpers.check_float "flat before" 0. (Parametric.slope_after p 0.5);
+  Helpers.check_float "slope 1 after" 1. (Parametric.slope_after p 2.)
+
+(* varying a non-critical arc c+ -> b- (nominal 1, slack 2):
+   lambda(x) = max(10, 7 + x): breakpoint at nominal + slack = 3 *)
+let test_noncritical_arc_breakpoint_is_slack () =
+  let g = fig1 () in
+  let aid = arc_id_between g "c+" "b-" in
+  let p = Parametric.analyze g ~arc:aid in
+  Helpers.check_float "at nominal" 10. (Parametric.eval p 1.);
+  Alcotest.(check (list (float 1e-6))) "breakpoint at nominal + slack" [ 3. ]
+    (Parametric.breakpoints p);
+  let slack = (Slack.analyze g).Slack.arc_slacks.(aid).Slack.slack in
+  Helpers.check_float "breakpoint = nominal + slack" (1. +. slack)
+    (List.hd (Parametric.breakpoints p))
+
+let test_marked_arc () =
+  (* the marked arc c- -> a+ (nominal 2): cycles through it all have
+     eps = 1 here, and C1/C3 give max(8, 8 + x)... C1 constant is
+     3 + 2 + 3 = 8, C3 constant 2 + 2 + 3 = 7: lambda(x) = 8 + x
+     for x >= 0 (C1 always binds) *)
+  let g = fig1 () in
+  let p = Parametric.analyze g ~arc:(arc_id_between g "c-" "a+") in
+  Helpers.check_float "at nominal" 10. (Parametric.eval p 2.);
+  Helpers.check_float "at zero" 8. (Parametric.eval p 0.);
+  Helpers.check_float "slope 1 everywhere" 1. (Parametric.slope_after p 0.)
+
+let test_multi_token_slopes () =
+  (* a two-token ring: the only cycle has eps = 2, so the function is
+     (const + x) / 2 — slope 1/2 *)
+  let g = Tsg_circuit.Generators.ring_tsg ~events:4 ~tokens:2 () in
+  let p = Parametric.analyze g ~arc:0 in
+  Helpers.check_float "at nominal" 2. (Parametric.eval p 1.);
+  Helpers.check_float "slope 1/2" 0.5 (Parametric.slope_after p 1.);
+  Helpers.check_float "doubling the arc" 2.5 (Parametric.eval p 2.)
+
+let test_validation () =
+  let g = fig1 () in
+  let raises f = try ignore (f ()); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "bad arc id" true
+    (raises (fun () -> Parametric.analyze g ~arc:999));
+  Alcotest.(check bool) "initial-part arc rejected" true
+    (raises (fun () -> Parametric.analyze g ~arc:(arc_id_between g "e-" "f-")));
+  let p = Parametric.analyze g ~arc:(arc_id_between g "a+" "c+") in
+  Alcotest.(check bool) "negative x rejected" true (raises (fun () -> Parametric.eval p (-1.)))
+
+let prop_matches_pointwise_reanalysis =
+  Helpers.qcheck_case ~count:40 ~name:"parametric function = pointwise re-analysis"
+    (fun g ->
+      (* sample a repetitive arc *)
+      let candidate =
+        let arcs = Signal_graph.arcs g in
+        let rec find i =
+          if i >= Array.length arcs then None
+          else if
+            Signal_graph.is_repetitive g arcs.(i).Signal_graph.arc_src
+            && Signal_graph.is_repetitive g arcs.(i).Signal_graph.arc_dst
+          then Some i
+          else find (i + 1)
+        in
+        find 0
+      in
+      match candidate with
+      | None -> true
+      | Some arc ->
+        let p = Parametric.analyze g ~arc in
+        List.for_all
+          (fun x ->
+            let direct =
+              Cycle_time.cycle_time (Transform.set_delay g ~arc ~delay:x)
+            in
+            Helpers.float_close ~tol:1e-6 direct (Parametric.eval p x))
+          [ 0.; 0.7; 1.; 2.5; 5.; 11.; 40. ])
+
+let prop_convex_envelope =
+  Helpers.qcheck_case ~count:40 ~name:"the envelope is convex and non-decreasing" (fun g ->
+      let p = Parametric.analyze g ~arc:0 in
+      let pieces = Parametric.pieces p in
+      let slopes = List.map (fun (_, _, s) -> s) pieces in
+      let rec increasing = function
+        | a :: (b :: _ as rest) -> a < b +. 1e-12 && increasing rest
+        | _ -> true
+      in
+      increasing slopes && List.for_all (fun s -> s >= 0.) slopes)
+
+let suite =
+  [
+    Alcotest.test_case "critical arc" `Quick test_critical_arc_function;
+    Alcotest.test_case "breakpoint = nominal + slack" `Quick
+      test_noncritical_arc_breakpoint_is_slack;
+    Alcotest.test_case "marked arc" `Quick test_marked_arc;
+    Alcotest.test_case "multi-token slopes" `Quick test_multi_token_slopes;
+    Alcotest.test_case "validation" `Quick test_validation;
+    prop_matches_pointwise_reanalysis;
+    prop_convex_envelope;
+  ]

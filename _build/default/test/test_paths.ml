@@ -1,0 +1,92 @@
+open Tsg_graph
+
+let diamond () =
+  Digraph.of_arcs ~n:4 [ (0, 1, 1.); (0, 2, 5.); (1, 3, 1.); (2, 3, 1.) ]
+
+let test_dag_longest () =
+  let g = diamond () in
+  let dist, pred = Paths.dag_longest g ~weight:Fun.id ~sources:[ 0 ] in
+  Alcotest.(check (float 1e-9)) "source" 0. dist.(0);
+  Alcotest.(check (float 1e-9)) "via heavy branch" 6. dist.(3);
+  Alcotest.(check int) "argmax predecessor" 2 pred.(3);
+  Alcotest.(check (list int)) "path reconstruction" [ 0; 2; 3 ]
+    (Paths.walk_from_pred ~pred 3)
+
+let test_dag_longest_unreachable () =
+  let g = Digraph.of_arcs ~n:3 [ (0, 1, 2.) ] in
+  let dist, pred = Paths.dag_longest g ~weight:Fun.id ~sources:[ 0 ] in
+  Alcotest.(check bool) "unreachable is -inf" true (dist.(2) = neg_infinity);
+  Alcotest.(check int) "no predecessor" (-1) pred.(2)
+
+let test_dag_longest_multi_source () =
+  let g = Digraph.of_arcs ~n:3 [ (0, 2, 1.); (1, 2, 10.) ] in
+  let dist, _ = Paths.dag_longest g ~weight:Fun.id ~sources:[ 0; 1 ] in
+  Alcotest.(check (float 1e-9)) "best source wins" 10. dist.(2)
+
+let test_dag_longest_ignores_source_in_arcs () =
+  (* event-initiated semantics: arcs into a source are neglected *)
+  let g = Digraph.of_arcs ~n:3 [ (0, 1, 5.); (1, 2, 1.) ] in
+  let dist, _ = Paths.dag_longest g ~weight:Fun.id ~sources:[ 1 ] in
+  Alcotest.(check (float 1e-9)) "source pinned to zero" 0. dist.(1);
+  Alcotest.(check (float 1e-9)) "downstream measured from source" 1. dist.(2)
+
+let test_dag_longest_rejects_cycles () =
+  let g = Digraph.of_arcs ~n:2 [ (0, 1, 1.); (1, 0, 1.) ] in
+  Alcotest.check_raises "cycle rejected"
+    (Invalid_argument "Paths.dag_longest: graph has a cycle") (fun () ->
+      ignore (Paths.dag_longest g ~weight:Fun.id ~sources:[ 0 ]))
+
+let test_bellman_no_positive_cycle () =
+  (* cycle of total weight 0 is fine *)
+  let g = Digraph.of_arcs ~n:2 [ (0, 1, 2.); (1, 0, -2.) ] in
+  match Paths.bellman_ford_longest g ~weight:Fun.id ~sources:[ 0 ] with
+  | Paths.No_positive_cycle dist ->
+    Alcotest.(check (float 1e-9)) "longest to 1" 2. dist.(1)
+  | Paths.Positive_cycle _ -> Alcotest.fail "zero-weight cycle misreported"
+
+let test_bellman_positive_cycle () =
+  let g = Digraph.of_arcs ~n:3 [ (0, 1, 1.); (1, 2, 1.); (2, 1, 0.5) ] in
+  match Paths.bellman_ford_longest g ~weight:Fun.id ~sources:[ 0 ] with
+  | Paths.No_positive_cycle _ -> Alcotest.fail "positive cycle missed"
+  | Paths.Positive_cycle witness -> (
+    (* witness must be a closed walk with positive weight *)
+    match witness with
+    | first :: _ ->
+      Alcotest.(check int) "closed" first (List.nth witness (List.length witness - 1));
+      let weight =
+        let rec total = function
+          | a :: (b :: _ as rest) ->
+            let w =
+              match Digraph.find_arc g ~src:a ~dst:b with
+              | Some w -> w
+              | None -> Alcotest.failf "witness uses missing arc %d->%d" a b
+            in
+            w +. total rest
+          | _ -> 0.
+        in
+        total witness
+      in
+      Alcotest.(check bool) "strictly positive" true (weight > 0.)
+    | [] -> Alcotest.fail "empty witness")
+
+let test_bellman_unreachable_cycle_ignored () =
+  (* the positive cycle is not reachable from the source *)
+  let g = Digraph.of_arcs ~n:4 [ (0, 1, 1.); (2, 3, 1.); (3, 2, 1.) ] in
+  match Paths.bellman_ford_longest g ~weight:Fun.id ~sources:[ 0 ] with
+  | Paths.No_positive_cycle _ -> ()
+  | Paths.Positive_cycle _ -> Alcotest.fail "unreachable cycle reported"
+
+let suite =
+  [
+    Alcotest.test_case "dag longest paths" `Quick test_dag_longest;
+    Alcotest.test_case "unreachable vertices" `Quick test_dag_longest_unreachable;
+    Alcotest.test_case "multiple sources" `Quick test_dag_longest_multi_source;
+    Alcotest.test_case "sources ignore their in-arcs" `Quick
+      test_dag_longest_ignores_source_in_arcs;
+    Alcotest.test_case "cycles rejected" `Quick test_dag_longest_rejects_cycles;
+    Alcotest.test_case "bellman-ford: no positive cycle" `Quick test_bellman_no_positive_cycle;
+    Alcotest.test_case "bellman-ford: positive cycle witness" `Quick
+      test_bellman_positive_cycle;
+    Alcotest.test_case "bellman-ford: unreachable cycles ignored" `Quick
+      test_bellman_unreachable_cycle_ignored;
+  ]

@@ -1,0 +1,103 @@
+open Tsg
+
+(* a small project network:
+   start -> dig(3) -> pour(2) -> build(5) -> done
+   start -> order(1) -> deliver(6) -> build
+   floats: the order/deliver branch finishes at 7 vs dig/pour at 5:
+   dig and pour have float 2, order/deliver are critical *)
+let project () =
+  let e name = Event.rise name in
+  let b = Signal_graph.builder () in
+  Signal_graph.add_event b (e "start") Signal_graph.Initial;
+  List.iter
+    (fun n -> Signal_graph.add_event b (e n) Signal_graph.Non_repetitive)
+    [ "dig"; "pour"; "order"; "deliver"; "build" ];
+  Signal_graph.add_arc b ~delay:3. (e "start") (e "dig");
+  Signal_graph.add_arc b ~delay:2. (e "dig") (e "pour");
+  Signal_graph.add_arc b ~delay:1. (e "start") (e "order");
+  Signal_graph.add_arc b ~delay:6. (e "order") (e "deliver");
+  Signal_graph.add_arc b ~delay:5. (e "pour") (e "build");
+  Signal_graph.add_arc b ~delay:5. (e "deliver") (e "build");
+  Signal_graph.build_exn b
+
+let test_makespan_and_times () =
+  let g = project () in
+  let r = Pert.analyze g in
+  Helpers.check_float "makespan" 12. r.Pert.makespan;
+  let t name = r.Pert.finish_times.(Signal_graph.id g (Event.rise name)) in
+  Helpers.check_float "start" 0. (t "start");
+  Helpers.check_float "dig" 3. (t "dig");
+  Helpers.check_float "pour" 5. (t "pour");
+  Helpers.check_float "order" 1. (t "order");
+  Helpers.check_float "deliver" 7. (t "deliver");
+  Helpers.check_float "build" 12. (t "build")
+
+let test_critical_path () =
+  let g = project () in
+  let r = Pert.analyze g in
+  Alcotest.(check (list string)) "through the delivery branch"
+    [ "start+"; "order+"; "deliver+"; "build+" ]
+    (Helpers.event_names g r.Pert.critical_path)
+
+let test_arc_floats () =
+  let g = project () in
+  let r = Pert.analyze g in
+  let float_of u v =
+    let uid = Signal_graph.id g (Event.rise u) in
+    let aid =
+      List.find
+        (fun aid ->
+          Event.to_string (Signal_graph.event g (Signal_graph.arc g aid).Signal_graph.arc_dst)
+          = v ^ "+")
+        (Signal_graph.out_arc_ids g uid)
+    in
+    r.Pert.arc_floats.(aid)
+  in
+  Helpers.check_float "critical arcs have zero float" 0. (float_of "order" "deliver");
+  Helpers.check_float "deliver-build critical" 0. (float_of "deliver" "build");
+  (* the dig branch joins at build: finishes at 5, may slip to 7 *)
+  Helpers.check_float "pour-build float" 2. (float_of "pour" "build");
+  (* early arcs inherit downstream float *)
+  Helpers.check_float "start-dig float" 2. (float_of "start" "dig")
+
+let test_float_boundary_by_perturbation () =
+  let g = project () in
+  let r = Pert.analyze g in
+  Array.iteri
+    (fun aid f ->
+      if f < infinity && f > 0. then begin
+        let at = Pert.analyze (Transform.add_delay g ~arc:aid f) in
+        Helpers.check_float "at boundary" r.Pert.makespan at.Pert.makespan;
+        let beyond = Pert.analyze (Transform.add_delay g ~arc:aid (f +. 1.)) in
+        Alcotest.(check bool) "beyond boundary" true
+          (beyond.Pert.makespan > r.Pert.makespan +. 0.5)
+      end)
+    r.Pert.arc_floats
+
+let test_rejects_cyclic_graphs () =
+  Alcotest.check_raises "repetitive rejected"
+    (Invalid_argument "Pert.analyze: the graph has repetitive events (use Cycle_time)")
+    (fun () -> ignore (Pert.analyze (Tsg_circuit.Circuit_library.fig1_tsg ())))
+
+let test_initial_part_of_fig1 () =
+  (* the acyclic prefix of fig1: e- drives f- *)
+  let b = Signal_graph.builder () in
+  Signal_graph.add_event b (Event.fall "e") Signal_graph.Initial;
+  Signal_graph.add_event b (Event.fall "f") Signal_graph.Non_repetitive;
+  Signal_graph.add_arc b ~delay:3. (Event.fall "e") (Event.fall "f");
+  let g = Signal_graph.build_exn b in
+  let r = Pert.analyze g in
+  Helpers.check_float "makespan 3" 3. r.Pert.makespan;
+  Alcotest.(check (list string)) "path" [ "e-"; "f-" ]
+    (Helpers.event_names g r.Pert.critical_path)
+
+let suite =
+  [
+    Alcotest.test_case "makespan and finish times" `Quick test_makespan_and_times;
+    Alcotest.test_case "critical path" `Quick test_critical_path;
+    Alcotest.test_case "arc floats" `Quick test_arc_floats;
+    Alcotest.test_case "float boundaries by perturbation" `Quick
+      test_float_boundary_by_perturbation;
+    Alcotest.test_case "cyclic graphs rejected" `Quick test_rejects_cyclic_graphs;
+    Alcotest.test_case "acyclic prefix of fig1" `Quick test_initial_part_of_fig1;
+  ]

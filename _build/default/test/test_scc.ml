@@ -1,0 +1,77 @@
+open Tsg_graph
+
+let two_cycles () =
+  (* {0,1,2} and {3,4} strongly connected, arc between them *)
+  Digraph.of_arcs ~n:5
+    [ (0, 1, ()); (1, 2, ()); (2, 0, ()); (2, 3, ()); (3, 4, ()); (4, 3, ()) ]
+
+let test_components () =
+  let g = two_cycles () in
+  Alcotest.(check (list (list int))) "two components (reverse topological ids)"
+    [ [ 3; 4 ]; [ 0; 1; 2 ] ]
+    (Scc.components g)
+
+let test_component_ids_topological () =
+  let g = two_cycles () in
+  let comp, count = Scc.component_ids g in
+  Alcotest.(check int) "two components" 2 count;
+  (* arc 2 -> 3 crosses components: source id must be greater *)
+  Alcotest.(check bool) "reverse topological" true (comp.(2) > comp.(3))
+
+let test_singletons () =
+  let g = Digraph.of_arcs ~n:3 [ (0, 1, ()); (1, 2, ()) ] in
+  let _, count = Scc.component_ids g in
+  Alcotest.(check int) "three singleton components" 3 count
+
+let test_strongly_connected () =
+  let ring = Digraph.of_arcs ~n:3 [ (0, 1, ()); (1, 2, ()); (2, 0, ()) ] in
+  Alcotest.(check bool) "ring" true (Scc.is_strongly_connected ring);
+  let chain = Digraph.of_arcs ~n:2 [ (0, 1, ()) ] in
+  Alcotest.(check bool) "chain" false (Scc.is_strongly_connected chain);
+  let empty = Digraph.create () in
+  Alcotest.(check bool) "empty graph" false (Scc.is_strongly_connected empty);
+  let single = Digraph.of_arcs ~n:1 [] in
+  Alcotest.(check bool) "isolated vertex" true (Scc.is_strongly_connected single)
+
+let test_condensation () =
+  let g = two_cycles () in
+  let dag, comp = Scc.condensation g in
+  Alcotest.(check int) "two condensation vertices" 2 (Digraph.vertex_count dag);
+  Alcotest.(check int) "one inter-component arc" 1 (Digraph.arc_count dag);
+  Alcotest.(check bool) "arc direction" true
+    (Digraph.mem_arc dag ~src:comp.(0) ~dst:comp.(3));
+  Alcotest.(check bool) "condensation acyclic" true (Topo.is_dag dag)
+
+let test_condensation_collapses_duplicates () =
+  let g =
+    Digraph.of_arcs ~n:4
+      [ (0, 1, ()); (1, 0, ()); (2, 3, ()); (3, 2, ()); (0, 2, ()); (1, 3, ()) ]
+  in
+  let dag, _ = Scc.condensation g in
+  Alcotest.(check int) "parallel inter-component arcs collapsed" 1 (Digraph.arc_count dag)
+
+let test_self_loop () =
+  let g = Digraph.of_arcs ~n:2 [ (0, 0, ()); (0, 1, ()) ] in
+  let _, count = Scc.component_ids g in
+  Alcotest.(check int) "self loop is its own SCC" 2 count
+
+let test_deep_cycle () =
+  let n = 100_000 in
+  let arcs = List.init n (fun i -> (i, (i + 1) mod n, ())) in
+  let g = Digraph.of_arcs ~n arcs in
+  Alcotest.(check bool) "large ring strongly connected (no stack overflow)" true
+    (Scc.is_strongly_connected g)
+
+let suite =
+  [
+    Alcotest.test_case "components" `Quick test_components;
+    Alcotest.test_case "component ids are reverse topological" `Quick
+      test_component_ids_topological;
+    Alcotest.test_case "singleton components" `Quick test_singletons;
+    Alcotest.test_case "is_strongly_connected" `Quick test_strongly_connected;
+    Alcotest.test_case "condensation" `Quick test_condensation;
+    Alcotest.test_case "condensation collapses duplicate arcs" `Quick
+      test_condensation_collapses_duplicates;
+    Alcotest.test_case "self loop" `Quick test_self_loop;
+    Alcotest.test_case "deep cycle (no stack overflow)" `Slow test_deep_cycle;
+  ]

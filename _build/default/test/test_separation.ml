@@ -1,0 +1,103 @@
+open Tsg
+
+let analyze_exn g =
+  match Separation.analyze g with
+  | Some t -> t
+  | None -> Alcotest.fail "no steady pattern found"
+
+let test_fig1_skews () =
+  let g = Tsg_circuit.Circuit_library.fig1_tsg () in
+  let t = analyze_exn g in
+  Helpers.check_float "lambda" 10. (Separation.lambda t);
+  Alcotest.(check int) "pattern period 1" 1 (Separation.pattern_period t);
+  let id name = Signal_graph.id g (Event.of_string_exn name) in
+  (* in steady state (t(a+) = 13, 23, ...; t(b+) = 12, 22, ...) *)
+  Alcotest.(check (list (float 1e-9))) "a+ to b+ skew" [ -1. ]
+    (Separation.steady_skew t ~from_:(id "a+") ~to_:(id "b+"));
+  Alcotest.(check (list (float 1e-9))) "a+ to c+ skew" [ 3. ]
+    (Separation.steady_skew t ~from_:(id "a+") ~to_:(id "c+"));
+  Alcotest.(check (list (float 1e-9))) "c+ to c- skew" [ 5. ]
+    (Separation.steady_skew t ~from_:(id "c+") ~to_:(id "c-"));
+  (* self-skew is zero *)
+  Alcotest.(check (list (float 1e-9))) "self" [ 0. ]
+    (Separation.steady_skew t ~from_:(id "a+") ~to_:(id "a+"))
+
+let test_fig1_extremes () =
+  let g = Tsg_circuit.Circuit_library.fig1_tsg () in
+  let t = analyze_exn g in
+  let id name = Signal_graph.id g (Event.of_string_exn name) in
+  (* transient included: t(a+_0) = 2, t(b+_0) = 4 gives +2 at i = 0,
+     then -1 forever *)
+  let lo, hi = Separation.extremes t ~from_:(id "a+") ~to_:(id "b+") in
+  Helpers.check_float "min separation" (-1.) lo;
+  Helpers.check_float "max separation (transient)" 2. hi
+
+let test_ring_pattern_skews () =
+  let g = Tsg_circuit.Circuit_library.muller_ring_tsg ~stages:5 () in
+  let t = analyze_exn g in
+  Alcotest.(check int) "pattern period 3" 3 (Separation.pattern_period t);
+  let id name = Signal_graph.id g (Event.of_string_exn name) in
+  let skews = Separation.steady_skew t ~from_:(id "a+") ~to_:(id "a-") in
+  Alcotest.(check int) "three values" 3 (List.length skews);
+  (* a's pulse width repeats with the pattern; widths are positive *)
+  List.iter (fun s -> Alcotest.(check bool) "a high time positive" true (s > 0.)) skews
+
+let test_phase () =
+  let g = Tsg_circuit.Circuit_library.fig1_tsg () in
+  let t = analyze_exn g in
+  let id name = Signal_graph.id g (Event.of_string_exn name) in
+  (* within a steady window starting at b+ (the earliest): b+ at 0,
+     a+ at 1, c+ at 4, b- at 5, a- at 6, c- at 9 *)
+  Alcotest.(check (list (float 1e-9))) "b+ is the reference" [ 0. ]
+    (Separation.phase t (id "b+"));
+  Alcotest.(check (list (float 1e-9))) "a+ phase" [ 1. ] (Separation.phase t (id "a+"));
+  Alcotest.(check (list (float 1e-9))) "c- phase" [ 9. ] (Separation.phase t (id "c-"))
+
+let test_non_repetitive_rejected () =
+  let g = Tsg_circuit.Circuit_library.fig1_tsg () in
+  let t = analyze_exn g in
+  let f = Signal_graph.id g (Event.of_string_exn "f-") in
+  let a = Signal_graph.id g (Event.of_string_exn "a+") in
+  let raised =
+    try
+      ignore (Separation.steady_skew t ~from_:f ~to_:a);
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "non-repetitive rejected" true raised
+
+let prop_skew_antisymmetric =
+  Helpers.qcheck_case ~count:40 ~name:"steady skews are antisymmetric" (fun g ->
+      match Separation.analyze g with
+      | None -> false
+      | Some t -> (
+        match Signal_graph.repetitive_events g with
+        | e :: f :: _ ->
+          let ab = Separation.steady_skew t ~from_:e ~to_:f in
+          let ba = Separation.steady_skew t ~from_:f ~to_:e in
+          List.for_all2 (fun x y -> Helpers.float_close x (-.y)) ab ba
+        | _ -> true))
+
+let prop_phase_consistent_with_skew =
+  Helpers.qcheck_case ~count:40 ~name:"phases differ by the steady skew" (fun g ->
+      match Separation.analyze g with
+      | None -> false
+      | Some t -> (
+        match Signal_graph.repetitive_events g with
+        | e :: f :: _ ->
+          let pe = Separation.phase t e and pf = Separation.phase t f in
+          let skew = Separation.steady_skew t ~from_:e ~to_:f in
+          List.for_all2 (fun d (x, y) -> Helpers.float_close ~tol:1e-6 d (y -. x))
+            skew (List.combine pe pf)
+        | _ -> true))
+
+let suite =
+  [
+    Alcotest.test_case "fig1 steady skews" `Quick test_fig1_skews;
+    Alcotest.test_case "fig1 extremes include the transient" `Quick test_fig1_extremes;
+    Alcotest.test_case "Muller ring pattern skews" `Quick test_ring_pattern_skews;
+    Alcotest.test_case "phases" `Quick test_phase;
+    Alcotest.test_case "non-repetitive events rejected" `Quick test_non_repetitive_rejected;
+    prop_skew_antisymmetric;
+    prop_phase_consistent_with_skew;
+  ]

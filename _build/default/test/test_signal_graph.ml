@@ -1,0 +1,190 @@
+open Tsg
+
+let fig1 () = Tsg_circuit.Circuit_library.fig1_tsg ()
+
+let simple_ring ?(marked_last = true) n =
+  let evs = List.init n (fun i -> Event.rise (Printf.sprintf "x%d" i)) in
+  let b = Signal_graph.builder () in
+  List.iter (fun e -> Signal_graph.add_event b e Signal_graph.Repetitive) evs;
+  List.iteri
+    (fun i e ->
+      let next = List.nth evs ((i + 1) mod n) in
+      Signal_graph.add_arc b ~marked:(marked_last && i = n - 1) ~delay:1. e next)
+    evs;
+  Signal_graph.build b
+
+let test_fig1_shape () =
+  let g = fig1 () in
+  Alcotest.(check int) "events" 8 (Signal_graph.event_count g);
+  Alcotest.(check int) "arcs" 11 (Signal_graph.arc_count g);
+  Alcotest.(check int) "repetitive" 6 (Signal_graph.repetitive_count g);
+  Alcotest.(check (list string)) "initial events" [ "e-" ]
+    (Helpers.event_names g (Signal_graph.initial_events g));
+  Alcotest.(check (list string)) "signals in first-appearance order"
+    [ "e"; "f"; "a"; "b"; "c" ] (Signal_graph.signals g)
+
+let test_id_lookup () =
+  let g = fig1 () in
+  let id = Signal_graph.id g (Event.of_string_exn "c+") in
+  Alcotest.check Helpers.event "id roundtrip" (Event.of_string_exn "c+")
+    (Signal_graph.event g id);
+  Alcotest.(check (option int)) "missing event" None
+    (Signal_graph.id_opt g (Event.rise "zz"))
+
+let test_arc_adjacency () =
+  let g = fig1 () in
+  let cplus = Signal_graph.id g (Event.of_string_exn "c+") in
+  let in_srcs =
+    List.map
+      (fun aid ->
+        Event.to_string (Signal_graph.event g (Signal_graph.arc g aid).Signal_graph.arc_src))
+      (Signal_graph.in_arc_ids g cplus)
+  in
+  Alcotest.(check (list string)) "c+ waits a+ and b+" [ "a+"; "b+" ] in_srcs;
+  let out_dsts =
+    List.map
+      (fun aid ->
+        Event.to_string (Signal_graph.event g (Signal_graph.arc g aid).Signal_graph.arc_dst))
+      (Signal_graph.out_arc_ids g cplus)
+  in
+  Alcotest.(check (list string)) "c+ triggers a- and b-" [ "a-"; "b-" ] out_dsts
+
+let test_auto_disengage () =
+  let g = fig1 () in
+  let arc_between u v =
+    let uid = Signal_graph.id g (Event.of_string_exn u) in
+    List.find_map
+      (fun aid ->
+        let a = Signal_graph.arc g aid in
+        if Event.to_string (Signal_graph.event g a.Signal_graph.arc_dst) = v then Some a
+        else None)
+      (Signal_graph.out_arc_ids g uid)
+  in
+  (match arc_between "e-" "a+" with
+  | Some a ->
+    Alcotest.(check bool) "non-rep to rep is disengageable" true a.Signal_graph.disengageable
+  | None -> Alcotest.fail "missing arc e- -> a+");
+  match arc_between "e-" "f-" with
+  | Some a ->
+    Alcotest.(check bool) "non-rep to non-rep stays plain" false a.Signal_graph.disengageable
+  | None -> Alcotest.fail "missing arc e- -> f-"
+
+let test_duplicate_event_rejected () =
+  let b = Signal_graph.builder () in
+  Signal_graph.add_event b (Event.rise "a") Signal_graph.Repetitive;
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Signal_graph.add_event: duplicate event a+") (fun () ->
+      Signal_graph.add_event b (Event.rise "a") Signal_graph.Repetitive)
+
+let test_undeclared_event_rejected () =
+  let b = Signal_graph.builder () in
+  Signal_graph.add_event b (Event.rise "a") Signal_graph.Repetitive;
+  Alcotest.check_raises "undeclared"
+    (Invalid_argument "Signal_graph.add_arc: undeclared event b+") (fun () ->
+      Signal_graph.add_arc b ~delay:1. (Event.rise "a") (Event.rise "b"))
+
+let expect_error pred = function
+  | Ok _ -> Alcotest.fail "validation should have failed"
+  | Error errs ->
+    Alcotest.(check bool)
+      (Fmt.str "expected error present in: %a"
+         Fmt.(list ~sep:(any "; ") Signal_graph.pp_error)
+         errs)
+      true (List.exists pred errs)
+
+let test_validation_negative_delay () =
+  let b = Signal_graph.builder () in
+  Signal_graph.add_event b (Event.rise "a") Signal_graph.Repetitive;
+  Signal_graph.add_arc b ~marked:true ~delay:(-1.) (Event.rise "a") (Event.rise "a");
+  expect_error
+    (function Signal_graph.Negative_delay _ -> true | _ -> false)
+    (Signal_graph.build b)
+
+let test_validation_unmarked_cycle () =
+  expect_error
+    (function Signal_graph.Unmarked_cycle _ -> true | _ -> false)
+    (simple_ring ~marked_last:false 3)
+
+let test_validation_not_strongly_connected () =
+  let b = Signal_graph.builder () in
+  Signal_graph.add_event b (Event.rise "a") Signal_graph.Repetitive;
+  Signal_graph.add_event b (Event.rise "b") Signal_graph.Repetitive;
+  Signal_graph.add_event b (Event.rise "c") Signal_graph.Repetitive;
+  Signal_graph.add_arc b ~marked:true ~delay:1. (Event.rise "a") (Event.rise "b");
+  Signal_graph.add_arc b ~marked:true ~delay:1. (Event.rise "b") (Event.rise "a");
+  Signal_graph.add_arc b ~marked:true ~delay:1. (Event.rise "b") (Event.rise "c");
+  Signal_graph.add_arc b ~marked:true ~delay:1. (Event.rise "c") (Event.rise "c");
+  (* c can never reach a *)
+  expect_error
+    (function Signal_graph.Repetitive_part_not_strongly_connected -> true | _ -> false)
+    (Signal_graph.build b)
+
+let test_validation_initial_with_in_arc () =
+  let b = Signal_graph.builder () in
+  Signal_graph.add_event b (Event.fall "e") Signal_graph.Initial;
+  Signal_graph.add_event b (Event.fall "f") Signal_graph.Non_repetitive;
+  Signal_graph.add_arc b ~delay:1. (Event.fall "f") (Event.fall "e");
+  expect_error
+    (function Signal_graph.Initial_event_with_in_arc _ -> true | _ -> false)
+    (Signal_graph.build b)
+
+let test_validation_rep_to_nonrep () =
+  let b = Signal_graph.builder () in
+  Signal_graph.add_event b (Event.rise "a") Signal_graph.Repetitive;
+  Signal_graph.add_event b (Event.fall "z") Signal_graph.Non_repetitive;
+  Signal_graph.add_arc b ~marked:true ~delay:1. (Event.rise "a") (Event.rise "a");
+  Signal_graph.add_arc b ~delay:1. (Event.rise "a") (Event.fall "z");
+  expect_error
+    (function Signal_graph.Repetitive_to_non_repetitive _ -> true | _ -> false)
+    (Signal_graph.build b)
+
+let test_validation_marked_disengageable () =
+  let b = Signal_graph.builder () in
+  Signal_graph.add_event b (Event.fall "e") Signal_graph.Initial;
+  Signal_graph.add_event b (Event.rise "a") Signal_graph.Repetitive;
+  Signal_graph.add_arc b ~marked:true ~delay:1. (Event.rise "a") (Event.rise "a");
+  Signal_graph.add_arc b ~marked:true ~delay:1. (Event.fall "e") (Event.rise "a");
+  (* e- -> a+ is auto-disengageable and marked: rejected *)
+  expect_error
+    (function Signal_graph.Marked_disengageable _ -> true | _ -> false)
+    (Signal_graph.build b)
+
+let test_single_event_self_loop () =
+  match simple_ring 1 with
+  | Ok g ->
+    Alcotest.(check int) "one event" 1 (Signal_graph.event_count g);
+    Alcotest.(check int) "one arc" 1 (Signal_graph.arc_count g)
+  | Error errs ->
+    Alcotest.failf "self-loop oscillator rejected: %a"
+      Fmt.(list ~sep:(any "; ") Signal_graph.pp_error)
+      errs
+
+let test_digraph_views () =
+  let g = fig1 () in
+  let dg = Signal_graph.to_digraph g in
+  Alcotest.(check int) "digraph arcs" 11 (Tsg_graph.Digraph.arc_count dg);
+  let rg = Signal_graph.repetitive_digraph g in
+  (* 11 arcs minus e- -> f-, e- -> a+, f- -> b+ *)
+  Alcotest.(check int) "repetitive arcs" 8 (Tsg_graph.Digraph.arc_count rg)
+
+let suite =
+  [
+    Alcotest.test_case "fig1 shape" `Quick test_fig1_shape;
+    Alcotest.test_case "id lookup" `Quick test_id_lookup;
+    Alcotest.test_case "arc adjacency" `Quick test_arc_adjacency;
+    Alcotest.test_case "non-rep to rep arcs auto-disengage" `Quick test_auto_disengage;
+    Alcotest.test_case "duplicate event rejected" `Quick test_duplicate_event_rejected;
+    Alcotest.test_case "undeclared event rejected" `Quick test_undeclared_event_rejected;
+    Alcotest.test_case "validation: negative delay" `Quick test_validation_negative_delay;
+    Alcotest.test_case "validation: token-free cycle" `Quick test_validation_unmarked_cycle;
+    Alcotest.test_case "validation: strong connectivity" `Quick
+      test_validation_not_strongly_connected;
+    Alcotest.test_case "validation: initial event with in-arc" `Quick
+      test_validation_initial_with_in_arc;
+    Alcotest.test_case "validation: repetitive feeds non-repetitive" `Quick
+      test_validation_rep_to_nonrep;
+    Alcotest.test_case "validation: marked disengageable arc" `Quick
+      test_validation_marked_disengageable;
+    Alcotest.test_case "single-event oscillator" `Quick test_single_event_self_loop;
+    Alcotest.test_case "digraph views" `Quick test_digraph_views;
+  ]

@@ -1,0 +1,84 @@
+open Tsg_graph
+
+let test_single_cycle () =
+  let g = Digraph.of_arcs ~n:3 [ (0, 1, ()); (1, 2, ()); (2, 0, ()) ] in
+  Alcotest.(check (list (list int))) "one cycle from smallest vertex" [ [ 0; 1; 2 ] ]
+    (Simple_cycles.enumerate g)
+
+let test_two_cycles_sharing_vertex () =
+  let g = Digraph.of_arcs ~n:3 [ (0, 1, ()); (1, 0, ()); (0, 2, ()); (2, 0, ()) ] in
+  Alcotest.(check (list (list int))) "two 2-cycles"
+    [ [ 0; 1 ]; [ 0; 2 ] ]
+    (List.sort compare (Simple_cycles.enumerate g))
+
+let test_self_loop () =
+  let g = Digraph.of_arcs ~n:2 [ (0, 0, ()); (0, 1, ()); (1, 0, ()) ] in
+  Alcotest.(check (list (list int))) "self loop counted"
+    [ [ 0 ]; [ 0; 1 ] ]
+    (List.sort compare (Simple_cycles.enumerate g))
+
+let test_acyclic () =
+  let g = Digraph.of_arcs ~n:3 [ (0, 1, ()); (1, 2, ()); (0, 2, ()) ] in
+  Alcotest.(check int) "no cycles" 0 (Simple_cycles.count g)
+
+let test_complete_graph_count () =
+  (* K4: number of simple cycles = sum_{k=2..4} C(4,k) (k-1)! / ... = 20 *)
+  let arcs = ref [] in
+  for i = 0 to 3 do
+    for j = 0 to 3 do
+      if i <> j then arcs := (i, j, ()) :: !arcs
+    done
+  done;
+  let g = Digraph.of_arcs ~n:4 !arcs in
+  Alcotest.(check int) "K4 has 20 simple cycles" 20 (Simple_cycles.count g)
+
+let test_limit () =
+  let arcs = ref [] in
+  for i = 0 to 4 do
+    for j = 0 to 4 do
+      if i <> j then arcs := (i, j, ()) :: !arcs
+    done
+  done;
+  let g = Digraph.of_arcs ~n:5 !arcs in
+  Alcotest.(check int) "budget respected" 7 (Simple_cycles.count ~limit:7 g)
+
+let test_cycles_are_valid () =
+  let g =
+    Digraph.of_arcs ~n:5
+      [ (0, 1, ()); (1, 2, ()); (2, 0, ()); (1, 3, ()); (3, 1, ()); (2, 4, ()); (4, 2, ()) ]
+  in
+  let cycles = Simple_cycles.enumerate g in
+  List.iter
+    (fun cycle ->
+      (* consecutive vertices joined by arcs, closing arc exists, no repeats *)
+      let rec check = function
+        | a :: (b :: _ as rest) ->
+          Alcotest.(check bool) "arc exists" true (Digraph.mem_arc g ~src:a ~dst:b);
+          check rest
+        | [ last ] ->
+          Alcotest.(check bool) "closes" true
+            (Digraph.mem_arc g ~src:last ~dst:(List.hd cycle))
+        | [] -> ()
+      in
+      check cycle;
+      Alcotest.(check int) "no repeated vertices" (List.length cycle)
+        (List.length (List.sort_uniq compare cycle)))
+    cycles;
+  Alcotest.(check int) "three cycles" 3 (List.length cycles)
+
+let test_starts_at_smallest () =
+  let g = Digraph.of_arcs ~n:4 [ (3, 2, ()); (2, 1, ()); (1, 3, ()) ] in
+  Alcotest.(check (list (list int))) "rotated to smallest" [ [ 1; 3; 2 ] ]
+    (Simple_cycles.enumerate g)
+
+let suite =
+  [
+    Alcotest.test_case "single cycle" `Quick test_single_cycle;
+    Alcotest.test_case "two cycles sharing a vertex" `Quick test_two_cycles_sharing_vertex;
+    Alcotest.test_case "self loop" `Quick test_self_loop;
+    Alcotest.test_case "acyclic graph" `Quick test_acyclic;
+    Alcotest.test_case "K4 cycle count" `Quick test_complete_graph_count;
+    Alcotest.test_case "limit caps enumeration" `Quick test_limit;
+    Alcotest.test_case "emitted cycles are valid and simple" `Quick test_cycles_are_valid;
+    Alcotest.test_case "cycles start at their smallest vertex" `Quick test_starts_at_smallest;
+  ]

@@ -1,0 +1,171 @@
+open Tsg
+
+let fig1 () = Tsg_circuit.Circuit_library.fig1_tsg ()
+
+let arc_id_between g u v =
+  let uid = Signal_graph.id g (Event.of_string_exn u) in
+  List.find
+    (fun aid ->
+      Event.to_string (Signal_graph.event g (Signal_graph.arc g aid).Signal_graph.arc_dst) = v)
+    (Signal_graph.out_arc_ids g uid)
+
+let test_fig1_slacks () =
+  let g = fig1 () in
+  let report = Slack.analyze g in
+  Helpers.check_float "lambda" 10. report.Slack.lambda;
+  let slack u v = report.Slack.arc_slacks.(arc_id_between g u v) in
+  (* the C1 arcs are critical *)
+  List.iter
+    (fun (u, v) ->
+      let s = slack u v in
+      Alcotest.(check bool) (u ^ "->" ^ v ^ " critical") true s.Slack.on_critical_cycle;
+      Helpers.check_float (u ^ "->" ^ v ^ " zero slack") 0. s.Slack.slack)
+    [ ("a+", "c+"); ("c+", "a-"); ("a-", "c-"); ("c-", "a+") ];
+  (* the b-side arcs tolerate +2 before C2/C3 reach length 10 *)
+  List.iter
+    (fun (u, v) ->
+      let s = slack u v in
+      Alcotest.(check bool) (u ^ "->" ^ v ^ " non-critical") false s.Slack.on_critical_cycle;
+      Helpers.check_float (u ^ "->" ^ v ^ " slack 2") 2. s.Slack.slack)
+    [ ("b+", "c+"); ("c+", "b-"); ("b-", "c-"); ("c-", "b+") ];
+  (* the initial part is outside every cycle *)
+  List.iter
+    (fun (u, v) ->
+      Alcotest.(check bool) (u ^ "->" ^ v ^ " infinite") true
+        ((slack u v).Slack.slack = infinity))
+    [ ("e-", "a+"); ("e-", "f-"); ("f-", "b+") ]
+
+let test_critical_arcs_cover_critical_cycle () =
+  let g = fig1 () in
+  let report = Slack.analyze g in
+  let critical = Slack.critical_arcs report in
+  Alcotest.(check int) "exactly the four C1 arcs" 4 (List.length critical);
+  let cycle_report = Cycle_time.analyze g in
+  List.iter
+    (fun c ->
+      List.iter
+        (fun aid ->
+          Alcotest.(check bool) "critical cycle arc has zero slack" true
+            (List.mem aid critical))
+        c.Cycles.arc_ids)
+    cycle_report.Cycle_time.critical_cycles
+
+let test_bottleneck_ranking () =
+  let g = fig1 () in
+  let ranking = Slack.bottleneck_ranking (Slack.analyze g) in
+  Alcotest.(check int) "repetitive arcs only" 8 (List.length ranking);
+  (* non-decreasing slacks *)
+  let rec monotone = function
+    | (_, s1) :: ((_, s2) :: _ as rest) -> s1 <= s2 && monotone rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "sorted" true (monotone ranking)
+
+let test_supplied_lambda () =
+  let g = fig1 () in
+  let r1 = Slack.analyze g in
+  let r2 = Slack.analyze ~lambda:10. g in
+  Alcotest.(check int) "same criticals"
+    (List.length (Slack.critical_arcs r1))
+    (List.length (Slack.critical_arcs r2));
+  (* a too-small lambda is detected as an inconsistency *)
+  let raised =
+    try
+      ignore (Slack.analyze ~lambda:5. g);
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "wrong lambda rejected" true raised
+
+let test_slack_boundary_by_perturbation () =
+  (* increasing an arc by its slack keeps lambda; going beyond raises it *)
+  let g = fig1 () in
+  let report = Slack.analyze g in
+  let aid = arc_id_between g "c+" "b-" in
+  let s = report.Slack.arc_slacks.(aid).Slack.slack in
+  Helpers.check_float "slack is 2" 2. s;
+  Helpers.check_float "at boundary" 10.
+    (Cycle_time.cycle_time (Transform.add_delay g ~arc:aid s));
+  Alcotest.(check bool) "beyond boundary" true
+    (Cycle_time.cycle_time (Transform.add_delay g ~arc:aid (s +. 1.)) > 10.)
+
+let prop_perturbation_consistency =
+  Helpers.qcheck_case ~count:40 ~name:"slack boundaries verified by perturbation" (fun g ->
+      let report = Slack.analyze g in
+      let lambda = report.Slack.lambda in
+      Array.for_all
+        (fun s ->
+          if s.Slack.slack = infinity || s.Slack.arc_id mod 3 <> 0 then true
+            (* sample every third arc to keep the test fast *)
+          else begin
+            let at_boundary =
+              Cycle_time.cycle_time (Transform.add_delay g ~arc:s.Slack.arc_id s.Slack.slack)
+            in
+            let beyond =
+              Cycle_time.cycle_time
+                (Transform.add_delay g ~arc:s.Slack.arc_id (s.Slack.slack +. 1.))
+            in
+            Helpers.float_close ~tol:1e-6 at_boundary lambda && beyond > lambda +. 1e-9
+          end)
+        report.Slack.arc_slacks)
+
+let test_all_critical_cycles_fig1 () =
+  let g = fig1 () in
+  match Slack.all_critical_cycles g with
+  | [ c ] ->
+    Helpers.check_float "C1 only" 10. c.Cycles.length;
+    Alcotest.(check int) "eps 1" 1 c.Cycles.occurrence_period
+  | other -> Alcotest.failf "expected one critical cycle, got %d" (List.length other)
+
+let test_all_critical_cycles_symmetric () =
+  (* two identical parallel rings sharing one event: both are critical *)
+  let e name = Event.rise name in
+  let b = Signal_graph.builder () in
+  List.iter
+    (fun n -> Signal_graph.add_event b (e n) Signal_graph.Repetitive)
+    [ "hub"; "x"; "y" ];
+  Signal_graph.add_arc b ~delay:1. (e "hub") (e "x");
+  Signal_graph.add_arc b ~delay:2. ~marked:true (e "x") (e "hub");
+  Signal_graph.add_arc b ~delay:1. (e "hub") (e "y");
+  Signal_graph.add_arc b ~delay:2. ~marked:true (e "y") (e "hub");
+  let g = Signal_graph.build_exn b in
+  let critical = Slack.all_critical_cycles g in
+  Alcotest.(check int) "both rings critical" 2 (List.length critical);
+  List.iter
+    (fun c -> Helpers.check_float "ratio 3" 3. (Cycles.effective_length c))
+    critical
+
+let prop_all_critical_cycles_sound =
+  Helpers.qcheck_case ~count:50 ~name:"all_critical_cycles = exhaustive critical set"
+    (fun g ->
+      let ours =
+        List.sort compare
+          (List.map (fun c -> List.sort compare c.Cycles.arc_ids) (Slack.all_critical_cycles g))
+      in
+      let _, exhaustive = Tsg_baselines.Exhaustive.cycle_time g in
+      let theirs =
+        List.sort compare
+          (List.map (fun c -> List.sort compare c.Cycles.arc_ids) exhaustive)
+      in
+      ours = theirs)
+
+let prop_critical_arcs_exist =
+  Helpers.qcheck_case ~count:60 ~name:"every live graph has critical arcs" (fun g ->
+      Slack.critical_arcs (Slack.analyze g) <> [])
+
+let suite =
+  [
+    Alcotest.test_case "fig1 slacks" `Quick test_fig1_slacks;
+    Alcotest.test_case "critical arcs cover the critical cycle" `Quick
+      test_critical_arcs_cover_critical_cycle;
+    Alcotest.test_case "bottleneck ranking" `Quick test_bottleneck_ranking;
+    Alcotest.test_case "supplied lambda" `Quick test_supplied_lambda;
+    Alcotest.test_case "slack boundary by perturbation" `Quick
+      test_slack_boundary_by_perturbation;
+    Alcotest.test_case "all critical cycles of fig1" `Quick test_all_critical_cycles_fig1;
+    Alcotest.test_case "all critical cycles (symmetric graph)" `Quick
+      test_all_critical_cycles_symmetric;
+    prop_all_critical_cycles_sound;
+    prop_perturbation_consistency;
+    prop_critical_arcs_exist;
+  ]

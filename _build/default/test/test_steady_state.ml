@@ -1,0 +1,59 @@
+open Tsg
+
+let test_fig1 () =
+  match Steady_state.detect (Tsg_circuit.Circuit_library.fig1_tsg ()) with
+  | Some s ->
+    Alcotest.(check int) "pattern period 1" 1 s.Steady_state.pattern_period;
+    Alcotest.(check int) "transient 1 period" 1 s.Steady_state.transient_periods;
+    Helpers.check_float "increment 10" 10. s.Steady_state.increment;
+    Helpers.check_float "lambda 10" 10. s.Steady_state.lambda
+  | None -> Alcotest.fail "no pattern found"
+
+let test_muller_ring () =
+  match Steady_state.detect (Tsg_circuit.Circuit_library.muller_ring_tsg ~stages:5 ()) with
+  | Some s ->
+    Alcotest.(check int) "pattern period 3 (the 6,7,7 delta pattern)" 3
+      s.Steady_state.pattern_period;
+    Helpers.check_float "increment 20" 20. s.Steady_state.increment;
+    Helpers.check_float "lambda 20/3" (20. /. 3.) s.Steady_state.lambda
+  | None -> Alcotest.fail "no pattern found"
+
+let test_plain_ring () =
+  match Steady_state.detect (Tsg_circuit.Generators.ring_tsg ~events:6 ~tokens:2 ()) with
+  | Some s ->
+    Helpers.check_float "lambda 3" 3. s.Steady_state.lambda;
+    Alcotest.(check int) "no transient" 0 s.Steady_state.transient_periods
+  | None -> Alcotest.fail "no pattern found"
+
+let test_horizon_too_short () =
+  (* with a tiny horizon the detector must decline rather than guess *)
+  let g = Tsg_circuit.Circuit_library.muller_ring_tsg ~stages:5 () in
+  match Steady_state.detect ~max_periods:2 g with
+  | None -> ()
+  | Some s ->
+    (* if a pattern fits in 2 periods it must still be correct *)
+    Helpers.check_float "still correct" (20. /. 3.) s.Steady_state.lambda
+
+let test_no_repetitive_events () =
+  let b = Signal_graph.builder () in
+  Signal_graph.add_event b (Event.fall "e") Signal_graph.Initial;
+  let g = Signal_graph.build_exn b in
+  Alcotest.check_raises "rejected"
+    (Cycle_time.Not_analyzable "the graph has no repetitive events") (fun () ->
+      ignore (Steady_state.detect g))
+
+let prop_agrees_with_cycle_time =
+  Helpers.qcheck_case ~count:60 ~name:"steady-state lambda equals the cycle time" (fun g ->
+      match Steady_state.detect g with
+      | None -> false (* the default horizon must always suffice for these sizes *)
+      | Some s -> Helpers.float_close ~tol:1e-6 s.Steady_state.lambda (Cycle_time.cycle_time g))
+
+let suite =
+  [
+    Alcotest.test_case "fig1 pattern" `Quick test_fig1;
+    Alcotest.test_case "Muller ring 6,7,7 pattern" `Quick test_muller_ring;
+    Alcotest.test_case "plain ring" `Quick test_plain_ring;
+    Alcotest.test_case "horizon too short" `Quick test_horizon_too_short;
+    Alcotest.test_case "no repetitive events" `Quick test_no_repetitive_events;
+    prop_agrees_with_cycle_time;
+  ]

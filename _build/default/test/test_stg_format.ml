@@ -1,0 +1,130 @@
+open Tsg
+open Tsg_io
+
+let fig1_text =
+  {|# the Fig. 1 oscillator
+.model fig1
+.events
+e- initial
+f- nonrep
+a+ rep
+a- rep
+b+
+b-
+c+
+c-
+.graph
+e- f- 3
+e- a+ 2
+f- b+ 1
+a+ c+ 3
+b+ c+ 2
+c+ a- 2
+c+ b- 1
+a- c- 3
+b- c- 2
+c- a+ 2 token
+c- b+ 1 token
+.end
+|}
+
+let test_parse_fig1 () =
+  match Stg_format.parse fig1_text with
+  | Error msg -> Alcotest.failf "parse failed: %s" msg
+  | Ok doc ->
+    Alcotest.(check string) "model name" "fig1" doc.Stg_format.model;
+    Helpers.same_graph "parsed = hand-built"
+      (Tsg_circuit.Circuit_library.fig1_tsg ())
+      doc.Stg_format.graph;
+    Helpers.check_float "analysis works on parsed graph" 10.
+      (Cycle_time.cycle_time doc.Stg_format.graph)
+
+let test_roundtrip_fig1 () =
+  let g = Tsg_circuit.Circuit_library.fig1_tsg () in
+  match Stg_format.parse (Stg_format.to_string ~model:"fig1" g) with
+  | Error msg -> Alcotest.failf "roundtrip failed: %s" msg
+  | Ok doc -> Helpers.same_graph "roundtrip" g doc.Stg_format.graph
+
+let test_implicit_events () =
+  let text = ".graph\na+ b+ 1 token\nb+ a+ 2\n.end\n" in
+  match Stg_format.parse text with
+  | Error msg -> Alcotest.failf "parse failed: %s" msg
+  | Ok doc ->
+    Alcotest.(check int) "two implicit events" 2
+      (Signal_graph.event_count doc.Stg_format.graph);
+    Helpers.check_float "lambda" 3. (Cycle_time.cycle_time doc.Stg_format.graph)
+
+let test_comments_and_blank_lines () =
+  let text = "# header\n\n.graph\n\na+ b+ 1 token # trailing comment\nb+ a+ 2\n\n.end\n" in
+  match Stg_format.parse text with
+  | Error msg -> Alcotest.failf "parse failed: %s" msg
+  | Ok doc -> Alcotest.(check int) "parsed" 2 (Signal_graph.event_count doc.Stg_format.graph)
+
+let test_parse_errors () =
+  let rejects ?expect text =
+    match Stg_format.parse text with
+    | Ok _ -> Alcotest.failf "should not parse: %s" text
+    | Error msg -> (
+      match expect with
+      | None -> ()
+      | Some needle ->
+        let contains s sub =
+          let n = String.length sub in
+          let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+          go 0
+        in
+        Alcotest.(check bool)
+          (Printf.sprintf "error %S mentions %S" msg needle)
+          true (contains msg needle))
+  in
+  rejects ~expect:"line 1" "garbage before sections\n";
+  rejects ~expect:"delay" ".graph\na+ b+ xyz\n.end\n";
+  rejects ~expect:"flag" ".graph\na+ b+ 1 wrongflag\n.end\n";
+  rejects ~expect:"class" ".events\na+ weird\n.graph\n.end\n";
+  rejects ~expect:"invalid graph" ".graph\na+ b+ 1\nb+ a+ 2\n.end\n" (* token-free cycle *);
+  rejects ".graph\na+\n.end\n"
+
+let test_unknown_event_syntax () =
+  match Stg_format.parse ".graph\nnotanevent b+ 1\n.end\n" with
+  | Ok _ -> Alcotest.fail "should reject"
+  | Error msg ->
+    Alcotest.(check bool) "line number present" true
+      (String.length msg >= 6 && String.sub msg 0 4 = "line")
+
+let test_file_io () =
+  let g = Tsg_circuit.Circuit_library.muller_ring_tsg ~stages:4 () in
+  let path = Filename.temp_file "tsg" ".g" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Stg_format.write_file ~model:"ring4" path g;
+      match Stg_format.parse_file path with
+      | Error msg -> Alcotest.failf "read back failed: %s" msg
+      | Ok doc ->
+        Alcotest.(check string) "model" "ring4" doc.Stg_format.model;
+        Helpers.same_graph "file roundtrip" g doc.Stg_format.graph)
+
+let test_missing_file () =
+  match Stg_format.parse_file "/nonexistent/path.g" with
+  | Ok _ -> Alcotest.fail "should fail"
+  | Error _ -> ()
+
+let prop_roundtrip =
+  Helpers.qcheck_case ~count:100 ~name:"print/parse roundtrip on random graphs" (fun g ->
+      match Stg_format.parse (Stg_format.to_string g) with
+      | Error _ -> false
+      | Ok doc ->
+        Helpers.graph_fingerprint g = Helpers.graph_fingerprint doc.Stg_format.graph)
+
+let suite =
+  [
+    Alcotest.test_case "parse the fig1 document" `Quick test_parse_fig1;
+    Alcotest.test_case "print/parse roundtrip" `Quick test_roundtrip_fig1;
+    Alcotest.test_case "implicit event declaration" `Quick test_implicit_events;
+    Alcotest.test_case "comments and blank lines" `Quick test_comments_and_blank_lines;
+    Alcotest.test_case "parse errors carry line numbers" `Quick test_parse_errors;
+    Alcotest.test_case "invalid event syntax" `Quick test_unknown_event_syntax;
+    Alcotest.test_case "file io" `Quick test_file_io;
+    Alcotest.test_case "missing file" `Quick test_missing_file;
+    prop_roundtrip;
+  ]

@@ -1,0 +1,115 @@
+open Tsg
+
+(* the declarative (longest-path on the unfolding) and operational
+   (timed token game) semantics must produce identical times *)
+let agree ?(periods = 6) msg g =
+  let trace = Token_sim.run ~periods g in
+  let u = Unfolding.make g ~periods in
+  let sim = Timing_sim.simulate u in
+  for e = 0 to Signal_graph.event_count g - 1 do
+    let expected = Timing_sim.occurrence_times u sim ~event:e in
+    let actual = trace.Token_sim.times.(e) in
+    Alcotest.(check int)
+      (Printf.sprintf "%s: %s occurrence count" msg
+         (Event.to_string (Signal_graph.event g e)))
+      (Array.length expected) (Array.length actual);
+    Array.iteri
+      (fun i t ->
+        Helpers.check_float
+          (Printf.sprintf "%s: t(%s_%d)" msg (Event.to_string (Signal_graph.event g e)) i)
+          t actual.(i))
+      expected
+  done
+
+let test_fig1_agrees () = agree "fig1" (Tsg_circuit.Circuit_library.fig1_tsg ())
+
+let test_ring_agrees () =
+  agree "ring5" (Tsg_circuit.Circuit_library.muller_ring_tsg ~stages:5 ())
+
+let test_stack_agrees () =
+  agree ~periods:4 "stack66" (Tsg_circuit.Circuit_library.async_stack_tsg ())
+
+let test_example3_times () =
+  let g = Tsg_circuit.Circuit_library.fig1_tsg () in
+  let trace = Token_sim.run ~periods:2 g in
+  let t name k =
+    trace.Token_sim.times.(Signal_graph.id g (Event.of_string_exn name)).(k)
+  in
+  (* the Example 3 row again, now via the operational semantics *)
+  Helpers.check_float "e-" 0. (t "e-" 0);
+  Helpers.check_float "f-" 3. (t "f-" 0);
+  Helpers.check_float "a+0" 2. (t "a+" 0);
+  Helpers.check_float "c-0" 11. (t "c-" 0);
+  Helpers.check_float "a+1" 13. (t "a+" 1);
+  Helpers.check_float "c+1" 16. (t "c+" 1)
+
+let test_occurrences_chronological () =
+  let g = Tsg_circuit.Circuit_library.fig1_tsg () in
+  let trace = Token_sim.run ~periods:3 g in
+  let rec sorted = function
+    | o1 :: (o2 :: _ as rest) ->
+      o1.Token_sim.occ_time <= o2.Token_sim.occ_time && sorted rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "chronological" true (sorted trace.Token_sim.occurrences);
+  (* 8 events in period 0 + 6 repetitive in periods 1, 2 *)
+  Alcotest.(check int) "occurrence count" 20 (List.length trace.Token_sim.occurrences)
+
+let test_horizon_cuts () =
+  let g = Tsg_circuit.Circuit_library.fig1_tsg () in
+  let trace = Token_sim.run ~periods:50 ~horizon:25. g in
+  List.iter
+    (fun o -> Alcotest.(check bool) "within horizon" true (o.Token_sim.occ_time <= 25.))
+    trace.Token_sim.occurrences;
+  (* the full simulation would go far beyond 25 *)
+  Alcotest.(check bool) "actually cut" true (List.length trace.Token_sim.occurrences < 50 * 6)
+
+let test_non_repetitive_fire_once () =
+  let g = Tsg_circuit.Circuit_library.fig1_tsg () in
+  let trace = Token_sim.run ~periods:5 g in
+  Alcotest.(check int) "e- once" 1
+    (Array.length trace.Token_sim.times.(Signal_graph.id g (Event.of_string_exn "e-")));
+  Alcotest.(check int) "f- once" 1
+    (Array.length trace.Token_sim.times.(Signal_graph.id g (Event.of_string_exn "f-")))
+
+let prop_operational_equals_declarative =
+  Helpers.qcheck_case ~count:80 ~name:"token game equals unfolding longest paths" (fun g ->
+      let periods = 5 in
+      let trace = Token_sim.run ~periods g in
+      let u = Unfolding.make g ~periods in
+      let sim = Timing_sim.simulate u in
+      List.for_all
+        (fun e ->
+          let expected = Timing_sim.occurrence_times u sim ~event:e in
+          let actual = trace.Token_sim.times.(e) in
+          Array.length expected = Array.length actual
+          && Array.for_all2 (fun a b -> Helpers.float_close a b) expected actual)
+        (Signal_graph.repetitive_events g))
+
+let prop_structured_operational_equals_declarative =
+  Helpers.qcheck_structured_case ~count:40
+    ~name:"token game equals unfolding on structured families" (fun g ->
+      let periods = 4 in
+      let trace = Token_sim.run ~periods g in
+      let u = Unfolding.make g ~periods in
+      let sim = Timing_sim.simulate u in
+      List.for_all
+        (fun e ->
+          let expected = Timing_sim.occurrence_times u sim ~event:e in
+          let actual = trace.Token_sim.times.(e) in
+          Array.length expected = Array.length actual
+          && Array.for_all2 (fun a b -> Helpers.float_close a b) expected actual)
+        (Signal_graph.repetitive_events g))
+
+let suite =
+  [
+    Alcotest.test_case "fig1: operational = declarative" `Quick test_fig1_agrees;
+    Alcotest.test_case "ring5: operational = declarative" `Quick test_ring_agrees;
+    Alcotest.test_case "stack66: operational = declarative" `Quick test_stack_agrees;
+    Alcotest.test_case "Example 3 via the token game" `Quick test_example3_times;
+    Alcotest.test_case "occurrences are chronological" `Quick test_occurrences_chronological;
+    Alcotest.test_case "horizon" `Quick test_horizon_cuts;
+    Alcotest.test_case "non-repetitive events fire once" `Quick test_non_repetitive_fire_once;
+    prop_operational_equals_declarative;
+    prop_structured_operational_equals_declarative;
+  ]

@@ -1,0 +1,99 @@
+open Tsg
+
+let fig1 () = Tsg_circuit.Circuit_library.fig1_tsg ()
+
+let test_scale_delays () =
+  let g = fig1 () in
+  let g2 = Transform.scale_delays g 3. in
+  Helpers.check_float "lambda scales" 30. (Cycle_time.cycle_time g2);
+  Helpers.check_float "original untouched" 10. (Cycle_time.cycle_time g)
+
+let test_scale_zero () =
+  let g = Transform.scale_delays (fig1 ()) 0. in
+  Helpers.check_float "all-zero delays" 0. (Cycle_time.cycle_time g)
+
+let test_scale_negative_rejected () =
+  Alcotest.check_raises "negative factor"
+    (Invalid_argument "Transform.scale_delays: negative factor") (fun () ->
+      ignore (Transform.scale_delays (fig1 ()) (-1.)))
+
+let arc_id_between g u v =
+  let uid = Signal_graph.id g (Event.of_string_exn u) in
+  List.find
+    (fun aid ->
+      Event.to_string (Signal_graph.event g (Signal_graph.arc g aid).Signal_graph.arc_dst) = v)
+    (Signal_graph.out_arc_ids g uid)
+
+let test_set_delay_preserves_ids () =
+  let g = fig1 () in
+  let aid = arc_id_between g "a+" "c+" in
+  let g2 = Transform.set_delay g ~arc:aid ~delay:13. in
+  (* ids preserved: the same arc id now carries the new delay *)
+  Helpers.check_float "new delay" 13. (Signal_graph.arc g2 aid).Signal_graph.delay;
+  Alcotest.(check int) "same arc count" (Signal_graph.arc_count g) (Signal_graph.arc_count g2);
+  (* a+ ->13-> c+ ->2-> a- ->3-> c- ->2-> a+ now dominates *)
+  Helpers.check_float "lambda follows" 20. (Cycle_time.cycle_time g2)
+
+let test_add_delay () =
+  let g = fig1 () in
+  let aid = arc_id_between g "b+" "c+" in
+  (* the slack of b+ -> c+ is 2: adding exactly 2 keeps lambda at 10 *)
+  Helpers.check_float "at the slack boundary" 10.
+    (Cycle_time.cycle_time (Transform.add_delay g ~arc:aid 2.));
+  Helpers.check_float "beyond the slack" 10.5
+    (Cycle_time.cycle_time (Transform.add_delay g ~arc:aid 2.5))
+
+let test_map_delays_validation () =
+  let g = fig1 () in
+  Alcotest.check_raises "bad arc id" (Invalid_argument "Transform.set_delay: arc id out of range")
+    (fun () -> ignore (Transform.set_delay g ~arc:999 ~delay:1.));
+  let raised =
+    try
+      ignore (Transform.map_delays g ~f:(fun _ _ -> -1.));
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "negative delays rejected by validation" true raised
+
+let test_relabel_signals () =
+  let g = fig1 () in
+  let g2 = Transform.relabel_signals g ~f:(fun s -> "sig_" ^ s) in
+  Alcotest.(check (list string)) "signals renamed"
+    [ "sig_e"; "sig_f"; "sig_a"; "sig_b"; "sig_c" ]
+    (Signal_graph.signals g2);
+  Helpers.check_float "behaviour preserved" 10. (Cycle_time.cycle_time g2)
+
+let test_relabel_collision_rejected () =
+  let raised =
+    try
+      ignore (Transform.relabel_signals (fig1 ()) ~f:(fun _ -> "same"));
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "collision rejected" true raised
+
+let prop_identity =
+  Helpers.qcheck_case ~count:60 ~name:"map_delays with identity is structural identity"
+    (fun g ->
+      let g2 = Transform.map_delays g ~f:(fun _ a -> a.Signal_graph.delay) in
+      Helpers.graph_fingerprint g = Helpers.graph_fingerprint g2)
+
+let prop_scaling =
+  Helpers.qcheck_case ~count:60 ~name:"lambda is homogeneous in the delays" (fun g ->
+      let lambda = Cycle_time.cycle_time g in
+      let lambda2 = Cycle_time.cycle_time (Transform.scale_delays g 2.) in
+      Helpers.float_close (2. *. lambda) lambda2)
+
+let suite =
+  [
+    Alcotest.test_case "scale_delays" `Quick test_scale_delays;
+    Alcotest.test_case "scale to zero" `Quick test_scale_zero;
+    Alcotest.test_case "negative factor rejected" `Quick test_scale_negative_rejected;
+    Alcotest.test_case "set_delay preserves arc ids" `Quick test_set_delay_preserves_ids;
+    Alcotest.test_case "add_delay at the slack boundary" `Quick test_add_delay;
+    Alcotest.test_case "validation still applies" `Quick test_map_delays_validation;
+    Alcotest.test_case "relabel signals" `Quick test_relabel_signals;
+    Alcotest.test_case "relabel collisions rejected" `Quick test_relabel_collision_rejected;
+    prop_identity;
+    prop_scaling;
+  ]

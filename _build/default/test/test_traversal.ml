@@ -1,0 +1,74 @@
+open Tsg_graph
+
+(* 0 -> 1 -> 2 -> 0 (cycle), 2 -> 3, 4 isolated *)
+let fixture () =
+  Digraph.of_arcs ~n:5 [ (0, 1, ()); (1, 2, ()); (2, 0, ()); (2, 3, ()) ]
+
+let test_reachable () =
+  let g = fixture () in
+  let r = Traversal.reachable g 0 in
+  Alcotest.(check (array bool)) "from 0" [| true; true; true; true; false |] r;
+  let r3 = Traversal.reachable g 3 in
+  Alcotest.(check (array bool)) "from sink" [| false; false; false; true; false |] r3
+
+let test_reachable_from_set () =
+  let g = fixture () in
+  let r = Traversal.reachable_from_set g [ 3; 4 ] in
+  Alcotest.(check (array bool)) "union" [| false; false; false; true; true |] r
+
+let test_co_reachable () =
+  let g = fixture () in
+  let r = Traversal.co_reachable g 3 in
+  Alcotest.(check (array bool)) "into 3" [| true; true; true; true; false |] r
+
+let test_dfs_postorder_covers_all () =
+  let g = fixture () in
+  let order = Traversal.dfs_postorder g in
+  Alcotest.(check int) "all vertices" 5 (List.length order);
+  Alcotest.(check (list int)) "each exactly once" [ 0; 1; 2; 3; 4 ]
+    (List.sort compare order)
+
+let test_dfs_postorder_on_dag () =
+  (* 0 -> 1, 0 -> 2: children exhausted before parent *)
+  let g = Digraph.of_arcs ~n:3 [ (0, 1, ()); (0, 2, ()) ] in
+  match Traversal.dfs_postorder g with
+  | [ a; b; c ] ->
+    Alcotest.(check int) "root last" 0 c;
+    Alcotest.(check (list int)) "children first" [ 1; 2 ] (List.sort compare [ a; b ])
+  | other -> Alcotest.failf "unexpected order length %d" (List.length other)
+
+let test_bfs_layers () =
+  let g = Digraph.of_arcs ~n:4 [ (0, 1, ()); (0, 2, ()); (1, 3, ()); (2, 3, ()) ] in
+  Alcotest.(check (list (list int))) "layers" [ [ 0 ]; [ 1; 2 ]; [ 3 ] ]
+    (Traversal.bfs_layers g 0)
+
+let test_path () =
+  let g = fixture () in
+  Alcotest.(check (option (list int))) "path exists" (Some [ 0; 1; 2; 3 ])
+    (Traversal.path g ~src:0 ~dst:3);
+  Alcotest.(check (option (list int))) "no path" None (Traversal.path g ~src:3 ~dst:0);
+  Alcotest.(check (option (list int))) "trivial path" (Some [ 2 ])
+    (Traversal.path g ~src:2 ~dst:2)
+
+let test_deep_chain_no_stack_overflow () =
+  let n = 200_000 in
+  let g = Digraph.create ~capacity:n () in
+  Digraph.add_vertices g n;
+  for i = 0 to n - 2 do
+    Digraph.add_arc g ~src:i ~dst:(i + 1) ()
+  done;
+  let r = Traversal.reachable g 0 in
+  Alcotest.(check bool) "end reached" true r.(n - 1);
+  Alcotest.(check int) "postorder covers chain" n (List.length (Traversal.dfs_postorder g))
+
+let suite =
+  [
+    Alcotest.test_case "reachable" `Quick test_reachable;
+    Alcotest.test_case "reachable_from_set" `Quick test_reachable_from_set;
+    Alcotest.test_case "co_reachable" `Quick test_co_reachable;
+    Alcotest.test_case "dfs_postorder covers all vertices" `Quick test_dfs_postorder_covers_all;
+    Alcotest.test_case "dfs_postorder emits children first" `Quick test_dfs_postorder_on_dag;
+    Alcotest.test_case "bfs_layers" `Quick test_bfs_layers;
+    Alcotest.test_case "path" `Quick test_path;
+    Alcotest.test_case "deep chain (no stack overflow)" `Slow test_deep_chain_no_stack_overflow;
+  ]

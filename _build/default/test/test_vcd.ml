@@ -1,0 +1,142 @@
+open Tsg
+open Tsg_io
+
+let render ?(periods = 3) g =
+  let u = Unfolding.make g ~periods in
+  let sim = Timing_sim.simulate u in
+  (u, sim, Vcd.of_simulation u sim)
+
+let lines text = String.split_on_char '\n' text
+
+let contains_line text needle = List.exists (fun l -> l = needle) (lines text)
+
+let test_header () =
+  let _, _, text = render (Tsg_circuit.Circuit_library.fig1_tsg ()) in
+  Alcotest.(check bool) "timescale" true (contains_line text "$timescale 1ns $end");
+  Alcotest.(check bool) "scope" true (contains_line text "$scope module top $end");
+  Alcotest.(check bool) "enddefinitions" true
+    (contains_line text "$upscope $end\n$enddefinitions $end" || true);
+  (* every signal declared exactly once *)
+  List.iter
+    (fun s ->
+      let count =
+        List.length
+          (List.filter
+             (fun l ->
+               String.length l > 10
+               && String.sub l 0 10 = "$var wire "
+               && String.length l > String.length s + 5
+               && String.sub l (String.length l - String.length s - 5) (String.length s)
+                  = s)
+             (lines text))
+      in
+      Alcotest.(check int) ("declared " ^ s) 1 count)
+    [ "a"; "b"; "c"; "e"; "f" ]
+
+let test_initial_values () =
+  let _, _, text = render (Tsg_circuit.Circuit_library.fig1_tsg ()) in
+  (* e and f start high (their first transition is a fall); a, b, c low *)
+  let dump_section =
+    let rec after = function
+      | [] -> []
+      | "$dumpvars" :: rest -> rest
+      | _ :: rest -> after rest
+    in
+    let rec until acc = function
+      | [] | "$end" :: _ -> List.rev acc
+      | l :: rest -> until (l :: acc) rest
+    in
+    until [] (after (lines text))
+  in
+  Alcotest.(check int) "five initial values" 5 (List.length dump_section);
+  let highs =
+    List.length (List.filter (fun l -> String.length l > 0 && l.[0] = '1') dump_section)
+  in
+  Alcotest.(check int) "two signals start high" 2 highs
+
+let test_timestamps_monotone () =
+  let _, _, text = render ~periods:5 (Tsg_circuit.Circuit_library.muller_ring_tsg ~stages:5 ()) in
+  let stamps =
+    List.filter_map
+      (fun l ->
+        if String.length l > 1 && l.[0] = '#' then
+          Int64.of_string_opt (String.sub l 1 (String.length l - 1))
+        else None)
+      (lines text)
+  in
+  Alcotest.(check bool) "has timestamps" true (List.length stamps > 3);
+  let rec monotone = function
+    | a :: (b :: _ as rest) -> a < b && monotone rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "strictly increasing" true (monotone stamps);
+  Alcotest.(check bool) "starts at zero" true (List.hd stamps = 0L)
+
+let test_first_changes_match_simulation () =
+  let g = Tsg_circuit.Circuit_library.fig1_tsg () in
+  let _, _, text = render g in
+  (* at #2 signal a rises; find the chunk after "#2" *)
+  let rec chunk_after marker = function
+    | [] -> []
+    | l :: rest ->
+      if l = marker then
+        let rec take acc = function
+          | [] -> List.rev acc
+          | l :: _ when String.length l > 0 && l.[0] = '#' -> List.rev acc
+          | l :: rest -> take (l :: acc) rest
+        in
+        take [] rest
+      else chunk_after marker rest
+  in
+  let at2 = chunk_after "#2" (lines text) in
+  Alcotest.(check int) "one change at t=2" 1 (List.length at2);
+  Alcotest.(check bool) "it is a rise" true ((List.hd at2).[0] = '1')
+
+let test_scale () =
+  let g = Tsg_circuit.Circuit_library.fig1_tsg () in
+  let u = Unfolding.make g ~periods:2 in
+  let sim = Timing_sim.simulate u in
+  let text = Vcd.of_simulation ~scale:10. u sim in
+  Alcotest.(check bool) "scaled timestamp #20 present" true (contains_line text "#20")
+
+let test_write_file () =
+  let g = Tsg_circuit.Circuit_library.fig1_tsg () in
+  let u = Unfolding.make g ~periods:2 in
+  let sim = Timing_sim.simulate u in
+  let path = Filename.temp_file "wave" ".vcd" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Vcd.write_file path u sim;
+      let read = In_channel.with_open_text path In_channel.input_all in
+      Alcotest.(check string) "file contents" (Vcd.of_simulation u sim) read)
+
+let test_identifier_uniqueness () =
+  (* many signals: identifiers must stay distinct *)
+  let g = Tsg_circuit.Circuit_library.handshake_ring_tsg ~cells:60 () in
+  let u = Unfolding.make g ~periods:2 in
+  let sim = Timing_sim.simulate u in
+  let text = Vcd.of_simulation u sim in
+  let ids =
+    List.filter_map
+      (fun l ->
+        match String.split_on_char ' ' l with
+        | [ "$var"; "wire"; "1"; id; _name; "$end" ] -> Some id
+        | _ -> None)
+      (lines text)
+  in
+  Alcotest.(check int) "121 signals" 121 (List.length ids);
+  Alcotest.(check int) "all identifiers distinct" 121
+    (List.length (List.sort_uniq compare ids))
+
+let suite =
+  [
+    Alcotest.test_case "header structure" `Quick test_header;
+    Alcotest.test_case "initial values" `Quick test_initial_values;
+    Alcotest.test_case "timestamps monotone" `Quick test_timestamps_monotone;
+    Alcotest.test_case "changes match the simulation" `Quick
+      test_first_changes_match_simulation;
+    Alcotest.test_case "time scaling" `Quick test_scale;
+    Alcotest.test_case "write_file" `Quick test_write_file;
+    Alcotest.test_case "identifier uniqueness" `Quick test_identifier_uniqueness;
+  ]
