@@ -14,39 +14,22 @@ let builtin = function
   | "stack" -> Some (Tsg_circuit.Circuit_library.async_stack_tsg ())
   | _ -> None
 
-(* a file containing ".marking" is in the astg/petrify dialect;
-   otherwise it is our native .g format *)
-let graph_of_input path =
+(* dialect sniffing (".marking" outside comments -> astg) lives in
+   Tsg_io.Loader, shared with batch mode and the tests *)
+let load_model path =
   match builtin path with
-  | Some g -> (path, g)
+  | Some g -> Ok (path, g)
   | None -> (
-    let text =
-      match In_channel.with_open_text path In_channel.input_all with
-      | text -> text
-      | exception Sys_error msg ->
-        Fmt.epr "tsa: cannot read %s: %s@." path msg;
-        exit 1
-    in
-    let is_astg =
-      let needle = ".marking" in
-      let n = String.length needle in
-      let rec go i =
-        i + n <= String.length text && (String.sub text i n = needle || go (i + 1))
-      in
-      go 0
-    in
-    if is_astg then
-      match Tsg_io.Astg_format.parse text with
-      | Ok doc -> (doc.Tsg_io.Astg_format.model, doc.Tsg_io.Astg_format.graph)
-      | Error msg ->
-        Fmt.epr "tsa: cannot load %s (astg dialect): %s@." path msg;
-        exit 1
-    else
-      match Tsg_io.Stg_format.parse text with
-      | Ok doc -> (doc.Tsg_io.Stg_format.model, doc.Tsg_io.Stg_format.graph)
-      | Error msg ->
-        Fmt.epr "tsa: cannot load %s: %s@." path msg;
-        exit 1)
+    match Tsg_io.Loader.load_file path with
+    | Ok m -> Ok (m.Tsg_io.Loader.name, m.Tsg_io.Loader.graph)
+    | Error msg -> Error msg)
+
+let graph_of_input path =
+  match load_model path with
+  | Ok r -> r
+  | Error msg ->
+    Fmt.epr "tsa: %s@." msg;
+    exit 1
 
 let input_arg =
   let doc =
@@ -106,6 +89,61 @@ let analyze_cmd =
   Cmd.v
     (Cmd.info "analyze" ~doc)
     Term.(const run $ input_arg $ periods_arg $ jobs_arg $ json_arg)
+
+let batch_cmd =
+  let files_arg =
+    let doc = "Input models (.g files or built-ins), analyzed concurrently." in
+    Arg.(non_empty & pos_all string [] & info [] ~docv:"MODEL" ~doc)
+  in
+  let run files periods jobs json =
+    let analyze_one path =
+      match load_model path with
+      | Error msg -> Error msg
+      | Ok (name, g) -> (
+        match Cycle_time.analyze ?periods g with
+        | report -> Ok (name, g, report)
+        | exception Cycle_time.Not_analyzable msg -> Error msg)
+    in
+    let entries = Tsg_engine.Batch.run ~jobs ~label:Fun.id ~f:analyze_one files in
+    if json then print_endline (Tsg_io.Json_report.batch entries)
+    else begin
+      let width =
+        List.fold_left (fun w f -> max w (String.length f)) 0 files
+      in
+      List.iter
+        (fun (e : _ Tsg_engine.Batch.entry) ->
+          match e.Tsg_engine.Batch.outcome with
+          | Ok (name, g, report) ->
+            Fmt.pr "%-*s  cycle time = %a   (%s: %d events, %d arcs, b = %d)  [%.2f ms]@."
+              width e.Tsg_engine.Batch.label Tsg_io.Report.pp_rational
+              report.Cycle_time.cycle_time name
+              (Signal_graph.event_count g) (Signal_graph.arc_count g)
+              (List.length report.Cycle_time.border)
+              e.Tsg_engine.Batch.elapsed_ms
+          | Error msg ->
+            Fmt.pr "%-*s  ERROR: %s@." width e.Tsg_engine.Batch.label msg)
+        entries;
+      let failed =
+        List.length
+          (List.filter
+             (fun (e : _ Tsg_engine.Batch.entry) ->
+               Result.is_error e.Tsg_engine.Batch.outcome)
+             entries)
+      in
+      Fmt.pr "%d model%s analyzed, %d error%s@."
+        (List.length entries)
+        (if List.length entries = 1 then "" else "s")
+        failed
+        (if failed = 1 then "" else "s")
+    end
+  in
+  let doc =
+    "Analyze many models in one run on the domain pool; a malformed or \
+     non-analyzable input yields an error entry without aborting the rest."
+  in
+  Cmd.v
+    (Cmd.info "batch" ~doc)
+    Term.(const run $ files_arg $ periods_arg $ jobs_arg $ json_arg)
 
 let all_instances u =
   let g = Unfolding.signal_graph u in
@@ -568,6 +606,7 @@ let () =
        (Cmd.group info
           [
             analyze_cmd;
+            batch_cmd;
             simulate_cmd;
             diagram_cmd;
             cycles_cmd;

@@ -32,6 +32,7 @@ let trace_of u periods g0 =
   ({ border_event = g0; samples }, sim)
 
 let analyze ?periods ?(jobs = 1) g =
+  Tsg_engine.Metrics.incr "analyze/graphs";
   if Signal_graph.repetitive_count g = 0 then
     raise (Not_analyzable "the graph has no repetitive events");
   let border = Cut_set.border g in
@@ -40,9 +41,14 @@ let analyze ?periods ?(jobs = 1) g =
     raise (Not_analyzable "the graph has no border events (no initial activity)");
   let periods = match periods with Some p -> max 1 p | None -> b in
   (* instances g_0 .. g_periods are needed, hence periods+1 layers *)
-  let u = Unfolding.make g ~periods:(periods + 1) in
-  Unfolding.warm_caches u;
+  let u =
+    Tsg_engine.Metrics.time "analyze/unfold" @@ fun () ->
+    let u = Unfolding.make g ~periods:(periods + 1) in
+    Unfolding.warm_caches u;
+    u
+  in
   let traces_and_sims =
+    Tsg_engine.Metrics.time "analyze/simulate" @@ fun () ->
     Array.to_list (Parallel.map ~jobs (trace_of u periods) (Array.of_list border))
   in
   let traces = List.map fst traces_and_sims in
@@ -60,6 +66,7 @@ let analyze ?periods ?(jobs = 1) g =
   match best with
   | None -> raise (Not_analyzable "no average occurrence distance was collected")
   | Some (critical_event, critical_period, cycle_time) ->
+    Tsg_engine.Metrics.time "analyze/backtrack" @@ fun () ->
     (* backtrack the longest path that realised the maximum *)
     let sim =
       match

@@ -49,7 +49,12 @@ let estimate ?(seed = 42) ?(runs = 30) ?(periods = 60) ?(jobs = 1) g ~sampler =
     let t_half = time.(Unfolding.instance u ~event:reference ~period:half) in
     (t_last -. t_half) /. float_of_int (periods - 1 - half)
   in
-  let estimates = Parallel.map ~jobs one_run (Array.init runs Fun.id) in
+  Tsg_engine.Metrics.incr "monte_carlo/estimates";
+  Tsg_engine.Metrics.incr ~by:runs "monte_carlo/runs";
+  let estimates =
+    Tsg_engine.Metrics.time "monte_carlo/simulate" @@ fun () ->
+    Parallel.map ~jobs one_run (Array.init runs Fun.id)
+  in
   let mean = Array.fold_left ( +. ) 0. estimates /. float_of_int runs in
   let var =
     if runs = 1 then 0.

@@ -1,29 +1,12 @@
+(* Pool-backed since the engine refactor: the per-call Domain.spawn /
+   Domain.join fork-join was replaced by the persistent worker pool of
+   Tsg_engine.Pool, so repeated analyses (batch sweeps, servers) stop
+   paying domain start-up per call. *)
+
 let map ~jobs f inputs =
   let n = Array.length inputs in
-  let jobs = max 1 (min jobs n) in
+  let jobs = max 1 (min jobs (min n (Tsg_engine.Pool.recommended ()))) in
   if jobs = 1 then Array.map f inputs
-  else begin
-    let results = Array.make n None in
-    let failure = Atomic.make None in
-    let next = Atomic.make 0 in
-    let worker () =
-      let rec loop () =
-        if Atomic.get failure = None then begin
-          let i = Atomic.fetch_and_add next 1 in
-          if i < n then begin
-            (match f inputs.(i) with
-            | y -> results.(i) <- Some y
-            | exception exn ->
-              ignore (Atomic.compare_and_set failure None (Some exn)));
-            loop ()
-          end
-        end
-      in
-      loop ()
-    in
-    let domains = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
-    worker ();
-    List.iter Domain.join domains;
-    (match Atomic.get failure with Some exn -> raise exn | None -> ());
-    Array.map (function Some r -> r | None -> assert false) results
-  end
+  else
+    (* the calling domain is the jobs-th participant *)
+    Tsg_engine.Pool.map ~slots:(jobs - 1) (Tsg_engine.Pool.default ()) f inputs

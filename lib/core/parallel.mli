@@ -1,14 +1,21 @@
-(** Minimal deterministic fork-join parallelism over OCaml 5 domains.
+(** Deterministic data parallelism over the shared domain pool.
 
     Used for the embarrassingly parallel outer loops of the library:
     the per-border-event simulations of {!Cycle_time} and the
     independent runs of {!Monte_carlo}.  Work items are claimed from a
     shared atomic counter, so results land at their input's index and
     the output is identical to the sequential map regardless of
-    scheduling. *)
+    scheduling.
+
+    The work runs on {!Tsg_engine.Pool.default}, a pool of domains
+    created once per process and reused across calls — repeated
+    analyses do not re-pay domain start-up. *)
 
 val map : jobs:int -> ('a -> 'b) -> 'a array -> 'b array
-(** [map ~jobs f xs] is [Array.map f xs], computed on
-    [min jobs (Array.length xs)] domains ([jobs <= 1] runs inline).
-    [f] must be safe to run concurrently (pure, or touching disjoint
-    state); exceptions raised by [f] are re-raised in the caller. *)
+(** [map ~jobs f xs] is [Array.map f xs], computed by [jobs] domains
+    (the caller plus [jobs - 1] pool workers).  [jobs] is clamped to
+    [Domain.recommended_domain_count ()] and to [Array.length xs];
+    [jobs <= 1] runs inline.  [f] must be safe to run concurrently
+    (pure, or touching disjoint state).  If [f] raises, the exception
+    of the smallest failing input index is re-raised in the caller
+    with the backtrace captured at the failure site. *)

@@ -61,11 +61,13 @@ let reachable_from u at =
   seen
 
 let simulate u =
+  Tsg_engine.Metrics.incr "simulations/full";
   let n = Unfolding.instance_count u in
   let restrict = Array.make n true in
   longest_paths u ~roots:(Unfolding.initial_instances u) ~restrict
 
 let simulate_initiated u ~at =
+  Tsg_engine.Metrics.incr "simulations/initiated";
   longest_paths u ~roots:[ at ] ~restrict:(reachable_from u at)
 
 let occurrence_times u r ~event =

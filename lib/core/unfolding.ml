@@ -75,6 +75,8 @@ let make sg ~periods =
     end
   in
   Array.iteri add_arcs_for_instance (Signal_graph.arcs sg);
+  Tsg_engine.Metrics.incr "unfolding/built";
+  Tsg_engine.Metrics.incr ~by:total "unfolding/instances";
   t
 
 let signal_graph t = t.sg

@@ -1,0 +1,35 @@
+type 'a entry = { label : string; elapsed_ms : float; outcome : ('a, string) result }
+
+let run ?pool ?jobs ~label ~f items =
+  let items = Array.of_list items in
+  let n = Array.length items in
+  if n = 0 then []
+  else begin
+    let jobs =
+      match jobs with Some j -> max 1 j | None -> Pool.recommended ()
+    in
+    let work item =
+      let t0 = Unix.gettimeofday () in
+      let outcome =
+        match f item with
+        | (Ok _ | Error _) as r -> r
+        | exception exn -> Error (Printexc.to_string exn)
+      in
+      Metrics.incr "batch/items";
+      (match outcome with Error _ -> Metrics.incr "batch/errors" | Ok _ -> ());
+      {
+        label = label item;
+        elapsed_ms = (Unix.gettimeofday () -. t0) *. 1000.;
+        outcome;
+      }
+    in
+    let results =
+      Metrics.time "batch/run" @@ fun () ->
+      if jobs = 1 || n = 1 then Array.map work items
+      else
+        let pool = match pool with Some p -> p | None -> Pool.default () in
+        (* the caller is the jobs-th participant *)
+        Pool.map ~slots:(jobs - 1) pool work items
+    in
+    Array.to_list results
+  end

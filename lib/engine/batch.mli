@@ -1,0 +1,30 @@
+(** Fault-isolated concurrent batch execution over a {!Pool}.
+
+    A batch runs one job per item on the shared (or a given) pool.  A
+    job that returns [Error] or raises affects only its own entry —
+    the rest of the batch keeps going, which is what a sweep over a
+    directory of models wants: one malformed file must not abort the
+    other ninety-nine.
+
+    Per-item wall time is measured, and the counters [batch/items] /
+    [batch/errors] in {!Metrics} are bumped as items complete. *)
+
+type 'a entry = {
+  label : string;  (** the item's display name (e.g. its file path) *)
+  elapsed_ms : float;  (** wall time spent on this item *)
+  outcome : ('a, string) result;
+      (** the job's result; exceptions are caught and rendered with
+          [Printexc.to_string] *)
+}
+
+val run :
+  ?pool:Pool.t ->
+  ?jobs:int ->
+  label:('a -> string) ->
+  f:('a -> ('b, string) result) ->
+  'a list ->
+  'b entry list
+(** [run ~label ~f items] applies [f] to every item, [jobs] at a time
+    (default: {!Pool.recommended}; [jobs <= 1] runs sequentially on
+    the calling domain), on [pool] (default: {!Pool.default}).
+    Entries come back in the order of [items]. *)

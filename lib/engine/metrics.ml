@@ -1,0 +1,60 @@
+type entry = { name : string; count : int; total_ms : float }
+
+type cell = { mutable c_count : int; mutable c_total_ms : float }
+
+let lock = Mutex.create ()
+let cells : (string, cell) Hashtbl.t = Hashtbl.create 32
+
+let cell name =
+  match Hashtbl.find_opt cells name with
+  | Some c -> c
+  | None ->
+    let c = { c_count = 0; c_total_ms = 0. } in
+    Hashtbl.add cells name c;
+    c
+
+let incr ?(by = 1) name =
+  Mutex.lock lock;
+  let c = cell name in
+  c.c_count <- c.c_count + by;
+  Mutex.unlock lock
+
+let add_ms name ms =
+  Mutex.lock lock;
+  let c = cell name in
+  c.c_count <- c.c_count + 1;
+  c.c_total_ms <- c.c_total_ms +. ms;
+  Mutex.unlock lock
+
+let now_ms () = Unix.gettimeofday () *. 1000.
+
+let time name f =
+  let t0 = now_ms () in
+  Fun.protect ~finally:(fun () -> add_ms name (now_ms () -. t0)) f
+
+let count name =
+  Mutex.lock lock;
+  let n = match Hashtbl.find_opt cells name with Some c -> c.c_count | None -> 0 in
+  Mutex.unlock lock;
+  n
+
+let total_ms name =
+  Mutex.lock lock;
+  let t = match Hashtbl.find_opt cells name with Some c -> c.c_total_ms | None -> 0. in
+  Mutex.unlock lock;
+  t
+
+let snapshot () =
+  Mutex.lock lock;
+  let xs =
+    Hashtbl.fold
+      (fun name c acc -> { name; count = c.c_count; total_ms = c.c_total_ms } :: acc)
+      cells []
+  in
+  Mutex.unlock lock;
+  List.sort (fun a b -> compare a.name b.name) xs
+
+let reset () =
+  Mutex.lock lock;
+  Hashtbl.reset cells;
+  Mutex.unlock lock

@@ -1,0 +1,39 @@
+(** Lightweight process-wide counters and wall-clock timers.
+
+    Instrumentation points throughout the library (graphs analyzed,
+    timing simulations run, unfoldings built, wall time per analysis
+    phase, batch outcomes) bump named entries here; reporters
+    ({!Tsg_io.Json_report}, the CLI) read them back with {!snapshot}.
+
+    Entries are created on first use.  All operations are
+    mutex-protected and safe to call from any domain; they are meant
+    for coarse events (one per analysis phase, not per arc), where the
+    lock cost is negligible. *)
+
+type entry = {
+  name : string;
+  count : int;  (** times bumped (for timers: completed measurements) *)
+  total_ms : float;  (** accumulated wall time; [0.] for plain counters *)
+}
+
+val incr : ?by:int -> string -> unit
+(** Bump a counter by [by] (default 1). *)
+
+val add_ms : string -> float -> unit
+(** Record one completed measurement of [ms] wall milliseconds. *)
+
+val time : string -> (unit -> 'a) -> 'a
+(** [time name f] runs [f ()] and records its wall-clock duration
+    under [name] (also when [f] raises). *)
+
+val count : string -> int
+(** The current count of an entry, [0] if it was never bumped. *)
+
+val total_ms : string -> float
+(** The accumulated wall time of an entry, [0.] if absent. *)
+
+val snapshot : unit -> entry list
+(** Every entry, sorted by name. *)
+
+val reset : unit -> unit
+(** Forget all entries (tests, or per-request accounting). *)

@@ -1,0 +1,151 @@
+type t = {
+  size : int;
+  mutex : Mutex.t;
+  has_work : Condition.t;
+  queue : (unit -> unit) Queue.t;
+  mutable closed : bool;
+  mutable domains : unit Domain.t list;
+}
+
+let recommended () = max 1 (Domain.recommended_domain_count ())
+
+(* Workers drain the queue; when it is empty they block until either
+   work arrives or the pool is closed.  Jobs are completion closures
+   built by [map] and never raise. *)
+let rec worker t =
+  Mutex.lock t.mutex;
+  let rec next () =
+    match Queue.take_opt t.queue with
+    | Some job ->
+      Mutex.unlock t.mutex;
+      Some job
+    | None ->
+      if t.closed then begin
+        Mutex.unlock t.mutex;
+        None
+      end
+      else begin
+        Condition.wait t.has_work t.mutex;
+        next ()
+      end
+  in
+  match next () with
+  | None -> ()
+  | Some job ->
+    job ();
+    worker t
+
+let create ?size () =
+  let size =
+    match size with
+    | None -> recommended ()
+    | Some s -> max 1 (min s (recommended ()))
+  in
+  let t =
+    {
+      size;
+      mutex = Mutex.create ();
+      has_work = Condition.create ();
+      queue = Queue.create ();
+      closed = false;
+      domains = [];
+    }
+  in
+  t.domains <- List.init size (fun _ -> Domain.spawn (fun () -> worker t));
+  t
+
+let size t = t.size
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  if t.closed then Mutex.unlock t.mutex
+  else begin
+    t.closed <- true;
+    Condition.broadcast t.has_work;
+    Mutex.unlock t.mutex;
+    List.iter Domain.join t.domains;
+    t.domains <- []
+  end
+
+let map ?slots t f inputs =
+  let n = Array.length inputs in
+  if n = 0 then [||]
+  else begin
+    let slots =
+      match slots with
+      | None -> min t.size n
+      | Some s -> max 0 (min s (min t.size n))
+    in
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    (* smallest failing index wins, independently of scheduling *)
+    let failure = Atomic.make None in
+    let record i exn bt =
+      let rec go () =
+        match Atomic.get failure with
+        | Some (j, _, _) when j <= i -> ()
+        | prev ->
+          if not (Atomic.compare_and_set failure prev (Some (i, exn, bt))) then go ()
+      in
+      go ()
+    in
+    let m = Mutex.create () in
+    let all_done = Condition.create () in
+    let done_count = ref 0 in
+    (* claim items from the shared counter until none are left; late
+       slots that find the counter exhausted exit without touching
+       anything, so they are harmless even after [map] has returned *)
+    let rec run_slot () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        (match f inputs.(i) with
+        | y -> results.(i) <- Some y
+        | exception exn -> record i exn (Printexc.get_raw_backtrace ()));
+        Mutex.lock m;
+        incr done_count;
+        if !done_count = n then Condition.signal all_done;
+        Mutex.unlock m;
+        run_slot ()
+      end
+    in
+    if slots > 0 then begin
+      Mutex.lock t.mutex;
+      if not t.closed then begin
+        for _ = 1 to slots do
+          Queue.add run_slot t.queue
+        done;
+        Condition.broadcast t.has_work
+      end;
+      Mutex.unlock t.mutex
+    end;
+    (* the caller helps: progress is guaranteed even if every worker
+       is busy (or the pool was shut down), and nested maps cannot
+       deadlock *)
+    run_slot ();
+    Mutex.lock m;
+    while !done_count < n do
+      Condition.wait all_done m
+    done;
+    Mutex.unlock m;
+    (match Atomic.get failure with
+    | Some (_, exn, bt) -> Printexc.raise_with_backtrace exn bt
+    | None -> ());
+    Array.map (function Some y -> y | None -> assert false) results
+  end
+
+let default_pool = ref None
+let default_mutex = Mutex.create ()
+
+let default () =
+  Mutex.lock default_mutex;
+  let t =
+    match !default_pool with
+    | Some t -> t
+    | None ->
+      let t = create () in
+      default_pool := Some t;
+      at_exit (fun () -> shutdown t);
+      t
+  in
+  Mutex.unlock default_mutex;
+  t

@@ -1,0 +1,52 @@
+(** A persistent pool of OCaml 5 domains.
+
+    [Parallel.map]-style fork-join spawns and joins fresh domains on
+    every call; at a few hundred microseconds per spawn that overhead
+    dwarfs the per-item work of small analyses and is paid again by
+    every graph of a batch.  A pool is created once, its workers block
+    on a queue, and every {!map} reuses them.
+
+    The pool size is capped at [Domain.recommended_domain_count ()] —
+    oversubscribing domains (unlike threads) degrades the whole
+    runtime, so callers may ask for more but never get them.
+
+    {!map} is deterministic: results land at their input's index, and
+    when several items raise, the exception of the {e smallest} input
+    index is re-raised in the caller with the backtrace captured at
+    the failure site, regardless of scheduling. *)
+
+type t
+
+val recommended : unit -> int
+(** [Domain.recommended_domain_count ()], at least 1. *)
+
+val create : ?size:int -> unit -> t
+(** Spawns a pool of [size] worker domains (default and cap:
+    {!recommended}; minimum 1).  The workers idle on a condition
+    variable until work arrives. *)
+
+val size : t -> int
+(** The number of worker domains. *)
+
+val default : unit -> t
+(** A lazily created process-wide pool of {!recommended} workers,
+    shared by {!Tsg.Parallel}, {!Batch} and anything else that does
+    not manage its own.  It is shut down automatically [at_exit]. *)
+
+val map : ?slots:int -> t -> ('a -> 'b) -> 'a array -> 'b array
+(** [map t f xs] is [Array.map f xs] computed by up to [slots] pool
+    workers (default: all of them, clamped to the pool size and to
+    [Array.length xs]) {e plus the calling domain}, which participates
+    in the work and blocks until every item is done.
+
+    Because the caller always helps, [map] makes progress — and
+    nested calls from inside pool tasks cannot deadlock — even when
+    every worker is busy elsewhere.
+
+    If [f] raises for one or more items, every item is still
+    attempted, and the exception of the smallest failing index is
+    re-raised with [Printexc.raise_with_backtrace]. *)
+
+val shutdown : t -> unit
+(** Drains the queue, terminates and joins the workers.  Subsequent
+    {!map} calls on the pool run entirely on the calling domain. *)

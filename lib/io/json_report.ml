@@ -79,6 +79,20 @@ let cycle g (c : Cycles.cycle) =
       ("effective_length", Float (Cycles.effective_length c));
     ]
 
+let metrics_json () =
+  List
+    (List.map
+       (fun (e : Tsg_engine.Metrics.entry) ->
+         Obj
+           [
+             ("name", String e.Tsg_engine.Metrics.name);
+             ("count", Int e.Tsg_engine.Metrics.count);
+             ("total_ms", Float e.Tsg_engine.Metrics.total_ms);
+           ])
+       (Tsg_engine.Metrics.snapshot ()))
+
+let metrics () = to_string (Obj [ ("metrics", metrics_json ()) ])
+
 let analysis g (r : Cycle_time.report) =
   to_string
     (Obj
@@ -113,6 +127,49 @@ let analysis g (r : Cycle_time.report) =
                              t.Cycle_time.samples) );
                     ])
                 r.Cycle_time.traces) );
+         ("metrics", metrics_json ());
+       ])
+
+let batch (entries : (string * Signal_graph.t * Cycle_time.report) Tsg_engine.Batch.entry list) =
+  let item (e : _ Tsg_engine.Batch.entry) =
+    let common =
+      [
+        ("file", String e.Tsg_engine.Batch.label);
+        ("elapsed_ms", Float e.Tsg_engine.Batch.elapsed_ms);
+      ]
+    in
+    match e.Tsg_engine.Batch.outcome with
+    | Ok (model, g, r) ->
+      Obj
+        (common
+        @ [
+            ("status", String "ok");
+            ("model", String model);
+            ("events", Int (Signal_graph.event_count g));
+            ("arcs", Int (Signal_graph.arc_count g));
+            ("cycle_time", Float r.Cycle_time.cycle_time);
+            ("border", List (List.map (event_name g) r.Cycle_time.border));
+            ("periods", Int r.Cycle_time.periods_simulated);
+            ("critical_cycles", List (List.map (cycle g) r.Cycle_time.critical_cycles));
+          ])
+    | Error msg -> Obj (common @ [ ("status", String "error"); ("error", String msg) ])
+  in
+  let failed =
+    List.length
+      (List.filter (fun e -> Result.is_error e.Tsg_engine.Batch.outcome) entries)
+  in
+  to_string
+    (Obj
+       [
+         ("items", List (List.map item entries));
+         ( "summary",
+           Obj
+             [
+               ("total", Int (List.length entries));
+               ("succeeded", Int (List.length entries - failed));
+               ("failed", Int failed);
+             ] );
+         ("metrics", metrics_json ());
        ])
 
 let slack g (r : Slack.report) =

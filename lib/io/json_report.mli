@@ -10,7 +10,23 @@ val analysis : Tsg.Signal_graph.t -> Tsg.Cycle_time.report -> string
                 "cycles": [ { "events": [...], "length": ...,
                               "occurrence_period": ... } ] },
   "traces": [ { "event": ..., "samples": [ { "period": ...,
-                "time": ..., "average": ... } ] } ] } v} *)
+                "time": ..., "average": ... } ] },
+  "metrics": [ { "name": ..., "count": ..., "total_ms": ... } ] } v}
+    The [metrics] array is the current {!Tsg_engine.Metrics} snapshot
+    (graphs analyzed, simulations run, unfolding instances built, wall
+    time per phase). *)
+
+val batch :
+  (string * Tsg.Signal_graph.t * Tsg.Cycle_time.report) Tsg_engine.Batch.entry list ->
+  string
+(** A batch-analysis report: one item per input (either
+    [{"status":"ok", "cycle_time": ...}] or
+    [{"status":"error", "error": ...}]), a success/failure summary and
+    the metrics snapshot. *)
+
+val metrics : unit -> string
+(** Just the {!Tsg_engine.Metrics} snapshot:
+    [{"metrics": [ { "name": ..., "count": ..., "total_ms": ... } ]}]. *)
 
 val slack : Tsg.Signal_graph.t -> Tsg.Slack.report -> string
 (** Per-arc slacks:

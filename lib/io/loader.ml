@@ -1,0 +1,43 @@
+type model = {
+  name : string;
+  graph : Tsg.Signal_graph.t;
+  dialect : [ `Native | `Astg ];
+}
+
+(* substring search by imperative scan: no stack growth on large
+   inputs (the previous hand-rolled scan recursed once per byte) *)
+let contains_sub hay needle =
+  let n = String.length needle and len = String.length hay in
+  let found = ref false in
+  let i = ref 0 in
+  while (not !found) && !i + n <= len do
+    if String.sub hay !i n = needle then found := true else incr i
+  done;
+  !found
+
+let is_astg text =
+  String.split_on_char '\n' text
+  |> List.exists (fun line ->
+         let line =
+           match String.index_opt line '#' with
+           | None -> line
+           | Some i -> String.sub line 0 i
+         in
+         contains_sub line ".marking")
+
+let of_string ?(name = "input") text =
+  if is_astg text then
+    match Astg_format.parse text with
+    | Ok doc ->
+      Ok { name = doc.Astg_format.model; graph = doc.Astg_format.graph; dialect = `Astg }
+    | Error msg -> Error (Printf.sprintf "cannot load %s (astg dialect): %s" name msg)
+  else
+    match Stg_format.parse text with
+    | Ok doc ->
+      Ok { name = doc.Stg_format.model; graph = doc.Stg_format.graph; dialect = `Native }
+    | Error msg -> Error (Printf.sprintf "cannot load %s: %s" name msg)
+
+let load_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error msg -> Error (Printf.sprintf "cannot read %s: %s" path msg)
+  | text -> of_string ~name:path text

@@ -1,0 +1,25 @@
+(** Dialect-sniffing model loader.
+
+    Two text formats are accepted: the native [.g] exchange format
+    ({!Stg_format}) and the astg/petrify dialect ({!Astg_format}).
+    The astg dialect is recognised by a [.marking] section; the sniff
+    ignores comments, so a native file whose comments merely {e
+    mention} [.marking] is not misclassified, and it runs in constant
+    stack space regardless of input size. *)
+
+type model = {
+  name : string;  (** the [.model] name (or the given fallback) *)
+  graph : Tsg.Signal_graph.t;
+  dialect : [ `Native | `Astg ];
+}
+
+val is_astg : string -> bool
+(** True when a [.marking] token occurs outside a [#] comment. *)
+
+val of_string : ?name:string -> string -> (model, string) result
+(** Parse a model from text; [name] (default ["input"]) labels error
+    messages. *)
+
+val load_file : string -> (model, string) result
+(** Read and parse a file; I/O failures come back as [Error] rather
+    than an exception. *)

@@ -216,6 +216,66 @@ let test_generator_pipeline () =
   Alcotest.(check bool) "bad parameters fail" true (code <> 0);
   check_contains "diagnostic" text "tokens out of range"
 
+let test_batch () =
+  let files =
+    List.map (Filename.concat benchmarks)
+      [ "fig1.g"; "ring5.g"; "stack66.g"; "petrify_ring.g" ]
+  in
+  let code, text = run ([ "batch" ] @ files @ [ "--jobs"; "4" ]) in
+  Alcotest.(check int) "batch exit 0" 0 code;
+  (* per-file cycle times equal the single-file analyze output *)
+  check_contains "batch" text "cycle time = 10";
+  check_contains "batch" text "cycle time = 6.66667 (= 20/3)";
+  check_contains "batch" text "cycle time = 33";
+  check_contains "batch" text "cycle time = 4";
+  check_contains "batch" text "4 models analyzed, 0 errors";
+  let code, text = run ([ "batch" ] @ files @ [ "--jobs"; "4"; "--json" ]) in
+  Alcotest.(check int) "batch --json exit 0" 0 code;
+  check_contains "batch json" text {|"cycle_time":10|};
+  check_contains "batch json" text {|"cycle_time":6.666666666666667|};
+  check_contains "batch json" text {|"status":"ok"|};
+  check_contains "batch json" text {|"succeeded":4,"failed":0|};
+  check_contains "batch json" text {|"metrics":[|};
+  check_contains "batch json" text {|"name":"analyze/simulate"|}
+
+let test_batch_keeps_going_on_malformed_input () =
+  let bad = Filename.temp_file "malformed" ".g" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove bad)
+    (fun () ->
+      Out_channel.with_open_text bad (fun oc ->
+          Out_channel.output_string oc ".model broken\n.graph\nnot an arc line\n.end\n");
+      let files = [ Filename.concat benchmarks "fig1.g"; bad; Filename.concat benchmarks "ring5.g" ] in
+      let code, text = run ([ "batch" ] @ files @ [ "--jobs"; "4" ]) in
+      Alcotest.(check int) "batch with malformed input exits 0" 0 code;
+      check_contains "good file before the error" text "cycle time = 10";
+      check_contains "error entry" text "ERROR:";
+      check_contains "good file after the error" text "cycle time = 6.66667 (= 20/3)";
+      check_contains "summary" text "3 models analyzed, 1 error";
+      let code, text = run ([ "batch" ] @ files @ [ "--json" ]) in
+      Alcotest.(check int) "json batch with malformed input exits 0" 0 code;
+      check_contains "json error entry" text {|"status":"error"|};
+      check_contains "json summary" text {|"succeeded":2,"failed":1|})
+
+let test_dialect_sniffing_ignores_comments () =
+  (* regression: a native .g whose comments mention .marking used to be
+     misclassified as the astg dialect and rejected *)
+  let path = Filename.temp_file "sniff" ".g" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Out_channel.with_open_text path (fun oc ->
+          Out_channel.output_string oc
+            "# native dialect: there is no .marking section in this format\n\
+             .model sniff\n\
+             .graph\n\
+             a+ b+ 1\n\
+             b+ a+ 1 token\n\
+             .end\n");
+      let code, text = run [ "analyze"; path ] in
+      Alcotest.(check int) "native file with .marking comment analyzes" 0 code;
+      check_contains "sniff" text "cycle time = 2")
+
 let test_error_handling () =
   let code, _ = run [ "analyze"; "/nonexistent/model.g" ] in
   Alcotest.(check bool) "missing file fails" true (code <> 0);
@@ -257,6 +317,11 @@ let () =
           Alcotest.test_case "parametric" `Quick test_parametric;
           Alcotest.test_case "check and optimize" `Quick test_check_and_optimize;
           Alcotest.test_case "tsg-gen pipeline" `Quick test_generator_pipeline;
+          Alcotest.test_case "batch" `Quick test_batch;
+          Alcotest.test_case "batch keeps going on malformed input" `Quick
+            test_batch_keeps_going_on_malformed_input;
+          Alcotest.test_case "dialect sniffing ignores comments" `Quick
+            test_dialect_sniffing_ignores_comments;
           Alcotest.test_case "error handling" `Quick test_error_handling;
         ] );
     ]
