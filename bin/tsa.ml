@@ -90,21 +90,27 @@ let analyze_cmd =
     (Cmd.info "analyze" ~doc)
     Term.(const run $ input_arg $ periods_arg $ jobs_arg $ json_arg)
 
+(* load + analyze one model; the shared job of batch mode and the
+   serve daemon *)
+let analyze_model ?periods path =
+  match load_model path with
+  | Error msg -> Error msg
+  | Ok (name, g) -> (
+    match Cycle_time.analyze ?periods g with
+    | report -> Ok (name, g, report)
+    | exception Cycle_time.Not_analyzable msg -> Error msg)
+
 let batch_cmd =
   let files_arg =
     let doc = "Input models (.g files or built-ins), analyzed concurrently." in
     Arg.(non_empty & pos_all string [] & info [] ~docv:"MODEL" ~doc)
   in
   let run files periods jobs json =
-    let analyze_one path =
-      match load_model path with
-      | Error msg -> Error msg
-      | Ok (name, g) -> (
-        match Cycle_time.analyze ?periods g with
-        | report -> Ok (name, g, report)
-        | exception Cycle_time.Not_analyzable msg -> Error msg)
+    (* a path repeated in one sweep is analyzed once *)
+    let cache = Tsg_engine.Cache.create ~capacity:(List.length files) () in
+    let entries =
+      Tsg_engine.Batch.run ~jobs ~cache ~label:Fun.id ~f:(analyze_model ?periods) files
     in
-    let entries = Tsg_engine.Batch.run ~jobs ~label:Fun.id ~f:analyze_one files in
     if json then print_endline (Tsg_io.Json_report.batch entries)
     else begin
       let width =
@@ -144,6 +150,127 @@ let batch_cmd =
   Cmd.v
     (Cmd.info "batch" ~doc)
     Term.(const run $ files_arg $ periods_arg $ jobs_arg $ json_arg)
+
+(* ------------------------------------------------------------------ *)
+(* The analysis daemon and its client                                   *)
+
+let socket_arg =
+  let doc = "Path of the Unix-domain socket." in
+  Arg.(required & opt (some string) None & info [ "socket"; "s" ] ~docv:"PATH" ~doc)
+
+let serve_cmd =
+  let cache_size_arg =
+    let doc = "Capacity of the content-addressed result cache (0 disables it)." in
+    Arg.(value & opt int 1024 & info [ "cache-size" ] ~docv:"N" ~doc)
+  in
+  let run socket cache_size jobs =
+    let cache = Tsg_engine.Cache.create ~capacity:cache_size () in
+    (* the cache key is the graph's content (declaration-order
+       independent), the model name and the requested horizon — two
+       files with identical content hit the same entry, an edited
+       file misses and is re-analyzed *)
+    let analyze_cached ?periods path =
+      match load_model path with
+      | Error msg -> Error msg
+      | Ok (name, g) ->
+        let key =
+          Printf.sprintf "%s|%s|%s" (Signal_graph.digest g) name
+            (match periods with None -> "b" | Some n -> string_of_int n)
+        in
+        Tsg_engine.Cache.find_or_add cache key (fun () ->
+            match Cycle_time.analyze ?periods g with
+            | report -> Ok (name, g, report)
+            | exception Cycle_time.Not_analyzable msg -> Error msg)
+    in
+    let handler line =
+      match Tsg_engine.Protocol.parse_request line with
+      | Error msg -> Tsg_engine.Server.Reply (Tsg_io.Rpc.error_response msg)
+      | Ok (Tsg_engine.Protocol.Analyze { path; periods }) ->
+        Tsg_engine.Server.Reply
+          (match analyze_cached ?periods path with
+          | Ok (name, g, report) -> Tsg_io.Rpc.analyze_response ~model:name g report
+          | Error msg -> Tsg_io.Rpc.error_response msg)
+      | Ok (Tsg_engine.Protocol.Batch { paths; periods; jobs = req_jobs }) ->
+        let jobs = match req_jobs with Some j -> j | None -> jobs in
+        let entries =
+          Tsg_engine.Batch.run ~jobs ~label:Fun.id ~f:(analyze_cached ?periods) paths
+        in
+        Tsg_engine.Server.Reply (Tsg_io.Rpc.batch_response entries)
+      | Ok Tsg_engine.Protocol.Stats ->
+        Tsg_engine.Server.Reply
+          (Tsg_io.Rpc.stats_response ~cache:(Tsg_engine.Cache.stats cache) ())
+      | Ok Tsg_engine.Protocol.Shutdown ->
+        Tsg_engine.Server.Final (Tsg_io.Rpc.shutdown_response ())
+    in
+    Fmt.epr "tsa: serving on %s (cache capacity %d); stop with 'tsa client --socket %s --shutdown'@."
+      socket cache_size socket;
+    match Tsg_engine.Server.serve ~socket ~handler () with
+    | () -> Fmt.epr "tsa: server stopped@."
+    | exception Unix.Unix_error (err, fn, arg) ->
+      Fmt.epr "tsa: cannot serve on %s: %s (%s %s)@." socket (Unix.error_message err) fn
+        arg;
+      exit 1
+  in
+  let doc =
+    "Run a long-lived analysis daemon on a Unix-domain socket: requests are \
+     newline-delimited JSON (op analyze/batch/stats/shutdown), analyses are served \
+     from a content-addressed LRU cache and batches run fault-isolated on the \
+     domain pool."
+  in
+  Cmd.v
+    (Cmd.info "serve" ~doc)
+    Term.(const run $ socket_arg $ cache_size_arg $ jobs_arg)
+
+let client_cmd =
+  let files_arg =
+    let doc = "Models to analyze through the daemon (one analyze request each)." in
+    Arg.(value & pos_all string [] & info [] ~docv:"MODEL" ~doc)
+  in
+  let batch_flag =
+    let doc = "Send all models as a single fault-isolated batch request." in
+    Arg.(value & flag & info [ "batch" ] ~doc)
+  in
+  let stats_flag =
+    let doc = "Also request the server's metrics and cache statistics." in
+    Arg.(value & flag & info [ "stats" ] ~doc)
+  in
+  let shutdown_flag =
+    let doc = "Ask the daemon to stop (sent after any analyses)." in
+    Arg.(value & flag & info [ "shutdown" ] ~doc)
+  in
+  let run socket files batch stats shutdown periods jobs =
+    let open Tsg_engine.Protocol in
+    let requests =
+      (if batch && files <> [] then
+         [ Batch { paths = files; periods; jobs = (if jobs > 1 then Some jobs else None) } ]
+       else List.map (fun path -> Analyze { path; periods }) files)
+      @ (if stats then [ Stats ] else [])
+      @ if shutdown then [ Shutdown ] else []
+    in
+    if requests = [] then begin
+      Fmt.epr "tsa: nothing to send (give models, --stats or --shutdown)@.";
+      exit 2
+    end;
+    match
+      Tsg_engine.Server.call ~socket (List.map request_to_string requests)
+    with
+    | responses -> List.iter print_endline responses
+    | exception Unix.Unix_error (err, _, _) ->
+      Fmt.epr "tsa: cannot reach %s: %s (is 'tsa serve' running?)@." socket
+        (Unix.error_message err);
+      exit 1
+    | exception Failure msg ->
+      Fmt.epr "tsa: %s@." msg;
+      exit 1
+  in
+  let doc =
+    "Query a running $(b,tsa serve) daemon: one JSON response line per request."
+  in
+  Cmd.v
+    (Cmd.info "client" ~doc)
+    Term.(
+      const run $ socket_arg $ files_arg $ batch_flag $ stats_flag $ shutdown_flag
+      $ periods_arg $ jobs_arg)
 
 let all_instances u =
   let g = Unfolding.signal_graph u in
@@ -607,6 +734,8 @@ let () =
           [
             analyze_cmd;
             batch_cmd;
+            serve_cmd;
+            client_cmd;
             simulate_cmd;
             diagram_cmd;
             cycles_cmd;

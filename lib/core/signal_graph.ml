@@ -293,6 +293,59 @@ let repetitive_digraph g =
     g.arc_table;
   dg
 
+(* ------------------------------------------------------------------ *)
+(* Canonical form and digest                                           *)
+
+(* Delays are printed as hexadecimal float literals: exact (no decimal
+   rounding can merge distinct delays) and canonical (one spelling per
+   value).  [-0.] compares equal to [0.] and is normalised to it so the
+   two spellings cannot split a digest. *)
+let canonical_delay d = if d = 0. then "0" else Printf.sprintf "%h" d
+
+let canonical_form g =
+  let class_tag = function
+    | Initial -> "i"
+    | Non_repetitive -> "n"
+    | Repetitive -> "r"
+  in
+  let events =
+    Array.to_list
+      (Array.mapi
+         (fun i ev ->
+           Printf.sprintf "%s %s" (Event.to_string ev) (class_tag g.classes.(i)))
+         g.events)
+    |> List.sort compare
+  in
+  let arcs =
+    Array.to_list
+      (Array.map
+         (fun a ->
+           Printf.sprintf "%s %s %s%s%s"
+             (Event.to_string g.events.(a.arc_src))
+             (Event.to_string g.events.(a.arc_dst))
+             (canonical_delay a.delay)
+             (if a.marked then " *" else "")
+             (if a.disengageable then " !" else ""))
+         g.arc_table)
+    |> List.sort compare
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "events\n";
+  List.iter
+    (fun line ->
+      Buffer.add_string buf line;
+      Buffer.add_char buf '\n')
+    events;
+  Buffer.add_string buf "arcs\n";
+  List.iter
+    (fun line ->
+      Buffer.add_string buf line;
+      Buffer.add_char buf '\n')
+    arcs;
+  Buffer.contents buf
+
+let digest g = Digest.to_hex (Digest.string (canonical_form g))
+
 let pp ppf g =
   let class_name = function
     | Initial -> "initial"

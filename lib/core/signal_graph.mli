@@ -128,5 +128,25 @@ val repetitive_digraph : t -> int Tsg_graph.Digraph.t
     the original event ids; non-repetitive vertices are present but
     isolated).  Arc labels are TSG arc ids. *)
 
+(** {1 Canonical form}
+
+    Two graphs that differ only in declaration order — events declared
+    in another sequence, arcs added in another sequence — describe the
+    same Timed Signal Graph.  The canonical form erases that order so
+    equal graphs can be recognised by string (or digest) comparison:
+    it is the key of the content-addressed {!Tsg_engine.Cache}. *)
+
+val canonical_form : t -> string
+(** A canonical text rendering: events (with their classes) sorted,
+    then arcs (source, target, delay, marking, disengageability)
+    sorted.  Delays are written as hexadecimal float literals, so the
+    rendering is exact and [0.]/[-0.] coincide.  Two graphs have equal
+    canonical forms iff they have the same event set and the same arc
+    multiset, regardless of declaration order. *)
+
+val digest : t -> string
+(** The MD5 of {!canonical_form} in lowercase hex — a 32-character
+    stable content address for the graph. *)
+
 val pp : t Fmt.t
 (** A readable multi-line dump of the graph. *)

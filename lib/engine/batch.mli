@@ -20,6 +20,7 @@ type 'a entry = {
 val run :
   ?pool:Pool.t ->
   ?jobs:int ->
+  ?cache:('b, string) result Cache.t ->
   label:('a -> string) ->
   f:('a -> ('b, string) result) ->
   'a list ->
@@ -27,4 +28,14 @@ val run :
 (** [run ~label ~f items] applies [f] to every item, [jobs] at a time
     (default: {!Pool.recommended}; [jobs <= 1] runs sequentially on
     the calling domain), on [pool] (default: {!Pool.default}).
-    Entries come back in the order of [items]. *)
+    Entries come back in the order of [items].
+
+    When [cache] is given, outcomes are remembered under the item's
+    [label]: a sweep containing the same file several times analyzes
+    it once (duplicates report the shared outcome with an
+    [elapsed_ms] of [0.]), and a later sweep given the same cache
+    serves unchanged labels without re-running [f].  Labels are used
+    verbatim as cache keys, so a label must determine the result — to
+    key by {e content} instead (surviving file edits and renames),
+    perform the lookup inside [f] with a [Tsg.Signal_graph.digest]
+    key, as [tsa serve] does. *)

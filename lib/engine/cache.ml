@@ -1,0 +1,153 @@
+(* An LRU cache: a hash table over an intrusive doubly-linked list.
+
+   The list is ordered by recency (head = most recently used); every
+   hit splices its node to the head, every insertion beyond capacity
+   drops the tail.  All operations take the cache mutex; the only
+   user-supplied code that runs under it is nothing — [find_or_add]
+   computes outside the lock. *)
+
+type 'v node = {
+  key : string;
+  mutable value : 'v;
+  mutable prev : 'v node option;  (* towards the head (more recent) *)
+  mutable next : 'v node option;  (* towards the tail (less recent) *)
+}
+
+type 'v t = {
+  cap : int;
+  prefix : string;
+  tbl : (string, 'v node) Hashtbl.t;
+  mutable head : 'v node option;
+  mutable tail : 'v node option;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutex : Mutex.t;
+}
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  length : int;
+  capacity : int;
+}
+
+let create ?(metrics_prefix = "cache") ~capacity () =
+  if capacity < 0 then invalid_arg "Cache.create: negative capacity";
+  {
+    cap = capacity;
+    prefix = metrics_prefix;
+    tbl = Hashtbl.create (max 16 capacity);
+    head = None;
+    tail = None;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    mutex = Mutex.create ();
+  }
+
+let capacity t = t.cap
+
+let locked t f =
+  Mutex.lock t.mutex;
+  match f () with
+  | v ->
+    Mutex.unlock t.mutex;
+    v
+  | exception exn ->
+    Mutex.unlock t.mutex;
+    raise exn
+
+let length t = locked t (fun () -> Hashtbl.length t.tbl)
+
+(* list surgery; caller holds the mutex *)
+
+let detach t n =
+  (match n.prev with Some p -> p.next <- n.next | None -> t.head <- n.next);
+  (match n.next with Some s -> s.prev <- n.prev | None -> t.tail <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.prev <- None;
+  n.next <- t.head;
+  (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
+  t.head <- Some n
+
+let touch t n =
+  match t.head with
+  | Some h when h == n -> ()
+  | _ ->
+    detach t n;
+    push_front t n
+
+let evict_tail t =
+  match t.tail with
+  | None -> ()
+  | Some n ->
+    detach t n;
+    Hashtbl.remove t.tbl n.key;
+    t.evictions <- t.evictions + 1;
+    Metrics.incr (t.prefix ^ "/evictions")
+
+let find t key =
+  locked t @@ fun () ->
+  match Hashtbl.find_opt t.tbl key with
+  | Some n ->
+    touch t n;
+    t.hits <- t.hits + 1;
+    Metrics.incr (t.prefix ^ "/hits");
+    Some n.value
+  | None ->
+    t.misses <- t.misses + 1;
+    Metrics.incr (t.prefix ^ "/misses");
+    None
+
+let add t key v =
+  if t.cap > 0 then
+    locked t @@ fun () ->
+    match Hashtbl.find_opt t.tbl key with
+    | Some n ->
+      n.value <- v;
+      touch t n
+    | None ->
+      if Hashtbl.length t.tbl >= t.cap then evict_tail t;
+      let n = { key; value = v; prev = None; next = None } in
+      Hashtbl.replace t.tbl key n;
+      push_front t n
+
+let find_or_add t key compute =
+  match find t key with
+  | Some v -> v
+  | None ->
+    let v = compute () in
+    add t key v;
+    v
+
+let remove t key =
+  locked t @@ fun () ->
+  match Hashtbl.find_opt t.tbl key with
+  | None -> ()
+  | Some n ->
+    detach t n;
+    Hashtbl.remove t.tbl key
+
+let clear t =
+  locked t @@ fun () ->
+  Hashtbl.reset t.tbl;
+  t.head <- None;
+  t.tail <- None;
+  t.hits <- 0;
+  t.misses <- 0;
+  t.evictions <- 0
+
+let stats t =
+  locked t @@ fun () ->
+  {
+    hits = t.hits;
+    misses = t.misses;
+    evictions = t.evictions;
+    length = Hashtbl.length t.tbl;
+    capacity = t.cap;
+  }

@@ -1,0 +1,324 @@
+type json =
+  | Null
+  | Bool of bool
+  | Number of float
+  | String of string
+  | List of json list
+  | Obj of (string * json) list
+
+(* ------------------------------------------------------------------ *)
+(* Parsing: a plain recursive-descent reader over the input string.    *)
+
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+type state = { src : string; mutable pos : int }
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let advance st = st.pos <- st.pos + 1
+
+let rec skip_ws st =
+  match peek st with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+    advance st;
+    skip_ws st
+  | _ -> ()
+
+let expect st c =
+  match peek st with
+  | Some d when d = c -> advance st
+  | Some d -> fail "expected '%c' but found '%c' at offset %d" c d st.pos
+  | None -> fail "expected '%c' but input ended" c
+
+let literal st word value =
+  let n = String.length word in
+  if st.pos + n <= String.length st.src && String.sub st.src st.pos n = word then begin
+    st.pos <- st.pos + n;
+    value
+  end
+  else fail "invalid literal at offset %d" st.pos
+
+(* UTF-8 encode one scalar value (escapes limited to the BMP, which is
+   all \uXXXX can express without surrogate pairs; pairs are combined
+   below before calling this) *)
+let add_utf8 buf u =
+  if u < 0x80 then Buffer.add_char buf (Char.chr u)
+  else if u < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xC0 lor (u lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3F)))
+  end
+  else if u < 0x10000 then begin
+    Buffer.add_char buf (Char.chr (0xE0 lor (u lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((u lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3F)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xF0 lor (u lsr 18)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((u lsr 12) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((u lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3F)))
+  end
+
+let hex4 st =
+  let digit c =
+    match c with
+    | '0' .. '9' -> Char.code c - Char.code '0'
+    | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+    | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+    | _ -> fail "invalid \\u escape at offset %d" st.pos
+  in
+  let v = ref 0 in
+  for _ = 1 to 4 do
+    (match peek st with
+    | Some c -> v := (!v * 16) + digit c
+    | None -> fail "unterminated \\u escape");
+    advance st
+  done;
+  !v
+
+let parse_string st =
+  expect st '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> fail "unterminated string"
+    | Some '"' ->
+      advance st;
+      Buffer.contents buf
+    | Some '\\' -> (
+      advance st;
+      match peek st with
+      | None -> fail "unterminated escape"
+      | Some c ->
+        advance st;
+        (match c with
+        | '"' -> Buffer.add_char buf '"'
+        | '\\' -> Buffer.add_char buf '\\'
+        | '/' -> Buffer.add_char buf '/'
+        | 'b' -> Buffer.add_char buf '\b'
+        | 'f' -> Buffer.add_char buf '\012'
+        | 'n' -> Buffer.add_char buf '\n'
+        | 'r' -> Buffer.add_char buf '\r'
+        | 't' -> Buffer.add_char buf '\t'
+        | 'u' ->
+          let u = hex4 st in
+          (* combine a surrogate pair when one follows *)
+          if u >= 0xD800 && u <= 0xDBFF
+             && st.pos + 1 < String.length st.src
+             && st.src.[st.pos] = '\\'
+             && st.src.[st.pos + 1] = 'u'
+          then begin
+            st.pos <- st.pos + 2;
+            let lo = hex4 st in
+            if lo >= 0xDC00 && lo <= 0xDFFF then
+              add_utf8 buf (0x10000 + ((u - 0xD800) lsl 10) + (lo - 0xDC00))
+            else begin
+              add_utf8 buf u;
+              add_utf8 buf lo
+            end
+          end
+          else add_utf8 buf u
+        | c -> fail "invalid escape '\\%c'" c);
+        go ())
+    | Some c when Char.code c < 0x20 -> fail "raw control character in string"
+    | Some c ->
+      advance st;
+      Buffer.add_char buf c;
+      go ()
+  in
+  go ()
+
+let parse_number st =
+  let start = st.pos in
+  let consume_while pred =
+    let rec go () =
+      match peek st with
+      | Some c when pred c ->
+        advance st;
+        go ()
+      | _ -> ()
+    in
+    go ()
+  in
+  (match peek st with Some '-' -> advance st | _ -> ());
+  consume_while (function '0' .. '9' -> true | _ -> false);
+  (match peek st with
+  | Some '.' ->
+    advance st;
+    consume_while (function '0' .. '9' -> true | _ -> false)
+  | _ -> ());
+  (match peek st with
+  | Some ('e' | 'E') ->
+    advance st;
+    (match peek st with Some ('+' | '-') -> advance st | _ -> ());
+    consume_while (function '0' .. '9' -> true | _ -> false)
+  | _ -> ());
+  let text = String.sub st.src start (st.pos - start) in
+  match float_of_string_opt text with
+  | Some f -> Number f
+  | None -> fail "invalid number %S at offset %d" text start
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | None -> fail "unexpected end of input"
+  | Some '"' -> String (parse_string st)
+  | Some '{' ->
+    advance st;
+    skip_ws st;
+    if peek st = Some '}' then begin
+      advance st;
+      Obj []
+    end
+    else begin
+      let rec fields acc =
+        skip_ws st;
+        let k = parse_string st in
+        skip_ws st;
+        expect st ':';
+        let v = parse_value st in
+        skip_ws st;
+        match peek st with
+        | Some ',' ->
+          advance st;
+          fields ((k, v) :: acc)
+        | Some '}' ->
+          advance st;
+          List.rev ((k, v) :: acc)
+        | _ -> fail "expected ',' or '}' at offset %d" st.pos
+      in
+      Obj (fields [])
+    end
+  | Some '[' ->
+    advance st;
+    skip_ws st;
+    if peek st = Some ']' then begin
+      advance st;
+      List []
+    end
+    else begin
+      let rec elements acc =
+        let v = parse_value st in
+        skip_ws st;
+        match peek st with
+        | Some ',' ->
+          advance st;
+          elements (v :: acc)
+        | Some ']' ->
+          advance st;
+          List.rev (v :: acc)
+        | _ -> fail "expected ',' or ']' at offset %d" st.pos
+      in
+      List (elements [])
+    end
+  | Some 't' -> literal st "true" (Bool true)
+  | Some 'f' -> literal st "false" (Bool false)
+  | Some 'n' -> literal st "null" Null
+  | Some ('-' | '0' .. '9') -> parse_number st
+  | Some c -> fail "unexpected character '%c' at offset %d" c st.pos
+
+let json_of_string s =
+  let st = { src = s; pos = 0 } in
+  match parse_value st with
+  | v ->
+    skip_ws st;
+    if st.pos = String.length s then Ok v
+    else Error (Printf.sprintf "trailing garbage at offset %d" st.pos)
+  | exception Parse_error msg -> Error msg
+
+let member k = function
+  | Obj fields -> List.assoc_opt k fields
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Requests                                                            *)
+
+type request =
+  | Analyze of { path : string; periods : int option }
+  | Batch of { paths : string list; periods : int option; jobs : int option }
+  | Stats
+  | Shutdown
+
+let int_field name j =
+  match member name j with
+  | None | Some Null -> Ok None
+  | Some (Number f) when Float.is_integer f -> Ok (Some (int_of_float f))
+  | Some _ -> Error (Printf.sprintf "field %S must be an integer" name)
+
+let string_field name j =
+  match member name j with
+  | Some (String s) -> Ok s
+  | Some _ -> Error (Printf.sprintf "field %S must be a string" name)
+  | None -> Error (Printf.sprintf "missing field %S" name)
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let parse_request line =
+  let* j = json_of_string line in
+  let* op = string_field "op" j in
+  match op with
+  | "analyze" ->
+    let* path = string_field "path" j in
+    let* periods = int_field "periods" j in
+    Ok (Analyze { path; periods })
+  | "batch" ->
+    let* paths =
+      match member "paths" j with
+      | Some (List items) ->
+        List.fold_left
+          (fun acc item ->
+            let* acc = acc in
+            match item with
+            | String s -> Ok (s :: acc)
+            | _ -> Error "field \"paths\" must be a list of strings")
+          (Ok []) items
+        |> Result.map List.rev
+      | Some _ -> Error "field \"paths\" must be a list of strings"
+      | None -> Error "missing field \"paths\""
+    in
+    let* periods = int_field "periods" j in
+    let* jobs = int_field "jobs" j in
+    Ok (Batch { paths; periods; jobs })
+  | "stats" -> Ok Stats
+  | "shutdown" -> Ok Shutdown
+  | op -> Error (Printf.sprintf "unknown op %S" op)
+
+(* ------------------------------------------------------------------ *)
+(* Rendering (the client side); kept tiny — full reports are encoded
+   by Tsg_io.Rpc, which owns the response direction. *)
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let request_to_string = function
+  | Analyze { path; periods } ->
+    let periods =
+      match periods with None -> "" | Some n -> Printf.sprintf ",\"periods\":%d" n
+    in
+    Printf.sprintf {|{"op":"analyze","path":"%s"%s}|} (escape path) periods
+  | Batch { paths; periods; jobs } ->
+    let paths =
+      String.concat "," (List.map (fun p -> "\"" ^ escape p ^ "\"") paths)
+    in
+    let periods =
+      match periods with None -> "" | Some n -> Printf.sprintf ",\"periods\":%d" n
+    in
+    let jobs = match jobs with None -> "" | Some n -> Printf.sprintf ",\"jobs\":%d" n in
+    Printf.sprintf {|{"op":"batch","paths":[%s]%s%s}|} paths periods jobs
+  | Stats -> {|{"op":"stats"}|}
+  | Shutdown -> {|{"op":"shutdown"}|}

@@ -1,0 +1,58 @@
+(** The wire protocol of the {!Server} daemon.
+
+    Requests travel over the socket as {e newline-delimited JSON}: one
+    request object per line, one response object per line, in order.
+    This module owns the request side — a self-contained JSON parser
+    (the engine sits below {!Tsg_io} in the library stack, so it
+    cannot borrow the reporting encoders) and the request grammar.
+    Responses are rendered by [Tsg_io.Rpc].
+
+    The four requests:
+
+    {v {"op":"analyze", "path":"benchmarks/fig1.g", "periods":4}
+{"op":"batch", "paths":["a.g","b.g"], "periods":4, "jobs":2}
+{"op":"stats"}
+{"op":"shutdown"} v}
+
+    [periods] and [jobs] are optional everywhere they appear. *)
+
+(** {1 JSON values} *)
+
+(** A parsed JSON value.  Numbers are kept as [float] ([Number 2.] is
+    both the integer [2] and the float [2.0]); object fields keep
+    their textual order. *)
+type json =
+  | Null
+  | Bool of bool
+  | Number of float
+  | String of string
+  | List of json list
+  | Obj of (string * json) list
+
+val json_of_string : string -> (json, string) result
+(** Parse one JSON value (surrounding whitespace allowed; trailing
+    garbage is an error).  Strings decode the standard escapes,
+    including [\uXXXX] (encoded back to UTF-8). *)
+
+val member : string -> json -> json option
+(** [member k (Obj fields)] is the value of field [k]; [None] when the
+    field is absent or the value is not an object. *)
+
+(** {1 Requests} *)
+
+type request =
+  | Analyze of { path : string; periods : int option }
+      (** analyze one model file (or built-in name) *)
+  | Batch of { paths : string list; periods : int option; jobs : int option }
+      (** analyze many files concurrently, fault-isolated *)
+  | Stats  (** report metrics and cache statistics *)
+  | Shutdown  (** answer once more, then stop the daemon *)
+
+val parse_request : string -> (request, string) result
+(** Parse one request line.  Errors are human-readable and safe to
+    echo back to the client: malformed JSON, a missing or mistyped
+    field, or an unknown ["op"]. *)
+
+val request_to_string : request -> string
+(** Render a request as its single-line JSON wire form (used by the
+    [tsa client] side and by tests; [parse_request] inverts it). *)

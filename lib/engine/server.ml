@@ -1,0 +1,149 @@
+type reply = Reply of string | Final of string
+
+(* last-resort rendering for handler exceptions; the real encoders
+   live in Tsg_io.Rpc, above this library *)
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let internal_error exn =
+  Printf.sprintf {|{"status":"error","error":"internal error: %s"}|}
+    (escape (Printexc.to_string exn))
+
+(* the set of live client sockets, so shutdown can unblock readers *)
+type connections = {
+  mutex : Mutex.t;
+  tbl : (int, Unix.file_descr) Hashtbl.t;  (* keyed by a connection id *)
+  mutable next_id : int;
+}
+
+let register conns fd =
+  Mutex.lock conns.mutex;
+  let id = conns.next_id in
+  conns.next_id <- id + 1;
+  Hashtbl.replace conns.tbl id fd;
+  Mutex.unlock conns.mutex;
+  id
+
+let forget conns id =
+  Mutex.lock conns.mutex;
+  let fd = Hashtbl.find_opt conns.tbl id in
+  Hashtbl.remove conns.tbl id;
+  Mutex.unlock conns.mutex;
+  fd
+
+(* [Unix.close] does not wake a thread blocked reading the same fd,
+   but [Unix.shutdown] does (the read returns EOF); each connection
+   thread then closes its own descriptor on the way out *)
+let shutdown_all conns =
+  Mutex.lock conns.mutex;
+  let fds = Hashtbl.fold (fun _ fd acc -> fd :: acc) conns.tbl [] in
+  Mutex.unlock conns.mutex;
+  List.iter
+    (fun fd -> try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+    fds
+
+let handle_connection ~stop ~handler conns id fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let respond line =
+    Metrics.incr "server/requests";
+    let reply = try handler line with exn -> Reply (internal_error exn) in
+    let text, final = match reply with Reply s -> (s, false) | Final s -> (s, true) in
+    output_string oc text;
+    output_char oc '\n';
+    flush oc;
+    if final then Atomic.set stop true;
+    final
+  in
+  let rec loop () =
+    match
+      match input_line ic with
+      | line -> respond line
+      | exception End_of_file -> true
+    with
+    | false -> loop ()
+    | true -> ()
+    (* a vanished client (reset, broken pipe) or a reader unblocked by
+       shutdown ends the connection quietly *)
+    | exception (Sys_error _ | Unix.Unix_error _) -> ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      match forget conns id with
+      | Some fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+      | None -> ())
+    loop
+
+let serve ?(backlog = 16) ~socket ~handler () =
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.unlink socket with Unix.Unix_error _ -> ());
+  (try
+     Unix.bind listen_fd (Unix.ADDR_UNIX socket);
+     Unix.listen listen_fd backlog
+   with exn ->
+     (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+     raise exn);
+  let stop = Atomic.make false in
+  let conns = { mutex = Mutex.create (); tbl = Hashtbl.create 8; next_id = 0 } in
+  let threads = ref [] in
+  (* the accept loop polls so a Final reply (set on a connection
+     thread) is noticed within a poll interval even with no new client *)
+  let rec accept_loop () =
+    if not (Atomic.get stop) then begin
+      match Unix.select [ listen_fd ] [] [] 0.1 with
+      | [], _, _ -> accept_loop ()
+      | _ :: _, _, _ ->
+        (match Unix.accept listen_fd with
+        | fd, _ ->
+          Metrics.incr "server/connections";
+          let id = register conns fd in
+          let t = Thread.create (fun () -> handle_connection ~stop ~handler conns id fd) () in
+          threads := t :: !threads
+        | exception Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED), _, _) -> ());
+        accept_loop ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+    end
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+      (* unblock any thread still waiting on its client, then join *)
+      shutdown_all conns;
+      List.iter Thread.join !threads;
+      try Unix.unlink socket with Unix.Unix_error _ -> ())
+    accept_loop
+
+let call ~socket requests =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX socket)
+   with exn ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise exn);
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      List.map
+        (fun request ->
+          output_string oc request;
+          output_char oc '\n';
+          flush oc;
+          match input_line ic with
+          | line -> line
+          | exception End_of_file ->
+            failwith "Server.call: connection closed before a response arrived")
+        requests)

@@ -1,0 +1,53 @@
+(** A long-running analysis daemon over a Unix-domain socket.
+
+    One `tsa` invocation pays process start-up, model parsing and a
+    full [O(b^2 m)] analysis for every query.  The daemon keeps the
+    process — its {!Pool} of domains, its {!Cache} of results, its
+    warmed allocator — alive between queries: clients connect to a
+    filesystem socket, write one JSON request per line, and read one
+    JSON response per line (see {!Protocol} for the request grammar).
+
+    The server is transport only: it owns sockets, threads and
+    framing, while the meaning of a request line is delegated to the
+    [handler] so this module depends on neither the model nor the
+    encoders ({!Tsg_io} sits {e above} the engine in the library
+    stack).  The CLI wires the two together in [tsa serve].
+
+    Each connection is served by its own thread; concurrent clients do
+    not block one another, and a handler that raises produces an
+    error response on that connection only.  Heavy work inside the
+    handler should run on the shared {!Pool} (as {!Batch} does), which
+    is how concurrent requests share the machine. *)
+
+type reply =
+  | Reply of string
+      (** answer this request (the string must be one line) and keep
+          serving *)
+  | Final of string
+      (** answer this request, then stop accepting connections, drain
+          the active ones and make {!serve} return — the [shutdown]
+          request *)
+
+val serve : ?backlog:int -> socket:string -> handler:(string -> reply) -> unit -> unit
+(** [serve ~socket ~handler ()] binds [socket] (an existing socket
+    file at that path is replaced), accepts clients and blocks until a
+    handler returns {!Final}.  [backlog] (default 16) is the listen
+    queue length.
+
+    For every request line the handler's reply is written back
+    followed by a newline; replies must therefore be single-line (the
+    JSON encoders never emit newlines).  If the handler raises, the
+    exception is rendered into a [{"status":"error",...}] line instead
+    of killing the connection.  The counters [server/connections] and
+    [server/requests] in {!Metrics} track traffic.
+
+    On return the socket file has been removed.
+    @raise Unix.Unix_error if the socket cannot be created or bound. *)
+
+val call : socket:string -> string list -> string list
+(** [call ~socket requests] connects to a serving daemon, sends each
+    request line in turn — writing one line, then reading its response
+    line — and returns the responses in order.  Raises [Failure] if
+    the server closes the connection before answering everything.
+    This is the client used by [tsa client] and the tests.
+    @raise Unix.Unix_error if the connection fails (e.g. no daemon). *)

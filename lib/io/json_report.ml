@@ -1,68 +1,5 @@
 open Tsg
-
-(* ------------------------------------------------------------------ *)
-(* A minimal JSON writer                                               *)
-
-type json =
-  | Null
-  | Bool of bool
-  | Int of int
-  | Float of float
-  | String of string
-  | List of json list
-  | Obj of (string * json) list
-
-let escape s =
-  let buf = Buffer.create (String.length s + 2) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\r' -> Buffer.add_string buf "\\r"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
-
-let rec emit buf = function
-  | Null -> Buffer.add_string buf "null"
-  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
-  | Int i -> Buffer.add_string buf (string_of_int i)
-  | Float f ->
-    (* JSON has no infinities; callers encode them as null before here *)
-    if Float.is_integer f && abs_float f < 1e15 then
-      Buffer.add_string buf (Printf.sprintf "%.0f" f)
-    else Buffer.add_string buf (Printf.sprintf "%.17g" f)
-  | String s ->
-    Buffer.add_char buf '"';
-    Buffer.add_string buf (escape s);
-    Buffer.add_char buf '"'
-  | List items ->
-    Buffer.add_char buf '[';
-    List.iteri
-      (fun i item ->
-        if i > 0 then Buffer.add_char buf ',';
-        emit buf item)
-      items;
-    Buffer.add_char buf ']'
-  | Obj fields ->
-    Buffer.add_char buf '{';
-    List.iteri
-      (fun i (k, v) ->
-        if i > 0 then Buffer.add_char buf ',';
-        emit buf (String k);
-        Buffer.add_char buf ':';
-        emit buf v)
-      fields;
-    Buffer.add_char buf '}'
-
-let to_string json =
-  let buf = Buffer.create 1024 in
-  emit buf json;
-  Buffer.contents buf
+open Json
 
 (* ------------------------------------------------------------------ *)
 (* Encoders                                                            *)
@@ -79,7 +16,7 @@ let cycle g (c : Cycles.cycle) =
       ("effective_length", Float (Cycles.effective_length c));
     ]
 
-let metrics_json () =
+let metrics_obj () =
   List
     (List.map
        (fun (e : Tsg_engine.Metrics.entry) ->
@@ -91,46 +28,49 @@ let metrics_json () =
            ])
        (Tsg_engine.Metrics.snapshot ()))
 
-let metrics () = to_string (Obj [ ("metrics", metrics_json ()) ])
+let metrics () = to_string (Obj [ ("metrics", metrics_obj ()) ])
+
+let analysis_obj g (r : Cycle_time.report) =
+  Obj
+    [
+      ("cycle_time", Float r.Cycle_time.cycle_time);
+      ("border", List (List.map (event_name g) r.Cycle_time.border));
+      ("periods", Int r.Cycle_time.periods_simulated);
+      ( "critical",
+        Obj
+          [
+            ("event", event_name g r.Cycle_time.critical_event);
+            ("period", Int r.Cycle_time.critical_period);
+            ("cycles", List (List.map (cycle g) r.Cycle_time.critical_cycles));
+          ] );
+      ( "traces",
+        List
+          (List.map
+             (fun (t : Cycle_time.border_trace) ->
+               Obj
+                 [
+                   ("event", event_name g t.Cycle_time.border_event);
+                   ( "samples",
+                     List
+                       (List.map
+                          (fun (s : Cycle_time.sample) ->
+                            Obj
+                              [
+                                ("period", Int s.Cycle_time.period);
+                                ("time", Float s.Cycle_time.time);
+                                ("average", Float s.Cycle_time.average);
+                              ])
+                          t.Cycle_time.samples) );
+                 ])
+             r.Cycle_time.traces) );
+    ]
 
 let analysis g (r : Cycle_time.report) =
-  to_string
-    (Obj
-       [
-         ("cycle_time", Float r.Cycle_time.cycle_time);
-         ("border", List (List.map (event_name g) r.Cycle_time.border));
-         ("periods", Int r.Cycle_time.periods_simulated);
-         ( "critical",
-           Obj
-             [
-               ("event", event_name g r.Cycle_time.critical_event);
-               ("period", Int r.Cycle_time.critical_period);
-               ("cycles", List (List.map (cycle g) r.Cycle_time.critical_cycles));
-             ] );
-         ( "traces",
-           List
-             (List.map
-                (fun (t : Cycle_time.border_trace) ->
-                  Obj
-                    [
-                      ("event", event_name g t.Cycle_time.border_event);
-                      ( "samples",
-                        List
-                          (List.map
-                             (fun (s : Cycle_time.sample) ->
-                               Obj
-                                 [
-                                   ("period", Int s.Cycle_time.period);
-                                   ("time", Float s.Cycle_time.time);
-                                   ("average", Float s.Cycle_time.average);
-                                 ])
-                             t.Cycle_time.samples) );
-                    ])
-                r.Cycle_time.traces) );
-         ("metrics", metrics_json ());
-       ])
+  match analysis_obj g r with
+  | Obj fields -> to_string (Obj (fields @ [ ("metrics", metrics_obj ()) ]))
+  | _ -> assert false
 
-let batch (entries : (string * Signal_graph.t * Cycle_time.report) Tsg_engine.Batch.entry list) =
+let batch_items (entries : (string * Signal_graph.t * Cycle_time.report) Tsg_engine.Batch.entry list) =
   let item (e : _ Tsg_engine.Batch.entry) =
     let common =
       [
@@ -158,19 +98,18 @@ let batch (entries : (string * Signal_graph.t * Cycle_time.report) Tsg_engine.Ba
     List.length
       (List.filter (fun e -> Result.is_error e.Tsg_engine.Batch.outcome) entries)
   in
+  ( List (List.map item entries),
+    Obj
+      [
+        ("total", Int (List.length entries));
+        ("succeeded", Int (List.length entries - failed));
+        ("failed", Int failed);
+      ] )
+
+let batch entries =
+  let items, summary = batch_items entries in
   to_string
-    (Obj
-       [
-         ("items", List (List.map item entries));
-         ( "summary",
-           Obj
-             [
-               ("total", Int (List.length entries));
-               ("succeeded", Int (List.length entries - failed));
-               ("failed", Int failed);
-             ] );
-         ("metrics", metrics_json ());
-       ])
+    (Obj [ ("items", items); ("summary", summary); ("metrics", metrics_obj ()) ])
 
 let slack g (r : Slack.report) =
   to_string

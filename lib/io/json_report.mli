@@ -1,7 +1,8 @@
 (** JSON rendering of analysis results, for downstream tooling
-    (dashboards, regression trackers, CI gates).  The encoder is
-    self-contained — values are emitted with full float precision and
-    proper string escaping. *)
+    (dashboards, regression trackers, CI gates).  All encoders build
+    {!Json} values — full float precision, proper string escaping, no
+    newlines — so every rendered report is also a valid line of the
+    [tsa serve] wire protocol. *)
 
 val analysis : Tsg.Signal_graph.t -> Tsg.Cycle_time.report -> string
 (** The full cycle-time report:
@@ -16,6 +17,12 @@ val analysis : Tsg.Signal_graph.t -> Tsg.Cycle_time.report -> string
     (graphs analyzed, simulations run, unfolding instances built, wall
     time per phase). *)
 
+val analysis_obj : Tsg.Signal_graph.t -> Tsg.Cycle_time.report -> Json.t
+(** The same report as a {!Json} value, {e without} the [metrics]
+    field — a pure function of the graph and report, so equal reports
+    render to byte-identical strings.  {!Rpc} builds the [tsa serve]
+    responses out of it. *)
+
 val batch :
   (string * Tsg.Signal_graph.t * Tsg.Cycle_time.report) Tsg_engine.Batch.entry list ->
   string
@@ -24,9 +31,18 @@ val batch :
     [{"status":"error", "error": ...}]), a success/failure summary and
     the metrics snapshot. *)
 
+val batch_items :
+  (string * Tsg.Signal_graph.t * Tsg.Cycle_time.report) Tsg_engine.Batch.entry list ->
+  Json.t * Json.t
+(** The [(items, summary)] pair of {!batch} as {!Json} values, for
+    embedding in other envelopes (the [tsa serve] batch response). *)
+
 val metrics : unit -> string
 (** Just the {!Tsg_engine.Metrics} snapshot:
     [{"metrics": [ { "name": ..., "count": ..., "total_ms": ... } ]}]. *)
+
+val metrics_obj : unit -> Json.t
+(** The snapshot array itself, for embedding. *)
 
 val slack : Tsg.Signal_graph.t -> Tsg.Slack.report -> string
 (** Per-arc slacks:

@@ -1,0 +1,35 @@
+open Json
+
+let ok fields = to_string (Obj (("status", String "ok") :: fields))
+
+let analyze_response ~model g report =
+  ok
+    [
+      ("model", String model);
+      ("events", Int (Tsg.Signal_graph.event_count g));
+      ("arcs", Int (Tsg.Signal_graph.arc_count g));
+      ("report", Json_report.analysis_obj g report);
+    ]
+
+let batch_response entries =
+  let items, summary = Json_report.batch_items entries in
+  ok [ ("items", items); ("summary", summary) ]
+
+let cache_stats_obj (s : Tsg_engine.Cache.stats) =
+  Obj
+    [
+      ("capacity", Int s.Tsg_engine.Cache.capacity);
+      ("length", Int s.Tsg_engine.Cache.length);
+      ("hits", Int s.Tsg_engine.Cache.hits);
+      ("misses", Int s.Tsg_engine.Cache.misses);
+      ("evictions", Int s.Tsg_engine.Cache.evictions);
+    ]
+
+let stats_response ?cache () =
+  ok
+    (("metrics", Json_report.metrics_obj ())
+    :: (match cache with Some s -> [ ("cache", cache_stats_obj s) ] | None -> []))
+
+let shutdown_response () = ok [ ("stopping", Bool true) ]
+
+let error_response msg = to_string (Obj [ ("status", String "error"); ("error", String msg) ])

@@ -1,0 +1,46 @@
+(** Response encoders for the [tsa serve] wire protocol.
+
+    Requests are parsed by {!Tsg_engine.Protocol} (the engine cannot
+    see this library); responses are rendered here, one JSON object
+    per line.  Every response carries a ["status"] field — ["ok"] or
+    ["error"] — so clients dispatch on one key:
+
+    {v {"status":"ok","model":"fig1","events":8,"arcs":11,
+ "report":{"cycle_time":10,"border":[...],...}}
+{"status":"error","error":"fig1.g: no such file"}
+{"status":"ok","items":[...],"summary":{...}}          (batch)
+{"status":"ok","metrics":[...],"cache":{...}}          (stats)
+{"status":"ok","stopping":true}                        (shutdown) v}
+
+    {!analyze_response} is a pure function of its arguments — no
+    timestamps, no metrics snapshot — so a cached analysis renders to
+    a byte-identical response on every hit. *)
+
+val analyze_response : model:string -> Tsg.Signal_graph.t -> Tsg.Cycle_time.report -> string
+(** [{"status":"ok","model":...,"events":...,"arcs":...,"report":{...}}]
+    where [report] is {!Json_report.analysis_obj} (cycle time, border,
+    periods, critical cycle, per-border traces — no volatile
+    fields). *)
+
+val batch_response :
+  (string * Tsg.Signal_graph.t * Tsg.Cycle_time.report) Tsg_engine.Batch.entry list ->
+  string
+(** [{"status":"ok","items":[...],"summary":{...}}] with the items and
+    summary of {!Json_report.batch_items}: per-item [status], model
+    size, cycle time and critical cycles, or the item's error. *)
+
+val stats_response : ?cache:Tsg_engine.Cache.stats -> unit -> string
+(** [{"status":"ok","metrics":[...],"cache":{...}}]: the current
+    {!Tsg_engine.Metrics} snapshot plus, when given, the server
+    cache's occupancy and hit/miss/eviction counts. *)
+
+val shutdown_response : unit -> string
+(** [{"status":"ok","stopping":true}]. *)
+
+val error_response : string -> string
+(** [{"status":"error","error":...}] — load failures, unanalyzable
+    models, malformed requests. *)
+
+val cache_stats_obj : Tsg_engine.Cache.stats -> Json.t
+(** The [{"capacity":...,"length":...,"hits":...,"misses":...,
+    "evictions":...}] block used by {!stats_response}. *)

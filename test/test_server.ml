@@ -1,0 +1,227 @@
+(* Integration tests of the tsa serve daemon: a real Unix-domain
+   socket, a handler wired exactly like bin/tsa.ml's, concurrent
+   clients, malformed input, and cache behaviour observed through
+   Metrics. *)
+
+open Tsg
+open Tsg_engine
+
+let benchmarks_dir = try Sys.getenv "BENCHMARKS" with Not_found -> "../benchmarks"
+let bench file = Filename.concat benchmarks_dir file
+
+(* the same composition as `tsa serve`: loader -> digest -> cache ->
+   analysis -> Rpc encoders *)
+let make_handler cache =
+  let analyze_cached path =
+    match Tsg_io.Loader.load_file path with
+    | Error msg -> Error msg
+    | Ok m ->
+      let g = m.Tsg_io.Loader.graph in
+      let key = Signal_graph.digest g in
+      Cache.find_or_add cache key (fun () ->
+          match Cycle_time.analyze g with
+          | report -> Ok (m.Tsg_io.Loader.name, g, report)
+          | exception Cycle_time.Not_analyzable msg -> Error msg)
+  in
+  fun line ->
+    match Protocol.parse_request line with
+    | Error msg -> Server.Reply (Tsg_io.Rpc.error_response msg)
+    | Ok (Protocol.Analyze { path; _ }) ->
+      Server.Reply
+        (match analyze_cached path with
+        | Ok (name, g, report) -> Tsg_io.Rpc.analyze_response ~model:name g report
+        | Error msg -> Tsg_io.Rpc.error_response msg)
+    | Ok (Protocol.Batch { paths; _ }) ->
+      let entries = Batch.run ~jobs:2 ~label:Fun.id ~f:analyze_cached paths in
+      Server.Reply (Tsg_io.Rpc.batch_response entries)
+    | Ok Protocol.Stats ->
+      Server.Reply (Tsg_io.Rpc.stats_response ~cache:(Cache.stats cache) ())
+    | Ok Protocol.Shutdown -> Server.Final (Tsg_io.Rpc.shutdown_response ())
+
+let socket_counter = ref 0
+
+let with_server f =
+  incr socket_counter;
+  let socket =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "tsa-test-%d-%d.sock" (Unix.getpid ()) !socket_counter)
+  in
+  let cache = Cache.create ~metrics_prefix:"test-server" ~capacity:32 () in
+  let server = Thread.create (fun () -> Server.serve ~socket ~handler:(make_handler cache) ()) () in
+  (* wait for the daemon to bind *)
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  while (not (Sys.file_exists socket)) && Unix.gettimeofday () < deadline do
+    Thread.yield ()
+  done;
+  Alcotest.(check bool) "server socket appeared" true (Sys.file_exists socket);
+  Fun.protect
+    ~finally:(fun () ->
+      (* stop the daemon if the test body has not already done so *)
+      (try ignore (Server.call ~socket [ {|{"op":"shutdown"}|} ])
+       with Unix.Unix_error _ | Failure _ -> ());
+      Thread.join server)
+    (fun () -> f ~socket ~cache)
+
+(* response inspection through the protocol's own JSON parser *)
+let parse_response line =
+  match Protocol.json_of_string line with
+  | Ok j -> j
+  | Error msg -> Alcotest.failf "unparseable response %S: %s" line msg
+
+let status j =
+  match Protocol.member "status" j with
+  | Some (Protocol.String s) -> s
+  | _ -> Alcotest.fail "response without a status field"
+
+let number_at path j =
+  let rec go j = function
+    | [] -> ( match j with Protocol.Number f -> f | _ -> Alcotest.fail "not a number")
+    | k :: rest -> (
+      match Protocol.member k j with
+      | Some v -> go v rest
+      | None -> Alcotest.failf "missing field %S" k)
+  in
+  go j path
+
+let analyze_req path = Protocol.request_to_string (Protocol.Analyze { path; periods = None })
+
+(* ------------------------------------------------------------------ *)
+
+let test_round_trip () =
+  with_server @@ fun ~socket ~cache:_ ->
+  match Server.call ~socket [ analyze_req (bench "fig1.g"); analyze_req (bench "ring5.g") ] with
+  | [ fig1; ring5 ] ->
+    let fig1 = parse_response fig1 and ring5 = parse_response ring5 in
+    Alcotest.(check string) "fig1 ok" "ok" (status fig1);
+    Helpers.check_float "fig1 cycle time" 10. (number_at [ "report"; "cycle_time" ] fig1);
+    Helpers.check_float "ring5 cycle time" (20. /. 3.)
+      (number_at [ "report"; "cycle_time" ] ring5)
+  | other -> Alcotest.failf "expected two responses, got %d" (List.length other)
+
+let test_malformed_request_is_isolated () =
+  with_server @@ fun ~socket ~cache:_ ->
+  let requests =
+    [
+      "this is not json";
+      {|{"op":"frobnicate"}|};
+      {|{"op":"analyze"}|};
+      {|{"op":"analyze","path":"no_such_file.g"}|};
+      analyze_req (bench "fig1.g");
+    ]
+  in
+  let responses = List.map parse_response (Server.call ~socket requests) in
+  (match responses with
+  | [ bad_json; bad_op; no_path; no_file; good ] ->
+    List.iter
+      (fun r -> Alcotest.(check string) "error status" "error" (status r))
+      [ bad_json; bad_op; no_path; no_file ];
+    (* the connection survived four errors and still answers *)
+    Alcotest.(check string) "subsequent request served" "ok" (status good)
+  | _ -> Alcotest.fail "expected five responses");
+  ()
+
+let test_second_request_is_a_cache_hit () =
+  with_server @@ fun ~socket ~cache ->
+  let req = analyze_req (bench "stack66.g") in
+  let first =
+    match Server.call ~socket [ req ] with [ r ] -> r | _ -> Alcotest.fail "one response"
+  in
+  let sims_after_first = Metrics.count "simulations/initiated" in
+  let analyzed_after_first = Metrics.count "analyze/graphs" in
+  let second =
+    match Server.call ~socket [ req ] with [ r ] -> r | _ -> Alcotest.fail "one response"
+  in
+  Alcotest.(check string) "byte-identical response on the cache hit" first second;
+  Alcotest.(check int)
+    "no second simulation" sims_after_first
+    (Metrics.count "simulations/initiated");
+  Alcotest.(check int)
+    "no second analysis" analyzed_after_first
+    (Metrics.count "analyze/graphs");
+  let s = Cache.stats cache in
+  Alcotest.(check bool) "a hit was recorded" true (s.Cache.hits >= 1);
+  Alcotest.(check string) "first response was ok" "ok" (status (parse_response first))
+
+let test_concurrent_clients () =
+  with_server @@ fun ~socket ~cache:_ ->
+  let files = [ "fig1.g"; "ring5.g"; "fifo2.g"; "fork_join.g" ] in
+  let expected = [ 10.; 20. /. 3.; 5.; 7. ] in
+  let results = Array.make (List.length files) None in
+  let clients =
+    List.mapi
+      (fun i file ->
+        Thread.create
+          (fun () ->
+            (* every client hammers its file a few times on one connection *)
+            let reqs = List.init 3 (fun _ -> analyze_req (bench file)) in
+            match Server.call ~socket reqs with
+            | responses -> results.(i) <- Some responses
+            | exception exn -> results.(i) <- Some [ Printexc.to_string exn ])
+          ())
+      files
+  in
+  List.iter Thread.join clients;
+  List.iteri
+    (fun i lambda ->
+      match results.(i) with
+      | Some (first :: rest) ->
+        let j = parse_response first in
+        Alcotest.(check string) "ok" "ok" (status j);
+        Helpers.check_float "cycle time" lambda (number_at [ "report"; "cycle_time" ] j);
+        List.iter
+          (fun r -> Alcotest.(check string) "identical across the connection" first r)
+          rest
+      | _ -> Alcotest.failf "client %d got no responses" i)
+    expected
+
+let test_batch_and_stats () =
+  with_server @@ fun ~socket ~cache:_ ->
+  let batch =
+    Protocol.request_to_string
+      (Protocol.Batch
+         {
+           paths = [ bench "fig1.g"; "no_such_file.g"; bench "fig1.g" ];
+           periods = None;
+           jobs = Some 2;
+         })
+  in
+  match Server.call ~socket [ batch; {|{"op":"stats"}|} ] with
+  | [ batch_resp; stats_resp ] ->
+    let b = parse_response batch_resp in
+    Alcotest.(check string) "batch ok" "ok" (status b);
+    Helpers.check_float "three items" 3. (number_at [ "summary"; "total" ] b);
+    Helpers.check_float "one failure" 1. (number_at [ "summary"; "failed" ] b);
+    let s = parse_response stats_resp in
+    Alcotest.(check string) "stats ok" "ok" (status s);
+    (* the duplicated fig1.g was served from the cache *)
+    Alcotest.(check bool) "cache hits reported" true
+      (number_at [ "cache"; "hits" ] s >= 1.);
+    (match Protocol.member "metrics" s with
+    | Some (Protocol.List (_ :: _)) -> ()
+    | _ -> Alcotest.fail "stats response carries a metrics snapshot")
+  | other -> Alcotest.failf "expected two responses, got %d" (List.length other)
+
+let test_shutdown_removes_socket () =
+  with_server @@ fun ~socket ~cache:_ ->
+  (match Server.call ~socket [ {|{"op":"shutdown"}|} ] with
+  | [ resp ] -> Alcotest.(check string) "shutdown acknowledged" "ok" (status (parse_response resp))
+  | _ -> Alcotest.fail "expected one response");
+  (* the daemon unlinks its socket on the way out *)
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  while Sys.file_exists socket && Unix.gettimeofday () < deadline do
+    Thread.yield ()
+  done;
+  Alcotest.(check bool) "socket removed" false (Sys.file_exists socket)
+
+let suite =
+  [
+    Alcotest.test_case "analyze round-trip over the socket" `Quick test_round_trip;
+    Alcotest.test_case "malformed requests get JSON errors" `Quick
+      test_malformed_request_is_isolated;
+    Alcotest.test_case "second request is a cache hit" `Quick
+      test_second_request_is_a_cache_hit;
+    Alcotest.test_case "concurrent clients" `Quick test_concurrent_clients;
+    Alcotest.test_case "batch request and stats" `Quick test_batch_and_stats;
+    Alcotest.test_case "shutdown removes the socket" `Quick test_shutdown_removes_socket;
+  ]
