@@ -70,11 +70,27 @@ let json_arg =
   let doc = "Emit machine-readable JSON instead of the textual report." in
   Arg.(value & flag & info [ "json" ] ~doc)
 
+let trace_arg =
+  let doc =
+    "Record a trace of the whole pipeline (load, unfold, one longest-paths span \
+     per border event, backtrack) and write it to $(docv) as Chrome trace-event \
+     JSON — open it in chrome://tracing or https://ui.perfetto.dev."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let write_trace = function
+  | None -> ()
+  | Some path ->
+    Tsg_obs.Trace.write_chrome_json ~path (Tsg_obs.Trace.events ());
+    Fmt.epr "tsa: trace written to %s@." path
+
 let analyze_cmd =
-  let run input periods jobs json =
+  let run input periods jobs json trace =
+    if trace <> None then Tsg_obs.Trace.enable ();
     let name, g = graph_of_input input in
     match Cycle_time.analyze ?periods ~jobs g with
     | report ->
+      write_trace trace;
       if json then print_endline (Tsg_io.Json_report.analysis g report)
       else begin
         Fmt.pr "model: %s (%d events, %d arcs)@.@." name (Signal_graph.event_count g)
@@ -88,7 +104,7 @@ let analyze_cmd =
   let doc = "Compute the cycle time and a critical cycle (the DAC'94 algorithm)." in
   Cmd.v
     (Cmd.info "analyze" ~doc)
-    Term.(const run $ input_arg $ periods_arg $ jobs_arg $ json_arg)
+    Term.(const run $ input_arg $ periods_arg $ jobs_arg $ json_arg $ trace_arg)
 
 (* load + analyze one model; the shared job of batch mode and the
    serve daemon *)
@@ -163,7 +179,20 @@ let serve_cmd =
     let doc = "Capacity of the content-addressed result cache (0 disables it)." in
     Arg.(value & opt int 1024 & info [ "cache-size" ] ~docv:"N" ~doc)
   in
-  let run socket cache_size jobs =
+  let trace_dir_arg =
+    let doc =
+      "Record a trace of every request (server/request spans, cache hit/miss \
+       instants, analysis phases) and write it to $(docv)/tsa-serve-<pid>.json \
+       when the daemon stops."
+    in
+    Arg.(value & opt (some string) None & info [ "trace-dir" ] ~docv:"DIR" ~doc)
+  in
+  let run socket cache_size jobs trace_dir =
+    (match trace_dir with
+    | None -> ()
+    | Some dir ->
+      if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+      Tsg_obs.Trace.enable ());
     let cache = Tsg_engine.Cache.create ~capacity:cache_size () in
     (* the cache key is the graph's content (declaration-order
        independent), the model name and the requested horizon — two
@@ -205,7 +234,13 @@ let serve_cmd =
     Fmt.epr "tsa: serving on %s (cache capacity %d); stop with 'tsa client --socket %s --shutdown'@."
       socket cache_size socket;
     match Tsg_engine.Server.serve ~socket ~handler () with
-    | () -> Fmt.epr "tsa: server stopped@."
+    | () ->
+      Fmt.epr "tsa: server stopped@.";
+      (match trace_dir with
+      | None -> ()
+      | Some dir ->
+        write_trace
+          (Some (Filename.concat dir (Printf.sprintf "tsa-serve-%d.json" (Unix.getpid ())))))
     | exception Unix.Unix_error (err, fn, arg) ->
       Fmt.epr "tsa: cannot serve on %s: %s (%s %s)@." socket (Unix.error_message err) fn
         arg;
@@ -219,7 +254,7 @@ let serve_cmd =
   in
   Cmd.v
     (Cmd.info "serve" ~doc)
-    Term.(const run $ socket_arg $ cache_size_arg $ jobs_arg)
+    Term.(const run $ socket_arg $ cache_size_arg $ jobs_arg $ trace_dir_arg)
 
 let client_cmd =
   let files_arg =
@@ -271,6 +306,172 @@ let client_cmd =
     Term.(
       const run $ socket_arg $ files_arg $ batch_flag $ stats_flag $ shutdown_flag
       $ periods_arg $ jobs_arg)
+
+(* ------------------------------------------------------------------ *)
+(* The regression-bench harness                                        *)
+
+(* one timed analysis: wall-clock totals plus the per-phase wall times
+   read back from the Metrics registry (reset before every iteration,
+   so iterations don't bleed into each other) *)
+type bench_iter = {
+  bi_load : float;
+  bi_total : float;
+  bi_unfold : float;
+  bi_simulate : float;
+  bi_backtrack : float;
+}
+
+let bench_cmd =
+  let files_arg =
+    let doc = "Models to benchmark (default: benchmarks/*.g, sorted)." in
+    Arg.(value & pos_all string [] & info [] ~docv:"MODEL" ~doc)
+  in
+  let iterations_arg =
+    let doc = "Analyses per model; the snapshot records mean and best times." in
+    Arg.(value & opt int 5 & info [ "iterations"; "n" ] ~docv:"N" ~doc)
+  in
+  let out_arg =
+    let doc = "Snapshot path (default: BENCH_<yyyy-mm-dd>.json)." in
+    Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE" ~doc)
+  in
+  let run files iterations json out =
+    let files =
+      if files <> [] then files
+      else if Sys.file_exists "benchmarks" && Sys.is_directory "benchmarks" then
+        Sys.readdir "benchmarks" |> Array.to_list
+        |> List.filter (fun f -> Filename.check_suffix f ".g")
+        |> List.sort compare
+        |> List.map (Filename.concat "benchmarks")
+      else begin
+        Fmt.epr "tsa: no models given and no benchmarks/ directory here@.";
+        exit 2
+      end
+    in
+    let iterations = max 1 iterations in
+    let wall f =
+      let t0 = Unix.gettimeofday () in
+      let r = f () in
+      (r, (Unix.gettimeofday () -. t0) *. 1000.)
+    in
+    let one_iter file =
+      Tsg_engine.Metrics.reset ();
+      match wall (fun () -> load_model file) with
+      | Error msg, _ -> Error msg
+      | Ok (name, g), bi_load -> (
+        match wall (fun () -> Cycle_time.analyze g) with
+        | report, bi_total ->
+          Ok
+            ( name,
+              g,
+              report,
+              {
+                bi_load;
+                bi_total;
+                bi_unfold = Tsg_engine.Metrics.total_ms "analyze/unfold";
+                bi_simulate = Tsg_engine.Metrics.total_ms "analyze/simulate";
+                bi_backtrack = Tsg_engine.Metrics.total_ms "analyze/backtrack";
+              } )
+        | exception Cycle_time.Not_analyzable msg -> Error msg)
+    in
+    (* a model that fails once would fail every time; stop at the first
+       error but keep benchmarking the remaining files *)
+    let bench_one file =
+      let rec go i acc =
+        if i >= iterations then Ok (List.rev acc)
+        else
+          match one_iter file with
+          | Error msg -> if acc = [] then Error msg else Ok (List.rev acc)
+          | Ok r -> go (i + 1) (r :: acc)
+      in
+      (file, go 0 [])
+    in
+    let results = List.map bench_one files in
+    let mean sel rs = List.fold_left (fun s r -> s +. sel r) 0. rs /. float_of_int (List.length rs) in
+    let best sel rs = List.fold_left (fun m r -> Float.min m (sel r)) infinity rs in
+    let module J = Tsg_io.Json in
+    let entry_json (file, outcome) =
+      match outcome with
+      | Error msg ->
+        J.Obj [ ("file", J.String file); ("status", J.String "error"); ("error", J.String msg) ]
+      | Ok runs ->
+        let name, g, report, _ = List.hd runs in
+        let iters = List.map (fun (_, _, _, it) -> it) runs in
+        J.Obj
+          [
+            ("file", J.String file);
+            ("status", J.String "ok");
+            ("model", J.String name);
+            ("events", J.Int (Signal_graph.event_count g));
+            ("arcs", J.Int (Signal_graph.arc_count g));
+            ("border", J.Int (List.length report.Cycle_time.border));
+            ("cycle_time", J.Float report.Cycle_time.cycle_time);
+            ( "total_ms",
+              J.Obj
+                [
+                  ("mean", J.Float (mean (fun i -> i.bi_total) iters));
+                  ("min", J.Float (best (fun i -> i.bi_total) iters));
+                ] );
+            ( "phases_ms",
+              J.Obj
+                [
+                  ("load", J.Float (mean (fun i -> i.bi_load) iters));
+                  ("unfold", J.Float (mean (fun i -> i.bi_unfold) iters));
+                  ("simulate", J.Float (mean (fun i -> i.bi_simulate) iters));
+                  ("backtrack", J.Float (mean (fun i -> i.bi_backtrack) iters));
+                ] );
+          ]
+    in
+    let date =
+      let tm = Unix.localtime (Unix.time ()) in
+      Printf.sprintf "%04d-%02d-%02d" (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1)
+        tm.Unix.tm_mday
+    in
+    let snapshot =
+      J.Obj
+        [
+          ("schema", J.String "tsa-bench/1");
+          ("date", J.String date);
+          ("iterations", J.Int iterations);
+          ("benchmarks", J.List (List.map entry_json results));
+        ]
+    in
+    let rendered = J.to_string snapshot in
+    let path = Option.value out ~default:(Printf.sprintf "BENCH_%s.json" date) in
+    let oc = open_out path in
+    output_string oc rendered;
+    output_char oc '\n';
+    close_out oc;
+    if json then print_endline rendered
+    else begin
+      let width = List.fold_left (fun w f -> max w (String.length f)) 5 files in
+      Fmt.pr "%-*s  %8s  %10s  %8s  %8s  %9s  %9s@." width "model" "cycle" "total(ms)"
+        "load" "unfold" "simulate" "backtrack";
+      List.iter
+        (fun (file, outcome) ->
+          match outcome with
+          | Error msg -> Fmt.pr "%-*s  ERROR: %s@." width file msg
+          | Ok runs ->
+            let report = (fun (_, _, r, _) -> r) (List.hd runs) in
+            let iters = List.map (fun (_, _, _, it) -> it) runs in
+            Fmt.pr "%-*s  %8g  %10.2f  %8.2f  %8.2f  %9.2f  %9.2f@." width file
+              report.Cycle_time.cycle_time
+              (mean (fun i -> i.bi_total) iters)
+              (mean (fun i -> i.bi_load) iters)
+              (mean (fun i -> i.bi_unfold) iters)
+              (mean (fun i -> i.bi_simulate) iters)
+              (mean (fun i -> i.bi_backtrack) iters))
+        results
+    end;
+    Fmt.epr "tsa: snapshot written to %s@." path
+  in
+  let doc =
+    "Benchmark the analysis pipeline: time every model over N iterations with a \
+     per-phase breakdown (load/unfold/simulate/backtrack) and write a dated JSON \
+     snapshot for regression tracking."
+  in
+  Cmd.v
+    (Cmd.info "bench" ~doc)
+    Term.(const run $ files_arg $ iterations_arg $ json_arg $ out_arg)
 
 let all_instances u =
   let g = Unfolding.signal_graph u in
@@ -734,6 +935,7 @@ let () =
           [
             analyze_cmd;
             batch_cmd;
+            bench_cmd;
             serve_cmd;
             client_cmd;
             simulate_cmd;

@@ -32,22 +32,36 @@ let trace_of u periods g0 =
   ({ border_event = g0; samples }, sim)
 
 let analyze ?periods ?(jobs = 1) g =
+  let args =
+    if Tsg_obs.Trace.enabled () then
+      [
+        ("events", string_of_int (Signal_graph.event_count g));
+        ("arcs", string_of_int (Signal_graph.arc_count g));
+        ("jobs", string_of_int jobs);
+      ]
+    else []
+  in
+  Tsg_obs.Trace.with_span "analyze" ~args @@ fun () ->
+  Tsg_engine.Metrics.time_hist "analyze/ms" @@ fun () ->
   Tsg_engine.Metrics.incr "analyze/graphs";
   if Signal_graph.repetitive_count g = 0 then
     raise (Not_analyzable "the graph has no repetitive events");
-  let border = Cut_set.border g in
+  let border = Tsg_obs.Trace.with_span "border" (fun () -> Cut_set.border g) in
   let b = List.length border in
   if b = 0 then
     raise (Not_analyzable "the graph has no border events (no initial activity)");
   let periods = match periods with Some p -> max 1 p | None -> b in
   (* instances g_0 .. g_periods are needed, hence periods+1 layers *)
   let u =
+    Tsg_obs.Trace.with_span "unfold" @@ fun () ->
     Tsg_engine.Metrics.time "analyze/unfold" @@ fun () ->
     let u = Unfolding.make g ~periods:(periods + 1) in
     Unfolding.warm_caches u;
     u
   in
   let traces_and_sims =
+    Tsg_obs.Trace.with_span "simulate" ~args:[ ("border_events", string_of_int b) ]
+    @@ fun () ->
     Tsg_engine.Metrics.time "analyze/simulate" @@ fun () ->
     Array.to_list (Parallel.map ~jobs (trace_of u periods) (Array.of_list border))
   in
@@ -66,6 +80,7 @@ let analyze ?periods ?(jobs = 1) g =
   match best with
   | None -> raise (Not_analyzable "no average occurrence distance was collected")
   | Some (critical_event, critical_period, cycle_time) ->
+    Tsg_obs.Trace.with_span "backtrack" @@ fun () ->
     Tsg_engine.Metrics.time "analyze/backtrack" @@ fun () ->
     (* backtrack the longest path that realised the maximum *)
     let sim =

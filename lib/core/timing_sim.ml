@@ -60,14 +60,28 @@ let reachable_from u at =
   done;
   seen
 
+(* span arguments are only worth naming events for when someone is
+   actually recording *)
+let span_args u ~at =
+  if Tsg_obs.Trace.enabled () then begin
+    let event, period = Unfolding.event_of_instance u at in
+    [
+      ("event", Event.to_string (Signal_graph.event (Unfolding.signal_graph u) event));
+      ("period", string_of_int period);
+    ]
+  end
+  else []
+
 let simulate u =
   Tsg_engine.Metrics.incr "simulations/full";
+  Tsg_obs.Trace.with_span "longest_paths" ~args:[ ("kind", "full") ] @@ fun () ->
   let n = Unfolding.instance_count u in
   let restrict = Array.make n true in
   longest_paths u ~roots:(Unfolding.initial_instances u) ~restrict
 
 let simulate_initiated u ~at =
   Tsg_engine.Metrics.incr "simulations/initiated";
+  Tsg_obs.Trace.with_span "longest_paths" ~args:(span_args u ~at) @@ fun () ->
   longest_paths u ~roots:[ at ] ~restrict:(reachable_from u at)
 
 let occurrence_times u r ~event =

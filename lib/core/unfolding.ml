@@ -22,6 +22,8 @@ let instance_id t ~event ~period =
 
 let make sg ~periods =
   if periods < 1 then invalid_arg "Unfolding.make: periods must be >= 1";
+  Tsg_obs.Trace.with_span "unfolding/make" ~args:[ ("periods", string_of_int periods) ]
+  @@ fun () ->
   let n_events = Signal_graph.event_count sg in
   let rep_list = Signal_graph.repetitive_events sg in
   let r = List.length rep_list in
@@ -172,6 +174,7 @@ let delays t =
     d
 
 let warm_caches t =
+  Tsg_obs.Trace.with_span "unfolding/warm" @@ fun () ->
   ignore (in_adjacency t);
   ignore (out_adjacency t);
   ignore (topological_order t);

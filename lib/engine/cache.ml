@@ -98,10 +98,12 @@ let find t key =
     touch t n;
     t.hits <- t.hits + 1;
     Metrics.incr (t.prefix ^ "/hits");
+    Tsg_obs.Trace.instant (t.prefix ^ "/hit") ~args:[ ("key", key) ];
     Some n.value
   | None ->
     t.misses <- t.misses + 1;
     Metrics.incr (t.prefix ^ "/misses");
+    Tsg_obs.Trace.instant (t.prefix ^ "/miss") ~args:[ ("key", key) ];
     None
 
 let add t key v =

@@ -5,6 +5,10 @@ type cell = { mutable c_count : int; mutable c_total_ms : float }
 let lock = Mutex.create ()
 let cells : (string, cell) Hashtbl.t = Hashtbl.create 32
 
+(* one latency histogram per observed series; created on first use,
+   forgotten (layout and all) by [reset] *)
+let hists : (string, Tsg_obs.Histogram.t) Hashtbl.t = Hashtbl.create 8
+
 let cell name =
   match Hashtbl.find_opt cells name with
   | Some c -> c
@@ -32,6 +36,35 @@ let time name f =
   let t0 = now_ms () in
   Fun.protect ~finally:(fun () -> add_ms name (now_ms () -. t0)) f
 
+let hist name =
+  Mutex.lock lock;
+  let h =
+    match Hashtbl.find_opt hists name with
+    | Some h -> h
+    | None ->
+      let h = Tsg_obs.Histogram.create () in
+      Hashtbl.add hists name h;
+      h
+  in
+  Mutex.unlock lock;
+  h
+
+let observe_ms name ms =
+  add_ms name ms;
+  Tsg_obs.Histogram.observe (hist name) ms
+
+let time_hist name f =
+  let t0 = now_ms () in
+  Fun.protect ~finally:(fun () -> observe_ms name (now_ms () -. t0)) f
+
+let histograms () =
+  Mutex.lock lock;
+  let hs = Hashtbl.fold (fun name h acc -> (name, h) :: acc) hists [] in
+  Mutex.unlock lock;
+  (* snapshot outside the metrics lock: each histogram has its own *)
+  List.map (fun (name, h) -> (name, Tsg_obs.Histogram.snapshot h)) hs
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
 let count name =
   Mutex.lock lock;
   let n = match Hashtbl.find_opt cells name with Some c -> c.c_count | None -> 0 in
@@ -57,4 +90,5 @@ let snapshot () =
 let reset () =
   Mutex.lock lock;
   Hashtbl.reset cells;
+  Hashtbl.reset hists;
   Mutex.unlock lock

@@ -1,14 +1,30 @@
-(** Lightweight process-wide counters and wall-clock timers.
+(** Lightweight process-wide counters, wall-clock timers and latency
+    histograms.
 
     Instrumentation points throughout the library (graphs analyzed,
     timing simulations run, unfoldings built, wall time per analysis
-    phase, batch outcomes) bump named entries here; reporters
-    ({!Tsg_io.Json_report}, the CLI) read them back with {!snapshot}.
+    phase, batch outcomes, daemon request latency) bump named entries
+    here; reporters ({!Tsg_io.Json_report}, the CLI, the daemon's
+    [stats] response) read them back with {!snapshot} and
+    {!histograms}.
 
     Entries are created on first use.  All operations are
     mutex-protected and safe to call from any domain; they are meant
-    for coarse events (one per analysis phase, not per arc), where the
-    lock cost is negligible. *)
+    for coarse events (one per analysis phase or request, not per
+    arc), where the lock cost is negligible.
+
+    {2 Reset semantics}
+
+    The registry is {e engine-wide mutable state}: every analysis in
+    the process accumulates into the same entries.  {!reset} forgets
+    {e everything} — plain counters, timer totals {e and} latency
+    histograms — atomically with respect to concurrent bumps, and
+    entries reappear empty on their next use.  Callers that need
+    per-run numbers (the [tsa bench] harness times each iteration in
+    isolation this way) must bracket the run with [reset] and
+    {!snapshot}/{!histograms}; in a shared process such as the daemon,
+    resetting would discard other clients' history, so the daemon
+    never resets and its [stats] are cumulative since start-up. *)
 
 type entry = {
   name : string;
@@ -22,9 +38,20 @@ val incr : ?by:int -> string -> unit
 val add_ms : string -> float -> unit
 (** Record one completed measurement of [ms] wall milliseconds. *)
 
+val observe_ms : string -> float -> unit
+(** {!add_ms}, and additionally feed the value into the entry's
+    latency histogram (a {!Tsg_obs.Histogram} with the default
+    buckets, created on first use) so percentiles can be read back
+    with {!histograms}. *)
+
 val time : string -> (unit -> 'a) -> 'a
 (** [time name f] runs [f ()] and records its wall-clock duration
     under [name] (also when [f] raises). *)
+
+val time_hist : string -> (unit -> 'a) -> 'a
+(** {!time}, but recording through {!observe_ms} — use for latency
+    series whose distribution matters (requests, whole analyses), not
+    just the total. *)
 
 val count : string -> int
 (** The current count of an entry, [0] if it was never bumped. *)
@@ -33,7 +60,13 @@ val total_ms : string -> float
 (** The accumulated wall time of an entry, [0.] if absent. *)
 
 val snapshot : unit -> entry list
-(** Every entry, sorted by name. *)
+(** Every counter/timer entry, sorted by name. *)
+
+val histograms : unit -> (string * Tsg_obs.Histogram.snapshot) list
+(** Every latency histogram ({!observe_ms}/{!time_hist} series),
+    sorted by name.  Each snapshot is consistent on its own; the list
+    as a whole is not a single atomic cut across series. *)
 
 val reset : unit -> unit
-(** Forget all entries (tests, or per-request accounting). *)
+(** Forget all entries {e and} histograms (tests, or per-iteration
+    accounting in [tsa bench]) — see the reset semantics above. *)

@@ -60,11 +60,17 @@ let handle_connection ~stop ~handler conns id fd =
   let oc = Unix.out_channel_of_descr fd in
   let respond line =
     Metrics.incr "server/requests";
-    let reply = try handler line with exn -> Reply (internal_error exn) in
+    let t0 = Unix.gettimeofday () in
+    let reply =
+      Tsg_obs.Trace.with_span "server/request" (fun () ->
+          try handler line with exn -> Reply (internal_error exn))
+    in
     let text, final = match reply with Reply s -> (s, false) | Final s -> (s, true) in
     output_string oc text;
     output_char oc '\n';
     flush oc;
+    (* latency includes writing the response back — what a client sees *)
+    Metrics.observe_ms "server/request_ms" ((Unix.gettimeofday () -. t0) *. 1000.);
     if final then Atomic.set stop true;
     final
   in

@@ -17,7 +17,12 @@
     not block one another, and a handler that raises produces an
     error response on that connection only.  Heavy work inside the
     handler should run on the shared {!Pool} (as {!Batch} does), which
-    is how concurrent requests share the machine. *)
+    is how concurrent requests share the machine.
+
+    Every request is observed: a [server/request] span in
+    {!Tsg_obs.Trace} (when tracing is enabled) and a
+    [server/request_ms] latency histogram in {!Metrics}, from which
+    the [stats] response reports p50/p95/p99. *)
 
 type reply =
   | Reply of string
@@ -39,7 +44,8 @@ val serve : ?backlog:int -> socket:string -> handler:(string -> reply) -> unit -
     JSON encoders never emit newlines).  If the handler raises, the
     exception is rendered into a [{"status":"error",...}] line instead
     of killing the connection.  The counters [server/connections] and
-    [server/requests] in {!Metrics} track traffic.
+    [server/requests] and the latency histogram [server/request_ms]
+    in {!Metrics} track traffic.
 
     On return the socket file has been removed.
     @raise Unix.Unix_error if the socket cannot be created or bound. *)

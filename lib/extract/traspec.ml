@@ -127,7 +127,10 @@ let indexed_occurrences history node dir =
   List.rev result
 
 let extract ?(rounds = 60) ?(check = true) ?(max_states = 100_000) net =
-  let sim = simulate ~rounds net in
+  Tsg_obs.Trace.with_span "extract"
+    ~args:[ ("nodes", string_of_int (Tsg_circuit.Netlist.node_count net)) ]
+  @@ fun () ->
+  let sim = Tsg_obs.Trace.with_span "extract/simulate" (fun () -> simulate ~rounds net) in
   let n = Tsg_circuit.Netlist.node_count net in
   let name_of node = (Tsg_circuit.Netlist.node_of_index net node).Tsg_circuit.Netlist.name in
   let is_input node =
@@ -266,7 +269,10 @@ let extract ?(rounds = 60) ?(check = true) ?(max_states = 100_000) net =
         errs
   in
   let verdict =
-    if check then Some (Distributive.check (State_graph.explore ~max_states net))
+    if check then
+      Some
+        (Tsg_obs.Trace.with_span "extract/state_space" (fun () ->
+             Distributive.check (State_graph.explore ~max_states net)))
     else None
   in
   (match verdict with

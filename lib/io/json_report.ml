@@ -30,6 +30,39 @@ let metrics_obj () =
 
 let metrics () = to_string (Obj [ ("metrics", metrics_obj ()) ])
 
+(* latency histograms: JSON has no NaN, so empty-histogram statistics
+   render as null *)
+let histogram_obj name (s : Tsg_obs.Histogram.snapshot) =
+  let module H = Tsg_obs.Histogram in
+  let opt_float f = if Float.is_nan f then Null else Float f in
+  let pct p = opt_float (H.percentile s p) in
+  let buckets =
+    List.filteri (fun i _ -> s.H.counts.(i) > 0)
+      (Array.to_list
+         (Array.init (Array.length s.H.counts) (fun i ->
+              Obj
+                [
+                  ( "le_ms",
+                    if i < Array.length s.H.bounds then Float s.H.bounds.(i) else Null );
+                  ("count", Int s.H.counts.(i));
+                ])))
+  in
+  Obj
+    [
+      ("name", String name);
+      ("count", Int s.H.count);
+      ("mean_ms", opt_float (H.mean s));
+      ("min_ms", opt_float s.H.min);
+      ("max_ms", opt_float s.H.max);
+      ("p50_ms", pct 50.);
+      ("p95_ms", pct 95.);
+      ("p99_ms", pct 99.);
+      ("buckets", List buckets);
+    ]
+
+let histograms_obj () =
+  List (List.map (fun (name, s) -> histogram_obj name s) (Tsg_engine.Metrics.histograms ()))
+
 let analysis_obj g (r : Cycle_time.report) =
   Obj
     [

@@ -44,6 +44,20 @@ val metrics : unit -> string
 val metrics_obj : unit -> Json.t
 (** The snapshot array itself, for embedding. *)
 
+val histogram_obj : string -> Tsg_obs.Histogram.snapshot -> Json.t
+(** One latency histogram:
+    {v { "name": ..., "count": ..., "mean_ms": ..., "min_ms": ...,
+  "max_ms": ..., "p50_ms": ..., "p95_ms": ..., "p99_ms": ...,
+  "buckets": [ { "le_ms": <bound or null for overflow>,
+                 "count": ... } ] } v}
+    Statistics of an empty histogram render as [null] (JSON has no
+    NaN); empty buckets are omitted. *)
+
+val histograms_obj : unit -> Json.t
+(** Every {!Tsg_engine.Metrics.histograms} series as a list of
+    {!histogram_obj} — the [latency] block of the daemon's [stats]
+    response. *)
+
 val slack : Tsg.Signal_graph.t -> Tsg.Slack.report -> string
 (** Per-arc slacks:
     {v { "cycle_time": ..., "arcs": [ { "id": ..., "src": ...,

@@ -26,7 +26,11 @@ let is_astg text =
          contains_sub line ".marking")
 
 let of_string ?(name = "input") text =
-  if is_astg text then
+  Tsg_obs.Trace.with_span "load" ~args:[ ("name", name) ] @@ fun () ->
+  let astg = Tsg_obs.Trace.with_span "load/sniff" (fun () -> is_astg text) in
+  let dialect = if astg then "astg" else "native" in
+  Tsg_obs.Trace.with_span "load/parse" ~args:[ ("dialect", dialect) ] @@ fun () ->
+  if astg then
     match Astg_format.parse text with
     | Ok doc ->
       Ok { name = doc.Astg_format.model; graph = doc.Astg_format.graph; dialect = `Astg }

@@ -28,6 +28,7 @@ let cache_stats_obj (s : Tsg_engine.Cache.stats) =
 let stats_response ?cache () =
   ok
     (("metrics", Json_report.metrics_obj ())
+    :: ("latency", Json_report.histograms_obj ())
     :: (match cache with Some s -> [ ("cache", cache_stats_obj s) ] | None -> []))
 
 let shutdown_response () = ok [ ("stopping", Bool true) ]

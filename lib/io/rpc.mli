@@ -9,7 +9,8 @@
  "report":{"cycle_time":10,"border":[...],...}}
 {"status":"error","error":"fig1.g: no such file"}
 {"status":"ok","items":[...],"summary":{...}}          (batch)
-{"status":"ok","metrics":[...],"cache":{...}}          (stats)
+{"status":"ok","metrics":[...],"latency":[...],
+ "cache":{...}}                                        (stats)
 {"status":"ok","stopping":true}                        (shutdown) v}
 
     {!analyze_response} is a pure function of its arguments — no
@@ -30,9 +31,12 @@ val batch_response :
     size, cycle time and critical cycles, or the item's error. *)
 
 val stats_response : ?cache:Tsg_engine.Cache.stats -> unit -> string
-(** [{"status":"ok","metrics":[...],"cache":{...}}]: the current
-    {!Tsg_engine.Metrics} snapshot plus, when given, the server
-    cache's occupancy and hit/miss/eviction counts. *)
+(** [{"status":"ok","metrics":[...],"latency":[...],"cache":{...}}]:
+    the current {!Tsg_engine.Metrics} snapshot, the latency
+    histograms ({!Json_report.histograms_obj} — the daemon's
+    [server/request_ms] series carries request p50/p95/p99) and, when
+    given, the server cache's occupancy and hit/miss/eviction
+    counts. *)
 
 val shutdown_response : unit -> string
 (** [{"status":"ok","stopping":true}]. *)

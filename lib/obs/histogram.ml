@@ -1,0 +1,117 @@
+type t = {
+  bounds : float array;
+  counts : int array;  (* length bounds + 1; last = overflow *)
+  mutable count : int;
+  mutable sum : float;
+  mutable min_v : float;
+  mutable max_v : float;
+  mutex : Mutex.t;
+}
+
+type snapshot = {
+  count : int;
+  sum : float;
+  min : float;
+  max : float;
+  bounds : float array;
+  counts : int array;
+}
+
+(* 1-2-5 decades: wide dynamic range with few buckets, so observe
+   stays a short linear scan *)
+let default_bounds =
+  [|
+    0.01; 0.02; 0.05; 0.1; 0.2; 0.5; 1.; 2.; 5.; 10.; 20.; 50.; 100.; 200.; 500.;
+    1000.; 2000.; 5000.; 10000.; 30000.; 60000.;
+  |]
+
+let create ?(bounds = default_bounds) () =
+  if Array.length bounds = 0 then invalid_arg "Histogram.create: no buckets";
+  Array.iteri
+    (fun i b ->
+      if i > 0 && bounds.(i - 1) >= b then
+        invalid_arg "Histogram.create: bounds must be strictly increasing")
+    bounds;
+  {
+    bounds = Array.copy bounds;
+    counts = Array.make (Array.length bounds + 1) 0;
+    count = 0;
+    sum = 0.;
+    min_v = nan;
+    max_v = nan;
+    mutex = Mutex.create ();
+  }
+
+let bucket_of (t : t) v =
+  let n = Array.length t.bounds in
+  let i = ref 0 in
+  while !i < n && v > t.bounds.(!i) do
+    incr i
+  done;
+  !i
+
+let observe (t : t) v =
+  Mutex.lock t.mutex;
+  let b = bucket_of t v in
+  t.counts.(b) <- t.counts.(b) + 1;
+  t.count <- t.count + 1;
+  t.sum <- t.sum +. v;
+  if t.count = 1 then begin
+    t.min_v <- v;
+    t.max_v <- v
+  end
+  else begin
+    if v < t.min_v then t.min_v <- v;
+    if v > t.max_v then t.max_v <- v
+  end;
+  Mutex.unlock t.mutex
+
+let count (t : t) =
+  Mutex.lock t.mutex;
+  let n = t.count in
+  Mutex.unlock t.mutex;
+  n
+
+let snapshot (t : t) =
+  Mutex.lock t.mutex;
+  let s =
+    {
+      count = t.count;
+      sum = t.sum;
+      min = t.min_v;
+      max = t.max_v;
+      bounds = Array.copy t.bounds;
+      counts = Array.copy t.counts;
+    }
+  in
+  Mutex.unlock t.mutex;
+  s
+
+let reset (t : t) =
+  Mutex.lock t.mutex;
+  Array.fill t.counts 0 (Array.length t.counts) 0;
+  t.count <- 0;
+  t.sum <- 0.;
+  t.min_v <- nan;
+  t.max_v <- nan;
+  Mutex.unlock t.mutex
+
+let percentile (s : snapshot) p =
+  if p < 0. || p > 100. then invalid_arg "Histogram.percentile: p outside 0..100";
+  if s.count = 0 then nan
+  else begin
+    (* the rank of the p-th observation, 1-based; p = 0 means rank 1 *)
+    let rank = max 1 (int_of_float (ceil (p /. 100. *. float_of_int s.count))) in
+    let n = Array.length s.bounds in
+    let i = ref 0 in
+    let cum = ref s.counts.(0) in
+    while !cum < rank && !i < n do
+      incr i;
+      cum := !cum + s.counts.(!i)
+    done;
+    (* the overflow bucket has no upper bound; the observed maximum
+       also clamps every estimate, which keeps p100 exact *)
+    if !i >= n then s.max else Float.min s.bounds.(!i) s.max
+  end
+
+let mean (s : snapshot) = if s.count = 0 then nan else s.sum /. float_of_int s.count

@@ -1,0 +1,66 @@
+(** Fixed-bucket latency histograms with percentile estimation.
+
+    A histogram is a set of cumulative-style buckets over
+    milliseconds: bucket [i] counts the observations [v] with
+    [v <= bounds.(i)] (and above the previous bound); one overflow
+    bucket catches everything beyond the last bound.  Because the
+    bucket layout is fixed at creation, {!observe} is O(#buckets)
+    with no allocation, safe to call per request, and two snapshots
+    taken at different times are directly comparable.
+
+    Percentiles are {e upper-bound estimates}: {!percentile} returns
+    the upper bound of the bucket containing the p-th ranked
+    observation, clamped to the true observed maximum.  The estimate
+    is monotone in [p] by construction, so
+    [p50 <= p95 <= p99 <= max] always holds — the property test in
+    [test/test_histogram.ml] pins this down.
+
+    {!Tsg_engine.Metrics} keeps one histogram per named latency
+    series ([Metrics.observe_ms]); the daemon reports them through
+    the [stats] response and [tsa client --stats]. *)
+
+type t
+(** A mutable histogram; all operations are mutex-protected and safe
+    from any domain or thread. *)
+
+type snapshot = {
+  count : int;  (** observations recorded *)
+  sum : float;  (** sum of all observed values (for the mean) *)
+  min : float;  (** smallest observation; [nan] when empty *)
+  max : float;  (** largest observation; [nan] when empty *)
+  bounds : float array;  (** the bucket upper bounds, strictly increasing *)
+  counts : int array;
+      (** per-bucket counts, [Array.length bounds + 1] entries — the
+          last is the overflow bucket *)
+}
+
+val default_bounds : float array
+(** Log-spaced 1-2-5 bounds from 0.01 ms to 60 s — wide enough for a
+    cache hit and a quarter-million-event analysis in one histogram. *)
+
+val create : ?bounds:float array -> unit -> t
+(** A fresh histogram.  [bounds] must be strictly increasing and
+    non-empty (defaults to {!default_bounds}).
+    @raise Invalid_argument otherwise. *)
+
+val observe : t -> float -> unit
+(** Record one value (a latency in milliseconds, by convention). *)
+
+val count : t -> int
+(** Observations so far. *)
+
+val snapshot : t -> snapshot
+(** A consistent point-in-time copy; the returned arrays are fresh. *)
+
+val reset : t -> unit
+(** Forget every observation (the bucket layout is kept). *)
+
+val percentile : snapshot -> float -> float
+(** [percentile s p] for [p] in [0..100]: the upper bound of the
+    bucket holding the [p]-th ranked observation, clamped to
+    [s.max] (so [percentile s 100. = s.max]).  [nan] when the
+    histogram is empty.
+    @raise Invalid_argument if [p] is outside [0..100]. *)
+
+val mean : snapshot -> float
+(** [sum /. count]; [nan] when empty. *)

@@ -1,0 +1,87 @@
+(** Nestable tracing spans with a Chrome trace-event exporter.
+
+    The whole pipeline — loading, extraction, unfolding, the
+    per-border-event timing simulations, backtracking, cache lookups,
+    daemon requests — opens spans here; [tsa analyze --trace FILE]
+    and [tsa serve --trace-dir DIR] turn the recording on and export
+    the buffer as Chrome trace-event JSON, viewable in
+    [chrome://tracing] or {{:https://ui.perfetto.dev}Perfetto}.
+
+    Tracing is {e off} by default and the disabled path is one atomic
+    load per span — cheap enough to leave the instrumentation in every
+    hot path (the cache-hit micro-benchmark E13 cannot tell the
+    difference).  When enabled, every span costs a mutex-protected
+    buffer push at span {e end}; timestamps are
+    [Unix.gettimeofday]-based microseconds relative to the moment
+    {!enable} was called.
+
+    All operations are safe from any domain or thread.  The thread id
+    recorded per span is the {e domain} id, so spans from the worker
+    pool land on separate rows of the trace viewer while the
+    coordinating domain keeps its own. *)
+
+type kind =
+  | Span of { dur_us : float; depth : int }
+      (** a completed interval; [depth] is its nesting depth within
+          its domain at the time it was opened (0 = top level) *)
+  | Instant  (** a point event (e.g. a cache hit) *)
+  | Counter of float  (** a sampled value *)
+
+type event = {
+  name : string;
+  cat : string;  (** Chrome "category"; defaults to ["timesim"] *)
+  ts_us : float;  (** start time, microseconds since {!enable} *)
+  tid : int;  (** domain id *)
+  args : (string * string) list;
+  kind : kind;
+}
+
+val enabled : unit -> bool
+(** Whether spans are currently being recorded. *)
+
+val enable : unit -> unit
+(** Start recording: clears the buffer, re-zeroes the clock, and turns
+    every subsequent {!with_span}/{!instant}/{!counter} into a real
+    recording. *)
+
+val disable : unit -> unit
+(** Stop recording.  The buffer is kept (read it with {!events});
+    spans still open finish silently. *)
+
+val clear : unit -> unit
+(** Drop all recorded events without toggling {!enabled}. *)
+
+val with_span :
+  ?cat:string -> ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** [with_span name f] runs [f ()] inside a span named [name]:
+    when recording, the span's duration (also on raise) and its
+    nesting depth within the current domain are captured.  When
+    disabled this is [f ()] plus one atomic load.  [args] are evaluated
+    by the caller — guard expensive argument construction behind
+    {!enabled}. *)
+
+val instant : ?cat:string -> ?args:(string * string) list -> string -> unit
+(** Record a point event (no duration). *)
+
+val counter : string -> float -> unit
+(** Record a sampled value (rendered as a counter track). *)
+
+val events : unit -> event list
+(** Everything recorded since the last {!enable}/{!clear}, in
+    chronological start order (ties broken outermost first, so a
+    parent span precedes its children). *)
+
+val durations : event list -> (string * int * float) list
+(** Aggregate the [Span] events by name: [(name, count, total_us)],
+    sorted by name.  This is what [tsa bench] folds into per-phase
+    columns. *)
+
+val to_chrome_json : ?pid:int -> event list -> string
+(** Render as a Chrome trace-event document:
+    [{"traceEvents":[...],"displayTimeUnit":"ms"}].  Spans become
+    ["ph":"X"] complete events (with [ts]/[dur] in microseconds),
+    instants ["ph":"i"], counters ["ph":"C"].  [pid] defaults to the
+    current process id.  The output contains no newlines. *)
+
+val write_chrome_json : ?pid:int -> path:string -> event list -> unit
+(** {!to_chrome_json} straight to a file. *)

@@ -1,0 +1,107 @@
+(* Latency histograms: bucket assignment, percentile estimation (a
+   qcheck property pins p50 <= p95 <= p99 <= max), reset, and the
+   Metrics registry integration used by the daemon's stats response. *)
+
+open Tsg_obs
+
+let test_bucket_assignment () =
+  let h = Histogram.create ~bounds:[| 1.; 10.; 100. |] () in
+  List.iter (Histogram.observe h) [ 0.5; 1.; 5.; 10.; 99.; 1000. ];
+  let s = Histogram.snapshot h in
+  Alcotest.(check int) "count" 6 s.Histogram.count;
+  (* <=1 | <=10 | <=100 | overflow *)
+  Alcotest.(check (array int)) "bucket counts" [| 2; 2; 1; 1 |] s.Histogram.counts;
+  Alcotest.(check (float 1e-9)) "min" 0.5 s.Histogram.min;
+  Alcotest.(check (float 1e-9)) "max" 1000. s.Histogram.max;
+  Alcotest.(check (float 1e-9)) "sum" 1115.5 s.Histogram.sum
+
+let test_known_percentiles () =
+  let h = Histogram.create ~bounds:[| 1.; 2.; 5.; 10. |] () in
+  (* 100 observations: 50 in <=1, 40 in <=5, 10 in <=10 *)
+  for _ = 1 to 50 do Histogram.observe h 0.5 done;
+  for _ = 1 to 40 do Histogram.observe h 3. done;
+  for _ = 1 to 10 do Histogram.observe h 8. done;
+  let s = Histogram.snapshot h in
+  Alcotest.(check (float 1e-9)) "p50 is the first bucket's bound" 1.
+    (Histogram.percentile s 50.);
+  Alcotest.(check (float 1e-9)) "p90 reaches the 5ms bucket" 5.
+    (Histogram.percentile s 90.);
+  Alcotest.(check (float 1e-9)) "p99 is clamped to the observed max" 8.
+    (Histogram.percentile s 99.);
+  Alcotest.(check (float 1e-9)) "p100 is exactly the max" 8.
+    (Histogram.percentile s 100.);
+  Alcotest.(check (float 1e-9)) "mean" ((50. *. 0.5 +. 40. *. 3. +. 10. *. 8.) /. 100.)
+    (Histogram.mean s)
+
+let test_empty_histogram () =
+  let s = Histogram.snapshot (Histogram.create ()) in
+  Alcotest.(check int) "empty count" 0 s.Histogram.count;
+  Alcotest.(check bool) "nan percentile" true (Float.is_nan (Histogram.percentile s 50.));
+  Alcotest.(check bool) "nan mean" true (Float.is_nan (Histogram.mean s))
+
+let test_invalid_arguments () =
+  Alcotest.check_raises "empty bounds" (Invalid_argument "Histogram.create: no buckets")
+    (fun () -> ignore (Histogram.create ~bounds:[||] ()));
+  Alcotest.check_raises "non-increasing bounds"
+    (Invalid_argument "Histogram.create: bounds must be strictly increasing") (fun () ->
+      ignore (Histogram.create ~bounds:[| 1.; 1. |] ()));
+  let s = Histogram.snapshot (Histogram.create ()) in
+  Alcotest.check_raises "percentile out of range"
+    (Invalid_argument "Histogram.percentile: p outside 0..100") (fun () ->
+      ignore (Histogram.percentile s 101.))
+
+let test_reset () =
+  let h = Histogram.create () in
+  Histogram.observe h 3.;
+  Histogram.observe h 7.;
+  Alcotest.(check int) "observed" 2 (Histogram.count h);
+  Histogram.reset h;
+  Alcotest.(check int) "forgotten" 0 (Histogram.count h);
+  Histogram.observe h 1.;
+  let s = Histogram.snapshot h in
+  Alcotest.(check int) "usable after reset" 1 s.Histogram.count;
+  Alcotest.(check (float 1e-9)) "fresh min" 1. s.Histogram.min
+
+(* percentile estimates are monotone in p and never exceed the
+   observed maximum — the invariant the daemon's stats response
+   relies on *)
+let percentile_monotone =
+  QCheck.Test.make ~count:200 ~name:"p50 <= p95 <= p99 <= max"
+    QCheck.(list_of_size Gen.(1 -- 50) (float_bound_exclusive 10_000.))
+    (fun samples ->
+      QCheck.assume (samples <> []);
+      let h = Histogram.create () in
+      List.iter (fun v -> Histogram.observe h (Float.abs v)) samples;
+      let s = Histogram.snapshot h in
+      let p50 = Histogram.percentile s 50.
+      and p95 = Histogram.percentile s 95.
+      and p99 = Histogram.percentile s 99. in
+      p50 <= p95 && p95 <= p99 && p99 <= s.Histogram.max)
+
+let test_metrics_integration () =
+  Tsg_engine.Metrics.reset ();
+  Tsg_engine.Metrics.observe_ms "itest/ms" 1.;
+  Tsg_engine.Metrics.observe_ms "itest/ms" 3.;
+  ignore (Tsg_engine.Metrics.time_hist "itest/ms" (fun () -> ()));
+  (* observe_ms doubles as add_ms: totals and counts agree *)
+  Alcotest.(check int) "counter side" 3 (Tsg_engine.Metrics.count "itest/ms");
+  (match Tsg_engine.Metrics.histograms () with
+  | [ ("itest/ms", s) ] ->
+    Alcotest.(check int) "histogram side" 3 s.Histogram.count;
+    Alcotest.(check bool) "percentile available" true
+      (not (Float.is_nan (Histogram.percentile s 50.)))
+  | hs -> Alcotest.failf "expected one histogram, got %d" (List.length hs));
+  Tsg_engine.Metrics.reset ();
+  Alcotest.(check int) "reset forgets histograms" 0
+    (List.length (Tsg_engine.Metrics.histograms ()))
+
+let suite =
+  [
+    Alcotest.test_case "bucket assignment" `Quick test_bucket_assignment;
+    Alcotest.test_case "known-data percentiles" `Quick test_known_percentiles;
+    Alcotest.test_case "empty histogram" `Quick test_empty_histogram;
+    Alcotest.test_case "invalid arguments" `Quick test_invalid_arguments;
+    Alcotest.test_case "reset" `Quick test_reset;
+    QCheck_alcotest.to_alcotest percentile_monotone;
+    Alcotest.test_case "Metrics registry integration" `Quick test_metrics_integration;
+  ]

@@ -202,6 +202,41 @@ let test_batch_and_stats () =
     | _ -> Alcotest.fail "stats response carries a metrics snapshot")
   | other -> Alcotest.failf "expected two responses, got %d" (List.length other)
 
+let test_stats_reports_latency_percentiles () =
+  with_server @@ fun ~socket ~cache:_ ->
+  (* several requests first, so the daemon has a latency distribution
+     to report *)
+  let n = 5 in
+  let reqs = List.init n (fun _ -> analyze_req (bench "fig1.g")) in
+  ignore (Server.call ~socket reqs);
+  match Server.call ~socket [ {|{"op":"stats"}|} ] with
+  | [ stats_resp ] -> (
+    let s = parse_response stats_resp in
+    Alcotest.(check string) "stats ok" "ok" (status s);
+    let entries =
+      match Protocol.member "latency" s with
+      | Some (Protocol.List l) -> l
+      | _ -> Alcotest.fail "stats response carries a latency block"
+    in
+    match
+      List.find_opt
+        (fun e ->
+          Protocol.member "name" e = Some (Protocol.String "server/request_ms"))
+        entries
+    with
+    | None -> Alcotest.fail "no server/request_ms histogram in stats"
+    | Some e ->
+      Alcotest.(check bool) "every request was measured" true
+        (number_at [ "count" ] e >= float_of_int n);
+      let p50 = number_at [ "p50_ms" ] e
+      and p95 = number_at [ "p95_ms" ] e
+      and p99 = number_at [ "p99_ms" ] e
+      and max_ms = number_at [ "max_ms" ] e in
+      Alcotest.(check bool) "percentiles are monotone" true
+        (p50 <= p95 && p95 <= p99 && p99 <= max_ms);
+      Alcotest.(check bool) "latencies are positive" true (p50 > 0.))
+  | other -> Alcotest.failf "expected one response, got %d" (List.length other)
+
 let test_shutdown_removes_socket () =
   with_server @@ fun ~socket ~cache:_ ->
   (match Server.call ~socket [ {|{"op":"shutdown"}|} ] with
@@ -223,5 +258,7 @@ let suite =
       test_second_request_is_a_cache_hit;
     Alcotest.test_case "concurrent clients" `Quick test_concurrent_clients;
     Alcotest.test_case "batch request and stats" `Quick test_batch_and_stats;
+    Alcotest.test_case "stats reports latency percentiles" `Quick
+      test_stats_reports_latency_percentiles;
     Alcotest.test_case "shutdown removes the socket" `Quick test_shutdown_removes_socket;
   ]
