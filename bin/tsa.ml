@@ -12,6 +12,10 @@ let builtin = function
   | "fig1" -> Some (Tsg_circuit.Circuit_library.fig1_tsg ())
   | "ring5" -> Some (Tsg_circuit.Circuit_library.muller_ring_tsg ~stages:5 ())
   | "stack" -> Some (Tsg_circuit.Circuit_library.async_stack_tsg ())
+  | "gen-dense" ->
+    (* synthetic bench workload: big enough that the simulate phase
+       dominates and kernel-level wins show above timer noise *)
+    Some (Tsg_circuit.Generators.random_live_tsg ~seed:7 ~events:120 ~extra_arcs:240 ())
   | _ -> None
 
 (* dialect sniffing (".marking" outside comments -> astg) lives in
@@ -63,8 +67,15 @@ let resolve_event g ev =
 (* ------------------------------------------------------------------ *)
 
 let jobs_arg =
-  let doc = "Run the per-border-event simulations on N domains." in
+  let doc =
+    "Run the per-border-event simulations on N domains; 0 means auto (one per \
+     recommended domain)."
+  in
   Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
+(* [--jobs 0] means "use the whole machine", uniformly across analyze,
+   batch, serve and the RPC [jobs] field *)
+let resolve_jobs j = if j <= 0 then Tsg_engine.Pool.recommended () else j
 
 let json_arg =
   let doc = "Emit machine-readable JSON instead of the textual report." in
@@ -87,6 +98,7 @@ let write_trace = function
 let analyze_cmd =
   let run input periods jobs json trace =
     if trace <> None then Tsg_obs.Trace.enable ();
+    let jobs = resolve_jobs jobs in
     let name, g = graph_of_input input in
     match Cycle_time.analyze ?periods ~jobs g with
     | report ->
@@ -122,6 +134,7 @@ let batch_cmd =
     Arg.(non_empty & pos_all string [] & info [] ~docv:"MODEL" ~doc)
   in
   let run files periods jobs json =
+    let jobs = resolve_jobs jobs in
     (* a path repeated in one sweep is analyzed once *)
     let cache = Tsg_engine.Cache.create ~capacity:(List.length files) () in
     let entries =
@@ -188,6 +201,7 @@ let serve_cmd =
     Arg.(value & opt (some string) None & info [ "trace-dir" ] ~docv:"DIR" ~doc)
   in
   let run socket cache_size jobs trace_dir =
+    let jobs = resolve_jobs jobs in
     (match trace_dir with
     | None -> ()
     | Some dir ->
@@ -220,7 +234,7 @@ let serve_cmd =
           | Ok (name, g, report) -> Tsg_io.Rpc.analyze_response ~model:name g report
           | Error msg -> Tsg_io.Rpc.error_response msg)
       | Ok (Tsg_engine.Protocol.Batch { paths; periods; jobs = req_jobs }) ->
-        let jobs = match req_jobs with Some j -> j | None -> jobs in
+        let jobs = match req_jobs with Some j -> resolve_jobs j | None -> jobs in
         let entries =
           Tsg_engine.Batch.run ~jobs ~label:Fun.id ~f:(analyze_cached ?periods) paths
         in
@@ -277,7 +291,7 @@ let client_cmd =
     let open Tsg_engine.Protocol in
     let requests =
       (if batch && files <> [] then
-         [ Batch { paths = files; periods; jobs = (if jobs > 1 then Some jobs else None) } ]
+         [ Batch { paths = files; periods; jobs = (if jobs = 1 then None else Some jobs) } ]
        else List.map (fun path -> Analyze { path; periods }) files)
       @ (if stats then [ Stats ] else [])
       @ if shutdown then [ Shutdown ] else []
@@ -338,10 +352,13 @@ let bench_cmd =
     let files =
       if files <> [] then files
       else if Sys.file_exists "benchmarks" && Sys.is_directory "benchmarks" then
-        Sys.readdir "benchmarks" |> Array.to_list
+        (Sys.readdir "benchmarks" |> Array.to_list
         |> List.filter (fun f -> Filename.check_suffix f ".g")
         |> List.sort compare
-        |> List.map (Filename.concat "benchmarks")
+        |> List.map (Filename.concat "benchmarks"))
+        (* plus the built-in synthetic workload: large enough that the
+           simulate phase dominates the pipeline *)
+        @ [ "gen-dense" ]
       else begin
         Fmt.epr "tsa: no models given and no benchmarks/ directory here@.";
         exit 2
@@ -353,12 +370,12 @@ let bench_cmd =
       let r = f () in
       (r, (Unix.gettimeofday () -. t0) *. 1000.)
     in
-    let one_iter file =
+    let one_iter ~jobs file =
       Tsg_engine.Metrics.reset ();
       match wall (fun () -> load_model file) with
       | Error msg, _ -> Error msg
       | Ok (name, g), bi_load -> (
-        match wall (fun () -> Cycle_time.analyze g) with
+        match wall (fun () -> Cycle_time.analyze ~jobs g) with
         | report, bi_total ->
           Ok
             ( name,
@@ -375,19 +392,42 @@ let bench_cmd =
     in
     (* a model that fails once would fail every time; stop at the first
        error but keep benchmarking the remaining files *)
-    let bench_one file =
+    let bench_one ~jobs file =
       let rec go i acc =
         if i >= iterations then Ok (List.rev acc)
         else
-          match one_iter file with
+          match one_iter ~jobs file with
           | Error msg -> if acc = [] then Error msg else Ok (List.rev acc)
           | Ok r -> go (i + 1) (r :: acc)
       in
       (file, go 0 [])
     in
-    let results = List.map bench_one files in
+    let results = List.map (bench_one ~jobs:1) files in
     let mean sel rs = List.fold_left (fun s r -> s +. sel r) 0. rs /. float_of_int (List.length rs) in
     let best sel rs = List.fold_left (fun m r -> Float.min m (sel r)) infinity rs in
+    (* jobs scaling: re-run every model at 1, 2 and the recommended
+       domain count (deduplicated) and record the simulate-phase and
+       total means per level *)
+    let job_levels =
+      List.sort_uniq compare [ 1; 2; Tsg_engine.Pool.recommended () ]
+    in
+    let scaling =
+      List.map
+        (fun file ->
+          ( file,
+            List.filter_map
+              (fun jobs ->
+                match snd (bench_one ~jobs file) with
+                | Error _ -> None
+                | Ok runs ->
+                  let iters = List.map (fun (_, _, _, it) -> it) runs in
+                  Some
+                    ( jobs,
+                      mean (fun i -> i.bi_simulate) iters,
+                      mean (fun i -> i.bi_total) iters ))
+              job_levels ))
+        files
+    in
     let module J = Tsg_io.Json in
     let entry_json (file, outcome) =
       match outcome with
@@ -419,6 +459,20 @@ let bench_cmd =
                   ("simulate", J.Float (mean (fun i -> i.bi_simulate) iters));
                   ("backtrack", J.Float (mean (fun i -> i.bi_backtrack) iters));
                 ] );
+            ( "jobs_scaling",
+              J.List
+                (match List.assoc_opt file scaling with
+                | None -> []
+                | Some levels ->
+                  List.map
+                    (fun (jobs, simulate_ms, total_ms) ->
+                      J.Obj
+                        [
+                          ("jobs", J.Int jobs);
+                          ("simulate_ms", J.Float simulate_ms);
+                          ("total_ms", J.Float total_ms);
+                        ])
+                    levels) );
           ]
     in
     let date =
@@ -429,9 +483,10 @@ let bench_cmd =
     let snapshot =
       J.Obj
         [
-          ("schema", J.String "tsa-bench/1");
+          ("schema", J.String "tsa-bench/2");
           ("date", J.String date);
           ("iterations", J.Int iterations);
+          ("jobs_levels", J.List (List.map (fun j -> J.Int j) job_levels));
           ("benchmarks", J.List (List.map entry_json results));
         ]
     in
@@ -460,7 +515,19 @@ let bench_cmd =
               (mean (fun i -> i.bi_unfold) iters)
               (mean (fun i -> i.bi_simulate) iters)
               (mean (fun i -> i.bi_backtrack) iters))
-        results
+        results;
+      Fmt.pr "@.jobs scaling (simulate-phase mean ms)@.";
+      Fmt.pr "%-*s" width "model";
+      List.iter (fun j -> Fmt.pr "  %9s" (Printf.sprintf "jobs=%d" j)) job_levels;
+      Fmt.pr "@.";
+      List.iter
+        (fun (file, levels) ->
+          if levels <> [] then begin
+            Fmt.pr "%-*s" width file;
+            List.iter (fun (_, simulate_ms, _) -> Fmt.pr "  %9.2f" simulate_ms) levels;
+            Fmt.pr "@."
+          end)
+        scaling
     end;
     Fmt.epr "tsa: snapshot written to %s@." path
   in

@@ -16,20 +16,17 @@ exception Not_analyzable of string
 
 let ratio_tolerance = 1e-9
 
-(* the per-border-event work item: one event-initiated simulation and
-   its Delta samples; pure and safe to run on any domain once the
-   unfolding's caches are warm *)
-let trace_of u periods g0 =
-  let sim =
-    Timing_sim.simulate_initiated u ~at:(Unfolding.instance u ~event:g0 ~period:0)
-  in
+(* the per-border-event work item: read the Delta samples straight out
+   of the kernel's arena (the view is only valid inside this callback,
+   so only the samples themselves are allocated per border event) *)
+let trace_of u periods g0 view =
   let samples =
     List.init periods (fun k ->
         let period = k + 1 in
-        let time = sim.Timing_sim.time.(Unfolding.instance u ~event:g0 ~period) in
+        let time = Timing_sim.view_time view (Unfolding.instance u ~event:g0 ~period) in
         { period; time; average = time /. float_of_int period })
   in
-  ({ border_event = g0; samples }, sim)
+  { border_event = g0; samples }
 
 let analyze ?periods ?(jobs = 1) g =
   let args =
@@ -59,13 +56,20 @@ let analyze ?periods ?(jobs = 1) g =
     Unfolding.warm_caches u;
     u
   in
-  let traces_and_sims =
+  let traces =
     Tsg_obs.Trace.with_span "simulate" ~args:[ ("border_events", string_of_int b) ]
     @@ fun () ->
     Tsg_engine.Metrics.time "analyze/simulate" @@ fun () ->
-    Array.to_list (Parallel.map ~jobs (trace_of u periods) (Array.of_list border))
+    let roots =
+      Array.map
+        (fun g0 -> Unfolding.instance u ~event:g0 ~period:0)
+        (Array.of_list border)
+    in
+    Array.to_list
+      (Timing_sim.simulate_many ~jobs u ~roots ~f:(fun at view ->
+           let g0, _ = Unfolding.event_of_instance u at in
+           trace_of u periods g0 view))
   in
-  let traces = List.map fst traces_and_sims in
   let best =
     List.fold_left
       (fun acc trace ->
@@ -82,13 +86,13 @@ let analyze ?periods ?(jobs = 1) g =
   | Some (critical_event, critical_period, cycle_time) ->
     Tsg_obs.Trace.with_span "backtrack" @@ fun () ->
     Tsg_engine.Metrics.time "analyze/backtrack" @@ fun () ->
-    (* backtrack the longest path that realised the maximum *)
+    (* backtrack the longest path that realised the maximum; the
+       samples were read out of recycled arenas, so re-run the one
+       critical simulation (1/b of the simulate phase) to recover the
+       predecessor arrays *)
     let sim =
-      match
-        List.find_opt (fun (t, _) -> t.border_event = critical_event) traces_and_sims
-      with
-      | Some (_, sim) -> sim
-      | None -> assert false
+      Timing_sim.simulate_initiated u
+        ~at:(Unfolding.instance u ~event:critical_event ~period:0)
     in
     let target = Unfolding.instance u ~event:critical_event ~period:critical_period in
     let path = Timing_sim.critical_path u sim ~instance:target in

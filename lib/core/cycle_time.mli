@@ -52,7 +52,11 @@ val analyze : ?periods:int -> ?jobs:int -> Signal_graph.t -> report
 
     [jobs] (default 1) runs the [b] independent event-initiated
     simulations on that many domains — the algorithm's outer loop is
-    embarrassingly parallel.
+    embarrassingly parallel.  The simulations go through
+    {!Timing_sim.simulate_many} (per-domain scratch arenas, windowed
+    scans); backtracking re-runs the single critical simulation, so a
+    trace shows [b + 1] [longest_paths] spans.  The report is
+    independent of [jobs].
 
     @raise Not_analyzable on a graph without repetitive events. *)
 

@@ -5,84 +5,230 @@ type result = {
   reached : bool array;
 }
 
-(* longest-path relaxation in topological order over a chosen set of
-   root instances; [restrict] masks which instances participate.  Runs
-   on the unfolding's compact adjacency: this loop is executed once per
-   border event and dominates the O(b^2 m) algorithm. *)
-let longest_paths u ~roots ~restrict =
-  let n = Unfolding.instance_count u in
-  let time = Array.make n 0. in
-  let pred_instance = Array.make n (-1) in
-  let pred_arc = Array.make n (-1) in
-  let is_root = Array.make n false in
-  List.iter (fun v -> is_root.(v) <- true) roots;
+(* ------------------------------------------------------------------ *)
+(* Scratch arenas                                                      *)
+
+(* The kernel below runs once per border event and dominates the
+   O(b^2 m) algorithm, so it must not allocate: all per-query state
+   lives in an epoch-stamped arena that is reused across queries.  A
+   node is part of the current query iff its stamp equals the arena's
+   epoch, so starting a new query is one integer increment — no
+   clearing pass over any of the four arrays. *)
+module Workspace = struct
+  type t = {
+    mutable time : float array;
+    mutable pred_instance : int array;
+    mutable pred_arc : int array;
+    mutable stamp : int array;
+    mutable epoch : int;
+    lock : Mutex.t;
+        (* the per-domain arena can be contended by systhreads (the
+           serve daemon handles each connection on a thread of the
+           accepting domain); [with_arena] takes it with [try_lock]
+           and falls back to a private arena instead of blocking *)
+  }
+
+  let create n =
+    let n = max n 1 in
+    {
+      time = Array.make n neg_infinity;
+      pred_instance = Array.make n (-1);
+      pred_arc = Array.make n (-1);
+      stamp = Array.make n 0;
+      epoch = 0;
+      lock = Mutex.create ();
+    }
+
+  let capacity t = Array.length t.stamp
+
+  let ensure t n =
+    if capacity t < n then begin
+      t.time <- Array.make n neg_infinity;
+      t.pred_instance <- Array.make n (-1);
+      t.pred_arc <- Array.make n (-1);
+      t.stamp <- Array.make n 0;
+      t.epoch <- 0
+    end
+
+  (* one arena per domain: pool workers keep theirs across every
+     border event (and every analysis) they ever process *)
+  let key : t option ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref None)
+
+  let with_arena n f =
+    let slot = Domain.DLS.get key in
+    match !slot with
+    | Some ws when Mutex.try_lock ws.lock ->
+      Fun.protect ~finally:(fun () -> Mutex.unlock ws.lock) @@ fun () ->
+      if capacity ws >= n then Tsg_engine.Metrics.incr "kernel/arenas_reused"
+      else begin
+        ensure ws n;
+        Tsg_engine.Metrics.incr "kernel/arenas_created"
+      end;
+      f ws
+    | Some _ ->
+      (* busy (nested query, or another thread of this domain): use a
+         private scratch arena rather than waiting *)
+      Tsg_engine.Metrics.incr "kernel/arenas_created";
+      f (create n)
+    | None ->
+      let ws = create n in
+      Mutex.lock ws.lock;
+      slot := Some ws;
+      Tsg_engine.Metrics.incr "kernel/arenas_created";
+      Fun.protect ~finally:(fun () -> Mutex.unlock ws.lock) (fun () -> f ws)
+end
+
+(* ------------------------------------------------------------------ *)
+(* The fused, windowed kernel                                          *)
+
+(* One pass over the topological suffix [from_pos ..]: reachability is
+   decided during the relaxation itself (a node is reached iff it is a
+   root or one of its in-arcs leaves a reached node), so the separate
+   forward DFS of the old kernel — and its O(n) seen/stack arrays —
+   are gone.  Each node is finalised the moment its topo position is
+   scanned, which also gives the root test for free: only roots are
+   stamped before their own visit.  Tie-breaking matches the old
+   kernel exactly (first in-arc establishes, later arcs must strictly
+   improve), so results are byte-identical. *)
+let kernel (ws : Workspace.t) u ~roots ~from_pos =
   let topo = Unfolding.topological_order u in
   let starts, srcs, arc_ids = Unfolding.in_adjacency u in
   let delays = Unfolding.delays u in
-  for k = 0 to Array.length topo - 1 do
+  ws.Workspace.epoch <- ws.Workspace.epoch + 1;
+  let epoch = ws.Workspace.epoch in
+  let time = ws.Workspace.time in
+  let pred = ws.Workspace.pred_instance in
+  let parc = ws.Workspace.pred_arc in
+  let stamp = ws.Workspace.stamp in
+  List.iter
+    (fun r ->
+      stamp.(r) <- epoch;
+      time.(r) <- 0.;
+      pred.(r) <- -1;
+      parc.(r) <- -1)
+    roots;
+  for k = from_pos to Array.length topo - 1 do
     let v = topo.(k) in
-    if restrict.(v) && not is_root.(v) then
+    if stamp.(v) <> epoch then
       for j = starts.(v) to starts.(v + 1) - 1 do
         let src = srcs.(j) in
-        if restrict.(src) then begin
+        if stamp.(src) = epoch then begin
           let d = time.(src) +. delays.(arc_ids.(j)) in
-          if pred_instance.(v) < 0 || d > time.(v) then begin
+          if stamp.(v) <> epoch || d > time.(v) then begin
             time.(v) <- d;
-            pred_instance.(v) <- src;
-            pred_arc.(v) <- arc_ids.(j)
+            pred.(v) <- src;
+            parc.(v) <- arc_ids.(j);
+            stamp.(v) <- epoch
           end
         end
       done
-  done;
-  { time; pred_instance; pred_arc; reached = restrict }
+  done
 
-(* forward reachability on the compact out-adjacency *)
-let reachable_from u at =
+(* copy the arena out into a caller-owned [result]; unreached
+   instances get the historical defaults (time 0, predecessors -1) *)
+let materialise (ws : Workspace.t) u =
   let n = Unfolding.instance_count u in
-  let starts, dsts, _ = Unfolding.out_adjacency u in
-  let seen = Array.make n false in
-  let stack = Array.make n 0 in
-  let top = ref 0 in
-  seen.(at) <- true;
-  stack.(!top) <- at;
-  incr top;
-  while !top > 0 do
-    decr top;
-    let v = stack.(!top) in
-    for j = starts.(v) to starts.(v + 1) - 1 do
-      let w = dsts.(j) in
-      if not seen.(w) then begin
-        seen.(w) <- true;
-        stack.(!top) <- w;
-        incr top
-      end
-    done
+  let epoch = ws.Workspace.epoch in
+  let stamp = ws.Workspace.stamp in
+  let time = Array.make n 0. in
+  let pred_instance = Array.make n (-1) in
+  let pred_arc = Array.make n (-1) in
+  let reached = Array.make n false in
+  for v = 0 to n - 1 do
+    if stamp.(v) = epoch then begin
+      time.(v) <- ws.Workspace.time.(v);
+      pred_instance.(v) <- ws.Workspace.pred_instance.(v);
+      pred_arc.(v) <- ws.Workspace.pred_arc.(v);
+      reached.(v) <- true
+    end
   done;
-  seen
+  { time; pred_instance; pred_arc; reached }
+
+(* ------------------------------------------------------------------ *)
+(* Borrowed views                                                      *)
+
+type view = { vw : Workspace.t; vn : int }
+
+let view_time v i =
+  if i < v.vn && v.vw.Workspace.stamp.(i) = v.vw.Workspace.epoch then
+    v.vw.Workspace.time.(i)
+  else 0.
+
+let view_reached v i =
+  i < v.vn && v.vw.Workspace.stamp.(i) = v.vw.Workspace.epoch
+
+(* ------------------------------------------------------------------ *)
+(* Observability                                                       *)
+
+let observe_window u ~from_pos =
+  let n = Unfolding.instance_count u in
+  Tsg_engine.Metrics.incr ~by:(n - from_pos) "kernel/instances_scanned";
+  Tsg_engine.Metrics.incr ~by:n "kernel/instances_total"
 
 (* span arguments are only worth naming events for when someone is
    actually recording *)
-let span_args u ~at =
+let span_args u ~at ~from_pos =
   if Tsg_obs.Trace.enabled () then begin
     let event, period = Unfolding.event_of_instance u at in
+    let n = Unfolding.instance_count u in
     [
       ("event", Event.to_string (Signal_graph.event (Unfolding.signal_graph u) event));
       ("period", string_of_int period);
+      ("scanned", string_of_int (n - from_pos));
+      ("total", string_of_int n);
     ]
   end
   else []
 
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                        *)
+
 let simulate u =
   Tsg_engine.Metrics.incr "simulations/full";
+  observe_window u ~from_pos:0;
   Tsg_obs.Trace.with_span "longest_paths" ~args:[ ("kind", "full") ] @@ fun () ->
-  let n = Unfolding.instance_count u in
-  let restrict = Array.make n true in
-  longest_paths u ~roots:(Unfolding.initial_instances u) ~restrict
+  Workspace.with_arena (Unfolding.instance_count u) @@ fun ws ->
+  kernel ws u ~roots:(Unfolding.initial_instances u) ~from_pos:0;
+  materialise ws u
+
+let initiated_into ws u ~at =
+  let from_pos = (Unfolding.topo_position u).(at) in
+  Tsg_engine.Metrics.incr "simulations/initiated";
+  observe_window u ~from_pos;
+  Tsg_obs.Trace.with_span "longest_paths" ~args:(span_args u ~at ~from_pos)
+  @@ fun () -> kernel ws u ~roots:[ at ] ~from_pos
 
 let simulate_initiated u ~at =
-  Tsg_engine.Metrics.incr "simulations/initiated";
-  Tsg_obs.Trace.with_span "longest_paths" ~args:(span_args u ~at) @@ fun () ->
-  longest_paths u ~roots:[ at ] ~restrict:(reachable_from u at)
+  Workspace.with_arena (Unfolding.instance_count u) @@ fun ws ->
+  initiated_into ws u ~at;
+  materialise ws u
+
+let simulate_many ?(jobs = 1) u ~roots ~f =
+  let nroots = Array.length roots in
+  if nroots = 0 then [||]
+  else begin
+    let n = Unfolding.instance_count u in
+    (* contiguous chunks, one per participating domain: each worker
+       acquires its arena once and reuses it across its whole share of
+       the roots; Parallel.map keeps results at their input index, so
+       concatenation restores the original root order *)
+    let chunks = max 1 (min jobs nroots) in
+    let bounds =
+      Array.init chunks (fun c ->
+          (c * nroots / chunks, (c + 1) * nroots / chunks))
+    in
+    let run_chunk (lo, hi) =
+      Workspace.with_arena n @@ fun ws ->
+      Array.init (hi - lo) (fun k ->
+          let at = roots.(lo + k) in
+          initiated_into ws u ~at;
+          f at { vw = ws; vn = n })
+    in
+    Array.concat (Array.to_list (Parallel.map ~jobs run_chunk bounds))
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Derived quantities                                                  *)
 
 let occurrence_times u r ~event =
   let sg = Unfolding.signal_graph u in

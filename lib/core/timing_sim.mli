@@ -25,6 +25,44 @@ type result = {
           plain simulation: everything) *)
 }
 
+(** {1 Scratch arenas}
+
+    The kernel is zero-allocation: all per-query state lives in an
+    epoch-stamped workspace that is reused from query to query (no
+    clearing pass — bumping the epoch invalidates every stamp at
+    once).  One arena is kept per domain via [Domain.DLS], so pool
+    workers running {!simulate_many} chunks pay the allocation once
+    and reuse it across every border event they ever process. *)
+
+module Workspace : sig
+  type t
+
+  val create : int -> t
+  (** A fresh arena with capacity for [n] instances. *)
+
+  val capacity : t -> int
+
+  val ensure : t -> int -> unit
+  (** Grow (never shrink) the arena to hold [n] instances. *)
+
+  val with_arena : int -> (t -> 'a) -> 'a
+  (** [with_arena n f] runs [f] with this domain's arena, grown to
+      capacity [n].  The arena is guarded by a [Mutex.try_lock]: if it
+      is busy (a sibling systhread, or a nested query), [f] gets a
+      private fresh arena instead of blocking. *)
+end
+
+type view
+(** A borrowed, read-only view of a simulation result living in a
+    {!Workspace} arena.  Only valid during the callback that received
+    it — the arena is reused for the next query. *)
+
+val view_time : view -> int -> float
+(** Occurrence time of an instance; [0.] if unreached (matching
+    {!result}[.time]). *)
+
+val view_reached : view -> int -> bool
+
 val simulate : Unfolding.t -> result
 (** The timing simulation [t] of the whole unfolding.  The topological
     order and compact adjacency are cached inside the unfolding, so
@@ -35,7 +73,26 @@ val simulate : Unfolding.t -> result
 val simulate_initiated : Unfolding.t -> at:int -> result
 (** [simulate_initiated u ~at:g] is the [g]-initiated timing
     simulation.  [time.(f) = 0.] and [reached.(f) = false] for every
-    [f] not reachable from [g]. *)
+    [f] not reachable from [g].
+
+    The scan is {e windowed}: it starts at [g]'s position in the
+    topological order ({!Unfolding.topo_position}), since earlier
+    instances provably cannot be reached from [g].  Reachability is
+    decided during the relaxation itself (no separate DFS): an
+    instance is reached iff it is the root or an in-arc from a reached
+    instance feeds it. *)
+
+val simulate_many :
+  ?jobs:int -> Unfolding.t -> roots:int array -> f:(int -> view -> 'a) -> 'a array
+(** [simulate_many u ~roots ~f] runs one [root]-initiated simulation
+    per element of [roots] and returns [f root view] for each, in
+    [roots] order.  The roots are split into [jobs] contiguous chunks
+    executed via {!Parallel.map}; each chunk acquires its domain's
+    arena once and reuses it for every root in the chunk, so only the
+    values returned by [f] are allocated per query.  [f] must not
+    retain its [view] (the arena is recycled for the next root) and
+    must be safe to run concurrently when [jobs > 1].  Call
+    {!Unfolding.warm_caches} first if [jobs > 1]. *)
 
 val occurrence_times : Unfolding.t -> result -> event:int -> float array
 (** [occurrence_times u r ~event] is the array of [t(e_i)] for

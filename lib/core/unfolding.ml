@@ -13,6 +13,7 @@ type t = {
   mutable in_csr : csr option;
   mutable out_csr : csr option;
   mutable topo : int array option;
+  mutable topo_pos_cache : int array option;
   mutable delay_cache : float array option;
 }
 
@@ -49,6 +50,7 @@ let make sg ~periods =
       in_csr = None;
       out_csr = None;
       topo = None;
+      topo_pos_cache = None;
       delay_cache = None;
     }
   in
@@ -109,13 +111,6 @@ let event_of_instance t i =
 let dag t = t.dag
 let delay_of_label t aid = (Signal_graph.arc t.sg aid).Signal_graph.delay
 
-let initial_instances t =
-  let result = ref [] in
-  for i = instance_count t - 1 downto 0 do
-    if Tsg_graph.Digraph.in_degree t.dag i = 0 then result := i :: !result
-  done;
-  !result
-
 (* ------------------------------------------------------------------ *)
 (* Compact views                                                       *)
 
@@ -155,6 +150,17 @@ let out_adjacency t =
     t.out_csr <- Some csr;
     (csr.starts, csr.neighbors, csr.arc_ids)
 
+let initial_instances t =
+  (* an instance is initial iff it has no in-arc, i.e. its slice of
+     the in-CSR is empty — one pass over the cached [starts] array
+     instead of a digraph in-degree query per vertex *)
+  let starts, _, _ = in_adjacency t in
+  let result = ref [] in
+  for i = instance_count t - 1 downto 0 do
+    if starts.(i + 1) = starts.(i) then result := i :: !result
+  done;
+  !result
+
 let topological_order t =
   match t.topo with
   | Some order -> order
@@ -162,6 +168,16 @@ let topological_order t =
     let order = Array.of_list (Tsg_graph.Topo.sort_exn t.dag) in
     t.topo <- Some order;
     order
+
+let topo_position t =
+  match t.topo_pos_cache with
+  | Some pos -> pos
+  | None ->
+    let order = topological_order t in
+    let pos = Array.make (instance_count t) 0 in
+    Array.iteri (fun k v -> pos.(v) <- k) order;
+    t.topo_pos_cache <- Some pos;
+    pos
 
 let delays t =
   match t.delay_cache with
@@ -178,6 +194,7 @@ let warm_caches t =
   ignore (in_adjacency t);
   ignore (out_adjacency t);
   ignore (topological_order t);
+  ignore (topo_position t);
   ignore (delays t)
 
 let pp_instance t ppf i =

@@ -47,7 +47,9 @@ val delay_of_label : t -> int -> float
     for weighting {!dag} arcs). *)
 
 val initial_instances : t -> int list
-(** The instances of [I_u]: those with no in-arcs, ascending. *)
+(** The instances of [I_u]: those with no in-arcs, ascending.
+    Derived from the cached in-adjacency ({!in_adjacency}), which is
+    forced on first use. *)
 
 (** {1 Compact views}
 
@@ -64,6 +66,14 @@ val out_adjacency : t -> int array * int array * int array
 
 val topological_order : t -> int array
 (** A topological order of the instances, computed once. *)
+
+val topo_position : t -> int array
+(** The inverse permutation of {!topological_order}:
+    [topo_position u.(v)] is the index of instance [v] in the order.
+    An instance can only reach instances at strictly larger positions,
+    which is what lets a [g]-initiated simulation skip the whole
+    prefix before [g]'s position (the windowed kernel of
+    {!Timing_sim}). *)
 
 val delays : t -> float array
 (** Delay per Signal-Graph arc id (computed once and shared; do not

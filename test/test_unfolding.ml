@@ -153,6 +153,20 @@ let test_topological_order_cached () =
   Tsg_graph.Digraph.iter_arcs (Unfolding.dag u) (fun src dst _ ->
       Alcotest.(check bool) "arc goes forward" true (pos.(src) < pos.(dst)))
 
+let test_topo_position_inverse () =
+  let g = Tsg_circuit.Circuit_library.muller_ring_tsg ~stages:4 () in
+  let u = Unfolding.make g ~periods:5 in
+  let order = Unfolding.topological_order u in
+  let pos = Unfolding.topo_position u in
+  Alcotest.(check bool) "same array (cached)" true (pos == Unfolding.topo_position u);
+  Array.iteri
+    (fun k v -> Alcotest.(check int) "inverse of the topological order" k pos.(v))
+    order;
+  (* the windowing property: nothing before an instance's position is
+     reachable from it *)
+  Tsg_graph.Digraph.iter_arcs (Unfolding.dag u) (fun src dst _ ->
+      Alcotest.(check bool) "arcs go to larger positions" true (pos.(src) < pos.(dst)))
+
 let test_rejects_zero_periods () =
   let g = fig1 () in
   Alcotest.check_raises "periods >= 1" (Invalid_argument "Unfolding.make: periods must be >= 1")
@@ -175,5 +189,7 @@ let suite =
     Alcotest.test_case "CSR views agree with the digraph" `Quick test_csr_matches_digraph;
     Alcotest.test_case "topological order is cached and valid" `Quick
       test_topological_order_cached;
+    Alcotest.test_case "topo_position inverts the order" `Quick
+      test_topo_position_inverse;
     Alcotest.test_case "rejects zero periods" `Quick test_rejects_zero_periods;
   ]
