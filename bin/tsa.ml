@@ -95,12 +95,24 @@ let write_trace = function
     Tsg_obs.Trace.write_chrome_json ~path (Tsg_obs.Trace.events ());
     Fmt.epr "tsa: trace written to %s@." path
 
+let timeout_arg =
+  let doc =
+    "Abort the analysis after $(docv) milliseconds with a deadline_exceeded error \
+     (exit code 124) instead of running unbounded."
+  in
+  Arg.(value & opt (some float) None & info [ "timeout-ms" ] ~docv:"T" ~doc)
+
 let analyze_cmd =
-  let run input periods jobs json trace =
+  let run input periods jobs json trace timeout_ms =
     if trace <> None then Tsg_obs.Trace.enable ();
     let jobs = resolve_jobs jobs in
     let name, g = graph_of_input input in
-    match Cycle_time.analyze ?periods ~jobs g with
+    let deadline =
+      match timeout_ms with
+      | None -> Tsg_engine.Deadline.none
+      | Some ms -> Tsg_engine.Deadline.make ~budget_ms:ms ()
+    in
+    match Cycle_time.analyze ~deadline ?periods ~jobs g with
     | report ->
       write_trace trace;
       if json then print_endline (Tsg_io.Json_report.analysis g report)
@@ -112,11 +124,16 @@ let analyze_cmd =
     | exception Cycle_time.Not_analyzable msg ->
       Fmt.epr "tsa: %s@." msg;
       exit 1
+    | exception Tsg_engine.Deadline.Deadline_exceeded ->
+      Fmt.epr "tsa: %s@." (Tsg_engine.Deadline.error_message deadline);
+      exit 124
   in
   let doc = "Compute the cycle time and a critical cycle (the DAC'94 algorithm)." in
   Cmd.v
     (Cmd.info "analyze" ~doc)
-    Term.(const run $ input_arg $ periods_arg $ jobs_arg $ json_arg $ trace_arg)
+    Term.(
+      const run $ input_arg $ periods_arg $ jobs_arg $ json_arg $ trace_arg
+      $ timeout_arg)
 
 (* load + analyze one model; the shared job of batch mode and the
    serve daemon *)
@@ -133,12 +150,13 @@ let batch_cmd =
     let doc = "Input models (.g files or built-ins), analyzed concurrently." in
     Arg.(non_empty & pos_all string [] & info [] ~docv:"MODEL" ~doc)
   in
-  let run files periods jobs json =
+  let run files periods jobs json timeout_ms =
     let jobs = resolve_jobs jobs in
     (* a path repeated in one sweep is analyzed once *)
     let cache = Tsg_engine.Cache.create ~capacity:(List.length files) () in
     let entries =
-      Tsg_engine.Batch.run ~jobs ~cache ~label:Fun.id ~f:(analyze_model ?periods) files
+      Tsg_engine.Batch.run ~jobs ?deadline_ms:timeout_ms ~cache ~label:Fun.id
+        ~f:(analyze_model ?periods) files
     in
     if json then print_endline (Tsg_io.Json_report.batch entries)
     else begin
@@ -178,7 +196,7 @@ let batch_cmd =
   in
   Cmd.v
     (Cmd.info "batch" ~doc)
-    Term.(const run $ files_arg $ periods_arg $ jobs_arg $ json_arg)
+    Term.(const run $ files_arg $ periods_arg $ jobs_arg $ json_arg $ timeout_arg)
 
 (* ------------------------------------------------------------------ *)
 (* The analysis daemon and its client                                   *)
@@ -200,8 +218,43 @@ let serve_cmd =
     in
     Arg.(value & opt (some string) None & info [ "trace-dir" ] ~docv:"DIR" ~doc)
   in
-  let run socket cache_size jobs trace_dir =
+  let max_connections_arg =
+    let doc = "Refuse clients past this many concurrent connections (structured 'overloaded' reply)." in
+    Arg.(value & opt int 64 & info [ "max-connections" ] ~docv:"N" ~doc)
+  in
+  let max_request_bytes_arg =
+    let doc = "Reject request lines longer than this many bytes ('too_large' reply)." in
+    Arg.(value & opt int (1 lsl 20) & info [ "max-request-bytes" ] ~docv:"N" ~doc)
+  in
+  let read_timeout_arg =
+    let doc = "Drop a connection idle (or trickling a request) for this many seconds; 0 disables." in
+    Arg.(value & opt float 30. & info [ "read-timeout" ] ~docv:"S" ~doc)
+  in
+  let write_timeout_arg =
+    let doc = "Drop a client that does not drain its responses for this many seconds; 0 disables." in
+    Arg.(value & opt float 30. & info [ "write-timeout" ] ~docv:"S" ~doc)
+  in
+  let drain_timeout_arg =
+    let doc = "On shutdown, let in-flight requests finish for up to this many seconds." in
+    Arg.(value & opt float 5. & info [ "drain-timeout" ] ~docv:"S" ~doc)
+  in
+  let failpoints_arg =
+    let doc =
+      "Arm fault-injection points, e.g. 'pool/job=fail*2;cache/lookup=delay:50'. \
+       Same grammar as the TSA_FAILPOINTS environment variable; for testing only."
+    in
+    Arg.(value & opt (some string) None & info [ "failpoints" ] ~docv:"SPEC" ~doc)
+  in
+  let run socket cache_size jobs trace_dir max_connections max_request_bytes
+      read_timeout write_timeout drain_timeout failpoints =
     let jobs = resolve_jobs jobs in
+    (match failpoints with
+    | None -> ()
+    | Some spec -> (
+      try Tsg_obs.Failpoint.configure spec
+      with Invalid_argument msg ->
+        Fmt.epr "tsa: bad --failpoints spec: %s@." msg;
+        exit 2));
     (match trace_dir with
     | None -> ()
     | Some dir ->
@@ -227,16 +280,33 @@ let serve_cmd =
     in
     let handler line =
       match Tsg_engine.Protocol.parse_request line with
-      | Error msg -> Tsg_engine.Server.Reply (Tsg_io.Rpc.error_response msg)
-      | Ok (Tsg_engine.Protocol.Analyze { path; periods }) ->
+      | Error msg ->
+        Tsg_engine.Server.Reply (Tsg_io.Rpc.error_response ~code:"bad_request" msg)
+      | Ok (Tsg_engine.Protocol.Analyze { path; periods; timeout_ms }) ->
         Tsg_engine.Server.Reply
-          (match analyze_cached ?periods path with
+          ((* the request's budget wraps load + analyze; a timed-out
+              analysis is reported structurally and never cached, so a
+              retry with a larger budget can still succeed *)
+           let d =
+             match timeout_ms with
+             | None -> Tsg_engine.Deadline.none
+             | Some ms -> Tsg_engine.Deadline.make ~budget_ms:ms ()
+           in
+           match
+             Tsg_engine.Deadline.with_deadline d (fun () ->
+                 analyze_cached ?periods path)
+           with
           | Ok (name, g, report) -> Tsg_io.Rpc.analyze_response ~model:name g report
-          | Error msg -> Tsg_io.Rpc.error_response msg)
-      | Ok (Tsg_engine.Protocol.Batch { paths; periods; jobs = req_jobs }) ->
+          | Error msg -> Tsg_io.Rpc.error_response msg
+          | exception Tsg_engine.Deadline.Deadline_exceeded ->
+            Tsg_io.Rpc.error_response ~code:"deadline_exceeded"
+              (Tsg_engine.Deadline.error_message d))
+      | Ok (Tsg_engine.Protocol.Batch { paths; periods; jobs = req_jobs; timeout_ms })
+        ->
         let jobs = match req_jobs with Some j -> resolve_jobs j | None -> jobs in
         let entries =
-          Tsg_engine.Batch.run ~jobs ~label:Fun.id ~f:(analyze_cached ?periods) paths
+          Tsg_engine.Batch.run ~jobs ?deadline_ms:timeout_ms ~label:Fun.id
+            ~f:(analyze_cached ?periods) paths
         in
         Tsg_engine.Server.Reply (Tsg_io.Rpc.batch_response entries)
       | Ok Tsg_engine.Protocol.Stats ->
@@ -245,9 +315,21 @@ let serve_cmd =
       | Ok Tsg_engine.Protocol.Shutdown ->
         Tsg_engine.Server.Final (Tsg_io.Rpc.shutdown_response ())
     in
+    (* SIGTERM/SIGINT request a graceful drain: stop accepting, let
+       in-flight requests finish (up to --drain-timeout), then exit *)
+    let stop = Atomic.make false in
+    let request_stop _ = Atomic.set stop true in
+    (try Sys.set_signal Sys.sigterm (Sys.Signal_handle request_stop)
+     with Invalid_argument _ | Sys_error _ -> ());
+    (try Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop)
+     with Invalid_argument _ | Sys_error _ -> ());
     Fmt.epr "tsa: serving on %s (cache capacity %d); stop with 'tsa client --socket %s --shutdown'@."
       socket cache_size socket;
-    match Tsg_engine.Server.serve ~socket ~handler () with
+    match
+      Tsg_engine.Server.serve ~max_connections ~max_request_bytes
+        ~read_timeout_s:read_timeout ~write_timeout_s:write_timeout
+        ~drain_timeout_s:drain_timeout ~stop ~socket ~handler ()
+    with
     | () ->
       Fmt.epr "tsa: server stopped@.";
       (match trace_dir with
@@ -264,11 +346,15 @@ let serve_cmd =
     "Run a long-lived analysis daemon on a Unix-domain socket: requests are \
      newline-delimited JSON (op analyze/batch/stats/shutdown), analyses are served \
      from a content-addressed LRU cache and batches run fault-isolated on the \
-     domain pool."
+     domain pool.  Abusive clients are contained (connection/size limits, \
+     read/write timeouts, per-request deadlines); SIGTERM drains gracefully."
   in
   Cmd.v
     (Cmd.info "serve" ~doc)
-    Term.(const run $ socket_arg $ cache_size_arg $ jobs_arg $ trace_dir_arg)
+    Term.(
+      const run $ socket_arg $ cache_size_arg $ jobs_arg $ trace_dir_arg
+      $ max_connections_arg $ max_request_bytes_arg $ read_timeout_arg
+      $ write_timeout_arg $ drain_timeout_arg $ failpoints_arg)
 
 let client_cmd =
   let files_arg =
@@ -287,12 +373,27 @@ let client_cmd =
     let doc = "Ask the daemon to stop (sent after any analyses)." in
     Arg.(value & flag & info [ "shutdown" ] ~doc)
   in
-  let run socket files batch stats shutdown periods jobs =
+  let retries_arg =
+    let doc =
+      "Retry a refused connection this many times with exponential backoff \
+       (for daemons still starting up)."
+    in
+    Arg.(value & opt int 0 & info [ "retries" ] ~docv:"N" ~doc)
+  in
+  let run socket files batch stats shutdown periods jobs timeout_ms retries =
     let open Tsg_engine.Protocol in
     let requests =
       (if batch && files <> [] then
-         [ Batch { paths = files; periods; jobs = (if jobs = 1 then None else Some jobs) } ]
-       else List.map (fun path -> Analyze { path; periods }) files)
+         [
+           Batch
+             {
+               paths = files;
+               periods;
+               jobs = (if jobs = 1 then None else Some jobs);
+               timeout_ms;
+             };
+         ]
+       else List.map (fun path -> Analyze { path; periods; timeout_ms }) files)
       @ (if stats then [ Stats ] else [])
       @ if shutdown then [ Shutdown ] else []
     in
@@ -301,7 +402,7 @@ let client_cmd =
       exit 2
     end;
     match
-      Tsg_engine.Server.call ~socket (List.map request_to_string requests)
+      Tsg_engine.Server.call ~retries ~socket (List.map request_to_string requests)
     with
     | responses -> List.iter print_endline responses
     | exception Unix.Unix_error (err, _, _) ->
@@ -319,7 +420,7 @@ let client_cmd =
     (Cmd.info "client" ~doc)
     Term.(
       const run $ socket_arg $ files_arg $ batch_flag $ stats_flag $ shutdown_flag
-      $ periods_arg $ jobs_arg)
+      $ periods_arg $ jobs_arg $ timeout_arg $ retries_arg)
 
 (* ------------------------------------------------------------------ *)
 (* The regression-bench harness                                        *)

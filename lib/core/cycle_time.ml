@@ -28,7 +28,13 @@ let trace_of u periods g0 view =
   in
   { border_event = g0; samples }
 
-let analyze ?periods ?(jobs = 1) g =
+let analyze ?deadline ?periods ?(jobs = 1) g =
+  (* the ambient deadline covers the common composition — Batch or the
+     daemon arm a budget around the whole job without this signature
+     rippling through every call site in between *)
+  let deadline =
+    match deadline with Some d -> d | None -> Tsg_engine.Deadline.current ()
+  in
   let args =
     if Tsg_obs.Trace.enabled () then
       [
@@ -52,7 +58,8 @@ let analyze ?periods ?(jobs = 1) g =
   let u =
     Tsg_obs.Trace.with_span "unfold" @@ fun () ->
     Tsg_engine.Metrics.time "analyze/unfold" @@ fun () ->
-    let u = Unfolding.make g ~periods:(periods + 1) in
+    let u = Unfolding.make ~deadline g ~periods:(periods + 1) in
+    Tsg_engine.Deadline.check deadline;
     Unfolding.warm_caches u;
     u
   in
@@ -66,7 +73,7 @@ let analyze ?periods ?(jobs = 1) g =
         (Array.of_list border)
     in
     Array.to_list
-      (Timing_sim.simulate_many ~jobs u ~roots ~f:(fun at view ->
+      (Timing_sim.simulate_many ~deadline ~jobs u ~roots ~f:(fun at view ->
            let g0, _ = Unfolding.event_of_instance u at in
            trace_of u periods g0 view))
   in
@@ -91,7 +98,7 @@ let analyze ?periods ?(jobs = 1) g =
        critical simulation (1/b of the simulate phase) to recover the
        predecessor arrays *)
     let sim =
-      Timing_sim.simulate_initiated u
+      Timing_sim.simulate_initiated ~deadline u
         ~at:(Unfolding.instance u ~event:critical_event ~period:0)
     in
     let target = Unfolding.instance u ~event:critical_event ~period:critical_period in

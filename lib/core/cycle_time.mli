@@ -39,8 +39,16 @@ exception Not_analyzable of string
 (** Raised when the graph has no repetitive events (no cycles, hence
     no cycle time). *)
 
-val analyze : ?periods:int -> ?jobs:int -> Signal_graph.t -> report
+val analyze :
+  ?deadline:Tsg_engine.Deadline.t -> ?periods:int -> ?jobs:int -> Signal_graph.t -> report
 (** Runs the algorithm.
+
+    [deadline] bounds the whole analysis (unfolding construction,
+    simulations and backtracking); when omitted, the ambient
+    per-domain deadline ({!Tsg_engine.Deadline.current}) applies, so
+    wrapping a call in {!Tsg_engine.Deadline.with_deadline} is enough
+    to bound it without threading a parameter through.
+    @raise Tsg_engine.Deadline.Deadline_exceeded past the budget.
 
     [periods] overrides the number of simulated periods.  The default
     is the border-set size [b], which is always sufficient; any value

@@ -90,7 +90,12 @@ end
    stamped before their own visit.  Tie-breaking matches the old
    kernel exactly (first in-arc establishes, later arcs must strictly
    improve), so results are byte-identical. *)
-let kernel (ws : Workspace.t) u ~roots ~from_pos =
+(* cancellation granularity: the scan pauses for a deadline check
+   every [check_block] topo positions, so the inner relaxation loop
+   stays branch-free and the check cost is amortised to nothing *)
+let check_block = 4096
+
+let kernel ?(deadline = Tsg_engine.Deadline.none) (ws : Workspace.t) u ~roots ~from_pos =
   let topo = Unfolding.topological_order u in
   let starts, srcs, arc_ids = Unfolding.in_adjacency u in
   let delays = Unfolding.delays u in
@@ -107,21 +112,28 @@ let kernel (ws : Workspace.t) u ~roots ~from_pos =
       pred.(r) <- -1;
       parc.(r) <- -1)
     roots;
-  for k = from_pos to Array.length topo - 1 do
-    let v = topo.(k) in
-    if stamp.(v) <> epoch then
-      for j = starts.(v) to starts.(v + 1) - 1 do
-        let src = srcs.(j) in
-        if stamp.(src) = epoch then begin
-          let d = time.(src) +. delays.(arc_ids.(j)) in
-          if stamp.(v) <> epoch || d > time.(v) then begin
-            time.(v) <- d;
-            pred.(v) <- src;
-            parc.(v) <- arc_ids.(j);
-            stamp.(v) <- epoch
+  let len = Array.length topo in
+  let k0 = ref from_pos in
+  while !k0 < len do
+    Tsg_engine.Deadline.check deadline;
+    let hi = min len (!k0 + check_block) in
+    for k = !k0 to hi - 1 do
+      let v = topo.(k) in
+      if stamp.(v) <> epoch then
+        for j = starts.(v) to starts.(v + 1) - 1 do
+          let src = srcs.(j) in
+          if stamp.(src) = epoch then begin
+            let d = time.(src) +. delays.(arc_ids.(j)) in
+            if stamp.(v) <> epoch || d > time.(v) then begin
+              time.(v) <- d;
+              pred.(v) <- src;
+              parc.(v) <- arc_ids.(j);
+              stamp.(v) <- epoch
+            end
           end
-        end
-      done
+        done
+    done;
+    k0 := hi
   done
 
 (* copy the arena out into a caller-owned [result]; unreached
@@ -183,27 +195,27 @@ let span_args u ~at ~from_pos =
 (* ------------------------------------------------------------------ *)
 (* Entry points                                                        *)
 
-let simulate u =
+let simulate ?deadline u =
   Tsg_engine.Metrics.incr "simulations/full";
   observe_window u ~from_pos:0;
   Tsg_obs.Trace.with_span "longest_paths" ~args:[ ("kind", "full") ] @@ fun () ->
   Workspace.with_arena (Unfolding.instance_count u) @@ fun ws ->
-  kernel ws u ~roots:(Unfolding.initial_instances u) ~from_pos:0;
+  kernel ?deadline ws u ~roots:(Unfolding.initial_instances u) ~from_pos:0;
   materialise ws u
 
-let initiated_into ws u ~at =
+let initiated_into ?deadline ws u ~at =
   let from_pos = (Unfolding.topo_position u).(at) in
   Tsg_engine.Metrics.incr "simulations/initiated";
   observe_window u ~from_pos;
   Tsg_obs.Trace.with_span "longest_paths" ~args:(span_args u ~at ~from_pos)
-  @@ fun () -> kernel ws u ~roots:[ at ] ~from_pos
+  @@ fun () -> kernel ?deadline ws u ~roots:[ at ] ~from_pos
 
-let simulate_initiated u ~at =
+let simulate_initiated ?deadline u ~at =
   Workspace.with_arena (Unfolding.instance_count u) @@ fun ws ->
-  initiated_into ws u ~at;
+  initiated_into ?deadline ws u ~at;
   materialise ws u
 
-let simulate_many ?(jobs = 1) u ~roots ~f =
+let simulate_many ?deadline ?(jobs = 1) u ~roots ~f =
   let nroots = Array.length roots in
   if nroots = 0 then [||]
   else begin
@@ -217,11 +229,15 @@ let simulate_many ?(jobs = 1) u ~roots ~f =
       Array.init chunks (fun c ->
           (c * nroots / chunks, (c + 1) * nroots / chunks))
     in
+    (* the deadline is shared by every chunk: when it trips, each
+       worker raises at its next check and Parallel.map propagates the
+       first failure after all slots unwind — the pool itself stays
+       healthy *)
     let run_chunk (lo, hi) =
       Workspace.with_arena n @@ fun ws ->
       Array.init (hi - lo) (fun k ->
           let at = roots.(lo + k) in
-          initiated_into ws u ~at;
+          initiated_into ?deadline ws u ~at;
           f at { vw = ws; vn = n })
     in
     Array.concat (Array.to_list (Parallel.map ~jobs run_chunk bounds))

@@ -63,14 +63,20 @@ val view_time : view -> int -> float
 
 val view_reached : view -> int -> bool
 
-val simulate : Unfolding.t -> result
+val simulate : ?deadline:Tsg_engine.Deadline.t -> Unfolding.t -> result
 (** The timing simulation [t] of the whole unfolding.  The topological
     order and compact adjacency are cached inside the unfolding, so
     repeated simulations of the same unfolding (as the cycle-time
     algorithm performs, once per border event) pay the set-up cost
-    once. *)
+    once.
 
-val simulate_initiated : Unfolding.t -> at:int -> result
+    All entry points accept a [deadline], checked once per 4096 topo
+    positions scanned (the inner relaxation loop is untouched, so the
+    amortised cost is unmeasurable); on expiry they raise
+    {!Tsg_engine.Deadline.Deadline_exceeded} and the domain's arena is
+    simply reused by the next query. *)
+
+val simulate_initiated : ?deadline:Tsg_engine.Deadline.t -> Unfolding.t -> at:int -> result
 (** [simulate_initiated u ~at:g] is the [g]-initiated timing
     simulation.  [time.(f) = 0.] and [reached.(f) = false] for every
     [f] not reachable from [g].
@@ -83,7 +89,12 @@ val simulate_initiated : Unfolding.t -> at:int -> result
     instance feeds it. *)
 
 val simulate_many :
-  ?jobs:int -> Unfolding.t -> roots:int array -> f:(int -> view -> 'a) -> 'a array
+  ?deadline:Tsg_engine.Deadline.t ->
+  ?jobs:int ->
+  Unfolding.t ->
+  roots:int array ->
+  f:(int -> view -> 'a) ->
+  'a array
 (** [simulate_many u ~roots ~f] runs one [root]-initiated simulation
     per element of [roots] and returns [f root view] for each, in
     [roots] order.  The roots are split into [jobs] contiguous chunks

@@ -21,7 +21,7 @@ let instance_id t ~event ~period =
   if period = 0 then event
   else t.n_events + ((period - 1) * Array.length t.rep_ids) + t.rep_index.(event)
 
-let make sg ~periods =
+let make ?(deadline = Tsg_engine.Deadline.none) sg ~periods =
   if periods < 1 then invalid_arg "Unfolding.make: periods must be >= 1";
   Tsg_obs.Trace.with_span "unfolding/make" ~args:[ ("periods", string_of_int periods) ]
   @@ fun () ->
@@ -54,6 +54,13 @@ let make sg ~periods =
       delay_cache = None;
     }
   in
+  (* construction is O(periods * arcs): amortised cancellation checks
+     keep a pathological (huge-period) unfolding within its budget *)
+  let added = ref 0 in
+  let tick () =
+    incr added;
+    if !added land 8191 = 0 then Tsg_engine.Deadline.check deadline
+  in
   let add_arcs_for_instance aid (a : Signal_graph.arc) =
     let once = a.disengageable || not (Signal_graph.is_repetitive sg a.arc_src) in
     let m = if a.marked then 1 else 0 in
@@ -62,15 +69,18 @@ let make sg ~periods =
       let dst_exists =
         m = 0 || (m < periods && Signal_graph.is_repetitive sg a.arc_dst)
       in
-      if dst_exists then
+      if dst_exists then begin
+        tick ();
         Tsg_graph.Digraph.add_arc dag
           ~src:(instance_id t ~event:a.arc_src ~period:0)
           ~dst:(instance_id t ~event:a.arc_dst ~period:m)
           aid
+      end
     end
     else begin
       let dst_periods = if Signal_graph.is_repetitive sg a.arc_dst then periods else 1 in
       for i = m to dst_periods - 1 do
+        tick ();
         Tsg_graph.Digraph.add_arc dag
           ~src:(instance_id t ~event:a.arc_src ~period:(i - m))
           ~dst:(instance_id t ~event:a.arc_dst ~period:i)

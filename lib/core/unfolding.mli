@@ -18,9 +18,12 @@
 
 type t
 
-val make : Signal_graph.t -> periods:int -> t
+val make : ?deadline:Tsg_engine.Deadline.t -> Signal_graph.t -> periods:int -> t
 (** [make g ~periods:k] materialises periods [0 .. k-1].
-    @raise Invalid_argument if [k < 1]. *)
+    [deadline] is checked at amortised intervals during arc
+    construction (which is [O(k * arcs)]).
+    @raise Invalid_argument if [k < 1].
+    @raise Tsg_engine.Deadline.Deadline_exceeded past the budget. *)
 
 val signal_graph : t -> Signal_graph.t
 val periods : t -> int

@@ -4,7 +4,7 @@ let count_entry (e : _ entry) =
   Metrics.incr "batch/items";
   match e.outcome with Error _ -> Metrics.incr "batch/errors" | Ok _ -> ()
 
-let run ?pool ?jobs ?cache ~label ~f items =
+let run ?pool ?jobs ?deadline_ms ?cache ~label ~f items =
   let items = Array.of_list items in
   let n = Array.length items in
   if n = 0 then []
@@ -16,14 +16,29 @@ let run ?pool ?jobs ?cache ~label ~f items =
       let t0 = Unix.gettimeofday () in
       let key = label item in
       let outcome =
-        let compute () =
-          match f item with
-          | (Ok _ | Error _) as r -> r
-          | exception exn -> Error (Printexc.to_string exn)
+        (* each item gets its own budget, so one pathological model
+           times out alone instead of starving the rest of the sweep *)
+        let d =
+          match deadline_ms with
+          | None -> Deadline.none
+          | Some ms -> Deadline.make ~budget_ms:ms ()
         in
-        match cache with
-        | None -> compute ()
-        | Some c -> Cache.find_or_add c key compute
+        let compute () =
+          try f item with
+          | Deadline.Deadline_exceeded as exn -> raise exn
+          | exn -> Error (Printexc.to_string exn)
+        in
+        (* Deadline_exceeded escapes [compute] so a timed-out analysis
+           is never cached — a retry with a larger budget can still
+           succeed — and is converted to a structured error here *)
+        match
+          Deadline.with_deadline d (fun () ->
+              match cache with
+              | None -> compute ()
+              | Some c -> Cache.find_or_add c key compute)
+        with
+        | outcome -> outcome
+        | exception Deadline.Deadline_exceeded -> Error (Deadline.error_message d)
       in
       let e =
         { label = key; elapsed_ms = (Unix.gettimeofday () -. t0) *. 1000.; outcome }

@@ -20,6 +20,7 @@ type 'a entry = {
 val run :
   ?pool:Pool.t ->
   ?jobs:int ->
+  ?deadline_ms:float ->
   ?cache:('b, string) result Cache.t ->
   label:('a -> string) ->
   f:('a -> ('b, string) result) ->
@@ -29,6 +30,14 @@ val run :
     (default: {!Pool.recommended}; [jobs <= 1] runs sequentially on
     the calling domain), on [pool] (default: {!Pool.default}).
     Entries come back in the order of [items].
+
+    [deadline_ms] bounds {e each item} separately: the item's job runs
+    under a fresh ambient {!Deadline} (picked up by
+    [Cycle_time.analyze] and the other cancellation-aware stages), and
+    on expiry that item's outcome is
+    [Error "deadline_exceeded: ..."] while the rest of the sweep — and
+    the pool worker that ran it — continue normally.  A timed-out
+    outcome is never stored in [cache].
 
     When [cache] is given, outcomes are remembered under the item's
     [label]: a sweep containing the same file several times analyzes

@@ -92,6 +92,7 @@ let evict_tail t =
     Metrics.incr (t.prefix ^ "/evictions")
 
 let find t key =
+  Tsg_obs.Failpoint.hit "cache/lookup";
   locked t @@ fun () ->
   match Hashtbl.find_opt t.tbl key with
   | Some n ->

@@ -1,0 +1,73 @@
+(* Time budgets and cooperative cancellation.
+
+   A deadline is an absolute expiry instant plus an atomic cancel
+   flag.  Long-running pipeline stages call [check] at amortised
+   intervals (every few thousand loop iterations, every simulation
+   root, every exploration step); an expired or cancelled deadline
+   raises [Deadline_exceeded], which unwinds cleanly — all kernel
+   state is epoch-stamped arena data that the next query overwrites,
+   so a cancelled analysis leaves its domain and pool slot reusable.
+
+   The clock is [Unix.gettimeofday]: OCaml's stdlib exposes no
+   monotonic clock, so a large backwards wall-clock step can extend a
+   budget.  Budgets here are coarse resource fences (tens of ms and
+   up), not precise timers, and the cancel flag is unaffected. *)
+
+exception Deadline_exceeded
+
+type t = {
+  expires_at : float;  (* absolute seconds; infinity = no time budget *)
+  cancel : bool Atomic.t;
+  tripped : bool Atomic.t;  (* count the deadline/cancelled metric once *)
+}
+
+let none =
+  { expires_at = infinity; cancel = Atomic.make false; tripped = Atomic.make false }
+
+let make ?budget_ms () =
+  let expires_at =
+    match budget_ms with
+    | None -> infinity
+    | Some ms -> Unix.gettimeofday () +. (Float.max 0. ms /. 1000.)
+  in
+  { expires_at; cancel = Atomic.make false; tripped = Atomic.make false }
+
+let cancel t = if t != none then Atomic.set t.cancel true
+
+let cancelled t = Atomic.get t.cancel
+
+let expired t =
+  Atomic.get t.cancel
+  || (t.expires_at < infinity && Unix.gettimeofday () > t.expires_at)
+
+let remaining_ms t =
+  if t.expires_at = infinity then None
+  else Some (Float.max 0. ((t.expires_at -. Unix.gettimeofday ()) *. 1000.))
+
+let check t =
+  if expired t then begin
+    if not (Atomic.exchange t.tripped true) then Metrics.incr "deadline/cancelled";
+    raise Deadline_exceeded
+  end
+
+(* ------------------------------------------------------------------ *)
+(* The ambient deadline                                                *)
+
+(* [Batch] and the daemon wrap whole jobs in [with_deadline] so the
+   analysis entry points pick the budget up without every intermediate
+   caller threading a parameter.  The slot is domain-local; stages
+   that fan out to other domains (Timing_sim.simulate_many) receive
+   the deadline explicitly and carry it across. *)
+let key : t ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref none)
+
+let current () = !(Domain.DLS.get key)
+
+let with_deadline t f =
+  let slot = Domain.DLS.get key in
+  let saved = !slot in
+  slot := t;
+  Fun.protect ~finally:(fun () -> slot := saved) f
+
+let error_message t =
+  if Atomic.get t.cancel then "deadline_exceeded: analysis cancelled"
+  else "deadline_exceeded: analysis exceeded its time budget"

@@ -92,3 +92,7 @@ let reset () =
   Hashtbl.reset cells;
   Hashtbl.reset hists;
   Mutex.unlock lock
+
+(* every fired failpoint shows up in the metrics snapshot; registered
+   here because the obs layer sits below this library *)
+let () = Tsg_obs.Failpoint.on_hit (fun _name -> incr "failpoint/hits")

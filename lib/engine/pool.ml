@@ -98,7 +98,13 @@ let map ?slots t f inputs =
     let rec run_slot () =
       let i = Atomic.fetch_and_add next 1 in
       if i < n then begin
-        (match f inputs.(i) with
+        (* the failpoint fires inside the per-item match, so an
+           injected fault is indistinguishable from [f] itself raising:
+           recorded for this item, siblings unaffected *)
+        (match
+           Tsg_obs.Failpoint.hit "pool/job";
+           f inputs.(i)
+         with
         | y -> results.(i) <- Some y
         | exception exn -> record i exn (Printexc.get_raw_backtrace ()));
         Mutex.lock m;

@@ -160,7 +160,13 @@ let parse_number st =
   | Some f -> Number f
   | None -> fail "invalid number %S at offset %d" text start
 
-let rec parse_value st =
+(* nesting cap: a hostile line of 100k '[' characters must produce a
+   parse error, not exhaust the OCaml stack — the recursive descent is
+   otherwise bounded only by the input *)
+let max_depth = 256
+
+let rec parse_value depth st =
+  if depth > max_depth then fail "nesting deeper than %d levels" max_depth;
   skip_ws st;
   match peek st with
   | None -> fail "unexpected end of input"
@@ -178,7 +184,7 @@ let rec parse_value st =
         let k = parse_string st in
         skip_ws st;
         expect st ':';
-        let v = parse_value st in
+        let v = parse_value (depth + 1) st in
         skip_ws st;
         match peek st with
         | Some ',' ->
@@ -200,7 +206,7 @@ let rec parse_value st =
     end
     else begin
       let rec elements acc =
-        let v = parse_value st in
+        let v = parse_value (depth + 1) st in
         skip_ws st;
         match peek st with
         | Some ',' ->
@@ -221,7 +227,7 @@ let rec parse_value st =
 
 let json_of_string s =
   let st = { src = s; pos = 0 } in
-  match parse_value st with
+  match parse_value 0 st with
   | v ->
     skip_ws st;
     if st.pos = String.length s then Ok v
@@ -236,8 +242,13 @@ let member k = function
 (* Requests                                                            *)
 
 type request =
-  | Analyze of { path : string; periods : int option }
-  | Batch of { paths : string list; periods : int option; jobs : int option }
+  | Analyze of { path : string; periods : int option; timeout_ms : float option }
+  | Batch of {
+      paths : string list;
+      periods : int option;
+      jobs : int option;
+      timeout_ms : float option;
+    }
   | Stats
   | Shutdown
 
@@ -246,6 +257,14 @@ let int_field name j =
   | None | Some Null -> Ok None
   | Some (Number f) when Float.is_integer f -> Ok (Some (int_of_float f))
   | Some _ -> Error (Printf.sprintf "field %S must be an integer" name)
+
+(* timeouts arrive as milliseconds; zero, negative, NaN or infinite
+   budgets are configuration errors, not requests for no deadline *)
+let timeout_field name j =
+  match member name j with
+  | None | Some Null -> Ok None
+  | Some (Number f) when Float.is_finite f && f > 0. -> Ok (Some f)
+  | Some _ -> Error (Printf.sprintf "field %S must be a finite positive number" name)
 
 let string_field name j =
   match member name j with
@@ -262,7 +281,8 @@ let parse_request line =
   | "analyze" ->
     let* path = string_field "path" j in
     let* periods = int_field "periods" j in
-    Ok (Analyze { path; periods })
+    let* timeout_ms = timeout_field "timeout_ms" j in
+    Ok (Analyze { path; periods; timeout_ms })
   | "batch" ->
     let* paths =
       match member "paths" j with
@@ -280,7 +300,8 @@ let parse_request line =
     in
     let* periods = int_field "periods" j in
     let* jobs = int_field "jobs" j in
-    Ok (Batch { paths; periods; jobs })
+    let* timeout_ms = timeout_field "timeout_ms" j in
+    Ok (Batch { paths; periods; jobs; timeout_ms })
   | "stats" -> Ok Stats
   | "shutdown" -> Ok Shutdown
   | op -> Error (Printf.sprintf "unknown op %S" op)
@@ -305,13 +326,20 @@ let escape s =
     s;
   Buffer.contents buf
 
+let timeout_suffix = function
+  | None -> ""
+  | Some t when Float.is_integer t ->
+    Printf.sprintf {|,"timeout_ms":%d|} (int_of_float t)
+  | Some t -> Printf.sprintf {|,"timeout_ms":%g|} t
+
 let request_to_string = function
-  | Analyze { path; periods } ->
+  | Analyze { path; periods; timeout_ms } ->
     let periods =
       match periods with None -> "" | Some n -> Printf.sprintf ",\"periods\":%d" n
     in
-    Printf.sprintf {|{"op":"analyze","path":"%s"%s}|} (escape path) periods
-  | Batch { paths; periods; jobs } ->
+    Printf.sprintf {|{"op":"analyze","path":"%s"%s%s}|} (escape path) periods
+      (timeout_suffix timeout_ms)
+  | Batch { paths; periods; jobs; timeout_ms } ->
     let paths =
       String.concat "," (List.map (fun p -> "\"" ^ escape p ^ "\"") paths)
     in
@@ -319,6 +347,7 @@ let request_to_string = function
       match periods with None -> "" | Some n -> Printf.sprintf ",\"periods\":%d" n
     in
     let jobs = match jobs with None -> "" | Some n -> Printf.sprintf ",\"jobs\":%d" n in
-    Printf.sprintf {|{"op":"batch","paths":[%s]%s%s}|} paths periods jobs
+    Printf.sprintf {|{"op":"batch","paths":[%s]%s%s%s}|} paths periods jobs
+      (timeout_suffix timeout_ms)
   | Stats -> {|{"op":"stats"}|}
   | Shutdown -> {|{"op":"shutdown"}|}

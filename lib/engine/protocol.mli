@@ -9,12 +9,15 @@
 
     The four requests:
 
-    {v {"op":"analyze", "path":"benchmarks/fig1.g", "periods":4}
-{"op":"batch", "paths":["a.g","b.g"], "periods":4, "jobs":2}
+    {v {"op":"analyze", "path":"benchmarks/fig1.g", "periods":4, "timeout_ms":500}
+{"op":"batch", "paths":["a.g","b.g"], "periods":4, "jobs":2, "timeout_ms":500}
 {"op":"stats"}
 {"op":"shutdown"} v}
 
-    [periods] and [jobs] are optional everywhere they appear. *)
+    [periods], [jobs] and [timeout_ms] are optional everywhere they
+    appear.  [timeout_ms] is a per-analysis time budget in
+    milliseconds (per model for [batch]); a request that exceeds it
+    gets a structured [deadline_exceeded] error response. *)
 
 (** {1 JSON values} *)
 
@@ -41,17 +44,24 @@ val member : string -> json -> json option
 (** {1 Requests} *)
 
 type request =
-  | Analyze of { path : string; periods : int option }
+  | Analyze of { path : string; periods : int option; timeout_ms : float option }
       (** analyze one model file (or built-in name) *)
-  | Batch of { paths : string list; periods : int option; jobs : int option }
-      (** analyze many files concurrently, fault-isolated *)
+  | Batch of {
+      paths : string list;
+      periods : int option;
+      jobs : int option;
+      timeout_ms : float option;
+    }  (** analyze many files concurrently, fault-isolated *)
   | Stats  (** report metrics and cache statistics *)
   | Shutdown  (** answer once more, then stop the daemon *)
 
 val parse_request : string -> (request, string) result
 (** Parse one request line.  Errors are human-readable and safe to
     echo back to the client: malformed JSON, a missing or mistyped
-    field, or an unknown ["op"]. *)
+    field, an unknown ["op"], a non-positive or non-finite
+    [timeout_ms], or nesting deeper than 256 levels (the parser is
+    recursive; the cap keeps hostile input from exhausting the
+    stack). *)
 
 val request_to_string : request -> string
 (** Render a request as its single-line JSON wire form (used by the

@@ -1,7 +1,10 @@
 type reply = Reply of string | Final of string
 
-(* last-resort rendering for handler exceptions; the real encoders
-   live in Tsg_io.Rpc, above this library *)
+(* last-resort rendering for handler exceptions and transport-level
+   rejections; the real encoders live in Tsg_io.Rpc, above this
+   library.  The [code] field is the machine-readable half of the
+   error taxonomy (doc/operations.mld): clients branch on it, humans
+   read [error]. *)
 let escape s =
   let buf = Buffer.create (String.length s + 2) in
   String.iter
@@ -18,10 +21,87 @@ let escape s =
     s;
   Buffer.contents buf
 
-let internal_error exn =
-  Printf.sprintf {|{"status":"error","error":"internal error: %s"}|}
-    (escape (Printexc.to_string exn))
+let error_line ~code msg =
+  Printf.sprintf {|{"status":"error","code":"%s","error":"%s"}|} (escape code)
+    (escape msg)
 
+let internal_error exn =
+  error_line ~code:"internal" ("internal error: " ^ Printexc.to_string exn)
+
+(* ------------------------------------------------------------------ *)
+(* Bounded, timeout-aware line framing over a raw descriptor.
+
+   Buffered channels ([input_line]) would block forever on a client
+   that trickles bytes and never sends the newline (slow loris), and
+   happily accumulate an unbounded line.  The reader below relies on
+   [SO_RCVTIMEO] set on the socket — a stalled [read] returns
+   [EAGAIN]/[EWOULDBLOCK] — and refuses to buffer more than
+   [max_bytes] of a single request line. *)
+
+type read_outcome = Line of string | Eof | Timed_out | Too_long
+
+type linebuf = {
+  lb_fd : Unix.file_descr;
+  lb_chunk : Bytes.t;
+  lb_acc : Buffer.t;  (* the partial line read so far *)
+  mutable lb_pending : string;  (* bytes already read past a newline *)
+  lb_max : int;
+}
+
+let linebuf fd ~max_bytes =
+  {
+    lb_fd = fd;
+    lb_chunk = Bytes.create 8192;
+    lb_acc = Buffer.create 256;
+    lb_pending = "";
+    lb_max = max_bytes;
+  }
+
+let read_line lb =
+  let rec go () =
+    match String.index_opt lb.lb_pending '\n' with
+    | Some i ->
+      Buffer.add_substring lb.lb_acc lb.lb_pending 0 i;
+      lb.lb_pending <-
+        String.sub lb.lb_pending (i + 1) (String.length lb.lb_pending - i - 1);
+      let line = Buffer.contents lb.lb_acc in
+      Buffer.clear lb.lb_acc;
+      if String.length line > lb.lb_max then Too_long else Line line
+    | None ->
+      Buffer.add_string lb.lb_acc lb.lb_pending;
+      lb.lb_pending <- "";
+      if Buffer.length lb.lb_acc > lb.lb_max then Too_long
+      else begin
+        match Unix.read lb.lb_fd lb.lb_chunk 0 (Bytes.length lb.lb_chunk) with
+        | 0 -> Eof (* a partial line at EOF is not a request *)
+        | n ->
+          lb.lb_pending <- Bytes.sub_string lb.lb_chunk 0 n;
+          go ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          Timed_out
+        | exception Unix.Unix_error _ -> Eof
+      end
+  in
+  go ()
+
+exception Write_timeout
+
+(* [SO_SNDTIMEO] turns a reader that never drains its socket (the
+   write-side slow loris) into [EAGAIN] here *)
+let write_all fd s =
+  let b = Bytes.unsafe_of_string s in
+  let len = Bytes.length b in
+  let off = ref 0 in
+  while !off < len do
+    match Unix.write fd b !off (len - !off) with
+    | n -> off := !off + n
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      raise Write_timeout
+  done
+
+(* ------------------------------------------------------------------ *)
 (* the set of live client sockets, so shutdown can unblock readers *)
 type connections = {
   mutex : Mutex.t;
@@ -44,6 +124,12 @@ let forget conns id =
   Mutex.unlock conns.mutex;
   fd
 
+let live conns =
+  Mutex.lock conns.mutex;
+  let n = Hashtbl.length conns.tbl in
+  Mutex.unlock conns.mutex;
+  n
+
 (* [Unix.close] does not wake a thread blocked reading the same fd,
    but [Unix.shutdown] does (the read returns EOF); each connection
    thread then closes its own descriptor on the way out *)
@@ -55,33 +141,50 @@ let shutdown_all conns =
     (fun fd -> try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
     fds
 
-let handle_connection ~stop ~handler conns id fd =
-  let ic = Unix.in_channel_of_descr fd in
-  let oc = Unix.out_channel_of_descr fd in
+let handle_connection ~stop ~active ~handler ~max_request_bytes conns id fd =
+  let lb = linebuf fd ~max_bytes:max_request_bytes in
+  let send line =
+    write_all fd line;
+    write_all fd "\n"
+  in
   let respond line =
     Metrics.incr "server/requests";
+    (* in-flight requests hold the drain open; idle readers do not *)
+    Atomic.incr active;
+    Fun.protect ~finally:(fun () -> Atomic.decr active) @@ fun () ->
     let t0 = Unix.gettimeofday () in
     let reply =
       Tsg_obs.Trace.with_span "server/request" (fun () ->
-          try handler line with exn -> Reply (internal_error exn))
+          try
+            Tsg_obs.Failpoint.hit "server/request";
+            handler line
+          with exn -> Reply (internal_error exn))
     in
     let text, final = match reply with Reply s -> (s, false) | Final s -> (s, true) in
-    output_string oc text;
-    output_char oc '\n';
-    flush oc;
+    send text;
     (* latency includes writing the response back — what a client sees *)
     Metrics.observe_ms "server/request_ms" ((Unix.gettimeofday () -. t0) *. 1000.);
     if final then Atomic.set stop true;
     final
   in
   let rec loop () =
-    match
-      match input_line ic with
-      | line -> respond line
-      | exception End_of_file -> true
-    with
-    | false -> loop ()
-    | true -> ()
+    match read_line lb with
+    | Line line -> if respond line then () else loop ()
+    | Eof -> ()
+    | Timed_out ->
+      (* the slow (or absent) client gets one structured goodbye; if
+         even that write stalls, just drop the connection *)
+      Metrics.incr "server/timeouts";
+      (try send (error_line ~code:"timeout" "connection idle past the read timeout")
+       with Write_timeout | Unix.Unix_error _ -> ())
+    | Too_long ->
+      Metrics.incr "server/rejected";
+      (try
+         send
+           (error_line ~code:"too_large"
+              (Printf.sprintf "request exceeds %d bytes" max_request_bytes))
+       with Write_timeout | Unix.Unix_error _ -> ())
+    | exception Write_timeout -> Metrics.incr "server/timeouts"
     (* a vanished client (reset, broken pipe) or a reader unblocked by
        shutdown ends the connection quietly *)
     | exception (Sys_error _ | Unix.Unix_error _) -> ()
@@ -93,7 +196,9 @@ let handle_connection ~stop ~handler conns id fd =
       | None -> ())
     loop
 
-let serve ?(backlog = 16) ~socket ~handler () =
+let serve ?(backlog = 16) ?(max_connections = 64) ?(max_request_bytes = 1 lsl 20)
+    ?(read_timeout_s = 30.) ?(write_timeout_s = 30.) ?(drain_timeout_s = 5.) ?stop
+    ~socket ~handler () =
   let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   (try Unix.unlink socket with Unix.Unix_error _ -> ());
   (try
@@ -102,23 +207,65 @@ let serve ?(backlog = 16) ~socket ~handler () =
    with exn ->
      (try Unix.close listen_fd with Unix.Unix_error _ -> ());
      raise exn);
-  let stop = Atomic.make false in
+  let stop = match stop with Some s -> s | None -> Atomic.make false in
+  let active = Atomic.make 0 in
   let conns = { mutex = Mutex.create (); tbl = Hashtbl.create 8; next_id = 0 } in
   let threads = ref [] in
+  let configure_client fd =
+    if read_timeout_s > 0. then Unix.setsockopt_float fd Unix.SO_RCVTIMEO read_timeout_s;
+    if write_timeout_s > 0. then Unix.setsockopt_float fd Unix.SO_SNDTIMEO write_timeout_s
+  in
+  (* admission control: past the connection limit a client gets a
+     structured refusal instead of silently queueing behind the
+     backlog — it can back off and retry ({!call} does) *)
+  let reject fd =
+    Metrics.incr "server/rejected";
+    (try
+       Unix.setsockopt_float fd Unix.SO_SNDTIMEO 1.;
+       write_all fd (error_line ~code:"overloaded" "server is at its connection limit");
+       write_all fd "\n"
+     with Write_timeout | Unix.Unix_error _ -> ());
+    try Unix.close fd with Unix.Unix_error _ -> ()
+  in
   (* the accept loop polls so a Final reply (set on a connection
-     thread) is noticed within a poll interval even with no new client *)
+     thread) — or an external [stop], e.g. a signal handler — is
+     noticed within a poll interval even with no new client *)
+  let accept_backoff = ref 0.05 in
   let rec accept_loop () =
     if not (Atomic.get stop) then begin
       match Unix.select [ listen_fd ] [] [] 0.1 with
       | [], _, _ -> accept_loop ()
       | _ :: _, _, _ ->
-        (match Unix.accept listen_fd with
+        (match
+           Tsg_obs.Failpoint.hit "server/accept-emfile";
+           Unix.accept listen_fd
+         with
         | fd, _ ->
-          Metrics.incr "server/connections";
-          let id = register conns fd in
-          let t = Thread.create (fun () -> handle_connection ~stop ~handler conns id fd) () in
-          threads := t :: !threads
-        | exception Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED), _, _) -> ());
+          accept_backoff := 0.05;
+          if live conns >= max_connections then reject fd
+          else begin
+            Metrics.incr "server/connections";
+            configure_client fd;
+            let id = register conns fd in
+            let t =
+              Thread.create
+                (fun () ->
+                  handle_connection ~stop ~active ~handler ~max_request_bytes conns
+                    id fd)
+                ()
+            in
+            threads := t :: !threads
+          end
+        | exception Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED), _, _) -> ()
+        | exception
+            ( Unix.Unix_error ((Unix.EMFILE | Unix.ENFILE), _, _)
+            | Tsg_obs.Failpoint.Injected _ ) ->
+          (* out of descriptors: dying here would take the daemon down
+             exactly when load is highest.  Some connection threads
+             will finish and free fds — back off and try again. *)
+          Metrics.incr "server/accept_backoff";
+          Unix.sleepf !accept_backoff;
+          accept_backoff := Float.min 1. (!accept_backoff *. 2.));
         accept_loop ()
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
     end
@@ -126,30 +273,54 @@ let serve ?(backlog = 16) ~socket ~handler () =
   Fun.protect
     ~finally:(fun () ->
       (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+      (* graceful drain: no new clients are admitted, but requests
+         already executing get [drain_timeout_s] to finish and write
+         their responses before the sockets are yanked *)
+      let drain_until = Unix.gettimeofday () +. drain_timeout_s in
+      while Atomic.get active > 0 && Unix.gettimeofday () < drain_until do
+        Unix.sleepf 0.005
+      done;
       (* unblock any thread still waiting on its client, then join *)
       shutdown_all conns;
       List.iter Thread.join !threads;
       try Unix.unlink socket with Unix.Unix_error _ -> ())
     accept_loop
 
-let call ~socket requests =
-  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  (try Unix.connect fd (Unix.ADDR_UNIX socket)
-   with exn ->
-     (try Unix.close fd with Unix.Unix_error _ -> ());
-     raise exn);
-  let ic = Unix.in_channel_of_descr fd in
-  let oc = Unix.out_channel_of_descr fd in
-  Fun.protect
-    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
-    (fun () ->
-      List.map
-        (fun request ->
-          output_string oc request;
-          output_char oc '\n';
-          flush oc;
-          match input_line ic with
-          | line -> line
-          | exception End_of_file ->
-            failwith "Server.call: connection closed before a response arrived")
-        requests)
+let call ?(retries = 0) ?(backoff_ms = 50.) ~socket requests =
+  let attempt () =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    (try Unix.connect fd (Unix.ADDR_UNIX socket)
+     with exn ->
+       (try Unix.close fd with Unix.Unix_error _ -> ());
+       raise exn);
+    let ic = Unix.in_channel_of_descr fd in
+    let oc = Unix.out_channel_of_descr fd in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        List.map
+          (fun request ->
+            output_string oc request;
+            output_char oc '\n';
+            flush oc;
+            match input_line ic with
+            | line -> line
+            | exception End_of_file ->
+              failwith "Server.call: connection closed before a response arrived")
+          requests)
+  in
+  let rec go attempt_no delay_ms =
+    match attempt () with
+    | responses -> responses
+    | exception
+        Unix.Unix_error
+          ((Unix.ECONNREFUSED | Unix.ENOENT | Unix.ECONNRESET | Unix.EAGAIN), _, _)
+      when attempt_no < retries ->
+      (* full jitter on an exponential base: concurrent clients that
+         all saw the same refusal spread out instead of stampeding
+         back in lockstep *)
+      let jittered = delay_ms *. (0.5 +. Random.float 1.) in
+      Unix.sleepf (jittered /. 1000.);
+      go (attempt_no + 1) (Float.min 2000. (delay_ms *. 2.))
+  in
+  go 0 backoff_ms

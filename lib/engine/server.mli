@@ -33,27 +33,73 @@ type reply =
           the active ones and make {!serve} return — the [shutdown]
           request *)
 
-val serve : ?backlog:int -> socket:string -> handler:(string -> reply) -> unit -> unit
+val serve :
+  ?backlog:int ->
+  ?max_connections:int ->
+  ?max_request_bytes:int ->
+  ?read_timeout_s:float ->
+  ?write_timeout_s:float ->
+  ?drain_timeout_s:float ->
+  ?stop:bool Atomic.t ->
+  socket:string ->
+  handler:(string -> reply) ->
+  unit ->
+  unit
 (** [serve ~socket ~handler ()] binds [socket] (an existing socket
     file at that path is replaced), accepts clients and blocks until a
-    handler returns {!Final}.  [backlog] (default 16) is the listen
-    queue length.
+    handler returns {!Final} — or until [stop] is set.  [backlog]
+    (default 16) is the listen queue length.
 
     For every request line the handler's reply is written back
     followed by a newline; replies must therefore be single-line (the
     JSON encoders never emit newlines).  If the handler raises, the
-    exception is rendered into a [{"status":"error",...}] line instead
-    of killing the connection.  The counters [server/connections] and
-    [server/requests] and the latency histogram [server/request_ms]
-    in {!Metrics} track traffic.
+    exception is rendered into a
+    [{"status":"error","code":"internal",...}] line instead of killing
+    the connection.
+
+    {b Resilience.}  The daemon assumes clients are unreliable or
+    hostile:
+
+    - [max_connections] (default 64): a client past the limit receives
+      one [{"code":"overloaded"}] line and is closed — it should back
+      off and retry ({!call} can).  Counted in [server/rejected].
+    - [max_request_bytes] (default 1 MiB): a longer request line gets
+      a [{"code":"too_large"}] reply and the connection is closed
+      (also [server/rejected]).
+    - [read_timeout_s] / [write_timeout_s] (default 30 s each, [0.]
+      disables): a client that stalls mid-line, idles, or never drains
+      its responses (slow loris, either direction) is answered with
+      [{"code":"timeout"}] where possible and dropped.  Counted in
+      [server/timeouts].
+    - The accept loop survives fd exhaustion: [EMFILE]/[ENFILE] back
+      the loop off exponentially (50 ms doubling to 1 s, counted in
+      [server/accept_backoff]) instead of killing the daemon under
+      peak load.
+    - [stop] (optional): an externally owned flag — typically set by a
+      SIGTERM/SIGINT handler — that ends the accept loop within one
+      poll interval (100 ms).  Shutdown is a {e graceful drain}:
+      requests already executing get [drain_timeout_s] (default 5 s)
+      to finish and flush before remaining sockets are shut down.
+
+    The counters [server/connections] and [server/requests] and the
+    latency histogram [server/request_ms] in {!Metrics} track traffic.
 
     On return the socket file has been removed.
     @raise Unix.Unix_error if the socket cannot be created or bound. *)
 
-val call : socket:string -> string list -> string list
+val call :
+  ?retries:int -> ?backoff_ms:float -> socket:string -> string list -> string list
 (** [call ~socket requests] connects to a serving daemon, sends each
     request line in turn — writing one line, then reading its response
     line — and returns the responses in order.  Raises [Failure] if
     the server closes the connection before answering everything.
     This is the client used by [tsa client] and the tests.
-    @raise Unix.Unix_error if the connection fails (e.g. no daemon). *)
+
+    [retries] (default 0) re-attempts a {e failed connection}
+    ([ECONNREFUSED], [ENOENT], [ECONNRESET], [EAGAIN] — a daemon still
+    starting, or briefly out of descriptors) with full-jitter
+    exponential backoff starting at [backoff_ms] (default 50, capped
+    at 2 s).  Requests are never retried once a connection is
+    established: the caller cannot know how far a half-answered
+    conversation got.
+    @raise Unix.Unix_error if the connection (still) fails. *)

@@ -54,7 +54,7 @@ let fire net s node =
   else values.(node) <- Tsg_circuit.Netlist.eval_node net s.values node;
   { values; stim_done }
 
-let explore ?(max_states = 100_000) net =
+let explore ?(deadline = Tsg_engine.Deadline.none) ?(max_states = 100_000) net =
   let initial_state =
     {
       values = Tsg_circuit.Netlist.initial_state net;
@@ -80,7 +80,13 @@ let explore ?(max_states = 100_000) net =
   let initial, _ = intern initial_state in
   let queue = Queue.create () in
   Queue.add (initial, initial_state) queue;
+  (* exponential state spaces are exactly what deadlines are for:
+     check once per popped batch so a blown-up exploration cancels
+     promptly without taxing the per-state work *)
+  let popped = ref 0 in
   while not (Queue.is_empty queue) do
+    incr popped;
+    if !popped land 1023 = 0 then Tsg_engine.Deadline.check deadline;
     let id, s = Queue.pop queue in
     List.iter
       (fun node ->

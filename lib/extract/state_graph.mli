@@ -28,9 +28,13 @@ val excited : Tsg_circuit.Netlist.t -> state -> int list
 val fire : Tsg_circuit.Netlist.t -> state -> int -> state
 (** The successor state after the given node fires. *)
 
-val explore : ?max_states:int -> Tsg_circuit.Netlist.t -> t
+val explore :
+  ?deadline:Tsg_engine.Deadline.t -> ?max_states:int -> Tsg_circuit.Netlist.t -> t
 (** Full interleaving exploration from the initial state
-    ([max_states] defaults to 100000).
-    @raise State_limit if the budget is exceeded. *)
+    ([max_states] defaults to 100000).  [deadline] is checked at
+    amortised intervals during the BFS — the state count bounds
+    memory, the deadline bounds time.
+    @raise State_limit if the state budget is exceeded.
+    @raise Tsg_engine.Deadline.Deadline_exceeded past the time budget. *)
 
 val state_count : t -> int

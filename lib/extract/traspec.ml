@@ -126,11 +126,17 @@ let indexed_occurrences history node dir =
   in
   List.rev result
 
-let extract ?(rounds = 60) ?(check = true) ?(max_states = 100_000) net =
+let extract ?deadline ?(rounds = 60) ?(check = true) ?(max_states = 100_000) net =
+  (* like Cycle_time.analyze, fall back to the ambient per-domain
+     deadline so daemon/batch budgets apply without plumbing *)
+  let deadline =
+    match deadline with Some d -> d | None -> Tsg_engine.Deadline.current ()
+  in
   Tsg_obs.Trace.with_span "extract"
     ~args:[ ("nodes", string_of_int (Tsg_circuit.Netlist.node_count net)) ]
   @@ fun () ->
   let sim = Tsg_obs.Trace.with_span "extract/simulate" (fun () -> simulate ~rounds net) in
+  Tsg_engine.Deadline.check deadline;
   let n = Tsg_circuit.Netlist.node_count net in
   let name_of node = (Tsg_circuit.Netlist.node_of_index net node).Tsg_circuit.Netlist.name in
   let is_input node =
@@ -272,7 +278,7 @@ let extract ?(rounds = 60) ?(check = true) ?(max_states = 100_000) net =
     if check then
       Some
         (Tsg_obs.Trace.with_span "extract/state_space" (fun () ->
-             Distributive.check (State_graph.explore ~max_states net)))
+             Distributive.check (State_graph.explore ~deadline ~max_states net)))
     else None
   in
   (match verdict with

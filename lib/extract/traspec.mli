@@ -30,9 +30,17 @@ exception Extraction_error of string
     without any oscillation. *)
 
 val extract :
-  ?rounds:int -> ?check:bool -> ?max_states:int -> Tsg_circuit.Netlist.t -> extraction
+  ?deadline:Tsg_engine.Deadline.t ->
+  ?rounds:int ->
+  ?check:bool ->
+  ?max_states:int ->
+  Tsg_circuit.Netlist.t ->
+  extraction
 (** [extract net] derives the Timed Signal Graph of [net].  [rounds]
     (default 60) bounds the maximal-step simulation; [check] (default
     [true]) additionally explores the interleaving state graph and
-    verifies distributivity.
-    @raise Extraction_error as described above. *)
+    verifies distributivity.  [deadline] (default: the ambient
+    {!Tsg_engine.Deadline.current}) bounds the whole extraction,
+    including the state-space exploration.
+    @raise Extraction_error as described above.
+    @raise Tsg_engine.Deadline.Deadline_exceeded past the budget. *)

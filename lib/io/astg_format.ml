@@ -19,7 +19,7 @@ let split_words line =
   |> List.concat_map (String.split_on_char '\t')
   |> List.filter (fun w -> w <> "")
 
-let parse ?(default_delay = 1.) text =
+let parse_checked ~default_delay text =
   let model = ref "unnamed" in
   let inputs = ref [] in
   let outputs = ref [] in
@@ -95,6 +95,9 @@ let parse ?(default_delay = 1.) text =
             (Stop
                (Fmt.str "marking <%a,%a> does not match any arc" Event.pp u Event.pp v)))
       marking;
+    (match Validate.counts ~events:(2 * List.length arcs) ~arcs:(List.length arcs) with
+    | Ok () -> ()
+    | Error msg -> raise (Stop msg));
     let b = Signal_graph.builder () in
     let declared = Hashtbl.create 32 in
     let declare ev =
@@ -129,6 +132,16 @@ let parse ?(default_delay = 1.) text =
       Error
         (Fmt.str "invalid graph: %a" Fmt.(list ~sep:(any "; ") Signal_graph.pp_error) errs)
   with Stop msg -> Error msg
+
+let parse ?(default_delay = 1.) text =
+  (* the dialect has no delay syntax; the caller-supplied default is
+     still held to the shared judgement *)
+  match Validate.delay default_delay with
+  | Error msg -> Error msg
+  | Ok default_delay -> (
+    match Validate.input_text text with
+    | Error msg -> Error msg
+    | Ok () -> parse_checked ~default_delay text)
 
 let parse_file ?default_delay path =
   match In_channel.with_open_text path In_channel.input_all with

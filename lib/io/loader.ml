@@ -25,7 +25,7 @@ let is_astg text =
          in
          contains_sub line ".marking")
 
-let of_string ?(name = "input") text =
+let of_string_unguarded ~name text =
   Tsg_obs.Trace.with_span "load" ~args:[ ("name", name) ] @@ fun () ->
   let astg = Tsg_obs.Trace.with_span "load/sniff" (fun () -> is_astg text) in
   let dialect = if astg then "astg" else "native" in
@@ -40,6 +40,22 @@ let of_string ?(name = "input") text =
     | Ok doc ->
       Ok { name = doc.Stg_format.model; graph = doc.Stg_format.graph; dialect = `Native }
     | Error msg -> Error (Printf.sprintf "cannot load %s: %s" name msg)
+
+let of_string ?(name = "input") text =
+  (* the loader is the daemon's jaws: whatever bytes a client sends
+     must come back as [Error], never as an exception.  The size
+     screen runs before sniffing (which walks the whole text), and the
+     catch-all turns a parser bug into a per-request error instead of
+     a dead connection thread. *)
+  match
+    Tsg_obs.Failpoint.hit "loader/load";
+    match Validate.input_text text with
+    | Error msg -> Error (Printf.sprintf "cannot load %s: %s" name msg)
+    | Ok () -> of_string_unguarded ~name text
+  with
+  | result -> result
+  | exception exn ->
+    Error (Printf.sprintf "cannot load %s: %s" name (Printexc.to_string exn))
 
 let load_file path =
   match In_channel.with_open_text path In_channel.input_all with

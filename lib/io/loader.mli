@@ -18,7 +18,10 @@ val is_astg : string -> bool
 
 val of_string : ?name:string -> string -> (model, string) result
 (** Parse a model from text; [name] (default ["input"]) labels error
-    messages. *)
+    messages.  Never raises: arbitrary (including hostile) bytes come
+    back as [Error] — inputs past the {!Validate} caps are refused
+    before parsing, and any parser exception is rendered into the
+    error message. *)
 
 val load_file : string -> (model, string) result
 (** Read and parse a file; I/O failures come back as [Error] rather

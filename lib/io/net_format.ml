@@ -12,7 +12,7 @@ let split_words line =
 
 exception Stop of string
 
-let parse text =
+let parse_checked text =
   let name = ref "unnamed" in
   let nodes = ref [] in
   let stimuli = ref [] in
@@ -37,8 +37,13 @@ let parse text =
       let driver = String.sub word 0 i in
       let delay = String.sub word (i + 1) (String.length word - i - 1) in
       match float_of_string_opt delay with
-      | Some pin_delay when pin_delay >= 0. -> { Tsg_circuit.Netlist.driver; pin_delay }
-      | _ -> raise (Stop (Printf.sprintf "line %d: invalid delay in %S" lineno word)))
+      | Some pin_delay -> (
+        (* the shared judgement also rejects +inf, which [>= 0.]
+           alone would have admitted *)
+        match Validate.delay pin_delay with
+        | Ok pin_delay -> { Tsg_circuit.Netlist.driver; pin_delay }
+        | Error msg -> raise (Stop (Printf.sprintf "line %d: %s" lineno msg)))
+      | None -> raise (Stop (Printf.sprintf "line %d: invalid delay in %S" lineno word)))
   in
   let handle_line lineno raw =
     let line = String.trim (strip_comment raw) in
@@ -89,6 +94,11 @@ let parse text =
   with
   | Stop msg -> Error msg
   | Invalid_argument msg -> Error msg
+
+let parse text =
+  match Validate.input_text text with
+  | Error msg -> Error msg
+  | Ok () -> parse_checked text
 
 let parse_file path =
   match In_channel.with_open_text path In_channel.input_all with

@@ -33,4 +33,9 @@ let stats_response ?cache () =
 
 let shutdown_response () = ok [ ("stopping", Bool true) ]
 
-let error_response msg = to_string (Obj [ ("status", String "error"); ("error", String msg) ])
+let error_response ?code msg =
+  to_string
+    (Obj
+       (("status", String "error")
+       :: (match code with Some c -> [ ("code", String c) ] | None -> [])
+       @ [ ("error", String msg) ]))

@@ -41,9 +41,13 @@ val stats_response : ?cache:Tsg_engine.Cache.stats -> unit -> string
 val shutdown_response : unit -> string
 (** [{"status":"ok","stopping":true}]. *)
 
-val error_response : string -> string
-(** [{"status":"error","error":...}] — load failures, unanalyzable
-    models, malformed requests. *)
+val error_response : ?code:string -> string -> string
+(** [{"status":"error","code":...,"error":...}] — load failures,
+    unanalyzable models, malformed requests.  [code] is the
+    machine-readable member of the error taxonomy (see
+    {!page-operations}): [bad_request], [deadline_exceeded],
+    [overloaded], [too_large], [timeout], [internal].  Omitted for
+    legacy free-form errors. *)
 
 val cache_stats_obj : Tsg_engine.Cache.stats -> Json.t
 (** The [{"capacity":...,"length":...,"hits":...,"misses":...,

@@ -25,7 +25,7 @@ let keyword_of_class = function
   | Signal_graph.Non_repetitive -> "nonrep"
   | Signal_graph.Repetitive -> "rep"
 
-let parse text =
+let parse_checked text =
   let lines = String.split_on_char '\n' text in
   let model = ref "unnamed" in
   let events : (Event.t * Signal_graph.event_class) list ref = ref [] in
@@ -75,7 +75,13 @@ let parse text =
                  let u = event_of src and v = event_of dst in
                  let d =
                    match float_of_string_opt delay with
-                   | Some d -> d
+                   | Some d -> (
+                     (* the shared judgement: NaN/inf/negative delays
+                        are rejected with the same wording in every
+                        dialect *)
+                     match Validate.delay d with
+                     | Ok d -> d
+                     | Error msg -> fail "%s" msg)
                    | None -> fail "invalid delay %S" delay
                  in
                  let marked = ref false and once = ref false in
@@ -92,6 +98,11 @@ let parse text =
                | _ -> fail "arc lines are: <src> <dst> <delay> [token] [once]"))
          end)
        lines;
+     (match
+        Validate.counts ~events:(List.length !events) ~arcs:(List.length !arcs)
+      with
+     | Ok () -> ()
+     | Error msg -> raise (Stop msg));
      let b = Signal_graph.builder () in
      List.iter (fun (ev, cls) -> Signal_graph.add_event b ev cls) (List.rev !events);
      List.iter
@@ -105,6 +116,11 @@ let parse text =
    with
   | Stop msg -> Error msg
   | Invalid_argument msg -> Error msg)
+
+let parse text =
+  match Validate.input_text text with
+  | Error msg -> Error msg
+  | Ok () -> parse_checked text
 
 let parse_file path =
   match In_channel.with_open_text path In_channel.input_all with

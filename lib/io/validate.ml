@@ -1,0 +1,55 @@
+(* Shared input validation for every loader in this library.
+
+   Each dialect parser owns its grammar, but the safety judgements —
+   which delays are acceptable, how large an input we are willing to
+   chew on — must not drift apart between dialects: a NaN delay
+   rejected by one loader and admitted by another would poison the
+   analysis kernel (every comparison against NaN is false, so the
+   longest-path relaxation silently produces garbage) depending on
+   which file extension it arrived under. *)
+
+let max_input_bytes = 8 * 1024 * 1024
+let max_line_bytes = 64 * 1024
+let max_events = 100_000
+let max_arcs = 1_000_000
+
+(* [string_of_float] prints nan/inf recognisably, which is the whole
+   point of the message *)
+let delay d =
+  if Float.is_finite d && d >= 0. then Ok d
+  else
+    Error
+      (Printf.sprintf "invalid delay %s: delays must be finite and non-negative"
+         (string_of_float d))
+
+let input_text text =
+  let n = String.length text in
+  if n > max_input_bytes then
+    Error
+      (Printf.sprintf "input is %d bytes; the limit is %d (%d MiB)" n max_input_bytes
+         (max_input_bytes / (1024 * 1024)))
+  else begin
+    (* one pass for the longest line: split_on_char would allocate the
+       whole line list just to measure it *)
+    let longest = ref 0 and current = ref 0 in
+    String.iter
+      (fun c ->
+        if c = '\n' then begin
+          if !current > !longest then longest := !current;
+          current := 0
+        end
+        else incr current)
+      text;
+    if !current > !longest then longest := !current;
+    if !longest > max_line_bytes then
+      Error
+        (Printf.sprintf "a line is %d bytes; the limit is %d" !longest max_line_bytes)
+    else Ok ()
+  end
+
+let counts ~events ~arcs =
+  if events > max_events then
+    Error (Printf.sprintf "model declares %d events; the limit is %d" events max_events)
+  else if arcs > max_arcs then
+    Error (Printf.sprintf "model declares %d arcs; the limit is %d" arcs max_arcs)
+  else Ok ()

@@ -1,0 +1,36 @@
+(** Shared input validation for the model loaders.
+
+    Every dialect ({!Stg_format}, {!Astg_format}, {!Net_format}, and
+    the sniffing {!Loader} front end) applies the same safety
+    judgements with the same error wording, so a hostile or corrupt
+    input is rejected identically regardless of which parser it
+    reaches.  The caps exist because loaders run on daemon threads on
+    client-supplied bytes: an unbounded input is a memory-exhaustion
+    vector, and a NaN delay silently corrupts the longest-path kernel
+    (every comparison against NaN is false). *)
+
+val max_input_bytes : int
+(** Largest accepted input text, 8 MiB. *)
+
+val max_line_bytes : int
+(** Longest accepted single line, 64 KiB. *)
+
+val max_events : int
+(** Most events a model may declare, 100000. *)
+
+val max_arcs : int
+(** Most arcs a model may declare, 1000000. *)
+
+val delay : float -> (float, string) result
+(** Accepts finite non-negative delays; NaN, infinities and negative
+    values yield ["invalid delay <d>: delays must be finite and
+    non-negative"].  Parsers prepend their own position context. *)
+
+val input_text : string -> (unit, string) result
+(** Pre-parse size screen: total bytes against {!max_input_bytes} and
+    the longest line against {!max_line_bytes} (one pass, no
+    allocation). *)
+
+val counts : events:int -> arcs:int -> (unit, string) result
+(** Post-parse cardinality screen against {!max_events} /
+    {!max_arcs}. *)

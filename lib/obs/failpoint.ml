@@ -1,0 +1,142 @@
+(* Named failpoints for fault injection.
+
+   A failpoint is a named site in production code ([hit "pool/job"])
+   that normally does nothing.  Tests (or an operator reproducing an
+   incident) arm it with an action — raise, sleep, or both — through
+   [activate], a spec string, or the TSA_FAILPOINTS environment
+   variable, and the next [hit] fires it.
+
+   The whole feature costs one atomic load per site when nothing is
+   armed: [hit] and [is_active] return immediately unless the global
+   armed-count is non-zero. *)
+
+exception Injected of string
+
+type action = {
+  delay_ms : float;  (** sleep this long before returning/raising *)
+  fail : bool;  (** raise [Injected name] *)
+  mutable remaining : int;  (** fire this many more times; -1 = forever *)
+}
+
+let lock = Mutex.create ()
+let table : (string, action) Hashtbl.t = Hashtbl.create 8
+let armed = Atomic.make 0
+let hit_count = Atomic.make 0
+
+(* the engine's Metrics module registers itself here so failpoint hits
+   show up as a counter without this library depending on the engine *)
+let hit_hook : (string -> unit) ref = ref (fun _ -> ())
+let on_hit f = hit_hook := f
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let activate ?(delay_ms = 0.) ?(fail = true) ?(times = -1) name =
+  locked @@ fun () ->
+  if not (Hashtbl.mem table name) then Atomic.incr armed;
+  Hashtbl.replace table name { delay_ms; fail; remaining = times }
+
+let deactivate name =
+  locked @@ fun () ->
+  if Hashtbl.mem table name then begin
+    Hashtbl.remove table name;
+    Atomic.decr armed
+  end
+
+let clear () =
+  locked @@ fun () ->
+  Hashtbl.reset table;
+  Atomic.set armed 0
+
+let hits () = Atomic.get hit_count
+
+(* spec grammar: "name=fail;other=delay:50;third=delay:10,fail*2" —
+   per point a comma-separated action list ([fail], [delay:<ms>]) and
+   an optional [*N] repeat count *)
+let configure spec =
+  String.split_on_char ';' spec
+  |> List.iter (fun entry ->
+         let entry = String.trim entry in
+         if entry <> "" then
+           match String.index_opt entry '=' with
+           | None -> invalid_arg (Printf.sprintf "Failpoint.configure: %S has no '='" entry)
+           | Some i ->
+             let name = String.sub entry 0 i in
+             let rhs = String.sub entry (i + 1) (String.length entry - i - 1) in
+             let rhs, times =
+               match String.index_opt rhs '*' with
+               | None -> (rhs, -1)
+               | Some j -> (
+                 let n = String.sub rhs (j + 1) (String.length rhs - j - 1) in
+                 match int_of_string_opt n with
+                 | Some k when k >= 0 -> (String.sub rhs 0 j, k)
+                 | _ ->
+                   invalid_arg
+                     (Printf.sprintf "Failpoint.configure: bad repeat count %S" n))
+             in
+             let delay_ms = ref 0. and fail = ref false in
+             String.split_on_char ',' rhs
+             |> List.iter (fun a ->
+                    match String.trim a with
+                    | "fail" -> fail := true
+                    | a when String.length a > 6 && String.sub a 0 6 = "delay:" -> (
+                      let ms = String.sub a 6 (String.length a - 6) in
+                      match float_of_string_opt ms with
+                      | Some d when d >= 0. -> delay_ms := d
+                      | _ ->
+                        invalid_arg
+                          (Printf.sprintf "Failpoint.configure: bad delay %S" ms))
+                    | a ->
+                      invalid_arg (Printf.sprintf "Failpoint.configure: unknown action %S" a));
+             activate ~delay_ms:!delay_ms ~fail:!fail ~times name)
+
+(* arm from the environment once, at first use from any site *)
+let env_loaded = ref false
+
+let load_env () =
+  locked (fun () ->
+      if not !env_loaded then begin
+        env_loaded := true;
+        match Sys.getenv_opt "TSA_FAILPOINTS" with Some s when s <> "" -> Some s | _ -> None
+      end
+      else None)
+  |> Option.iter (fun spec ->
+         (* a malformed env var must not prevent the binary from
+            starting: warn and run with nothing armed *)
+         try configure spec
+         with Invalid_argument msg -> Printf.eprintf "warning: TSA_FAILPOINTS ignored: %s\n%!" msg)
+
+let () = load_env ()
+
+(* take (and count down) the action for [name]; caller fires it
+   outside the lock so a delay never blocks other failpoints *)
+let take name =
+  locked @@ fun () ->
+  match Hashtbl.find_opt table name with
+  | None -> None
+  | Some a ->
+    if a.remaining = 0 then None
+    else begin
+      if a.remaining > 0 then a.remaining <- a.remaining - 1;
+      Some (a.delay_ms, a.fail)
+    end
+
+let fire name =
+  match take name with
+  | None -> ()
+  | Some (delay_ms, fail) ->
+    Atomic.incr hit_count;
+    !hit_hook name;
+    Trace.instant "failpoint/hit" ~args:[ ("name", name) ];
+    if delay_ms > 0. then Unix.sleepf (delay_ms /. 1000.);
+    if fail then raise (Injected name)
+
+let hit name = if Atomic.get armed = 0 then () else fire name
+
+let is_active name =
+  Atomic.get armed > 0
+  && locked (fun () ->
+         match Hashtbl.find_opt table name with
+         | Some a -> a.remaining <> 0
+         | None -> false)

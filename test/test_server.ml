@@ -84,7 +84,9 @@ let number_at path j =
   in
   go j path
 
-let analyze_req path = Protocol.request_to_string (Protocol.Analyze { path; periods = None })
+let analyze_req path =
+  Protocol.request_to_string
+    (Protocol.Analyze { path; periods = None; timeout_ms = None })
 
 (* ------------------------------------------------------------------ *)
 
@@ -184,6 +186,7 @@ let test_batch_and_stats () =
            paths = [ bench "fig1.g"; "no_such_file.g"; bench "fig1.g" ];
            periods = None;
            jobs = Some 2;
+           timeout_ms = None;
          })
   in
   match Server.call ~socket [ batch; {|{"op":"stats"}|} ] with
