@@ -45,7 +45,7 @@ val analyze :
 
     [deadline] bounds the whole analysis (unfolding construction,
     simulations and backtracking); when omitted, the ambient
-    per-domain deadline ({!Tsg_engine.Deadline.current}) applies, so
+    per-thread deadline ({!Tsg_engine.Deadline.current}) applies, so
     wrapping a call in {!Tsg_engine.Deadline.with_deadline} is enough
     to bound it without threading a parameter through.
     @raise Tsg_engine.Deadline.Deadline_exceeded past the budget.

@@ -55,18 +55,44 @@ let check t =
 
 (* [Batch] and the daemon wrap whole jobs in [with_deadline] so the
    analysis entry points pick the budget up without every intermediate
-   caller threading a parameter.  The slot is domain-local; stages
-   that fan out to other domains (Timing_sim.simulate_many) receive
-   the deadline explicitly and carry it across. *)
-let key : t ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref none)
+   caller threading a parameter.  The slot is per sys-thread, not
+   per-domain: the daemon runs every connection handler on a thread of
+   the same domain, and a domain-local slot would let concurrent
+   requests clobber each other's budgets.  Thread ids are globally
+   unique, so one mutex-protected table covers pool worker domains and
+   server threads alike; [current] sits outside the hot loops (it is
+   read once per analysis entry), so the lock is not a contention
+   point.  Stages that fan out to other domains
+   (Timing_sim.simulate_many) still receive the deadline explicitly
+   and carry it across. *)
+let slots : (int, t) Hashtbl.t = Hashtbl.create 32
+let slots_mutex = Mutex.create ()
 
-let current () = !(Domain.DLS.get key)
+let self_id () = Thread.id (Thread.self ())
+
+let current () =
+  let id = self_id () in
+  Mutex.lock slots_mutex;
+  let d = match Hashtbl.find_opt slots id with Some d -> d | None -> none in
+  Mutex.unlock slots_mutex;
+  d
 
 let with_deadline t f =
-  let slot = Domain.DLS.get key in
-  let saved = !slot in
-  slot := t;
-  Fun.protect ~finally:(fun () -> slot := saved) f
+  let id = self_id () in
+  Mutex.lock slots_mutex;
+  let saved = Hashtbl.find_opt slots id in
+  Hashtbl.replace slots id t;
+  Mutex.unlock slots_mutex;
+  Fun.protect
+    ~finally:(fun () ->
+      Mutex.lock slots_mutex;
+      (* dropping the outermost entry keeps the table sized by threads
+         currently inside a [with_deadline], not by threads ever seen *)
+      (match saved with
+      | Some d -> Hashtbl.replace slots id d
+      | None -> Hashtbl.remove slots id);
+      Mutex.unlock slots_mutex)
+    f
 
 let error_message t =
   if Atomic.get t.cancel then "deadline_exceeded: analysis cancelled"

@@ -54,11 +54,13 @@ val check : t -> unit
 (** @raise Deadline_exceeded once {!expired}. *)
 
 val current : unit -> t
-(** The innermost {!with_deadline} on this domain, or {!none}. *)
+(** The innermost {!with_deadline} on this thread, or {!none}. *)
 
 val with_deadline : t -> (unit -> 'a) -> 'a
-(** Run [f] with [t] as this domain's ambient deadline (restored on
-    exit, exceptions included). *)
+(** Run [f] with [t] as this thread's ambient deadline (restored on
+    exit, exceptions included).  The slot is per sys-thread, so
+    concurrent daemon requests — which share one domain — cannot
+    clobber each other's budgets. *)
 
 val error_message : t -> string
 (** The canonical wire/CLI message for a tripped deadline; always

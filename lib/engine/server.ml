@@ -161,15 +161,25 @@ let handle_connection ~stop ~active ~handler ~max_request_bytes conns id fd =
           with exn -> Reply (internal_error exn))
     in
     let text, final = match reply with Reply s -> (s, false) | Final s -> (s, true) in
+    (* a Final (shutdown) request takes effect even when the client
+       vanishes before reading its reply, so stop before the send *)
+    if final then Atomic.set stop true;
     send text;
     (* latency includes writing the response back — what a client sees *)
     Metrics.observe_ms "server/request_ms" ((Unix.gettimeofday () -. t0) *. 1000.);
-    if final then Atomic.set stop true;
     final
   in
   let rec loop () =
     match read_line lb with
-    | Line line -> if respond line then () else loop ()
+    | Line line -> (
+      (* [respond] writes the reply, so it — not [read_line] — is
+         where a reset-while-replying or stalled reader surfaces *)
+      match respond line with
+      | final -> if final then () else loop ()
+      | exception Write_timeout -> Metrics.incr "server/timeouts"
+      (* a vanished client (reset, broken pipe) ends the connection
+         quietly; the request itself was already counted *)
+      | exception (Sys_error _ | Unix.Unix_error _) -> ())
     | Eof -> ()
     | Timed_out ->
       (* the slow (or absent) client gets one structured goodbye; if
@@ -184,9 +194,7 @@ let handle_connection ~stop ~active ~handler ~max_request_bytes conns id fd =
            (error_line ~code:"too_large"
               (Printf.sprintf "request exceeds %d bytes" max_request_bytes))
        with Write_timeout | Unix.Unix_error _ -> ())
-    | exception Write_timeout -> Metrics.incr "server/timeouts"
-    (* a vanished client (reset, broken pipe) or a reader unblocked by
-       shutdown ends the connection quietly *)
+    (* a reader unblocked by shutdown ends the connection quietly *)
     | exception (Sys_error _ | Unix.Unix_error _) -> ()
   in
   Fun.protect
@@ -199,6 +207,11 @@ let handle_connection ~stop ~active ~handler ~max_request_bytes conns id fd =
 let serve ?(backlog = 16) ?(max_connections = 64) ?(max_request_bytes = 1 lsl 20)
     ?(read_timeout_s = 30.) ?(write_timeout_s = 30.) ?(drain_timeout_s = 5.) ?stop
     ~socket ~handler () =
+  (* without this, the first write to a client that already closed its
+     socket delivers SIGPIPE and kills the whole daemon; ignored, the
+     write surfaces as EPIPE and the connection ends quietly *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
   let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   (try Unix.unlink socket with Unix.Unix_error _ -> ());
   (try
@@ -210,7 +223,21 @@ let serve ?(backlog = 16) ?(max_connections = 64) ?(max_request_bytes = 1 lsl 20
   let stop = match stop with Some s -> s | None -> Atomic.make false in
   let active = Atomic.make 0 in
   let conns = { mutex = Mutex.create (); tbl = Hashtbl.create 8; next_id = 0 } in
-  let threads = ref [] in
+  (* live connection threads, pruned as they finish so a long-lived
+     daemon's memory is bounded by concurrent — not total — clients;
+     only the accept loop touches this list *)
+  let threads : (Thread.t * bool Atomic.t) list ref = ref [] in
+  let prune_threads () =
+    threads :=
+      List.filter
+        (fun (t, finished) ->
+          if Atomic.get finished then begin
+            Thread.join t;  (* already terminated: returns immediately *)
+            false
+          end
+          else true)
+        !threads
+  in
   let configure_client fd =
     if read_timeout_s > 0. then Unix.setsockopt_float fd Unix.SO_RCVTIMEO read_timeout_s;
     if write_timeout_s > 0. then Unix.setsockopt_float fd Unix.SO_SNDTIMEO write_timeout_s
@@ -242,19 +269,24 @@ let serve ?(backlog = 16) ?(max_connections = 64) ?(max_request_bytes = 1 lsl 20
          with
         | fd, _ ->
           accept_backoff := 0.05;
+          prune_threads ();
           if live conns >= max_connections then reject fd
           else begin
             Metrics.incr "server/connections";
             configure_client fd;
             let id = register conns fd in
+            let finished = Atomic.make false in
             let t =
               Thread.create
                 (fun () ->
-                  handle_connection ~stop ~active ~handler ~max_request_bytes conns
-                    id fd)
+                  Fun.protect
+                    ~finally:(fun () -> Atomic.set finished true)
+                    (fun () ->
+                      handle_connection ~stop ~active ~handler ~max_request_bytes
+                        conns id fd))
                 ()
             in
-            threads := t :: !threads
+            threads := (t, finished) :: !threads
           end
         | exception Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED), _, _) -> ()
         | exception
@@ -282,9 +314,11 @@ let serve ?(backlog = 16) ?(max_connections = 64) ?(max_request_bytes = 1 lsl 20
       done;
       (* unblock any thread still waiting on its client, then join *)
       shutdown_all conns;
-      List.iter Thread.join !threads;
+      List.iter (fun (t, _) -> Thread.join t) !threads;
       try Unix.unlink socket with Unix.Unix_error _ -> ())
     accept_loop
+
+let jitter_state = lazy (Random.State.make_self_init ())
 
 let call ?(retries = 0) ?(backoff_ms = 50.) ~socket requests =
   let attempt () =
@@ -318,8 +352,12 @@ let call ?(retries = 0) ?(backoff_ms = 50.) ~socket requests =
       when attempt_no < retries ->
       (* full jitter on an exponential base: concurrent clients that
          all saw the same refusal spread out instead of stampeding
-         back in lockstep *)
-      let jittered = delay_ms *. (0.5 +. Random.float 1.) in
+         back in lockstep.  A self-seeded state, not the global
+         [Random] (whose default seed is fixed, so concurrently
+         started processes would draw identical "jitter"). *)
+      let jittered =
+        delay_ms *. (0.5 +. Random.State.float (Lazy.force jitter_state) 1.)
+      in
       Unix.sleepf (jittered /. 1000.);
       go (attempt_no + 1) (Float.min 2000. (delay_ms *. 2.))
   in

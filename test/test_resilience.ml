@@ -68,6 +68,29 @@ let test_ambient_deadline_scoping () =
   Alcotest.(check bool) "restored after a raise" true
     (Deadline.current () == Deadline.none)
 
+(* the daemon runs every connection handler on a sys-thread of one
+   domain: concurrent requests' ambient deadlines must not clobber
+   each other (each thread gets its own slot) *)
+let test_ambient_deadline_is_per_thread () =
+  let barrier = Atomic.make 0 in
+  let clobbered = Atomic.make false in
+  let worker () =
+    let mine = Deadline.make ~budget_ms:60_000. () in
+    Deadline.with_deadline mine (fun () ->
+        Atomic.incr barrier;
+        (* wait until every thread has installed its own deadline *)
+        while Atomic.get barrier < 8 do
+          Thread.yield ()
+        done;
+        if not (Deadline.current () == mine) then Atomic.set clobbered true)
+  in
+  let threads = List.init 8 (fun _ -> Thread.create worker ()) in
+  List.iter Thread.join threads;
+  Alcotest.(check bool) "each thread saw its own deadline" false
+    (Atomic.get clobbered);
+  Alcotest.(check bool) "the main thread's slot is untouched" true
+    (Deadline.current () == Deadline.none)
+
 let test_expired_deadline_aborts_analysis () =
   let g = dense_graph () in
   let d = Deadline.make ~budget_ms:0. () in
@@ -600,6 +623,8 @@ let suite =
       test_deadline_expires_and_counts_once;
     Alcotest.test_case "deadline: cancel" `Quick test_deadline_cancel;
     Alcotest.test_case "deadline: ambient scoping" `Quick test_ambient_deadline_scoping;
+    Alcotest.test_case "deadline: ambient slot is per-thread" `Quick
+      test_ambient_deadline_is_per_thread;
     Alcotest.test_case "deadline: aborts analysis, engine reusable" `Quick
       test_expired_deadline_aborts_analysis;
     Alcotest.test_case "deadline: expiry is prompt" `Quick test_deadline_expiry_is_prompt;
