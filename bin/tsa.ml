@@ -16,6 +16,18 @@ let builtin = function
     (* synthetic bench workload: big enough that the simulate phase
        dominates and kernel-level wins show above timer noise *)
     Some (Tsg_circuit.Generators.random_live_tsg ~seed:7 ~events:120 ~extra_arcs:240 ())
+  | "gen-10k" ->
+    (* scaling workloads: tens/hundreds of thousands of unfolding
+       instances but a fixed, small border (the segment-token count),
+       so the per-border-event simulations are few, heavy and uneven —
+       the shape that exposes parallel-scheduling wins and losses *)
+    Some
+      (Tsg_circuit.Generators.segmented_live_tsg ~seed:11 ~events:10_000 ~tokens:24
+         ~extra_arcs:20_000 ())
+  | "gen-100k" ->
+    Some
+      (Tsg_circuit.Generators.segmented_live_tsg ~seed:13 ~events:100_000 ~tokens:12
+         ~extra_arcs:100_000 ())
   | _ -> None
 
 (* dialect sniffing (".marking" outside comments -> astg) lives in
@@ -39,7 +51,8 @@ let input_arg =
   let doc =
     "Input model: a .g file, or one of the built-ins $(b,fig1) (the paper's \
      C-element oscillator), $(b,ring5) (the 5-stage Muller ring), $(b,stack) \
-     (the 66-event stack controller)."
+     (the 66-event stack controller), or the generated bench workloads \
+     $(b,gen-dense), $(b,gen-10k), $(b,gen-100k)."
   in
   Arg.(required & pos 0 (some string) None & info [] ~docv:"MODEL" ~doc)
 
@@ -457,9 +470,11 @@ let bench_cmd =
         |> List.filter (fun f -> Filename.check_suffix f ".g")
         |> List.sort compare
         |> List.map (Filename.concat "benchmarks"))
-        (* plus the built-in synthetic workload: large enough that the
-           simulate phase dominates the pipeline *)
-        @ [ "gen-dense" ]
+        (* plus the built-in synthetic workloads: gen-dense is large
+           enough that the simulate phase dominates the pipeline, and
+           gen-10k is large enough that the jobs-scaling pass means
+           something *)
+        @ [ "gen-dense"; "gen-10k" ]
       else begin
         Fmt.epr "tsa: no models given and no benchmarks/ directory here@.";
         exit 2
@@ -474,7 +489,7 @@ let bench_cmd =
     let one_iter ~jobs file =
       Tsg_engine.Metrics.reset ();
       match wall (fun () -> load_model file) with
-      | Error msg, _ -> Error msg
+      | Error msg, _ -> Error (`Error msg)
       | Ok (name, g), bi_load -> (
         match wall (fun () -> Cycle_time.analyze ~jobs g) with
         | report, bi_total ->
@@ -489,7 +504,11 @@ let bench_cmd =
                 bi_simulate = Tsg_engine.Metrics.total_ms "analyze/simulate";
                 bi_backtrack = Tsg_engine.Metrics.total_ms "analyze/backtrack";
               } )
-        | exception Cycle_time.Not_analyzable msg -> Error msg)
+        (* a model the algorithm does not apply to (no cycles, dead
+           events) is not a benchmark failure — keep it in the snapshot
+           as not_applicable so its absence from the tables is
+           self-explaining *)
+        | exception Cycle_time.Not_analyzable msg -> Error (`Not_applicable msg))
     in
     (* a model that fails once would fail every time; stop at the first
        error but keep benchmarking the remaining files *)
@@ -498,7 +517,7 @@ let bench_cmd =
         if i >= iterations then Ok (List.rev acc)
         else
           match one_iter ~jobs file with
-          | Error msg -> if acc = [] then Error msg else Ok (List.rev acc)
+          | Error e -> if acc = [] then Error e else Ok (List.rev acc)
           | Ok r -> go (i + 1) (r :: acc)
       in
       (file, go 0 [])
@@ -506,34 +525,48 @@ let bench_cmd =
     let results = List.map (bench_one ~jobs:1) files in
     let mean sel rs = List.fold_left (fun s r -> s +. sel r) 0. rs /. float_of_int (List.length rs) in
     let best sel rs = List.fold_left (fun m r -> Float.min m (sel r)) infinity rs in
-    (* jobs scaling: re-run every model at 1, 2 and the recommended
-       domain count (deduplicated) and record the simulate-phase and
-       total means per level *)
+    (* jobs scaling: run every analyzable model at 2, 4 and the
+       recommended domain count (deduplicated) and record the
+       simulate-phase and total means per level; the jobs=1 row reuses
+       the primary pass above instead of re-running it *)
     let job_levels =
-      List.sort_uniq compare [ 1; 2; Tsg_engine.Pool.recommended () ]
+      List.sort_uniq compare [ 1; 2; 4; Tsg_engine.Pool.recommended () ]
     in
     let scaling =
       List.map
-        (fun file ->
+        (fun (file, outcome) ->
           ( file,
-            List.filter_map
-              (fun jobs ->
-                match snd (bench_one ~jobs file) with
-                | Error _ -> None
-                | Ok runs ->
-                  let iters = List.map (fun (_, _, _, it) -> it) runs in
-                  Some
-                    ( jobs,
-                      mean (fun i -> i.bi_simulate) iters,
-                      mean (fun i -> i.bi_total) iters ))
-              job_levels ))
-        files
+            match outcome with
+            | Error _ -> []
+            | Ok primary ->
+              List.filter_map
+                (fun jobs ->
+                  let runs =
+                    if jobs = 1 then Ok primary else snd (bench_one ~jobs file)
+                  in
+                  match runs with
+                  | Error _ -> None
+                  | Ok runs ->
+                    let iters = List.map (fun (_, _, _, it) -> it) runs in
+                    Some
+                      ( jobs,
+                        mean (fun i -> i.bi_simulate) iters,
+                        mean (fun i -> i.bi_total) iters ))
+                job_levels ))
+        results
     in
     let module J = Tsg_io.Json in
     let entry_json (file, outcome) =
       match outcome with
-      | Error msg ->
+      | Error (`Error msg) ->
         J.Obj [ ("file", J.String file); ("status", J.String "error"); ("error", J.String msg) ]
+      | Error (`Not_applicable msg) ->
+        J.Obj
+          [
+            ("file", J.String file);
+            ("status", J.String "not_applicable");
+            ("reason", J.String msg);
+          ]
       | Ok runs ->
         let name, g, report, _ = List.hd runs in
         let iters = List.map (fun (_, _, _, it) -> it) runs in
@@ -577,14 +610,16 @@ let bench_cmd =
           ]
     in
     let date =
-      let tm = Unix.localtime (Unix.time ()) in
+      (* UTC, so snapshots taken around midnight name the same day on
+         every machine *)
+      let tm = Unix.gmtime (Unix.time ()) in
       Printf.sprintf "%04d-%02d-%02d" (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1)
         tm.Unix.tm_mday
     in
     let snapshot =
       J.Obj
         [
-          ("schema", J.String "tsa-bench/2");
+          ("schema", J.String "tsa-bench/3");
           ("date", J.String date);
           ("iterations", J.Int iterations);
           ("jobs_levels", J.List (List.map (fun j -> J.Int j) job_levels));
@@ -605,7 +640,8 @@ let bench_cmd =
       List.iter
         (fun (file, outcome) ->
           match outcome with
-          | Error msg -> Fmt.pr "%-*s  ERROR: %s@." width file msg
+          | Error (`Error msg) -> Fmt.pr "%-*s  ERROR: %s@." width file msg
+          | Error (`Not_applicable msg) -> Fmt.pr "%-*s  n/a: %s@." width file msg
           | Ok runs ->
             let report = (fun (_, _, r, _) -> r) (List.hd runs) in
             let iters = List.map (fun (_, _, _, it) -> it) runs in

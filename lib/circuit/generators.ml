@@ -43,6 +43,44 @@ let random_live_tsg ?(seed = 42) ?(max_delay = 10) ~events ~extra_arcs () =
   done;
   Signal_graph.build_exn b
 
+let segmented_live_tsg ?(seed = 42) ?(max_delay = 10) ~events ~tokens ~extra_arcs () =
+  if events < 2 then invalid_arg "segmented_live_tsg: need at least two events";
+  if tokens < 1 || tokens > events then
+    invalid_arg "segmented_live_tsg: tokens out of range";
+  let rng = Random.State.make [| seed; events; tokens; extra_arcs |] in
+  let delay () = float_of_int (Random.State.int rng (max_delay + 1)) in
+  let evs = Array.of_list (fresh_events events) in
+  let b = Signal_graph.builder () in
+  Array.iter (fun ev -> Signal_graph.add_event b ev Signal_graph.Repetitive) evs;
+  (* ring backbone with [tokens] marked arcs evenly spaced, exactly as
+     [ring_tsg] spreads them; arc [events-1 -> 0] is always marked *)
+  let marked_arc = Array.make events false in
+  for k = 0 to events - 1 do
+    let marked = (k + 1) * tokens / events > k * tokens / events in
+    marked_arc.(k) <- marked;
+    Signal_graph.add_arc b ~marked ~delay:(delay ()) evs.(k) evs.((k + 1) mod events)
+  done;
+  (* forward chords confined to one segment (no marked backbone arc
+     strictly between source and target), always unmarked: no chord
+     can bypass a token, so every cycle still crosses all [tokens]
+     marked arcs — liveness is preserved and the border stays exactly
+     the [tokens] marked-arc heads, independent of [extra_arcs] *)
+  let next_marked = Array.make events (events - 1) in
+  let last = ref (events - 1) in
+  for k = events - 1 downto 0 do
+    if marked_arc.(k) then last := k;
+    next_marked.(k) <- !last
+  done;
+  for _ = 1 to extra_arcs do
+    let u = Random.State.int rng events in
+    let j = next_marked.(u) in
+    if j > u then begin
+      let v = u + 1 + Random.State.int rng (j - u) in
+      Signal_graph.add_arc b ~delay:(delay ()) evs.(u) evs.(v)
+    end
+  done;
+  Signal_graph.build_exn b
+
 let fork_join_tsg ?(delay = 1.) ~branches () =
   if branches = [] then invalid_arg "fork_join_tsg: no branches";
   List.iter

@@ -26,6 +26,30 @@ val random_live_tsg :
     that different algorithms can be compared without rounding slack.
     Deterministic for a given [seed]. *)
 
+val segmented_live_tsg :
+  ?seed:int ->
+  ?max_delay:int ->
+  events:int ->
+  tokens:int ->
+  extra_arcs:int ->
+  unit ->
+  Tsg.Signal_graph.t
+(** A random live TSG whose {e border size is exactly [tokens]},
+    independent of [events] and [extra_arcs]: a ring backbone over
+    [events] repetitive events with [tokens] marked arcs evenly spaced
+    (as {!ring_tsg}), plus up to [extra_arcs] random unmarked forward
+    chords, each confined to a single inter-token segment so no chord
+    can bypass a token (every cycle crosses all [tokens] marked arcs,
+    hence liveness).  This is the scaling-benchmark workload behind
+    the [gen-10k] / [gen-100k] builtins: the unfolding has
+    [(tokens+1) * events] instances but only [tokens] border-event
+    simulations, so graphs large enough to measure parallel speedup
+    stay analyzable (the default horizon is the border size).  Delays
+    are uniform integers in [0 .. max_delay]; deterministic for a
+    given [seed].
+    @raise Invalid_argument if [events < 2] or [tokens] is not in
+    [1 .. events]. *)
+
 val fork_join_tsg :
   ?delay:float -> branches:int list -> unit -> Tsg.Signal_graph.t
 (** A fork/join loop: a source event fans out into one chain of

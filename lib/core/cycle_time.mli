@@ -62,9 +62,11 @@ val analyze :
     simulations on that many domains — the algorithm's outer loop is
     embarrassingly parallel.  The simulations go through
     {!Timing_sim.simulate_many} (per-domain scratch arenas, windowed
-    scans); backtracking re-runs the single critical simulation, so a
-    trace shows [b + 1] [longest_paths] spans.  The report is
-    independent of [jobs].
+    scans, simulations self-scheduled one claim at a time with the
+    heaviest window first rather than pre-split into contiguous
+    chunks); backtracking re-runs the single critical simulation, so a
+    trace shows [b + 1] [longest_paths] spans.  The report — down to
+    the byte, when serialised — is independent of [jobs].
 
     @raise Not_analyzable on a graph without repetitive events. *)
 

@@ -1,12 +1,36 @@
 (* Pool-backed since the engine refactor: the per-call Domain.spawn /
    Domain.join fork-join was replaced by the persistent worker pool of
    Tsg_engine.Pool, so repeated analyses (batch sweeps, servers) stop
-   paying domain start-up per call. *)
+   paying domain start-up per call.
+
+   [jobs] is clamped to the work available but NOT to the recommended
+   domain count: an explicit jobs > cores request engages the pool
+   anyway (the pool itself is sized at the recommended count, so the
+   effective oversubscription is bounded by one caller domain), which
+   keeps the parallel path exercisable on small machines and leaves
+   the policy decision to the caller. *)
 
 let map ~jobs f inputs =
   let n = Array.length inputs in
-  let jobs = max 1 (min jobs (min n (Tsg_engine.Pool.recommended ()))) in
+  let jobs = max 1 (min jobs n) in
   if jobs = 1 then Array.map f inputs
   else
     (* the calling domain is the jobs-th participant *)
     Tsg_engine.Pool.map ~slots:(jobs - 1) (Tsg_engine.Pool.default ()) f inputs
+
+let map_claims ~jobs ?order ~with_ctx ~f inputs =
+  let n = Array.length inputs in
+  if n = 0 then [||]
+  else begin
+    let jobs = max 1 (min jobs n) in
+    if jobs = 1 then begin
+      (* sequential, but through the same context bracket: one arena
+         (or whatever the context is) acquired for the whole run *)
+      let out = ref [||] in
+      with_ctx (fun ctx -> out := Array.map (f ctx) inputs);
+      !out
+    end
+    else
+      Tsg_engine.Pool.map_claims ~slots:(jobs - 1) ?order
+        (Tsg_engine.Pool.default ()) ~with_ctx ~f inputs
+  end

@@ -14,8 +14,31 @@
 val map : jobs:int -> ('a -> 'b) -> 'a array -> 'b array
 (** [map ~jobs f xs] is [Array.map f xs], computed by [jobs] domains
     (the caller plus [jobs - 1] pool workers).  [jobs] is clamped to
-    [Domain.recommended_domain_count ()] and to [Array.length xs];
-    [jobs <= 1] runs inline.  [f] must be safe to run concurrently
-    (pure, or touching disjoint state).  If [f] raises, the exception
-    of the smallest failing input index is re-raised in the caller
-    with the backtrace captured at the failure site. *)
+    [Array.length xs]; [jobs <= 1] runs inline.  An explicit
+    [jobs] beyond the machine's recommended domain count still engages
+    the pool — the pool is sized at the recommended count, so the
+    effective parallelism is bounded by [pool size + 1] and the
+    oversubscription by the one calling domain.  [f] must be safe to
+    run concurrently (pure, or touching disjoint state).  If [f]
+    raises, the exception of the smallest failing input index is
+    re-raised in the caller with the backtrace captured at the failure
+    site. *)
+
+val map_claims :
+  jobs:int ->
+  ?order:int array ->
+  with_ctx:(('c -> unit) -> unit) ->
+  f:('c -> 'a -> 'b) ->
+  'a array ->
+  'b array
+(** Self-scheduling {!map} with per-participant context — the
+    pool-facing face of {!Tsg_engine.Pool.map_claims}.  Each of the
+    [jobs] participants runs [with_ctx k] once (acquire a scratch
+    arena, say), and [k ctx] then claims items one at a time from a
+    shared index, so unevenly sized items never serialize into a tail
+    chunk and per-participant set-up is paid once.  [order] is a claim
+    schedule (a permutation of the input indices, e.g. heaviest
+    first); it affects only {e when} items start, never where results
+    land.  With [jobs <= 1] the items run inline, in input order,
+    inside a single [with_ctx] bracket; [order] is then ignored.
+    Exceptions follow the {!map} contract. *)

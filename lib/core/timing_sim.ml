@@ -25,40 +25,102 @@ module Workspace = struct
         (* the per-domain arena can be contended by systhreads (the
            serve daemon handles each connection on a thread of the
            accepting domain); [with_arena] takes it with [try_lock]
-           and falls back to a private arena instead of blocking *)
+           and falls back to a spare arena instead of blocking *)
   }
+
+  let resize t n =
+    t.time <- Array.make n neg_infinity;
+    t.pred_instance <- Array.make n (-1);
+    t.pred_arc <- Array.make n (-1);
+    t.stamp <- Array.make n 0;
+    t.epoch <- 0
 
   let create n =
     let n = max n 1 in
-    {
-      time = Array.make n neg_infinity;
-      pred_instance = Array.make n (-1);
-      pred_arc = Array.make n (-1);
-      stamp = Array.make n 0;
-      epoch = 0;
-      lock = Mutex.create ();
-    }
+    let t =
+      {
+        time = [||];
+        pred_instance = [||];
+        pred_arc = [||];
+        stamp = [||];
+        epoch = 0;
+        lock = Mutex.create ();
+      }
+    in
+    resize t n;
+    t
 
   let capacity t = Array.length t.stamp
 
-  let ensure t n =
-    if capacity t < n then begin
-      t.time <- Array.make n neg_infinity;
-      t.pred_instance <- Array.make n (-1);
-      t.pred_arc <- Array.make n (-1);
-      t.stamp <- Array.make n 0;
-      t.epoch <- 0
-    end
+  let ensure t n = if capacity t < n then resize t n
 
-  (* one arena per domain: pool workers keep theirs across every
-     border event (and every analysis) they ever process *)
-  let key : t option ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref None)
+  (* a very large analysis would otherwise pin four max-size arrays in
+     every arena it ever touched, for the life of the domain; releasing
+     shrinks back to this bound (256k instances ≈ 8 MiB of arrays) so
+     retained memory stays bounded while ordinary workloads never pay a
+     reallocation *)
+  let retained_capacity = 1 lsl 18
+
+  let trim t = if capacity t > retained_capacity then resize t retained_capacity
+
+  (* One arena per domain, so pool workers keep theirs across every
+     border event (and every analysis) they ever process, plus a small
+     free list of spares for the contended case: daemon systhreads
+     sharing the domain used to allocate a brand-new full-size arena on
+     every collision.  The spare list is shared by those systhreads,
+     hence its own lock (held for a few instructions only). *)
+  type slot = {
+    mutable arena : t option;
+    mutable spares : t list;
+    spare_lock : Mutex.t;
+  }
+
+  let max_spares = 2
+
+  let key : slot Domain.DLS.key =
+    Domain.DLS.new_key (fun () ->
+        { arena = None; spares = []; spare_lock = Mutex.create () })
+
+  let take_spare slot =
+    Mutex.lock slot.spare_lock;
+    let r =
+      match slot.spares with
+      | [] -> None
+      | ws :: rest ->
+        slot.spares <- rest;
+        Some ws
+    in
+    Mutex.unlock slot.spare_lock;
+    r
+
+  let put_spare slot ws =
+    trim ws;
+    Mutex.lock slot.spare_lock;
+    if List.length slot.spares < max_spares then slot.spares <- ws :: slot.spares;
+    Mutex.unlock slot.spare_lock
+
+  let acquire_spare slot n =
+    match take_spare slot with
+    | Some ws ->
+      if capacity ws >= n then Tsg_engine.Metrics.incr "kernel/arenas_reused"
+      else begin
+        ensure ws n;
+        Tsg_engine.Metrics.incr "kernel/arenas_created"
+      end;
+      ws
+    | None ->
+      Tsg_engine.Metrics.incr "kernel/arenas_created";
+      create n
 
   let with_arena n f =
     let slot = Domain.DLS.get key in
-    match !slot with
+    match slot.arena with
     | Some ws when Mutex.try_lock ws.lock ->
-      Fun.protect ~finally:(fun () -> Mutex.unlock ws.lock) @@ fun () ->
+      Fun.protect
+        ~finally:(fun () ->
+          trim ws;
+          Mutex.unlock ws.lock)
+      @@ fun () ->
       if capacity ws >= n then Tsg_engine.Metrics.incr "kernel/arenas_reused"
       else begin
         ensure ws n;
@@ -66,16 +128,22 @@ module Workspace = struct
       end;
       f ws
     | Some _ ->
-      (* busy (nested query, or another thread of this domain): use a
-         private scratch arena rather than waiting *)
-      Tsg_engine.Metrics.incr "kernel/arenas_created";
-      f (create n)
+      (* busy (nested query, or another thread of this domain): take a
+         spare rather than waiting; the [kernel/arenas_fallback]
+         counter makes this contention visible in [stats] *)
+      Tsg_engine.Metrics.incr "kernel/arenas_fallback";
+      let ws = acquire_spare slot n in
+      Fun.protect ~finally:(fun () -> put_spare slot ws) (fun () -> f ws)
     | None ->
       let ws = create n in
       Mutex.lock ws.lock;
-      slot := Some ws;
+      slot.arena <- Some ws;
       Tsg_engine.Metrics.incr "kernel/arenas_created";
-      Fun.protect ~finally:(fun () -> Mutex.unlock ws.lock) (fun () -> f ws)
+      Fun.protect
+        ~finally:(fun () ->
+          trim ws;
+          Mutex.unlock ws.lock)
+        (fun () -> f ws)
 end
 
 (* ------------------------------------------------------------------ *)
@@ -220,27 +288,38 @@ let simulate_many ?deadline ?(jobs = 1) u ~roots ~f =
   if nroots = 0 then [||]
   else begin
     let n = Unfolding.instance_count u in
-    (* contiguous chunks, one per participating domain: each worker
-       acquires its arena once and reuses it across its whole share of
-       the roots; Parallel.map keeps results at their input index, so
-       concatenation restores the original root order *)
-    let chunks = max 1 (min jobs nroots) in
-    let bounds =
-      Array.init chunks (fun c ->
-          (c * nroots / chunks, (c + 1) * nroots / chunks))
+    (* self-scheduling workers: each participant acquires its domain
+       arena once (the [with_ctx] bracket), then claims border events
+       one at a time from a shared atomic index — no tail chunk to
+       serialize behind, no per-chunk arena set-up.  Claims are
+       size-ordered, heaviest window first (smallest topo position =
+       largest scan), so a straggler simulation starts early instead
+       of landing last on one worker while the others drain small
+       items and idle. *)
+    let order =
+      if jobs <= 1 || nroots <= 1 then None
+      else begin
+        let pos = Unfolding.topo_position u in
+        let idx = Array.init nroots Fun.id in
+        Array.sort
+          (fun a b ->
+            let c = compare pos.(roots.(a)) pos.(roots.(b)) in
+            if c <> 0 then c else compare a b)
+          idx;
+        Some idx
+      end
     in
-    (* the deadline is shared by every chunk: when it trips, each
-       worker raises at its next check and Parallel.map propagates the
-       first failure after all slots unwind — the pool itself stays
-       healthy *)
-    let run_chunk (lo, hi) =
-      Workspace.with_arena n @@ fun ws ->
-      Array.init (hi - lo) (fun k ->
-          let at = roots.(lo + k) in
-          initiated_into ?deadline ws u ~at;
-          f at { vw = ws; vn = n })
-    in
-    Array.concat (Array.to_list (Parallel.map ~jobs run_chunk bounds))
+    (* the deadline is shared by every participant: when it trips,
+       each raises at its next per-claim check (the kernel checks at
+       the top of every window) and Parallel.map_claims propagates the
+       smallest failing index after all claims settle — the pool
+       itself stays healthy and reusable *)
+    Parallel.map_claims ~jobs ?order
+      ~with_ctx:(fun k -> Workspace.with_arena n k)
+      ~f:(fun ws at ->
+        initiated_into ?deadline ws u ~at;
+        f at { vw = ws; vn = n })
+      roots
   end
 
 (* ------------------------------------------------------------------ *)

@@ -45,11 +45,19 @@ module Workspace : sig
   val ensure : t -> int -> unit
   (** Grow (never shrink) the arena to hold [n] instances. *)
 
+  val retained_capacity : int
+  (** Arenas released by {!with_arena} are shrunk back to this many
+      instances, so a one-off huge analysis does not pin max-size
+      arrays in every arena it touched for the life of the domain. *)
+
   val with_arena : int -> (t -> 'a) -> 'a
   (** [with_arena n f] runs [f] with this domain's arena, grown to
       capacity [n].  The arena is guarded by a [Mutex.try_lock]: if it
-      is busy (a sibling systhread, or a nested query), [f] gets a
-      private fresh arena instead of blocking. *)
+      is busy (a sibling systhread, or a nested query), [f] gets an
+      arena from a small per-domain spare free list instead of
+      blocking — each such collision bumps [kernel/arenas_fallback],
+      so systhread contention is visible in [stats].  On release the
+      arena's capacity is bounded by {!retained_capacity}. *)
 end
 
 type view
@@ -97,12 +105,18 @@ val simulate_many :
   'a array
 (** [simulate_many u ~roots ~f] runs one [root]-initiated simulation
     per element of [roots] and returns [f root view] for each, in
-    [roots] order.  The roots are split into [jobs] contiguous chunks
-    executed via {!Parallel.map}; each chunk acquires its domain's
-    arena once and reuses it for every root in the chunk, so only the
-    values returned by [f] are allocated per query.  [f] must not
-    retain its [view] (the arena is recycled for the next root) and
-    must be safe to run concurrently when [jobs > 1].  Call
+    [roots] order.  With [jobs > 1] the roots are {e self-scheduled}
+    over {!Parallel.map_claims}: each participating domain acquires
+    its arena once, then claims roots one at a time from a shared
+    index, heaviest simulation window first (by
+    {!Unfolding.topo_position} of the root — the cheap static cost
+    estimate), so unevenly sized simulations never serialize into a
+    tail chunk and only the values returned by [f] are allocated per
+    query.  The shared [deadline] is checked once per claim (at the
+    top of every kernel window), which amortises cancellation to
+    nothing while keeping latency one simulation at most.  [f] must
+    not retain its [view] (the arena is recycled for the next root)
+    and must be safe to run concurrently when [jobs > 1].  Call
     {!Unfolding.warm_caches} first if [jobs > 1]. *)
 
 val occurrence_times : Unfolding.t -> result -> event:int -> float array

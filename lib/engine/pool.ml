@@ -67,10 +67,22 @@ let shutdown t =
     t.domains <- []
   end
 
-let map ?slots t f inputs =
+(* Claim-based self-scheduling: every participant (the caller plus up
+   to [slots] pool workers) wraps its whole claim loop in [with_ctx] —
+   acquiring per-worker state such as a scratch arena exactly once —
+   and then claims items one at a time from a shared atomic index
+   until none are left.  An optional [order] permutation turns the
+   claim sequence into a schedule (e.g. heaviest item first) without
+   disturbing where results land: item [i] always produces
+   [results.(i)]. *)
+let map_claims ?slots ?order t ~with_ctx ~f inputs =
   let n = Array.length inputs in
   if n = 0 then [||]
   else begin
+    (match order with
+    | Some o when Array.length o <> n ->
+      invalid_arg "Pool.map_claims: order must index every input exactly once"
+    | _ -> ());
     let slots =
       match slots with
       | None -> min t.size n
@@ -92,27 +104,57 @@ let map ?slots t f inputs =
     let m = Mutex.create () in
     let all_done = Condition.create () in
     let done_count = ref 0 in
+    (* a participant's fair share under static chunking; any claim
+       beyond it is work taken over from a busier sibling — a "steal" *)
+    let fair = (n + slots) / (slots + 1) in
     (* claim items from the shared counter until none are left; late
        slots that find the counter exhausted exit without touching
-       anything, so they are harmless even after [map] has returned *)
-    let rec run_slot () =
-      let i = Atomic.fetch_and_add next 1 in
-      if i < n then begin
-        (* the failpoint fires inside the per-item match, so an
-           injected fault is indistinguishable from [f] itself raising:
-           recorded for this item, siblings unaffected *)
-        (match
-           Tsg_obs.Failpoint.hit "pool/job";
-           f inputs.(i)
-         with
-        | y -> results.(i) <- Some y
-        | exception exn -> record i exn (Printexc.get_raw_backtrace ()));
-        Mutex.lock m;
-        incr done_count;
-        if !done_count = n then Condition.signal all_done;
-        Mutex.unlock m;
-        run_slot ()
-      end
+       anything, so they are harmless even after [map_claims] has
+       returned.  [process] exceptions are recorded per item and the
+       loop keeps claiming, so every item is always attempted. *)
+    let claim_loop ?(count = true) process =
+      let claimed = ref 0 in
+      let continue_ = ref true in
+      while !continue_ do
+        let k = Atomic.fetch_and_add next 1 in
+        if k >= n then continue_ := false
+        else begin
+          let i = match order with None -> k | Some o -> o.(k) in
+          incr claimed;
+          (* accounted per claim, before the item's completion is
+             signalled, so by the time [map_claims] returns every claim
+             of the batch is visible in the metrics *)
+          if count then begin
+            Metrics.incr "pool/claims";
+            if !claimed > fair then Metrics.incr "pool/steals"
+          end;
+          (* the failpoint fires inside the per-item match, so an
+             injected fault is indistinguishable from [f] itself
+             raising: recorded for this item, siblings unaffected *)
+          (match
+             Tsg_obs.Failpoint.hit "pool/job";
+             process i
+           with
+          | () -> ()
+          | exception exn -> record i exn (Printexc.get_raw_backtrace ()));
+          Mutex.lock m;
+          incr done_count;
+          if !done_count = n then Condition.signal all_done;
+          Mutex.unlock m
+        end
+      done
+    in
+    let run_slot () =
+      match
+        with_ctx (fun ctx -> claim_loop (fun i -> results.(i) <- Some (f ctx inputs.(i))))
+      with
+      | () -> ()
+      | exception exn ->
+        (* the context bracket itself failed (e.g. scratch allocation):
+           drain the remaining claims as failures of this exception so
+           the rendezvous below still completes and the error surfaces *)
+        let bt = Printexc.get_raw_backtrace () in
+        claim_loop ~count:false (fun _ -> Printexc.raise_with_backtrace exn bt)
     in
     if slots > 0 then begin
       Mutex.lock t.mutex;
@@ -138,6 +180,9 @@ let map ?slots t f inputs =
     | None -> ());
     Array.map (function Some y -> y | None -> assert false) results
   end
+
+let map ?slots t f inputs =
+  map_claims ?slots t ~with_ctx:(fun k -> k ()) ~f:(fun () x -> f x) inputs
 
 let default_pool = ref None
 let default_mutex = Mutex.create ()

@@ -47,6 +47,42 @@ val map : ?slots:int -> t -> ('a -> 'b) -> 'a array -> 'b array
     attempted, and the exception of the smallest failing index is
     re-raised with [Printexc.raise_with_backtrace]. *)
 
+val map_claims :
+  ?slots:int ->
+  ?order:int array ->
+  t ->
+  with_ctx:(('c -> unit) -> unit) ->
+  f:('c -> 'a -> 'b) ->
+  'a array ->
+  'b array
+(** {!map} with {e self-scheduling} participants and per-participant
+    context.  Every participant (the caller plus up to [slots] pool
+    workers) runs [with_ctx k] exactly once; [k ctx] claims items one
+    at a time from a shared atomic index and computes [f ctx item] for
+    each, so expensive per-worker set-up (acquiring a scratch arena,
+    opening a connection) is paid once per participant instead of once
+    per item or once per static chunk — and no participant ever idles
+    while another still holds unstarted work, which is what makes
+    unevenly sized items schedule without barrier waste.
+
+    [order], when given, is the claim schedule: the [k]-th claim
+    processes input [order.(k)] (e.g. heaviest first, so stragglers
+    start early instead of serializing the tail).  It must index every
+    input exactly once, and it never affects {e where} results land —
+    the output is [Array.map]-ordered regardless.
+    @raise Invalid_argument if [Array.length order <> Array.length xs].
+
+    Scheduling is observable in the metrics registry: [pool/claims]
+    counts items claimed through this interface and [pool/steals] the
+    claims beyond a participant's fair share ([ceil (n / participants)]
+    — work taken over from a busier sibling).
+
+    Exceptions from [f] follow the {!map} contract (every item
+    attempted, smallest failing index re-raised).  If [with_ctx]
+    itself fails on some participant, the remaining claims are failed
+    with that exception rather than lost, so the call still returns
+    (or raises) normally. *)
+
 val shutdown : t -> unit
 (** Drains the queue, terminates and joins the workers.  Subsequent
     {!map} calls on the pool run entirely on the calling domain. *)

@@ -65,6 +65,41 @@ let test_fork_join_validation () =
     (Invalid_argument "fork_join_tsg: branch length must be >= 1") (fun () ->
       ignore (Generators.fork_join_tsg ~branches:[ 2; 0 ] ()))
 
+let test_segmented_border_is_tokens () =
+  (* the whole point of the generator: the border stays exactly the
+     token count no matter how many chords are added *)
+  List.iter
+    (fun (events, tokens, extra) ->
+      let g = Generators.segmented_live_tsg ~seed:5 ~events ~tokens ~extra_arcs:extra () in
+      Alcotest.(check int)
+        (Printf.sprintf "border of %d/%d/%d" events tokens extra)
+        tokens
+        (List.length (Cut_set.border g));
+      let lambda = Cycle_time.cycle_time g in
+      Alcotest.(check bool) "analyzable" true (lambda >= 0.))
+    [ (40, 5, 0); (40, 5, 80); (200, 12, 400); (7, 7, 20) ]
+
+let test_segmented_deterministic () =
+  let g1 = Generators.segmented_live_tsg ~seed:3 ~events:30 ~tokens:4 ~extra_arcs:25 () in
+  let g2 = Generators.segmented_live_tsg ~seed:3 ~events:30 ~tokens:4 ~extra_arcs:25 () in
+  Helpers.same_graph "same seed, same graph" g1 g2
+
+let test_segmented_chords_unmarked_within_segment () =
+  let g = Generators.segmented_live_tsg ~seed:9 ~events:60 ~tokens:6 ~extra_arcs:120 () in
+  (* exactly [tokens] marked arcs (all on the backbone), and every
+     chord goes strictly forward — the liveness invariant *)
+  let marked =
+    Array.fold_left
+      (fun acc (a : Signal_graph.arc) -> if a.marked then acc + 1 else acc)
+      0 (Signal_graph.arcs g)
+  in
+  Alcotest.(check int) "marked arcs = tokens" 6 marked;
+  Array.iter
+    (fun (a : Signal_graph.arc) ->
+      if not a.marked then
+        Alcotest.(check bool) "unmarked arcs go forward" true (a.arc_src < a.arc_dst))
+    (Signal_graph.arcs g)
+
 let test_complete_generator () =
   let g = Generators.complete_tsg ~events:5 () in
   Alcotest.(check int) "all ordered pairs" 20 (Signal_graph.arc_count g);
@@ -85,5 +120,10 @@ let suite =
     Alcotest.test_case "fork/join loop" `Quick test_fork_join;
     Alcotest.test_case "balanced fork/join" `Quick test_fork_join_balanced;
     Alcotest.test_case "fork/join validation" `Quick test_fork_join_validation;
+    Alcotest.test_case "segmented border = tokens" `Quick test_segmented_border_is_tokens;
+    Alcotest.test_case "segmented generator is deterministic" `Quick
+      test_segmented_deterministic;
+    Alcotest.test_case "segmented chords stay inside a segment" `Quick
+      test_segmented_chords_unmarked_within_segment;
     Alcotest.test_case "complete graph generator" `Quick test_complete_generator;
   ]

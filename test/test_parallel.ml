@@ -81,6 +81,76 @@ let prop_parallel_equals_sequential =
       Helpers.float_close seq.Cycle_time.cycle_time par.Cycle_time.cycle_time
       && seq.Cycle_time.critical_walk = par.Cycle_time.critical_walk)
 
+let prop_reports_byte_identical =
+  (* stronger than value equality: the full serialised report — every
+     trace sample, every float digit — must not depend on [jobs], no
+     matter how the claims were scheduled *)
+  Helpers.qcheck_case ~count:30 ~name:"serialised reports byte-identical across jobs"
+    (fun g ->
+      let render jobs =
+        (* analysis_obj, not analysis: the latter appends live
+           wall-clock metrics, which are never byte-stable *)
+        Tsg_io.Json.to_string (Tsg_io.Json_report.analysis_obj g (Cycle_time.analyze ~jobs g))
+      in
+      let reference = render 1 in
+      List.for_all
+        (fun jobs -> String.equal reference (render jobs))
+        (List.sort_uniq compare [ 2; Tsg_engine.Pool.recommended () ]))
+
+let test_deadline_cancel_mid_batch () =
+  let g = Tsg_circuit.Circuit_library.async_stack_tsg () in
+  let border = Cut_set.border g in
+  let u = Unfolding.make g ~periods:(List.length border + 1) in
+  Unfolding.warm_caches u;
+  let roots =
+    Array.of_list (List.map (fun e -> Unfolding.instance u ~event:e ~period:0) border)
+  in
+  let deadline = Tsg_engine.Deadline.make () in
+  let seen = Atomic.make 0 in
+  let cancelled =
+    match
+      Timing_sim.simulate_many ~deadline ~jobs:4 u ~roots
+        ~f:(fun _ _ ->
+          (* cancel from inside the batch after a few claims: the
+             remaining claims must observe the shared deadline at the
+             top of their kernel window and give up *)
+          if Atomic.fetch_and_add seen 1 = 2 then Tsg_engine.Deadline.cancel deadline)
+    with
+    | _ -> false
+    | exception Tsg_engine.Deadline.Deadline_exceeded -> true
+  in
+  Alcotest.(check bool) "batch cancelled mid-flight" true cancelled;
+  (* a cancelled batch must not poison the shared pool: the very next
+     parallel analysis reuses it and must succeed *)
+  same_report "analysis after cancelled batch" g 4
+
+let test_map_claims_order () =
+  let pool = Tsg_engine.Pool.default () in
+  let xs = Array.init 10 Fun.id in
+  (* a reversed claim schedule must not change where results land *)
+  let order = Array.init 10 (fun k -> 9 - k) in
+  Alcotest.(check (array int)) "results land at input index"
+    (Array.map (fun x -> x * 10) xs)
+    (Tsg_engine.Pool.map_claims ~order pool
+       ~with_ctx:(fun k -> k 10)
+       ~f:(fun c x -> c * x)
+       xs);
+  match
+    Tsg_engine.Pool.map_claims ~order:[| 0; 1 |] pool
+      ~with_ctx:(fun k -> k ())
+      ~f:(fun () x -> x)
+      xs
+  with
+  | _ -> Alcotest.fail "short order accepted"
+  | exception Invalid_argument _ -> ()
+
+let test_map_claims_metrics () =
+  let claims = Tsg_engine.Metrics.count "pool/claims" in
+  let xs = Array.init 50 Fun.id in
+  ignore (Parallel.map ~jobs:4 (fun x -> x + 1) xs);
+  Alcotest.(check int) "every item claimed exactly once" (claims + 50)
+    (Tsg_engine.Metrics.count "pool/claims")
+
 let suite =
   [
     Alcotest.test_case "fig1" `Quick test_fig1_parallel;
@@ -93,5 +163,10 @@ let suite =
     Alcotest.test_case "Parallel.map exceptions" `Quick test_parallel_map_exceptions;
     Alcotest.test_case "parallel Monte Carlo is deterministic" `Quick
       test_monte_carlo_parallel_deterministic;
+    Alcotest.test_case "deadline cancel mid-batch leaves the pool reusable" `Quick
+      test_deadline_cancel_mid_batch;
+    Alcotest.test_case "Pool.map_claims order schedule" `Quick test_map_claims_order;
+    Alcotest.test_case "Pool.map_claims claim accounting" `Quick test_map_claims_metrics;
     prop_parallel_equals_sequential;
+    prop_reports_byte_identical;
   ]

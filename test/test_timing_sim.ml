@@ -214,6 +214,43 @@ let prop_initiated_below_full =
           !ok)
         (Cut_set.border g))
 
+(* ------------------------------------------------------------------ *)
+(* Workspace arenas                                                    *)
+
+let test_arena_fallback_metric () =
+  let before = Tsg_engine.Metrics.count "kernel/arenas_fallback" in
+  Timing_sim.Workspace.with_arena 64 (fun outer ->
+      (* the domain's main arena is locked by the outer bracket, so a
+         nested acquisition must fall back to a spare — and count it *)
+      Timing_sim.Workspace.with_arena 64 (fun inner ->
+          Alcotest.(check bool) "distinct arenas" true (inner != outer)));
+  Alcotest.(check bool) "fallback counted" true
+    (Tsg_engine.Metrics.count "kernel/arenas_fallback" > before)
+
+let test_arena_spare_reused () =
+  (* the spare released by the first nested bracket must serve the
+     second one instead of allocating a fresh full-size arena *)
+  Timing_sim.Workspace.with_arena 64 (fun _outer ->
+      Timing_sim.Workspace.with_arena 64 (fun _inner -> ());
+      let created = Tsg_engine.Metrics.count "kernel/arenas_created" in
+      let reused = Tsg_engine.Metrics.count "kernel/arenas_reused" in
+      Timing_sim.Workspace.with_arena 64 (fun _inner -> ());
+      Alcotest.(check int)
+        "no fresh arena" created
+        (Tsg_engine.Metrics.count "kernel/arenas_created");
+      Alcotest.(check bool) "spare reused" true
+        (Tsg_engine.Metrics.count "kernel/arenas_reused" > reused))
+
+let test_arena_retained_capacity () =
+  let big = (2 * Timing_sim.Workspace.retained_capacity) + 17 in
+  Timing_sim.Workspace.with_arena big (fun ws ->
+      Alcotest.(check bool) "grown to request" true
+        (Timing_sim.Workspace.capacity ws >= big));
+  (* releasing must have bounded the retained arrays *)
+  Timing_sim.Workspace.with_arena 16 (fun ws ->
+      Alcotest.(check bool) "trimmed after release" true
+        (Timing_sim.Workspace.capacity ws <= Timing_sim.Workspace.retained_capacity))
+
 let suite =
   [
     Alcotest.test_case "Example 3 (timing simulation table)" `Quick test_example3_table;
@@ -228,6 +265,12 @@ let suite =
       test_critical_path_backtracking;
     Alcotest.test_case "initiated from a later instance (Prop. 1 cyclic case)" `Quick
       test_initiated_from_later_instance;
+    Alcotest.test_case "nested with_arena falls back and counts it" `Quick
+      test_arena_fallback_metric;
+    Alcotest.test_case "spare arenas are a free list, not fresh allocations" `Quick
+      test_arena_spare_reused;
+    Alcotest.test_case "released arenas are trimmed to retained_capacity" `Quick
+      test_arena_retained_capacity;
     prop_triangular_inequality;
     prop_times_monotone;
     prop_initiated_below_full;
