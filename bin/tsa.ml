@@ -158,6 +158,152 @@ let analyze_model ?periods path =
     | report -> Ok (name, g, report)
     | exception Cycle_time.Not_analyzable msg -> Error msg)
 
+(* ------------------------------------------------------------------ *)
+(* What-if sweeps (shared by `tsa sweep`, `tsa client --delta` and the
+   serve daemon's sweep op)                                            *)
+
+(* "ARC:DELTA[,ARC:DELTA...]" -> one scenario *)
+let parse_delta_spec spec =
+  let edit tok =
+    match String.index_opt tok ':' with
+    | Some i -> (
+      let a = String.sub tok 0 i in
+      let d = String.sub tok (i + 1) (String.length tok - i - 1) in
+      match (int_of_string_opt a, float_of_string_opt d) with
+      | Some arc, Some delta -> Ok (arc, delta)
+      | _ -> Error (Printf.sprintf "bad delay edit %S (want ARC:DELTA)" tok))
+    | None -> Error (Printf.sprintf "bad delay edit %S (want ARC:DELTA)" tok)
+  in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | tok :: rest -> ( match edit tok with Ok e -> go (e :: acc) rest | Error _ as e -> e)
+  in
+  go [] (String.split_on_char ',' spec)
+
+let delta_conv =
+  let parse s = match parse_delta_spec s with Ok e -> Ok e | Error msg -> Error (`Msg msg) in
+  let print ppf edits =
+    Fmt.pf ppf "%s"
+      (String.concat "," (List.map (fun (a, d) -> Printf.sprintf "%d:%g" a d) edits))
+  in
+  Arg.conv (parse, print)
+
+(* one timed warm re-analysis per scenario, self-scheduled on the
+   domain pool with one scratch arena per participant; mirrors
+   Whatif.sweep but records wall-clock per item for the reports *)
+let run_sweep ?deadline ?budget_ms ~jobs base scenarios =
+  let outer =
+    match deadline with Some d -> d | None -> Tsg_engine.Deadline.current ()
+  in
+  Parallel.map_claims ~jobs
+    ~with_ctx:(fun k -> k (Whatif.scratch base))
+    ~f:(fun sc edits ->
+      let d =
+        match budget_ms with
+        | None -> Tsg_engine.Deadline.none
+        | Some ms -> Tsg_engine.Deadline.make ~budget_ms:ms ()
+      in
+      let t0 = Unix.gettimeofday () in
+      let outcome =
+        match
+          Tsg_engine.Deadline.check outer;
+          Whatif.reanalyze
+            ~deadline:(if d == Tsg_engine.Deadline.none then outer else d)
+            ~scratch:sc base edits
+        with
+        | result -> Ok result
+        | exception Tsg_engine.Deadline.Deadline_exceeded ->
+          Error
+            (Tsg_engine.Deadline.error_message
+               (if Tsg_engine.Deadline.expired outer then outer else d))
+        | exception Invalid_argument msg -> Error msg
+        | exception Cycle_time.Not_analyzable msg ->
+          Error (Printf.sprintf "not analyzable: %s" msg)
+      in
+      {
+        Tsg_io.Rpc.edits = List.map (fun (e : Whatif.edit) -> (e.arc, e.delta)) edits;
+        elapsed_ms = (Unix.gettimeofday () -. t0) *. 1000.;
+        outcome;
+      })
+    scenarios
+
+let edits_of_pairs pairs = List.map (fun (arc, delta) -> { Whatif.arc; delta }) pairs
+
+let sweep_cmd =
+  let deltas_arg =
+    let doc =
+      "Scenarios to re-analyze: each $(docv) is one what-if scenario, a \
+       comma-separated list of ARC:DELTA delay edits applied together (arc ids as \
+       printed by $(b,tsa slack) / the JSON reports; DELTA is added to the arc's \
+       delay)."
+    in
+    Arg.(non_empty & pos_right 0 delta_conv [] & info [] ~docv:"SPEC" ~doc)
+  in
+  let run input deltas periods jobs json trace timeout_ms =
+    if trace <> None then Tsg_obs.Trace.enable ();
+    let jobs = resolve_jobs jobs in
+    let name, g = graph_of_input input in
+    match Whatif.prepare ?periods ~jobs g with
+    | exception Cycle_time.Not_analyzable msg ->
+      Fmt.epr "tsa: %s@." msg;
+      exit 1
+    | base ->
+      let scenarios = Array.of_list (List.map edits_of_pairs deltas) in
+      let items = run_sweep ?budget_ms:timeout_ms ~jobs base scenarios in
+      write_trace trace;
+      if json then
+        print_endline (Tsg_io.Rpc.sweep_response ~model:name g (Array.to_list items))
+      else begin
+        let report = Whatif.base_report base in
+        Fmt.pr "model: %s (%d events, %d arcs); base cycle time %a, b = %d@.@." name
+          (Signal_graph.event_count g) (Signal_graph.arc_count g)
+          Tsg_io.Report.pp_rational report.Cycle_time.cycle_time
+          (List.length report.Cycle_time.border);
+        Array.iteri
+          (fun i (it : Tsg_io.Rpc.sweep_item) ->
+            let spec =
+              String.concat ","
+                (List.map (fun (a, d) -> Printf.sprintf "%d:%+g" a d) it.Tsg_io.Rpc.edits)
+            in
+            match it.Tsg_io.Rpc.outcome with
+            | Ok (r, stats) ->
+              Fmt.pr "#%-3d %-24s %-13s cycle time %a  (reused %d/%d)  [%.2f ms]@." i
+                spec
+                (match stats.Whatif.path with
+                | Whatif.Short_circuit -> "short-circuit"
+                | Whatif.Warm -> "warm"
+                | Whatif.Cold -> "cold")
+                Tsg_io.Report.pp_rational r.Cycle_time.cycle_time stats.Whatif.reused
+                (stats.Whatif.reused + stats.Whatif.resimulated)
+                it.Tsg_io.Rpc.elapsed_ms
+            | Error msg -> Fmt.pr "#%-3d %-24s ERROR: %s@." i spec msg)
+          items;
+        let ok, failed =
+          Array.fold_left
+            (fun (ok, failed) (it : Tsg_io.Rpc.sweep_item) ->
+              match it.Tsg_io.Rpc.outcome with
+              | Ok _ -> (ok + 1, failed)
+              | Error _ -> (ok, failed + 1))
+            (0, 0) items
+        in
+        Fmt.pr "@.%d scenario%s: %d ok, %d error%s@." (Array.length items)
+          (if Array.length items = 1 then "" else "s")
+          ok failed
+          (if failed = 1 then "" else "s")
+      end
+  in
+  let doc =
+    "Warm-start what-if analysis: re-analyze many delay-edit scenarios against \
+     one shared base analysis.  The unfolding and every unaffected border \
+     simulation are reused; reports are byte-identical to an independent \
+     $(b,tsa analyze) of each edited model."
+  in
+  Cmd.v
+    (Cmd.info "sweep" ~doc)
+    Term.(
+      const run $ input_arg $ deltas_arg $ periods_arg $ jobs_arg $ json_arg
+      $ trace_arg $ timeout_arg)
+
 let batch_cmd =
   let files_arg =
     let doc = "Input models (.g files or built-ins), analyzed concurrently." in
@@ -235,6 +381,10 @@ let serve_cmd =
     let doc = "Refuse clients past this many concurrent connections (structured 'overloaded' reply)." in
     Arg.(value & opt int 64 & info [ "max-connections" ] ~docv:"N" ~doc)
   in
+  let max_sweep_arg =
+    let doc = "Reject sweep requests with more than this many scenarios ('too_large' reply)." in
+    Arg.(value & opt int 4096 & info [ "max-sweep" ] ~docv:"N" ~doc)
+  in
   let max_request_bytes_arg =
     let doc = "Reject request lines longer than this many bytes ('too_large' reply)." in
     Arg.(value & opt int (1 lsl 20) & info [ "max-request-bytes" ] ~docv:"N" ~doc)
@@ -258,8 +408,8 @@ let serve_cmd =
     in
     Arg.(value & opt (some string) None & info [ "failpoints" ] ~docv:"SPEC" ~doc)
   in
-  let run socket cache_size jobs trace_dir max_connections max_request_bytes
-      read_timeout write_timeout drain_timeout failpoints =
+  let run socket cache_size jobs trace_dir max_connections max_sweep
+      max_request_bytes read_timeout write_timeout drain_timeout failpoints =
     let jobs = resolve_jobs jobs in
     (match failpoints with
     | None -> ()
@@ -289,6 +439,24 @@ let serve_cmd =
         Tsg_engine.Cache.find_or_add cache key (fun () ->
             match Cycle_time.analyze ?periods g with
             | report -> Ok (name, g, report)
+            | exception Cycle_time.Not_analyzable msg -> Error msg)
+    in
+    (* prepared what-if bases are ~b retained float arrays each, far
+       heavier than a report — a small separate LRU so repeated sweeps
+       of the same model warm-start instantly without letting bases
+       crowd out the analysis cache *)
+    let whatif_cache = Tsg_engine.Cache.create ~metrics_prefix:"whatif-cache" ~capacity:8 () in
+    let prepared_base ?periods path =
+      match load_model path with
+      | Error msg -> Error msg
+      | Ok (name, g) ->
+        let key =
+          Printf.sprintf "%s|%s|%s" (Signal_graph.digest g) name
+            (match periods with None -> "b" | Some n -> string_of_int n)
+        in
+        Tsg_engine.Cache.find_or_add whatif_cache key (fun () ->
+            match Whatif.prepare ?periods g with
+            | base -> Ok (name, base)
             | exception Cycle_time.Not_analyzable msg -> Error msg)
     in
     let handler line =
@@ -322,6 +490,42 @@ let serve_cmd =
             ~f:(analyze_cached ?periods) paths
         in
         Tsg_engine.Server.Reply (Tsg_io.Rpc.batch_response entries)
+      | Ok
+          (Tsg_engine.Protocol.Sweep
+             { path; scenarios; periods; jobs = req_jobs; timeout_ms }) ->
+        Tsg_engine.Server.Reply
+          (if List.length scenarios > max_sweep then
+             Tsg_io.Rpc.error_response ~code:"too_large"
+               (Printf.sprintf "sweep of %d scenarios exceeds --max-sweep %d"
+                  (List.length scenarios) max_sweep)
+           else
+             (* the budget bounds the base preparation too: a sweep
+                whose prepare times out is reported structurally and
+                never cached, exactly like a timed-out analysis *)
+             let d =
+               match timeout_ms with
+               | None -> Tsg_engine.Deadline.none
+               | Some ms -> Tsg_engine.Deadline.make ~budget_ms:ms ()
+             in
+             match
+               Tsg_engine.Deadline.with_deadline d (fun () -> prepared_base ?periods path)
+             with
+             | Error msg -> Tsg_io.Rpc.error_response msg
+             | exception Tsg_engine.Deadline.Deadline_exceeded ->
+               Tsg_io.Rpc.error_response ~code:"deadline_exceeded"
+                 (Tsg_engine.Deadline.error_message d)
+             | Ok (name, base) ->
+               let jobs = match req_jobs with Some j -> resolve_jobs j | None -> jobs in
+               let scens =
+                 Array.of_list
+                   (List.map
+                      (List.map (fun (e : Tsg_engine.Protocol.sweep_edit) ->
+                           { Whatif.arc = e.sw_arc; delta = e.sw_delta }))
+                      scenarios)
+               in
+               let items = run_sweep ?budget_ms:timeout_ms ~jobs base scens in
+               Tsg_io.Rpc.sweep_response ~model:name (Whatif.signal_graph base)
+                 (Array.to_list items))
       | Ok Tsg_engine.Protocol.Stats ->
         Tsg_engine.Server.Reply
           (Tsg_io.Rpc.stats_response ~cache:(Tsg_engine.Cache.stats cache) ())
@@ -357,17 +561,18 @@ let serve_cmd =
   in
   let doc =
     "Run a long-lived analysis daemon on a Unix-domain socket: requests are \
-     newline-delimited JSON (op analyze/batch/stats/shutdown), analyses are served \
-     from a content-addressed LRU cache and batches run fault-isolated on the \
-     domain pool.  Abusive clients are contained (connection/size limits, \
-     read/write timeouts, per-request deadlines); SIGTERM drains gracefully."
+     newline-delimited JSON (op analyze/batch/sweep/stats/shutdown), analyses are \
+     served from a content-addressed LRU cache, batches run fault-isolated on the \
+     domain pool and sweeps share a cached warm-start base per model.  Abusive \
+     clients are contained (connection/size/sweep limits, read/write timeouts, \
+     per-request deadlines); SIGTERM drains gracefully."
   in
   Cmd.v
     (Cmd.info "serve" ~doc)
     Term.(
       const run $ socket_arg $ cache_size_arg $ jobs_arg $ trace_dir_arg
-      $ max_connections_arg $ max_request_bytes_arg $ read_timeout_arg
-      $ write_timeout_arg $ drain_timeout_arg $ failpoints_arg)
+      $ max_connections_arg $ max_sweep_arg $ max_request_bytes_arg
+      $ read_timeout_arg $ write_timeout_arg $ drain_timeout_arg $ failpoints_arg)
 
 let client_cmd =
   let files_arg =
@@ -393,10 +598,41 @@ let client_cmd =
     in
     Arg.(value & opt int 0 & info [ "retries" ] ~docv:"N" ~doc)
   in
-  let run socket files batch stats shutdown periods jobs timeout_ms retries =
+  let delta_args =
+    let doc =
+      "Send a what-if sweep instead of analyses: each $(docv) (repeatable) is one \
+       scenario of comma-separated ARC:DELTA delay edits, re-analyzed by the \
+       daemon against a shared warm-start base of the (single) MODEL."
+    in
+    Arg.(value & opt_all delta_conv [] & info [ "delta" ] ~docv:"SPEC" ~doc)
+  in
+  let run socket files batch stats shutdown deltas periods jobs timeout_ms retries =
     let open Tsg_engine.Protocol in
+    let sweep_requests =
+      if deltas = [] then []
+      else
+        match files with
+        | [ path ] ->
+          [
+            Sweep
+              {
+                path;
+                scenarios =
+                  List.map
+                    (List.map (fun (arc, delta) -> { sw_arc = arc; sw_delta = delta }))
+                    deltas;
+                periods;
+                jobs = (if jobs = 1 then None else Some jobs);
+                timeout_ms;
+              };
+          ]
+        | _ ->
+          Fmt.epr "tsa: --delta needs exactly one MODEL@.";
+          exit 2
+    in
     let requests =
-      (if batch && files <> [] then
+      (if sweep_requests <> [] then sweep_requests
+       else if batch && files <> [] then
          [
            Batch
              {
@@ -433,7 +669,7 @@ let client_cmd =
     (Cmd.info "client" ~doc)
     Term.(
       const run $ socket_arg $ files_arg $ batch_flag $ stats_flag $ shutdown_flag
-      $ periods_arg $ jobs_arg $ timeout_arg $ retries_arg)
+      $ delta_args $ periods_arg $ jobs_arg $ timeout_arg $ retries_arg)
 
 (* ------------------------------------------------------------------ *)
 (* The regression-bench harness                                        *)
@@ -555,6 +791,58 @@ let bench_cmd =
                 job_levels ))
         results
     in
+    (* what-if sweep workload: one warm-start base + 64 re-analyses vs
+       64 independent cold analyses of gen-dense with one delay edit
+       each.  The edits are deterministic — spread across the arc ids,
+       alternating signs, clamped so no delay goes negative — so
+       snapshots stay comparable across runs.  jobs=1 throughout: this
+       row measures the warm-start algorithm, not the pool. *)
+    let sweep_stats =
+      let g = Option.get (builtin "gen-dense") in
+      let arcs = Signal_graph.arc_count g in
+      let base, sw_prepare_ms = wall (fun () -> Whatif.prepare g) in
+      let scenarios =
+        Array.init 64 (fun i ->
+            let arc = i * 997 mod arcs in
+            let nominal = (Signal_graph.arc g arc).Signal_graph.delay in
+            let magnitude = 0.5 +. (float_of_int (i mod 7) /. 4.) in
+            let delta =
+              if i land 1 = 0 then magnitude else Float.max (-.nominal) (-.magnitude)
+            in
+            let delta = if delta = 0. then magnitude else delta in
+            [ { Whatif.arc; delta } ])
+      in
+      let periods = Whatif.periods base in
+      let cold, sw_cold_ms =
+        wall (fun () ->
+            Array.map
+              (fun edits -> Cycle_time.analyze ~periods (Whatif.edited_graph base edits))
+              scenarios)
+      in
+      let warm, sw_warm_ms =
+        wall (fun () ->
+            let scratch = Whatif.scratch base in
+            Array.map (fun edits -> Whatif.reanalyze ~scratch base edits) scenarios)
+      in
+      let sw_reused = Array.fold_left (fun s (_, st) -> s + st.Whatif.reused) 0 warm in
+      let sw_resim =
+        Array.fold_left (fun s (_, st) -> s + st.Whatif.resimulated) 0 warm
+      in
+      (* the headline guarantee, checked on every snapshot: warm
+         reports serialize byte-identically to the cold ones *)
+      let sw_identical =
+        Array.for_all2
+          (fun c (w, _) ->
+            Tsg_io.Json.to_string (Tsg_io.Json_report.analysis_obj g c)
+            = Tsg_io.Json.to_string (Tsg_io.Json_report.analysis_obj g w))
+          cold warm
+      in
+      (sw_prepare_ms, sw_cold_ms, sw_warm_ms, sw_reused, sw_resim, sw_identical)
+    in
+    let sw_prepare_ms, sw_cold_ms, sw_warm_ms, sw_reused, sw_resim, sw_identical =
+      sweep_stats
+    in
+    let sw_speedup = sw_cold_ms /. (sw_prepare_ms +. sw_warm_ms) in
     let module J = Tsg_io.Json in
     let entry_json (file, outcome) =
       match outcome with
@@ -619,11 +907,26 @@ let bench_cmd =
     let snapshot =
       J.Obj
         [
-          ("schema", J.String "tsa-bench/3");
+          ("schema", J.String "tsa-bench/4");
           ("date", J.String date);
           ("iterations", J.Int iterations);
           ("jobs_levels", J.List (List.map (fun j -> J.Int j) job_levels));
           ("benchmarks", J.List (List.map entry_json results));
+          ( "whatif_sweep",
+            J.Obj
+              [
+                ("model", J.String "gen-dense");
+                ("scenarios", J.Int 64);
+                ("jobs", J.Int 1);
+                ("prepare_ms", J.Float sw_prepare_ms);
+                ("cold_total_ms", J.Float sw_cold_ms);
+                ("warm_reanalyze_ms", J.Float sw_warm_ms);
+                ("warm_total_ms", J.Float (sw_prepare_ms +. sw_warm_ms));
+                ("speedup", J.Float sw_speedup);
+                ("reused", J.Int sw_reused);
+                ("resimulated", J.Int sw_resim);
+                ("byte_identical", J.Bool sw_identical);
+              ] );
         ]
     in
     let rendered = J.to_string snapshot in
@@ -664,14 +967,22 @@ let bench_cmd =
             List.iter (fun (_, simulate_ms, _) -> Fmt.pr "  %9.2f" simulate_ms) levels;
             Fmt.pr "@."
           end)
-        scaling
+        scaling;
+      Fmt.pr "@.what-if sweep (gen-dense, 64 single-arc scenarios, jobs=1)@.";
+      Fmt.pr "  cold: 64 independent analyses   %9.2f ms@." sw_cold_ms;
+      Fmt.pr "  warm: prepare + 64 re-analyses  %9.2f ms  (%.2f + %.2f)@."
+        (sw_prepare_ms +. sw_warm_ms) sw_prepare_ms sw_warm_ms;
+      Fmt.pr "  speedup %.2fx; reused %d, resimulated %d border simulations; %s@."
+        sw_speedup sw_reused sw_resim
+        (if sw_identical then "reports byte-identical" else "REPORTS DIFFER")
     end;
     Fmt.epr "tsa: snapshot written to %s@." path
   in
   let doc =
     "Benchmark the analysis pipeline: time every model over N iterations with a \
-     per-phase breakdown (load/unfold/simulate/backtrack) and write a dated JSON \
-     snapshot for regression tracking."
+     per-phase breakdown (load/unfold/simulate/backtrack), a jobs-scaling pass, \
+     and a what-if sweep workload (warm-start vs cold re-analysis), then write a \
+     dated JSON snapshot for regression tracking."
   in
   Cmd.v
     (Cmd.info "bench" ~doc)
@@ -1139,6 +1450,7 @@ let () =
           [
             analyze_cmd;
             batch_cmd;
+            sweep_cmd;
             bench_cmd;
             serve_cmd;
             client_cmd;

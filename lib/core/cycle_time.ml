@@ -19,14 +19,76 @@ let ratio_tolerance = 1e-9
 (* the per-border-event work item: read the Delta samples straight out
    of the kernel's arena (the view is only valid inside this callback,
    so only the samples themselves are allocated per border event) *)
-let trace_of u periods g0 view =
+let trace_of_times time_of u periods g0 =
   let samples =
     List.init periods (fun k ->
         let period = k + 1 in
-        let time = Timing_sim.view_time view (Unfolding.instance u ~event:g0 ~period) in
+        let time = time_of (Unfolding.instance u ~event:g0 ~period) in
         { period; time; average = time /. float_of_int period })
   in
   { border_event = g0; samples }
+
+let trace_of u periods g0 view =
+  trace_of_times (Timing_sim.view_time view) u periods g0
+
+(* the (event, period, average) triple realising the maximum Delta; the
+   fold order — traces in border order, samples in period order, later
+   samples must strictly improve — fixes which tie wins, so the warm
+   re-analysis of Whatif reuses this exact fold to stay byte-identical *)
+let best_of_traces traces =
+  List.fold_left
+    (fun acc trace ->
+      List.fold_left
+        (fun acc s ->
+          match acc with
+          | Some (_, _, best_avg) when best_avg >= s.average -> acc
+          | _ -> Some (trace.border_event, s.period, s.average))
+        acc trace.samples)
+    None traces
+
+(* backtracking and report assembly, shared by [analyze] (cold) and
+   [Whatif] (warm): [delays] substitutes edited per-arc delays while
+   [u] stays the base unfolding, and [g] is the graph the critical
+   cycles are decomposed against — the edited graph on the warm path *)
+let finish ?(deadline = Tsg_engine.Deadline.none) ?delays g u ~border ~periods ~traces =
+  match best_of_traces traces with
+  | None -> raise (Not_analyzable "no average occurrence distance was collected")
+  | Some (critical_event, critical_period, cycle_time) ->
+    Tsg_obs.Trace.with_span "backtrack" @@ fun () ->
+    Tsg_engine.Metrics.time "analyze/backtrack" @@ fun () ->
+    (* backtrack the longest path that realised the maximum; the
+       samples were read out of recycled arenas, so re-run the one
+       critical simulation (1/b of the simulate phase) to recover the
+       predecessor arrays *)
+    let sim =
+      Timing_sim.simulate_initiated ~deadline ?delays u
+        ~at:(Unfolding.instance u ~event:critical_event ~period:0)
+    in
+    let target = Unfolding.instance u ~event:critical_event ~period:critical_period in
+    let path = Timing_sim.critical_path u sim ~instance:target in
+    let critical_walk = List.filter_map snd path in
+    let decomposition = Cycles.decompose_closed_walk g critical_walk in
+    let best_ratio =
+      List.fold_left (fun acc c -> max acc (Cycles.effective_length c)) neg_infinity
+        decomposition
+    in
+    let critical_cycles =
+      List.filter
+        (fun c ->
+          Cycles.effective_length c
+          >= best_ratio -. (ratio_tolerance *. (1. +. abs_float best_ratio)))
+        decomposition
+    in
+    {
+      cycle_time;
+      critical_event;
+      critical_period;
+      critical_walk;
+      critical_cycles;
+      border;
+      periods_simulated = periods;
+      traces;
+    }
 
 let analyze ?deadline ?periods ?(jobs = 1) g =
   (* the ambient deadline covers the common composition — Batch or the
@@ -77,55 +139,13 @@ let analyze ?deadline ?periods ?(jobs = 1) g =
            let g0, _ = Unfolding.event_of_instance u at in
            trace_of u periods g0 view))
   in
-  let best =
-    List.fold_left
-      (fun acc trace ->
-        List.fold_left
-          (fun acc s ->
-            match acc with
-            | Some (_, _, best_avg) when best_avg >= s.average -> acc
-            | _ -> Some (trace.border_event, s.period, s.average))
-          acc trace.samples)
-      None traces
-  in
-  match best with
-  | None -> raise (Not_analyzable "no average occurrence distance was collected")
-  | Some (critical_event, critical_period, cycle_time) ->
-    Tsg_obs.Trace.with_span "backtrack" @@ fun () ->
-    Tsg_engine.Metrics.time "analyze/backtrack" @@ fun () ->
-    (* backtrack the longest path that realised the maximum; the
-       samples were read out of recycled arenas, so re-run the one
-       critical simulation (1/b of the simulate phase) to recover the
-       predecessor arrays *)
-    let sim =
-      Timing_sim.simulate_initiated ~deadline u
-        ~at:(Unfolding.instance u ~event:critical_event ~period:0)
-    in
-    let target = Unfolding.instance u ~event:critical_event ~period:critical_period in
-    let path = Timing_sim.critical_path u sim ~instance:target in
-    let critical_walk = List.filter_map snd path in
-    let decomposition = Cycles.decompose_closed_walk g critical_walk in
-    let best_ratio =
-      List.fold_left (fun acc c -> max acc (Cycles.effective_length c)) neg_infinity
-        decomposition
-    in
-    let critical_cycles =
-      List.filter
-        (fun c ->
-          Cycles.effective_length c
-          >= best_ratio -. (ratio_tolerance *. (1. +. abs_float best_ratio)))
-        decomposition
-    in
-    {
-      cycle_time;
-      critical_event;
-      critical_period;
-      critical_walk;
-      critical_cycles;
-      border;
-      periods_simulated = periods;
-      traces;
-    }
+  finish ~deadline g u ~border ~periods ~traces
+
+module Internal = struct
+  let trace_of_times = trace_of_times
+  let best_of_traces = best_of_traces
+  let finish = finish
+end
 
 let cycle_time ?periods ?jobs g = (analyze ?periods ?jobs g).cycle_time
 

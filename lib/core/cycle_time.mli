@@ -73,6 +73,41 @@ val analyze :
 val cycle_time : ?periods:int -> ?jobs:int -> Signal_graph.t -> float
 (** Just the cycle time. *)
 
+(**/**)
+
+(** The pieces of [analyze] that {!Whatif} must share to keep warm
+    re-analysis byte-identical to a cold run: the sample table
+    construction, the tie-breaking fold that selects the critical
+    (event, period) pair, and the backtrack + report assembly.  Not
+    part of the public API. *)
+module Internal : sig
+  val trace_of_times : (int -> float) -> Unfolding.t -> int -> int -> border_trace
+  (** [trace_of_times time_of u periods g0] builds [g0]'s Delta table
+      from an arbitrary occurrence-time accessor. *)
+
+  val best_of_traces : border_trace list -> (int * int * float) option
+  (** The (event, period, average) realising the maximum, with
+      [analyze]'s exact tie-breaking. *)
+
+  val finish :
+    ?deadline:Tsg_engine.Deadline.t ->
+    ?delays:float array ->
+    Signal_graph.t ->
+    Unfolding.t ->
+    border:int list ->
+    periods:int ->
+    traces:border_trace list ->
+    report
+  (** Critical-sample selection, backtracking (re-running the one
+      critical simulation, with [delays] overriding the unfolding's
+      per-arc delays) and report assembly.  [g] is the graph the
+      critical walk is decomposed against — on the warm path, the
+      {e edited} graph.
+      @raise Not_analyzable if [traces] holds no samples. *)
+end
+
+(**/**)
+
 val check_walk : Signal_graph.t -> report -> bool
 (** Internal consistency check: the critical walk is closed, its
     ratio equals [cycle_time], and every reported critical cycle has

@@ -265,6 +265,26 @@ let class_of g i = g.classes.(i)
 let is_repetitive g i = g.classes.(i) = Repetitive
 let arc g i = g.arc_table.(i)
 let arcs g = g.arc_table
+(* only the delay changes, so only the delay needs re-validating: the
+   structural invariants checked by [build] depend on topology and
+   marking alone and are inherited from [g] *)
+let with_delays g delays =
+  if Array.length delays <> Array.length g.arc_table then
+    invalid_arg
+      (Printf.sprintf "Signal_graph.with_delays: %d delays for %d arcs"
+         (Array.length delays) (Array.length g.arc_table));
+  let arc_table =
+    Array.mapi
+      (fun i a ->
+        let d = delays.(i) in
+        if not (Float.is_finite d) || d < 0. then
+          invalid_arg
+            (Printf.sprintf "Signal_graph.with_delays: arc %d: invalid delay %g" i d);
+        if d = a.delay then a else { a with delay = d })
+      g.arc_table
+  in
+  { g with arc_table }
+
 let out_arc_ids g v = g.out_ids.(v)
 let in_arc_ids g v = g.in_ids.(v)
 let events_of g = g.events

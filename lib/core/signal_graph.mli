@@ -79,6 +79,16 @@ val of_arcs :
 (** Convenience one-shot constructor; the [bool] is the marking.
     @raise Invalid_argument on validation errors. *)
 
+val with_delays : t -> float array -> t
+(** [with_delays g delays] is [g] with the delay of arc [i] replaced
+    by [delays.(i)] — the topology, markings and disengageable flags
+    are untouched, and event/arc ids are preserved, so views computed
+    from the topology alone (an {!Unfolding}'s structure, its
+    topological order) remain valid for the result.  This is the
+    substrate of warm-start what-if analysis ({!Whatif}).
+    @raise Invalid_argument if the array length differs from
+    {!arc_count} or any delay is negative, NaN or infinite. *)
+
 (** {1 Accessors} *)
 
 val event_count : t -> int

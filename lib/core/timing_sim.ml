@@ -163,10 +163,14 @@ end
    stays branch-free and the check cost is amortised to nothing *)
 let check_block = 4096
 
-let kernel ?(deadline = Tsg_engine.Deadline.none) (ws : Workspace.t) u ~roots ~from_pos =
+let kernel ?(deadline = Tsg_engine.Deadline.none) ?delays (ws : Workspace.t) u ~roots
+    ~from_pos =
   let topo = Unfolding.topological_order u in
   let starts, srcs, arc_ids = Unfolding.in_adjacency u in
-  let delays = Unfolding.delays u in
+  (* [delays] overrides the per-arc delays (same indexing: Signal-Graph
+     arc id) without touching the unfolding — what-if re-analysis runs
+     the kernel over the {e base} unfolding with edited delays *)
+  let delays = match delays with Some d -> d | None -> Unfolding.delays u in
   ws.Workspace.epoch <- ws.Workspace.epoch + 1;
   let epoch = ws.Workspace.epoch in
   let time = ws.Workspace.time in
@@ -271,16 +275,16 @@ let simulate ?deadline u =
   kernel ?deadline ws u ~roots:(Unfolding.initial_instances u) ~from_pos:0;
   materialise ws u
 
-let initiated_into ?deadline ws u ~at =
+let initiated_into ?deadline ?delays ws u ~at =
   let from_pos = (Unfolding.topo_position u).(at) in
   Tsg_engine.Metrics.incr "simulations/initiated";
   observe_window u ~from_pos;
   Tsg_obs.Trace.with_span "longest_paths" ~args:(span_args u ~at ~from_pos)
-  @@ fun () -> kernel ?deadline ws u ~roots:[ at ] ~from_pos
+  @@ fun () -> kernel ?deadline ?delays ws u ~roots:[ at ] ~from_pos
 
-let simulate_initiated ?deadline u ~at =
+let simulate_initiated ?deadline ?delays u ~at =
   Workspace.with_arena (Unfolding.instance_count u) @@ fun ws ->
-  initiated_into ?deadline ws u ~at;
+  initiated_into ?deadline ?delays ws u ~at;
   materialise ws u
 
 let simulate_many ?deadline ?(jobs = 1) u ~roots ~f =

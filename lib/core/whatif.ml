@@ -1,0 +1,399 @@
+type edit = { arc : int; delta : float }
+
+type path = Short_circuit | Warm | Cold
+
+type stats = { reused : int; resimulated : int; path : path }
+
+type t = {
+  g : Signal_graph.t;
+  digest : string;
+  u : Unfolding.t;
+  border : int list;
+  border_arr : int array;
+  roots : int array;  (** instance of each border event at period 0 *)
+  periods : int;
+  base : Cycle_time.report;
+  base_traces : Cycle_time.border_trace array;
+  base_delays : float array;  (* per Signal-Graph arc id *)
+  base_times : float array array;  (* per border index: time per instance *)
+  base_reached : Bytes.t array;  (* per border index: '\001' = reached *)
+  (* unfolding instantiations of each Signal-Graph arc, grouped by arc
+     id as parallel (src instance, dst instance) arrays — the seed set
+     of the dirty propagation *)
+  arc_inst_srcs : int array array;
+  arc_inst_dsts : int array array;
+}
+
+let signal_graph t = t.g
+let base_report t = t.base
+let border t = t.border
+let periods t = t.periods
+let digest t = t.digest
+
+(* ------------------------------------------------------------------ *)
+(* Preparation: one cold analysis that retains, per border event, the
+   full occurrence-time and reachability arrays of its event-initiated
+   simulation.  Reachability depends only on topology, so it stays
+   exact under delay edits; the retained times are the warm-start
+   baseline the dirty propagation below patches. *)
+
+let prepare ?deadline ?periods ?(jobs = 1) g =
+  let deadline =
+    match deadline with Some d -> d | None -> Tsg_engine.Deadline.current ()
+  in
+  let args =
+    if Tsg_obs.Trace.enabled () then
+      [
+        ("events", string_of_int (Signal_graph.event_count g));
+        ("arcs", string_of_int (Signal_graph.arc_count g));
+        ("jobs", string_of_int jobs);
+      ]
+    else []
+  in
+  Tsg_obs.Trace.with_span "whatif_prepare" ~args @@ fun () ->
+  Tsg_engine.Metrics.time_hist "whatif/prepare_ms" @@ fun () ->
+  if Signal_graph.repetitive_count g = 0 then
+    raise (Cycle_time.Not_analyzable "the graph has no repetitive events");
+  let border = Cut_set.border g in
+  let b = List.length border in
+  if b = 0 then
+    raise
+      (Cycle_time.Not_analyzable "the graph has no border events (no initial activity)");
+  let periods = match periods with Some p -> max 1 p | None -> b in
+  let u = Unfolding.make ~deadline g ~periods:(periods + 1) in
+  Tsg_engine.Deadline.check deadline;
+  Unfolding.warm_caches u;
+  let n = Unfolding.instance_count u in
+  let border_arr = Array.of_list border in
+  let roots =
+    Array.map (fun g0 -> Unfolding.instance u ~event:g0 ~period:0) border_arr
+  in
+  let captures =
+    Timing_sim.simulate_many ~deadline ~jobs u ~roots ~f:(fun at view ->
+        let g0, _ = Unfolding.event_of_instance u at in
+        let times = Array.init n (fun i -> Timing_sim.view_time view i) in
+        let reached = Bytes.make n '\000' in
+        for i = 0 to n - 1 do
+          if Timing_sim.view_reached view i then Bytes.unsafe_set reached i '\001'
+        done;
+        let trace =
+          Cycle_time.Internal.trace_of_times
+            (fun i -> Timing_sim.view_time view i)
+            u periods g0
+        in
+        (times, reached, trace))
+  in
+  let base_times = Array.map (fun (times, _, _) -> times) captures in
+  let base_reached = Array.map (fun (_, reached, _) -> reached) captures in
+  let base_traces = Array.map (fun (_, _, trace) -> trace) captures in
+  let base =
+    Cycle_time.Internal.finish ~deadline g u ~border ~periods
+      ~traces:(Array.to_list base_traces)
+  in
+  (* group the unfolding's arcs by the Signal-Graph arc they instantiate *)
+  let starts, dsts, arc_ids = Unfolding.out_adjacency u in
+  let m = Signal_graph.arc_count g in
+  let counts = Array.make m 0 in
+  Array.iter (fun a -> counts.(a) <- counts.(a) + 1) arc_ids;
+  let arc_inst_srcs = Array.init m (fun a -> Array.make counts.(a) 0) in
+  let arc_inst_dsts = Array.init m (fun a -> Array.make counts.(a) 0) in
+  let fill = Array.make m 0 in
+  for v = 0 to n - 1 do
+    for j = starts.(v) to starts.(v + 1) - 1 do
+      let a = arc_ids.(j) in
+      let k = fill.(a) in
+      arc_inst_srcs.(a).(k) <- v;
+      arc_inst_dsts.(a).(k) <- dsts.(j);
+      fill.(a) <- k + 1
+    done
+  done;
+  {
+    g;
+    digest = Signal_graph.digest g;
+    u;
+    border;
+    border_arr;
+    roots;
+    periods;
+    base;
+    base_traces;
+    base_delays = Array.copy (Unfolding.delays u);
+    base_times;
+    base_reached;
+    arc_inst_srcs;
+    arc_inst_dsts;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Edits                                                               *)
+
+let edited_delays t edits =
+  let m = Array.length t.base_delays in
+  let delays = Array.copy t.base_delays in
+  let touched = Hashtbl.create 8 in
+  List.iter
+    (fun { arc; delta } ->
+      if arc < 0 || arc >= m then
+        invalid_arg
+          (Printf.sprintf "Whatif: arc id %d out of range (the graph has %d arcs)"
+             arc m);
+      if not (Float.is_finite delta) then
+        invalid_arg (Printf.sprintf "Whatif: arc %d: delta must be finite" arc);
+      delays.(arc) <- delays.(arc) +. delta;
+      Hashtbl.replace touched arc ())
+    edits;
+  (* duplicate edits of one arc fold into a single delta; a sum that
+     lands back on the base delay is no edit at all *)
+  let changed =
+    Hashtbl.fold
+      (fun a () acc ->
+        if delays.(a) <> t.base_delays.(a) then begin
+          if not (Float.is_finite delays.(a)) || delays.(a) < 0. then
+            invalid_arg
+              (Printf.sprintf
+                 "Whatif: arc %d: edited delay %g is invalid (delays must be \
+                  finite and >= 0)"
+                 a delays.(a));
+          a :: acc
+        end
+        else acc)
+      touched []
+  in
+  (delays, List.sort compare changed)
+
+let edited_graph t edits =
+  let delays, _ = edited_delays t edits in
+  Signal_graph.with_delays t.g delays
+
+(* ------------------------------------------------------------------ *)
+(* The warm kernel: incremental longest-path repair.
+
+   For an affected root r, the base run left t_r(v) for every instance
+   v.  A delay edit can only move the times of instances downstream of
+   an edited arc instance whose source is reachable from r, so the
+   repair marks exactly those destinations dirty and relaxes in
+   topological-position order:
+
+     t'_r(v) = max { t'_r(s) + d'(a) | s -a-> v, s reached from r }
+
+   Relaxing a position only ever dirties {e larger} positions (the
+   unfolding is a DAG ordered by [topological_order]), so a single
+   monotone scan from the smallest dirty position visits every dirty
+   node exactly once, after all its predecessors — no priority queue,
+   no log factor, and the clean gaps between dirty nodes cost one
+   epoch-stamp comparison each.  The scan stops as soon as no marks
+   remain ahead, so an edit with slack touches a handful of instances,
+   not the window; and even a global change costs one kernel-like
+   sweep over the window.  Reached sets never change (topology-only),
+   and the recomputed max ranges over the same operand multiset as a
+   cold kernel run with the edited delays, so the repaired times are
+   bit-for-bit equal to a cold re-simulation. *)
+
+type scratch = {
+  s_new : float array;  (* repaired times, valid where stamped *)
+  s_stamp : int array;
+  mutable s_epoch : int;
+  s_dirty : int array;  (* dirty-this-epoch marker, per topo position *)
+}
+
+let scratch t =
+  let n = Unfolding.instance_count t.u in
+  {
+    s_new = Array.make n 0.;
+    s_stamp = Array.make n 0;
+    s_epoch = 0;
+    s_dirty = Array.make n 0;
+  }
+
+(* is any instance of a changed arc live in root [idx]'s simulation?
+   (its destinations are then exactly the dirty seeds) *)
+let affected t ~idx changed =
+  let reached = t.base_reached.(idx) in
+  List.exists
+    (fun a ->
+      let ss = t.arc_inst_srcs.(a) in
+      let len = Array.length ss in
+      let rec live k =
+        k < len && (Bytes.unsafe_get reached ss.(k) = '\001' || live (k + 1))
+      in
+      live 0)
+    changed
+
+let resim ~deadline t sc ~idx ~delays changed =
+  let u = t.u in
+  let topo = Unfolding.topological_order u in
+  let pos = Unfolding.topo_position u in
+  let in_starts, in_srcs, in_arcs = Unfolding.in_adjacency u in
+  let out_starts, out_dsts, _ = Unfolding.out_adjacency u in
+  let bt = t.base_times.(idx) in
+  let reached = t.base_reached.(idx) in
+  sc.s_epoch <- sc.s_epoch + 1;
+  let epoch = sc.s_epoch in
+  let stamp = sc.s_stamp in
+  let nw = sc.s_new in
+  let dirty = sc.s_dirty in
+  let pending = ref 0 in
+  let lo = ref max_int in
+  (* every dirty seed lies strictly after the root in the topological
+     order (its source is reached, so its own position is larger
+     still), hence the root's time-0 anchor is never recomputed *)
+  List.iter
+    (fun a ->
+      let ss = t.arc_inst_srcs.(a) in
+      let ds = t.arc_inst_dsts.(a) in
+      for k = 0 to Array.length ss - 1 do
+        if Bytes.unsafe_get reached (Array.unsafe_get ss k) = '\001' then begin
+          let p = Array.unsafe_get pos (Array.unsafe_get ds k) in
+          if Array.unsafe_get dirty p <> epoch then begin
+            Array.unsafe_set dirty p epoch;
+            incr pending;
+            if p < !lo then lo := p
+          end
+        end
+      done)
+    changed;
+  (* relaxing position k can only mark positions > k, and the scan has
+     already consumed every mark <= k, so each dirty node is visited
+     once, after all its predecessors settled.  The indices below are
+     structurally in-bounds (CSR arrays and permutations built by
+     Unfolding over [0, n)), so the hot loop reads unchecked. *)
+  let steps = ref 0 in
+  let k = ref !lo in
+  while !pending > 0 do
+    if !k land 8191 = 0 then Tsg_engine.Deadline.check deadline;
+    (if Array.unsafe_get dirty !k = epoch then begin
+       decr pending;
+       incr steps;
+       let v = Array.unsafe_get topo !k in
+       let nt = ref neg_infinity in
+       let j1 = Array.unsafe_get in_starts (v + 1) - 1 in
+       for j = Array.unsafe_get in_starts v to j1 do
+         let s = Array.unsafe_get in_srcs j in
+         if Bytes.unsafe_get reached s = '\001' then begin
+           let ts =
+             if Array.unsafe_get stamp s = epoch then Array.unsafe_get nw s
+             else Array.unsafe_get bt s
+           in
+           let d = ts +. Array.unsafe_get delays (Array.unsafe_get in_arcs j) in
+           if d > !nt then nt := d
+         end
+       done;
+       if !nt <> Array.unsafe_get bt v then begin
+         Array.unsafe_set stamp v epoch;
+         Array.unsafe_set nw v !nt;
+         let j1 = Array.unsafe_get out_starts (v + 1) - 1 in
+         for j = Array.unsafe_get out_starts v to j1 do
+           let p = Array.unsafe_get pos (Array.unsafe_get out_dsts j) in
+           if Array.unsafe_get dirty p <> epoch then begin
+             Array.unsafe_set dirty p epoch;
+             incr pending
+           end
+         done
+       end
+     end);
+    incr k
+  done;
+  Tsg_engine.Metrics.incr ~by:!steps "whatif/instances_repaired"
+
+(* ------------------------------------------------------------------ *)
+(* Re-analysis                                                         *)
+
+let short_circuit t =
+  let b = Array.length t.border_arr in
+  Tsg_engine.Metrics.incr "whatif/short_circuits";
+  Tsg_engine.Metrics.incr ~by:b "whatif/reused";
+  (t.base, { reused = b; resimulated = 0; path = Short_circuit })
+
+let reanalyze ?deadline ?scratch:sc t edits =
+  let deadline =
+    match deadline with Some d -> d | None -> Tsg_engine.Deadline.current ()
+  in
+  Tsg_engine.Metrics.time_hist "whatif/reanalyze_ms" @@ fun () ->
+  let args =
+    if Tsg_obs.Trace.enabled () then
+      [ ("edits", string_of_int (List.length edits)) ]
+    else []
+  in
+  Tsg_obs.Trace.with_span "whatif_reanalyze" ~args @@ fun () ->
+  let delays, changed = edited_delays t edits in
+  if changed = [] then short_circuit t
+  else begin
+    let g' = Signal_graph.with_delays t.g delays in
+    (* the digest guard catches exact repeats that the per-arc compare
+       cannot see (distinct delay spellings with one canonical form) *)
+    if Signal_graph.digest g' = t.digest then short_circuit t
+    else begin
+      match Tsg_obs.Failpoint.hit "whatif/warm" with
+      | exception Tsg_obs.Failpoint.Injected _ ->
+        (* warm path disabled by fault injection: fall back to a full
+           cold analysis of the edited graph — same report, no reuse *)
+        Tsg_engine.Metrics.incr "whatif/cold_fallbacks";
+        let report = Cycle_time.analyze ~deadline ~periods:t.periods g' in
+        (report, { reused = 0; resimulated = Array.length t.border_arr; path = Cold })
+      | () ->
+        let sc = match sc with Some s -> s | None -> scratch t in
+        let reused = ref 0 in
+        let resimulated = ref 0 in
+        let traces_arr =
+          Array.mapi
+            (fun i g0 ->
+              Tsg_engine.Deadline.check deadline;
+              if not (affected t ~idx:i changed) then begin
+                incr reused;
+                t.base_traces.(i)
+              end
+              else begin
+                incr resimulated;
+                resim ~deadline t sc ~idx:i ~delays changed;
+                let epoch = sc.s_epoch in
+                let bt = t.base_times.(i) in
+                let time_of v =
+                  if sc.s_stamp.(v) = epoch then sc.s_new.(v) else bt.(v)
+                in
+                Cycle_time.Internal.trace_of_times time_of t.u t.periods g0
+              end)
+            t.border_arr
+        in
+        Tsg_engine.Metrics.incr ~by:!reused "whatif/reused";
+        Tsg_engine.Metrics.incr ~by:!resimulated "whatif/resimulated";
+        let report =
+          Cycle_time.Internal.finish ~deadline ~delays g' t.u ~border:t.border
+            ~periods:t.periods
+            ~traces:(Array.to_list traces_arr)
+        in
+        (report, { reused = !reused; resimulated = !resimulated; path = Warm })
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Sweeps                                                              *)
+
+let sweep ?deadline ?budget_ms ?(jobs = 1) t scenarios =
+  let outer =
+    match deadline with Some d -> d | None -> Tsg_engine.Deadline.current ()
+  in
+  Parallel.map_claims ~jobs
+    ~with_ctx:(fun k -> k (scratch t))
+    ~f:(fun sc edits ->
+      (* each scenario gets its own budget (Batch semantics): one
+         pathological edit times out alone instead of starving the
+         sweep.  The caller's deadline still bounds the whole run. *)
+      let d =
+        match budget_ms with
+        | None -> Tsg_engine.Deadline.none
+        | Some ms -> Tsg_engine.Deadline.make ~budget_ms:ms ()
+      in
+      match
+        Tsg_engine.Deadline.check outer;
+        reanalyze ~deadline:(if d == Tsg_engine.Deadline.none then outer else d)
+          ~scratch:sc t edits
+      with
+      | result -> Ok result
+      | exception Tsg_engine.Deadline.Deadline_exceeded ->
+        Error
+          (Tsg_engine.Deadline.error_message
+             (if Tsg_engine.Deadline.expired outer then outer else d))
+      | exception Invalid_argument msg -> Error msg
+      | exception Cycle_time.Not_analyzable msg ->
+        Error (Printf.sprintf "not analyzable: %s" msg))
+    scenarios

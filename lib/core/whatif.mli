@@ -1,0 +1,118 @@
+(** Incremental what-if analysis: warm-start re-analysis of delay
+    edits (ROADMAP item 3).
+
+    Interactive users run the paper's loop at scale: analyze, inspect
+    the critical cycle, nudge a delay, re-analyze.  A cold
+    {!Cycle_time.analyze} pays the full unfold + [b] simulations for
+    every nudge; this module pays them {e once} ({!prepare}) and then
+    answers each edit by repairing only what actually moved:
+
+    - the unfolding, its topological order and per-root reachability
+      depend only on topology and marking, so a pure delay edit reuses
+      all of them unchanged;
+    - a root whose simulation never reaches an instance of an edited
+      arc keeps its base Delta table verbatim ([whatif/reused]);
+    - an affected root is {e repaired}, not re-simulated: a dirty
+      propagation seeded at the edited arc's instances relaxes, in
+      topological order, only the instances whose occurrence time
+      actually changes ([whatif/resimulated] roots,
+      [whatif/instances_repaired] instances);
+    - an edit that folds back onto the base graph (zero net delta, or
+      a {!Signal_graph.digest} match) short-circuits to the base
+      report ([whatif/short_circuits]).
+
+    Every repaired quantity ranges over the same float operand sets as
+    a cold run, so warm reports are {e byte-identical} (serialised via
+    [Json_report.analysis_obj]) to [Cycle_time.analyze] of the edited
+    graph — the property the test suite enforces.
+
+    Topology edits (adding or removing events/arcs, changing markings)
+    are out of scope: build the new graph and {!prepare} again. *)
+
+type edit = { arc : int; delta : float }
+(** Add [delta] to the delay of the Signal-Graph arc [arc].  Repeated
+    edits of one arc within a scenario fold into a single delta. *)
+
+type path =
+  | Short_circuit  (** the edit was a no-op: base report returned *)
+  | Warm  (** unfolding + unaffected simulations reused *)
+  | Cold  (** full re-analysis (fault injection only) *)
+
+type stats = {
+  reused : int;  (** border simulations answered from the base run *)
+  resimulated : int;  (** border simulations repaired *)
+  path : path;
+}
+
+type t
+(** A prepared base: graph, unfolding, base report, and the per-root
+    occurrence-time and reachability tables retained from the base
+    simulations (b arrays of n floats — for very large unfoldings,
+    budget roughly [8 * b * instance_count] bytes). *)
+
+val prepare :
+  ?deadline:Tsg_engine.Deadline.t -> ?periods:int -> ?jobs:int -> Signal_graph.t -> t
+(** One cold analysis (same parameters and report as
+    {!Cycle_time.analyze}) that additionally retains the warm-start
+    tables.  [jobs] parallelises the base simulations; re-analyses are
+    parallelised per scenario by {!sweep} instead.
+    @raise Cycle_time.Not_analyzable as {!Cycle_time.analyze}.
+    @raise Tsg_engine.Deadline.Deadline_exceeded past the budget. *)
+
+val base_report : t -> Cycle_time.report
+val signal_graph : t -> Signal_graph.t
+val border : t -> int list
+val periods : t -> int
+
+val digest : t -> string
+(** {!Signal_graph.digest} of the base graph — the short-circuit key. *)
+
+val edited_graph : t -> edit list -> Signal_graph.t
+(** The base graph with the edits applied (validated).
+    @raise Invalid_argument on an out-of-range arc id, a non-finite
+    delta, or an edited delay that is negative or non-finite. *)
+
+type scratch
+(** Reusable per-participant working memory for the dirty propagation
+    (never shared between concurrent re-analyses). *)
+
+val scratch : t -> scratch
+
+val reanalyze :
+  ?deadline:Tsg_engine.Deadline.t ->
+  ?scratch:scratch ->
+  t ->
+  edit list ->
+  Cycle_time.report * stats
+(** The report of the edited graph, byte-identical (serialised) to
+    [Cycle_time.analyze ~periods:(periods t) (edited_graph t edits)].
+    Without [scratch] a fresh one is allocated.  [deadline] defaults
+    to the ambient {!Tsg_engine.Deadline.current}.
+
+    The warm path carries the ["whatif/warm"] failpoint: when armed
+    ({!Tsg_obs.Failpoint}), re-analysis falls back to a cold
+    {!Cycle_time.analyze} of the edited graph ([whatif/cold_fallbacks]
+    counts these) — same answer, no reuse.
+
+    @raise Invalid_argument as {!edited_graph}.
+    @raise Cycle_time.Not_analyzable as {!Cycle_time.analyze}.
+    @raise Tsg_engine.Deadline.Deadline_exceeded past the budget. *)
+
+val sweep :
+  ?deadline:Tsg_engine.Deadline.t ->
+  ?budget_ms:float ->
+  ?jobs:int ->
+  t ->
+  edit list array ->
+  (Cycle_time.report * stats, string) result array
+(** [sweep t scenarios] re-analyses every scenario, sharing the one
+    prepared base across [jobs] participants via
+    {!Parallel.map_claims} (one {!scratch} per participant, scenarios
+    claimed one at a time).  Results land at their scenario's index.
+
+    Failures are per-scenario: an invalid edit, a
+    {!Cycle_time.Not_analyzable} graph or a tripped deadline turns
+    into [Error message] for that scenario only.  [budget_ms] arms a
+    fresh per-scenario deadline (Batch semantics — one pathological
+    scenario times out alone); [deadline] (or the ambient one) is
+    checked between scenarios, bounding the whole sweep. *)

@@ -241,10 +241,21 @@ let member k = function
 (* ------------------------------------------------------------------ *)
 (* Requests                                                            *)
 
+let version = "tsa-rpc/2"
+
+type sweep_edit = { sw_arc : int; sw_delta : float }
+
 type request =
   | Analyze of { path : string; periods : int option; timeout_ms : float option }
   | Batch of {
       paths : string list;
+      periods : int option;
+      jobs : int option;
+      timeout_ms : float option;
+    }
+  | Sweep of {
+      path : string;
+      scenarios : sweep_edit list list;
       periods : int option;
       jobs : int option;
       timeout_ms : float option;
@@ -274,6 +285,38 @@ let string_field name j =
 
 let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
 
+(* a sweep scenario is one {"arc":..,"delta":..} edit or a list of
+   them; deltas may be negative (the resulting delay is validated by
+   the analysis, not the wire layer) but must be finite *)
+let edit_of_json = function
+  | Obj _ as o ->
+    let* arc =
+      match member "arc" o with
+      | Some (Number f) when Float.is_integer f -> Ok (int_of_float f)
+      | _ -> Error "each sweep edit must carry an integer \"arc\""
+    in
+    let* delta =
+      match member "delta" o with
+      | Some (Number f) when Float.is_finite f -> Ok f
+      | _ -> Error "each sweep edit must carry a finite number \"delta\""
+    in
+    Ok { sw_arc = arc; sw_delta = delta }
+  | _ -> Error "field \"deltas\" must hold edit objects or lists of edit objects"
+
+let scenario_of_json = function
+  | Obj _ as o ->
+    let* e = edit_of_json o in
+    Ok [ e ]
+  | List items ->
+    List.fold_left
+      (fun acc item ->
+        let* acc = acc in
+        let* e = edit_of_json item in
+        Ok (e :: acc))
+      (Ok []) items
+    |> Result.map List.rev
+  | _ -> Error "field \"deltas\" must hold edit objects or lists of edit objects"
+
 let parse_request line =
   let* j = json_of_string line in
   let* op = string_field "op" j in
@@ -302,6 +345,25 @@ let parse_request line =
     let* jobs = int_field "jobs" j in
     let* timeout_ms = timeout_field "timeout_ms" j in
     Ok (Batch { paths; periods; jobs; timeout_ms })
+  | "sweep" ->
+    let* path = string_field "path" j in
+    let* scenarios =
+      match member "deltas" j with
+      | Some (List items) ->
+        List.fold_left
+          (fun acc item ->
+            let* acc = acc in
+            let* s = scenario_of_json item in
+            Ok (s :: acc))
+          (Ok []) items
+        |> Result.map List.rev
+      | Some _ -> Error "field \"deltas\" must be a list"
+      | None -> Error "missing field \"deltas\""
+    in
+    let* periods = int_field "periods" j in
+    let* jobs = int_field "jobs" j in
+    let* timeout_ms = timeout_field "timeout_ms" j in
+    Ok (Sweep { path; scenarios; periods; jobs; timeout_ms })
   | "stats" -> Ok Stats
   | "shutdown" -> Ok Shutdown
   | op -> Error (Printf.sprintf "unknown op %S" op)
@@ -348,6 +410,22 @@ let request_to_string = function
     in
     let jobs = match jobs with None -> "" | Some n -> Printf.sprintf ",\"jobs\":%d" n in
     Printf.sprintf {|{"op":"batch","paths":[%s]%s%s%s}|} paths periods jobs
+      (timeout_suffix timeout_ms)
+  | Sweep { path; scenarios; periods; jobs; timeout_ms } ->
+    let number f =
+      if Float.is_integer f && Float.abs f < 1e15 then
+        Printf.sprintf "%d" (int_of_float f)
+      else Printf.sprintf "%.17g" f
+    in
+    let edit e = Printf.sprintf {|{"arc":%d,"delta":%s}|} e.sw_arc (number e.sw_delta) in
+    let scenario s = "[" ^ String.concat "," (List.map edit s) ^ "]" in
+    let deltas = String.concat "," (List.map scenario scenarios) in
+    let periods =
+      match periods with None -> "" | Some n -> Printf.sprintf ",\"periods\":%d" n
+    in
+    let jobs = match jobs with None -> "" | Some n -> Printf.sprintf ",\"jobs\":%d" n in
+    Printf.sprintf {|{"op":"sweep","path":"%s","deltas":[%s]%s%s%s}|} (escape path)
+      deltas periods jobs
       (timeout_suffix timeout_ms)
   | Stats -> {|{"op":"stats"}|}
   | Shutdown -> {|{"op":"shutdown"}|}

@@ -7,17 +7,32 @@
     cannot borrow the reporting encoders) and the request grammar.
     Responses are rendered by [Tsg_io.Rpc].
 
-    The four requests:
+    The five requests:
 
     {v {"op":"analyze", "path":"benchmarks/fig1.g", "periods":4, "timeout_ms":500}
 {"op":"batch", "paths":["a.g","b.g"], "periods":4, "jobs":2, "timeout_ms":500}
+{"op":"sweep", "path":"benchmarks/fig1.g",
+ "deltas":[{"arc":0,"delta":1.5}, [{"arc":0,"delta":1.0},{"arc":3,"delta":-0.5}]],
+ "periods":4, "jobs":2, "timeout_ms":500}
 {"op":"stats"}
 {"op":"shutdown"} v}
 
     [periods], [jobs] and [timeout_ms] are optional everywhere they
     appear.  [timeout_ms] is a per-analysis time budget in
-    milliseconds (per model for [batch]); a request that exceeds it
-    gets a structured [deadline_exceeded] error response. *)
+    milliseconds (per model for [batch], per scenario for [sweep]); a
+    request that exceeds it gets a structured [deadline_exceeded]
+    error response.
+
+    Each element of a sweep's [deltas] is one {e scenario}: either a
+    single [{"arc":id,"delta":d}] edit or a list of them applied
+    together.  The whole sweep shares one warm-started analysis of the
+    base model ([Tsg.Whatif]). *)
+
+val version : string
+(** The protocol version string, ["tsa-rpc/2"]: version 1 spoke
+    [analyze]/[batch]/[stats]/[shutdown]; version 2 added [sweep].
+    Servers report it in the [stats] response; additions are
+    backwards-compatible within a major version. *)
 
 (** {1 JSON values} *)
 
@@ -43,6 +58,10 @@ val member : string -> json -> json option
 
 (** {1 Requests} *)
 
+type sweep_edit = { sw_arc : int; sw_delta : float }
+(** One delay edit of a sweep scenario: add [sw_delta] to the delay of
+    Signal-Graph arc [sw_arc]. *)
+
 type request =
   | Analyze of { path : string; periods : int option; timeout_ms : float option }
       (** analyze one model file (or built-in name) *)
@@ -52,6 +71,15 @@ type request =
       jobs : int option;
       timeout_ms : float option;
     }  (** analyze many files concurrently, fault-isolated *)
+  | Sweep of {
+      path : string;
+      scenarios : sweep_edit list list;
+      periods : int option;
+      jobs : int option;
+      timeout_ms : float option;
+    }
+      (** warm-start re-analysis of delay-edit scenarios against one
+          shared base analysis of [path] *)
   | Stats  (** report metrics and cache statistics *)
   | Shutdown  (** answer once more, then stop the daemon *)
 

@@ -27,9 +27,85 @@ let cache_stats_obj (s : Tsg_engine.Cache.stats) =
 
 let stats_response ?cache () =
   ok
-    (("metrics", Json_report.metrics_obj ())
+    (("protocol", String Tsg_engine.Protocol.version)
+    :: ("metrics", Json_report.metrics_obj ())
     :: ("latency", Json_report.histograms_obj ())
     :: (match cache with Some s -> [ ("cache", cache_stats_obj s) ] | None -> []))
+
+(* ------------------------------------------------------------------ *)
+(* Sweeps                                                              *)
+
+type sweep_item = {
+  edits : (int * float) list;
+  elapsed_ms : float;
+  outcome : (Tsg.Cycle_time.report * Tsg.Whatif.stats, string) result;
+}
+
+let whatif_path = function
+  | Tsg.Whatif.Short_circuit -> "short_circuit"
+  | Tsg.Whatif.Warm -> "warm"
+  | Tsg.Whatif.Cold -> "cold"
+
+let edits_json edits =
+  List
+    (List.map
+       (fun (arc, delta) -> Obj [ ("arc", Int arc); ("delta", Float delta) ])
+       edits)
+
+let sweep_response ~model g items =
+  let item_json it =
+    match it.outcome with
+    | Ok (report, stats) ->
+      Obj
+        [
+          ("status", String "ok");
+          ("edits", edits_json it.edits);
+          ("elapsed_ms", Float it.elapsed_ms);
+          ("path", String (whatif_path stats.Tsg.Whatif.path));
+          ("reused", Int stats.Tsg.Whatif.reused);
+          ("resimulated", Int stats.Tsg.Whatif.resimulated);
+          ("cycle_time", Float report.Tsg.Cycle_time.cycle_time);
+          ("report", Json_report.analysis_obj g report);
+        ]
+    | Error msg ->
+      Obj
+        [
+          ("status", String "error");
+          ("edits", edits_json it.edits);
+          ("elapsed_ms", Float it.elapsed_ms);
+          ("error", String msg);
+        ]
+  in
+  let ok_count, failed, reused, resimulated, short_circuits =
+    List.fold_left
+      (fun (okc, fl, ru, rs, sc) it ->
+        match it.outcome with
+        | Ok (_, stats) ->
+          ( okc + 1,
+            fl,
+            ru + stats.Tsg.Whatif.reused,
+            rs + stats.Tsg.Whatif.resimulated,
+            sc + if stats.Tsg.Whatif.path = Tsg.Whatif.Short_circuit then 1 else 0 )
+        | Error _ -> (okc, fl + 1, ru, rs, sc))
+      (0, 0, 0, 0, 0) items
+  in
+  ok
+    [
+      ("model", String model);
+      ("events", Int (Tsg.Signal_graph.event_count g));
+      ("arcs", Int (Tsg.Signal_graph.arc_count g));
+      ("items", List (List.map item_json items));
+      ( "summary",
+        Obj
+          [
+            ("total", Int (List.length items));
+            ("ok", Int ok_count);
+            ("failed", Int failed);
+            ("reused", Int reused);
+            ("resimulated", Int resimulated);
+            ("short_circuits", Int short_circuits);
+          ] );
+    ]
 
 let shutdown_response () = ok [ ("stopping", Bool true) ]
 

@@ -31,12 +31,36 @@ val batch_response :
     size, cycle time and critical cycles, or the item's error. *)
 
 val stats_response : ?cache:Tsg_engine.Cache.stats -> unit -> string
-(** [{"status":"ok","metrics":[...],"latency":[...],"cache":{...}}]:
-    the current {!Tsg_engine.Metrics} snapshot, the latency
-    histograms ({!Json_report.histograms_obj} — the daemon's
-    [server/request_ms] series carries request p50/p95/p99) and, when
-    given, the server cache's occupancy and hit/miss/eviction
-    counts. *)
+(** [{"status":"ok","protocol":"tsa-rpc/2","metrics":[...],
+    "latency":[...],"cache":{...}}]: the protocol version
+    ({!Tsg_engine.Protocol.version}), the current
+    {!Tsg_engine.Metrics} snapshot, the latency histograms
+    ({!Json_report.histograms_obj} — the daemon's [server/request_ms]
+    series carries request p50/p95/p99) and, when given, the server
+    cache's occupancy and hit/miss/eviction counts. *)
+
+type sweep_item = {
+  edits : (int * float) list;  (** the scenario, as (arc id, delta) pairs *)
+  elapsed_ms : float;
+  outcome : (Tsg.Cycle_time.report * Tsg.Whatif.stats, string) result;
+}
+(** One sweep scenario's result, ready for {!sweep_response}. *)
+
+val sweep_response : model:string -> Tsg.Signal_graph.t -> sweep_item list -> string
+(** The [sweep] response: base-model identity, one item per scenario
+    (each [ok] item embeds a full {!Json_report.analysis_obj} report —
+    byte-identical to the [analyze] report of the edited graph — plus
+    its warm-start path and reuse counts), and a summary with
+    [reused]/[resimulated]/[short_circuits] totals:
+
+    {v {"status":"ok","model":...,"events":...,"arcs":...,
+ "items":[{"status":"ok","edits":[{"arc":0,"delta":1.5}],
+           "elapsed_ms":...,"path":"warm","reused":...,
+           "resimulated":...,"cycle_time":...,"report":{...}},
+          {"status":"error","edits":[...],"elapsed_ms":...,
+           "error":"..."}],
+ "summary":{"total":...,"ok":...,"failed":...,"reused":...,
+            "resimulated":...,"short_circuits":...}} v} *)
 
 val shutdown_response : unit -> string
 (** [{"status":"ok","stopping":true}]. *)

@@ -383,6 +383,12 @@ let make_handler cache =
         Batch.run ~jobs:2 ?deadline_ms:timeout_ms ~label:Fun.id ~f:analyze_cached paths
       in
       Server.Reply (Tsg_io.Rpc.batch_response entries)
+    | Ok (Protocol.Sweep _) ->
+      (* the hardening scenarios drive analyze/batch only; Whatif has
+         its own deadline tests and bin/tsa.ml owns the real handler *)
+      Server.Reply
+        (Tsg_io.Rpc.error_response ~code:"bad_request"
+           "sweep is not wired in this test harness")
     | Ok Protocol.Stats -> Server.Reply (Tsg_io.Rpc.stats_response ~cache:(Cache.stats cache) ())
     | Ok Protocol.Shutdown -> Server.Final (Tsg_io.Rpc.shutdown_response ())
 

@@ -34,6 +34,36 @@ let make_handler cache =
     | Ok (Protocol.Batch { paths; _ }) ->
       let entries = Batch.run ~jobs:2 ~label:Fun.id ~f:analyze_cached paths in
       Server.Reply (Tsg_io.Rpc.batch_response entries)
+    | Ok (Protocol.Sweep { path; scenarios; _ }) ->
+      Server.Reply
+        (match Tsg_io.Loader.load_file path with
+        | Error msg -> Tsg_io.Rpc.error_response msg
+        | Ok m -> (
+          let g = m.Tsg_io.Loader.graph in
+          match Whatif.prepare g with
+          | exception Cycle_time.Not_analyzable msg -> Tsg_io.Rpc.error_response msg
+          | base ->
+            let scens =
+              Array.of_list
+                (List.map
+                   (List.map (fun (e : Protocol.sweep_edit) ->
+                        { Whatif.arc = e.sw_arc; delta = e.sw_delta }))
+                   scenarios)
+            in
+            let results = Whatif.sweep ~jobs:2 base scens in
+            let items =
+              Array.to_list
+                (Array.mapi
+                   (fun i outcome ->
+                     {
+                       Tsg_io.Rpc.edits =
+                         List.map (fun (e : Whatif.edit) -> (e.arc, e.delta)) scens.(i);
+                       elapsed_ms = 0.;
+                       outcome;
+                     })
+                   results)
+            in
+            Tsg_io.Rpc.sweep_response ~model:m.Tsg_io.Loader.name g items))
     | Ok Protocol.Stats ->
       Server.Reply (Tsg_io.Rpc.stats_response ~cache:(Cache.stats cache) ())
     | Ok Protocol.Shutdown -> Server.Final (Tsg_io.Rpc.shutdown_response ())
@@ -84,9 +114,33 @@ let number_at path j =
   in
   go j path
 
+let string_at path j =
+  let rec go j = function
+    | [] -> ( match j with Protocol.String s -> s | _ -> Alcotest.fail "not a string")
+    | k :: rest -> (
+      match Protocol.member k j with
+      | Some v -> go v rest
+      | None -> Alcotest.failf "missing field %S" k)
+  in
+  go j path
+
 let analyze_req path =
   Protocol.request_to_string
     (Protocol.Analyze { path; periods = None; timeout_ms = None })
+
+let sweep_req path scenarios =
+  Protocol.request_to_string
+    (Protocol.Sweep
+       {
+         path;
+         scenarios =
+           List.map
+             (List.map (fun (arc, delta) -> { Protocol.sw_arc = arc; sw_delta = delta }))
+             scenarios;
+         periods = None;
+         jobs = Some 2;
+         timeout_ms = None;
+       })
 
 (* ------------------------------------------------------------------ *)
 
@@ -240,6 +294,38 @@ let test_stats_reports_latency_percentiles () =
       Alcotest.(check bool) "latencies are positive" true (p50 > 0.))
   | other -> Alcotest.failf "expected one response, got %d" (List.length other)
 
+let test_sweep_round_trip () =
+  with_server @@ fun ~socket ~cache:_ ->
+  (* four scenarios: a real edit, a joint edit, a zero-delta no-op and
+     a bad arc id — plus a plain analyze of the same model to compare
+     the short-circuited item against *)
+  let sweep =
+    sweep_req (bench "stack66.g")
+      [ [ (0, 1.5) ]; [ (1, 0.5); (2, 0.25) ]; [ (0, 0.) ]; [ (-7, 1.) ] ]
+  in
+  match Server.call ~socket [ sweep; analyze_req (bench "stack66.g") ] with
+  | [ sweep_resp; analyze_resp ] ->
+    let s = parse_response sweep_resp and a = parse_response analyze_resp in
+    Alcotest.(check string) "sweep ok" "ok" (status s);
+    Helpers.check_float "four scenarios" 4. (number_at [ "summary"; "total" ] s);
+    Helpers.check_float "bad arc isolated" 1. (number_at [ "summary"; "failed" ] s);
+    let items =
+      match Protocol.member "items" s with
+      | Some (Protocol.List l) -> Array.of_list l
+      | _ -> Alcotest.fail "sweep response carries items"
+    in
+    Alcotest.(check int) "one item per scenario" 4 (Array.length items);
+    Alcotest.(check string) "edit ran warm" "warm" (string_at [ "path" ] items.(0));
+    Alcotest.(check string) "joint edit ran warm" "warm" (string_at [ "path" ] items.(1));
+    Alcotest.(check string)
+      "zero-delta short-circuits" "short_circuit"
+      (string_at [ "path" ] items.(2));
+    Helpers.check_float "short circuit returns the base analysis"
+      (number_at [ "report"; "cycle_time" ] a)
+      (number_at [ "report"; "cycle_time" ] items.(2));
+    Alcotest.(check string) "bad arc is an error item" "error" (status items.(3))
+  | other -> Alcotest.failf "expected two responses, got %d" (List.length other)
+
 let test_shutdown_removes_socket () =
   with_server @@ fun ~socket ~cache:_ ->
   (match Server.call ~socket [ {|{"op":"shutdown"}|} ] with
@@ -263,5 +349,6 @@ let suite =
     Alcotest.test_case "batch request and stats" `Quick test_batch_and_stats;
     Alcotest.test_case "stats reports latency percentiles" `Quick
       test_stats_reports_latency_percentiles;
+    Alcotest.test_case "sweep round-trip over the socket" `Quick test_sweep_round_trip;
     Alcotest.test_case "shutdown removes the socket" `Quick test_shutdown_removes_socket;
   ]

@@ -1,0 +1,230 @@
+open Tsg
+
+(* Warm-start what-if analysis must be an exact drop-in for a cold
+   re-analysis of the edited graph: the serialised reports are compared
+   as bytes, which is the same yardstick the daemon's cached responses
+   are held to. *)
+
+let render g report = Tsg_io.Json.to_string (Tsg_io.Json_report.analysis_obj g report)
+
+let cold_render base edits =
+  let g' = Whatif.edited_graph base edits in
+  (g', render g' (Cycle_time.analyze ~periods:(Whatif.periods base) g'))
+
+let check_warm_equals_cold msg base edits =
+  let report, (stats : Whatif.stats) = Whatif.reanalyze base edits in
+  let g', cold = cold_render base edits in
+  Alcotest.(check string) (msg ^ ": bytes") cold (render g' report);
+  Alcotest.(check int)
+    (msg ^ ": reused + resimulated = b")
+    (List.length (Whatif.border base))
+    (stats.Whatif.reused + stats.Whatif.resimulated);
+  stats
+
+let fig1_base () = Whatif.prepare (Tsg_circuit.Circuit_library.fig1_tsg ())
+
+(* ------------------------------------------------------------------ *)
+(* Short circuits                                                      *)
+
+let test_no_edits_short_circuit () =
+  let base = fig1_base () in
+  let report, stats = Whatif.reanalyze base [] in
+  Alcotest.(check bool) "base report returned" true (report == Whatif.base_report base);
+  Alcotest.(check bool)
+    "short-circuit path" true
+    (stats.Whatif.path = Whatif.Short_circuit)
+
+let test_cancelling_edits_short_circuit () =
+  let base = fig1_base () in
+  let edits = [ { Whatif.arc = 0; delta = 2.5 }; { Whatif.arc = 0; delta = -2.5 } ] in
+  let report, stats = Whatif.reanalyze base edits in
+  Alcotest.(check bool) "base report returned" true (report == Whatif.base_report base);
+  Alcotest.(check bool)
+    "zero net delta short-circuits" true
+    (stats.Whatif.path = Whatif.Short_circuit)
+
+(* ------------------------------------------------------------------ *)
+(* Warm = cold, byte for byte                                          *)
+
+let test_single_edit_matches_cold () =
+  let base = fig1_base () in
+  let stats = check_warm_equals_cold "fig1 +1.5" base [ { Whatif.arc = 0; delta = 1.5 } ] in
+  Alcotest.(check bool) "warm path taken" true (stats.Whatif.path = Whatif.Warm)
+
+let test_decrease_matches_cold () =
+  let base = Whatif.prepare (Tsg_circuit.Circuit_library.async_stack_tsg ()) in
+  let g = Whatif.signal_graph base in
+  (* shrink the first positive-delay arc to a third *)
+  let arc, delay =
+    let arcs = Signal_graph.arcs g in
+    let rec find i = if arcs.(i).Signal_graph.delay > 0. then (i, arcs.(i).Signal_graph.delay) else find (i + 1) in
+    find 0
+  in
+  ignore
+    (check_warm_equals_cold "stack66 shrink" base
+       [ { Whatif.arc; delta = -.delay /. 3. } ])
+
+let test_multi_arc_scenario_matches_cold () =
+  let base = Whatif.prepare (Tsg_circuit.Circuit_library.muller_ring_tsg ~stages:5 ()) in
+  let m = Signal_graph.arc_count (Whatif.signal_graph base) in
+  ignore
+    (check_warm_equals_cold "ring5 multi-arc" base
+       [
+         { Whatif.arc = 0; delta = 0.75 };
+         { Whatif.arc = m / 2; delta = 3. };
+         { Whatif.arc = m - 1; delta = 0.125 };
+       ])
+
+(* the QCheck law of the issue: sweep results are byte-identical to N
+   independent analyze calls, across jobs *)
+let qcheck_sweep_matches_independent =
+  Helpers.qcheck_case ~count:40 ~name:"sweep == N independent cold analyses (bytes)"
+    (fun g ->
+      let base = Whatif.prepare g in
+      let m = Signal_graph.arc_count g in
+      let arcs = Signal_graph.arcs g in
+      let scenarios =
+        [|
+          [ { Whatif.arc = 0; delta = 1.25 } ];
+          [ { Whatif.arc = m / 2; delta = 6.5 } ];
+          (* a shrink, kept non-negative *)
+          [ { Whatif.arc = m - 1; delta = -.(arcs.(m - 1).Signal_graph.delay /. 2.) } ];
+          [ { Whatif.arc = 0; delta = 0.5 }; { Whatif.arc = m / 3; delta = -0. } ];
+        |]
+      in
+      let results = Whatif.sweep ~jobs:2 base scenarios in
+      Array.iteri
+        (fun i result ->
+          match result with
+          | Error msg -> QCheck2.Test.fail_reportf "scenario %d failed: %s" i msg
+          | Ok (report, _) ->
+            let g', cold = cold_render base scenarios.(i) in
+            if render g' report <> cold then
+              QCheck2.Test.fail_reportf "scenario %d: warm bytes differ from cold" i)
+        results;
+      true)
+
+(* ------------------------------------------------------------------ *)
+(* Errors and edge cases                                               *)
+
+let test_invalid_edits_rejected () =
+  let base = fig1_base () in
+  let m = Signal_graph.arc_count (Whatif.signal_graph base) in
+  Alcotest.check_raises "out-of-range arc"
+    (Invalid_argument
+       (Printf.sprintf "Whatif: arc id %d out of range (the graph has %d arcs)" m m))
+    (fun () -> ignore (Whatif.reanalyze base [ { Whatif.arc = m; delta = 1. } ]));
+  (match Whatif.reanalyze base [ { Whatif.arc = 0; delta = -1e9 } ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative edited delay accepted");
+  match Whatif.reanalyze base [ { Whatif.arc = 0; delta = Float.nan } ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "NaN delta accepted"
+
+let test_sweep_isolates_bad_scenario () =
+  let base = fig1_base () in
+  let scenarios =
+    [|
+      [ { Whatif.arc = 0; delta = 1. } ];
+      [ { Whatif.arc = -7; delta = 1. } ];
+      [ { Whatif.arc = 0; delta = 2. } ];
+    |]
+  in
+  let results = Whatif.sweep base scenarios in
+  (match results.(1) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "invalid scenario did not error");
+  Array.iteri
+    (fun i result ->
+      if i <> 1 then
+        match result with
+        | Ok _ -> ()
+        | Error msg -> Alcotest.failf "scenario %d poisoned by neighbour: %s" i msg)
+    results
+
+(* ------------------------------------------------------------------ *)
+(* Deadlines                                                           *)
+
+let test_deadline_mid_sweep_pool_reusable () =
+  (* gen-dense-sized base so each warm re-analysis does real work *)
+  let g = Tsg_circuit.Generators.random_live_tsg ~seed:7 ~events:120 ~extra_arcs:240 () in
+  let base = Whatif.prepare g in
+  let scenarios =
+    Array.init 6 (fun i -> [ { Whatif.arc = i; delta = float_of_int (i + 1) } ])
+  in
+  let strangled = Whatif.sweep ~jobs:4 ~budget_ms:1e-6 base scenarios in
+  Array.iteri
+    (fun i result ->
+      match result with
+      | Error msg ->
+        if not (String.length msg >= 17 && String.sub msg 0 17 = "deadline_exceeded") then
+          Alcotest.failf "scenario %d: unexpected error %S" i msg
+      | Ok _ -> Alcotest.failf "scenario %d survived a 1ns budget" i)
+    strangled;
+  (* the pool (and the prepared base) must be immediately reusable *)
+  let results = Whatif.sweep ~jobs:4 base scenarios in
+  Array.iteri
+    (fun i result ->
+      match result with
+      | Ok (report, _) ->
+        let g', cold = cold_render base scenarios.(i) in
+        Alcotest.(check string)
+          (Printf.sprintf "scenario %d after timeout: bytes" i)
+          cold (render g' report)
+      | Error msg -> Alcotest.failf "scenario %d failed after timeout: %s" i msg)
+    results
+
+(* ------------------------------------------------------------------ *)
+(* Fault injection                                                     *)
+
+let test_failpoint_falls_back_to_cold () =
+  let base = fig1_base () in
+  let edits = [ { Whatif.arc = 1; delta = 4. } ] in
+  let warm_report, warm_stats = Whatif.reanalyze base edits in
+  Alcotest.(check bool) "warm before arming" true (warm_stats.Whatif.path = Whatif.Warm);
+  Tsg_obs.Failpoint.activate "whatif/warm";
+  Fun.protect ~finally:(fun () -> Tsg_obs.Failpoint.deactivate "whatif/warm")
+  @@ fun () ->
+  let cold_report, cold_stats = Whatif.reanalyze base edits in
+  Alcotest.(check bool) "cold fallback path" true (cold_stats.Whatif.path = Whatif.Cold);
+  Alcotest.(check int) "no reuse on the cold path" 0 cold_stats.Whatif.reused;
+  let g' = Whatif.edited_graph base edits in
+  Alcotest.(check string) "cold fallback bytes = warm bytes" (render g' warm_report)
+    (render g' cold_report)
+
+(* ------------------------------------------------------------------ *)
+(* Reuse accounting                                                    *)
+
+let test_metrics_accounting () =
+  let base = Whatif.prepare (Tsg_circuit.Circuit_library.async_stack_tsg ()) in
+  let b = List.length (Whatif.border base) in
+  Tsg_engine.Metrics.reset ();
+  let _, (stats : Whatif.stats) =
+    Whatif.reanalyze base [ { Whatif.arc = 0; delta = 2. } ]
+  in
+  Alcotest.(check int) "whatif/reused counter" stats.Whatif.reused
+    (Tsg_engine.Metrics.count "whatif/reused");
+  Alcotest.(check int) "whatif/resimulated counter" stats.Whatif.resimulated
+    (Tsg_engine.Metrics.count "whatif/resimulated");
+  Alcotest.(check int) "partition of the border" b
+    (stats.Whatif.reused + stats.Whatif.resimulated)
+
+let suite =
+  [
+    Alcotest.test_case "no edits short-circuit" `Quick test_no_edits_short_circuit;
+    Alcotest.test_case "cancelling edits short-circuit" `Quick
+      test_cancelling_edits_short_circuit;
+    Alcotest.test_case "single edit = cold (bytes)" `Quick test_single_edit_matches_cold;
+    Alcotest.test_case "delay decrease = cold (bytes)" `Quick test_decrease_matches_cold;
+    Alcotest.test_case "multi-arc scenario = cold (bytes)" `Quick
+      test_multi_arc_scenario_matches_cold;
+    qcheck_sweep_matches_independent;
+    Alcotest.test_case "invalid edits rejected" `Quick test_invalid_edits_rejected;
+    Alcotest.test_case "sweep isolates a bad scenario" `Quick
+      test_sweep_isolates_bad_scenario;
+    Alcotest.test_case "deadline mid-sweep leaves pool reusable" `Quick
+      test_deadline_mid_sweep_pool_reusable;
+    Alcotest.test_case "failpoint falls back to cold" `Quick
+      test_failpoint_falls_back_to_cold;
+    Alcotest.test_case "metrics accounting" `Quick test_metrics_accounting;
+  ]
