@@ -362,12 +362,57 @@ let batch_cmd =
 
 let socket_arg =
   let doc = "Path of the Unix-domain socket." in
-  Arg.(required & opt (some string) None & info [ "socket"; "s" ] ~docv:"PATH" ~doc)
+  Arg.(value & opt (some string) None & info [ "socket"; "s" ] ~docv:"PATH" ~doc)
+
+let tcp_arg =
+  let doc =
+    "Serve over TCP on $(docv) (e.g. 127.0.0.1:7601) instead of a Unix socket; \
+     port 0 picks a free port (announced on stderr)."
+  in
+  Arg.(value & opt (some string) None & info [ "tcp" ] ~docv:"HOST:PORT" ~doc)
+
+(* one listening endpoint per daemon: --tcp or --socket, not both *)
+let resolve_serve_endpoint ~socket ~tcp =
+  match (socket, tcp) with
+  | Some _, Some _ ->
+    Fmt.epr "tsa: give --socket or --tcp, not both@.";
+    exit 2
+  | Some path, None -> Tsg_engine.Server.Unix_socket path
+  | None, Some spec -> (
+    match Tsg_engine.Server.endpoint_of_string spec with
+    | Ok (Tsg_engine.Server.Tcp _ as ep) -> ep
+    | Ok (Tsg_engine.Server.Unix_socket _) ->
+      Fmt.epr "tsa: --tcp wants HOST:PORT, got %s@." spec;
+      exit 2
+    | Error msg ->
+      Fmt.epr "tsa: bad --tcp endpoint: %s@." msg;
+      exit 2)
+  | None, None ->
+    Fmt.epr "tsa: give --socket PATH or --tcp HOST:PORT@.";
+    exit 2
 
 let serve_cmd =
   let cache_size_arg =
     let doc = "Capacity of the content-addressed result cache (0 disables it)." in
     Arg.(value & opt int 1024 & info [ "cache-size" ] ~docv:"N" ~doc)
+  in
+  let cache_dir_arg =
+    let doc =
+      "Directory of the on-disk second-tier cache (digest-keyed, crash-safe, \
+       survives restarts; shared read-through/write-behind under the in-memory \
+       cache).  Omitted: no disk tier."
+    in
+    Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR" ~doc)
+  in
+  let disk_cache_size_arg =
+    let doc = "Maximum entries kept in --cache-dir before LRU eviction." in
+    Arg.(value & opt int 4096 & info [ "disk-cache-size" ] ~docv:"N" ~doc)
+  in
+  let shard_arg =
+    let doc =
+      "Shard label reported in the stats response (default: the bound endpoint)."
+    in
+    Arg.(value & opt (some string) None & info [ "shard" ] ~docv:"LABEL" ~doc)
   in
   let trace_dir_arg =
     let doc =
@@ -408,8 +453,10 @@ let serve_cmd =
     in
     Arg.(value & opt (some string) None & info [ "failpoints" ] ~docv:"SPEC" ~doc)
   in
-  let run socket cache_size jobs trace_dir max_connections max_sweep
-      max_request_bytes read_timeout write_timeout drain_timeout failpoints =
+  let run socket tcp cache_size cache_dir disk_cache_size shard jobs trace_dir
+      max_connections max_sweep max_request_bytes read_timeout write_timeout
+      drain_timeout failpoints =
+    let endpoint = resolve_serve_endpoint ~socket ~tcp in
     let jobs = resolve_jobs jobs in
     (match failpoints with
     | None -> ()
@@ -424,22 +471,65 @@ let serve_cmd =
       if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
       Tsg_obs.Trace.enable ());
     let cache = Tsg_engine.Cache.create ~capacity:cache_size () in
+    (* the second tier: rendered analyze responses, digest-keyed, on
+       disk.  Survives restarts and is safely shared between replicas
+       because responses are byte-identical by construction — any
+       replica's answer is every replica's answer. *)
+    let disk_cache =
+      Option.map
+        (fun dir -> Tsg_engine.Disk_cache.create ~capacity:disk_cache_size ~dir ())
+        cache_dir
+    in
     (* the cache key is the graph's content (declaration-order
        independent), the model name and the requested horizon — two
        files with identical content hit the same entry, an edited
        file misses and is re-analyzed *)
+    let cache_key ?periods name g =
+      Printf.sprintf "%s|%s|%s" (Signal_graph.digest g) name
+        (match periods with None -> "b" | Some n -> string_of_int n)
+    in
     let analyze_cached ?periods path =
       match load_model path with
       | Error msg -> Error msg
       | Ok (name, g) ->
-        let key =
-          Printf.sprintf "%s|%s|%s" (Signal_graph.digest g) name
-            (match periods with None -> "b" | Some n -> string_of_int n)
-        in
-        Tsg_engine.Cache.find_or_add cache key (fun () ->
+        Tsg_engine.Cache.find_or_add cache (cache_key ?periods name g) (fun () ->
             match Cycle_time.analyze ?periods g with
             | report -> Ok (name, g, report)
             | exception Cycle_time.Not_analyzable msg -> Error msg)
+    in
+    (* the analyze op's read path through both tiers: memory (triples,
+       shared with batch) then disk (rendered response lines).  A disk
+       hit is served as stored bytes — the byte-identity guarantee
+       makes that sound; a fresh result is written behind to both.  A
+       timed-out analysis raises before either [add] and is never
+       cached; load/analysis errors stay in memory only (they are
+       cheap to re-derive and not content-addressed facts). *)
+    let analyze_response_cached ?periods path =
+      match load_model path with
+      | Error msg -> Tsg_io.Rpc.error_response msg
+      | Ok (name, g) -> (
+        let key = cache_key ?periods name g in
+        match Tsg_engine.Cache.find cache key with
+        | Some (Ok (name, g, report)) ->
+          Tsg_io.Rpc.analyze_response ~model:name g report
+        | Some (Error msg) -> Tsg_io.Rpc.error_response msg
+        | None -> (
+          match
+            Option.bind disk_cache (fun dc -> Tsg_engine.Disk_cache.find dc key)
+          with
+          | Some response -> response
+          | None -> (
+            match Cycle_time.analyze ?periods g with
+            | report ->
+              Tsg_engine.Cache.add cache key (Ok (name, g, report));
+              let response = Tsg_io.Rpc.analyze_response ~model:name g report in
+              Option.iter
+                (fun dc -> Tsg_engine.Disk_cache.add dc key response)
+                disk_cache;
+              response
+            | exception Cycle_time.Not_analyzable msg ->
+              Tsg_engine.Cache.add cache key (Error msg);
+              Tsg_io.Rpc.error_response msg)))
     in
     (* prepared what-if bases are ~b retained float arrays each, far
        heavier than a report — a small separate LRU so repeated sweeps
@@ -450,15 +540,17 @@ let serve_cmd =
       match load_model path with
       | Error msg -> Error msg
       | Ok (name, g) ->
-        let key =
-          Printf.sprintf "%s|%s|%s" (Signal_graph.digest g) name
-            (match periods with None -> "b" | Some n -> string_of_int n)
-        in
-        Tsg_engine.Cache.find_or_add whatif_cache key (fun () ->
+        Tsg_engine.Cache.find_or_add whatif_cache (cache_key ?periods name g)
+          (fun () ->
             match Whatif.prepare ?periods g with
             | base -> Ok (name, base)
             | exception Cycle_time.Not_analyzable msg -> Error msg)
     in
+    (* the endpoint as actually bound — for Tcp {port = 0} the kernel
+       picks the port; on_ready stores it before any client is
+       accepted, so the stats handler can report this replica's shard
+       identity *)
+    let bound_endpoint = ref endpoint in
     let handler line =
       match Tsg_engine.Protocol.parse_request line with
       | Error msg ->
@@ -475,10 +567,9 @@ let serve_cmd =
            in
            match
              Tsg_engine.Deadline.with_deadline d (fun () ->
-                 analyze_cached ?periods path)
+                 analyze_response_cached ?periods path)
            with
-          | Ok (name, g, report) -> Tsg_io.Rpc.analyze_response ~model:name g report
-          | Error msg -> Tsg_io.Rpc.error_response msg
+          | response -> response
           | exception Tsg_engine.Deadline.Deadline_exceeded ->
             Tsg_io.Rpc.error_response ~code:"deadline_exceeded"
               (Tsg_engine.Deadline.error_message d))
@@ -528,7 +619,17 @@ let serve_cmd =
                  (Array.to_list items))
       | Ok Tsg_engine.Protocol.Stats ->
         Tsg_engine.Server.Reply
-          (Tsg_io.Rpc.stats_response ~cache:(Tsg_engine.Cache.stats cache) ())
+          (Tsg_io.Rpc.stats_response ~cache:(Tsg_engine.Cache.stats cache)
+             ?disk_cache:(Option.map Tsg_engine.Disk_cache.stats disk_cache)
+             ~transport:
+               (match endpoint with
+               | Tsg_engine.Server.Unix_socket _ -> "unix"
+               | Tsg_engine.Server.Tcp _ -> "tcp")
+             ~shard:
+               (match shard with
+               | Some label -> label
+               | None -> Tsg_engine.Server.endpoint_to_string !bound_endpoint)
+             ())
       | Ok Tsg_engine.Protocol.Shutdown ->
         Tsg_engine.Server.Final (Tsg_io.Rpc.shutdown_response ())
     in
@@ -540,14 +641,31 @@ let serve_cmd =
      with Invalid_argument _ | Sys_error _ -> ());
     (try Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop)
      with Invalid_argument _ | Sys_error _ -> ());
-    Fmt.epr "tsa: serving on %s (cache capacity %d); stop with 'tsa client --socket %s --shutdown'@."
-      socket cache_size socket;
+    let on_ready ep =
+      bound_endpoint := ep;
+      let name = Tsg_engine.Server.endpoint_to_string ep in
+      let transport, stop_hint =
+        match ep with
+        | Tsg_engine.Server.Unix_socket _ ->
+          ("unix", Printf.sprintf "--socket %s" name)
+        | Tsg_engine.Server.Tcp _ -> ("tcp", Printf.sprintf "--endpoints %s" name)
+      in
+      Fmt.epr
+        "tsa: serving on %s (%s, cache capacity %d%s); stop with 'tsa client %s \
+         --shutdown'@."
+        name transport cache_size
+        (match cache_dir with
+        | Some dir -> Printf.sprintf ", disk cache %s" dir
+        | None -> "")
+        stop_hint
+    in
     match
       Tsg_engine.Server.serve ~max_connections ~max_request_bytes
         ~read_timeout_s:read_timeout ~write_timeout_s:write_timeout
-        ~drain_timeout_s:drain_timeout ~stop ~socket ~handler ()
+        ~drain_timeout_s:drain_timeout ~stop ~on_ready ~endpoint ~handler ()
     with
     | () ->
+      Option.iter Tsg_engine.Disk_cache.close disk_cache;
       Fmt.epr "tsa: server stopped@.";
       (match trace_dir with
       | None -> ()
@@ -555,14 +673,17 @@ let serve_cmd =
         write_trace
           (Some (Filename.concat dir (Printf.sprintf "tsa-serve-%d.json" (Unix.getpid ())))))
     | exception Unix.Unix_error (err, fn, arg) ->
-      Fmt.epr "tsa: cannot serve on %s: %s (%s %s)@." socket (Unix.error_message err) fn
-        arg;
+      Fmt.epr "tsa: cannot serve on %s: %s (%s %s)@."
+        (Tsg_engine.Server.endpoint_to_string endpoint)
+        (Unix.error_message err) fn arg;
       exit 1
   in
   let doc =
-    "Run a long-lived analysis daemon on a Unix-domain socket: requests are \
+    "Run a long-lived analysis daemon on a Unix-domain socket ($(b,--socket)) or \
+     TCP ($(b,--tcp), one replica of a sharded fleet): requests are \
      newline-delimited JSON (op analyze/batch/sweep/stats/shutdown), analyses are \
-     served from a content-addressed LRU cache, batches run fault-isolated on the \
+     served from a content-addressed LRU cache with an optional crash-safe \
+     on-disk second tier ($(b,--cache-dir)), batches run fault-isolated on the \
      domain pool and sweeps share a cached warm-start base per model.  Abusive \
      clients are contained (connection/size/sweep limits, read/write timeouts, \
      per-request deadlines); SIGTERM drains gracefully."
@@ -570,7 +691,8 @@ let serve_cmd =
   Cmd.v
     (Cmd.info "serve" ~doc)
     Term.(
-      const run $ socket_arg $ cache_size_arg $ jobs_arg $ trace_dir_arg
+      const run $ socket_arg $ tcp_arg $ cache_size_arg $ cache_dir_arg
+      $ disk_cache_size_arg $ shard_arg $ jobs_arg $ trace_dir_arg
       $ max_connections_arg $ max_sweep_arg $ max_request_bytes_arg
       $ read_timeout_arg $ write_timeout_arg $ drain_timeout_arg $ failpoints_arg)
 
@@ -606,7 +728,18 @@ let client_cmd =
     in
     Arg.(value & opt_all delta_conv [] & info [ "delta" ] ~docv:"SPEC" ~doc)
   in
-  let run socket files batch stats shutdown deltas periods jobs timeout_ms retries =
+  let endpoints_arg =
+    let doc =
+      "Comma-separated replica endpoints (HOST:PORT and/or socket paths).  \
+       Requests are consistent-hash routed on each model's content digest \
+       across the fleet, with passive health checks and failover; \
+       $(b,--stats)/$(b,--shutdown) broadcast to every replica.  A per-shard \
+       routing summary is printed on stderr."
+    in
+    Arg.(value & opt (some string) None & info [ "endpoints" ] ~docv:"EP,EP,..." ~doc)
+  in
+  let run socket endpoints files batch stats shutdown deltas periods jobs timeout_ms
+      retries =
     let open Tsg_engine.Protocol in
     let sweep_requests =
       if deltas = [] then []
@@ -650,26 +783,261 @@ let client_cmd =
       Fmt.epr "tsa: nothing to send (give models, --stats or --shutdown)@.";
       exit 2
     end;
-    match
-      Tsg_engine.Server.call ~retries ~socket (List.map request_to_string requests)
-    with
-    | responses -> List.iter print_endline responses
-    | exception Unix.Unix_error (err, _, _) ->
-      Fmt.epr "tsa: cannot reach %s: %s (is 'tsa serve' running?)@." socket
-        (Unix.error_message err);
-      exit 1
-    | exception Failure msg ->
-      Fmt.epr "tsa: %s@." msg;
-      exit 1
+    match (socket, endpoints) with
+    | Some _, Some _ ->
+      Fmt.epr "tsa: give --socket or --endpoints, not both@.";
+      exit 2
+    | None, None ->
+      Fmt.epr "tsa: give --socket PATH or --endpoints EP,EP,...@.";
+      exit 2
+    | Some socket, None -> (
+      match
+        Tsg_engine.Server.call ~retries
+          ~endpoint:(Tsg_engine.Server.Unix_socket socket)
+          (List.map request_to_string requests)
+      with
+      | responses -> List.iter print_endline responses
+      | exception Unix.Unix_error (err, _, _) ->
+        Fmt.epr "tsa: cannot reach %s: %s (is 'tsa serve' running?)@." socket
+          (Unix.error_message err);
+        exit 1
+      | exception Failure msg ->
+        Fmt.epr "tsa: %s@." msg;
+        exit 1)
+    | None, Some spec ->
+      let eps =
+        String.split_on_char ',' spec
+        |> List.filter (fun s -> String.trim s <> "")
+        |> List.map (fun s ->
+               match Tsg_engine.Server.endpoint_of_string (String.trim s) with
+               | Ok ep -> ep
+               | Error msg ->
+                 Fmt.epr "tsa: bad endpoint %S: %s@." s msg;
+                 exit 2)
+      in
+      if eps = [] then begin
+        Fmt.epr "tsa: --endpoints names no endpoints@.";
+        exit 2
+      end;
+      let router = Tsg_engine.Router.create ~retries eps in
+      (* the routing key is the model's content digest — the exact key
+         the replica caches hash on, so each replica's cache
+         concentrates on its slice of the keyspace.  An unloadable
+         model routes on its path; the daemon reports the load error
+         as the response. *)
+      let digest_of path =
+        match load_model path with
+        | Ok (_, g) -> Signal_graph.digest g
+        | Error _ -> path
+      in
+      let routing_key = function
+        | Analyze { path; _ } | Sweep { path; _ } -> Some (digest_of path)
+        | Batch { paths; _ } -> (
+          match paths with
+          | [ p ] -> Some (digest_of p)
+          | _ -> Some (String.concat "," paths))
+        | Stats | Shutdown -> None (* fleet-wide: broadcast *)
+      in
+      let failures = ref 0 in
+      List.iter
+        (fun req ->
+          let line = request_to_string req in
+          match routing_key req with
+          | Some key -> (
+            match Tsg_engine.Router.route router ~key line with
+            | Ok response -> print_endline response
+            | Error e ->
+              incr failures;
+              print_endline (Tsg_io.Rpc.error_response ~code:"unavailable" e))
+          | None ->
+            List.iter
+              (fun (ep, outcome) ->
+                match outcome with
+                | Ok response -> print_endline response
+                | Error e ->
+                  incr failures;
+                  print_endline
+                    (Tsg_io.Rpc.error_response ~code:"unavailable"
+                       (Printf.sprintf "%s: %s"
+                          (Tsg_engine.Server.endpoint_to_string ep)
+                          e)))
+              (Tsg_engine.Router.broadcast router line))
+        requests;
+      let rs = Tsg_engine.Router.stats router in
+      Fmt.epr "tsa: router: %d requests, %d rerouted, %d failovers@."
+        rs.Tsg_engine.Router.requests rs.Tsg_engine.Router.rerouted
+        rs.Tsg_engine.Router.failovers;
+      List.iteri
+        (fun i (s : Tsg_engine.Router.shard_stats) ->
+          Fmt.epr "tsa: shard %d (%s): served %d, failed %d%s@." i
+            s.Tsg_engine.Router.endpoint s.Tsg_engine.Router.served
+            s.Tsg_engine.Router.failed
+            (if s.Tsg_engine.Router.healthy then "" else ", unhealthy"))
+        rs.Tsg_engine.Router.shards;
+      if !failures > 0 then exit 1
   in
   let doc =
-    "Query a running $(b,tsa serve) daemon: one JSON response line per request."
+    "Query a running $(b,tsa serve) daemon ($(b,--socket)) or a fleet of replicas \
+     ($(b,--endpoints), digest-routed with failover): one JSON response line per \
+     request."
   in
   Cmd.v
     (Cmd.info "client" ~doc)
     Term.(
-      const run $ socket_arg $ files_arg $ batch_flag $ stats_flag $ shutdown_flag
-      $ delta_args $ periods_arg $ jobs_arg $ timeout_arg $ retries_arg)
+      const run $ socket_arg $ endpoints_arg $ files_arg $ batch_flag $ stats_flag
+      $ shutdown_flag $ delta_args $ periods_arg $ jobs_arg $ timeout_arg
+      $ retries_arg)
+
+(* ------------------------------------------------------------------ *)
+(* Local replica fleets: spawn/drain N daemon subprocesses (testing,
+   CI smoke drills, the fleet_load bench workload)                     *)
+
+(* ask the kernel for a currently free loopback port.  There is a
+   window between closing the probe socket and the replica binding it,
+   but replicas bind with SO_REUSEADDR immediately after, and the
+   fleet retries readiness before announcing — good enough for local
+   drills, not a general-purpose allocator. *)
+let free_port () =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  match Unix.getsockname fd with
+  | Unix.ADDR_INET (_, port) -> port
+  | _ -> assert false
+
+let spawn_replica ?(quiet = false) ?cache_dir ~cache_size ~host ~port () =
+  let ep = Printf.sprintf "%s:%d" host port in
+  let argv =
+    [ "tsa"; "serve"; "--tcp"; ep; "--cache-size"; string_of_int cache_size ]
+    @ match cache_dir with Some d -> [ "--cache-dir"; d ] | None -> []
+  in
+  let stderr_fd =
+    if quiet then Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 else Unix.stderr
+  in
+  let pid =
+    Unix.create_process Sys.executable_name (Array.of_list argv) Unix.stdin
+      Unix.stdout stderr_fd
+  in
+  if quiet then (try Unix.close stderr_fd with Unix.Unix_error _ -> ());
+  (pid, ep)
+
+(* block until every replica answers a stats request (or raise after
+   the retries run out) *)
+let wait_fleet_ready endpoints =
+  List.iter
+    (fun ep ->
+      match Tsg_engine.Server.endpoint_of_string ep with
+      | Error msg -> failwith msg
+      | Ok endpoint ->
+        ignore
+          (Tsg_engine.Server.call ~retries:12 ~backoff_ms:25. ~endpoint
+             [ {|{"op":"stats"}|} ]))
+    endpoints
+
+let fleet_cmd =
+  let replicas_arg =
+    let doc = "Number of daemon replicas to spawn." in
+    Arg.(value & opt int 3 & info [ "replicas"; "n" ] ~docv:"N" ~doc)
+  in
+  let host_arg =
+    let doc = "Host the replicas bind." in
+    Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"HOST" ~doc)
+  in
+  let base_port_arg =
+    let doc =
+      "First port; replica $(i,i) listens on $(docv)+$(i,i).  0 (default) asks \
+       the kernel for free ports."
+    in
+    Arg.(value & opt int 0 & info [ "base-port" ] ~docv:"PORT" ~doc)
+  in
+  let cache_size_arg =
+    let doc = "Per-replica in-memory cache capacity." in
+    Arg.(value & opt int 1024 & info [ "cache-size" ] ~docv:"N" ~doc)
+  in
+  let cache_dir_arg =
+    let doc =
+      "Shared on-disk second-tier cache directory passed to every replica."
+    in
+    Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR" ~doc)
+  in
+  let run replicas host base_port cache_size cache_dir =
+    if replicas < 1 then begin
+      Fmt.epr "tsa: --replicas must be at least 1@.";
+      exit 2
+    end;
+    let members =
+      List.init replicas (fun i ->
+          let port = if base_port = 0 then free_port () else base_port + i in
+          let pid, ep = spawn_replica ?cache_dir ~cache_size ~host ~port () in
+          (i, pid, ep))
+    in
+    let endpoints = List.map (fun (_, _, ep) -> ep) members in
+    (* announce the fleet in a machine-parsable shape: scripts capture
+       the endpoints line for --endpoints and the pid lines for kill
+       drills *)
+    List.iter
+      (fun (i, pid, ep) -> Fmt.pr "replica %d: pid %d %s@." i pid ep)
+      members;
+    Fmt.pr "fleet: endpoints %s@." (String.concat "," endpoints);
+    (match wait_fleet_ready endpoints with
+    | () -> Fmt.pr "fleet: ready@."
+    | exception _ ->
+      Fmt.epr "tsa: fleet failed to come up; terminating@.";
+      List.iter
+        (fun (_, pid, _) -> try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ())
+        members;
+      exit 1);
+    (* from here the fleet runs until its replicas exit (a client
+       broadcast shutdown, a kill drill) or we are asked to drain:
+       SIGTERM/SIGINT is forwarded to every live replica, each of
+       which drains gracefully on its own *)
+    let drain = ref false in
+    let forward _ = drain := true in
+    (try Sys.set_signal Sys.sigterm (Sys.Signal_handle forward)
+     with Invalid_argument _ | Sys_error _ -> ());
+    (try Sys.set_signal Sys.sigint (Sys.Signal_handle forward)
+     with Invalid_argument _ | Sys_error _ -> ());
+    let remaining = ref members in
+    while !remaining <> [] do
+      if !drain then begin
+        drain := false;
+        List.iter
+          (fun (_, pid, _) ->
+            try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ())
+          !remaining
+      end;
+      remaining :=
+        List.filter
+          (fun (i, pid, ep) ->
+            match Unix.waitpid [ Unix.WNOHANG ] pid with
+            | 0, _ -> true
+            | _, status ->
+              Fmt.pr "fleet: replica %d (%s) exited (%s)@." i ep
+                (match status with
+                | Unix.WEXITED c -> Printf.sprintf "status %d" c
+                | Unix.WSIGNALED s -> Printf.sprintf "signal %d" s
+                | Unix.WSTOPPED s -> Printf.sprintf "stopped %d" s);
+              false
+            | exception Unix.Unix_error (Unix.ECHILD, _, _) -> false
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> true)
+          !remaining;
+      if !remaining <> [] then Unix.sleepf 0.1
+    done;
+    Fmt.pr "fleet: stopped@."
+  in
+  let doc =
+    "Spawn N local $(b,tsa serve --tcp) replicas on free ports, announce their \
+     endpoints and pids, and babysit them until they exit; SIGTERM/SIGINT drains \
+     the whole fleet gracefully.  For testing, CI smoke drills and load \
+     generation — production replicas are expected to run under a real \
+     supervisor."
+  in
+  Cmd.v
+    (Cmd.info "fleet" ~doc)
+    Term.(
+      const run $ replicas_arg $ host_arg $ base_port_arg $ cache_size_arg
+      $ cache_dir_arg)
 
 (* ------------------------------------------------------------------ *)
 (* The regression-bench harness                                        *)
@@ -684,6 +1052,133 @@ type bench_iter = {
   bi_simulate : float;
   bi_backtrack : float;
 }
+
+(* the serving-tier drill: push one fixed mixed analyze/sweep request
+   set through a 1-replica and then a 3-replica TCP fleet (spawned as
+   subprocesses, stderr silenced), 4 client threads each, and compare
+   throughput.  The request set is deterministic so snapshots stay
+   comparable; byte-identity of the analyze responses across fleet
+   sizes is checked on every run (sweep responses embed per-item wall
+   clock, so they are excluded from the byte comparison, not from the
+   load). *)
+type fleet_load = {
+  fl_requests : int;
+  fl_threads : int;
+  fl_replicas : int;
+  fl_single_ms : float;
+  fl_fleet_ms : float;
+  fl_failed : int;
+  fl_identical : bool;
+}
+
+let run_fleet_load () =
+  let open Tsg_engine.Protocol in
+  let host = "127.0.0.1" in
+  let models = [| "fig1"; "ring5"; "stack" |] in
+  let n_requests = 48 in
+  let client_threads = 4 in
+  let replicas = 3 in
+  let request_of i m =
+    if i land 1 = 0 then Analyze { path = m; periods = None; timeout_ms = None }
+    else
+      Sweep
+        {
+          path = m;
+          scenarios =
+            [
+              [
+                {
+                  sw_arc = i mod 3;
+                  sw_delta = 0.25 +. (float_of_int (i mod 5) /. 8.);
+                };
+              ];
+            ];
+          periods = None;
+          jobs = None;
+          timeout_ms = None;
+        }
+  in
+  let lines =
+    Array.init n_requests (fun i ->
+        let m = models.(i mod Array.length models) in
+        let key =
+          match load_model m with
+          | Ok (_, g) -> Signal_graph.digest g
+          | Error _ -> m
+        in
+        (key, request_to_string (request_of i m), i land 1 = 0))
+  in
+  let with_fleet n f =
+    let members =
+      List.init n (fun _ ->
+          let port = free_port () in
+          spawn_replica ~quiet:true ~cache_size:1024 ~host ~port ())
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        List.iter
+          (fun (pid, _) ->
+            try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ())
+          members;
+        List.iter
+          (fun (pid, _) ->
+            try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
+          members)
+    @@ fun () ->
+    let endpoints = List.map snd members in
+    wait_fleet_ready endpoints;
+    let eps =
+      List.map
+        (fun ep ->
+          match Tsg_engine.Server.endpoint_of_string ep with
+          | Ok e -> e
+          | Error msg -> failwith msg)
+        endpoints
+    in
+    let router = Tsg_engine.Router.create ~retries:3 eps in
+    let result = f router in
+    ignore (Tsg_engine.Router.broadcast router {|{"op":"shutdown"}|});
+    result
+  in
+  let drive router =
+    let idx = Atomic.make 0 in
+    let failed = Atomic.make 0 in
+    let responses = Array.make n_requests "" in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add idx 1 in
+        if i < n_requests then begin
+          let key, line, _ = lines.(i) in
+          (match Tsg_engine.Router.route router ~key line with
+          | Ok r -> responses.(i) <- r
+          | Error _ -> Atomic.incr failed);
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let t0 = Unix.gettimeofday () in
+    let threads = List.init client_threads (fun _ -> Thread.create worker ()) in
+    List.iter Thread.join threads;
+    ((Unix.gettimeofday () -. t0) *. 1000., responses, Atomic.get failed)
+  in
+  let single_ms, single_responses, single_failed = with_fleet 1 drive in
+  let fleet_ms, fleet_responses, fleet_failed = with_fleet replicas drive in
+  let identical = ref true in
+  Array.iteri
+    (fun i (_, _, is_analyze) ->
+      if is_analyze && single_responses.(i) <> fleet_responses.(i) then
+        identical := false)
+    lines;
+  {
+    fl_requests = n_requests;
+    fl_threads = client_threads;
+    fl_replicas = replicas;
+    fl_single_ms = single_ms;
+    fl_fleet_ms = fleet_ms;
+    fl_failed = single_failed + fleet_failed;
+    fl_identical = !identical;
+  }
 
 let bench_cmd =
   let files_arg =
@@ -843,7 +1338,43 @@ let bench_cmd =
       sweep_stats
     in
     let sw_speedup = sw_cold_ms /. (sw_prepare_ms +. sw_warm_ms) in
+    (* the serving-tier workload is environment-dependent (subprocess
+       spawning, loopback TCP): a sandbox that forbids either yields
+       an error entry instead of killing the whole snapshot *)
+    let fleet_outcome =
+      match run_fleet_load () with
+      | fl -> Ok fl
+      | exception exn -> Error (Printexc.to_string exn)
+    in
+    let cores = Tsg_engine.Pool.recommended () in
     let module J = Tsg_io.Json in
+    let fleet_json =
+      match fleet_outcome with
+      | Error msg ->
+        J.Obj [ ("status", J.String "error"); ("error", J.String msg) ]
+      | Ok fl ->
+        let rps ms = float_of_int fl.fl_requests /. (ms /. 1000.) in
+        J.Obj
+          [
+            (* single-core containers cannot show the >=2x fleet
+               speedup (three replicas share one core); the snapshot
+               records the status so CI can gate softly, like the
+               jobs-scaling gate *)
+            ( "status",
+              J.String (if cores <= 1 then "single_core" else "ok") );
+            ("requests", J.Int fl.fl_requests);
+            ("client_threads", J.Int fl.fl_threads);
+            ("replicas", J.Int fl.fl_replicas);
+            ("cores", J.Int cores);
+            ("single_ms", J.Float fl.fl_single_ms);
+            ("fleet_ms", J.Float fl.fl_fleet_ms);
+            ("single_rps", J.Float (rps fl.fl_single_ms));
+            ("fleet_rps", J.Float (rps fl.fl_fleet_ms));
+            ("speedup", J.Float (fl.fl_single_ms /. fl.fl_fleet_ms));
+            ("failed", J.Int fl.fl_failed);
+            ("byte_identical", J.Bool fl.fl_identical);
+          ]
+    in
     let entry_json (file, outcome) =
       match outcome with
       | Error (`Error msg) ->
@@ -907,7 +1438,7 @@ let bench_cmd =
     let snapshot =
       J.Obj
         [
-          ("schema", J.String "tsa-bench/4");
+          ("schema", J.String "tsa-bench/5");
           ("date", J.String date);
           ("iterations", J.Int iterations);
           ("jobs_levels", J.List (List.map (fun j -> J.Int j) job_levels));
@@ -927,6 +1458,7 @@ let bench_cmd =
                 ("resimulated", J.Int sw_resim);
                 ("byte_identical", J.Bool sw_identical);
               ] );
+          ("fleet_load", fleet_json);
         ]
     in
     let rendered = J.to_string snapshot in
@@ -974,15 +1506,33 @@ let bench_cmd =
         (sw_prepare_ms +. sw_warm_ms) sw_prepare_ms sw_warm_ms;
       Fmt.pr "  speedup %.2fx; reused %d, resimulated %d border simulations; %s@."
         sw_speedup sw_reused sw_resim
-        (if sw_identical then "reports byte-identical" else "REPORTS DIFFER")
+        (if sw_identical then "reports byte-identical" else "REPORTS DIFFER");
+      (match fleet_outcome with
+      | Error msg -> Fmt.pr "@.fleet load: skipped (%s)@." msg
+      | Ok fl ->
+        let rps ms = float_of_int fl.fl_requests /. (ms /. 1000.) in
+        Fmt.pr "@.fleet load (%d mixed analyze/sweep requests, %d client threads)@."
+          fl.fl_requests fl.fl_threads;
+        Fmt.pr "  1 replica:  %9.2f ms  (%.0f req/s)@." fl.fl_single_ms
+          (rps fl.fl_single_ms);
+        Fmt.pr "  %d replicas: %9.2f ms  (%.0f req/s)@." fl.fl_replicas
+          fl.fl_fleet_ms (rps fl.fl_fleet_ms);
+        Fmt.pr "  speedup %.2fx on %d core%s; %d failed; %s@."
+          (fl.fl_single_ms /. fl.fl_fleet_ms)
+          cores
+          (if cores = 1 then "" else "s")
+          fl.fl_failed
+          (if fl.fl_identical then "analyze responses byte-identical"
+           else "ANALYZE RESPONSES DIFFER"))
     end;
     Fmt.epr "tsa: snapshot written to %s@." path
   in
   let doc =
     "Benchmark the analysis pipeline: time every model over N iterations with a \
      per-phase breakdown (load/unfold/simulate/backtrack), a jobs-scaling pass, \
-     and a what-if sweep workload (warm-start vs cold re-analysis), then write a \
-     dated JSON snapshot for regression tracking."
+     a what-if sweep workload (warm-start vs cold re-analysis) and a fleet_load \
+     serving-tier workload (1 vs 3 TCP replicas under a multi-threaded client), \
+     then write a dated JSON snapshot for regression tracking."
   in
   Cmd.v
     (Cmd.info "bench" ~doc)
@@ -1454,6 +2004,7 @@ let () =
             bench_cmd;
             serve_cmd;
             client_cmd;
+            fleet_cmd;
             simulate_cmd;
             diagram_cmd;
             cycles_cmd;

@@ -1,0 +1,335 @@
+(* The on-disk second tier under the in-memory Cache.  Layout: one
+   file per entry in a flat directory,
+
+     <md5-of-key>.tsc   ::=  "tsa-disk-cache/1 <md5-of-payload> <len>\n"
+                             <payload bytes>
+
+   published by atomic rename from a *.tmp.<pid> sibling.  The header
+   makes every read self-verifying; the rename makes every write
+   all-or-nothing; mtimes make eviction LRU.  See disk_cache.mli for
+   the contract. *)
+
+let magic = "tsa-disk-cache/1"
+let entry_suffix = ".tsc"
+let max_pending = 256
+
+type stats = {
+  dir : string;
+  capacity : int;
+  length : int;
+  hits : int;
+  misses : int;
+  writes : int;
+  evictions : int;
+  corrupt : int;
+  dropped : int;
+}
+
+type t = {
+  dc_dir : string;
+  dc_capacity : int;
+  prefix : string;
+  (* write-behind machinery *)
+  mutex : Mutex.t;
+  nonempty : Condition.t;  (* writer waits: queue has work or closing *)
+  drained : Condition.t;  (* flush waits: queue empty and writer idle *)
+  queue : (string * string) Queue.t;
+  mutable in_flight : bool;  (* the writer is persisting an entry *)
+  mutable closing : bool;
+  mutable writer : Thread.t option;
+  (* counters (Metrics gets process-wide copies under [prefix]) *)
+  mutable hits : int;
+  mutable misses : int;
+  mutable writes : int;
+  mutable evictions : int;
+  mutable corrupt : int;
+  mutable dropped : int;
+}
+
+let file_of_key t key =
+  Filename.concat t.dc_dir (Digest.to_hex (Digest.string key) ^ entry_suffix)
+
+let is_entry name = Filename.check_suffix name entry_suffix
+
+(* mkdir -p, ignoring races with concurrent replicas sharing the dir *)
+let rec mkdirs path =
+  if path = "" || path = "." || path = "/" || Sys.file_exists path then ()
+  else begin
+    mkdirs (Filename.dirname path);
+    try Unix.mkdir path 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+(* a *.tmp.* file is a write that never reached its rename — a crash
+   or an injected fault; sweep them so the directory holds only
+   complete entries *)
+let sweep_tmp dir =
+  Array.iter
+    (fun name ->
+      let is_tmp =
+        match String.index_opt name '.' with
+        | None -> false
+        | Some _ ->
+          (* <hex>.tsc.tmp.<pid> or any stray *.tmp.* *)
+          let rec has_tmp_part s =
+            match String.index_opt s '.' with
+            | None -> false
+            | Some i ->
+              let rest = String.sub s (i + 1) (String.length s - i - 1) in
+              String.length rest >= 3 && String.sub rest 0 3 = "tmp"
+              || has_tmp_part rest
+          in
+          has_tmp_part name
+      in
+      if is_tmp then
+        try Unix.unlink (Filename.concat dir name) with Unix.Unix_error _ -> ())
+    (try Sys.readdir dir with Sys_error _ -> [||])
+
+let scan_entries t =
+  Array.to_list (try Sys.readdir t.dc_dir with Sys_error _ -> [||])
+  |> List.filter is_entry
+
+let length t = List.length (scan_entries t)
+
+(* ------------------------------------------------------------------ *)
+(* Reads *)
+
+let read_entry path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      match input_line ic with
+      | exception End_of_file -> None
+      | header -> (
+        match String.split_on_char ' ' header with
+        | [ m; md5_hex; len_s ] when m = magic -> (
+          match int_of_string_opt len_s with
+          | Some len when len >= 0 && len <= in_channel_length ic -> (
+            let buf = Bytes.create len in
+            match really_input ic buf 0 len with
+            | exception End_of_file -> None
+            | () ->
+              let payload = Bytes.unsafe_to_string buf in
+              (* trailing garbage after the declared length is as
+                 disqualifying as a short file *)
+              if
+                pos_in ic = in_channel_length ic
+                && Digest.to_hex (Digest.string payload) = md5_hex
+              then Some payload
+              else None)
+          | _ -> None)
+        | _ -> None))
+
+let find t key =
+  if t.dc_capacity = 0 then begin
+    Mutex.lock t.mutex;
+    t.misses <- t.misses + 1;
+    Mutex.unlock t.mutex;
+    Metrics.incr (t.prefix ^ "/misses");
+    None
+  end
+  else begin
+    let t0 = Unix.gettimeofday () in
+    let path = file_of_key t key in
+    let result =
+      match read_entry path with
+      | Some _ as r ->
+        (* a hit is a use: refresh the mtime so LRU eviction spares it *)
+        (try Unix.utimes path 0. 0. with Unix.Unix_error _ -> ());
+        r
+      | None ->
+        (* verification failed on an existing file: corrupt — delete
+           it so the slot recomputes cleanly *)
+        Mutex.lock t.mutex;
+        t.corrupt <- t.corrupt + 1;
+        Mutex.unlock t.mutex;
+        Metrics.incr (t.prefix ^ "/corrupt");
+        (try Unix.unlink path with Unix.Unix_error _ -> ());
+        None
+      | exception Sys_error _ -> None  (* absent: the ordinary miss *)
+    in
+    Metrics.observe_ms (t.prefix ^ "/read_ms")
+      ((Unix.gettimeofday () -. t0) *. 1000.);
+    Mutex.lock t.mutex;
+    (match result with
+    | Some _ -> t.hits <- t.hits + 1
+    | None -> t.misses <- t.misses + 1);
+    Mutex.unlock t.mutex;
+    Metrics.incr
+      (t.prefix ^ match result with Some _ -> "/hits" | None -> "/misses");
+    result
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Writes (single writer thread) *)
+
+let evict_over_capacity t =
+  let entries = scan_entries t in
+  let over = List.length entries - t.dc_capacity in
+  if over > 0 then begin
+    let with_mtime =
+      List.filter_map
+        (fun name ->
+          let path = Filename.concat t.dc_dir name in
+          match Unix.stat path with
+          | st -> Some (st.Unix.st_mtime, path)
+          | exception Unix.Unix_error _ -> None)
+        entries
+    in
+    let oldest_first = List.sort compare with_mtime in
+    List.iteri
+      (fun i (_, path) ->
+        if i < over then begin
+          (try Unix.unlink path with Unix.Unix_error _ -> ());
+          Mutex.lock t.mutex;
+          t.evictions <- t.evictions + 1;
+          Mutex.unlock t.mutex;
+          Metrics.incr (t.prefix ^ "/evictions")
+        end)
+      oldest_first
+  end
+
+let write_entry t key value =
+  let t0 = Unix.gettimeofday () in
+  let path = file_of_key t key in
+  let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
+  match
+    let oc = open_out_bin tmp in
+    (try
+       Printf.fprintf oc "%s %s %d\n" magic
+         (Digest.to_hex (Digest.string value))
+         (String.length value);
+       output_string oc value;
+       flush oc
+     with exn ->
+       close_out_noerr oc;
+       raise exn);
+    close_out oc;
+    (* the crash window under test: a kill here leaves only the tmp
+       file, which the next create's sweep removes *)
+    Tsg_obs.Failpoint.hit "disk-cache/write";
+    Unix.rename tmp path
+  with
+  | () ->
+    Mutex.lock t.mutex;
+    t.writes <- t.writes + 1;
+    Mutex.unlock t.mutex;
+    Metrics.incr (t.prefix ^ "/writes");
+    Metrics.observe_ms (t.prefix ^ "/write_ms")
+      ((Unix.gettimeofday () -. t0) *. 1000.);
+    evict_over_capacity t
+  | exception Tsg_obs.Failpoint.Injected _ ->
+    (* simulated kill between write and publish: leave the tmp file
+       exactly as a real crash would *)
+    ()
+  | exception (Sys_error _ | Unix.Unix_error _) ->
+    (try Unix.unlink tmp with Unix.Unix_error _ -> ())
+
+let writer_loop t =
+  let rec loop () =
+    Mutex.lock t.mutex;
+    while Queue.is_empty t.queue && not t.closing do
+      Condition.wait t.nonempty t.mutex
+    done;
+    if Queue.is_empty t.queue && t.closing then begin
+      Condition.broadcast t.drained;
+      Mutex.unlock t.mutex
+    end
+    else begin
+      let key, value = Queue.pop t.queue in
+      t.in_flight <- true;
+      Mutex.unlock t.mutex;
+      (try write_entry t key value with _ -> ());
+      Mutex.lock t.mutex;
+      t.in_flight <- false;
+      if Queue.is_empty t.queue then Condition.broadcast t.drained;
+      Mutex.unlock t.mutex;
+      loop ()
+    end
+  in
+  loop ()
+
+let add t key value =
+  if t.dc_capacity > 0 then begin
+    Mutex.lock t.mutex;
+    if t.closing then Mutex.unlock t.mutex
+    else if Queue.length t.queue >= max_pending then begin
+      (* write-behind, not write-guaranteed: under a burst a dropped
+         write is only a future miss *)
+      t.dropped <- t.dropped + 1;
+      Mutex.unlock t.mutex;
+      Metrics.incr (t.prefix ^ "/dropped")
+    end
+    else begin
+      Queue.push (key, value) t.queue;
+      Condition.signal t.nonempty;
+      Mutex.unlock t.mutex
+    end
+  end
+
+let flush t =
+  Mutex.lock t.mutex;
+  while not (Queue.is_empty t.queue) || t.in_flight do
+    Condition.wait t.drained t.mutex
+  done;
+  Mutex.unlock t.mutex
+
+let stats t =
+  let len = length t in
+  Mutex.lock t.mutex;
+  let s =
+    {
+      dir = t.dc_dir;
+      capacity = t.dc_capacity;
+      length = len;
+      hits = t.hits;
+      misses = t.misses;
+      writes = t.writes;
+      evictions = t.evictions;
+      corrupt = t.corrupt;
+      dropped = t.dropped;
+    }
+  in
+  Mutex.unlock t.mutex;
+  s
+
+let close t =
+  flush t;
+  Mutex.lock t.mutex;
+  t.closing <- true;
+  Condition.broadcast t.nonempty;
+  let writer = t.writer in
+  t.writer <- None;
+  Mutex.unlock t.mutex;
+  match writer with Some th -> Thread.join th | None -> ()
+
+let dir t = t.dc_dir
+let capacity t = t.dc_capacity
+
+let create ?(metrics_prefix = "disk-cache") ?(capacity = 4096) ~dir () =
+  if capacity < 0 then invalid_arg "Disk_cache.create: capacity < 0";
+  mkdirs dir;
+  sweep_tmp dir;
+  let t =
+    {
+      dc_dir = dir;
+      dc_capacity = capacity;
+      prefix = metrics_prefix;
+      mutex = Mutex.create ();
+      nonempty = Condition.create ();
+      drained = Condition.create ();
+      queue = Queue.create ();
+      in_flight = false;
+      closing = false;
+      writer = None;
+      hits = 0;
+      misses = 0;
+      writes = 0;
+      evictions = 0;
+      corrupt = 0;
+      dropped = 0;
+    }
+  in
+  if capacity > 0 then t.writer <- Some (Thread.create writer_loop t);
+  t

@@ -1,0 +1,88 @@
+(** A digest-keyed, crash-safe, LRU-bounded on-disk cache.
+
+    The second tier under the in-memory {!Cache}: where that one dies
+    with the process, this directory of checksummed entries survives
+    restarts, so a replica that crashes (or a fleet that rolls) comes
+    back warm.  Keys are content addresses (the daemon uses
+    [Signal_graph.digest] plus the request parameters) and values are
+    the {e rendered response lines} — byte-identical by construction,
+    which is what makes sharing a cache directory between replicas
+    sound: any replica's answer is every replica's answer.
+
+    {b Crash safety.}  An entry is written to a temporary file in the
+    cache directory and published with an atomic [rename]: readers see
+    a complete entry or no entry, never a torn one.  A crash mid-write
+    leaves only a [*.tmp*] file, swept on the next {!create}.
+
+    {b Corruption tolerance.}  Every entry carries its payload's MD5
+    and length in a header line.  A truncated, bit-rotten or
+    hand-edited file fails verification on read: the entry is deleted,
+    [<prefix>/corrupt] is bumped, and the caller recomputes — a
+    corrupt cache costs time, never wrong answers.
+
+    {b Write-behind.}  {!add} enqueues; a single writer thread
+    persists entries off the request path.  {!flush} drains the queue
+    (tests and shutdown).  The queue is bounded: under a write burst
+    entries are dropped (counted in [<prefix>/dropped]) rather than
+    growing without bound — a dropped write is only a future miss.
+
+    Reads bump the entry's mtime, making eviction least-recently-{e
+    used}, not least-recently-written.  When the directory exceeds
+    [capacity] entries, the oldest-mtime entries are removed
+    ([<prefix>/evictions]).
+
+    Counters ([<prefix>/hits], [misses], [writes], [evictions],
+    [corrupt], [dropped]) and latency histograms ([<prefix>/read_ms],
+    [<prefix>/write_ms]) land in {!Metrics} under the
+    [metrics_prefix], default ["disk-cache"]. *)
+
+type t
+
+val create : ?metrics_prefix:string -> ?capacity:int -> dir:string -> unit -> t
+(** [create ~dir ()] opens (creating if needed) the cache directory
+    and sweeps stale [*.tmp*] files left by a crash.  [capacity]
+    (default 4096) bounds the number of entries; [0] disables storage
+    (every lookup misses, writes are discarded).
+    @raise Invalid_argument if [capacity < 0].
+    @raise Unix.Unix_error if the directory cannot be created. *)
+
+val dir : t -> string
+val capacity : t -> int
+
+val length : t -> int
+(** Entries currently on disk (a directory scan — O(entries)). *)
+
+val find : t -> string -> string option
+(** [find t key] reads and verifies the entry, bumping its mtime.
+    [None] — counted as a miss — covers absent, still-enqueued, and
+    corrupt (deleted on the spot, counted in [<prefix>/corrupt])
+    entries. *)
+
+val add : t -> string -> string -> unit
+(** [add t key value] enqueues the entry for the writer thread.
+    Returns immediately; the entry becomes visible to {!find} once
+    written and renamed.  Replacing an existing key is allowed (last
+    write wins). *)
+
+val flush : t -> unit
+(** Block until every entry enqueued so far is written (or dropped). *)
+
+type stats = {
+  dir : string;
+  capacity : int;
+  length : int;
+  hits : int;
+  misses : int;
+  writes : int;
+  evictions : int;
+  corrupt : int;
+  dropped : int;
+}
+
+val stats : t -> stats
+(** A snapshot of the per-cache counters and occupancy. *)
+
+val close : t -> unit
+(** {!flush}, then stop the writer thread.  Further {!add}s are
+    discarded; {!find} keeps working (reads never needed the
+    thread). *)

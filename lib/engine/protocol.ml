@@ -241,7 +241,7 @@ let member k = function
 (* ------------------------------------------------------------------ *)
 (* Requests                                                            *)
 
-let version = "tsa-rpc/2"
+let version = "tsa-rpc/3"
 
 type sweep_edit = { sw_arc : int; sw_delta : float }
 

@@ -29,9 +29,12 @@
     base model ([Tsg.Whatif]). *)
 
 val version : string
-(** The protocol version string, ["tsa-rpc/2"]: version 1 spoke
-    [analyze]/[batch]/[stats]/[shutdown]; version 2 added [sweep].
-    Servers report it in the [stats] response; additions are
+(** The protocol version string, ["tsa-rpc/3"]: version 1 spoke
+    [analyze]/[batch]/[stats]/[shutdown]; version 2 added [sweep];
+    version 3 added the TCP transport and the [transport]/[shard]/
+    [disk_cache] fields of the [stats] response (the request grammar
+    is unchanged — a v2 client can talk to a v3 daemon).  Servers
+    report it in the [stats] response; additions are
     backwards-compatible within a major version. *)
 
 (** {1 JSON values} *)

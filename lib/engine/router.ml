@@ -1,0 +1,246 @@
+(* Rendezvous-hashed shard routing over Server.call.  See router.mli
+   for the contract; the load-bearing property is determinism: every
+   process that knows the endpoint list computes the same home shard
+   for the same key, with no coordination and no shared state. *)
+
+type shard = {
+  sh_endpoint : Server.endpoint;
+  sh_name : string;  (* endpoint_to_string, also the hash salt *)
+  mutable sh_healthy : bool;
+  mutable sh_down_until : float;  (* half-open retry time when unhealthy *)
+  mutable sh_inflight : int;
+  mutable sh_served : int;
+  mutable sh_failed : int;
+}
+
+type t = {
+  shards : shard array;
+  prefix : string;
+  retries : int;
+  backoff_ms : float;
+  max_inflight : int;
+  cooldown_s : float;
+  mutex : Mutex.t;
+  mutable rt_requests : int;
+  mutable rt_rerouted : int;
+  mutable rt_failovers : int;
+}
+
+(* FNV-1a, 64-bit.  Not cryptographic — the keys are already MD5
+   digests — just a fast, well-mixed, stable score for rendezvous
+   ranking. *)
+let fnv1a64 (s : string) : int64 =
+  let open Int64 in
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := logxor !h (of_int (Char.code c));
+      h := mul !h 0x100000001b3L)
+    s;
+  !h
+
+let score key shard_name =
+  fnv1a64 (key ^ "\x00" ^ shard_name)
+
+let create ?(metrics_prefix = "router") ?(retries = 2) ?(backoff_ms = 50.)
+    ?(max_inflight = 64) ?(cooldown_s = 1.0) endpoints =
+  if endpoints = [] then invalid_arg "Router.create: no endpoints";
+  {
+    shards =
+      Array.of_list
+        (List.map
+           (fun ep ->
+             {
+               sh_endpoint = ep;
+               sh_name = Server.endpoint_to_string ep;
+               sh_healthy = true;
+               sh_down_until = 0.;
+               sh_inflight = 0;
+               sh_served = 0;
+               sh_failed = 0;
+             })
+           endpoints);
+    prefix = metrics_prefix;
+    retries;
+    backoff_ms;
+    max_inflight;
+    cooldown_s;
+    mutex = Mutex.create ();
+    rt_requests = 0;
+    rt_rerouted = 0;
+    rt_failovers = 0;
+  }
+
+let endpoints t = Array.to_list (Array.map (fun s -> s.sh_endpoint) t.shards)
+
+(* rendezvous: rank shards by descending score; unsigned comparison so
+   the top hash bit doesn't flip the order *)
+let rank t key =
+  Array.to_list t.shards
+  |> List.mapi (fun i s -> (Int64.add (score key s.sh_name) Int64.min_int, i))
+  |> List.sort (fun (a, _) (b, _) -> Int64.compare b a)
+  |> List.map snd
+
+let home t key = List.hd (rank t key)
+
+(* health transitions under the router mutex; the booking is advisory
+   (a stale read costs one extra failed attempt, not correctness) *)
+let mark_failed t i =
+  let s = t.shards.(i) in
+  Mutex.lock t.mutex;
+  s.sh_failed <- s.sh_failed + 1;
+  let was_healthy = s.sh_healthy in
+  s.sh_healthy <- false;
+  s.sh_down_until <- Unix.gettimeofday () +. t.cooldown_s;
+  Mutex.unlock t.mutex;
+  if was_healthy then Metrics.incr (t.prefix ^ "/unhealthy")
+
+let mark_ok t i =
+  let s = t.shards.(i) in
+  Mutex.lock t.mutex;
+  s.sh_healthy <- true;
+  s.sh_served <- s.sh_served + 1;
+  Mutex.unlock t.mutex
+
+(* admission: returns false when the shard is at max_inflight *)
+let try_acquire t i =
+  let s = t.shards.(i) in
+  Mutex.lock t.mutex;
+  let ok = s.sh_inflight < t.max_inflight in
+  if ok then s.sh_inflight <- s.sh_inflight + 1;
+  Mutex.unlock t.mutex;
+  ok
+
+let release t i =
+  let s = t.shards.(i) in
+  Mutex.lock t.mutex;
+  s.sh_inflight <- s.sh_inflight - 1;
+  Mutex.unlock t.mutex
+
+let skip_unhealthy t i ~now =
+  let s = t.shards.(i) in
+  (not s.sh_healthy) && now < s.sh_down_until
+
+let call_shard t i request =
+  let s = t.shards.(i) in
+  match
+    Server.call ~retries:t.retries ~backoff_ms:t.backoff_ms
+      ~endpoint:s.sh_endpoint [ request ]
+  with
+  | [ response ] -> Ok response
+  | _ -> Error "protocol error: response count mismatch"
+  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+  | exception Failure msg -> Error msg
+
+let route t ~key request =
+  let t0 = Unix.gettimeofday () in
+  Metrics.incr (t.prefix ^ "/requests");
+  Mutex.lock t.mutex;
+  t.rt_requests <- t.rt_requests + 1;
+  Mutex.unlock t.mutex;
+  let order = rank t key in
+  let home_shard = List.hd order in
+  (* pass 1 honours health marks; pass 2 (only reached when every
+     shard was skipped or failed) ignores them — half-open *)
+  let rec attempt ~respect_health ~last_error = function
+    | [] ->
+      if respect_health then
+        attempt ~respect_health:false ~last_error order
+      else begin
+        Metrics.incr (t.prefix ^ "/failed");
+        Error
+          (match last_error with
+          | Some e -> e
+          | None -> "no shard available (all saturated or down)")
+      end
+    | i :: rest -> (
+      let deadline = Deadline.current () in
+      if Deadline.expired deadline || Deadline.cancelled deadline then begin
+        Metrics.incr (t.prefix ^ "/failed");
+        Error (Deadline.error_message deadline)
+      end
+      else if respect_health && skip_unhealthy t i ~now:(Unix.gettimeofday ())
+      then attempt ~respect_health ~last_error rest
+      else if not (try_acquire t i) then
+        (* saturated: shed to the next shard, never queue *)
+        attempt ~respect_health ~last_error rest
+      else begin
+        let result =
+          Fun.protect ~finally:(fun () -> release t i) @@ fun () ->
+          call_shard t i request
+        in
+        match result with
+        | Ok response ->
+          mark_ok t i;
+          if i <> home_shard then begin
+            Mutex.lock t.mutex;
+            t.rt_rerouted <- t.rt_rerouted + 1;
+            Mutex.unlock t.mutex;
+            Metrics.incr (t.prefix ^ "/rerouted")
+          end;
+          Metrics.observe_ms (t.prefix ^ "/request_ms")
+            ((Unix.gettimeofday () -. t0) *. 1000.);
+          Ok response
+        | Error e ->
+          mark_failed t i;
+          Mutex.lock t.mutex;
+          t.rt_failovers <- t.rt_failovers + 1;
+          Mutex.unlock t.mutex;
+          Metrics.incr (t.prefix ^ "/failovers");
+          attempt ~respect_health ~last_error:(Some e) rest
+      end)
+  in
+  attempt ~respect_health:true ~last_error:None order
+
+let broadcast t request =
+  Array.to_list t.shards
+  |> List.mapi (fun i s ->
+         let result =
+           if try_acquire t i then
+             Fun.protect ~finally:(fun () -> release t i) @@ fun () ->
+             call_shard t i request
+           else Error "shard saturated"
+         in
+         (match result with Ok _ -> mark_ok t i | Error _ -> mark_failed t i);
+         (s.sh_endpoint, result))
+
+type shard_stats = {
+  endpoint : string;
+  healthy : bool;
+  inflight : int;
+  served : int;
+  failed : int;
+}
+
+type router_stats = {
+  requests : int;
+  rerouted : int;
+  failovers : int;
+  shards : shard_stats list;
+}
+
+let stats t =
+  Mutex.lock t.mutex;
+  let shards =
+    Array.to_list
+      (Array.map
+         (fun s ->
+           {
+             endpoint = s.sh_name;
+             healthy = s.sh_healthy;
+             inflight = s.sh_inflight;
+             served = s.sh_served;
+             failed = s.sh_failed;
+           })
+         t.shards)
+  in
+  let r =
+    {
+      requests = t.rt_requests;
+      rerouted = t.rt_rerouted;
+      failovers = t.rt_failovers;
+      shards;
+    }
+  in
+  Mutex.unlock t.mutex;
+  r

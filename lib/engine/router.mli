@@ -1,0 +1,93 @@
+(** A client-side shard router over replica daemons.
+
+    The serving tier's fan-out: N replicas of the daemon (Unix socket
+    or TCP, see {!Server.endpoint}) behind one [route] call.  Requests
+    carry a {e routing key} — the daemon's callers use
+    [Signal_graph.digest], the same content address the caches key on
+    — and the router sends each key to a stable {e home shard} via
+    rendezvous (highest-random-weight) hashing: every client, with the
+    same endpoint list, picks the same shard for the same key, so each
+    replica's in-memory cache concentrates on its own slice of the
+    keyspace.  Because responses are byte-identical by construction,
+    any replica can stand in for any other: when the home shard is
+    down or saturated the request {e reroutes} down the preference
+    order and the answer is the same bytes, just a colder cache.
+
+    {b Health.}  Tracking is passive: a shard whose connection fails
+    (after {!Server.call}'s own jittered retries) is marked unhealthy
+    and skipped for [cooldown_s]; after the cooldown the next request
+    tries it again (half-open) and a success restores it.  When every
+    shard is unhealthy the router ignores health rather than failing
+    outright — replicas that just restarted answer again.
+
+    {b Admission.}  [max_inflight] bounds this client's concurrent
+    requests {e per shard}; a saturated home shard reroutes instead of
+    queueing, and a fully saturated fleet returns [Error] — shedding,
+    per shard, as PR 5's daemon does per connection.  An ambient
+    {!Deadline} is honoured between attempts: a request that has run
+    out of budget stops failing over and reports [deadline_exceeded].
+
+    Counters under [<prefix>] (default ["router"]): [requests],
+    [rerouted] (answered by a shard other than the key's home),
+    [failovers] (attempts that moved on after a failure), [failed]
+    (requests with no shard left to try), [unhealthy] (health-mark
+    transitions), plus the [request_ms] latency histogram. *)
+
+type t
+
+val create :
+  ?metrics_prefix:string ->
+  ?retries:int ->
+  ?backoff_ms:float ->
+  ?max_inflight:int ->
+  ?cooldown_s:float ->
+  Server.endpoint list ->
+  t
+(** [create endpoints] builds a router over the replica list.
+    [retries] (default 2) and [backoff_ms] (default 50) are passed to
+    {!Server.call} per attempt; [max_inflight] (default 64) is the
+    per-shard concurrent-request bound; [cooldown_s] (default 1.0) is
+    how long a failed shard is skipped before a half-open retry.
+    @raise Invalid_argument on an empty endpoint list. *)
+
+val endpoints : t -> Server.endpoint list
+(** The replica list, in the order given to {!create} — shard [i] of
+    the counters and {!shard_stats} is [List.nth] of this list. *)
+
+val home : t -> string -> int
+(** [home t key] is the index of the key's home shard — the head of
+    the rendezvous preference order, ignoring health.  Deterministic
+    across processes: every client agrees. *)
+
+val rank : t -> string -> int list
+(** The full preference order for [key] (home first).  [route] tries
+    shards in exactly this order. *)
+
+val route : t -> key:string -> string -> (string, string) result
+(** [route t ~key request] sends the request line to the key's home
+    shard, failing over down {!rank} on connection failure or
+    saturation, and returns the response line.  [Error] carries a
+    human-readable reason ([deadline_exceeded], all-shards-saturated,
+    or the last connection error). *)
+
+val broadcast : t -> string -> (Server.endpoint * (string, string) result) list
+(** [broadcast t request] sends the request to {e every} shard
+    (health ignored) and pairs each endpoint with its outcome — for
+    [stats] aggregation and fleet-wide [shutdown]. *)
+
+type shard_stats = {
+  endpoint : string;  (** {!Server.endpoint_to_string} form *)
+  healthy : bool;
+  inflight : int;
+  served : int;  (** requests this shard answered *)
+  failed : int;  (** attempts this shard failed *)
+}
+
+type router_stats = {
+  requests : int;
+  rerouted : int;  (** served by a shard other than the key's home *)
+  failovers : int;
+  shards : shard_stats list;
+}
+
+val stats : t -> router_stats

@@ -29,6 +29,51 @@ let internal_error exn =
   error_line ~code:"internal" ("internal error: " ^ Printexc.to_string exn)
 
 (* ------------------------------------------------------------------ *)
+(* Transport endpoints.  The protocol is newline-JSON either way; the
+   only transport-specific parts are address resolution, the listening
+   socket's options, and whether there is a socket file to unlink. *)
+
+type endpoint = Unix_socket of string | Tcp of { host : string; port : int }
+
+let endpoint_of_string s =
+  match String.rindex_opt s ':' with
+  | Some i -> (
+    let host = String.sub s 0 i in
+    let port = String.sub s (i + 1) (String.length s - i - 1) in
+    match int_of_string_opt port with
+    | Some p when p >= 0 && p <= 65535 ->
+      Ok (Tcp { host = (if host = "" then "127.0.0.1" else host); port = p })
+    | Some p -> Error (Printf.sprintf "port %d out of range 0..65535" p)
+    (* a colon but no numeric port: a Unix path like ./odd:name *)
+    | None -> Ok (Unix_socket s))
+  | None -> Ok (Unix_socket s)
+
+let endpoint_to_string = function
+  | Unix_socket path -> path
+  | Tcp { host; port } -> Printf.sprintf "%s:%d" host port
+
+(* numeric first (no resolver in the common case), then the resolver
+   for names like "localhost" *)
+let inet_addr_of_host host =
+  match Unix.inet_addr_of_string host with
+  | addr -> addr
+  | exception Failure _ -> (
+    match (Unix.gethostbyname host).Unix.h_addr_list with
+    | [||] -> failwith (Printf.sprintf "host %S resolves to no address" host)
+    | addrs -> addrs.(0)
+    | exception Not_found -> failwith (Printf.sprintf "unknown host %S" host))
+
+let sockaddr_of_endpoint = function
+  | Unix_socket path -> Unix.ADDR_UNIX path
+  | Tcp { host; port } -> Unix.ADDR_INET (inet_addr_of_host host, port)
+
+let socket_of_endpoint ep =
+  let domain =
+    match ep with Unix_socket _ -> Unix.PF_UNIX | Tcp _ -> Unix.PF_INET
+  in
+  Unix.socket domain Unix.SOCK_STREAM 0
+
+(* ------------------------------------------------------------------ *)
 (* Bounded, timeout-aware line framing over a raw descriptor.
 
    Buffered channels ([input_line]) would block forever on a client
@@ -206,20 +251,33 @@ let handle_connection ~stop ~active ~handler ~max_request_bytes conns id fd =
 
 let serve ?(backlog = 16) ?(max_connections = 64) ?(max_request_bytes = 1 lsl 20)
     ?(read_timeout_s = 30.) ?(write_timeout_s = 30.) ?(drain_timeout_s = 5.) ?stop
-    ~socket ~handler () =
+    ?on_ready ~endpoint ~handler () =
   (* without this, the first write to a client that already closed its
      socket delivers SIGPIPE and kills the whole daemon; ignored, the
      write surfaces as EPIPE and the connection ends quietly *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ | Sys_error _ -> ());
-  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  (try Unix.unlink socket with Unix.Unix_error _ -> ());
+  let listen_fd = socket_of_endpoint endpoint in
+  (match endpoint with
+  | Unix_socket path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+  | Tcp _ -> Unix.setsockopt listen_fd Unix.SO_REUSEADDR true);
   (try
-     Unix.bind listen_fd (Unix.ADDR_UNIX socket);
+     Unix.bind listen_fd (sockaddr_of_endpoint endpoint);
      Unix.listen listen_fd backlog
    with exn ->
      (try Unix.close listen_fd with Unix.Unix_error _ -> ());
      raise exn);
+  (* the endpoint as actually bound: for Tcp {port = 0} the kernel
+     picked the port, and callers need it to reach us *)
+  let bound_endpoint =
+    match endpoint with
+    | Unix_socket _ -> endpoint
+    | Tcp { host; _ } -> (
+      match Unix.getsockname listen_fd with
+      | Unix.ADDR_INET (_, port) -> Tcp { host; port }
+      | _ -> endpoint)
+  in
+  (match on_ready with Some f -> f bound_endpoint | None -> ());
   let stop = match stop with Some s -> s | None -> Atomic.make false in
   let active = Atomic.make 0 in
   let conns = { mutex = Mutex.create (); tbl = Hashtbl.create 8; next_id = 0 } in
@@ -240,7 +298,12 @@ let serve ?(backlog = 16) ?(max_connections = 64) ?(max_request_bytes = 1 lsl 20
   in
   let configure_client fd =
     if read_timeout_s > 0. then Unix.setsockopt_float fd Unix.SO_RCVTIMEO read_timeout_s;
-    if write_timeout_s > 0. then Unix.setsockopt_float fd Unix.SO_SNDTIMEO write_timeout_s
+    if write_timeout_s > 0. then Unix.setsockopt_float fd Unix.SO_SNDTIMEO write_timeout_s;
+    (* one-line request/response traffic must not wait on Nagle *)
+    match endpoint with
+    | Tcp _ -> (
+      try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ())
+    | Unix_socket _ -> ()
   in
   (* admission control: past the connection limit a client gets a
      structured refusal instead of silently queueing behind the
@@ -315,15 +378,23 @@ let serve ?(backlog = 16) ?(max_connections = 64) ?(max_request_bytes = 1 lsl 20
       (* unblock any thread still waiting on its client, then join *)
       shutdown_all conns;
       List.iter (fun (t, _) -> Thread.join t) !threads;
-      try Unix.unlink socket with Unix.Unix_error _ -> ())
+      match endpoint with
+      | Unix_socket path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+      | Tcp _ -> ())
     accept_loop
 
 let jitter_state = lazy (Random.State.make_self_init ())
 
-let call ?(retries = 0) ?(backoff_ms = 50.) ~socket requests =
+let call ?(retries = 0) ?(backoff_ms = 50.) ~endpoint requests =
   let attempt () =
-    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-    (try Unix.connect fd (Unix.ADDR_UNIX socket)
+    let fd = socket_of_endpoint endpoint in
+    (try
+       Unix.connect fd (sockaddr_of_endpoint endpoint);
+       match endpoint with
+       | Tcp _ -> (
+         try Unix.setsockopt fd Unix.TCP_NODELAY true
+         with Unix.Unix_error _ -> ())
+       | Unix_socket _ -> ()
      with exn ->
        (try Unix.close fd with Unix.Unix_error _ -> ());
        raise exn);

@@ -1,11 +1,15 @@
-(** A long-running analysis daemon over a Unix-domain socket.
+(** A long-running analysis daemon over a Unix-domain socket or TCP.
 
     One `tsa` invocation pays process start-up, model parsing and a
     full [O(b^2 m)] analysis for every query.  The daemon keeps the
     process — its {!Pool} of domains, its {!Cache} of results, its
     warmed allocator — alive between queries: clients connect to a
-    filesystem socket, write one JSON request per line, and read one
-    JSON response per line (see {!Protocol} for the request grammar).
+    filesystem socket or a TCP port, write one JSON request per line,
+    and read one JSON response per line (see {!Protocol} for the
+    request grammar).  The framing is transport-independent: a fleet
+    of TCP replicas speaks byte-for-byte the same protocol as the
+    single-machine Unix socket, which is what lets {!Router} shard
+    requests across them.
 
     The server is transport only: it owns sockets, threads and
     framing, while the meaning of a request line is delegated to the
@@ -33,6 +37,21 @@ type reply =
           the active ones and make {!serve} return — the [shutdown]
           request *)
 
+type endpoint =
+  | Unix_socket of string  (** a filesystem socket path *)
+  | Tcp of { host : string; port : int }
+      (** a TCP listening address; [port = 0] asks the kernel for a
+          free port (reported via [on_ready]) *)
+
+val endpoint_of_string : string -> (endpoint, string) result
+(** [endpoint_of_string s] parses [HOST:PORT] (numeric port) as
+    {!Tcp} and anything else as a {!Unix_socket} path.  [:PORT] binds
+    to the loopback address.  An out-of-range port is an [Error]. *)
+
+val endpoint_to_string : endpoint -> string
+(** Round-trips {!endpoint_of_string}: [host:port] for TCP, the bare
+    path for a Unix socket. *)
+
 val serve :
   ?backlog:int ->
   ?max_connections:int ->
@@ -41,14 +60,21 @@ val serve :
   ?write_timeout_s:float ->
   ?drain_timeout_s:float ->
   ?stop:bool Atomic.t ->
-  socket:string ->
+  ?on_ready:(endpoint -> unit) ->
+  endpoint:endpoint ->
   handler:(string -> reply) ->
   unit ->
   unit
-(** [serve ~socket ~handler ()] binds [socket] (an existing socket
-    file at that path is replaced), accepts clients and blocks until a
-    handler returns {!Final} — or until [stop] is set.  [backlog]
-    (default 16) is the listen queue length.
+(** [serve ~endpoint ~handler ()] binds [endpoint] — replacing an
+    existing socket file for {!Unix_socket}, with [SO_REUSEADDR] for
+    {!Tcp} — accepts clients and blocks until a handler returns
+    {!Final} — or until [stop] is set.  [backlog] (default 16) is the
+    listen queue length.  [on_ready] (if given) is called exactly once,
+    after [listen] succeeds, with the {e actual} bound endpoint: for
+    [Tcp {port = 0}] this carries the kernel-chosen port, which is how
+    tests and {!Router} drills obtain collision-free addresses.
+    Accepted TCP connections get [TCP_NODELAY] (one-line
+    request/response traffic must not wait on Nagle).
 
     For every request line the handler's reply is written back
     followed by a newline; replies must therefore be single-line (the
@@ -84,12 +110,16 @@ val serve :
     The counters [server/connections] and [server/requests] and the
     latency histogram [server/request_ms] in {!Metrics} track traffic.
 
-    On return the socket file has been removed.
+    On return a Unix socket file has been removed.
     @raise Unix.Unix_error if the socket cannot be created or bound. *)
 
 val call :
-  ?retries:int -> ?backoff_ms:float -> socket:string -> string list -> string list
-(** [call ~socket requests] connects to a serving daemon, sends each
+  ?retries:int ->
+  ?backoff_ms:float ->
+  endpoint:endpoint ->
+  string list ->
+  string list
+(** [call ~endpoint requests] connects to a serving daemon, sends each
     request line in turn — writing one line, then reading its response
     line — and returns the responses in order.  Raises [Failure] if
     the server closes the connection before answering everything.

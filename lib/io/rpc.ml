@@ -25,12 +25,34 @@ let cache_stats_obj (s : Tsg_engine.Cache.stats) =
       ("evictions", Int s.Tsg_engine.Cache.evictions);
     ]
 
-let stats_response ?cache () =
+let disk_cache_stats_obj (s : Tsg_engine.Disk_cache.stats) =
+  Obj
+    [
+      ("dir", String s.Tsg_engine.Disk_cache.dir);
+      ("capacity", Int s.Tsg_engine.Disk_cache.capacity);
+      ("length", Int s.Tsg_engine.Disk_cache.length);
+      ("hits", Int s.Tsg_engine.Disk_cache.hits);
+      ("misses", Int s.Tsg_engine.Disk_cache.misses);
+      ("writes", Int s.Tsg_engine.Disk_cache.writes);
+      ("evictions", Int s.Tsg_engine.Disk_cache.evictions);
+      ("corrupt", Int s.Tsg_engine.Disk_cache.corrupt);
+      ("dropped", Int s.Tsg_engine.Disk_cache.dropped);
+    ]
+
+let stats_response ?cache ?disk_cache ?transport ?shard () =
   ok
     (("protocol", String Tsg_engine.Protocol.version)
-    :: ("metrics", Json_report.metrics_obj ())
-    :: ("latency", Json_report.histograms_obj ())
-    :: (match cache with Some s -> [ ("cache", cache_stats_obj s) ] | None -> []))
+    :: (match transport with
+       | Some tr -> [ ("transport", String tr) ]
+       | None -> [])
+    @ (match shard with Some sh -> [ ("shard", String sh) ] | None -> [])
+    @ ("metrics", Json_report.metrics_obj ())
+      :: ("latency", Json_report.histograms_obj ())
+      :: (match cache with Some s -> [ ("cache", cache_stats_obj s) ] | None -> [])
+    @
+    match disk_cache with
+    | Some s -> [ ("disk_cache", disk_cache_stats_obj s) ]
+    | None -> [])
 
 (* ------------------------------------------------------------------ *)
 (* Sweeps                                                              *)

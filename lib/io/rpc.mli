@@ -30,14 +30,25 @@ val batch_response :
     summary of {!Json_report.batch_items}: per-item [status], model
     size, cycle time and critical cycles, or the item's error. *)
 
-val stats_response : ?cache:Tsg_engine.Cache.stats -> unit -> string
-(** [{"status":"ok","protocol":"tsa-rpc/2","metrics":[...],
-    "latency":[...],"cache":{...}}]: the protocol version
-    ({!Tsg_engine.Protocol.version}), the current
-    {!Tsg_engine.Metrics} snapshot, the latency histograms
-    ({!Json_report.histograms_obj} — the daemon's [server/request_ms]
-    series carries request p50/p95/p99) and, when given, the server
-    cache's occupancy and hit/miss/eviction counts. *)
+val stats_response :
+  ?cache:Tsg_engine.Cache.stats ->
+  ?disk_cache:Tsg_engine.Disk_cache.stats ->
+  ?transport:string ->
+  ?shard:string ->
+  unit ->
+  string
+(** [{"status":"ok","protocol":"tsa-rpc/3","transport":"tcp",
+    "shard":"127.0.0.1:7601","metrics":[...],"latency":[...],
+    "cache":{...},"disk_cache":{...}}]: the protocol version
+    ({!Tsg_engine.Protocol.version}); the serving transport (["unix"]
+    or ["tcp"]) and this replica's shard identity (its bound endpoint)
+    when serving; the current {!Tsg_engine.Metrics} snapshot; the
+    latency histograms ({!Json_report.histograms_obj} — the daemon's
+    [server/request_ms] series carries request p50/p95/p99); and, when
+    given, each cache tier's occupancy and hit/miss/eviction counts
+    ([disk_cache] additionally reports [writes], [corrupt] and
+    [dropped]).  [transport]/[shard] let a fleet client tell its
+    replicas apart from one [stats] broadcast. *)
 
 type sweep_item = {
   edits : (int * float) list;  (** the scenario, as (arc id, delta) pairs *)

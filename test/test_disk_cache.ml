@@ -1,0 +1,205 @@
+(* The on-disk second-tier cache: round-trips, restart survival,
+   crash-safety of the tmp-then-rename publish (driven through the
+   disk-cache/write failpoint), corruption tolerance, the LRU bound,
+   and the byte-identity law against cold analyses. *)
+
+open Tsg
+open Tsg_engine
+
+let dir_counter = ref 0
+
+let fresh_dir () =
+  incr dir_counter;
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "tsa-test-dc-%d-%d" (Unix.getpid ()) !dir_counter)
+  in
+  (* Disk_cache.create mkdirs it; start from a clean slate *)
+  (try
+     Array.iter
+       (fun f -> try Unix.unlink (Filename.concat dir f) with Unix.Unix_error _ -> ())
+       (Sys.readdir dir)
+   with Sys_error _ -> ());
+  dir
+
+let with_cache ?capacity f =
+  let dir = fresh_dir () in
+  let dc = Disk_cache.create ~metrics_prefix:"test-dc" ?capacity ~dir () in
+  Fun.protect ~finally:(fun () -> Disk_cache.close dc) (fun () -> f dir dc)
+
+(* the entry layout is part of the on-disk contract (disk_cache.ml);
+   the corruption tests write to entry files directly *)
+let entry_path dir key = Filename.concat dir (Digest.to_hex (Digest.string key) ^ ".tsc")
+
+let add_sync dc key value =
+  Disk_cache.add dc key value;
+  Disk_cache.flush dc
+
+(* ------------------------------------------------------------------ *)
+
+let test_round_trip () =
+  with_cache @@ fun _dir dc ->
+  Alcotest.(check (option string)) "cold lookup misses" None (Disk_cache.find dc "k1");
+  add_sync dc "k1" "payload one";
+  add_sync dc "k2" (String.make 4096 'x');
+  Alcotest.(check (option string))
+    "k1 served back byte-identical" (Some "payload one") (Disk_cache.find dc "k1");
+  Alcotest.(check (option string))
+    "large payload intact"
+    (Some (String.make 4096 'x'))
+    (Disk_cache.find dc "k2");
+  let s = Disk_cache.stats dc in
+  Alcotest.(check int) "two entries on disk" 2 s.Disk_cache.length;
+  Alcotest.(check int) "two writes" 2 s.Disk_cache.writes;
+  Alcotest.(check int) "two hits" 2 s.Disk_cache.hits;
+  Alcotest.(check int) "one miss" 1 s.Disk_cache.misses;
+  Alcotest.(check int) "nothing corrupt" 0 s.Disk_cache.corrupt
+
+let test_survives_restart () =
+  let dir = fresh_dir () in
+  let dc = Disk_cache.create ~metrics_prefix:"test-dc" ~dir () in
+  add_sync dc "persistent" "survives the daemon";
+  Disk_cache.close dc;
+  (* a new instance over the same directory — a restarted replica *)
+  let dc2 = Disk_cache.create ~metrics_prefix:"test-dc" ~dir () in
+  Fun.protect
+    ~finally:(fun () -> Disk_cache.close dc2)
+    (fun () ->
+      Alcotest.(check (option string))
+        "entry visible after restart" (Some "survives the daemon")
+        (Disk_cache.find dc2 "persistent"))
+
+let test_crash_mid_write_leaves_no_partial_entry () =
+  let dir = fresh_dir () in
+  let dc = Disk_cache.create ~metrics_prefix:"test-dc" ~dir () in
+  (* the failpoint fires between the tmp write and the rename — the
+     worst possible kill point *)
+  Tsg_obs.Failpoint.activate ~times:1 "disk-cache/write";
+  Fun.protect
+    ~finally:(fun () -> Tsg_obs.Failpoint.deactivate "disk-cache/write")
+    (fun () -> add_sync dc "doomed" "never published");
+  Alcotest.(check (option string))
+    "the interrupted write is invisible" None (Disk_cache.find dc "doomed");
+  Alcotest.(check int) "no entry file appeared" 0 (Disk_cache.length dc);
+  let tmp_left =
+    Array.exists
+      (fun f -> not (Filename.check_suffix f ".tsc"))
+      (Sys.readdir dir)
+  in
+  Alcotest.(check bool) "the orphaned tmp file is still there" true tmp_left;
+  Disk_cache.close dc;
+  (* restart: the startup sweep removes the orphan, and the slot is
+     writable again *)
+  let dc2 = Disk_cache.create ~metrics_prefix:"test-dc" ~dir () in
+  Fun.protect
+    ~finally:(fun () -> Disk_cache.close dc2)
+    (fun () ->
+      Alcotest.(check (array string))
+        "startup sweep removed the orphan" [||] (Sys.readdir dir);
+      add_sync dc2 "doomed" "published this time";
+      Alcotest.(check (option string))
+        "the slot recovered" (Some "published this time")
+        (Disk_cache.find dc2 "doomed"))
+
+let test_corrupt_entries_recompute () =
+  with_cache @@ fun dir dc ->
+  let corrupt_before = Metrics.count "test-dc/corrupt" in
+  (* truncated payload *)
+  add_sync dc "truncated" "a payload that will lose its tail";
+  let path = entry_path dir "truncated" in
+  Unix.truncate path ((Unix.stat path).Unix.st_size / 2);
+  Alcotest.(check (option string))
+    "truncated entry reads as a miss" None (Disk_cache.find dc "truncated");
+  Alcotest.(check bool) "truncated file deleted" false (Sys.file_exists path);
+  (* flipped payload byte: header md5 no longer matches *)
+  add_sync dc "flipped" "some payload whose bytes get flipped";
+  let path = entry_path dir "flipped" in
+  let fd = Unix.openfile path [ Unix.O_WRONLY ] 0 in
+  ignore (Unix.lseek fd ((Unix.stat path).Unix.st_size - 1) Unix.SEEK_SET);
+  ignore (Unix.write_substring fd "?" 0 1);
+  Unix.close fd;
+  Alcotest.(check (option string))
+    "flipped entry reads as a miss" None (Disk_cache.find dc "flipped");
+  (* outright garbage where an entry should be *)
+  let path = entry_path dir "garbage" in
+  let oc = open_out_bin path in
+  output_string oc "not a cache entry at all\n\000\001\002";
+  close_out oc;
+  Alcotest.(check (option string))
+    "garbage entry reads as a miss" None (Disk_cache.find dc "garbage");
+  let s = Disk_cache.stats dc in
+  Alcotest.(check int) "three corruptions detected" 3 s.Disk_cache.corrupt;
+  Alcotest.(check int)
+    "disk-cache/corrupt counted each one" (corrupt_before + 3)
+    (Metrics.count "test-dc/corrupt");
+  Alcotest.(check int) "corrupt files all deleted" 0 s.Disk_cache.length
+
+let test_lru_bound () =
+  with_cache ~capacity:3 @@ fun dir dc ->
+  (* stat mtime has one-second granularity on some filesystems; pin
+     each entry's age explicitly so the LRU order is deterministic *)
+  let keys = [ "e1"; "e2"; "e3"; "e4"; "e5" ] in
+  List.iteri
+    (fun i key ->
+      add_sync dc key ("value of " ^ key);
+      let age = float_of_int (1_000_000 + (i * 100)) in
+      Unix.utimes (entry_path dir key) age age)
+    keys;
+  let s = Disk_cache.stats dc in
+  Alcotest.(check int) "capacity held" 3 s.Disk_cache.length;
+  Alcotest.(check int) "two evictions" 2 s.Disk_cache.evictions;
+  Alcotest.(check (option string)) "oldest gone" None (Disk_cache.find dc "e1");
+  Alcotest.(check (option string)) "next-oldest gone" None (Disk_cache.find dc "e2");
+  Alcotest.(check (option string))
+    "youngest survive" (Some "value of e5") (Disk_cache.find dc "e5");
+  (* a hit refreshes the mtime, so e3 outlives the younger e4 *)
+  ignore (Disk_cache.find dc "e3");
+  add_sync dc "e6" "value of e6";
+  Alcotest.(check (option string))
+    "recently-used entry spared" (Some "value of e3") (Disk_cache.find dc "e3");
+  Alcotest.(check (option string)) "least-recently-used evicted" None
+    (Disk_cache.find dc "e4")
+
+let test_zero_capacity_disables_storage () =
+  with_cache ~capacity:0 @@ fun dir dc ->
+  Disk_cache.add dc "k" "v";
+  Disk_cache.flush dc;
+  Alcotest.(check (option string)) "nothing stored" None (Disk_cache.find dc "k");
+  Alcotest.(check (array string)) "directory untouched" [||] (Sys.readdir dir)
+
+(* the soundness law behind the disk tier: a response served from disk
+   is byte-identical to the response a cold analysis would render *)
+let qcheck_disk_hits_match_cold_analyses =
+  Helpers.qcheck_case ~count:40 ~name:"disk-cache hits == cold analyses (bytes)"
+    (fun g ->
+      let render g =
+        Tsg_io.Rpc.analyze_response ~model:"law" g (Cycle_time.analyze g)
+      in
+      let dir = fresh_dir () in
+      let dc = Disk_cache.create ~metrics_prefix:"test-dc-law" ~dir () in
+      Fun.protect
+        ~finally:(fun () -> Disk_cache.close dc)
+        (fun () ->
+          let key = Signal_graph.digest g in
+          add_sync dc key (render g);
+          match Disk_cache.find dc key with
+          | None -> QCheck2.Test.fail_report "stored entry did not read back"
+          | Some served ->
+            if served <> render g then
+              QCheck2.Test.fail_report "disk-cache bytes differ from a cold analysis";
+            true))
+
+let suite =
+  [
+    Alcotest.test_case "round-trip through the directory" `Quick test_round_trip;
+    Alcotest.test_case "entries survive a restart" `Quick test_survives_restart;
+    Alcotest.test_case "kill mid-write leaves no partial entry" `Quick
+      test_crash_mid_write_leaves_no_partial_entry;
+    Alcotest.test_case "corrupt entries recompute cleanly" `Quick
+      test_corrupt_entries_recompute;
+    Alcotest.test_case "LRU bound holds and hits refresh" `Quick test_lru_bound;
+    Alcotest.test_case "capacity 0 disables storage" `Quick
+      test_zero_capacity_disables_storage;
+    qcheck_disk_hits_match_cold_analyses;
+  ]

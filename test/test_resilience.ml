@@ -9,6 +9,11 @@ open Tsg_engine
 let benchmarks_dir = try Sys.getenv "BENCHMARKS" with Not_found -> "../benchmarks"
 let bench file = Filename.concat benchmarks_dir file
 
+(* every scenario here drives the Unix transport; TCP behaviour is
+   covered by test_server.ml and test_router.ml *)
+let call ?retries ?backoff_ms ~socket requests =
+  Server.call ?retries ?backoff_ms ~endpoint:(Server.Unix_socket socket) requests
+
 let contains hay needle =
   let n = String.length needle and len = String.length hay in
   let found = ref false in
@@ -407,8 +412,8 @@ let with_hardened_server ?max_connections ?max_request_bytes ?read_timeout_s
     Thread.create
       (fun () ->
         Server.serve ?max_connections ?max_request_bytes ?read_timeout_s
-          ?write_timeout_s ~drain_timeout_s:2. ?stop ~socket
-          ~handler:(make_handler cache) ())
+          ?write_timeout_s ~drain_timeout_s:2. ?stop
+          ~endpoint:(Server.Unix_socket socket) ~handler:(make_handler cache) ())
       ()
   in
   wait_for (fun () -> Sys.file_exists socket);
@@ -418,7 +423,7 @@ let with_hardened_server ?max_connections ?max_request_bytes ?read_timeout_s
      its thread winds down) — keep asking until the daemon goes *)
   let rec stop_daemon attempts =
     if attempts > 0 && Sys.file_exists socket then
-      match Server.call ~socket [ {|{"op":"shutdown"}|} ] with
+      match call ~socket [ {|{"op":"shutdown"}|} ] with
       | [ reply ] when contains reply {|"status":"ok"|} -> ()
       | _ ->
         Unix.sleepf 0.05;
@@ -466,7 +471,7 @@ let test_oversized_request_rejected () =
   with_hardened_server ~max_request_bytes:256 @@ fun ~socket ->
   let rejected_before = Metrics.count "server/rejected" in
   let big = analyze_req (String.make 4096 'x') in
-  (match Server.call ~socket [ big ] with
+  (match call ~socket [ big ] with
   | [ reply ] ->
     let j = parse_response reply in
     Alcotest.(check string) "status" "error" (field "status" j);
@@ -480,7 +485,7 @@ let test_oversized_request_rejected () =
   Alcotest.(check bool) "rejection counted" true
     (Metrics.count "server/rejected" > rejected_before);
   (* the daemon is unharmed *)
-  match Server.call ~socket [ analyze_req (bench "fig1.g") ] with
+  match call ~socket [ analyze_req (bench "fig1.g") ] with
   | [ reply ] -> expect_ok "still serving" reply
   | _ -> Alcotest.fail "daemon unusable after an oversized request"
 
@@ -499,7 +504,7 @@ let test_slow_loris_times_out () =
   | None -> Alcotest.fail "connection dropped without the structured goodbye");
   Alcotest.(check bool) "timeout counted" true
     (Metrics.count "server/timeouts" > timeouts_before);
-  match Server.call ~socket [ analyze_req (bench "fig1.g") ] with
+  match call ~socket [ analyze_req (bench "fig1.g") ] with
   | [ reply ] -> expect_ok "still serving" reply
   | _ -> Alcotest.fail "daemon unusable after a slow client"
 
@@ -522,7 +527,7 @@ let test_admission_limit_overloaded () =
   let attempts = ref 0 in
   while (not !served) && !attempts < 50 do
     incr attempts;
-    match Server.call ~socket [ analyze_req (bench "fig1.g") ] with
+    match call ~socket [ analyze_req (bench "fig1.g") ] with
     | [ reply ] when field "status" (parse_response reply) = "ok" -> served := true
     | _ | (exception Failure _) | (exception Unix.Unix_error _) -> Unix.sleepf 0.05
   done;
@@ -535,7 +540,7 @@ let test_mid_request_disconnect_is_harmless () =
     ignore (Unix.write_substring fd "{\"op\":\"analy" 0 12);
     Unix.close fd
   done;
-  match Server.call ~socket [ analyze_req (bench "fig1.g") ] with
+  match call ~socket [ analyze_req (bench "fig1.g") ] with
   | [ reply ] -> expect_ok "still serving after 5 rude clients" reply
   | _ -> Alcotest.fail "daemon unusable after disconnecting clients"
 
@@ -546,7 +551,7 @@ let test_accept_survives_emfile () =
   Tsg_obs.Failpoint.activate ~times:2 "server/accept-emfile";
   (* the accept loop eats two injected EMFILEs, backs off, and still
      admits us — the client only sees added latency *)
-  (match Server.call ~socket [ analyze_req (bench "fig1.g") ] with
+  (match call ~socket [ analyze_req (bench "fig1.g") ] with
   | [ reply ] -> expect_ok "served" reply
   | _ -> Alcotest.fail "daemon unusable under fd pressure");
   Alcotest.(check bool) "backoff counted" true
@@ -557,7 +562,7 @@ let test_server_requests_survive_injection () =
   with_hardened_server @@ fun ~socket ->
   Tsg_obs.Failpoint.activate ~times:1 "server/request";
   (match
-     Server.call ~socket [ analyze_req (bench "fig1.g"); analyze_req (bench "fig1.g") ]
+     call ~socket [ analyze_req (bench "fig1.g"); analyze_req (bench "fig1.g") ]
    with
   | [ injected; healthy ] ->
     let j = parse_response injected in
@@ -567,7 +572,7 @@ let test_server_requests_survive_injection () =
   | other -> Alcotest.failf "expected two replies, got %d" (List.length other));
   (* and an injected cache fault surfaces as internal, not a crash *)
   Tsg_obs.Failpoint.activate ~times:1 "cache/lookup";
-  match Server.call ~socket [ analyze_req (bench "ring5.g") ] with
+  match call ~socket [ analyze_req (bench "ring5.g") ] with
   | [ reply ] ->
     let j = parse_response reply in
     Alcotest.(check string) "cache fault is structured" "error" (field "status" j);
@@ -578,7 +583,7 @@ let test_rpc_timeout_ms () =
   with_hardened_server @@ fun ~socket ->
   let tight = analyze_req ~timeout_ms:0.001 (bench "stack66.g") in
   let unbounded = analyze_req (bench "stack66.g") in
-  match Server.call ~socket [ tight; unbounded ] with
+  match call ~socket [ tight; unbounded ] with
   | [ timed_out; served ] ->
     let j = parse_response timed_out in
     Alcotest.(check string) "status" "error" (field "status" j);
@@ -591,7 +596,7 @@ let test_rpc_timeout_ms () =
 let test_external_stop_drains () =
   let stop = Atomic.make false in
   with_hardened_server ~stop @@ fun ~socket ->
-  (match Server.call ~socket [ analyze_req (bench "fig1.g") ] with
+  (match call ~socket [ analyze_req (bench "fig1.g") ] with
   | [ reply ] -> expect_ok "served" reply
   | _ -> Alcotest.fail "expected one reply");
   (* what the SIGTERM handler does *)
@@ -607,17 +612,18 @@ let test_call_retries_until_daemon_appears () =
       (fun () ->
         (* the daemon shows up late; a retrying client rides it out *)
         Unix.sleepf 0.2;
-        Server.serve ~socket ~handler:(make_handler cache) ())
+        Server.serve ~endpoint:(Server.Unix_socket socket)
+          ~handler:(make_handler cache) ())
       ()
   in
   Fun.protect
     ~finally:(fun () ->
-      (try ignore (Server.call ~retries:5 ~socket [ {|{"op":"shutdown"}|} ])
+      (try ignore (call ~retries:5 ~socket [ {|{"op":"shutdown"}|} ])
        with Unix.Unix_error _ | Failure _ -> ());
       Thread.join server)
     (fun () ->
       match
-        Server.call ~retries:10 ~backoff_ms:20. ~socket [ analyze_req (bench "fig1.g") ]
+        call ~retries:10 ~backoff_ms:20. ~socket [ analyze_req (bench "fig1.g") ]
       with
       | [ reply ] -> expect_ok "retried through ENOENT/ECONNREFUSED" reply
       | other -> Alcotest.failf "expected one reply, got %d" (List.length other))

@@ -9,6 +9,11 @@ open Tsg_engine
 let benchmarks_dir = try Sys.getenv "BENCHMARKS" with Not_found -> "../benchmarks"
 let bench file = Filename.concat benchmarks_dir file
 
+(* these tests drive the Unix transport; TCP has its own cases below
+   and in test_router.ml *)
+let call ?retries ?backoff_ms ~socket requests =
+  Server.call ?retries ?backoff_ms ~endpoint:(Server.Unix_socket socket) requests
+
 (* the same composition as `tsa serve`: loader -> digest -> cache ->
    analysis -> Rpc encoders *)
 let make_handler cache =
@@ -78,7 +83,12 @@ let with_server f =
       (Printf.sprintf "tsa-test-%d-%d.sock" (Unix.getpid ()) !socket_counter)
   in
   let cache = Cache.create ~metrics_prefix:"test-server" ~capacity:32 () in
-  let server = Thread.create (fun () -> Server.serve ~socket ~handler:(make_handler cache) ()) () in
+  let server =
+    Thread.create
+      (fun () ->
+        Server.serve ~endpoint:(Server.Unix_socket socket) ~handler:(make_handler cache) ())
+      ()
+  in
   (* wait for the daemon to bind *)
   let deadline = Unix.gettimeofday () +. 5.0 in
   while (not (Sys.file_exists socket)) && Unix.gettimeofday () < deadline do
@@ -88,7 +98,7 @@ let with_server f =
   Fun.protect
     ~finally:(fun () ->
       (* stop the daemon if the test body has not already done so *)
-      (try ignore (Server.call ~socket [ {|{"op":"shutdown"}|} ])
+      (try ignore (call ~socket [ {|{"op":"shutdown"}|} ])
        with Unix.Unix_error _ | Failure _ -> ());
       Thread.join server)
     (fun () -> f ~socket ~cache)
@@ -146,7 +156,7 @@ let sweep_req path scenarios =
 
 let test_round_trip () =
   with_server @@ fun ~socket ~cache:_ ->
-  match Server.call ~socket [ analyze_req (bench "fig1.g"); analyze_req (bench "ring5.g") ] with
+  match call ~socket [ analyze_req (bench "fig1.g"); analyze_req (bench "ring5.g") ] with
   | [ fig1; ring5 ] ->
     let fig1 = parse_response fig1 and ring5 = parse_response ring5 in
     Alcotest.(check string) "fig1 ok" "ok" (status fig1);
@@ -166,7 +176,7 @@ let test_malformed_request_is_isolated () =
       analyze_req (bench "fig1.g");
     ]
   in
-  let responses = List.map parse_response (Server.call ~socket requests) in
+  let responses = List.map parse_response (call ~socket requests) in
   (match responses with
   | [ bad_json; bad_op; no_path; no_file; good ] ->
     List.iter
@@ -181,12 +191,12 @@ let test_second_request_is_a_cache_hit () =
   with_server @@ fun ~socket ~cache ->
   let req = analyze_req (bench "stack66.g") in
   let first =
-    match Server.call ~socket [ req ] with [ r ] -> r | _ -> Alcotest.fail "one response"
+    match call ~socket [ req ] with [ r ] -> r | _ -> Alcotest.fail "one response"
   in
   let sims_after_first = Metrics.count "simulations/initiated" in
   let analyzed_after_first = Metrics.count "analyze/graphs" in
   let second =
-    match Server.call ~socket [ req ] with [ r ] -> r | _ -> Alcotest.fail "one response"
+    match call ~socket [ req ] with [ r ] -> r | _ -> Alcotest.fail "one response"
   in
   Alcotest.(check string) "byte-identical response on the cache hit" first second;
   Alcotest.(check int)
@@ -211,7 +221,7 @@ let test_concurrent_clients () =
           (fun () ->
             (* every client hammers its file a few times on one connection *)
             let reqs = List.init 3 (fun _ -> analyze_req (bench file)) in
-            match Server.call ~socket reqs with
+            match call ~socket reqs with
             | responses -> results.(i) <- Some responses
             | exception exn -> results.(i) <- Some [ Printexc.to_string exn ])
           ())
@@ -243,7 +253,7 @@ let test_batch_and_stats () =
            timeout_ms = None;
          })
   in
-  match Server.call ~socket [ batch; {|{"op":"stats"}|} ] with
+  match call ~socket [ batch; {|{"op":"stats"}|} ] with
   | [ batch_resp; stats_resp ] ->
     let b = parse_response batch_resp in
     Alcotest.(check string) "batch ok" "ok" (status b);
@@ -265,8 +275,8 @@ let test_stats_reports_latency_percentiles () =
      to report *)
   let n = 5 in
   let reqs = List.init n (fun _ -> analyze_req (bench "fig1.g")) in
-  ignore (Server.call ~socket reqs);
-  match Server.call ~socket [ {|{"op":"stats"}|} ] with
+  ignore (call ~socket reqs);
+  match call ~socket [ {|{"op":"stats"}|} ] with
   | [ stats_resp ] -> (
     let s = parse_response stats_resp in
     Alcotest.(check string) "stats ok" "ok" (status s);
@@ -303,7 +313,7 @@ let test_sweep_round_trip () =
     sweep_req (bench "stack66.g")
       [ [ (0, 1.5) ]; [ (1, 0.5); (2, 0.25) ]; [ (0, 0.) ]; [ (-7, 1.) ] ]
   in
-  match Server.call ~socket [ sweep; analyze_req (bench "stack66.g") ] with
+  match call ~socket [ sweep; analyze_req (bench "stack66.g") ] with
   | [ sweep_resp; analyze_resp ] ->
     let s = parse_response sweep_resp and a = parse_response analyze_resp in
     Alcotest.(check string) "sweep ok" "ok" (status s);
@@ -328,7 +338,7 @@ let test_sweep_round_trip () =
 
 let test_shutdown_removes_socket () =
   with_server @@ fun ~socket ~cache:_ ->
-  (match Server.call ~socket [ {|{"op":"shutdown"}|} ] with
+  (match call ~socket [ {|{"op":"shutdown"}|} ] with
   | [ resp ] -> Alcotest.(check string) "shutdown acknowledged" "ok" (status (parse_response resp))
   | _ -> Alcotest.fail "expected one response");
   (* the daemon unlinks its socket on the way out *)
@@ -337,6 +347,50 @@ let test_shutdown_removes_socket () =
     Thread.yield ()
   done;
   Alcotest.(check bool) "socket removed" false (Sys.file_exists socket)
+
+let test_tcp_round_trip_matches_unix () =
+  (* the same request over both transports must serve byte-identical
+     responses: the transport frames bytes, it never renders them *)
+  let req = analyze_req (bench "fig1.g") in
+  let unix_resp =
+    with_server @@ fun ~socket ~cache:_ ->
+    match call ~socket [ req ] with [ r ] -> r | _ -> Alcotest.fail "one response"
+  in
+  let cache = Cache.create ~metrics_prefix:"test-server-tcp" ~capacity:32 () in
+  let bound = ref None in
+  let server =
+    Thread.create
+      (fun () ->
+        Server.serve
+          ~on_ready:(fun ep -> bound := Some ep)
+          ~endpoint:(Server.Tcp { host = "127.0.0.1"; port = 0 })
+          ~handler:(make_handler cache) ())
+      ()
+  in
+  (* port 0 means the kernel picks; on_ready reports the real endpoint *)
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  while !bound = None && Unix.gettimeofday () < deadline do
+    Thread.yield ()
+  done;
+  match !bound with
+  | None -> Alcotest.fail "TCP server never became ready"
+  | Some ep ->
+    Fun.protect
+      ~finally:(fun () ->
+        (try ignore (Server.call ~endpoint:ep [ {|{"op":"shutdown"}|} ])
+         with Unix.Unix_error _ | Failure _ -> ());
+        Thread.join server)
+      (fun () ->
+        (match ep with
+        | Server.Tcp { port; _ } ->
+          Alcotest.(check bool) "kernel assigned a real port" true (port > 0)
+        | Server.Unix_socket _ -> Alcotest.fail "expected a TCP endpoint");
+        match Server.call ~endpoint:ep [ req; req ] with
+        | [ first; second ] ->
+          Alcotest.(check string) "ok over TCP" "ok" (status (parse_response first));
+          Alcotest.(check string) "TCP matches Unix byte-for-byte" unix_resp first;
+          Alcotest.(check string) "TCP cache hit is byte-identical" first second
+        | other -> Alcotest.failf "expected two responses, got %d" (List.length other))
 
 let suite =
   [
@@ -350,5 +404,7 @@ let suite =
     Alcotest.test_case "stats reports latency percentiles" `Quick
       test_stats_reports_latency_percentiles;
     Alcotest.test_case "sweep round-trip over the socket" `Quick test_sweep_round_trip;
+    Alcotest.test_case "TCP round-trip matches Unix byte-for-byte" `Quick
+      test_tcp_round_trip_matches_unix;
     Alcotest.test_case "shutdown removes the socket" `Quick test_shutdown_removes_socket;
   ]
