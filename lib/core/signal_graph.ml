@@ -285,6 +285,44 @@ let with_delays g delays =
   in
   { g with arc_table }
 
+(* arc constructor for structural edits: applies the same
+   auto-disengageable rule as the builder's [add_arc], so an arc built
+   here is indistinguishable from one declared up front *)
+let make_arc g ?(marked = false) ?(disengageable = false) ~delay src dst =
+  let n = Array.length g.events in
+  if src < 0 || src >= n || dst < 0 || dst >= n then
+    invalid_arg
+      (Printf.sprintf "Signal_graph.make_arc: event id out of range (%d -> %d, %d events)"
+         src dst n);
+  let disengageable =
+    disengageable || (g.classes.(src) <> Repetitive && g.classes.(dst) = Repetitive)
+  in
+  { arc_src = src; arc_dst = dst; delay; marked; disengageable }
+
+(* a structural edit replaces the whole arc table over the unchanged
+   event set; unlike [with_delays] this re-runs the full [validate]
+   pass (connectivity, liveness, marking rules) because topology and
+   marking may have changed *)
+let with_arcs g arc_table =
+  let n = Array.length g.events in
+  Array.iter
+    (fun a ->
+      if a.arc_src < 0 || a.arc_src >= n || a.arc_dst < 0 || a.arc_dst >= n then
+        invalid_arg "Signal_graph.with_arcs: arc endpoint out of range")
+    arc_table;
+  match validate g.events g.classes arc_table with
+  | _ :: _ as errs -> Error errs
+  | [] ->
+    let out_ids = Array.make (max n 1) [] and in_ids = Array.make (max n 1) [] in
+    Array.iteri
+      (fun i a ->
+        out_ids.(a.arc_src) <- i :: out_ids.(a.arc_src);
+        in_ids.(a.arc_dst) <- i :: in_ids.(a.arc_dst))
+      arc_table;
+    Array.iteri (fun v ids -> out_ids.(v) <- List.rev ids) out_ids;
+    Array.iteri (fun v ids -> in_ids.(v) <- List.rev ids) in_ids;
+    Ok { g with arc_table; out_ids; in_ids }
+
 let out_arc_ids g v = g.out_ids.(v)
 let in_arc_ids g v = g.in_ids.(v)
 let events_of g = g.events

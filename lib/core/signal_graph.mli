@@ -89,6 +89,25 @@ val with_delays : t -> float array -> t
     @raise Invalid_argument if the array length differs from
     {!arc_count} or any delay is negative, NaN or infinite. *)
 
+val make_arc :
+  t -> ?marked:bool -> ?disengageable:bool -> delay:float -> int -> int -> arc
+(** [make_arc g ~delay src dst] is an arc value between events of [g],
+    built with the same auto-disengageable rule as {!add_arc} (an arc
+    from a non-repetitive event to a repetitive one is disengageable
+    whether or not the flag is given).  Combine with {!with_arcs} for
+    structural edits.
+    @raise Invalid_argument if either event id is out of range. *)
+
+val with_arcs : t -> arc array -> (t, error list) result
+(** [with_arcs g table] is [g] with its arc table replaced wholesale —
+    the event set, classes and names are untouched, but arc ids are
+    re-assigned by position in [table].  Unlike {!with_delays} this
+    re-runs the full structural validation (strong connectivity of the
+    repetitive part, liveness, marking rules), because topology and
+    marking may have changed.  This is the substrate of structural
+    what-if edits ({!Whatif.change}).
+    @raise Invalid_argument if an arc endpoint is out of range. *)
+
 (** {1 Accessors} *)
 
 val event_count : t -> int

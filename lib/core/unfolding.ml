@@ -4,9 +4,14 @@ type t = {
   sg : Signal_graph.t;
   k : int; (* number of periods *)
   n_events : int;
+  n_instances : int;
   rep_index : int array; (* event id -> dense repetitive index, or -1 *)
   rep_ids : int array; (* dense repetitive index -> event id *)
-  dag : int Tsg_graph.Digraph.t;
+  (* the digraph view is lazy: [make] builds it eagerly, but [patch]
+     synthesises the CSR views directly from the edited arc table and
+     leaves the digraph unbuilt — rebuilding 10^4-10^5 cons cells per
+     what-if scenario was the dominant cost of a structural repair *)
+  mutable dag_cache : int Tsg_graph.Digraph.t option;
   (* compact adjacency and topological order for the hot loops of the
      timing simulation: the digraph view allocates on every traversal,
      which dominates the O(b^2 m) algorithm's constant factor *)
@@ -20,6 +25,58 @@ type t = {
 let instance_id t ~event ~period =
   if period = 0 then event
   else t.n_events + ((period - 1) * Array.length t.rep_ids) + t.rep_index.(event)
+
+(* enumerate the (src instance, dst instance) pairs an arc [aid]
+   induces in the unfolding — shared by [make] (which adds them to the
+   dag) and [patch] (which also uses it to diff instance sets).  The
+   pairs depend only on the arc's endpoints, marking and
+   disengageability plus the event classes, never on the rest of the
+   arc table. *)
+let iter_arc_instances t (a : Signal_graph.arc) f =
+  let sg = t.sg in
+  let periods = t.k in
+  let once = a.disengageable || not (Signal_graph.is_repetitive sg a.arc_src) in
+  let m = if a.marked then 1 else 0 in
+  if once then begin
+    (* single constraint u_0 -> v_m, when the destination instance exists *)
+    let dst_exists =
+      m = 0 || (m < periods && Signal_graph.is_repetitive sg a.arc_dst)
+    in
+    if dst_exists then
+      f (instance_id t ~event:a.arc_src ~period:0) (instance_id t ~event:a.arc_dst ~period:m)
+  end
+  else begin
+    let dst_periods = if Signal_graph.is_repetitive sg a.arc_dst then periods else 1 in
+    for i = m to dst_periods - 1 do
+      f (instance_id t ~event:a.arc_src ~period:(i - m)) (instance_id t ~event:a.arc_dst ~period:i)
+    done
+  end
+
+(* construction is O(periods * arcs): amortised cancellation checks
+   keep a pathological (huge-period) unfolding within its budget *)
+let add_all_arcs ~deadline t dag =
+  let added = ref 0 in
+  Array.iteri
+    (fun aid a ->
+      iter_arc_instances t a (fun src dst ->
+          incr added;
+          if !added land 8191 = 0 then Tsg_engine.Deadline.check deadline;
+          Tsg_graph.Digraph.add_arc dag ~src ~dst aid))
+    (Signal_graph.arcs t.sg)
+
+(* force the digraph view: a patched unfolding synthesised its CSRs
+   without one, so the (rare) callers that want the digraph itself pay
+   for the rebuild here — same construction loop as [make], hence the
+   same graph *)
+let force_dag t =
+  match t.dag_cache with
+  | Some dag -> dag
+  | None ->
+    let dag = Tsg_graph.Digraph.create ~capacity:(max t.n_instances 1) () in
+    Tsg_graph.Digraph.add_vertices dag t.n_instances;
+    add_all_arcs ~deadline:Tsg_engine.Deadline.none t dag;
+    t.dag_cache <- Some dag;
+    dag
 
 let make ?(deadline = Tsg_engine.Deadline.none) sg ~periods =
   if periods < 1 then invalid_arg "Unfolding.make: periods must be >= 1";
@@ -44,9 +101,10 @@ let make ?(deadline = Tsg_engine.Deadline.none) sg ~periods =
       sg;
       k = periods;
       n_events;
+      n_instances = total;
       rep_index;
       rep_ids;
-      dag;
+      dag_cache = Some dag;
       in_csr = None;
       out_csr = None;
       topo = None;
@@ -54,48 +112,14 @@ let make ?(deadline = Tsg_engine.Deadline.none) sg ~periods =
       delay_cache = None;
     }
   in
-  (* construction is O(periods * arcs): amortised cancellation checks
-     keep a pathological (huge-period) unfolding within its budget *)
-  let added = ref 0 in
-  let tick () =
-    incr added;
-    if !added land 8191 = 0 then Tsg_engine.Deadline.check deadline
-  in
-  let add_arcs_for_instance aid (a : Signal_graph.arc) =
-    let once = a.disengageable || not (Signal_graph.is_repetitive sg a.arc_src) in
-    let m = if a.marked then 1 else 0 in
-    if once then begin
-      (* single constraint u_0 -> v_m, when the destination instance exists *)
-      let dst_exists =
-        m = 0 || (m < periods && Signal_graph.is_repetitive sg a.arc_dst)
-      in
-      if dst_exists then begin
-        tick ();
-        Tsg_graph.Digraph.add_arc dag
-          ~src:(instance_id t ~event:a.arc_src ~period:0)
-          ~dst:(instance_id t ~event:a.arc_dst ~period:m)
-          aid
-      end
-    end
-    else begin
-      let dst_periods = if Signal_graph.is_repetitive sg a.arc_dst then periods else 1 in
-      for i = m to dst_periods - 1 do
-        tick ();
-        Tsg_graph.Digraph.add_arc dag
-          ~src:(instance_id t ~event:a.arc_src ~period:(i - m))
-          ~dst:(instance_id t ~event:a.arc_dst ~period:i)
-          aid
-      done
-    end
-  in
-  Array.iteri add_arcs_for_instance (Signal_graph.arcs sg);
+  add_all_arcs ~deadline t dag;
   Tsg_engine.Metrics.incr "unfolding/built";
   Tsg_engine.Metrics.incr ~by:total "unfolding/instances";
   t
 
 let signal_graph t = t.sg
 let periods t = t.k
-let instance_count t = Tsg_graph.Digraph.vertex_count t.dag
+let instance_count t = t.n_instances
 
 let instance_opt t ~event ~period =
   if event < 0 || event >= t.n_events || period < 0 || period >= t.k then None
@@ -118,17 +142,18 @@ let event_of_instance t i =
     (t.rep_ids.(off mod r), 1 + (off / r))
   end
 
-let dag t = t.dag
+let dag t = force_dag t
 let delay_of_label t aid = (Signal_graph.arc t.sg aid).Signal_graph.delay
 
 (* ------------------------------------------------------------------ *)
 (* Compact views                                                       *)
 
 let build_csr t ~incoming =
+  let dag = force_dag t in
   let n = instance_count t in
-  let m = Tsg_graph.Digraph.arc_count t.dag in
+  let m = Tsg_graph.Digraph.arc_count dag in
   let starts = Array.make (n + 1) 0 in
-  Tsg_graph.Digraph.iter_arcs t.dag (fun src dst _ ->
+  Tsg_graph.Digraph.iter_arcs dag (fun src dst _ ->
       let v = if incoming then dst else src in
       starts.(v + 1) <- starts.(v + 1) + 1);
   for v = 1 to n do
@@ -137,7 +162,7 @@ let build_csr t ~incoming =
   let fill = Array.copy starts in
   let neighbors = Array.make (max m 1) 0 in
   let arc_ids = Array.make (max m 1) 0 in
-  Tsg_graph.Digraph.iter_arcs t.dag (fun src dst aid ->
+  Tsg_graph.Digraph.iter_arcs dag (fun src dst aid ->
       let v, w = if incoming then (dst, src) else (src, dst) in
       neighbors.(fill.(v)) <- w;
       arc_ids.(fill.(v)) <- aid;
@@ -175,7 +200,7 @@ let topological_order t =
   match t.topo with
   | Some order -> order
   | None ->
-    let order = Array.of_list (Tsg_graph.Topo.sort_exn t.dag) in
+    let order = Array.of_list (Tsg_graph.Topo.sort_exn (force_dag t)) in
     t.topo <- Some order;
     order
 
@@ -206,6 +231,233 @@ let warm_caches t =
   ignore (topological_order t);
   ignore (topo_position t);
   ignore (delays t)
+
+(* ------------------------------------------------------------------ *)
+(* Structural patching                                                 *)
+
+type patch_delta = {
+  pd_spliced : (int * int) array;
+  pd_dropped : (int * int) array;
+}
+
+(* The load-bearing simplification: [instance_id] depends only on the
+   event set, the event classes and the period count — never on the
+   arc table.  An arc-level edit (add/remove/marking flip) therefore
+   keeps every instance id stable; only the DAG's arcs change.
+
+   The CSR views of the patched dag are synthesised {e directly} from
+   the edited arc table, without building a digraph: a cold build's
+   CSR slice order is fixed — [Digraph.iter_arcs] walks sources in
+   ascending vertex order and, within a source, in insertion order,
+   which is the generation order of [add_all_arcs] (arc id ascending,
+   period ascending) — so two stable counting sorts of the generated
+   (src, dst, arc) triples reproduce, byte for byte, the arrays a cold
+   unfolding of the edited graph would cache.  This matters beyond
+   speed: backtracking breaks longest-path ties by adjacency order, so
+   identical CSR bytes are what make warm reports serialise
+   identically to cold ones.  Only the topological order may differ,
+   and any valid order is equivalent for the simulation (occurrence
+   times are order-independent maxima). *)
+let synthesize_csrs ~deadline t' =
+  let total = t'.n_instances in
+  let arcs = Signal_graph.arcs t'.sg in
+  (* pass 1: count the arc instances *)
+  let m = ref 0 in
+  Array.iter (fun a -> iter_arc_instances t' a (fun _ _ -> incr m)) arcs;
+  let m = !m in
+  (* pass 2: materialise them in generation order *)
+  let gs = Array.make (max m 1) 0 in
+  let gd = Array.make (max m 1) 0 in
+  let ga = Array.make (max m 1) 0 in
+  let k = ref 0 in
+  Array.iteri
+    (fun aid a ->
+      iter_arc_instances t' a (fun src dst ->
+          if !k land 8191 = 0 then Tsg_engine.Deadline.check deadline;
+          gs.(!k) <- src;
+          gd.(!k) <- dst;
+          ga.(!k) <- aid;
+          incr k))
+    arcs;
+  (* stable counting sort by src: the out-CSR, whose slices are the
+     per-source runs in generation order *)
+  let out_starts = Array.make (total + 1) 0 in
+  for i = 0 to m - 1 do
+    out_starts.(gs.(i) + 1) <- out_starts.(gs.(i) + 1) + 1
+  done;
+  for v = 1 to total do
+    out_starts.(v) <- out_starts.(v) + out_starts.(v - 1)
+  done;
+  let fill = Array.copy out_starts in
+  let s_src = Array.make (max m 1) 0 in
+  let s_dst = Array.make (max m 1) 0 in
+  let s_aid = Array.make (max m 1) 0 in
+  for i = 0 to m - 1 do
+    let p = fill.(gs.(i)) in
+    fill.(gs.(i)) <- p + 1;
+    s_src.(p) <- gs.(i);
+    s_dst.(p) <- gd.(i);
+    s_aid.(p) <- ga.(i)
+  done;
+  t'.out_csr <- Some { starts = out_starts; neighbors = s_dst; arc_ids = s_aid };
+  (* stable counting sort of that sequence by dst: the in-CSR *)
+  let in_starts = Array.make (total + 1) 0 in
+  for p = 0 to m - 1 do
+    in_starts.(s_dst.(p) + 1) <- in_starts.(s_dst.(p) + 1) + 1
+  done;
+  for v = 1 to total do
+    in_starts.(v) <- in_starts.(v) + in_starts.(v - 1)
+  done;
+  let fill = Array.copy in_starts in
+  let in_srcs = Array.make (max m 1) 0 in
+  let in_aids = Array.make (max m 1) 0 in
+  for p = 0 to m - 1 do
+    let q = fill.(s_dst.(p)) in
+    fill.(s_dst.(p)) <- q + 1;
+    in_srcs.(q) <- s_src.(p);
+    in_aids.(q) <- s_aid.(p)
+  done;
+  t'.in_csr <- Some { starts = in_starts; neighbors = in_srcs; arc_ids = in_aids }
+
+let patch ?(deadline = Tsg_engine.Deadline.none) t g' ~arc_map =
+  if Signal_graph.event_count g' <> t.n_events then
+    invalid_arg "Unfolding.patch: the edited graph has a different event set";
+  for e = 0 to t.n_events - 1 do
+    if Signal_graph.class_of g' e <> Signal_graph.class_of t.sg e then
+      invalid_arg "Unfolding.patch: the edited graph changes an event class"
+  done;
+  let arcs_old = Signal_graph.arcs t.sg in
+  let arcs_new = Signal_graph.arcs g' in
+  if Array.length arc_map <> Array.length arcs_old then
+    invalid_arg "Unfolding.patch: arc_map length differs from the base arc count";
+  Tsg_obs.Trace.with_span "unfolding/patch" @@ fun () ->
+  let total = instance_count t in
+  let t' =
+    {
+      t with
+      sg = g';
+      dag_cache = None;
+      in_csr = None;
+      out_csr = None;
+      topo = None;
+      topo_pos_cache = None;
+      delay_cache = None;
+    }
+  in
+  synthesize_csrs ~deadline t';
+  (* diff the instance sets through [arc_map]: a surviving arc with
+     unchanged marking/disengageability instantiates identically; a
+     flipped one regenerates (old instances dropped, new spliced); an
+     unmapped base arc drops its cone seeds; a new arc with no
+     preimage splices fresh instances *)
+  let dropped = ref [] and spliced = ref [] in
+  let note acc t0 a = iter_arc_instances t0 a (fun s d -> acc := (s, d) :: !acc) in
+  let mapped = Array.make (max (Array.length arcs_new) 1) false in
+  Array.iteri
+    (fun a a' ->
+      if a' < 0 then note dropped t arcs_old.(a)
+      else begin
+        let old_a = arcs_old.(a) and new_a = arcs_new.(a') in
+        if old_a.Signal_graph.arc_src <> new_a.Signal_graph.arc_src
+           || old_a.Signal_graph.arc_dst <> new_a.Signal_graph.arc_dst then
+          invalid_arg "Unfolding.patch: arc_map changes an arc's endpoints";
+        mapped.(a') <- true;
+        if old_a.Signal_graph.marked <> new_a.Signal_graph.marked
+           || old_a.Signal_graph.disengageable <> new_a.Signal_graph.disengageable
+        then begin
+          note dropped t old_a;
+          note spliced t' new_a
+        end
+      end)
+    arc_map;
+  Array.iteri (fun a' arc -> if not mapped.(a') then note spliced t' arc) arcs_new;
+  let spliced = Array.of_list !spliced and dropped = Array.of_list !dropped in
+  (* topological-order repair.  Removing arcs can never invalidate a
+     valid order; only a spliced arc that runs {e backwards} against
+     the base positions can.  When none does, the base order (and its
+     position array) is reused as-is. *)
+  let base_topo = topological_order t in
+  let base_pos = topo_position t in
+  let violates (s, d) = base_pos.(s) > base_pos.(d) in
+  if not (Array.exists violates spliced) then begin
+    t'.topo <- Some base_topo;
+    t'.topo_pos_cache <- Some base_pos;
+    Tsg_engine.Metrics.incr "unfolding/topo_reused"
+  end
+  else begin
+    (* bounded position-shift repair: let W be the contiguous position
+       window [lo, hi] spanning every violating arc (lo = min position
+       of a violating dst, hi = max position of a violating src).  Any
+       new-dag arc with at most one endpoint in W is already satisfied
+       by the base positions (a kept or forward spliced arc crossing
+       the window boundary cannot invert inside it), so re-ranking the
+       members of W among themselves — a local Kahn scan over the new
+       dag restricted to W, emitting into positions lo..hi — yields a
+       valid order for the whole dag without touching the other
+       [n - |W|] positions. *)
+    let lo = ref max_int and hi = ref (-1) in
+    Array.iter
+      (fun (s, d) ->
+        if violates (s, d) then begin
+          if base_pos.(d) < !lo then lo := base_pos.(d);
+          if base_pos.(s) > !hi then hi := base_pos.(s)
+        end)
+      spliced;
+    let lo = !lo and hi = !hi in
+    let topo = Array.copy base_topo in
+    let pos = Array.copy base_pos in
+    let in_window v =
+      let p = base_pos.(v) in
+      p >= lo && p <= hi
+    in
+    let in_starts, in_srcs, _ = in_adjacency t' in
+    let out_starts, out_dsts, _ = out_adjacency t' in
+    let indeg = Array.make total 0 in
+    for p = lo to hi do
+      let v = base_topo.(p) in
+      let cnt = ref 0 in
+      for j = in_starts.(v) to in_starts.(v + 1) - 1 do
+        if in_window in_srcs.(j) then incr cnt
+      done;
+      indeg.(v) <- !cnt
+    done;
+    let q = Queue.create () in
+    for p = lo to hi do
+      let v = base_topo.(p) in
+      if indeg.(v) = 0 then Queue.add v q
+    done;
+    let next = ref lo in
+    while not (Queue.is_empty q) do
+      if !next land 8191 = 0 then Tsg_engine.Deadline.check deadline;
+      let v = Queue.pop q in
+      topo.(!next) <- v;
+      pos.(v) <- !next;
+      incr next;
+      for j = out_starts.(v) to out_starts.(v + 1) - 1 do
+        let w = out_dsts.(j) in
+        if in_window w then begin
+          indeg.(w) <- indeg.(w) - 1;
+          if indeg.(w) = 0 then Queue.add w q
+        end
+      done
+    done;
+    if !next = hi + 1 then begin
+      t'.topo <- Some topo;
+      t'.topo_pos_cache <- Some pos;
+      Tsg_engine.Metrics.incr "unfolding/topo_shifted";
+      Tsg_engine.Metrics.incr ~by:(hi - lo + 1) "unfolding/topo_window"
+    end
+    else begin
+      (* a cycle inside the window — impossible for a validated TSG,
+         but a full re-sort is always a sound answer *)
+      t'.topo <- None;
+      t'.topo_pos_cache <- None;
+      ignore (topological_order t');
+      ignore (topo_position t')
+    end
+  end;
+  Tsg_engine.Metrics.incr "unfolding/patched";
+  (t', { pd_spliced = spliced; pd_dropped = dropped })
 
 let pp_instance t ppf i =
   let e, p = event_of_instance t i in

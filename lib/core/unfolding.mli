@@ -43,7 +43,9 @@ val event_of_instance : t -> int -> int * int
 
 val dag : t -> int Tsg_graph.Digraph.t
 (** The unfolding as a digraph over instance ids; each arc is labelled
-    with the id of the Signal-Graph arc it instantiates. *)
+    with the id of the Signal-Graph arc it instantiates.  Lazy: a
+    {!patch}ed unfolding synthesises its CSR views without building a
+    digraph, so the first [dag] call on one pays for the rebuild. *)
 
 val delay_of_label : t -> int -> float
 (** The delay of the Signal-Graph arc with the given id (convenience
@@ -86,6 +88,50 @@ val warm_caches : t -> unit
 (** Forces every lazy view above.  Call before sharing the unfolding
     across domains: the views are then plain read-only arrays and the
     unfolding is safe to read concurrently. *)
+
+(** {1 Structural patching}
+
+    Instance ids depend only on the event set, the event classes and
+    the period count — never on the arc table.  An arc-level edit
+    (add, remove, marking or disengageability flip) therefore keeps
+    every instance id stable, and the unfolding can be {e patched} in
+    place of a full re-unfold: synthesise the CSR adjacency views
+    directly from the edited arc table (two stable counting sorts — no
+    digraph is built), and repair the topological order only inside
+    the position window disturbed by the spliced arcs. *)
+
+type patch_delta = {
+  pd_spliced : (int * int) array;
+      (** (src, dst) instance pairs present in the patched dag but not
+          the base one — instantiations of added or flipped arcs *)
+  pd_dropped : (int * int) array;
+      (** instance pairs of removed or flipped base arcs — present in
+          the base dag but not the patched one *)
+}
+
+val patch :
+  ?deadline:Tsg_engine.Deadline.t ->
+  t ->
+  Signal_graph.t ->
+  arc_map:int array ->
+  t * patch_delta
+(** [patch u g' ~arc_map] is a fresh unfolding of [g'] over the same
+    periods and instance space as [u], plus the instance-level diff.
+    [arc_map.(a)] is the arc id of base arc [a] in [g'], or [-1] if it
+    was removed; mapped arcs must keep their endpoints (delay, marking
+    and disengageability may change), surviving ids must be assigned
+    in increasing order, and [g']'s remaining arcs are treated as
+    additions.  The patched CSR views are bit-identical to those of a
+    cold [make g'] (the synthesis reproduces the cold build's
+    generation and iteration order exactly, which also pins
+    longest-path tie-breaking); the topological order is the base
+    order when no spliced arc runs backwards against it, repaired by a
+    bounded local re-rank otherwise, and in either case a valid order
+    of the patched dag.  The base unfolding is not mutated; the two
+    share the base topo arrays when reuse is possible (both treat them
+    as read-only).
+    @raise Invalid_argument if [g'] changes the event set or classes,
+    or [arc_map] is inconsistent with the two arc tables. *)
 
 val pp_instance : t -> int Fmt.t
 (** Prints an instance as [a+@2] (event [a+], period 2). *)

@@ -21,17 +21,47 @@
       a {!Signal_graph.digest} match) short-circuits to the base
       report ([whatif/short_circuits]).
 
+    {b Structural edits} (arc add/remove, marking flips) are warm too
+    ({!change}): instance ids depend only on the event set, classes and
+    period count, so the unfolding is {e patched} in place
+    ({!Unfolding.patch}) — the instance DAG is rebuilt by the same
+    construction loop (bit-identical CSR views), the topological order
+    is repaired only inside the window disturbed by spliced arcs, and
+    the same monotone position scan repairs each affected root's
+    times {e and reachability} jointly, seeded at the spliced, dropped
+    and delay-edited arc instances (the structural change cone).  The
+    one fallback: an edit that moves the {e border set} itself
+    (changing which events carry initial activity) invalidates the
+    prepared roots and is answered by a cold analysis
+    ([whatif/structural_cold]); everything else is warm
+    ([whatif/structural_warm]).  Edits that change the event set are
+    out of scope — build the new graph and {!prepare} again.
+
     Every repaired quantity ranges over the same float operand sets as
     a cold run, so warm reports are {e byte-identical} (serialised via
     [Json_report.analysis_obj]) to [Cycle_time.analyze] of the edited
-    graph — the property the test suite enforces.
-
-    Topology edits (adding or removing events/arcs, changing markings)
-    are out of scope: build the new graph and {!prepare} again. *)
+    graph — including structural edits — the property the test suite
+    enforces. *)
 
 type edit = { arc : int; delta : float }
 (** Add [delta] to the delay of the Signal-Graph arc [arc].  Repeated
     edits of one arc within a scenario fold into a single delta. *)
+
+type change =
+  | Delay of edit  (** nudge a delay, as {!reanalyze} has always done *)
+  | Add_arc of { src : int; dst : int; delay : float; marked : bool }
+      (** a new arc between existing events, appended after the
+          surviving arcs (its id in the edited graph is reported by
+          the analysis); disengageability follows the builder's
+          auto-rule ({!Signal_graph.make_arc}) *)
+  | Remove_arc of int  (** delete a base arc; surviving arcs keep
+          their relative order (ids compact downward) *)
+  | Set_marked of { arc : int; marked : bool }
+      (** flip a base arc's initial marking in place *)
+(** One element of a structural scenario.  Changes referencing a base
+    arc use {e base} arc ids throughout the scenario, regardless of
+    ordering; removing the same arc twice, or editing a removed arc,
+    is invalid. *)
 
 type path =
   | Short_circuit  (** the edit was a no-op: base report returned *)
@@ -72,6 +102,17 @@ val edited_graph : t -> edit list -> Signal_graph.t
     @raise Invalid_argument on an out-of-range arc id, a non-finite
     delta, or an edited delay that is negative or non-finite. *)
 
+val edited_graph_changes : t -> change list -> Signal_graph.t
+(** The base graph with a structural scenario applied: surviving arcs
+    keep their relative order (ids compact downward past removals),
+    additions are appended in scenario order.  This is the cold-side
+    reference for the byte-identity law.
+    @raise Invalid_argument as {!edited_graph}, plus on a dead or
+    duplicate arc reference and on invalid added-arc parameters.
+    @raise Cycle_time.Not_analyzable when the edited graph fails
+    structural validation (disconnected repetitive part, token-free
+    cycle, …) — with the same message {!reanalyze_changes} raises. *)
+
 type scratch
 (** Reusable per-participant working memory for the dirty propagation
     (never shared between concurrent re-analyses). *)
@@ -98,6 +139,27 @@ val reanalyze :
     @raise Cycle_time.Not_analyzable as {!Cycle_time.analyze}.
     @raise Tsg_engine.Deadline.Deadline_exceeded past the budget. *)
 
+val reanalyze_changes :
+  ?deadline:Tsg_engine.Deadline.t ->
+  ?scratch:scratch ->
+  t ->
+  change list ->
+  Cycle_time.report * stats
+(** {!reanalyze} generalised to structural scenarios: byte-identical
+    (serialised) to
+    [Cycle_time.analyze ~periods:(periods t) (edited_graph_changes t cs)].
+    Delay-only scenarios take the delay kernel unchanged; structural
+    ones patch the unfolding and repair times and reachability in the
+    change cone ([whatif/structural_warm],
+    [whatif/instances_spliced|dropped]), falling back to a cold
+    analysis only when the border set itself moves
+    ([whatif/structural_cold]) or the ["whatif/warm"] failpoint is
+    armed.  A scenario whose edited arc table is literally the base
+    one short-circuits.
+    @raise Invalid_argument and @raise Cycle_time.Not_analyzable as
+    {!edited_graph_changes}.
+    @raise Tsg_engine.Deadline.Deadline_exceeded past the budget. *)
+
 val sweep :
   ?deadline:Tsg_engine.Deadline.t ->
   ?budget_ms:float ->
@@ -116,3 +178,14 @@ val sweep :
     fresh per-scenario deadline (Batch semantics — one pathological
     scenario times out alone); [deadline] (or the ambient one) is
     checked between scenarios, bounding the whole sweep. *)
+
+val sweep_changes :
+  ?deadline:Tsg_engine.Deadline.t ->
+  ?budget_ms:float ->
+  ?jobs:int ->
+  t ->
+  change list array ->
+  (Cycle_time.report * stats, string) result array
+(** {!sweep} over structural scenarios — same sharing, claiming,
+    budgets and per-scenario failure isolation, with each scenario
+    answered by {!reanalyze_changes}. *)

@@ -241,9 +241,15 @@ let member k = function
 (* ------------------------------------------------------------------ *)
 (* Requests                                                            *)
 
-let version = "tsa-rpc/3"
+let version = "tsa-rpc/4"
 
-type sweep_edit = { sw_arc : int; sw_delta : float }
+type ev = Ev_id of int | Ev_name of string
+
+type sweep_edit =
+  | Sw_delay of { sw_arc : int; sw_delta : float }
+  | Sw_add of { sw_src : ev; sw_dst : ev; sw_delay : float; sw_marked : bool }
+  | Sw_remove of int
+  | Sw_mark of { sw_arc : int; sw_marked : bool }
 
 type request =
   | Analyze of { path : string; periods : int option; timeout_ms : float option }
@@ -285,22 +291,68 @@ let string_field name j =
 
 let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
 
-(* a sweep scenario is one {"arc":..,"delta":..} edit or a list of
-   them; deltas may be negative (the resulting delay is validated by
-   the analysis, not the wire layer) but must be finite *)
+(* a sweep scenario is one edit object or a list of them.  An edit
+   without an "op" field is a delay edit (the tsa-rpc/3 form, still
+   accepted); "op" selects the structural forms otherwise.  Deltas may
+   be negative (the resulting delay is validated by the analysis, not
+   the wire layer) but must be finite *)
+let arc_field o =
+  match member "arc" o with
+  | Some (Number f) when Float.is_integer f -> Ok (int_of_float f)
+  | _ -> Error "each sweep edit must carry an integer \"arc\""
+
+let ev_field name o =
+  match member name o with
+  | Some (Number f) when Float.is_integer f -> Ok (Ev_id (int_of_float f))
+  | Some (String s) -> Ok (Ev_name s)
+  | _ ->
+    Error
+      (Printf.sprintf "field %S must be an event id (integer) or event name (string)"
+         name)
+
+let marked_field ?default o =
+  match (member "marked" o, default) with
+  | Some (Bool b), _ -> Ok b
+  | (None | Some Null), Some d -> Ok d
+  | (None | Some Null), None -> Error "field \"marked\" must be a boolean"
+  | Some _, _ -> Error "field \"marked\" must be a boolean"
+
 let edit_of_json = function
-  | Obj _ as o ->
-    let* arc =
-      match member "arc" o with
-      | Some (Number f) when Float.is_integer f -> Ok (int_of_float f)
-      | _ -> Error "each sweep edit must carry an integer \"arc\""
+  | Obj _ as o -> (
+    let op =
+      match member "op" o with
+      | Some (String s) -> Ok s
+      | None | Some Null -> Ok "delay"
+      | Some _ -> Error "edit field \"op\" must be a string"
     in
-    let* delta =
-      match member "delta" o with
-      | Some (Number f) when Float.is_finite f -> Ok f
-      | _ -> Error "each sweep edit must carry a finite number \"delta\""
-    in
-    Ok { sw_arc = arc; sw_delta = delta }
+    let* op = op in
+    match op with
+    | "delay" ->
+      let* arc = arc_field o in
+      let* delta =
+        match member "delta" o with
+        | Some (Number f) when Float.is_finite f -> Ok f
+        | _ -> Error "each sweep edit must carry a finite number \"delta\""
+      in
+      Ok (Sw_delay { sw_arc = arc; sw_delta = delta })
+    | "add" ->
+      let* src = ev_field "src" o in
+      let* dst = ev_field "dst" o in
+      let* delay =
+        match member "delay" o with
+        | Some (Number f) when Float.is_finite f && f >= 0. -> Ok f
+        | _ -> Error "an \"add\" edit must carry a finite non-negative \"delay\""
+      in
+      let* marked = marked_field ~default:false o in
+      Ok (Sw_add { sw_src = src; sw_dst = dst; sw_delay = delay; sw_marked = marked })
+    | "remove" ->
+      let* arc = arc_field o in
+      Ok (Sw_remove arc)
+    | "mark" ->
+      let* arc = arc_field o in
+      let* marked = marked_field o in
+      Ok (Sw_mark { sw_arc = arc; sw_marked = marked })
+    | op -> Error (Printf.sprintf "unknown edit op %S" op))
   | _ -> Error "field \"deltas\" must hold edit objects or lists of edit objects"
 
 let scenario_of_json = function
@@ -417,7 +469,22 @@ let request_to_string = function
         Printf.sprintf "%d" (int_of_float f)
       else Printf.sprintf "%.17g" f
     in
-    let edit e = Printf.sprintf {|{"arc":%d,"delta":%s}|} e.sw_arc (number e.sw_delta) in
+    let ev = function
+      | Ev_id i -> Printf.sprintf "%d" i
+      | Ev_name n -> "\"" ^ escape n ^ "\""
+    in
+    (* delay edits keep the tsa-rpc/3 wire shape so old daemons still
+       answer delay-only sweeps from a new client *)
+    let edit = function
+      | Sw_delay { sw_arc; sw_delta } ->
+        Printf.sprintf {|{"arc":%d,"delta":%s}|} sw_arc (number sw_delta)
+      | Sw_add { sw_src; sw_dst; sw_delay; sw_marked } ->
+        Printf.sprintf {|{"op":"add","src":%s,"dst":%s,"delay":%s,"marked":%b}|}
+          (ev sw_src) (ev sw_dst) (number sw_delay) sw_marked
+      | Sw_remove arc -> Printf.sprintf {|{"op":"remove","arc":%d}|} arc
+      | Sw_mark { sw_arc; sw_marked } ->
+        Printf.sprintf {|{"op":"mark","arc":%d,"marked":%b}|} sw_arc sw_marked
+    in
     let scenario s = "[" ^ String.concat "," (List.map edit s) ^ "]" in
     let deltas = String.concat "," (List.map scenario scenarios) in
     let periods =

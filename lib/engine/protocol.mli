@@ -24,18 +24,32 @@
     error response.
 
     Each element of a sweep's [deltas] is one {e scenario}: either a
-    single [{"arc":id,"delta":d}] edit or a list of them applied
-    together.  The whole sweep shares one warm-started analysis of the
-    base model ([Tsg.Whatif]). *)
+    single edit object or a list of them applied together.  An edit
+    object's optional ["op"] field selects its kind:
+
+    {v {"arc":0,"delta":1.5}                                  delay (op omitted)
+{"op":"delay","arc":0,"delta":1.5}                       delay (explicit)
+{"op":"add","src":3,"dst":"b+","delay":2.0,"marked":false}
+{"op":"remove","arc":246}
+{"op":"mark","arc":119,"marked":true} v}
+
+    [src]/[dst] of an [add] are event ids (integers) or event names
+    (strings; resolved by the daemon against the model).  [marked]
+    defaults to [false] for [add] and is mandatory for [mark].  The
+    whole sweep shares one warm-started analysis of the base model
+    ([Tsg.Whatif]); structural edits are repaired warm too, falling
+    back to a cold analysis only when the border set moves. *)
 
 val version : string
-(** The protocol version string, ["tsa-rpc/3"]: version 1 spoke
+(** The protocol version string, ["tsa-rpc/4"]: version 1 spoke
     [analyze]/[batch]/[stats]/[shutdown]; version 2 added [sweep];
     version 3 added the TCP transport and the [transport]/[shard]/
-    [disk_cache] fields of the [stats] response (the request grammar
-    is unchanged — a v2 client can talk to a v3 daemon).  Servers
-    report it in the [stats] response; additions are
-    backwards-compatible within a major version. *)
+    [disk_cache] fields of the [stats] response; version 4 added the
+    structural sweep edits ([op] = [add]/[remove]/[mark]).  An edit
+    without an [op] field is a delay edit, so every tsa-rpc/3 request
+    is a valid tsa-rpc/4 request and a v3 client can talk to a v4
+    daemon unchanged.  Servers report it in the [stats] response;
+    additions are backwards-compatible within a major version. *)
 
 (** {1 JSON values} *)
 
@@ -61,9 +75,19 @@ val member : string -> json -> json option
 
 (** {1 Requests} *)
 
-type sweep_edit = { sw_arc : int; sw_delta : float }
-(** One delay edit of a sweep scenario: add [sw_delta] to the delay of
-    Signal-Graph arc [sw_arc]. *)
+type ev = Ev_id of int | Ev_name of string
+(** An event reference in a structural edit: a dense event id, or an
+    event name the daemon resolves against the loaded model. *)
+
+type sweep_edit =
+  | Sw_delay of { sw_arc : int; sw_delta : float }
+      (** add [sw_delta] to the delay of Signal-Graph arc [sw_arc]
+          (the only edit kind before tsa-rpc/4) *)
+  | Sw_add of { sw_src : ev; sw_dst : ev; sw_delay : float; sw_marked : bool }
+      (** insert a delay-annotated arc between existing events *)
+  | Sw_remove of int  (** delete a base arc by id *)
+  | Sw_mark of { sw_arc : int; sw_marked : bool }
+      (** set a base arc's initial marking *)
 
 type request =
   | Analyze of { path : string; periods : int option; timeout_ms : float option }
@@ -81,8 +105,8 @@ type request =
       jobs : int option;
       timeout_ms : float option;
     }
-      (** warm-start re-analysis of delay-edit scenarios against one
-          shared base analysis of [path] *)
+      (** warm-start re-analysis of edit scenarios (delay and
+          structural) against one shared base analysis of [path] *)
   | Stats  (** report metrics and cache statistics *)
   | Shutdown  (** answer once more, then stop the daemon *)
 

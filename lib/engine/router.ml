@@ -24,6 +24,8 @@ type t = {
   mutable rt_requests : int;
   mutable rt_rerouted : int;
   mutable rt_failovers : int;
+  probe_stop : bool Atomic.t;
+  mutable probe_thread : Thread.t option;
 }
 
 (* FNV-1a, 64-bit.  Not cryptographic — the keys are already MD5
@@ -42,34 +44,102 @@ let fnv1a64 (s : string) : int64 =
 let score key shard_name =
   fnv1a64 (key ^ "\x00" ^ shard_name)
 
+(* the active health probe: a plain "stats" ping, no retries — one
+   refused connection is answer enough, and a probe must never block
+   behind the client backoff schedule *)
+let probe_request = {|{"op":"stats"}|}
+
+let probe_unhealthy t =
+  Array.iter
+    (fun s ->
+      let unhealthy =
+        Mutex.lock t.mutex;
+        let u = not s.sh_healthy in
+        Mutex.unlock t.mutex;
+        u
+      in
+      if unhealthy then begin
+        Metrics.incr (t.prefix ^ "/probes");
+        match Server.call ~retries:0 ~endpoint:s.sh_endpoint [ probe_request ] with
+        | [ _ ] ->
+          (* recover-only: a live answer reopens the shard for routing;
+             failures never deepen the penalty (routing owns that) *)
+          Mutex.lock t.mutex;
+          let was_unhealthy = not s.sh_healthy in
+          s.sh_healthy <- true;
+          s.sh_down_until <- 0.;
+          Mutex.unlock t.mutex;
+          if was_unhealthy then Metrics.incr (t.prefix ^ "/probe_recoveries")
+        | _ | (exception Unix.Unix_error _) | (exception Failure _) -> ()
+      end)
+    t.shards
+
 let create ?(metrics_prefix = "router") ?(retries = 2) ?(backoff_ms = 50.)
-    ?(max_inflight = 64) ?(cooldown_s = 1.0) endpoints =
+    ?(max_inflight = 64) ?(cooldown_s = 1.0) ?probe_ms endpoints =
   if endpoints = [] then invalid_arg "Router.create: no endpoints";
-  {
-    shards =
-      Array.of_list
-        (List.map
-           (fun ep ->
-             {
-               sh_endpoint = ep;
-               sh_name = Server.endpoint_to_string ep;
-               sh_healthy = true;
-               sh_down_until = 0.;
-               sh_inflight = 0;
-               sh_served = 0;
-               sh_failed = 0;
-             })
-           endpoints);
-    prefix = metrics_prefix;
-    retries;
-    backoff_ms;
-    max_inflight;
-    cooldown_s;
-    mutex = Mutex.create ();
-    rt_requests = 0;
-    rt_rerouted = 0;
-    rt_failovers = 0;
-  }
+  (match probe_ms with
+  | Some ms when not (Float.is_finite ms && ms > 0.) ->
+    invalid_arg "Router.create: probe_ms must be finite and positive"
+  | _ -> ());
+  let t =
+    {
+      shards =
+        Array.of_list
+          (List.map
+             (fun ep ->
+               {
+                 sh_endpoint = ep;
+                 sh_name = Server.endpoint_to_string ep;
+                 sh_healthy = true;
+                 sh_down_until = 0.;
+                 sh_inflight = 0;
+                 sh_served = 0;
+                 sh_failed = 0;
+               })
+             endpoints);
+      prefix = metrics_prefix;
+      retries;
+      backoff_ms;
+      max_inflight;
+      cooldown_s;
+      mutex = Mutex.create ();
+      rt_requests = 0;
+      rt_rerouted = 0;
+      rt_failovers = 0;
+      probe_stop = Atomic.make false;
+      probe_thread = None;
+    }
+  in
+  (match probe_ms with
+  | None -> ()
+  | Some ms ->
+    let interval = ms /. 1000. in
+    t.probe_thread <-
+      Some
+        (Thread.create
+           (fun () ->
+             (* sleep in short slices so close is prompt even under a
+                long probe interval *)
+             let rec sleep remaining =
+               if remaining > 0. && not (Atomic.get t.probe_stop) then begin
+                 Thread.delay (Float.min remaining 0.05);
+                 sleep (remaining -. 0.05)
+               end
+             in
+             while not (Atomic.get t.probe_stop) do
+               sleep interval;
+               if not (Atomic.get t.probe_stop) then probe_unhealthy t
+             done)
+           ()));
+  t
+
+let close t =
+  Atomic.set t.probe_stop true;
+  match t.probe_thread with
+  | None -> ()
+  | Some th ->
+    t.probe_thread <- None;
+    Thread.join th
 
 let endpoints t = Array.to_list (Array.map (fun s -> s.sh_endpoint) t.shards)
 

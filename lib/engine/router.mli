@@ -13,12 +13,18 @@
     down or saturated the request {e reroutes} down the preference
     order and the answer is the same bytes, just a colder cache.
 
-    {b Health.}  Tracking is passive: a shard whose connection fails
-    (after {!Server.call}'s own jittered retries) is marked unhealthy
-    and skipped for [cooldown_s]; after the cooldown the next request
-    tries it again (half-open) and a success restores it.  When every
-    shard is unhealthy the router ignores health rather than failing
-    outright — replicas that just restarted answer again.
+    {b Health.}  Tracking is passive by default: a shard whose
+    connection fails (after {!Server.call}'s own jittered retries) is
+    marked unhealthy and skipped for [cooldown_s]; after the cooldown
+    the next request tries it again (half-open) and a success restores
+    it.  When every shard is unhealthy the router ignores health
+    rather than failing outright — replicas that just restarted answer
+    again.  [probe_ms] adds an {e active} probe on top: a background
+    thread pings the currently-unhealthy shards with a [stats] request
+    every [probe_ms] milliseconds (no retries), so a recovered replica
+    rejoins the rotation without waiting for live traffic to risk a
+    half-open attempt on it.  The probe only ever {e restores} health;
+    failed probes never deepen a penalty (routing owns demotion).
 
     {b Admission.}  [max_inflight] bounds this client's concurrent
     requests {e per shard}; a saturated home shard reroutes instead of
@@ -31,7 +37,9 @@
     [rerouted] (answered by a shard other than the key's home),
     [failovers] (attempts that moved on after a failure), [failed]
     (requests with no shard left to try), [unhealthy] (health-mark
-    transitions), plus the [request_ms] latency histogram. *)
+    transitions), [probes] (active probes sent) and [probe_recoveries]
+    (shards restored by a probe), plus the [request_ms] latency
+    histogram. *)
 
 type t
 
@@ -41,6 +49,7 @@ val create :
   ?backoff_ms:float ->
   ?max_inflight:int ->
   ?cooldown_s:float ->
+  ?probe_ms:float ->
   Server.endpoint list ->
   t
 (** [create endpoints] builds a router over the replica list.
@@ -48,7 +57,16 @@ val create :
     {!Server.call} per attempt; [max_inflight] (default 64) is the
     per-shard concurrent-request bound; [cooldown_s] (default 1.0) is
     how long a failed shard is skipped before a half-open retry.
-    @raise Invalid_argument on an empty endpoint list. *)
+    [probe_ms] starts the active health-probe thread (off by default);
+    call {!close} to stop it.
+    @raise Invalid_argument on an empty endpoint list or a
+    non-positive or non-finite [probe_ms]. *)
+
+val close : t -> unit
+(** Stop the active probe thread (if [probe_ms] was given) and join
+    it.  Idempotent; a router without a probe thread closes as a
+    no-op.  The router itself holds no other resources — connections
+    are per-call. *)
 
 val endpoints : t -> Server.endpoint list
 (** The replica list, in the order given to {!create} — shard [i] of

@@ -58,7 +58,7 @@ let stats_response ?cache ?disk_cache ?transport ?shard () =
 (* Sweeps                                                              *)
 
 type sweep_item = {
-  edits : (int * float) list;
+  edits : Tsg_engine.Protocol.sweep_edit list;
   elapsed_ms : float;
   outcome : (Tsg.Cycle_time.report * Tsg.Whatif.stats, string) result;
 }
@@ -68,10 +68,31 @@ let whatif_path = function
   | Tsg.Whatif.Warm -> "warm"
   | Tsg.Whatif.Cold -> "cold"
 
+(* echo each edit in its wire shape; delay edits keep the bare
+   tsa-rpc/3 form so v3 clients parse v4 delay sweeps unchanged *)
 let edits_json edits =
+  let ev = function
+    | Tsg_engine.Protocol.Ev_id i -> Int i
+    | Tsg_engine.Protocol.Ev_name n -> String n
+  in
   List
     (List.map
-       (fun (arc, delta) -> Obj [ ("arc", Int arc); ("delta", Float delta) ])
+       (function
+         | Tsg_engine.Protocol.Sw_delay { sw_arc; sw_delta } ->
+           Obj [ ("arc", Int sw_arc); ("delta", Float sw_delta) ]
+         | Tsg_engine.Protocol.Sw_add { sw_src; sw_dst; sw_delay; sw_marked } ->
+           Obj
+             [
+               ("op", String "add");
+               ("src", ev sw_src);
+               ("dst", ev sw_dst);
+               ("delay", Float sw_delay);
+               ("marked", Bool sw_marked);
+             ]
+         | Tsg_engine.Protocol.Sw_remove arc ->
+           Obj [ ("op", String "remove"); ("arc", Int arc) ]
+         | Tsg_engine.Protocol.Sw_mark { sw_arc; sw_marked } ->
+           Obj [ ("op", String "mark"); ("arc", Int sw_arc); ("marked", Bool sw_marked) ])
        edits)
 
 let sweep_response ~model g items =

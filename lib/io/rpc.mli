@@ -37,7 +37,7 @@ val stats_response :
   ?shard:string ->
   unit ->
   string
-(** [{"status":"ok","protocol":"tsa-rpc/3","transport":"tcp",
+(** [{"status":"ok","protocol":"tsa-rpc/4","transport":"tcp",
     "shard":"127.0.0.1:7601","metrics":[...],"latency":[...],
     "cache":{...},"disk_cache":{...}}]: the protocol version
     ({!Tsg_engine.Protocol.version}); the serving transport (["unix"]
@@ -51,7 +51,7 @@ val stats_response :
     replicas apart from one [stats] broadcast. *)
 
 type sweep_item = {
-  edits : (int * float) list;  (** the scenario, as (arc id, delta) pairs *)
+  edits : Tsg_engine.Protocol.sweep_edit list;  (** the scenario, as received *)
   elapsed_ms : float;
   outcome : (Tsg.Cycle_time.report * Tsg.Whatif.stats, string) result;
 }
@@ -62,7 +62,11 @@ val sweep_response : model:string -> Tsg.Signal_graph.t -> sweep_item list -> st
     (each [ok] item embeds a full {!Json_report.analysis_obj} report —
     byte-identical to the [analyze] report of the edited graph — plus
     its warm-start path and reuse counts), and a summary with
-    [reused]/[resimulated]/[short_circuits] totals:
+    [reused]/[resimulated]/[short_circuits] totals.  Each item echoes
+    its scenario's edits in their wire shape (delay edits keep the
+    bare [{"arc":..,"delta":..}] form; structural edits carry their
+    ["op"] tag).  Arc ids inside a structural item's report refer to
+    the {e edited} graph; event names are stable.
 
     {v {"status":"ok","model":...,"events":...,"arcs":...,
  "items":[{"status":"ok","edits":[{"arc":0,"delta":1.5}],

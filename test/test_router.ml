@@ -181,6 +181,76 @@ let test_saturated_fleet_sheds () =
     Alcotest.(check bool) "the error names the condition" true
       (has_sub "no shard available")
 
+let test_probe_restores_restarted_replica () =
+  with_fleet 2 @@ fun servers ->
+  let eps = List.map snd servers in
+  (* cooldown of a minute: within this test, only the active probe can
+     restore a shard — routing's half-open retry never gets a chance *)
+  let r =
+    Router.create ~retries:0 ~backoff_ms:5. ~cooldown_s:60. ~probe_ms:40. eps
+  in
+  Fun.protect ~finally:(fun () -> Router.close r) @@ fun () ->
+  let req = analyze_req (bench "fig1.g") in
+  let key = "probe-digest" in
+  ignore (route_ok r ~key req);
+  let home = Router.home r key in
+  stop_server (List.nth servers home);
+  (* the next request fails over and marks the home shard down *)
+  ignore (route_ok r ~key req);
+  let s = Router.stats r in
+  Alcotest.(check bool) "home marked unhealthy" false
+    (List.nth s.Router.shards home).Router.healthy;
+  let requests_before = s.Router.requests in
+  (* resurrect a replica on the same port *)
+  let port =
+    match List.nth eps home with
+    | Server.Tcp { port; _ } -> port
+    | _ -> Alcotest.fail "expected a TCP endpoint"
+  in
+  let cache = Cache.create ~metrics_prefix:"test-router-probe" ~capacity:8 () in
+  let bound = ref None in
+  let thread =
+    Thread.create
+      (fun () ->
+        Server.serve
+          ~on_ready:(fun ep -> bound := Some ep)
+          ~endpoint:(Server.Tcp { host = "127.0.0.1"; port })
+          ~handler:(Test_server.make_handler cache) ())
+      ()
+  in
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  while !bound = None && Unix.gettimeofday () < deadline do
+    Thread.yield ()
+  done;
+  (match !bound with
+  | None -> Alcotest.fail "replacement replica never became ready"
+  | Some _ -> ());
+  Fun.protect ~finally:(fun () -> stop_server (thread, List.nth eps home))
+  @@ fun () ->
+  (* no routing traffic from here on: recovery must come from the
+     probe alone *)
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  let rec wait () =
+    let s = Router.stats r in
+    if (List.nth s.Router.shards home).Router.healthy then s
+    else if Unix.gettimeofday () > deadline then
+      Alcotest.fail "probe never restored the restarted shard"
+    else begin
+      Thread.delay 0.02;
+      wait ()
+    end
+  in
+  let s = wait () in
+  Alcotest.(check int) "no routed request was needed" requests_before
+    s.Router.requests;
+  (* and routing to the home works again without a failover *)
+  let failovers_before = s.Router.failovers in
+  Alcotest.(check string) "restored shard serves" "ok"
+    (status (parse_response (route_ok r ~key req)));
+  let s = Router.stats r in
+  Alcotest.(check int) "no failover after recovery" failovers_before
+    s.Router.failovers
+
 let test_expired_deadline_refused_before_dialing () =
   let r = Router.create fake_endpoints in
   let d = Deadline.make ~budget_ms:0.001 () in
@@ -204,6 +274,8 @@ let suite =
     Alcotest.test_case "broadcast reaches every replica" `Quick test_broadcast;
     Alcotest.test_case "saturated fleet sheds instead of queueing" `Quick
       test_saturated_fleet_sheds;
+    Alcotest.test_case "active probe restores a restarted replica" `Quick
+      test_probe_restores_restarted_replica;
     Alcotest.test_case "expired deadline refused before dialing" `Quick
       test_expired_deadline_refused_before_dialing;
   ]

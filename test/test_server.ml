@@ -48,24 +48,29 @@ let make_handler cache =
           match Whatif.prepare g with
           | exception Cycle_time.Not_analyzable msg -> Tsg_io.Rpc.error_response msg
           | base ->
-            let scens =
-              Array.of_list
-                (List.map
-                   (List.map (fun (e : Protocol.sweep_edit) ->
-                        { Whatif.arc = e.sw_arc; delta = e.sw_delta }))
-                   scenarios)
+            let change = function
+              | Protocol.Sw_delay { sw_arc; sw_delta } ->
+                Whatif.Delay { arc = sw_arc; delta = sw_delta }
+              | Protocol.Sw_add { sw_src; sw_dst; sw_delay; sw_marked } ->
+                let ev = function
+                  | Protocol.Ev_id i -> i
+                  | Protocol.Ev_name _ -> Alcotest.fail "test handler resolves ids only"
+                in
+                Whatif.Add_arc
+                  { src = ev sw_src; dst = ev sw_dst; delay = sw_delay; marked = sw_marked }
+              | Protocol.Sw_remove arc -> Whatif.Remove_arc arc
+              | Protocol.Sw_mark { sw_arc; sw_marked } ->
+                Whatif.Set_marked { arc = sw_arc; marked = sw_marked }
             in
-            let results = Whatif.sweep ~jobs:2 base scens in
+            let scens = Array.of_list scenarios in
+            let results =
+              Whatif.sweep_changes ~jobs:2 base (Array.map (List.map change) scens)
+            in
             let items =
               Array.to_list
                 (Array.mapi
                    (fun i outcome ->
-                     {
-                       Tsg_io.Rpc.edits =
-                         List.map (fun (e : Whatif.edit) -> (e.arc, e.delta)) scens.(i);
-                       elapsed_ms = 0.;
-                       outcome;
-                     })
+                     { Tsg_io.Rpc.edits = scens.(i); elapsed_ms = 0.; outcome })
                    results)
             in
             Tsg_io.Rpc.sweep_response ~model:m.Tsg_io.Loader.name g items))
@@ -145,7 +150,8 @@ let sweep_req path scenarios =
          path;
          scenarios =
            List.map
-             (List.map (fun (arc, delta) -> { Protocol.sw_arc = arc; sw_delta = delta }))
+             (List.map (fun (arc, delta) ->
+                  Protocol.Sw_delay { sw_arc = arc; sw_delta = delta }))
              scenarios;
          periods = None;
          jobs = Some 2;
@@ -336,6 +342,67 @@ let test_sweep_round_trip () =
     Alcotest.(check string) "bad arc is an error item" "error" (status items.(3))
   | other -> Alcotest.failf "expected two responses, got %d" (List.length other)
 
+let test_structural_sweep_round_trip () =
+  with_server @@ fun ~socket ~cache:_ ->
+  (* remove arc 0 and add an identical arc back: a genuinely structural
+     scenario whose answer must equal the base analysis — but arrive
+     via the warm structural path, not a short-circuit (the arc ids
+     permute).  The marking no-op scenario IS a literal no-op and must
+     short-circuit.  Old-style delay edits ride in the same request:
+     tsa-rpc/3 clients keep working against the tsa-rpc/4 daemon. *)
+  let path = bench "stack66.g" in
+  let a0 =
+    match Tsg_io.Loader.load_file path with
+    | Ok m -> (Tsg.Signal_graph.arcs m.Tsg_io.Loader.graph).(0)
+    | Error msg -> Alcotest.failf "cannot load %s: %s" path msg
+  in
+  let sweep =
+    Protocol.request_to_string
+      (Protocol.Sweep
+         {
+           path;
+           scenarios =
+             [
+               [
+                 Protocol.Sw_remove 0;
+                 Protocol.Sw_add
+                   {
+                     sw_src = Protocol.Ev_id a0.Tsg.Signal_graph.arc_src;
+                     sw_dst = Protocol.Ev_id a0.Tsg.Signal_graph.arc_dst;
+                     sw_delay = a0.Tsg.Signal_graph.delay;
+                     sw_marked = a0.Tsg.Signal_graph.marked;
+                   };
+               ];
+               [ Protocol.Sw_mark { sw_arc = 0; sw_marked = a0.Tsg.Signal_graph.marked } ];
+               [ Protocol.Sw_delay { sw_arc = 0; sw_delta = 1.5 } ];
+             ];
+           periods = None;
+           jobs = Some 2;
+           timeout_ms = None;
+         })
+  in
+  match call ~socket [ sweep; analyze_req path ] with
+  | [ sweep_resp; analyze_resp ] ->
+    let s = parse_response sweep_resp and a = parse_response analyze_resp in
+    Alcotest.(check string) "sweep ok" "ok" (status s);
+    Helpers.check_float "three scenarios" 3. (number_at [ "summary"; "total" ] s);
+    Helpers.check_float "none failed" 0. (number_at [ "summary"; "failed" ] s);
+    let items =
+      match Protocol.member "items" s with
+      | Some (Protocol.List l) -> Array.of_list l
+      | _ -> Alcotest.fail "sweep response carries items"
+    in
+    Alcotest.(check string) "remove+re-add ran warm" "warm"
+      (string_at [ "path" ] items.(0));
+    Helpers.check_float "remove+re-add keeps the cycle time"
+      (number_at [ "report"; "cycle_time" ] a)
+      (number_at [ "report"; "cycle_time" ] items.(0));
+    Alcotest.(check string) "marking no-op short-circuits" "short_circuit"
+      (string_at [ "path" ] items.(1));
+    Alcotest.(check string) "delay edit still served" "warm"
+      (string_at [ "path" ] items.(2))
+  | other -> Alcotest.failf "expected two responses, got %d" (List.length other)
+
 let test_shutdown_removes_socket () =
   with_server @@ fun ~socket ~cache:_ ->
   (match call ~socket [ {|{"op":"shutdown"}|} ] with
@@ -404,6 +471,8 @@ let suite =
     Alcotest.test_case "stats reports latency percentiles" `Quick
       test_stats_reports_latency_percentiles;
     Alcotest.test_case "sweep round-trip over the socket" `Quick test_sweep_round_trip;
+    Alcotest.test_case "structural sweep round-trip over the socket" `Quick
+      test_structural_sweep_round_trip;
     Alcotest.test_case "TCP round-trip matches Unix byte-for-byte" `Quick
       test_tcp_round_trip_matches_unix;
     Alcotest.test_case "shutdown removes the socket" `Quick test_shutdown_removes_socket;
