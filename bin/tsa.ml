@@ -858,8 +858,16 @@ let client_cmd =
     in
     Arg.(value & opt (some float) None & info [ "probe-ms" ] ~docv:"T" ~doc)
   in
-  let run socket endpoints files batch stats shutdown deltas periods jobs timeout_ms
-      retries probe_ms =
+  let via_arg =
+    let doc =
+      "Send every request to a $(b,tsa proxy) at this single address \
+       (HOST:PORT or socket path) and let it route, retry, hedge and shed: \
+       the thin-client path — no endpoint list, no local router."
+    in
+    Arg.(value & opt (some string) None & info [ "via" ] ~docv:"EP" ~doc)
+  in
+  let run socket endpoints via files batch stats shutdown deltas periods jobs
+      timeout_ms retries probe_ms =
     let open Tsg_engine.Protocol in
     let sweep_requests =
       if deltas = [] then []
@@ -900,14 +908,14 @@ let client_cmd =
       Fmt.epr "tsa: nothing to send (give models, --stats or --shutdown)@.";
       exit 2
     end;
-    match (socket, endpoints) with
-    | Some _, Some _ ->
-      Fmt.epr "tsa: give --socket or --endpoints, not both@.";
+    match (socket, endpoints, via) with
+    | (Some _, Some _, _ | Some _, _, Some _ | _, Some _, Some _) ->
+      Fmt.epr "tsa: give exactly one of --socket, --endpoints or --via@.";
       exit 2
-    | None, None ->
-      Fmt.epr "tsa: give --socket PATH or --endpoints EP,EP,...@.";
+    | None, None, None ->
+      Fmt.epr "tsa: give --socket PATH, --endpoints EP,EP,... or --via EP@.";
       exit 2
-    | Some socket, None -> (
+    | Some socket, None, None -> (
       match
         Tsg_engine.Server.call ~retries
           ~endpoint:(Tsg_engine.Server.Unix_socket socket)
@@ -921,7 +929,32 @@ let client_cmd =
       | exception Failure msg ->
         Fmt.epr "tsa: %s@." msg;
         exit 1)
-    | None, Some spec ->
+    | None, None, Some spec -> (
+      (* the thin-client path: one conversation with the proxy, which
+         owns routing, retries, hedging and shedding.  Responses —
+         including degraded:true stale serves — are printed as
+         received. *)
+      let endpoint =
+        match Tsg_engine.Server.endpoint_of_string (String.trim spec) with
+        | Ok ep -> ep
+        | Error msg ->
+          Fmt.epr "tsa: bad --via endpoint %S: %s@." spec msg;
+          exit 2
+      in
+      match
+        Tsg_engine.Server.call ~retries ~endpoint
+          (List.map request_to_string requests)
+      with
+      | responses -> List.iter print_endline responses
+      | exception Unix.Unix_error (err, _, _) ->
+        Fmt.epr "tsa: cannot reach %s: %s (is 'tsa proxy' running?)@."
+          (Tsg_engine.Server.endpoint_to_string endpoint)
+          (Unix.error_message err);
+        exit 1
+      | exception Failure msg ->
+        Fmt.epr "tsa: %s@." msg;
+        exit 1)
+    | None, Some spec, None ->
       let eps =
         String.split_on_char ',' spec
         |> List.filter (fun s -> String.trim s <> "")
@@ -995,16 +1028,283 @@ let client_cmd =
       if !failures > 0 then exit 1
   in
   let doc =
-    "Query a running $(b,tsa serve) daemon ($(b,--socket)) or a fleet of replicas \
-     ($(b,--endpoints), digest-routed with failover): one JSON response line per \
+    "Query a running $(b,tsa serve) daemon ($(b,--socket)), a fleet of replicas \
+     ($(b,--endpoints), digest-routed with failover), or a $(b,tsa proxy) \
+     ($(b,--via), one address, server-side routing): one JSON response line per \
      request."
   in
   Cmd.v
     (Cmd.info "client" ~doc)
     Term.(
-      const run $ socket_arg $ endpoints_arg $ files_arg $ batch_flag $ stats_flag
-      $ shutdown_flag $ delta_args $ periods_arg $ jobs_arg $ timeout_arg
-      $ retries_arg $ probe_ms_arg)
+      const run $ socket_arg $ endpoints_arg $ via_arg $ files_arg $ batch_flag
+      $ stats_flag $ shutdown_flag $ delta_args $ periods_arg $ jobs_arg
+      $ timeout_arg $ retries_arg $ probe_ms_arg)
+
+(* ------------------------------------------------------------------ *)
+(* The proxy tier: the whole fleet behind one address                  *)
+
+let parse_endpoint_list spec =
+  let eps =
+    String.split_on_char ',' spec
+    |> List.filter (fun s -> String.trim s <> "")
+    |> List.map (fun s ->
+           match Tsg_engine.Server.endpoint_of_string (String.trim s) with
+           | Ok ep -> ep
+           | Error msg ->
+             Fmt.epr "tsa: bad endpoint %S: %s@." s msg;
+             exit 2)
+  in
+  if eps = [] then begin
+    Fmt.epr "tsa: --endpoints names no endpoints@.";
+    exit 2
+  end;
+  eps
+
+let proxy_cmd =
+  let listen_arg =
+    let doc =
+      "Endpoint the proxy binds: HOST:PORT, or a Unix socket path.  Port 0 \
+       (the default) asks the kernel for a free port, announced on stderr."
+    in
+    Arg.(value & opt string "127.0.0.1:0" & info [ "listen" ] ~docv:"EP" ~doc)
+  in
+  let endpoints_arg =
+    let doc = "Comma-separated replica endpoints the proxy fronts." in
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "endpoints" ] ~docv:"EP,EP,..." ~doc)
+  in
+  let cache_dir_arg =
+    let doc =
+      "The fleet's shared on-disk cache directory.  The proxy only ever reads \
+       it: when every candidate shard for a request is breaker-open or \
+       failing, a cached answer is served stale with a degraded:true marker \
+       instead of an error.  Omitted: degraded-mode serving is off."
+    in
+    Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR" ~doc)
+  in
+  let retry_budget_arg =
+    let doc =
+      "Retry-budget deposit ratio: tokens added per primary request; every \
+       retry and hedge withdraws one whole token, so retries are bounded to \
+       about this fraction of traffic.  An exhausted budget sheds \
+       ('overloaded') instead of retrying."
+    in
+    Arg.(value & opt float 0.1 & info [ "retry-budget" ] ~docv:"RATIO" ~doc)
+  in
+  let hedge_ms_arg =
+    let doc =
+      "Hedge idempotent requests after $(docv) milliseconds: 0 disables \
+       hedging; omitted, the delay adapts to the observed p95 upstream \
+       latency."
+    in
+    Arg.(value & opt (some float) None & info [ "hedge-ms" ] ~docv:"T" ~doc)
+  in
+  let queue_depth_arg =
+    let doc =
+      "Admission queue depth: requests waiting for an upstream slot beyond \
+       this high-water mark evict the eldest waiter ('overloaded')."
+    in
+    Arg.(value & opt int 64 & info [ "queue-depth" ] ~docv:"N" ~doc)
+  in
+  let max_concurrent_arg =
+    let doc = "Requests allowed to talk upstream concurrently." in
+    Arg.(value & opt int 32 & info [ "max-concurrent" ] ~docv:"N" ~doc)
+  in
+  let breaker_window_arg =
+    let doc = "Sliding window of per-shard call outcomes the breaker remembers." in
+    Arg.(value & opt int 16 & info [ "breaker-window" ] ~docv:"N" ~doc)
+  in
+  let breaker_failures_arg =
+    let doc = "Failures within the window that trip a shard's breaker open." in
+    Arg.(value & opt int 5 & info [ "breaker-failures" ] ~docv:"N" ~doc)
+  in
+  let breaker_cooldown_arg =
+    let doc =
+      "Milliseconds an open breaker waits before admitting one half-open \
+       trial request."
+    in
+    Arg.(value & opt float 1000. & info [ "breaker-cooldown-ms" ] ~docv:"T" ~doc)
+  in
+  let upstream_timeout_arg =
+    let doc =
+      "Seconds one upstream conversation may take before it counts as a \
+       failure (a wedged shard trips its breaker instead of absorbing a \
+       thread)."
+    in
+    Arg.(value & opt float 10. & info [ "upstream-timeout" ] ~docv:"S" ~doc)
+  in
+  let max_connections_arg =
+    let doc = "Refuse clients past this many concurrent connections." in
+    Arg.(value & opt int 256 & info [ "max-connections" ] ~docv:"N" ~doc)
+  in
+  let run listen endpoints cache_dir retry_budget hedge_ms queue_depth
+      max_concurrent breaker_window breaker_failures breaker_cooldown_ms
+      upstream_timeout max_connections =
+    let listen_ep =
+      match Tsg_engine.Server.endpoint_of_string listen with
+      | Ok ep -> ep
+      | Error msg ->
+        Fmt.epr "tsa: bad --listen %S: %s@." listen msg;
+        exit 2
+    in
+    let eps = parse_endpoint_list endpoints in
+    (* the shared cache is opened for stale reads only — the proxy
+       never writes it (replicas own the write-behind) *)
+    let stale =
+      Option.map (fun dir -> Tsg_engine.Disk_cache.create ~dir ()) cache_dir
+    in
+    (* retries:0 — the proxy owns the retry policy (budgeted, breaker-
+       gated); Server.call-level retries underneath it would multiply
+       load invisibly, the exact storm the budget exists to kill *)
+    let router = Tsg_engine.Router.create ~retries:0 eps in
+    let hedging =
+      match hedge_ms with
+      | None -> Tsg_engine.Proxy.Auto
+      | Some ms when ms <= 0. -> Tsg_engine.Proxy.Off
+      | Some ms -> Tsg_engine.Proxy.Fixed_ms ms
+    in
+    let proxy =
+      try
+        Tsg_engine.Proxy.create ~breaker_window ~breaker_failures
+          ~breaker_cooldown_ms ~retry_ratio:retry_budget ~hedging ~queue_depth
+          ~max_concurrent ~upstream_timeout_s:upstream_timeout ?stale router
+      with Invalid_argument msg ->
+        Fmt.epr "tsa: %s@." msg;
+        exit 2
+    in
+    (* the routing key is the model's content digest — the same key the
+       client-side router and the replica caches use, so the proxy's
+       shard choice agrees with every other participant's.  The cache
+       key (degraded path) reproduces the daemon's exact disk-cache key
+       for analyze requests; sweeps and batches are never disk-cached *)
+    let digest_of path =
+      match load_model path with
+      | Ok (_, g) -> Signal_graph.digest g
+      | Error _ -> path
+    in
+    let classify req =
+      let open Tsg_engine.Protocol in
+      match req with
+      | Analyze { path; periods; timeout_ms } ->
+        let key, cache_key =
+          match load_model path with
+          | Ok (name, g) ->
+            let digest = Signal_graph.digest g in
+            ( digest,
+              Some
+                (Printf.sprintf "%s|%s|%s" digest name
+                   (match periods with
+                   | None -> "b"
+                   | Some n -> string_of_int n)) )
+          | Error _ -> (path, None)
+        in
+        `Forward (key, cache_key, true, timeout_ms)
+      | Sweep { path; timeout_ms; _ } ->
+        `Forward (digest_of path, None, true, timeout_ms)
+      | Batch { paths; timeout_ms; _ } ->
+        let key =
+          match paths with
+          | [ p ] -> digest_of p
+          | _ -> String.concat "," paths
+        in
+        (* batches fan out heavy work on the shard pool: correct to
+           replay but wasteful to duplicate, so they are not hedged *)
+        `Forward (key, None, false, timeout_ms)
+      | Stats -> `Stats
+      | Shutdown -> `Shutdown
+    in
+    let bound_endpoint = ref listen_ep in
+    let handler line =
+      match Tsg_engine.Protocol.parse_request line with
+      | Error msg ->
+        Tsg_engine.Server.Reply (Tsg_io.Rpc.error_response ~code:"bad_request" msg)
+      | Ok req -> (
+        match classify req with
+        | `Stats ->
+          Tsg_engine.Server.Reply
+            (Tsg_io.Rpc.stats_response
+               ?disk_cache:(Option.map Tsg_engine.Disk_cache.stats stale)
+               ~transport:
+                 (match listen_ep with
+                 | Tsg_engine.Server.Unix_socket _ -> "unix"
+                 | Tsg_engine.Server.Tcp _ -> "tcp")
+               ~shard:(Tsg_engine.Server.endpoint_to_string !bound_endpoint)
+               ~proxy:(Tsg_engine.Proxy.stats proxy, Tsg_engine.Router.stats router)
+               ())
+        | `Shutdown ->
+          (* the proxy is the fleet's one address: shutting it down
+             drains the shards behind it too (failures ignored — a
+             dead shard is already down) *)
+          ignore (Tsg_engine.Router.broadcast router line);
+          Tsg_engine.Server.Final (Tsg_io.Rpc.shutdown_response ())
+        | `Forward (key, cache_key, idempotent, timeout_ms) ->
+          let deadline_at =
+            Option.map
+              (fun ms -> Unix.gettimeofday () +. (ms /. 1000.))
+              timeout_ms
+          in
+          Tsg_engine.Server.Reply
+            (match
+               Tsg_engine.Proxy.forward proxy ~key ?cache_key ?deadline_at
+                 ~idempotent line
+             with
+            | Tsg_engine.Proxy.Fresh response -> response
+            | Tsg_engine.Proxy.Degraded (payload, _age) ->
+              Tsg_engine.Proxy.mark_degraded payload
+            | Tsg_engine.Proxy.Shed (code, msg) ->
+              Tsg_io.Rpc.error_response ~code msg
+            | Tsg_engine.Proxy.Failed msg ->
+              Tsg_io.Rpc.error_response ~code:"unavailable" msg))
+    in
+    let stop = Atomic.make false in
+    let request_stop _ = Atomic.set stop true in
+    (try Sys.set_signal Sys.sigterm (Sys.Signal_handle request_stop)
+     with Invalid_argument _ | Sys_error _ -> ());
+    (try Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop)
+     with Invalid_argument _ | Sys_error _ -> ());
+    let on_ready ep =
+      bound_endpoint := ep;
+      Fmt.epr "tsa: proxy on %s fronting %d shards%s@."
+        (Tsg_engine.Server.endpoint_to_string ep)
+        (Tsg_engine.Router.shard_count router)
+        (match cache_dir with
+        | Some dir -> Printf.sprintf ", degraded mode from %s" dir
+        | None -> "")
+    in
+    match
+      Tsg_engine.Server.serve ~max_connections ~stop ~on_ready
+        ~endpoint:listen_ep ~handler ()
+    with
+    | () ->
+      Option.iter Tsg_engine.Disk_cache.close stale;
+      Tsg_engine.Router.close router;
+      Fmt.epr "tsa: proxy stopped@."
+    | exception Unix.Unix_error (err, fn, arg) ->
+      Fmt.epr "tsa: cannot serve on %s: %s (%s %s)@."
+        (Tsg_engine.Server.endpoint_to_string listen_ep)
+        (Unix.error_message err) fn arg;
+      exit 1
+  in
+  let doc =
+    "Front a replica fleet on one address: requests are digest-routed to \
+     their home shard through per-shard circuit breakers, retried under a \
+     global retry budget (exhaustion sheds instead of retrying), hedged to \
+     the next-ranked shard for idempotent analyze/sweep calls, and admitted \
+     through a deadline-aware bounded queue.  With $(b,--cache-dir), \
+     requests whose shards are all down are answered stale from the shared \
+     disk cache with a degraded:true marker.  $(b,stats) answers locally \
+     with the proxy block; $(b,shutdown) drains the fleet behind the proxy, \
+     then the proxy itself."
+  in
+  Cmd.v
+    (Cmd.info "proxy" ~doc)
+    Term.(
+      const run $ listen_arg $ endpoints_arg $ cache_dir_arg $ retry_budget_arg
+      $ hedge_ms_arg $ queue_depth_arg $ max_concurrent_arg $ breaker_window_arg
+      $ breaker_failures_arg $ breaker_cooldown_arg $ upstream_timeout_arg
+      $ max_connections_arg)
 
 (* ------------------------------------------------------------------ *)
 (* Local replica fleets: spawn/drain N daemon subprocesses (testing,
@@ -1040,6 +1340,21 @@ let spawn_replica ?(quiet = false) ?cache_dir ~cache_size ~host ~port () =
   if quiet then (try Unix.close stderr_fd with Unix.Unix_error _ -> ());
   (pid, ep)
 
+let spawn_proxy ?(quiet = false) ?cache_dir ~listen ~endpoints () =
+  let argv =
+    [ "tsa"; "proxy"; "--listen"; listen; "--endpoints"; String.concat "," endpoints ]
+    @ match cache_dir with Some d -> [ "--cache-dir"; d ] | None -> []
+  in
+  let stderr_fd =
+    if quiet then Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 else Unix.stderr
+  in
+  let pid =
+    Unix.create_process Sys.executable_name (Array.of_list argv) Unix.stdin
+      Unix.stdout stderr_fd
+  in
+  if quiet then (try Unix.close stderr_fd with Unix.Unix_error _ -> ());
+  pid
+
 (* block until every replica answers a stats request (or raise after
    the retries run out) *)
 let wait_fleet_ready endpoints =
@@ -1052,6 +1367,21 @@ let wait_fleet_ready endpoints =
           (Tsg_engine.Server.call ~retries:12 ~backoff_ms:25. ~endpoint
              [ {|{"op":"stats"}|} ]))
     endpoints
+
+(* one supervised replica slot: [fm_state] is [`Alive] while the pid
+   runs, [`Waiting] while a crashed replica sits out its restart
+   backoff, [`Gone] once it exited for good *)
+type fleet_member = {
+  fm_i : int;
+  fm_host : string;
+  fm_port : int;
+  fm_ep : string;
+  mutable fm_pid : int;
+  mutable fm_started : float;
+  mutable fm_crashes : int;  (** consecutive abnormal exits *)
+  mutable fm_until : float;  (** restart not before this instant *)
+  mutable fm_state : [ `Alive | `Waiting | `Gone ];
+}
 
 let fleet_cmd =
   let replicas_arg =
@@ -1079,7 +1409,24 @@ let fleet_cmd =
     in
     Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR" ~doc)
   in
-  let run replicas host base_port cache_size cache_dir =
+  let restart_flag =
+    let doc =
+      "Respawn a replica that exits abnormally (a crash or a kill signal) on \
+       its original port, with capped exponential backoff (0.5 s doubling to \
+       10 s, reset after 30 s of uptime).  Clean exits — a broadcast \
+       shutdown, a graceful drain — are never restarted."
+    in
+    Arg.(value & flag & info [ "restart" ] ~doc)
+  in
+  let proxy_flag =
+    let doc =
+      "Also spawn a $(b,tsa proxy) fronting the fleet on a free port \
+       (announced as 'fleet: proxy EP'), sharing $(b,--cache-dir) for \
+       degraded-mode serving."
+    in
+    Arg.(value & flag & info [ "proxy" ] ~doc)
+  in
+  let run replicas host base_port cache_size cache_dir restart with_proxy =
     if replicas < 1 then begin
       Fmt.epr "tsa: --replicas must be at least 1@.";
       exit 2
@@ -1088,66 +1435,141 @@ let fleet_cmd =
       List.init replicas (fun i ->
           let port = if base_port = 0 then free_port () else base_port + i in
           let pid, ep = spawn_replica ?cache_dir ~cache_size ~host ~port () in
-          (i, pid, ep))
+          {
+            fm_i = i;
+            fm_host = host;
+            fm_port = port;
+            fm_ep = ep;
+            fm_pid = pid;
+            fm_started = Unix.gettimeofday ();
+            fm_crashes = 0;
+            fm_until = 0.;
+            fm_state = `Alive;
+          })
     in
-    let endpoints = List.map (fun (_, _, ep) -> ep) members in
+    let endpoints = List.map (fun m -> m.fm_ep) members in
     (* announce the fleet in a machine-parsable shape: scripts capture
-       the endpoints line for --endpoints and the pid lines for kill
-       drills *)
+       the endpoints line for --endpoints, the proxy line for --via,
+       and the pid lines for kill drills *)
     List.iter
-      (fun (i, pid, ep) -> Fmt.pr "replica %d: pid %d %s@." i pid ep)
+      (fun m -> Fmt.pr "replica %d: pid %d %s@." m.fm_i m.fm_pid m.fm_ep)
       members;
     Fmt.pr "fleet: endpoints %s@." (String.concat "," endpoints);
+    let kill_all signal =
+      List.iter
+        (fun m ->
+          if m.fm_state = `Alive then
+            try Unix.kill m.fm_pid signal with Unix.Unix_error _ -> ())
+        members
+    in
     (match wait_fleet_ready endpoints with
-    | () -> Fmt.pr "fleet: ready@."
+    | () -> ()
     | exception _ ->
       Fmt.epr "tsa: fleet failed to come up; terminating@.";
-      List.iter
-        (fun (_, pid, _) -> try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ())
-        members;
+      kill_all Sys.sigterm;
       exit 1);
+    let proxy_pid =
+      if not with_proxy then None
+      else begin
+        let listen = Printf.sprintf "%s:%d" host (free_port ()) in
+        let pid = spawn_proxy ?cache_dir ~listen ~endpoints () in
+        match wait_fleet_ready [ listen ] with
+        | () ->
+          Fmt.pr "fleet: proxy %s@." listen;
+          Some pid
+        | exception _ ->
+          Fmt.epr "tsa: proxy failed to come up; terminating@.";
+          (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+          kill_all Sys.sigterm;
+          exit 1
+      end
+    in
+    Fmt.pr "fleet: ready@.";
     (* from here the fleet runs until its replicas exit (a client
        broadcast shutdown, a kill drill) or we are asked to drain:
        SIGTERM/SIGINT is forwarded to every live replica, each of
-       which drains gracefully on its own *)
+       which drains gracefully on its own.  With --restart an
+       abnormal exit respawns the replica on its port after a capped
+       exponential backoff; draining cancels pending restarts. *)
     let drain = ref false in
     let forward _ = drain := true in
     (try Sys.set_signal Sys.sigterm (Sys.Signal_handle forward)
      with Invalid_argument _ | Sys_error _ -> ());
     (try Sys.set_signal Sys.sigint (Sys.Signal_handle forward)
      with Invalid_argument _ | Sys_error _ -> ());
-    let remaining = ref members in
-    while !remaining <> [] do
+    let draining = ref false in
+    let live () = List.exists (fun m -> m.fm_state <> `Gone) members in
+    while live () do
       if !drain then begin
         drain := false;
-        List.iter
-          (fun (_, pid, _) ->
+        draining := true;
+        kill_all Sys.sigterm;
+        Option.iter
+          (fun pid ->
             try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ())
-          !remaining
+          proxy_pid
       end;
-      remaining :=
-        List.filter
-          (fun (i, pid, ep) ->
-            match Unix.waitpid [ Unix.WNOHANG ] pid with
-            | 0, _ -> true
+      List.iter
+        (fun m ->
+          match m.fm_state with
+          | `Gone -> ()
+          | `Waiting ->
+            if !draining then m.fm_state <- `Gone
+            else if Unix.gettimeofday () >= m.fm_until then begin
+              let pid, _ =
+                spawn_replica ?cache_dir ~cache_size ~host:m.fm_host
+                  ~port:m.fm_port ()
+              in
+              m.fm_pid <- pid;
+              m.fm_started <- Unix.gettimeofday ();
+              m.fm_state <- `Alive;
+              Fmt.pr "replica %d: restarted pid %d@." m.fm_i pid
+            end
+          | `Alive -> (
+            match Unix.waitpid [ Unix.WNOHANG ] m.fm_pid with
+            | 0, _ -> ()
             | _, status ->
-              Fmt.pr "fleet: replica %d (%s) exited (%s)@." i ep
+              Fmt.pr "fleet: replica %d (%s) exited (%s)@." m.fm_i m.fm_ep
                 (match status with
                 | Unix.WEXITED c -> Printf.sprintf "status %d" c
                 | Unix.WSIGNALED s -> Printf.sprintf "signal %d" s
                 | Unix.WSTOPPED s -> Printf.sprintf "stopped %d" s);
-              false
-            | exception Unix.Unix_error (Unix.ECHILD, _, _) -> false
-            | exception Unix.Unix_error (Unix.EINTR, _, _) -> true)
-          !remaining;
-      if !remaining <> [] then Unix.sleepf 0.1
+              let abnormal =
+                match status with Unix.WEXITED 0 -> false | _ -> true
+              in
+              if restart && abnormal && not !draining then begin
+                let now = Unix.gettimeofday () in
+                (* a replica that ran long enough has proven the port
+                   and config good — don't let ancient crashes inflate
+                   the next backoff *)
+                if now -. m.fm_started > 30. then m.fm_crashes <- 0;
+                let backoff =
+                  Float.min 10. (0.5 *. (2. ** float_of_int m.fm_crashes))
+                in
+                m.fm_crashes <- m.fm_crashes + 1;
+                m.fm_until <- now +. backoff;
+                m.fm_state <- `Waiting
+              end
+              else m.fm_state <- `Gone
+            | exception Unix.Unix_error (Unix.ECHILD, _, _) ->
+              m.fm_state <- `Gone
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()))
+        members;
+      if live () then Unix.sleepf 0.1
     done;
+    Option.iter
+      (fun pid ->
+        (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+        try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
+      proxy_pid;
     Fmt.pr "fleet: stopped@."
   in
   let doc =
     "Spawn N local $(b,tsa serve --tcp) replicas on free ports, announce their \
      endpoints and pids, and babysit them until they exit; SIGTERM/SIGINT drains \
-     the whole fleet gracefully.  For testing, CI smoke drills and load \
+     the whole fleet gracefully.  $(b,--restart) respawns crashed replicas with \
+     capped exponential backoff; $(b,--proxy) fronts the fleet with a \
+     $(b,tsa proxy) on a free port.  For testing, CI smoke drills and load \
      generation — production replicas are expected to run under a real \
      supervisor."
   in
@@ -1155,7 +1577,7 @@ let fleet_cmd =
     (Cmd.info "fleet" ~doc)
     Term.(
       const run $ replicas_arg $ host_arg $ base_port_arg $ cache_size_arg
-      $ cache_dir_arg)
+      $ cache_dir_arg $ restart_flag $ proxy_flag)
 
 (* ------------------------------------------------------------------ *)
 (* The regression-bench harness                                        *)
@@ -1299,6 +1721,161 @@ let run_fleet_load () =
     fl_identical = !identical;
   }
 
+(* the proxy-overhead drill: the same deterministic mixed request set
+   as fleet_load, once through a client-side router over a 3-replica
+   fleet and once through a [tsa proxy] subprocess fronting an
+   identical fresh fleet.  Both passes start cold, so the walls are
+   comparable; the headline is the overhead of the extra loopback hop
+   plus the proxy's admission/breaker/budget bookkeeping, gated at
+   15% in CI. *)
+type proxy_load = {
+  pl_requests : int;
+  pl_threads : int;
+  pl_replicas : int;
+  pl_direct_ms : float;
+  pl_proxy_ms : float;
+  pl_failed : int;
+  pl_identical : bool;
+}
+
+let run_proxy_load () =
+  let open Tsg_engine.Protocol in
+  let host = "127.0.0.1" in
+  let models = [| "fig1"; "ring5"; "stack" |] in
+  let n_requests = 48 in
+  let client_threads = 4 in
+  let replicas = 3 in
+  let request_of i m =
+    if i land 1 = 0 then Analyze { path = m; periods = None; timeout_ms = None }
+    else
+      Sweep
+        {
+          path = m;
+          scenarios =
+            [
+              [
+                Sw_delay
+                  {
+                    sw_arc = i mod 3;
+                    sw_delta = 0.25 +. (float_of_int (i mod 5) /. 8.);
+                  };
+              ];
+            ];
+          periods = None;
+          jobs = None;
+          timeout_ms = None;
+        }
+  in
+  let lines =
+    Array.init n_requests (fun i ->
+        let m = models.(i mod Array.length models) in
+        let key =
+          match load_model m with
+          | Ok (_, g) -> Signal_graph.digest g
+          | Error _ -> m
+        in
+        (key, request_to_string (request_of i m), i land 1 = 0))
+  in
+  let with_fleet f =
+    let members =
+      List.init replicas (fun _ ->
+          let port = free_port () in
+          spawn_replica ~quiet:true ~cache_size:1024 ~host ~port ())
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        List.iter
+          (fun (pid, _) ->
+            try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ())
+          members;
+        List.iter
+          (fun (pid, _) ->
+            try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
+          members)
+    @@ fun () ->
+    let endpoints = List.map snd members in
+    wait_fleet_ready endpoints;
+    f endpoints
+  in
+  let drive send =
+    let idx = Atomic.make 0 in
+    let failed = Atomic.make 0 in
+    let responses = Array.make n_requests "" in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add idx 1 in
+        if i < n_requests then begin
+          let key, line, _ = lines.(i) in
+          (match send key line with
+          | Ok r -> responses.(i) <- r
+          | Error _ -> Atomic.incr failed);
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let t0 = Unix.gettimeofday () in
+    let threads = List.init client_threads (fun _ -> Thread.create worker ()) in
+    List.iter Thread.join threads;
+    ((Unix.gettimeofday () -. t0) *. 1000., responses, Atomic.get failed)
+  in
+  let parse_ep ep =
+    match Tsg_engine.Server.endpoint_of_string ep with
+    | Ok e -> e
+    | Error msg -> failwith msg
+  in
+  let direct_ms, direct_responses, direct_failed =
+    with_fleet (fun endpoints ->
+        let router = Tsg_engine.Router.create ~retries:3 (List.map parse_ep endpoints) in
+        Fun.protect ~finally:(fun () -> Tsg_engine.Router.close router)
+        @@ fun () ->
+        let r = drive (fun key line -> Tsg_engine.Router.route router ~key line) in
+        ignore (Tsg_engine.Router.broadcast router {|{"op":"shutdown"}|});
+        r)
+  in
+  let proxy_ms, proxy_responses, proxy_failed =
+    with_fleet (fun endpoints ->
+        let listen = Printf.sprintf "%s:%d" host (free_port ()) in
+        let pid = spawn_proxy ~quiet:true ~listen ~endpoints () in
+        Fun.protect
+          ~finally:(fun () ->
+            (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+            try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
+        @@ fun () ->
+        wait_fleet_ready [ listen ];
+        let endpoint = parse_ep listen in
+        let r =
+          drive (fun _key line ->
+              match Tsg_engine.Server.call ~retries:3 ~endpoint [ line ] with
+              | [ response ] -> Ok response
+              | _ -> Error "response count mismatch"
+              | exception Unix.Unix_error (e, _, _) ->
+                Error (Unix.error_message e)
+              | exception Failure msg -> Error msg)
+        in
+        (* a shutdown through the proxy drains the shards behind it,
+           then the proxy itself — the single-address teardown *)
+        (match Tsg_engine.Server.call ~endpoint [ {|{"op":"shutdown"}|} ] with
+        | _ -> ()
+        | exception Unix.Unix_error _ | exception Failure _ -> ());
+        r)
+  in
+  let identical = ref true in
+  Array.iteri
+    (fun i (_, _, is_analyze) ->
+      if is_analyze && direct_responses.(i) <> proxy_responses.(i) then
+        identical := false)
+    lines;
+  {
+    pl_requests = n_requests;
+    pl_threads = client_threads;
+    pl_replicas = replicas;
+    pl_direct_ms = direct_ms;
+    pl_proxy_ms = proxy_ms;
+    pl_failed = direct_failed + proxy_failed;
+    pl_identical = !identical;
+  }
+
 let bench_cmd =
   let files_arg =
     let doc = "Models to benchmark (default: benchmarks/*.g, sorted)." in
@@ -1316,9 +1893,9 @@ let bench_cmd =
     let doc =
       "Run only the named workloads (comma-separated).  Names match a model's \
        path, basename or basename without extension, or one of the composite \
-       workloads $(b,whatif_sweep), $(b,whatif_structural), $(b,fleet_load).  \
-       Skipped workloads appear in the snapshot with status \"skipped\", so \
-       filtered snapshots stay schema-compatible."
+       workloads $(b,whatif_sweep), $(b,whatif_structural), $(b,fleet_load), \
+       $(b,proxy_load).  Skipped workloads appear in the snapshot with status \
+       \"skipped\", so filtered snapshots stay schema-compatible."
     in
     Arg.(value & opt (some string) None & info [ "only" ] ~docv:"NAME[,NAME]" ~doc)
   in
@@ -1580,6 +2157,14 @@ let bench_cmd =
           | fl -> Ok fl
           | exception exn -> Error (Printexc.to_string exn))
     in
+    let proxy_outcome =
+      if not (selected "proxy_load") then None
+      else
+        Some
+          (match run_proxy_load () with
+          | pl -> Ok pl
+          | exception exn -> Error (Printexc.to_string exn))
+    in
     let module J = Tsg_io.Json in
     let fleet_json =
       match fleet_outcome with
@@ -1607,6 +2192,33 @@ let bench_cmd =
             ("speedup", J.Float (fl.fl_single_ms /. fl.fl_fleet_ms));
             ("failed", J.Int fl.fl_failed);
             ("byte_identical", J.Bool fl.fl_identical);
+          ]
+    in
+    let proxy_json =
+      match proxy_outcome with
+      | None -> J.Obj [ ("status", J.String "skipped") ]
+      | Some (Error msg) ->
+        J.Obj [ ("status", J.String "error"); ("error", J.String msg) ]
+      | Some (Ok pl) ->
+        let rps ms = float_of_int pl.pl_requests /. (ms /. 1000.) in
+        J.Obj
+          [
+            (* on a single core the proxy subprocess competes with the
+               replicas and the client for the same core, so the
+               overhead ratio is noise; the snapshot records the
+               status and CI gates softly, like fleet_load *)
+            ("status", J.String (if cores <= 1 then "single_core" else "ok"));
+            ("requests", J.Int pl.pl_requests);
+            ("client_threads", J.Int pl.pl_threads);
+            ("replicas", J.Int pl.pl_replicas);
+            ("cores", J.Int cores);
+            ("direct_ms", J.Float pl.pl_direct_ms);
+            ("proxy_ms", J.Float pl.pl_proxy_ms);
+            ("direct_rps", J.Float (rps pl.pl_direct_ms));
+            ("proxy_rps", J.Float (rps pl.pl_proxy_ms));
+            ("overhead", J.Float ((pl.pl_proxy_ms /. pl.pl_direct_ms) -. 1.));
+            ("failed", J.Int pl.pl_failed);
+            ("byte_identical", J.Bool pl.pl_identical);
           ]
     in
     let entry_json (file, outcome) =
@@ -1718,7 +2330,7 @@ let bench_cmd =
     let snapshot =
       J.Obj
         [
-          ("schema", J.String "tsa-bench/6");
+          ("schema", J.String "tsa-bench/7");
           ("date", J.String date);
           ("iterations", J.Int iterations);
           ("jobs_levels", J.List (List.map (fun j -> J.Int j) job_levels));
@@ -1726,6 +2338,7 @@ let bench_cmd =
           ("whatif_sweep", sweep_json);
           ("whatif_structural", structural_json);
           ("fleet_load", fleet_json);
+          ("proxy_load", proxy_json);
         ]
     in
     let rendered = J.to_string snapshot in
@@ -1809,6 +2422,26 @@ let bench_cmd =
           (if cores = 1 then "" else "s")
           fl.fl_failed
           (if fl.fl_identical then "analyze responses byte-identical"
+           else "ANALYZE RESPONSES DIFFER"));
+      (match proxy_outcome with
+      | None -> ()
+      | Some (Error msg) -> Fmt.pr "@.proxy load: skipped (%s)@." msg
+      | Some (Ok pl) ->
+        let rps ms = float_of_int pl.pl_requests /. (ms /. 1000.) in
+        Fmt.pr
+          "@.proxy load (%d mixed analyze/sweep requests, %d client threads, \
+           %d replicas)@."
+          pl.pl_requests pl.pl_threads pl.pl_replicas;
+        Fmt.pr "  direct router: %9.2f ms  (%.0f req/s)@." pl.pl_direct_ms
+          (rps pl.pl_direct_ms);
+        Fmt.pr "  via tsa proxy: %9.2f ms  (%.0f req/s)@." pl.pl_proxy_ms
+          (rps pl.pl_proxy_ms);
+        Fmt.pr "  overhead %.1f%% on %d core%s; %d failed; %s@."
+          (((pl.pl_proxy_ms /. pl.pl_direct_ms) -. 1.) *. 100.)
+          cores
+          (if cores = 1 then "" else "s")
+          pl.pl_failed
+          (if pl.pl_identical then "analyze responses byte-identical"
            else "ANALYZE RESPONSES DIFFER"))
     end;
     Fmt.epr "tsa: snapshot written to %s@." path
@@ -1818,11 +2451,13 @@ let bench_cmd =
      per-phase breakdown (load/unfold/simulate/backtrack), a jobs-scaling pass, \
      a what-if sweep workload (warm-start vs cold re-analysis), a \
      whatif_structural workload (arc add/remove/mark edits repaired in the warm \
-     path vs cold re-analysis) and a fleet_load serving-tier workload (1 vs 3 \
-     TCP replicas under a multi-threaded client), then write a dated JSON \
-     snapshot for regression tracking.  $(b,--only) NAME[,NAME] restricts the \
-     run to the named models or workloads (whatif_sweep, whatif_structural, \
-     fleet_load); skipped workloads record \"skipped\" in the snapshot."
+     path vs cold re-analysis), a fleet_load serving-tier workload (1 vs 3 \
+     TCP replicas under a multi-threaded client) and a proxy_load workload \
+     (client-side routing vs the same fleet behind $(b,tsa proxy)), then write \
+     a dated JSON snapshot for regression tracking.  $(b,--only) NAME[,NAME] \
+     restricts the run to the named models or workloads (whatif_sweep, \
+     whatif_structural, fleet_load, proxy_load); skipped workloads record \
+     \"skipped\" in the snapshot."
   in
   Cmd.v
     (Cmd.info "bench" ~doc)
@@ -2294,6 +2929,7 @@ let () =
             bench_cmd;
             serve_cmd;
             client_cmd;
+            proxy_cmd;
             fleet_cmd;
             simulate_cmd;
             diagram_cmd;

@@ -1,15 +1,20 @@
 (* The on-disk second tier under the in-memory Cache.  Layout: one
    file per entry in a flat directory,
 
-     <md5-of-key>.tsc   ::=  "tsa-disk-cache/1 <md5-of-payload> <len>\n"
+     <md5-of-key>.tsc   ::=  "tsa-disk-cache/2 <md5-of-payload> <len> <written_at>\n"
                              <payload bytes>
 
    published by atomic rename from a *.tmp.<pid> sibling.  The header
    makes every read self-verifying; the rename makes every write
-   all-or-nothing; mtimes make eviction LRU.  See disk_cache.mli for
-   the contract. *)
+   all-or-nothing; mtimes make eviction LRU.  [written_at] (seconds
+   since the epoch) records the entry's creation, independent of the
+   mtime refreshes that hits perform — it is what read_stale reports
+   an age against.  Version-1 entries (no timestamp) are still read;
+   their age falls back to the mtime.  See disk_cache.mli for the
+   contract. *)
 
-let magic = "tsa-disk-cache/1"
+let magic = "tsa-disk-cache/2"
+let magic_v1 = "tsa-disk-cache/1"
 let entry_suffix = ".tsc"
 let max_pending = 256
 
@@ -23,6 +28,8 @@ type stats = {
   evictions : int;
   corrupt : int;
   dropped : int;
+  stale_served : int;
+  oldest_age_s : float;
 }
 
 type t = {
@@ -44,6 +51,7 @@ type t = {
   mutable evictions : int;
   mutable corrupt : int;
   mutable dropped : int;
+  mutable stale_served : int;
 }
 
 let file_of_key t key =
@@ -94,6 +102,8 @@ let length t = List.length (scan_entries t)
 (* ------------------------------------------------------------------ *)
 (* Reads *)
 
+(* Returns the payload and, for version-2 entries, the creation
+   timestamp the writer recorded in the header. *)
 let read_entry path =
   let ic = open_in_bin path in
   Fun.protect
@@ -102,8 +112,17 @@ let read_entry path =
       match input_line ic with
       | exception End_of_file -> None
       | header -> (
-        match String.split_on_char ' ' header with
-        | [ m; md5_hex; len_s ] when m = magic -> (
+        let parsed =
+          match String.split_on_char ' ' header with
+          | [ m; md5_hex; len_s ] when m = magic_v1 ->
+            Some (md5_hex, len_s, None)
+          | [ m; md5_hex; len_s; ts_s ] when m = magic ->
+            Some (md5_hex, len_s, float_of_string_opt ts_s)
+          | _ -> None
+        in
+        match parsed with
+        | None -> None
+        | Some (md5_hex, len_s, written_at) -> (
           match int_of_string_opt len_s with
           | Some len when len >= 0 && len <= in_channel_length ic -> (
             let buf = Bytes.create len in
@@ -116,10 +135,9 @@ let read_entry path =
               if
                 pos_in ic = in_channel_length ic
                 && Digest.to_hex (Digest.string payload) = md5_hex
-              then Some payload
+              then Some (payload, written_at)
               else None)
-          | _ -> None)
-        | _ -> None))
+          | _ -> None)))
 
 let find t key =
   if t.dc_capacity = 0 then begin
@@ -134,10 +152,10 @@ let find t key =
     let path = file_of_key t key in
     let result =
       match read_entry path with
-      | Some _ as r ->
+      | Some (payload, _) ->
         (* a hit is a use: refresh the mtime so LRU eviction spares it *)
         (try Unix.utimes path 0. 0. with Unix.Unix_error _ -> ());
-        r
+        Some payload
       | None ->
         (* verification failed on an existing file: corrupt — delete
            it so the slot recomputes cleanly *)
@@ -159,6 +177,40 @@ let find t key =
     Metrics.incr
       (t.prefix ^ match result with Some _ -> "/hits" | None -> "/misses");
     result
+  end
+
+(* The degraded-serving read: same self-verification as [find], but
+   the caller explicitly accepts a possibly-stale answer and gets told
+   how old it is.  Deliberately does NOT refresh the mtime — serving
+   an entry because every live shard is down is not evidence anyone
+   still wants it, so it must not outlive fresher entries in the LRU —
+   and does not count hits/misses (degraded traffic has its own
+   [stale_served] accounting).  Corrupt files are left for the normal
+   read path to delete. *)
+let read_stale t key =
+  if t.dc_capacity = 0 then None
+  else begin
+    let path = file_of_key t key in
+    match read_entry path with
+    | Some (payload, written_at) ->
+      let now = Unix.gettimeofday () in
+      let age =
+        match written_at with
+        | Some ts -> Float.max 0. (now -. ts)
+        | None -> (
+          (* version-1 entry: the mtime (refreshed by hits, so really
+             a last-use time) is the best record available *)
+          match Unix.stat path with
+          | st -> Float.max 0. (now -. st.Unix.st_mtime)
+          | exception Unix.Unix_error _ -> 0.)
+      in
+      Mutex.lock t.mutex;
+      t.stale_served <- t.stale_served + 1;
+      Mutex.unlock t.mutex;
+      Metrics.incr (t.prefix ^ "/stale_served");
+      Some (payload, age)
+    | None -> None
+    | exception Sys_error _ -> None
   end
 
 (* ------------------------------------------------------------------ *)
@@ -197,9 +249,9 @@ let write_entry t key value =
   match
     let oc = open_out_bin tmp in
     (try
-       Printf.fprintf oc "%s %s %d\n" magic
+       Printf.fprintf oc "%s %s %d %.6f\n" magic
          (Digest.to_hex (Digest.string value))
-         (String.length value);
+         (String.length value) (Unix.gettimeofday ());
        output_string oc value;
        flush oc
      with exn ->
@@ -276,7 +328,19 @@ let flush t =
   Mutex.unlock t.mutex
 
 let stats t =
-  let len = length t in
+  let entries = scan_entries t in
+  let len = List.length entries in
+  let now = Unix.gettimeofday () in
+  (* oldest-entry age by mtime: the LRU clock, i.e. how long the
+     least-recently-used entry has sat unread *)
+  let oldest_age_s =
+    List.fold_left
+      (fun acc name ->
+        match Unix.stat (Filename.concat t.dc_dir name) with
+        | st -> Float.max acc (now -. st.Unix.st_mtime)
+        | exception Unix.Unix_error _ -> acc)
+      0. entries
+  in
   Mutex.lock t.mutex;
   let s =
     {
@@ -289,6 +353,8 @@ let stats t =
       evictions = t.evictions;
       corrupt = t.corrupt;
       dropped = t.dropped;
+      stale_served = t.stale_served;
+      oldest_age_s;
     }
   in
   Mutex.unlock t.mutex;
@@ -329,6 +395,7 @@ let create ?(metrics_prefix = "disk-cache") ?(capacity = 4096) ~dir () =
       evictions = 0;
       corrupt = 0;
       dropped = 0;
+      stale_served = 0;
     }
   in
   if capacity > 0 then t.writer <- Some (Thread.create writer_loop t);

@@ -31,10 +31,18 @@
     [capacity] entries, the oldest-mtime entries are removed
     ([<prefix>/evictions]).
 
+    {b Entry age.}  Version-2 entries record their creation time in
+    the header, independent of the mtime refreshes that hits perform.
+    {!read_stale} — the proxy tier's degraded-mode read — returns the
+    payload together with that age, without refreshing the mtime (a
+    forced stale serve is not evidence of demand) and without touching
+    the hit/miss counters.  Version-1 entries are still read; their
+    age falls back to the mtime.
+
     Counters ([<prefix>/hits], [misses], [writes], [evictions],
-    [corrupt], [dropped]) and latency histograms ([<prefix>/read_ms],
-    [<prefix>/write_ms]) land in {!Metrics} under the
-    [metrics_prefix], default ["disk-cache"]. *)
+    [corrupt], [dropped], [stale_served]) and latency histograms
+    ([<prefix>/read_ms], [<prefix>/write_ms]) land in {!Metrics} under
+    the [metrics_prefix], default ["disk-cache"]. *)
 
 type t
 
@@ -58,6 +66,17 @@ val find : t -> string -> string option
     corrupt (deleted on the spot, counted in [<prefix>/corrupt])
     entries. *)
 
+val read_stale : t -> string -> (string * float) option
+(** [read_stale t key] reads and verifies the entry {e without}
+    refreshing its mtime or counting a hit/miss, returning the payload
+    and its age in seconds (creation age for version-2 entries, mtime
+    age for version-1).  This is the degraded-serving read: call it
+    only when a fresh answer is unavailable — the proxy does, when
+    every candidate shard for a digest is open or down.  Successful
+    reads count in [<prefix>/stale_served] and the [stale_served]
+    stats field.  Corrupt entries return [None] and are left in place
+    for {!find} to clean up. *)
+
 val add : t -> string -> string -> unit
 (** [add t key value] enqueues the entry for the writer thread.
     Returns immediately; the entry becomes visible to {!find} once
@@ -77,10 +96,15 @@ type stats = {
   evictions : int;
   corrupt : int;
   dropped : int;
+  stale_served : int;  (** successful {!read_stale} reads *)
+  oldest_age_s : float;
+      (** seconds since the least-recently-used entry's mtime — how
+          stale the back of the LRU queue is; [0.] when empty *)
 }
 
 val stats : t -> stats
-(** A snapshot of the per-cache counters and occupancy. *)
+(** A snapshot of the per-cache counters and occupancy (two directory
+    scans — O(entries)). *)
 
 val close : t -> unit
 (** {!flush}, then stop the writer thread.  Further {!add}s are

@@ -241,7 +241,7 @@ let member k = function
 (* ------------------------------------------------------------------ *)
 (* Requests                                                            *)
 
-let version = "tsa-rpc/4"
+let version = "tsa-rpc/5"
 
 type ev = Ev_id of int | Ev_name of string
 

@@ -41,14 +41,19 @@
     back to a cold analysis only when the border set moves. *)
 
 val version : string
-(** The protocol version string, ["tsa-rpc/4"]: version 1 spoke
+(** The protocol version string, ["tsa-rpc/5"]: version 1 spoke
     [analyze]/[batch]/[stats]/[shutdown]; version 2 added [sweep];
     version 3 added the TCP transport and the [transport]/[shard]/
     [disk_cache] fields of the [stats] response; version 4 added the
-    structural sweep edits ([op] = [add]/[remove]/[mark]).  An edit
-    without an [op] field is a delay edit, so every tsa-rpc/3 request
-    is a valid tsa-rpc/4 request and a v3 client can talk to a v4
-    daemon unchanged.  Servers report it in the [stats] response;
+    structural sweep edits ([op] = [add]/[remove]/[mark]); version 5
+    added the proxy tier's response markers — a [degraded:true] field
+    on responses served stale from the disk cache while every live
+    shard was unavailable, an ["overloaded"] error code, and the
+    [proxy] block of the [stats] response.  An edit without an [op]
+    field is a delay edit and unknown response fields are ignored by
+    every parser in this repo, so every tsa-rpc/3 request is a valid
+    tsa-rpc/5 request and a v4 client can talk to a v5 daemon (or
+    proxy) unchanged.  Servers report it in the [stats] response;
     additions are backwards-compatible within a major version. *)
 
 (** {1 JSON values} *)

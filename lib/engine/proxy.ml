@@ -1,0 +1,629 @@
+(* The fleet-fronting policy layer.  See proxy.mli for the contract.
+
+   Everything here is written against Router.call_one — one shard,
+   one attempt, no internal retries — because every *decision* to try
+   again must pass through the retry budget, and every outcome must
+   reach the right breaker.  The router's own failover (route) is
+   deliberately not used: it retries on its own clock and would
+   launder failures past both. *)
+
+(* ------------------------------------------------------------------ *)
+(* Circuit breaker *)
+
+module Breaker = struct
+  type state = Closed | Open | Half_open
+
+  type t = {
+    window : bool array;  (* ring of outcomes; true = failure *)
+    mutable filled : int;
+    mutable pos : int;
+    failures : int;
+    cooldown_ms : float;
+    mutable st : state;
+    mutable open_until : float;
+    mutable trial : bool;  (* the half-open probe slot is taken *)
+    mx : Mutex.t;
+  }
+
+  let create ?(window = 16) ?(failures = 5) ?(cooldown_ms = 1000.) () =
+    if window <= 0 then invalid_arg "Proxy.Breaker.create: window <= 0";
+    if failures <= 0 || failures > window then
+      invalid_arg "Proxy.Breaker.create: failures must be in 1..window";
+    if cooldown_ms < 0. || not (Float.is_finite cooldown_ms) then
+      invalid_arg "Proxy.Breaker.create: cooldown_ms must be finite and >= 0";
+    {
+      window = Array.make window false;
+      filled = 0;
+      pos = 0;
+      failures;
+      cooldown_ms;
+      st = Closed;
+      open_until = 0.;
+      trial = false;
+      mx = Mutex.create ();
+    }
+
+  (* under [mx]: an open breaker whose cooldown has elapsed becomes
+     half-open the moment anyone looks at it *)
+  let sync t ~now =
+    if t.st = Open && now >= t.open_until then begin
+      t.st <- Half_open;
+      t.trial <- false
+    end
+
+  let state t ~now =
+    Mutex.lock t.mx;
+    sync t ~now;
+    let s = t.st in
+    Mutex.unlock t.mx;
+    s
+
+  let allow t ~now =
+    Mutex.lock t.mx;
+    sync t ~now;
+    let r =
+      match t.st with
+      | Closed -> true
+      | Open -> false
+      | Half_open ->
+        if t.trial then false
+        else begin
+          t.trial <- true;
+          true
+        end
+    in
+    Mutex.unlock t.mx;
+    r
+
+  let reset_window t =
+    t.filled <- 0;
+    t.pos <- 0
+
+  let record t ~now ~ok =
+    Mutex.lock t.mx;
+    sync t ~now;
+    let tripped =
+      match t.st with
+      | Open -> false  (* a late reply from before the trip *)
+      | Half_open ->
+        t.trial <- false;
+        if ok then begin
+          t.st <- Closed;
+          reset_window t;
+          false
+        end
+        else begin
+          t.st <- Open;
+          t.open_until <- now +. (t.cooldown_ms /. 1000.);
+          true
+        end
+      | Closed ->
+        t.window.(t.pos) <- not ok;
+        t.pos <- (t.pos + 1) mod Array.length t.window;
+        if t.filled < Array.length t.window then t.filled <- t.filled + 1;
+        let fails = ref 0 in
+        for k = 0 to t.filled - 1 do
+          if t.window.(k) then incr fails
+        done;
+        if !fails >= t.failures then begin
+          t.st <- Open;
+          t.open_until <- now +. (t.cooldown_ms /. 1000.);
+          reset_window t;
+          true
+        end
+        else false
+    in
+    Mutex.unlock t.mx;
+    tripped
+
+  let abort t =
+    Mutex.lock t.mx;
+    if t.st = Half_open then t.trial <- false;
+    Mutex.unlock t.mx
+end
+
+(* ------------------------------------------------------------------ *)
+(* Retry budget *)
+
+module Retry_budget = struct
+  type t = {
+    ratio : float;
+    burst : float;
+    mutable tokens : float;
+    mx : Mutex.t;
+  }
+
+  let create ?(ratio = 0.1) ?(burst = 16.) () =
+    if ratio < 0. || not (Float.is_finite ratio) then
+      invalid_arg "Proxy.Retry_budget.create: ratio must be finite and >= 0";
+    if burst < 1. || not (Float.is_finite burst) then
+      invalid_arg "Proxy.Retry_budget.create: burst must be finite and >= 1";
+    (* start full: a cold proxy can absorb a small failure burst *)
+    { ratio; burst; tokens = burst; mx = Mutex.create () }
+
+  let deposit t =
+    Mutex.lock t.mx;
+    t.tokens <- Float.min t.burst (t.tokens +. t.ratio);
+    Mutex.unlock t.mx
+
+  let try_withdraw t =
+    Mutex.lock t.mx;
+    let ok = t.tokens >= 1. in
+    if ok then t.tokens <- t.tokens -. 1.;
+    Mutex.unlock t.mx;
+    ok
+
+  let balance t =
+    Mutex.lock t.mx;
+    let b = t.tokens in
+    Mutex.unlock t.mx;
+    b
+end
+
+(* ------------------------------------------------------------------ *)
+(* Admission queue *)
+
+(* OCaml's stdlib Condition has no timed wait, so waiters poll their
+   own state cell under the queue mutex (the repo idiom, 2 ms slices).
+   Granted and dropped waiters are popped lazily by [promote]; a
+   waiter that expires marks itself dropped and leaves its husk for
+   promote to discard. *)
+type wstate = Waiting | Granted | Dropped
+
+type waiter = { mutable ws : wstate; w_deadline : float option }
+
+type admission = {
+  aq : waiter Queue.t;
+  mutable active : int;
+  max_active : int;
+  depth : int;
+  amx : Mutex.t;
+}
+
+(* under [amx]: hand free slots to the oldest live waiters *)
+let promote ad =
+  let continue = ref true in
+  while !continue do
+    if ad.active < ad.max_active && not (Queue.is_empty ad.aq) then begin
+      let w = Queue.pop ad.aq in
+      match w.ws with
+      | Waiting ->
+        w.ws <- Granted;
+        ad.active <- ad.active + 1
+      | Granted | Dropped -> ()  (* husk: discard and keep scanning *)
+    end
+    else continue := false
+  done
+
+let live_waiters ad =
+  Queue.fold (fun n w -> if w.ws = Waiting then n + 1 else n) 0 ad.aq
+
+(* ------------------------------------------------------------------ *)
+(* The proxy *)
+
+type hedging = Off | Fixed_ms of float | Auto
+
+type t = {
+  router : Router.t;
+  stale : Disk_cache.t option;
+  budget : Retry_budget.t;
+  breakers : Breaker.t array;
+  hedging : hedging;
+  upstream_timeout_s : float;
+  admission : admission;
+  prefix : string;
+  mx : Mutex.t;
+  mutable st_requests : int;
+  mutable st_retries : int;
+  mutable st_shed : int;
+  mutable st_hedges : int;
+  mutable st_hedge_wins : int;
+  mutable st_degraded : int;
+  mutable st_degraded_miss : int;
+  mutable st_queue_dropped : int;
+  mutable st_queue_expired : int;
+  mutable st_breaker_trips : int;
+}
+
+let create ?(metrics_prefix = "proxy") ?breaker_window ?breaker_failures
+    ?breaker_cooldown_ms ?retry_ratio ?retry_burst ?(hedging = Auto)
+    ?(queue_depth = 64) ?(max_concurrent = 32) ?(upstream_timeout_s = 10.)
+    ?stale router =
+  if queue_depth <= 0 then invalid_arg "Proxy.create: queue_depth <= 0";
+  if max_concurrent <= 0 then invalid_arg "Proxy.create: max_concurrent <= 0";
+  if upstream_timeout_s <= 0. || not (Float.is_finite upstream_timeout_s) then
+    invalid_arg "Proxy.create: upstream_timeout_s must be finite and positive";
+  (match hedging with
+  | Fixed_ms ms when ms <= 0. || not (Float.is_finite ms) ->
+    invalid_arg "Proxy.create: Fixed_ms hedge delay must be finite and positive"
+  | _ -> ());
+  let n = Router.shard_count router in
+  {
+    router;
+    stale;
+    budget = Retry_budget.create ?ratio:retry_ratio ?burst:retry_burst ();
+    breakers =
+      Array.init n (fun _ ->
+          Breaker.create ?window:breaker_window ?failures:breaker_failures
+            ?cooldown_ms:breaker_cooldown_ms ());
+    hedging;
+    upstream_timeout_s;
+    admission =
+      {
+        aq = Queue.create ();
+        active = 0;
+        max_active = max_concurrent;
+        depth = queue_depth;
+        amx = Mutex.create ();
+      };
+    prefix = metrics_prefix;
+    mx = Mutex.create ();
+    st_requests = 0;
+    st_retries = 0;
+    st_shed = 0;
+    st_hedges = 0;
+    st_hedge_wins = 0;
+    st_degraded = 0;
+    st_degraded_miss = 0;
+    st_queue_dropped = 0;
+    st_queue_expired = 0;
+    st_breaker_trips = 0;
+  }
+
+let bump t f =
+  Mutex.lock t.mx;
+  f t;
+  Mutex.unlock t.mx
+
+(* ------------------------------------------------------------------ *)
+(* Admission *)
+
+let acquire t ?deadline_at () =
+  let ad = t.admission in
+  Mutex.lock ad.amx;
+  if ad.active < ad.max_active && Queue.is_empty ad.aq then begin
+    ad.active <- ad.active + 1;
+    Mutex.unlock ad.amx;
+    `Admitted
+  end
+  else begin
+    if live_waiters ad >= ad.depth then begin
+      (* past high-water: the eldest waiter is answered overloaded on
+         the spot and the newcomer takes its place — the oldest
+         request is the one most likely already abandoned *)
+      let dropped = ref false in
+      Queue.iter
+        (fun w ->
+          if (not !dropped) && w.ws = Waiting then begin
+            w.ws <- Dropped;
+            dropped := true
+          end)
+        ad.aq;
+      if !dropped then begin
+        Mutex.lock t.mx;
+        t.st_queue_dropped <- t.st_queue_dropped + 1;
+        Mutex.unlock t.mx;
+        Metrics.incr (t.prefix ^ "/queue_dropped")
+      end
+    end;
+    let w = { ws = Waiting; w_deadline = deadline_at } in
+    Queue.push w ad.aq;
+    Mutex.unlock ad.amx;
+    let result = ref None in
+    while !result = None do
+      Mutex.lock ad.amx;
+      promote ad;
+      (match w.ws with
+      | Granted -> result := Some `Admitted
+      | Dropped -> result := Some `Overloaded
+      | Waiting -> (
+        match w.w_deadline with
+        | Some d when Unix.gettimeofday () >= d ->
+          w.ws <- Dropped;  (* husk; promote discards it *)
+          result := Some `Expired
+        | _ -> ()));
+      Mutex.unlock ad.amx;
+      if !result = None then Thread.delay 0.002
+    done;
+    Option.get !result
+  end
+
+let release t =
+  let ad = t.admission in
+  Mutex.lock ad.amx;
+  ad.active <- ad.active - 1;
+  promote ad;
+  Mutex.unlock ad.amx
+
+(* ------------------------------------------------------------------ *)
+(* Upstream attempts *)
+
+(* one call to one shard, with full breaker bookkeeping.  An
+   application-level error line is a *successful* conversation — the
+   breaker only cares whether the shard answers, not whether it liked
+   the request. *)
+let shard_call t i request =
+  let t0 = Unix.gettimeofday () in
+  match Router.call_one ~timeout_s:t.upstream_timeout_s t.router i request with
+  | Router.Answered resp ->
+    let now = Unix.gettimeofday () in
+    ignore (Breaker.record t.breakers.(i) ~now ~ok:true);
+    Metrics.observe_ms (t.prefix ^ "/upstream_ms") ((now -. t0) *. 1000.);
+    Ok resp
+  | Router.Saturated ->
+    (* nothing reached the wire: give back a half-open trial slot
+       rather than charging the shard for our own inflight cap *)
+    Breaker.abort t.breakers.(i);
+    Error "shard saturated"
+  | Router.Call_failed e ->
+    let now = Unix.gettimeofday () in
+    if Breaker.record t.breakers.(i) ~now ~ok:false then begin
+      Mutex.lock t.mx;
+      t.st_breaker_trips <- t.st_breaker_trips + 1;
+      Mutex.unlock t.mx;
+      Metrics.incr (t.prefix ^ "/breaker_open")
+    end;
+    Error e
+
+(* the next untried shard, in rendezvous preference order, whose
+   breaker admits a call right now.  allow is only invoked on the
+   candidate actually returned, so a consumed half-open trial slot is
+   always used. *)
+let next_allowed t order tried ~now =
+  let rec go = function
+    | [] -> None
+    | i :: rest ->
+      if (not tried.(i)) && Breaker.allow t.breakers.(i) ~now then Some i
+      else go rest
+  in
+  go order
+
+let hedge_delay_ms t =
+  match t.hedging with
+  | Off -> None
+  | Fixed_ms ms -> Some ms
+  | Auto -> (
+    match
+      List.assoc_opt (t.prefix ^ "/upstream_ms") (Metrics.histograms ())
+    with
+    | Some snap when snap.Tsg_obs.Histogram.count >= 16 ->
+      Some (Float.max 1. (Tsg_obs.Histogram.percentile snap 95.))
+    | _ -> Some 50.)
+
+(* one attempt against shard [i], hedged to the next-ranked allowed
+   shard after the hedge delay when the request is idempotent.  The
+   loser of a hedge race is left to finish on its thread — it still
+   records its outcome into its breaker, it just can't win. *)
+let hedged_attempt t ~order ~tried ~idempotent ~deadline_at i request =
+  match (if idempotent then hedge_delay_ms t else None) with
+  | None -> shard_call t i request
+  | Some delay_ms ->
+    let m = Mutex.create () in
+    let cell_p = ref None and cell_h = ref None in
+    let run j cell =
+      let r = shard_call t j request in
+      Mutex.lock m;
+      cell := Some r;
+      Mutex.unlock m
+    in
+    ignore (Thread.create (fun () -> run i cell_p) ());
+    let started = Unix.gettimeofday () in
+    let hedge = ref `Not_yet in
+    let result = ref None in
+    while !result = None do
+      Mutex.lock m;
+      let p = !cell_p and h = !cell_h in
+      Mutex.unlock m;
+      (match (p, h) with
+      | Some (Ok r), _ -> result := Some (Ok r)
+      | _, Some (Ok r) ->
+        Mutex.lock t.mx;
+        t.st_hedge_wins <- t.st_hedge_wins + 1;
+        Mutex.unlock t.mx;
+        Metrics.incr (t.prefix ^ "/hedge_wins");
+        result := Some (Ok r)
+      | Some (Error _), Some (Error e) -> result := Some (Error e)
+      | Some (Error e), None when !hedge <> `Running ->
+        (* the primary failed and no hedge is in flight: report now
+           and let the outer retry loop decide about another shard *)
+        result := Some (Error e)
+      | _ ->
+        let now = Unix.gettimeofday () in
+        if match deadline_at with Some d -> now >= d | None -> false then
+          result :=
+            Some (Error "deadline_exceeded: upstream attempt overran the deadline")
+        else begin
+          if !hedge = `Not_yet && (now -. started) *. 1000. >= delay_ms then
+            match next_allowed t order tried ~now with
+            | Some j when Retry_budget.try_withdraw t.budget ->
+              tried.(j) <- true;
+              hedge := `Running;
+              Mutex.lock t.mx;
+              t.st_hedges <- t.st_hedges + 1;
+              Mutex.unlock t.mx;
+              Metrics.incr (t.prefix ^ "/hedges");
+              ignore (Thread.create (fun () -> run j cell_h) ())
+            | Some j ->
+              (* no budget: give back the consumed half-open slot *)
+              Breaker.abort t.breakers.(j);
+              hedge := `Abandoned
+            | None -> hedge := `Abandoned
+        end);
+      if !result = None then Thread.delay 0.001
+    done;
+    Option.get !result
+
+(* ------------------------------------------------------------------ *)
+(* Degraded serving *)
+
+let marker = {|"degraded":true|}
+
+let mark_degraded payload =
+  let n = String.length payload in
+  if n >= 2 && payload.[0] = '{' then
+    if payload.[1] = '}' then "{" ^ marker ^ String.sub payload 1 (n - 1)
+    else "{" ^ marker ^ "," ^ String.sub payload 1 (n - 1)
+  else payload
+
+let strip_degraded line =
+  let with_comma = "{" ^ marker ^ "," in
+  let bare = "{" ^ marker ^ "}" in
+  let n = String.length line in
+  if n >= String.length with_comma
+     && String.sub line 0 (String.length with_comma) = with_comma
+  then
+    Some
+      ("{"
+      ^ String.sub line
+          (String.length with_comma)
+          (n - String.length with_comma))
+  else if line = bare then Some "{}"
+  else None
+
+type outcome =
+  | Fresh of string
+  | Degraded of string * float
+  | Shed of string * string
+  | Failed of string
+
+(* every live candidate is open or has failed: the last resort is a
+   stale answer from the shared disk cache *)
+let finish_unavailable t ~cache_key last_err =
+  let msg =
+    match last_err with
+    | Some e -> e
+    | None -> "no shard available (all circuit breakers open)"
+  in
+  match (t.stale, cache_key) with
+  | Some dc, Some ck -> (
+    match Disk_cache.read_stale dc ck with
+    | Some (payload, age) ->
+      Mutex.lock t.mx;
+      t.st_degraded <- t.st_degraded + 1;
+      Mutex.unlock t.mx;
+      Metrics.incr (t.prefix ^ "/degraded");
+      Degraded (payload, age)
+    | None ->
+      Mutex.lock t.mx;
+      t.st_degraded_miss <- t.st_degraded_miss + 1;
+      Mutex.unlock t.mx;
+      Metrics.incr (t.prefix ^ "/degraded_miss");
+      Failed msg)
+  | _ -> Failed msg
+
+(* ------------------------------------------------------------------ *)
+(* The forwarding decision *)
+
+let forward t ?key ?cache_key ?deadline_at ~idempotent request =
+  bump t (fun t -> t.st_requests <- t.st_requests + 1);
+  Metrics.incr (t.prefix ^ "/requests");
+  match acquire t ?deadline_at () with
+  | `Overloaded ->
+    bump t (fun t -> t.st_shed <- t.st_shed + 1);
+    Metrics.incr (t.prefix ^ "/overloaded");
+    Shed ("overloaded", "proxy admission queue full")
+  | `Expired ->
+    bump t (fun t ->
+        t.st_queue_expired <- t.st_queue_expired + 1;
+        t.st_shed <- t.st_shed + 1);
+    Metrics.incr (t.prefix ^ "/queue_expired");
+    Shed
+      ( "deadline_exceeded",
+        "deadline_exceeded: request expired in the proxy admission queue" )
+  | `Admitted ->
+    Fun.protect ~finally:(fun () -> release t) @@ fun () ->
+    (* every admitted request funds the retry budget *)
+    Retry_budget.deposit t.budget;
+    let rkey = match key with Some k -> k | None -> request in
+    let order = Router.rank t.router rkey in
+    let tried = Array.make (Router.shard_count t.router) false in
+    let rec attempts ~first last_err =
+      let now = Unix.gettimeofday () in
+      if match deadline_at with Some d -> now >= d | None -> false then begin
+        bump t (fun t -> t.st_shed <- t.st_shed + 1);
+        Shed
+          ("deadline_exceeded", "deadline_exceeded: proxy ran out of budget")
+      end
+      else
+        match next_allowed t order tried ~now with
+        | None -> finish_unavailable t ~cache_key last_err
+        | Some i ->
+          if (not first) && not (Retry_budget.try_withdraw t.budget) then begin
+            (* budget exhausted: shed instead of retrying — this is
+               the retry-storm killswitch *)
+            Breaker.abort t.breakers.(i);
+            bump t (fun t -> t.st_shed <- t.st_shed + 1);
+            Metrics.incr (t.prefix ^ "/retry_budget_shed");
+            Shed ("overloaded", "retry budget exhausted")
+          end
+          else begin
+            if not first then begin
+              bump t (fun t -> t.st_retries <- t.st_retries + 1);
+              Metrics.incr (t.prefix ^ "/retries")
+            end;
+            tried.(i) <- true;
+            match
+              hedged_attempt t ~order ~tried ~idempotent ~deadline_at i request
+            with
+            | Ok resp -> Fresh resp
+            | Error e -> attempts ~first:false (Some e)
+          end
+    in
+    attempts ~first:true None
+
+(* ------------------------------------------------------------------ *)
+(* Stats *)
+
+type stats = {
+  requests : int;
+  retries : int;
+  shed : int;
+  hedges : int;
+  hedge_wins : int;
+  degraded : int;
+  degraded_miss : int;
+  queue_dropped : int;
+  queue_expired : int;
+  breaker_trips : int;
+  budget_balance : float;
+  active : int;
+  queued : int;
+  breakers : string list;
+}
+
+let state_name = function
+  | Breaker.Closed -> "closed"
+  | Breaker.Open -> "open"
+  | Breaker.Half_open -> "half_open"
+
+let stats (t : t) =
+  let now = Unix.gettimeofday () in
+  let breakers =
+    Array.to_list
+      (Array.map (fun b -> state_name (Breaker.state b ~now)) t.breakers)
+  in
+  let ad = t.admission in
+  Mutex.lock ad.amx;
+  let active = ad.active and queued = live_waiters ad in
+  Mutex.unlock ad.amx;
+  Mutex.lock t.mx;
+  let s =
+    {
+      requests = t.st_requests;
+      retries = t.st_retries;
+      shed = t.st_shed;
+      hedges = t.st_hedges;
+      hedge_wins = t.st_hedge_wins;
+      degraded = t.st_degraded;
+      degraded_miss = t.st_degraded_miss;
+      queue_dropped = t.st_queue_dropped;
+      queue_expired = t.st_queue_expired;
+      breaker_trips = t.st_breaker_trips;
+      budget_balance = Retry_budget.balance t.budget;
+      active;
+      queued;
+      breakers;
+    }
+  in
+  Mutex.unlock t.mx;
+  s

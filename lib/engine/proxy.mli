@@ -1,0 +1,217 @@
+(** The standalone proxy tier: one address in front of the fleet.
+
+    {!Router} is client-side — every caller needs the endpoint list
+    and its own failover policy.  The proxy runs that policy {e once},
+    server-side, behind a single TCP address, and adds the overload
+    protection a shared ingress needs and a per-client router cannot
+    provide:
+
+    {ul
+    {- {b Circuit breakers}, one per shard ({!Breaker}): a sliding
+       window of call outcomes trips the breaker open after
+       [breaker_failures] failures; while open the shard is skipped
+       outright (no connection attempt, unlike the router's passive
+       cooldown which still risks a half-open probe with live
+       traffic); after [breaker_cooldown_ms] one trial request is
+       admitted (half-open) and its outcome closes or re-opens the
+       breaker.}
+    {- {b A retry budget} ({!Retry_budget}): a token bucket deposited
+       by primary traffic ([retry_ratio] tokens per request, ~10%)
+       and withdrawn by every retry and hedge.  When the fleet is
+       broadly unhealthy the budget drains and the proxy {e sheds}
+       instead of retrying — a retry storm cannot multiply load
+       fleet-wide.}
+    {- {b Hedged requests}: for idempotent calls, a second attempt to
+       the next-ranked shard after the observed p95 upstream latency
+       (or a fixed [--hedge-ms]); the first reply wins, the loser is
+       left to finish and only feeds the breaker.  Hedges draw
+       budget tokens, so hedging also stops when the fleet is sick.}
+    {- {b A deadline-aware bounded admission queue}: at most
+       [max_concurrent] requests talk upstream at once; up to
+       [queue_depth] more wait FIFO.  A waiter whose deadline passes
+       is dropped where it stands ([deadline_exceeded]); past the
+       high-water mark the {e eldest} waiter is answered
+       [overloaded] immediately and the newcomer takes its place —
+       the oldest request is the one most likely already abandoned.}
+    {- {b Degraded-mode serving}: when every candidate shard for a
+       digest is breaker-open or failing, a request whose answer is
+       in the shared disk cache is served {e stale}
+       ({!Disk_cache.read_stale}) with a [degraded:true] marker
+       spliced into the response ({!mark_degraded}) — byte-identical
+       to the original cached answer after {!strip_degraded}.
+       Protocol [tsa-rpc/5]; v4 clients ignore the unknown field and
+       parse unchanged.}}
+
+    The proxy is transport-and-policy only: it never parses model
+    files (it cannot — the engine layer has no loader).  The caller
+    ([tsa proxy]) classifies each request line into a routing key, an
+    optional disk-cache key and an idempotency flag, and hands the
+    raw line to {!forward}.
+
+    Counters under [<prefix>] (default ["proxy"]): [requests],
+    [retries], [retry_budget_shed], [hedges], [hedge_wins],
+    [breaker_open] (trips into the open state), [degraded],
+    [degraded_miss], [queue_dropped], [queue_expired], [overloaded],
+    plus the [upstream_ms] latency histogram (which also feeds the
+    adaptive hedge delay). *)
+
+(** A per-shard circuit breaker.  Deterministic: every operation takes
+    [now] explicitly, so the state machine is unit-testable without
+    clocks.  Thread-safe. *)
+module Breaker : sig
+  type t
+
+  type state = Closed | Open | Half_open
+
+  val create : ?window:int -> ?failures:int -> ?cooldown_ms:float -> unit -> t
+  (** [window] (default 16) outcomes are remembered; [failures]
+      (default 5) failures among them trip the breaker; an open
+      breaker admits a half-open trial after [cooldown_ms] (default
+      1000).
+      @raise Invalid_argument if [window <= 0], [failures <= 0],
+      [failures > window] or [cooldown_ms < 0]. *)
+
+  val state : t -> now:float -> state
+  (** The state at time [now] (an open breaker whose cooldown has
+      passed reads — and becomes — [Half_open]). *)
+
+  val allow : t -> now:float -> bool
+  (** May a call be attempted now?  [Closed]: always.  [Open]: never.
+      [Half_open]: exactly one caller gets [true] (the trial) until
+      its outcome is {!record}ed or {!abort}ed. *)
+
+  val record : t -> now:float -> ok:bool -> bool
+  (** Record an attempt's outcome.  Returns [true] when this record
+      {e tripped} the breaker into [Open] (from [Closed] via the
+      window, or a failed half-open trial) — callers count trips off
+      this.  A success in [Half_open] closes the breaker and clears
+      the window; outcomes arriving while [Open] (late replies from
+      before the trip) are ignored. *)
+
+  val abort : t -> unit
+  (** Give back an un-attempted half-open trial slot (the shard was
+      locally saturated; nothing reached the wire).  No-op in other
+      states. *)
+end
+
+(** The global retry token bucket.  Primary requests {!deposit}
+    [ratio] tokens (capped at [burst]); every retry or hedge must
+    {!try_withdraw} a whole token first.  Thread-safe. *)
+module Retry_budget : sig
+  type t
+
+  val create : ?ratio:float -> ?burst:float -> unit -> t
+  (** [ratio] (default 0.1) tokens deposited per primary request —
+      i.e. retries are bounded to ~10% of traffic in steady state;
+      [burst] (default 16) caps the bucket (and is its initial fill,
+      so a cold proxy can absorb a small failure burst).
+      @raise Invalid_argument if [ratio] is negative or not finite,
+      or [burst < 1]. *)
+
+  val deposit : t -> unit
+  val try_withdraw : t -> bool
+  (** [false] means the budget is exhausted: shed, don't retry. *)
+
+  val balance : t -> float
+end
+
+type t
+
+(** When to launch a hedge for an idempotent request. *)
+type hedging =
+  | Off
+  | Fixed_ms of float  (** a fixed delay after the primary attempt *)
+  | Auto
+      (** the p95 of the [upstream_ms] histogram, once at least 16
+          calls have been observed; 50 ms before that *)
+
+val create :
+  ?metrics_prefix:string ->
+  ?breaker_window:int ->
+  ?breaker_failures:int ->
+  ?breaker_cooldown_ms:float ->
+  ?retry_ratio:float ->
+  ?retry_burst:float ->
+  ?hedging:hedging ->
+  ?queue_depth:int ->
+  ?max_concurrent:int ->
+  ?upstream_timeout_s:float ->
+  ?stale:Disk_cache.t ->
+  Router.t ->
+  t
+(** [create router] builds the policy layer over an existing router
+    (whose lifetime the caller keeps owning — close it after the
+    proxy stops).  Defaults: [hedging = Auto], [queue_depth] 64,
+    [max_concurrent] 32, [upstream_timeout_s] 10 (passed to
+    {!Router.call_one} so a wedged shard trips its breaker instead of
+    absorbing a connection thread), breaker and budget defaults as in
+    {!Breaker.create} / {!Retry_budget.create}.  [stale] is the
+    shared disk cache read (never written) by the degraded path; omit
+    it and degraded serving is off.
+    @raise Invalid_argument on non-positive [queue_depth],
+    [max_concurrent] or [upstream_timeout_s], or a non-positive
+    [Fixed_ms] hedge delay. *)
+
+(** What {!forward} decided about one request. *)
+type outcome =
+  | Fresh of string  (** a live shard answered with these bytes *)
+  | Degraded of string * float
+      (** every candidate shard was open or failing, but the disk
+          cache held the answer: the {e unmarked} payload and its age
+          in seconds.  Send [mark_degraded payload] to the client. *)
+  | Shed of string * string
+      (** dropped without an upstream answer: error [code]
+          (["overloaded"] — queue full or retry budget exhausted — or
+          ["deadline_exceeded"]) and a human-readable message *)
+  | Failed of string
+      (** all attempts failed and no stale answer existed: the last
+          upstream error *)
+
+val forward :
+  t ->
+  ?key:string ->
+  ?cache_key:string ->
+  ?deadline_at:float ->
+  idempotent:bool ->
+  string ->
+  outcome
+(** [forward t ~key ~cache_key ~idempotent request] runs one raw
+    request line through admission, breakers, budget and hedging, and
+    returns the decision.  [key] is the routing key (the model
+    digest; defaults to the request line itself, keeping unroutable
+    requests deterministic); [cache_key] names the entry the degraded
+    path may serve stale (omit for requests that are never disk
+    cached); [idempotent] gates hedging; [deadline_at] (absolute
+    seconds, {!Unix.gettimeofday} clock) bounds queueing and
+    retrying.  Blocks the calling thread — call it from a
+    {!Server.serve} handler. *)
+
+val mark_degraded : string -> string
+(** Splice ["degraded":true] as the first field of a JSON object
+    response.  Fixed-width and position-stable, so
+    {!strip_degraded} recovers the original bytes exactly. *)
+
+val strip_degraded : string -> string option
+(** [Some original] iff the line carries the {!mark_degraded} marker
+    — the inverse used by tests and byte-identity checks. *)
+
+type stats = {
+  requests : int;
+  retries : int;
+  shed : int;  (** answered [overloaded] without reaching a shard *)
+  hedges : int;
+  hedge_wins : int;  (** hedged calls where the hedge answered first *)
+  degraded : int;  (** stale answers served *)
+  degraded_miss : int;  (** degraded path taken but cache had nothing *)
+  queue_dropped : int;  (** eldest waiters dropped past high-water *)
+  queue_expired : int;  (** waiters whose deadline passed queueing *)
+  breaker_trips : int;  (** transitions into [Open] *)
+  budget_balance : float;
+  active : int;  (** requests currently talking upstream *)
+  queued : int;  (** requests currently waiting for admission *)
+  breakers : string list;
+      (** per-shard state, ["closed"] / ["open"] / ["half_open"], in
+          {!Router.endpoints} order *)
+}
+
+val stats : t -> stats

@@ -202,6 +202,43 @@ let call_shard t i request =
   | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
   | exception Failure msg -> Error msg
 
+type call_outcome =
+  | Answered of string
+  | Saturated
+  | Call_failed of string
+
+(* one shard, one attempt: the building block the proxy's breaker /
+   retry-budget / hedging loop is written against.  No internal
+   retries — the caller decides whether another attempt is worth a
+   budget token — but admission and passive health marks still apply,
+   so call_one and route agree about shard state. *)
+let call_one ?timeout_s t i request =
+  if i < 0 || i >= Array.length t.shards then
+    invalid_arg "Router.call_one: shard index out of range";
+  if not (try_acquire t i) then Saturated
+  else begin
+    let result =
+      Fun.protect ~finally:(fun () -> release t i) @@ fun () ->
+      match
+        Server.call ~retries:0 ?timeout_s ~endpoint:t.shards.(i).sh_endpoint
+          [ request ]
+      with
+      | [ response ] -> Ok response
+      | _ -> Error "protocol error: response count mismatch"
+      | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+      | exception Failure msg -> Error msg
+    in
+    match result with
+    | Ok response ->
+      mark_ok t i;
+      Answered response
+    | Error e ->
+      mark_failed t i;
+      Call_failed e
+  end
+
+let shard_count t = Array.length t.shards
+
 let route t ~key request =
   let t0 = Unix.gettimeofday () in
   Metrics.incr (t.prefix ^ "/requests");

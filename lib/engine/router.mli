@@ -88,6 +88,25 @@ val route : t -> key:string -> string -> (string, string) result
     human-readable reason ([deadline_exceeded], all-shards-saturated,
     or the last connection error). *)
 
+type call_outcome =
+  | Answered of string  (** the shard replied with this line *)
+  | Saturated  (** at [max_inflight]; no connection was attempted *)
+  | Call_failed of string  (** connection or conversation failure *)
+
+val call_one : ?timeout_s:float -> t -> int -> string -> call_outcome
+(** [call_one t i request] sends one request to shard [i] and nothing
+    else: no failover, no internal retries ([Server.call] is invoked
+    with [retries:0]).  Admission ([max_inflight]) and passive health
+    marks still apply, so [call_one] and {!route} agree about shard
+    state.  This is the building block for callers that own their own
+    retry policy — the proxy tier's circuit breakers, retry budget and
+    hedging are written against it.  [timeout_s] bounds the socket
+    conversation (see {!Server.call}).
+    @raise Invalid_argument if [i] is out of range. *)
+
+val shard_count : t -> int
+(** Number of shards (the length of {!endpoints}). *)
+
 val broadcast : t -> string -> (Server.endpoint * (string, string) result) list
 (** [broadcast t request] sends the request to {e every} shard
     (health ignored) and pairs each endpoint with its outcome — for

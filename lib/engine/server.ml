@@ -385,11 +385,19 @@ let serve ?(backlog = 16) ?(max_connections = 64) ?(max_request_bytes = 1 lsl 20
 
 let jitter_state = lazy (Random.State.make_self_init ())
 
-let call ?(retries = 0) ?(backoff_ms = 50.) ~endpoint requests =
+let call ?(retries = 0) ?(backoff_ms = 50.) ?timeout_s ~endpoint requests =
   let attempt () =
     let fd = socket_of_endpoint endpoint in
     (try
        Unix.connect fd (sockaddr_of_endpoint endpoint);
+       (match timeout_s with
+       | Some s when s > 0. ->
+         (* bound the whole conversation per read/write: a wedged
+            server turns into an error here instead of a client that
+            hangs forever (the proxy's breakers depend on this) *)
+         Unix.setsockopt_float fd Unix.SO_RCVTIMEO s;
+         Unix.setsockopt_float fd Unix.SO_SNDTIMEO s
+       | _ -> ());
        match endpoint with
        | Tcp _ -> (
          try Unix.setsockopt fd Unix.TCP_NODELAY true
@@ -411,7 +419,11 @@ let call ?(retries = 0) ?(backoff_ms = 50.) ~endpoint requests =
             match input_line ic with
             | line -> line
             | exception End_of_file ->
-              failwith "Server.call: connection closed before a response arrived")
+              failwith "Server.call: connection closed before a response arrived"
+            | exception Sys_error msg ->
+              (* a SO_RCVTIMEO expiry surfaces as Sys_error through the
+                 channel layer; report it like any other call failure *)
+              failwith ("Server.call: " ^ msg))
           requests)
   in
   let rec go attempt_no delay_ms =

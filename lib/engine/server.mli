@@ -116,6 +116,7 @@ val serve :
 val call :
   ?retries:int ->
   ?backoff_ms:float ->
+  ?timeout_s:float ->
   endpoint:endpoint ->
   string list ->
   string list
@@ -132,4 +133,11 @@ val call :
     at 2 s).  Requests are never retried once a connection is
     established: the caller cannot know how far a half-answered
     conversation got.
+
+    [timeout_s] (off by default) bounds each socket read and write
+    ([SO_RCVTIMEO]/[SO_SNDTIMEO]): a server that accepts but never
+    answers raises [Failure] after [timeout_s] seconds instead of
+    blocking forever.  The proxy tier sets this on upstream calls so a
+    wedged shard trips its circuit breaker rather than absorbing a
+    client thread.
     @raise Unix.Unix_error if the connection (still) fails. *)

@@ -37,9 +37,43 @@ let disk_cache_stats_obj (s : Tsg_engine.Disk_cache.stats) =
       ("evictions", Int s.Tsg_engine.Disk_cache.evictions);
       ("corrupt", Int s.Tsg_engine.Disk_cache.corrupt);
       ("dropped", Int s.Tsg_engine.Disk_cache.dropped);
+      ("stale_served", Int s.Tsg_engine.Disk_cache.stale_served);
+      ("oldest_age_s", Float s.Tsg_engine.Disk_cache.oldest_age_s);
     ]
 
-let stats_response ?cache ?disk_cache ?transport ?shard () =
+let shard_stats_obj (s : Tsg_engine.Router.shard_stats) =
+  Obj
+    [
+      ("endpoint", String s.Tsg_engine.Router.endpoint);
+      ("healthy", Bool s.Tsg_engine.Router.healthy);
+      ("inflight", Int s.Tsg_engine.Router.inflight);
+      ("served", Int s.Tsg_engine.Router.served);
+      ("failed", Int s.Tsg_engine.Router.failed);
+    ]
+
+let proxy_stats_obj (p : Tsg_engine.Proxy.stats) (r : Tsg_engine.Router.router_stats)
+    =
+  Obj
+    [
+      ("requests", Int p.Tsg_engine.Proxy.requests);
+      ("retries", Int p.Tsg_engine.Proxy.retries);
+      ("shed", Int p.Tsg_engine.Proxy.shed);
+      ("hedges", Int p.Tsg_engine.Proxy.hedges);
+      ("hedge_wins", Int p.Tsg_engine.Proxy.hedge_wins);
+      ("degraded", Int p.Tsg_engine.Proxy.degraded);
+      ("degraded_miss", Int p.Tsg_engine.Proxy.degraded_miss);
+      ("queue_dropped", Int p.Tsg_engine.Proxy.queue_dropped);
+      ("queue_expired", Int p.Tsg_engine.Proxy.queue_expired);
+      ("breaker_trips", Int p.Tsg_engine.Proxy.breaker_trips);
+      ("budget_balance", Float p.Tsg_engine.Proxy.budget_balance);
+      ("active", Int p.Tsg_engine.Proxy.active);
+      ("queued", Int p.Tsg_engine.Proxy.queued);
+      ( "breakers",
+        List (List.map (fun s -> String s) p.Tsg_engine.Proxy.breakers) );
+      ("shards", List (List.map shard_stats_obj r.Tsg_engine.Router.shards));
+    ]
+
+let stats_response ?cache ?disk_cache ?transport ?shard ?proxy () =
   ok
     (("protocol", String Tsg_engine.Protocol.version)
     :: (match transport with
@@ -49,9 +83,12 @@ let stats_response ?cache ?disk_cache ?transport ?shard () =
     @ ("metrics", Json_report.metrics_obj ())
       :: ("latency", Json_report.histograms_obj ())
       :: (match cache with Some s -> [ ("cache", cache_stats_obj s) ] | None -> [])
+    @ (match disk_cache with
+      | Some s -> [ ("disk_cache", disk_cache_stats_obj s) ]
+      | None -> [])
     @
-    match disk_cache with
-    | Some s -> [ ("disk_cache", disk_cache_stats_obj s) ]
+    match proxy with
+    | Some (p, r) -> [ ("proxy", proxy_stats_obj p r) ]
     | None -> [])
 
 (* ------------------------------------------------------------------ *)

@@ -35,20 +35,25 @@ val stats_response :
   ?disk_cache:Tsg_engine.Disk_cache.stats ->
   ?transport:string ->
   ?shard:string ->
+  ?proxy:Tsg_engine.Proxy.stats * Tsg_engine.Router.router_stats ->
   unit ->
   string
-(** [{"status":"ok","protocol":"tsa-rpc/4","transport":"tcp",
+(** [{"status":"ok","protocol":"tsa-rpc/5","transport":"tcp",
     "shard":"127.0.0.1:7601","metrics":[...],"latency":[...],
-    "cache":{...},"disk_cache":{...}}]: the protocol version
-    ({!Tsg_engine.Protocol.version}); the serving transport (["unix"]
-    or ["tcp"]) and this replica's shard identity (its bound endpoint)
-    when serving; the current {!Tsg_engine.Metrics} snapshot; the
-    latency histograms ({!Json_report.histograms_obj} — the daemon's
-    [server/request_ms] series carries request p50/p95/p99); and, when
-    given, each cache tier's occupancy and hit/miss/eviction counts
-    ([disk_cache] additionally reports [writes], [corrupt] and
-    [dropped]).  [transport]/[shard] let a fleet client tell its
-    replicas apart from one [stats] broadcast. *)
+    "cache":{...},"disk_cache":{...},"proxy":{...}}]: the protocol
+    version ({!Tsg_engine.Protocol.version}); the serving transport
+    (["unix"] or ["tcp"]) and this replica's shard identity (its
+    bound endpoint) when serving; the current {!Tsg_engine.Metrics}
+    snapshot; the latency histograms ({!Json_report.histograms_obj} —
+    the daemon's [server/request_ms] series carries request
+    p50/p95/p99); when given, each cache tier's occupancy and
+    hit/miss/eviction counts ([disk_cache] additionally reports
+    [writes], [corrupt], [dropped], [stale_served] and
+    [oldest_age_s]); and, for [tsa proxy], the [proxy] block —
+    breaker states, retry/hedge/shed/degraded counters, budget
+    balance, queue occupancy and the embedded router's per-shard
+    served/failed counts.  [transport]/[shard] let a fleet client
+    tell its replicas apart from one [stats] broadcast. *)
 
 type sweep_item = {
   edits : Tsg_engine.Protocol.sweep_edit list;  (** the scenario, as received *)

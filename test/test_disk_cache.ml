@@ -161,6 +161,63 @@ let test_lru_bound () =
   Alcotest.(check (option string)) "least-recently-used evicted" None
     (Disk_cache.find dc "e4")
 
+let test_read_stale_serves_without_touching () =
+  with_cache @@ fun dir dc ->
+  Alcotest.(check (option (pair string (float 1e9))))
+    "stale read of an absent key misses" None
+    (Disk_cache.read_stale dc "absent");
+  add_sync dc "k" "stale but byte-exact";
+  (* backdate the mtime: a v2 entry's age comes from the written_at
+     header, not the LRU mtime, so the reported age stays honest even
+     after hits refresh the file — and read_stale must NOT refresh the
+     mtime either (a degraded read is not a use for LRU purposes) *)
+  let past = Unix.gettimeofday () -. 3600. in
+  Unix.utimes (entry_path dir "k") past past;
+  (match Disk_cache.read_stale dc "k" with
+  | None -> Alcotest.fail "stale read of a present key should serve"
+  | Some (payload, age) ->
+    Alcotest.(check string) "stale bytes byte-identical" "stale but byte-exact"
+      payload;
+    Alcotest.(check bool) "age is the write age, not the LRU mtime" true
+      (age >= 0. && age < 60.));
+  let mtime_after = (Unix.stat (entry_path dir "k")).Unix.st_mtime in
+  Alcotest.(check bool) "read_stale did not refresh the mtime" true
+    (mtime_after < Unix.gettimeofday () -. 3000.);
+  let s = Disk_cache.stats dc in
+  Alcotest.(check int) "the successful stale read counted" 1
+    s.Disk_cache.stale_served;
+  Alcotest.(check int) "stale reads are not hits" 0 s.Disk_cache.hits;
+  Alcotest.(check int) "stale reads are not misses" 0 s.Disk_cache.misses;
+  Alcotest.(check bool) "oldest_age_s sees the backdated entry" true
+    (s.Disk_cache.oldest_age_s > 3000.);
+  (* a normal find IS a use: it refreshes the mtime *)
+  ignore (Disk_cache.find dc "k");
+  let refreshed = (Unix.stat (entry_path dir "k")).Unix.st_mtime in
+  Alcotest.(check bool) "find refreshes the mtime" true
+    (refreshed > Unix.gettimeofday () -. 60.)
+
+let test_v1_header_still_readable () =
+  with_cache @@ fun dir dc ->
+  (* a v1 entry written by a pre-upgrade replica: no written_at field *)
+  let payload = "written before entry ages existed" in
+  let oc = open_out_bin (entry_path dir "legacy") in
+  Printf.fprintf oc "tsa-disk-cache/1 %s %d\n%s"
+    (Digest.to_hex (Digest.string payload))
+    (String.length payload) payload;
+  close_out oc;
+  Alcotest.(check (option string))
+    "v1 entry serves through find" (Some payload) (Disk_cache.find dc "legacy");
+  (* age falls back to the file mtime for v1 entries *)
+  let past = Unix.gettimeofday () -. 7200. in
+  Unix.utimes (entry_path dir "legacy") past past;
+  (match Disk_cache.read_stale dc "legacy" with
+  | None -> Alcotest.fail "v1 entry should serve through read_stale"
+  | Some (served, age) ->
+    Alcotest.(check string) "v1 stale bytes intact" payload served;
+    Alcotest.(check bool) "v1 age falls back to the mtime" true (age > 7000.));
+  Alcotest.(check int) "v1 entries are not corrupt" 0
+    (Disk_cache.stats dc).Disk_cache.corrupt
+
 let test_zero_capacity_disables_storage () =
   with_cache ~capacity:0 @@ fun dir dc ->
   Disk_cache.add dc "k" "v";
@@ -199,6 +256,10 @@ let suite =
     Alcotest.test_case "corrupt entries recompute cleanly" `Quick
       test_corrupt_entries_recompute;
     Alcotest.test_case "LRU bound holds and hits refresh" `Quick test_lru_bound;
+    Alcotest.test_case "read_stale serves without touching" `Quick
+      test_read_stale_serves_without_touching;
+    Alcotest.test_case "v1 header still readable" `Quick
+      test_v1_header_still_readable;
     Alcotest.test_case "capacity 0 disables storage" `Quick
       test_zero_capacity_disables_storage;
     qcheck_disk_hits_match_cold_analyses;
